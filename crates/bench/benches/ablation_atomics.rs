@@ -1,0 +1,36 @@
+//! Ablation bench: atomic postbox traffic (experiment A3, paper §III-C).
+//!
+//! Prints the atomic-vs-direct protocol pricing table, then benchmarks the
+//! postbox array's deposit/poll/complete cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use culi_bench::figures;
+use culi_gpu_sim::{JobSlot, PostboxArray};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::render_atomics(&figures::atomics_overhead()));
+
+    let mut group = c.benchmark_group("ablation_atomics");
+    group.sample_size(30);
+    group.bench_function("postbox_cycle_1024", |b| {
+        b.iter_batched(
+            || PostboxArray::new(1024),
+            |mut arr| {
+                for t in 0..1024 {
+                    arr.deposit(t, JobSlot { job: t as u32, cycles: 1 });
+                }
+                for t in 0..1024 {
+                    black_box(arr.poll_sync(t));
+                    black_box(arr.complete(t));
+                }
+                arr
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation bench: the two warp-divergence mitigations (paper Figs. 12/13).
+//!
+//! Prints the livelock/no-livelock matrix, then benchmarks the simulator's
+//! parallel-section choreography with the block flag on (the off-state
+//! livelocks, so only its *detection* is benchmarked).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use culi_bench::figures;
+use culi_gpu_sim::device::gtx1080;
+use culi_gpu_sim::{KernelConfig, PersistentKernel};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::render_ablations(&figures::ablations()));
+
+    let mut group = c.benchmark_group("ablation_sync");
+    group.sample_size(20);
+
+    group.bench_function("section_1024_jobs_with_block_flag", |b| {
+        b.iter_batched(
+            || PersistentKernel::launch(gtx1080(), KernelConfig::default()),
+            |mut k| black_box(k.parallel_section(&vec![10_000u64; 1024]).unwrap()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("livelock_detection_partial_warp", |b| {
+        b.iter_batched(
+            || {
+                PersistentKernel::launch(
+                    gtx1080(),
+                    KernelConfig { block_sync_flag: false, ..Default::default() },
+                )
+            },
+            |mut k| black_box(k.parallel_section(&vec![10_000u64; 33]).unwrap_err()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench + regeneration for paper Fig. 14 (base latency per device).
+//!
+//! Prints the figure's rows (simulated ms), then benchmarks the real cost
+//! of a launch/shutdown cycle in the simulator for each device.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use culi_bench::figures;
+use culi_gpu_sim::all_devices;
+use culi_runtime::Session;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", figures::render_fig14(&figures::fig14()));
+
+    let mut group = c.benchmark_group("fig14_base_latency");
+    group.sample_size(20);
+    for spec in all_devices() {
+        group.bench_function(spec.name, |b| {
+            b.iter(|| black_box(Session::measure_base_latency_ms(black_box(spec))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench + regeneration for paper Fig. 15 (runtime vs thread count).
+//!
+//! Prints the full device × thread-count runtime matrix (simulated ms),
+//! then benchmarks the simulator's wall cost of one full REPL command with
+//! a 256-worker `|||` on each device.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use culi_bench::figures;
+use culi_bench::workload::{fib_input, FIB_DEFUN};
+use culi_gpu_sim::all_devices;
+use culi_runtime::Session;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = figures::sweep();
+    println!("{}", figures::render_sweep(&points, "runtime"));
+
+    let input = fib_input(256);
+    let mut group = c.benchmark_group("fig15_submit_n256");
+    group.sample_size(10);
+    for spec in all_devices() {
+        group.bench_function(spec.name, |b| {
+            b.iter_batched(
+                || {
+                    let mut s = Session::for_device(spec);
+                    s.submit(FIB_DEFUN).unwrap();
+                    s
+                },
+                |mut s| black_box(s.submit(&input).unwrap()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Bench + regeneration for paper Figs. 16a–d (execution / parsing /
+//! evaluation / printing time per device and thread count).
+//!
+//! Prints all four matrices (simulated ms), then benchmarks the real wall
+//! cost of the interpreter's three phases in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use culi_bench::figures;
+use culi_bench::workload::{fib_input, FIB_DEFUN};
+use culi_core::{Interp, InterpConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = figures::sweep();
+    for metric in ["execution", "parse", "eval", "print"] {
+        println!("{}", figures::render_sweep(&points, metric));
+    }
+
+    let input = fib_input(1024);
+    let mut group = c.benchmark_group("fig16_interpreter_phases");
+    group.sample_size(20);
+
+    group.bench_function("parse_1024_jobs", |b| {
+        b.iter_batched(
+            || Interp::new(InterpConfig::default()),
+            |mut i| {
+                black_box(culi_core::parser::parse(&mut i, input.as_bytes()).unwrap());
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("eval_1024_jobs_sequential", |b| {
+        b.iter_batched(
+            || {
+                let mut i = Interp::new(InterpConfig::default());
+                i.eval_str(FIB_DEFUN).unwrap();
+                let forms = culi_core::parser::parse(&mut i, input.as_bytes()).unwrap();
+                (i, forms[0])
+            },
+            |(mut i, form)| {
+                let mut hook = culi_core::SequentialHook;
+                let global = i.global;
+                black_box(culi_core::eval(&mut i, &mut hook, form, global, 0).unwrap());
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("print_1024_results", |b| {
+        b.iter_batched(
+            || {
+                let mut i = Interp::new(InterpConfig::default());
+                i.eval_str(FIB_DEFUN).unwrap();
+                let forms = culi_core::parser::parse(&mut i, input.as_bytes()).unwrap();
+                let mut hook = culi_core::SequentialHook;
+                let global = i.global;
+                let result = culi_core::eval(&mut i, &mut hook, forms[0], global, 0).unwrap();
+                (i, result)
+            },
+            |(mut i, result)| {
+                black_box(culi_core::printer::print(&mut i, result).unwrap());
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

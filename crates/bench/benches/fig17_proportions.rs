@@ -1,0 +1,41 @@
+//! Bench + regeneration for paper Fig. 17 (proportional kernel runtime on
+//! post-Fermi vs Fermi GPUs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use culi_bench::figures;
+use culi_bench::workload::{fib_input, FIB_DEFUN};
+use culi_gpu_sim::device::{gtx1080, tesla_c2075};
+use culi_runtime::{GpuRepl, GpuReplConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = figures::fig17();
+    println!(
+        "{}",
+        figures::render_proportions(
+            &points,
+            "Fig. 17 — Proportional kernel runtime (M40/GTX1080 vs Fermi C2075)"
+        )
+    );
+
+    let input = fib_input(512);
+    let mut group = c.benchmark_group("fig17_gpu_submit_n512");
+    group.sample_size(10);
+    for spec in [tesla_c2075(), gtx1080()] {
+        group.bench_function(spec.name, |b| {
+            b.iter_batched(
+                || {
+                    let mut r = GpuRepl::launch(spec, GpuReplConfig::default());
+                    r.submit(FIB_DEFUN).unwrap();
+                    r
+                },
+                |mut r| black_box(r.submit(&input).unwrap()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

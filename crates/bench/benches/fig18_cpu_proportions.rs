@@ -1,0 +1,39 @@
+//! Bench + regeneration for paper Fig. 18 (proportional runtime on the
+//! 64-core AMD 6272: evaluation dominates, parse/print negligible).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use culi_bench::figures;
+use culi_bench::workload::{fib_input, FIB_DEFUN};
+use culi_gpu_sim::device::amd_6272;
+use culi_runtime::{CpuRepl, CpuReplConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = figures::fig18();
+    println!(
+        "{}",
+        figures::render_proportions(
+            &points,
+            "Fig. 18 — Proportional runtime on the AMD 6272 (64 threads)"
+        )
+    );
+
+    let input = fib_input(512);
+    let mut group = c.benchmark_group("fig18_cpu_submit_n512");
+    group.sample_size(10);
+    group.bench_function("AMD 6272 (modeled)", |b| {
+        b.iter_batched(
+            || {
+                let mut r = CpuRepl::launch(amd_6272(), CpuReplConfig::default());
+                r.submit(FIB_DEFUN).unwrap();
+                r
+            },
+            |mut r| black_box(r.submit(&input).unwrap()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

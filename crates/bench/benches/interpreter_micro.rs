@@ -1,0 +1,95 @@
+//! Microbenchmarks of the interpreter itself (real wall time): tokenizer
+//! throughput, arena allocation, environment lookup depth, recursive
+//! evaluation, number formatting. These are the hot paths behind every
+//! figure.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use culi_core::{Interp, InterpConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Tokenizer throughput over the paper's largest input (~8 KiB).
+    {
+        let input = culi_bench::workload::fib_input(4096);
+        let mut group = c.benchmark_group("tokenizer");
+        group.throughput(Throughput::Bytes(input.len() as u64));
+        group.bench_function("scan_8k_input", |b| {
+            b.iter(|| {
+                black_box(culi_strlib::scan::tokenize_all(black_box(input.as_bytes())).unwrap())
+            })
+        });
+        group.finish();
+    }
+
+    // Parser end-to-end on the same input.
+    {
+        let input = culi_bench::workload::fib_input(4096);
+        let mut group = c.benchmark_group("parser");
+        group.sample_size(20);
+        group.throughput(Throughput::Bytes(input.len() as u64));
+        group.bench_function("parse_8k_input", |b| {
+            b.iter_batched(
+                || Interp::new(InterpConfig::default()),
+                |mut i| {
+                    black_box(culi_core::parser::parse(&mut i, input.as_bytes()).unwrap());
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+
+    // Recursive evaluation: fib(15) through the full interpreter.
+    {
+        let mut group = c.benchmark_group("evaluator");
+        group.sample_size(20);
+        group.bench_function("fib_15", |b| {
+            b.iter_batched(
+                || {
+                    let mut i = Interp::new(InterpConfig::default());
+                    i.eval_str(culi_bench::workload::FIB_DEFUN).unwrap();
+                    i
+                },
+                |mut i| black_box(i.eval_str("(fib 15)").unwrap()),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+
+    // Number formatting (the printer's dominant cost).
+    {
+        let mut group = c.benchmark_group("fmt_num");
+        group.bench_function("format_f64_shortest", |b| {
+            let mut buf = [0u8; 32];
+            b.iter(|| black_box(culi_strlib::fmt_num::format_f64(black_box(core::f64::consts::PI), &mut buf)))
+        });
+        group.bench_function("format_i64", |b| {
+            let mut buf = [0u8; 20];
+            b.iter(|| black_box(culi_strlib::fmt_num::format_i64(black_box(-1234567890123i64), &mut buf)))
+        });
+        group.finish();
+    }
+
+    // GC over a loaded arena.
+    {
+        let mut group = c.benchmark_group("gc");
+        group.sample_size(20);
+        group.bench_function("collect_after_4096_jobs", |b| {
+            b.iter_batched(
+                || {
+                    let mut i = Interp::new(InterpConfig::default());
+                    i.eval_str(culi_bench::workload::FIB_DEFUN).unwrap();
+                    i.eval_str(&culi_bench::workload::fib_input(1024)).unwrap();
+                    i
+                },
+                |mut i| black_box(culi_core::gc::collect(&mut i, &[])),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! `figures` — regenerate every table/figure of the paper's evaluation.
+//!
+//! ```text
+//! figures [all|projection|fig14|fig15|fig16a|fig16b|fig16c|fig16d|fig17|fig18|ablation|atomics]
+//!         [--json]
+//! ```
+//!
+//! Without arguments, prints every figure as a text table. `--json` emits
+//! machine-readable output instead.
+
+use culi_bench::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = which.is_empty() || which.contains(&"all");
+    let want = |name: &str| all || which.contains(&name);
+
+    if want("fig14") {
+        let rows = figures::fig14();
+        if json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            println!("{}", figures::render_fig14(&rows));
+        }
+    }
+
+    let need_sweep = ["fig15", "fig16a", "fig16b", "fig16c", "fig16d"]
+        .iter()
+        .any(|f| want(f));
+    if need_sweep {
+        eprintln!("running the fib(5) sweep on all 8 devices …");
+        let points = figures::sweep();
+        if json {
+            println!("{}", serde_json::to_string_pretty(&points).unwrap());
+        } else {
+            for (fig, metric) in [
+                ("fig15", "runtime"),
+                ("fig16a", "execution"),
+                ("fig16b", "parse"),
+                ("fig16c", "eval"),
+                ("fig16d", "print"),
+            ] {
+                if want(fig) {
+                    println!("{}", figures::render_sweep(&points, metric));
+                }
+            }
+        }
+    }
+
+    if want("fig17") {
+        let points = figures::fig17();
+        if json {
+            println!("{}", serde_json::to_string_pretty(&points).unwrap());
+        } else {
+            println!(
+                "{}",
+                figures::render_proportions(
+                    &points,
+                    "Fig. 17 — Proportional kernel runtime (GPUs: M40/GTX1080 vs Fermi C2075)"
+                )
+            );
+        }
+    }
+
+    if want("fig18") {
+        let points = figures::fig18();
+        if json {
+            println!("{}", serde_json::to_string_pretty(&points).unwrap());
+        } else {
+            println!(
+                "{}",
+                figures::render_proportions(
+                    &points,
+                    "Fig. 18 — Proportional runtime on the AMD 6272 (64 threads)"
+                )
+            );
+        }
+    }
+
+    if want("ablation") || want("ablations") {
+        let rows = figures::ablations();
+        if json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            println!("{}", figures::render_ablations(&rows));
+        }
+    }
+
+    if want("atomics") {
+        let rows = figures::atomics_overhead();
+        if json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            println!("{}", figures::render_atomics(&rows));
+        }
+    }
+
+    if want("projection") {
+        let rows = figures::projection();
+        if json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            println!("{}", figures::render_projection(&rows));
+        }
+    }
+}

@@ -1,0 +1,665 @@
+//! Regeneration of every figure in the paper's evaluation (§IV).
+//!
+//! Each `fig*` function produces the same rows/series the paper plots;
+//! `render_*` functions format them as text tables. The `figures` binary
+//! drives these and can also dump JSON. Absolute values come from the
+//! calibrated cost model — the claims under test are the *shapes*
+//! (orderings, ratios, crossovers), which `tests` in this module and
+//! `EXPERIMENTS.md` pin down.
+
+use crate::workload::{expected_output, fib_input, thread_counts, FIB_DEFUN};
+use culi_gpu_sim::{all_devices, DeviceSpec, KernelConfig, LivelockCause, SimError};
+use culi_runtime::{GpuRepl, GpuReplConfig, Reply, RuntimeError, Session};
+use serde::Serialize;
+
+/// Fig. 14: base latency (launch + graceful stop) per device.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig14Row {
+    /// Device name.
+    pub device: String,
+    /// Milliseconds.
+    pub base_latency_ms: f64,
+}
+
+/// One point of the thread-count sweeps (Figs. 15 and 16a–d).
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Device name.
+    pub device: String,
+    /// Worker count (the paper's x-axis, "threads").
+    pub threads: usize,
+    /// Parse phase, ms (Fig. 16b).
+    pub parse_ms: f64,
+    /// Evaluation phase, ms (Fig. 16c).
+    pub eval_ms: f64,
+    /// Print phase, ms (Fig. 16d).
+    pub print_ms: f64,
+    /// Kernel execution time, ms (Fig. 16a).
+    pub execution_ms: f64,
+    /// Total runtime including host transfer, ms (Fig. 15).
+    pub runtime_ms: f64,
+}
+
+/// One point of the proportional-runtime charts (Figs. 17/18).
+#[derive(Debug, Clone, Serialize)]
+pub struct ProportionPoint {
+    /// Device name.
+    pub device: String,
+    /// Worker count.
+    pub threads: usize,
+    /// Parse share of kernel time, 0–1.
+    pub parse: f64,
+    /// Evaluation share.
+    pub eval: f64,
+    /// Print share.
+    pub print: f64,
+}
+
+/// Outcome of one ablation run (experiments A1/A2).
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationRow {
+    /// Ablation id (A1, A2, …).
+    pub id: String,
+    /// What was disabled.
+    pub config: String,
+    /// Workload description.
+    pub workload: String,
+    /// Outcome: "ok (…)" or the livelock diagnosis.
+    pub outcome: String,
+    /// `true` when the run livelocked.
+    pub livelocked: bool,
+}
+
+/// Experiment A3: atomic-access overhead in the `|||` machinery.
+#[derive(Debug, Clone, Serialize)]
+pub struct AtomicsRow {
+    /// Device name.
+    pub device: String,
+    /// Worker count.
+    pub threads: usize,
+    /// Atomic operations issued by the postbox protocol.
+    pub atomic_ops: u64,
+    /// Distribution+collection cycles with atomic pricing.
+    pub protocol_cycles_atomic: u64,
+    /// The same traffic re-priced as plain (cached) accesses.
+    pub protocol_cycles_direct: u64,
+    /// Slowdown factor atomics impose on the protocol path.
+    pub atomic_penalty: f64,
+}
+
+fn session_for(spec: DeviceSpec) -> Session {
+    Session::for_device(spec)
+}
+
+fn submit_checked(session: &mut Session, input: &str, expect: Option<&str>) -> Reply {
+    let reply = session.submit(input).expect("device failure during figure run");
+    assert!(reply.ok, "lisp error during figure run: {}", reply.output);
+    if let Some(want) = expect {
+        assert_eq!(reply.output, want, "wrong result during figure run");
+    }
+    reply
+}
+
+/// Generates Fig. 14 rows for all eight devices.
+pub fn fig14() -> Vec<Fig14Row> {
+    all_devices()
+        .into_iter()
+        .map(|spec| Fig14Row {
+            device: spec.name.to_string(),
+            base_latency_ms: Session::measure_base_latency_ms(spec),
+        })
+        .collect()
+}
+
+/// Runs the fib(5) sweep on every device (shared series behind Figs. 15
+/// and 16a–d).
+pub fn sweep() -> Vec<SweepPoint> {
+    sweep_on(&all_devices())
+}
+
+/// Runs the fib(5) sweep on the given devices.
+pub fn sweep_on(devices: &[DeviceSpec]) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &spec in devices {
+        let mut session = session_for(spec);
+        submit_checked(&mut session, FIB_DEFUN, Some("fib"));
+        for n in thread_counts() {
+            let reply =
+                submit_checked(&mut session, &fib_input(n), Some(&expected_output(n)));
+            out.push(SweepPoint {
+                device: spec.name.to_string(),
+                threads: n,
+                parse_ms: reply.phases.parse_ms(),
+                eval_ms: reply.phases.eval_ms(),
+                print_ms: reply.phases.print_ms(),
+                execution_ms: reply.phases.execution_ms(),
+                runtime_ms: reply.phases.runtime_ms(),
+            });
+        }
+        session.shutdown();
+    }
+    out
+}
+
+/// Proportional runtimes (Figs. 17/18) for the named devices, derived from
+/// the same sweep.
+pub fn proportions(device_names: &[&str]) -> Vec<ProportionPoint> {
+    let devices: Vec<DeviceSpec> = all_devices()
+        .into_iter()
+        .filter(|d| device_names.contains(&d.name))
+        .collect();
+    let mut out = Vec::new();
+    for &spec in &devices {
+        let mut session = session_for(spec);
+        submit_checked(&mut session, FIB_DEFUN, Some("fib"));
+        for n in thread_counts() {
+            let reply =
+                submit_checked(&mut session, &fib_input(n), Some(&expected_output(n)));
+            let (parse, eval, print) = reply.phases.proportions();
+            out.push(ProportionPoint {
+                device: spec.name.to_string(),
+                threads: n,
+                parse,
+                eval,
+                print,
+            });
+        }
+        session.shutdown();
+    }
+    out
+}
+
+/// Fig. 17: the paper shows Tesla M40 + GTX 1080 (representative
+/// post-Fermi GPUs) against Tesla C2075 (Fermi).
+pub fn fig17() -> Vec<ProportionPoint> {
+    proportions(&["TeslaM40", "GTX1080", "TeslaC2075"])
+}
+
+/// Fig. 18: AMD 6272 proportions.
+pub fn fig18() -> Vec<ProportionPoint> {
+    proportions(&["AMD 6272"])
+}
+
+/// Ablations A1/A2: disable each livelock mitigation and demonstrate the
+/// mechanical livelock the paper's Figs. 12/13 prevent.
+pub fn ablations() -> Vec<AblationRow> {
+    let spec = culi_gpu_sim::device::gtx1080();
+    let mut rows = Vec::new();
+
+    // A1: master block not masked.
+    let mut s = Session::gpu_with_kernel_config(
+        spec,
+        KernelConfig { mask_master_block: false, ..Default::default() },
+    );
+    submit_checked(&mut s, FIB_DEFUN, Some("fib"));
+    rows.push(ablation_row(
+        "A1",
+        "mask_master_block = false (paper Fig. 12 removed)",
+        "(||| 4 fib (5 5 5 5))",
+        s.submit(&fib_input(4)),
+    ));
+    s.shutdown();
+
+    // A2: block sync flag disabled, job count not a multiple of 32.
+    let mut s = Session::gpu_with_kernel_config(
+        spec,
+        KernelConfig { block_sync_flag: false, ..Default::default() },
+    );
+    submit_checked(&mut s, FIB_DEFUN, Some("fib"));
+    rows.push(ablation_row(
+        "A2",
+        "block_sync_flag = false (paper Fig. 13 / Alg. 1 removed)",
+        "(||| 33 fib (5 … 5)) — 33 jobs, partial warp",
+        s.submit(&fib_input(33)),
+    ));
+    s.shutdown();
+
+    // A2-control: same ablation, but full warps — survives, as the paper
+    // notes ("no problem as long as the number of jobs is a multiple of 32").
+    let mut s = Session::gpu_with_kernel_config(
+        spec,
+        KernelConfig { block_sync_flag: false, ..Default::default() },
+    );
+    submit_checked(&mut s, FIB_DEFUN, Some("fib"));
+    rows.push(ablation_row(
+        "A2-control",
+        "block_sync_flag = false, full warps",
+        "(||| 64 fib (5 … 5)) — 64 jobs, two full warps",
+        s.submit(&fib_input(64)),
+    ));
+    s.shutdown();
+
+    // Baseline: both mitigations on.
+    let mut s = Session::gpu_with_kernel_config(spec, KernelConfig::default());
+    submit_checked(&mut s, FIB_DEFUN, Some("fib"));
+    rows.push(ablation_row(
+        "baseline",
+        "both mitigations enabled (the paper's design)",
+        "(||| 33 fib (5 … 5))",
+        s.submit(&fib_input(33)),
+    ));
+    s.shutdown();
+
+    rows
+}
+
+fn ablation_row(
+    id: &str,
+    config: &str,
+    workload: &str,
+    result: culi_runtime::Result<Reply>,
+) -> AblationRow {
+    let (outcome, livelocked) = match result {
+        Ok(reply) if reply.ok => (format!("ok ({} chars of output)", reply.output.len()), false),
+        Ok(reply) => (format!("lisp error: {}", reply.output), false),
+        Err(RuntimeError::Device(SimError::Livelock { cause, .. })) => {
+            let kind = match cause {
+                LivelockCause::MasterBlockUnmasked => "LIVELOCK: master block unmasked",
+                LivelockCause::PartialWarpWithoutBlockFlag { .. } => {
+                    "LIVELOCK: partial warp without block flag"
+                }
+            };
+            (format!("{kind} — {cause}"), true)
+        }
+        Err(e) => (format!("device error: {e}"), false),
+    };
+    AblationRow {
+        id: id.to_string(),
+        config: config.to_string(),
+        workload: workload.to_string(),
+        outcome,
+        livelocked,
+    }
+}
+
+/// Experiment A3: how much the atomic postbox traffic costs versus
+/// hypothetical plain cached accesses (paper §III-C: atomics "prevent
+/// CUDA's transparent caching … this implies a performance penalty").
+pub fn atomics_overhead() -> Vec<AtomicsRow> {
+    let mut out = Vec::new();
+    for spec in [culi_gpu_sim::device::tesla_c2075(), culi_gpu_sim::device::gtx1080()] {
+        for n in [32usize, 1024, 4096] {
+            let mut repl = GpuRepl::launch(spec, GpuReplConfig::default());
+            let defun = repl.submit(FIB_DEFUN).unwrap();
+            assert!(defun.ok);
+            let reply = repl.submit(&fib_input(n)).unwrap();
+            assert!(reply.ok);
+            let stats = repl.stats();
+            let protocol_atomic: u64 =
+                reply.sections.iter().map(|s| s.distribute_cycles + s.collect_cycles).sum();
+            // Re-price: every atomic in the protocol becomes a plain read
+            // (spin_iter is the cached-access cycle count in the table).
+            let saved = stats.atomic_ops * (spec.costs.atomic_rmw - spec.costs.spin_iter);
+            let protocol_direct = protocol_atomic.saturating_sub(saved);
+            out.push(AtomicsRow {
+                device: spec.name.to_string(),
+                threads: n,
+                atomic_ops: stats.atomic_ops,
+                protocol_cycles_atomic: protocol_atomic,
+                protocol_cycles_direct: protocol_direct,
+                atomic_penalty: protocol_atomic as f64 / protocol_direct.max(1) as f64,
+            });
+            repl.shutdown();
+        }
+    }
+    out
+}
+
+/// One generation point of the conclusion's projection experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProjectionRow {
+    /// Device name.
+    pub device: String,
+    /// Architecture generation label.
+    pub generation: String,
+    /// Evaluation-phase time at 4096 threads, ms (the trend the paper
+    /// extrapolates in §IV-c / §V).
+    pub eval_ms: f64,
+    /// Total runtime at 4096 threads, ms.
+    pub runtime_ms: f64,
+    /// Ratio to the best CPU's runtime (>1 ⇒ CPU still wins).
+    pub gap_vs_best_cpu: f64,
+    /// Whether the device survives both §III-D ablations (independent
+    /// thread scheduling).
+    pub livelock_free_without_mitigations: bool,
+}
+
+/// Experiment P1 — the conclusion's projection: per-generation evaluation
+/// time and the shrinking CPU gap, extended one generation past the paper
+/// with the Volta-class [`culi_gpu_sim::device::volta_sim`] device
+/// (independent thread scheduling + configurable L1).
+pub fn projection() -> Vec<ProjectionRow> {
+    let n = 4096;
+    // Best CPU runtime as the bar.
+    let mut best_cpu = f64::INFINITY;
+    for spec in culi_gpu_sim::all_cpus() {
+        let mut s = session_for(spec);
+        submit_checked(&mut s, FIB_DEFUN, Some("fib"));
+        let reply = submit_checked(&mut s, &fib_input(n), Some(&expected_output(n)));
+        best_cpu = best_cpu.min(reply.phases.runtime_ms());
+        s.shutdown();
+    }
+    let gpus = [
+        culi_gpu_sim::device::tesla_c2075(),
+        culi_gpu_sim::device::tesla_k20(),
+        culi_gpu_sim::device::tesla_m40(),
+        culi_gpu_sim::device::gtx1080(),
+        culi_gpu_sim::device::volta_sim(),
+    ];
+    gpus.iter()
+        .map(|&spec| {
+            let mut s = session_for(spec);
+            submit_checked(&mut s, FIB_DEFUN, Some("fib"));
+            let reply = submit_checked(&mut s, &fib_input(n), Some(&expected_output(n)));
+            s.shutdown();
+            // Ablation survival: both mitigations off, partial warp.
+            let mut ab = Session::gpu_with_kernel_config(
+                spec,
+                KernelConfig { mask_master_block: false, block_sync_flag: false },
+            );
+            submit_checked(&mut ab, FIB_DEFUN, Some("fib"));
+            let survives = matches!(ab.submit(&fib_input(33)), Ok(r) if r.ok);
+            ProjectionRow {
+                device: spec.name.to_string(),
+                generation: format!("{:?}", spec.arch),
+                eval_ms: reply.phases.eval_ms(),
+                runtime_ms: reply.phases.runtime_ms(),
+                gap_vs_best_cpu: reply.phases.runtime_ms() / best_cpu,
+                livelock_free_without_mitigations: survives,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+/// Renders the projection experiment.
+pub fn render_projection(rows: &[ProjectionRow]) -> String {
+    let mut s = String::from(
+        "P1 — Generation projection (paper §V: the CPU/GPU gap per generation)\n",
+    );
+    s.push_str(&format!(
+        "{:<12} {:<9} {:>10} {:>12} {:>14} {:>12}\n",
+        "device", "arch", "eval ms", "runtime ms", "gap vs CPU", "ITS-safe"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<12} {:<9} {:>10.3} {:>12.3} {:>13.1}x {:>12}\n",
+            r.device,
+            r.generation,
+            r.eval_ms,
+            r.runtime_ms,
+            r.gap_vs_best_cpu,
+            if r.livelock_free_without_mitigations { "yes" } else { "no" }
+        ));
+    }
+    s
+}
+
+/// Renders Fig. 14 as a text table.
+pub fn render_fig14(rows: &[Fig14Row]) -> String {
+    let mut s = String::from("Fig. 14 — Base latency (launch + graceful stop)\n");
+    s.push_str(&format!("{:<16} {:>16}\n", "device", "base latency ms"));
+    for r in rows {
+        s.push_str(&format!("{:<16} {:>16.4}\n", r.device, r.base_latency_ms));
+    }
+    s
+}
+
+/// Renders one metric of the sweep as a device × threads matrix.
+pub fn render_sweep(points: &[SweepPoint], metric: &str) -> String {
+    let pick = |p: &SweepPoint| -> f64 {
+        match metric {
+            "runtime" => p.runtime_ms,
+            "execution" => p.execution_ms,
+            "parse" => p.parse_ms,
+            "eval" => p.eval_ms,
+            "print" => p.print_ms,
+            other => panic!("unknown metric {other}"),
+        }
+    };
+    let title = match metric {
+        "runtime" => "Fig. 15 — Runtime (ms, includes host transfer)",
+        "execution" => "Fig. 16a — Execution time (ms)",
+        "parse" => "Fig. 16b — Parsing time (ms)",
+        "eval" => "Fig. 16c — Evaluation time (ms)",
+        "print" => "Fig. 16d — Printing time (ms)",
+        other => other,
+    };
+    let mut devices: Vec<String> = Vec::new();
+    for p in points {
+        if !devices.contains(&p.device) {
+            devices.push(p.device.clone());
+        }
+    }
+    let threads = thread_counts();
+    let mut s = format!("{title}\n{:<16}", "device");
+    for n in &threads {
+        s.push_str(&format!(" {n:>9}"));
+    }
+    s.push('\n');
+    for d in &devices {
+        s.push_str(&format!("{d:<16}"));
+        for &n in &threads {
+            let v = points
+                .iter()
+                .find(|p| &p.device == d && p.threads == n)
+                .map(pick)
+                .unwrap_or(f64::NAN);
+            s.push_str(&format!(" {v:>9.4}"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders proportional runtimes (Figs. 17/18).
+pub fn render_proportions(points: &[ProportionPoint], title: &str) -> String {
+    let mut s = format!("{title}\n{:<16} {:>8} {:>8} {:>8} {:>8}\n", "device", "threads", "parse%", "eval%", "print%");
+    for p in points {
+        s.push_str(&format!(
+            "{:<16} {:>8} {:>7.1}% {:>7.1}% {:>7.1}%\n",
+            p.device,
+            p.threads,
+            100.0 * p.parse,
+            100.0 * p.eval,
+            100.0 * p.print
+        ));
+    }
+    s
+}
+
+/// Renders the ablation outcomes.
+pub fn render_ablations(rows: &[AblationRow]) -> String {
+    let mut s = String::from("Ablations — warp-divergence mitigations (paper Figs. 12/13)\n");
+    for r in rows {
+        s.push_str(&format!("[{}] {}\n    workload: {}\n    outcome:  {}\n", r.id, r.config, r.workload, r.outcome));
+    }
+    s
+}
+
+/// Renders the atomics-overhead experiment.
+pub fn render_atomics(rows: &[AtomicsRow]) -> String {
+    let mut s = String::from(
+        "A3 — Atomic postbox traffic vs hypothetical cached accesses (paper §III-C)\n",
+    );
+    s.push_str(&format!(
+        "{:<14} {:>8} {:>12} {:>16} {:>16} {:>9}\n",
+        "device", "threads", "atomic ops", "protocol(atomic)", "protocol(direct)", "penalty"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<14} {:>8} {:>12} {:>16} {:>16} {:>8.2}x\n",
+            r.device,
+            r.threads,
+            r.atomic_ops,
+            r.protocol_cycles_atomic,
+            r.protocol_cycles_direct,
+            r.atomic_penalty
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point<'a>(points: &'a [SweepPoint], device: &str, threads: usize) -> &'a SweepPoint {
+        points
+            .iter()
+            .find(|p| p.device == device && p.threads == threads)
+            .unwrap_or_else(|| panic!("missing {device}@{threads}"))
+    }
+
+    /// Whole-figure shape assertions, one sweep shared across them (the
+    /// sweep is the expensive part).
+    #[test]
+    fn sweep_reproduces_paper_shapes() {
+        let points = sweep();
+
+        // Fig. 15: CPUs beat every GPU by ≥ 10× at 4096 threads.
+        let cpu_best = ["Intel E5-2620", "AMD 6272"]
+            .iter()
+            .map(|d| point(&points, d, 4096).runtime_ms)
+            .fold(f64::INFINITY, f64::min);
+        for gpu in ["TeslaC2075", "TeslaK20", "TeslaM40", "GTX480", "GTX680", "GTX1080"] {
+            let t = point(&points, gpu, 4096).runtime_ms;
+            assert!(t / cpu_best >= 8.0, "{gpu}: {t:.3} ms vs cpu {cpu_best:.3} ms");
+        }
+
+        // Fig. 15: plateau from 1 to 64, then clear growth to 4096.
+        for d in ["GTX1080", "TeslaM40", "Intel E5-2620"] {
+            let t1 = point(&points, d, 1).runtime_ms;
+            let t64 = point(&points, d, 64).runtime_ms;
+            let t4096 = point(&points, d, 4096).runtime_ms;
+            assert!(t64 / t1 < 4.0, "{d}: plateau broken ({t1:.4} → {t64:.4})");
+            assert!(t4096 / t64 > 5.0, "{d}: no growth ({t64:.4} → {t4096:.4})");
+        }
+
+        // Fig. 15: GTX480 is the fastest GPU at scale, GTX1080 second.
+        let gpus_at = |n: usize| -> Vec<(String, f64)> {
+            ["TeslaC2075", "TeslaK20", "TeslaM40", "GTX480", "GTX680", "GTX1080"]
+                .iter()
+                .map(|d| (d.to_string(), point(&points, d, n).runtime_ms))
+                .collect()
+        };
+        let mut ranked = gpus_at(4096);
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+        assert_eq!(ranked[0].0, "GTX480", "{ranked:?}");
+        assert_eq!(ranked[1].0, "GTX1080", "{ranked:?}");
+
+        // Fig. 16b: Fermi parses ≥ 4× faster than every post-Fermi GPU.
+        let fermi_worst = ["TeslaC2075", "GTX480"]
+            .iter()
+            .map(|d| point(&points, d, 4096).parse_ms)
+            .fold(0.0, f64::max);
+        for d in ["TeslaK20", "TeslaM40", "GTX680", "GTX1080"] {
+            let t = point(&points, d, 4096).parse_ms;
+            assert!(t / fermi_worst >= 4.0, "{d}: parse {t:.3} vs fermi {fermi_worst:.3}");
+        }
+
+        // Fig. 16c: evaluation time drops with the GPU generation.
+        let eval_of = |d: &str| point(&points, d, 4096).eval_ms;
+        assert!(eval_of("TeslaC2075") > eval_of("TeslaM40"));
+        assert!(eval_of("TeslaM40") > eval_of("GTX1080"));
+
+        // Fig. 16d: GPU printing is orders of magnitude above CPU printing.
+        assert!(point(&points, "GTX1080", 4096).print_ms / point(&points, "AMD 6272", 4096).print_ms > 20.0);
+    }
+
+    #[test]
+    fn fig14_rows_cover_all_devices() {
+        let rows = fig14();
+        assert_eq!(rows.len(), 8);
+        let gtx680 = rows.iter().find(|r| r.device == "GTX680").unwrap();
+        let gtx1080 = rows.iter().find(|r| r.device == "GTX1080").unwrap();
+        assert!(gtx1080.base_latency_ms / gtx680.base_latency_ms > 4.0);
+    }
+
+    #[test]
+    fn fig17_parse_dominates_post_fermi_only() {
+        let points = fig17();
+        let at = |d: &str, n: usize| {
+            points.iter().find(|p| p.device == d && p.threads == n).unwrap()
+        };
+        // Post-Fermi: parse > 50% of kernel time at scale.
+        assert!(at("TeslaM40", 4096).parse > 0.5, "{}", at("TeslaM40", 4096).parse);
+        assert!(at("GTX1080", 4096).parse > 0.5, "{}", at("GTX1080", 4096).parse);
+        // Fermi: parse never exceeds ~11%.
+        for n in thread_counts() {
+            let p = at("TeslaC2075", n).parse;
+            assert!(p <= 0.12, "C2075@{n}: parse share {p}");
+        }
+    }
+
+    #[test]
+    fn fig18_eval_dominates_on_cpu() {
+        let points = fig18();
+        for p in &points {
+            if p.threads >= 64 {
+                assert!(p.eval > 0.55, "AMD@{}: eval share {}", p.threads, p.eval);
+                assert!(p.parse < 0.25, "AMD@{}: parse share {}", p.threads, p.parse);
+                assert!(p.print < 0.25, "AMD@{}: print share {}", p.threads, p.print);
+            }
+        }
+    }
+
+    #[test]
+    fn ablations_livelock_exactly_where_the_paper_says() {
+        let rows = ablations();
+        let by_id = |id: &str| rows.iter().find(|r| r.id == id).unwrap();
+        assert!(by_id("A1").livelocked);
+        assert!(by_id("A2").livelocked);
+        assert!(!by_id("A2-control").livelocked);
+        assert!(!by_id("baseline").livelocked);
+    }
+
+    #[test]
+    fn projection_shows_the_gap_closing() {
+        let rows = projection();
+        assert_eq!(rows.len(), 5);
+        // The gap to the best CPU shrinks monotonically across
+        // generations (Kepler's low clock makes it worse than Fermi, as in
+        // the paper's own data — compare within the Tesla line after it).
+        let gap = |d: &str| rows.iter().find(|r| r.device == d).unwrap().gap_vs_best_cpu;
+        assert!(gap("TeslaK20") > gap("TeslaM40"));
+        assert!(gap("TeslaM40") > gap("GTX1080"));
+        assert!(gap("GTX1080") > gap("V100sim"));
+        // Only the ITS generation survives with the mitigations removed.
+        for r in &rows {
+            assert_eq!(
+                r.livelock_free_without_mitigations,
+                r.device == "V100sim",
+                "{}",
+                r.device
+            );
+        }
+        // Still above the CPU — the paper predicts convergence, not a win.
+        assert!(gap("V100sim") > 1.0);
+    }
+
+    #[test]
+    fn atomics_carry_a_real_penalty() {
+        let rows = atomics_overhead();
+        for r in &rows {
+            assert!(r.atomic_penalty > 1.0, "{}@{}: {}", r.device, r.threads, r.atomic_penalty);
+            assert!(r.atomic_ops > 0);
+        }
+    }
+
+    #[test]
+    fn rendering_is_well_formed() {
+        let rows = fig14();
+        let table = render_fig14(&rows);
+        assert!(table.contains("GTX1080"));
+        let sw = sweep_on(&[culi_gpu_sim::device::gtx680()]);
+        for metric in ["runtime", "execution", "parse", "eval", "print"] {
+            let t = render_sweep(&sw, metric);
+            assert!(t.contains("GTX680"), "{metric}");
+            assert!(t.contains("4096"), "{metric}");
+        }
+    }
+}

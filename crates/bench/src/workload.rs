@@ -1,0 +1,91 @@
+//! The paper's evaluation workload (§IV).
+//!
+//! *"In our test all threads compute the 5th Fibonacci number recursively"*;
+//! thread counts sweep 1,2,4,…,4096, and the resulting REPL input strings
+//! are *"17 to 8207 characters per transfer, around 8 KB in size"*. This
+//! module generates exactly those inputs.
+
+/// The recursive Fibonacci definition submitted once per session.
+pub const FIB_DEFUN: &str =
+    "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+
+/// Which Fibonacci index every worker computes (the paper uses the 5th).
+pub const FIB_INDEX: u32 = 5;
+
+/// The paper's thread-count sweep: 1, 2, 4, …, 4096.
+pub fn thread_counts() -> Vec<usize> {
+    (0..=12).map(|p| 1usize << p).collect()
+}
+
+/// Builds the `(||| n fib (5 5 … 5))` input for `n` workers.
+pub fn fib_input(n: usize) -> String {
+    let mut args = String::with_capacity(2 * n);
+    for i in 0..n {
+        if i > 0 {
+            args.push(' ');
+        }
+        args.push_str(&FIB_INDEX.to_string());
+    }
+    format!("(||| {n} fib ({args}))")
+}
+
+/// Expected result list, for output validation: fib(5) = 5, n times.
+pub fn expected_output(n: usize) -> String {
+    let vals = vec!["5"; n];
+    format!("({})", vals.join(" "))
+}
+
+/// Reference Fibonacci for validation.
+pub fn fib(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib(n - 1) + fib(n - 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matches_paper() {
+        let t = thread_counts();
+        assert_eq!(t.first(), Some(&1));
+        assert_eq!(t.last(), Some(&4096));
+        assert_eq!(t.len(), 13);
+        for w in t.windows(2) {
+            assert_eq!(w[1], 2 * w[0]);
+        }
+    }
+
+    /// Experiment T1: the paper reports 17–8207 characters per transfer.
+    #[test]
+    fn input_sizes_match_paper() {
+        let small = fib_input(1);
+        let large = fib_input(4096);
+        assert!(
+            (14..=20).contains(&small.len()),
+            "1-thread input is {} chars: {small}",
+            small.len()
+        );
+        assert!(
+            (8190..=8220).contains(&large.len()),
+            "4096-thread input is {} chars (paper: 8207)",
+            large.len()
+        );
+    }
+
+    #[test]
+    fn inputs_are_valid_culi() {
+        let mut lisp = culi_core::Interp::default();
+        lisp.eval_str(FIB_DEFUN).unwrap();
+        assert_eq!(lisp.eval_str(&fib_input(4)).unwrap(), expected_output(4));
+    }
+
+    #[test]
+    fn fib_reference() {
+        assert_eq!(fib(5), 5);
+        assert_eq!(fib(10), 55);
+    }
+}

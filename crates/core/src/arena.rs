@@ -1,0 +1,327 @@
+//! The fixed-size node arena.
+//!
+//! Paper §III-A c: *"Nodes are stored in a large array that is created at
+//! the beginning of the program. This array has a fixed length set during
+//! the compilation of CuLi. ... Whenever a function asks for a new node to
+//! store a value, the sequentially next free node of this array will be
+//! returned. When the nodes are not needed anymore, they are marked as
+//! free."*
+//!
+//! We reproduce that allocator: a contiguous slot array, a sequential
+//! cursor, free marks, and — because a long interactive session would
+//! otherwise exhaust the array — a wrapping rescan that reuses freed slots.
+//! Exhaustion is a real, reportable error ([`CuliError::ArenaFull`]), which
+//! the paper names as the current input-size limitation.
+
+use crate::cost::Meter;
+use crate::error::{CuliError, Result};
+use crate::node::{Node, Payload};
+use crate::types::NodeId;
+
+/// Fixed-capacity slot allocator for [`Node`]s.
+#[derive(Debug, Clone)]
+pub struct NodeArena {
+    slots: Vec<Slot>,
+    /// Next index the sequential scan starts from.
+    cursor: usize,
+    /// Number of live (occupied) slots.
+    live: usize,
+    /// Highest number of simultaneously live slots ever observed.
+    high_water: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Free,
+    Occupied(Node),
+}
+
+impl NodeArena {
+    /// Creates an arena with `capacity` node slots.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { slots: vec![Slot::Free; capacity], cursor: 0, live: 0, high_water: 0 }
+    }
+
+    /// Total slot count (the compile-time array length in the C original).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Currently occupied slots.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Peak occupancy over the arena's lifetime.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Allocates a node, returning its id. Scans sequentially from the
+    /// cursor (wrapping once) for a free slot, as the original allocator
+    /// hands out "the sequentially next free node".
+    pub fn alloc(&mut self, node: Node, meter: &mut Meter) -> Result<NodeId> {
+        let cap = self.slots.len();
+        if self.live >= cap {
+            return Err(CuliError::ArenaFull { capacity: cap });
+        }
+        let mut idx = self.cursor;
+        for _ in 0..cap {
+            if matches!(self.slots[idx], Slot::Free) {
+                self.slots[idx] = Slot::Occupied(node);
+                self.cursor = (idx + 1) % cap;
+                self.live += 1;
+                self.high_water = self.high_water.max(self.live);
+                meter.node_alloc();
+                return Ok(NodeId::new(idx));
+            }
+            idx = (idx + 1) % cap;
+        }
+        Err(CuliError::ArenaFull { capacity: cap })
+    }
+
+    /// Marks a single node free. The caller is responsible for making sure
+    /// nothing still references it (see [`crate::gc`] for the safe path).
+    pub fn free(&mut self, id: NodeId, meter: &mut Meter) {
+        let slot = &mut self.slots[id.index()];
+        if matches!(slot, Slot::Occupied(_)) {
+            *slot = Slot::Free;
+            self.live -= 1;
+            meter.node_freed();
+        }
+    }
+
+    /// Immutable access. Panics on a freed slot — that is always an
+    /// interpreter bug, not user error.
+    pub fn get(&self, id: NodeId) -> &Node {
+        match &self.slots[id.index()] {
+            Slot::Occupied(n) => n,
+            Slot::Free => panic!("use-after-free of node {id:?}"),
+        }
+    }
+
+    /// Metered read: counts one node access then returns the node.
+    pub fn read(&self, id: NodeId, meter: &mut Meter) -> &Node {
+        meter.node_read();
+        self.get(id)
+    }
+
+    /// `true` if the slot is currently occupied.
+    pub fn is_live(&self, id: NodeId) -> bool {
+        matches!(self.slots[id.index()], Slot::Occupied(_))
+    }
+
+    /// Internal mutation used only while *constructing* lists (the parser
+    /// appends children by rewriting `next`/`last`). Nodes stay immutable
+    /// once visible to evaluation, preserving the paper's no-side-effects
+    /// rule.
+    pub(crate) fn get_mut(&mut self, id: NodeId) -> &mut Node {
+        match &mut self.slots[id.index()] {
+            Slot::Occupied(n) => n,
+            Slot::Free => panic!("use-after-free of node {id:?}"),
+        }
+    }
+
+    /// Appends `child` to the list node `list`, maintaining the
+    /// first/last pointers and sibling chain of paper Fig. 2.
+    pub(crate) fn list_append(&mut self, list: NodeId, child: NodeId) {
+        debug_assert!(self.get(child).next.is_none(), "child already linked");
+        let (first, last) = match self.get(list).payload {
+            Payload::List { first, last } => (first, last),
+            _ => panic!("list_append on non-list {list:?}"),
+        };
+        match (first, last) {
+            (None, None) => {
+                self.get_mut(list).payload = Payload::List { first: Some(child), last: Some(child) };
+            }
+            (Some(f), Some(l)) => {
+                self.get_mut(l).next = Some(child);
+                self.get_mut(list).payload = Payload::List { first: Some(f), last: Some(child) };
+            }
+            _ => panic!("corrupt list payload on {list:?}"),
+        }
+    }
+
+    /// Iterates the children of a list node.
+    pub fn iter_list(&self, list: NodeId) -> ListIter<'_> {
+        let cur = match self.get(list).payload {
+            Payload::List { first, .. } => first,
+            _ => None,
+        };
+        ListIter { arena: self, cur }
+    }
+
+    /// Collects the children of a list node into a vector (convenience for
+    /// builtins that index arguments).
+    pub fn list_children(&self, list: NodeId) -> Vec<NodeId> {
+        self.iter_list(list).collect()
+    }
+
+    /// Length of a list node.
+    pub fn list_len(&self, list: NodeId) -> usize {
+        self.iter_list(list).count()
+    }
+
+    /// Iterates over every live node id (diagnostics, GC).
+    pub fn iter_live(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Occupied(_) => Some(NodeId::new(i)),
+            Slot::Free => None,
+        })
+    }
+
+    /// Convenience for tests: allocate a chain of int nodes as a list.
+    pub fn alloc_int_list(&mut self, values: &[i64], meter: &mut Meter) -> Result<NodeId> {
+        let list = self.alloc(Node::empty_list(), meter)?;
+        for &v in values {
+            let child = self.alloc(Node::int(v), meter)?;
+            self.list_append(list, child);
+        }
+        Ok(list)
+    }
+}
+
+/// Iterator over a list node's children.
+pub struct ListIter<'a> {
+    arena: &'a NodeArena,
+    cur: Option<NodeId>,
+}
+
+impl Iterator for ListIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.cur?;
+        self.cur = self.arena.get(id).next;
+        Some(id)
+    }
+}
+
+/// Occupancy statistics, exposed for the paper's "input size is limited by
+/// node organization" discussion and for fragmentation diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Total slots.
+    pub capacity: usize,
+    /// Live slots.
+    pub live: usize,
+    /// Peak live slots.
+    pub high_water: usize,
+}
+
+impl NodeArena {
+    /// Current occupancy statistics.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats { capacity: self.capacity(), live: self.live, high_water: self.high_water }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena(cap: usize) -> (NodeArena, Meter) {
+        (NodeArena::with_capacity(cap), Meter::new())
+    }
+
+    #[test]
+    fn alloc_is_sequential() {
+        let (mut a, mut m) = arena(8);
+        let n0 = a.alloc(Node::int(0), &mut m).unwrap();
+        let n1 = a.alloc(Node::int(1), &mut m).unwrap();
+        assert_eq!(n0.index(), 0);
+        assert_eq!(n1.index(), 1);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let (mut a, mut m) = arena(2);
+        a.alloc(Node::int(0), &mut m).unwrap();
+        a.alloc(Node::int(1), &mut m).unwrap();
+        assert_eq!(
+            a.alloc(Node::int(2), &mut m),
+            Err(CuliError::ArenaFull { capacity: 2 })
+        );
+    }
+
+    #[test]
+    fn freed_slots_are_reused_after_wraparound() {
+        let (mut a, mut m) = arena(2);
+        let n0 = a.alloc(Node::int(0), &mut m).unwrap();
+        let _n1 = a.alloc(Node::int(1), &mut m).unwrap();
+        a.free(n0, &mut m);
+        let n2 = a.alloc(Node::int(2), &mut m).unwrap();
+        assert_eq!(n2.index(), 0, "scan wraps to the freed slot");
+        assert_eq!(a.live(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "use-after-free")]
+    fn use_after_free_panics() {
+        let (mut a, mut m) = arena(2);
+        let n0 = a.alloc(Node::int(0), &mut m).unwrap();
+        a.free(n0, &mut m);
+        let _ = a.get(n0);
+    }
+
+    #[test]
+    fn list_append_maintains_chain() {
+        let (mut a, mut m) = arena(16);
+        let list = a.alloc_int_list(&[10, 20, 30], &mut m).unwrap();
+        let kids = a.list_children(list);
+        assert_eq!(kids.len(), 3);
+        let vals: Vec<i64> = kids
+            .iter()
+            .map(|&k| match a.get(k).payload {
+                Payload::Int(v) => v,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(vals, vec![10, 20, 30]);
+        // last pointer is the final element
+        match a.get(list).payload {
+            Payload::List { last: Some(l), .. } => assert_eq!(l, kids[2]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn empty_list_iterates_nothing() {
+        let (mut a, mut m) = arena(4);
+        let list = a.alloc(Node::empty_list(), &mut m).unwrap();
+        assert_eq!(a.list_len(list), 0);
+    }
+
+    #[test]
+    fn stats_and_high_water() {
+        let (mut a, mut m) = arena(4);
+        let n0 = a.alloc(Node::int(0), &mut m).unwrap();
+        let _n1 = a.alloc(Node::int(1), &mut m).unwrap();
+        a.free(n0, &mut m);
+        let s = a.stats();
+        assert_eq!(s.capacity, 4);
+        assert_eq!(s.live, 1);
+        assert_eq!(s.high_water, 2);
+    }
+
+    #[test]
+    fn meter_counts_allocs_and_frees() {
+        let (mut a, mut m) = arena(4);
+        let n = a.alloc(Node::int(1), &mut m).unwrap();
+        a.free(n, &mut m);
+        let c = m.snapshot();
+        assert_eq!(c.nodes_alloc, 1);
+        assert_eq!(c.nodes_freed, 1);
+    }
+
+    #[test]
+    fn iter_live_lists_occupied_only() {
+        let (mut a, mut m) = arena(4);
+        let n0 = a.alloc(Node::int(0), &mut m).unwrap();
+        let n1 = a.alloc(Node::int(1), &mut m).unwrap();
+        a.free(n0, &mut m);
+        let live: Vec<NodeId> = a.iter_live().collect();
+        assert_eq!(live, vec![n1]);
+    }
+}

@@ -1,0 +1,309 @@
+//! Arithmetic built-ins: `+ - * / mod abs min max`.
+//!
+//! Integers stay integers (with checked overflow → [`CuliError::IntOverflow`]);
+//! the moment a float participates the whole operation is carried out in
+//! `f64`, matching the int/float promotion of the C original.
+
+use super::util::{as_num, eval_args, expect_exact, expect_min, num_node, Num};
+use crate::error::{CuliError, Result};
+use crate::eval::ParallelHook;
+use crate::interp::Interp;
+use crate::node::Payload;
+use crate::types::{EnvId, NodeId};
+
+#[allow(clippy::too_many_arguments)] // mirrors the builtin signature plus fold parameters
+fn fold_binop(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+    name: &'static str,
+    int_op: fn(i64, i64) -> Option<i64>,
+    float_op: fn(f64, f64) -> f64,
+    identity: Option<Num>,
+) -> Result<NodeId> {
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let mut nums = Vec::with_capacity(values.len());
+    for v in &values {
+        nums.push(as_num(interp, *v, name)?);
+    }
+    let mut iter = nums.into_iter();
+    let mut acc = match iter.next() {
+        Some(first) => first,
+        None => {
+            return match identity {
+                Some(id) => num_node(interp, id),
+                None => Err(CuliError::Arity { builtin: name, expected: "at least 1", got: 0 }),
+            }
+        }
+    };
+    for n in iter {
+        interp.meter.arith_op();
+        acc = match (acc, n) {
+            (Num::I(a), Num::I(b)) => match int_op(a, b) {
+                Some(v) => Num::I(v),
+                None => return Err(CuliError::IntOverflow),
+            },
+            (a, b) => Num::F(float_op(a.as_f64(), b.as_f64())),
+        };
+    }
+    num_node(interp, acc)
+}
+
+/// `(+ a b …)` — sum; `(+)` is 0.
+pub fn add(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    fold_binop(interp, hook, args, env, depth, "+", i64::checked_add, |a, b| a + b, Some(Num::I(0)))
+}
+
+/// `(- a)` negates; `(- a b …)` subtracts left to right.
+pub fn sub(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_min("-", args, 1)?;
+    if args.len() == 1 {
+        let values = eval_args(interp, hook, args, env, depth)?;
+        interp.meter.arith_op();
+        return match as_num(interp, values[0], "-")? {
+            Num::I(v) => num_node(interp, Num::I(v.checked_neg().ok_or(CuliError::IntOverflow)?)),
+            Num::F(v) => num_node(interp, Num::F(-v)),
+        };
+    }
+    fold_binop(interp, hook, args, env, depth, "-", i64::checked_sub, |a, b| a - b, None)
+}
+
+/// `(* a b …)` — product; `(*)` is 1.
+pub fn mul(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    fold_binop(interp, hook, args, env, depth, "*", i64::checked_mul, |a, b| a * b, Some(Num::I(1)))
+}
+
+/// `(/ a b …)` — division. Integer division is exact when it divides
+/// evenly; otherwise the result is promoted to float. Integer division by
+/// zero errors; float division follows IEEE (`inf`/`nan`).
+pub fn div(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_min("/", args, 2)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let mut nums = Vec::with_capacity(values.len());
+    for v in &values {
+        nums.push(as_num(interp, *v, "/")?);
+    }
+    let mut acc = nums[0];
+    for &n in &nums[1..] {
+        interp.meter.arith_op();
+        acc = match (acc, n) {
+            (Num::I(a), Num::I(b)) => {
+                if b == 0 {
+                    return Err(CuliError::DivByZero);
+                }
+                if a % b == 0 {
+                    Num::I(a / b)
+                } else {
+                    Num::F(a as f64 / b as f64)
+                }
+            }
+            (a, b) => Num::F(a.as_f64() / b.as_f64()),
+        };
+    }
+    num_node(interp, acc)
+}
+
+/// `(mod a b)` — integer remainder with the sign of the divisor (Lisp
+/// `mod`, not C `%`).
+pub fn modulo(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("mod", args, 2)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let (a, b) = match (
+        interp.arena.get(values[0]).payload,
+        interp.arena.get(values[1]).payload,
+    ) {
+        (Payload::Int(a), Payload::Int(b)) => (a, b),
+        _ => return Err(CuliError::Type { builtin: "mod", expected: "two integers" }),
+    };
+    if b == 0 {
+        return Err(CuliError::DivByZero);
+    }
+    interp.meter.arith_op();
+    // Floored modulo: result carries the divisor's sign.
+    let r = a % b;
+    let m = if r != 0 && (r < 0) != (b < 0) { r + b } else { r };
+    num_node(interp, Num::I(m))
+}
+
+/// `(abs a)`.
+pub fn abs(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("abs", args, 1)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    interp.meter.arith_op();
+    match as_num(interp, values[0], "abs")? {
+        Num::I(v) => num_node(interp, Num::I(v.checked_abs().ok_or(CuliError::IntOverflow)?)),
+        Num::F(v) => num_node(interp, Num::F(v.abs())),
+    }
+}
+
+/// `(min a b …)`.
+pub fn min(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    extremum(interp, hook, args, env, depth, "min", true)
+}
+
+/// `(max a b …)`.
+pub fn max(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    extremum(interp, hook, args, env, depth, "max", false)
+}
+
+fn extremum(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+    name: &'static str,
+    want_min: bool,
+) -> Result<NodeId> {
+    expect_min(name, args, 1)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let mut best = as_num(interp, values[0], name)?;
+    for &v in &values[1..] {
+        let n = as_num(interp, v, name)?;
+        interp.meter.arith_op();
+        let take = if want_min { n.as_f64() < best.as_f64() } else { n.as_f64() > best.as_f64() };
+        if take {
+            best = n;
+        }
+    }
+    num_node(interp, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::error::CuliError;
+    use crate::interp::Interp;
+
+    fn run(src: &str) -> String {
+        Interp::default().eval_str(src).unwrap()
+    }
+    fn run_err(src: &str) -> CuliError {
+        Interp::default().eval_str(src).unwrap_err()
+    }
+
+    #[test]
+    fn add_variants() {
+        assert_eq!(run("(+)"), "0");
+        assert_eq!(run("(+ 5)"), "5");
+        assert_eq!(run("(+ 1 2 3 4)"), "10");
+        assert_eq!(run("(+ 1 2.5)"), "3.5");
+        assert_eq!(run("(+ -3 3)"), "0");
+    }
+
+    #[test]
+    fn sub_variants() {
+        assert_eq!(run("(- 5)"), "-5");
+        assert_eq!(run("(- 10 3 2)"), "5");
+        assert_eq!(run("(- 1.5 0.5)"), "1.0");
+    }
+
+    #[test]
+    fn mul_variants() {
+        assert_eq!(run("(*)"), "1");
+        assert_eq!(run("(* 2 3 4)"), "24");
+        assert_eq!(run("(* 2 0.5)"), "1.0");
+    }
+
+    #[test]
+    fn div_int_exact_stays_int() {
+        assert_eq!(run("(/ 10 2)"), "5");
+        assert_eq!(run("(/ 7 2)"), "3.5");
+        assert_eq!(run("(/ 1.0 4)"), "0.25");
+        assert_eq!(run("(/ 100 5 2)"), "10");
+    }
+
+    #[test]
+    fn div_by_zero() {
+        assert_eq!(run_err("(/ 1 0)"), CuliError::DivByZero);
+        assert_eq!(run("(/ 1.0 0)"), "inf");
+        assert_eq!(run("(/ -1.0 0)"), "-inf");
+    }
+
+    #[test]
+    fn modulo_lisp_semantics() {
+        assert_eq!(run("(mod 7 3)"), "1");
+        assert_eq!(run("(mod -7 3)"), "2", "mod takes the divisor's sign");
+        assert_eq!(run("(mod 7 -3)"), "-2");
+        assert_eq!(run_err("(mod 7 0)"), CuliError::DivByZero);
+        assert!(matches!(run_err("(mod 1.5 2)"), CuliError::Type { .. }));
+    }
+
+    #[test]
+    fn abs_min_max() {
+        assert_eq!(run("(abs -5)"), "5");
+        assert_eq!(run("(abs 2.5)"), "2.5");
+        assert_eq!(run("(min 3 1 2)"), "1");
+        assert_eq!(run("(max 3 1 2)"), "3");
+        assert_eq!(run("(min 1.5 2)"), "1.5");
+    }
+
+    #[test]
+    fn int_overflow_is_an_error() {
+        assert_eq!(run_err("(+ 9223372036854775807 1)"), CuliError::IntOverflow);
+        assert_eq!(run_err("(* 9223372036854775807 2)"), CuliError::IntOverflow);
+        assert_eq!(run_err("(- -9223372036854775807 2)"), CuliError::IntOverflow);
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        assert!(matches!(run_err("(+ 1 \"x\")"), CuliError::Type { .. }));
+        assert!(matches!(run_err("(+ 1 (list 1))"), CuliError::Type { .. }));
+    }
+
+    #[test]
+    fn nested_arithmetic() {
+        // Paper's example: (* 2 (+ 4 3) 6) = 84
+        assert_eq!(run("(* 2 (+ 4 3) 6)"), "84");
+        assert_eq!(run("(+ (* 5 6) 1 2)"), "33");
+    }
+}

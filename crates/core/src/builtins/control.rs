@@ -1,0 +1,236 @@
+//! Control-flow built-ins: `if cond progn when unless while quote eval`.
+//!
+//! These are the built-ins that exploit receiving their arguments
+//! *unevaluated* (paper §III-B c): `if` evaluates only the taken branch,
+//! `quote` evaluates nothing, `while` re-evaluates its condition and body.
+
+use super::util::{expect_exact, expect_min, is_truthy, nil};
+use crate::error::{CuliError, Result};
+use crate::eval::{eval, ParallelHook};
+use crate::interp::Interp;
+use crate::node::NodeType;
+use crate::types::{EnvId, NodeId};
+
+/// `(if cond then [else])` — lazy on both branches.
+pub fn if_(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    if args.len() != 2 && args.len() != 3 {
+        return Err(CuliError::Arity { builtin: "if", expected: "2 or 3", got: args.len() });
+    }
+    let cond = eval(interp, hook, args[0], env, depth + 1)?;
+    if is_truthy(interp, cond) {
+        eval(interp, hook, args[1], env, depth + 1)
+    } else if let Some(&alt) = args.get(2) {
+        eval(interp, hook, alt, env, depth + 1)
+    } else {
+        nil(interp)
+    }
+}
+
+/// `(cond (test body…) …)` — first clause whose test is truthy wins; its
+/// body evaluates left to right, returning the last value (or the test's
+/// value for an empty body). nil when no clause fires.
+pub fn cond(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    for &clause in args {
+        let parts = match interp.arena.get(clause).ty {
+            NodeType::List => interp.arena.list_children(clause),
+            _ => return Err(CuliError::Type { builtin: "cond", expected: "clause lists" }),
+        };
+        let Some(&test) = parts.first() else {
+            return Err(CuliError::Type { builtin: "cond", expected: "non-empty clauses" });
+        };
+        let test_val = eval(interp, hook, test, env, depth + 1)?;
+        if is_truthy(interp, test_val) {
+            let mut last = test_val;
+            for &body in &parts[1..] {
+                last = eval(interp, hook, body, env, depth + 1)?;
+            }
+            return Ok(last);
+        }
+    }
+    nil(interp)
+}
+
+/// `(progn e…)` — evaluate in order, return the last value (nil if empty).
+pub fn progn(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let mut last = None;
+    for &a in args {
+        last = Some(eval(interp, hook, a, env, depth + 1)?);
+    }
+    match last {
+        Some(v) => Ok(v),
+        None => nil(interp),
+    }
+}
+
+/// `(when cond body…)` — body only when cond is truthy.
+pub fn when(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_min("when", args, 1)?;
+    let cond = eval(interp, hook, args[0], env, depth + 1)?;
+    if is_truthy(interp, cond) {
+        progn(interp, hook, &args[1..], env, depth)
+    } else {
+        nil(interp)
+    }
+}
+
+/// `(unless cond body…)` — body only when cond is nil.
+pub fn unless(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_min("unless", args, 1)?;
+    let cond = eval(interp, hook, args[0], env, depth + 1)?;
+    if is_truthy(interp, cond) {
+        nil(interp)
+    } else {
+        progn(interp, hook, &args[1..], env, depth)
+    }
+}
+
+/// `(while cond body…)` — loop while cond is truthy; returns nil.
+///
+/// The condition and body are re-evaluated each iteration (this is the one
+/// construct whose node subtrees are evaluated arbitrarily many times). On
+/// a GPU warp an endless `while` is precisely the livelock hazard of paper
+/// §III-D d — the interpreter itself only bounds it by the arena and the
+/// caller's patience.
+pub fn while_(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_min("while", args, 1)?;
+    loop {
+        let cond = eval(interp, hook, args[0], env, depth + 1)?;
+        if !is_truthy(interp, cond) {
+            return nil(interp);
+        }
+        for &body in &args[1..] {
+            eval(interp, hook, body, env, depth + 1)?;
+        }
+    }
+}
+
+/// `(quote x)` — x, unevaluated.
+pub fn quote(
+    interp: &mut Interp,
+    _hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    _env: EnvId,
+    _depth: usize,
+) -> Result<NodeId> {
+    expect_exact("quote", args, 1)?;
+    let _ = interp;
+    Ok(args[0])
+}
+
+/// `(eval x)` — evaluate x, then evaluate the result.
+pub fn eval_fn(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("eval", args, 1)?;
+    let once = eval(interp, hook, args[0], env, depth + 1)?;
+    eval(interp, hook, once, env, depth + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::interp::Interp;
+
+    fn run(src: &str) -> String {
+        Interp::default().eval_str(src).unwrap()
+    }
+
+    #[test]
+    fn if_branches() {
+        assert_eq!(run("(if T 1 2)"), "1");
+        assert_eq!(run("(if nil 1 2)"), "2");
+        assert_eq!(run("(if nil 1)"), "nil");
+        assert_eq!(run("(if (< 1 2) \"yes\" \"no\")"), "\"yes\"");
+    }
+
+    #[test]
+    fn if_is_lazy() {
+        // The untaken branch would divide by zero.
+        assert_eq!(run("(if T 1 (/ 1 0))"), "1");
+        assert_eq!(run("(if nil (/ 1 0) 2)"), "2");
+    }
+
+    #[test]
+    fn cond_first_truthy_wins() {
+        assert_eq!(run("(cond ((< 2 1) 10) ((< 1 2) 20) (T 30))"), "20");
+        assert_eq!(run("(cond (nil 1))"), "nil");
+        assert_eq!(run("(cond (5))"), "5", "empty body returns the test value");
+        assert_eq!(run("(cond (T 1 2 3))"), "3", "multi-form body returns last");
+    }
+
+    #[test]
+    fn progn_sequences() {
+        assert_eq!(run("(progn 1 2 3)"), "3");
+        assert_eq!(run("(progn)"), "nil");
+        assert_eq!(run("(progn (setq x 1) (+ x 1))"), "2");
+    }
+
+    #[test]
+    fn when_unless() {
+        assert_eq!(run("(when T 1 2)"), "2");
+        assert_eq!(run("(when nil 1 2)"), "nil");
+        assert_eq!(run("(unless nil 7)"), "7");
+        assert_eq!(run("(unless T 7)"), "nil");
+    }
+
+    #[test]
+    fn while_loops_until_false() {
+        let mut i = Interp::default();
+        i.eval_str("(setq n 0)").unwrap();
+        assert_eq!(i.eval_str("(while (< n 5) (setq n (+ n 1)))").unwrap(), "nil");
+        assert_eq!(i.eval_str("n").unwrap(), "5");
+    }
+
+    #[test]
+    fn quote_suppresses_evaluation() {
+        assert_eq!(run("(quote (+ 1 2))"), "(+ 1 2)");
+        assert_eq!(run("'(+ 1 2)"), "(+ 1 2)");
+        assert_eq!(run("'x"), "x");
+    }
+
+    #[test]
+    fn eval_evaluates_twice() {
+        assert_eq!(run("(eval '(+ 1 2))"), "3");
+        assert_eq!(run("(eval (list '+ 1 2))"), "3");
+    }
+}

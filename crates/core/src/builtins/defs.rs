@@ -1,0 +1,337 @@
+//! Definition built-ins: `defun defmacro lambda let let* setq`.
+//!
+//! * `defun` stores an `N_FORM` under its name **in the global
+//!   environment** (paper §III-A b).
+//! * `let` follows the paper's description — *"adds a new symbol and the
+//!   corresponding value to the environment of the current expression"* —
+//!   in its two-argument shape `(let sym expr)`. The Common-Lisp shape
+//!   `(let ((a 1) (b 2)) body…)` is also accepted as an extension.
+//! * `setq` *"updates the nearest existing symbol that matches"*; when no
+//!   binding exists anywhere it creates a global one. The paper warns this
+//!   is the side-effecting primitive to use carefully under `|||`.
+
+use super::util::{expect_exact, expect_min, nil};
+use crate::error::{CuliError, Result};
+use crate::eval::{eval, ParallelHook};
+use crate::interp::Interp;
+use crate::node::{Node, NodeType, Payload};
+use crate::types::{EnvId, NodeId, StrId};
+
+/// Extracts the interned symbol of a symbol node.
+fn symbol_of(interp: &Interp, id: NodeId, builtin: &'static str) -> Result<StrId> {
+    let n = interp.arena.get(id);
+    match (n.ty, n.payload) {
+        (NodeType::Symbol, Payload::Text(s)) => Ok(s),
+        _ => Err(CuliError::Type { builtin, expected: "a symbol" }),
+    }
+}
+
+/// Wraps multiple body forms into one `(progn …)` expression; a single form
+/// is used as-is.
+fn wrap_body(interp: &mut Interp, body: &[NodeId]) -> Result<NodeId> {
+    match body {
+        [single] => Ok(*single),
+        _ => {
+            let list = interp.alloc(Node::empty_list())?;
+            let progn = interp.symbol(b"progn")?;
+            interp.arena.list_append(list, progn);
+            for &b in body {
+                let copy = interp.copy_for_list(b)?;
+                interp.arena.list_append(list, copy);
+            }
+            Ok(list)
+        }
+    }
+}
+
+fn make_callable(
+    interp: &mut Interp,
+    ty: NodeType,
+    params: NodeId,
+    body: &[NodeId],
+    builtin: &'static str,
+) -> Result<NodeId> {
+    if interp.arena.get(params).ty != NodeType::List {
+        return Err(CuliError::Type { builtin, expected: "a parameter list" });
+    }
+    if body.is_empty() {
+        return Err(CuliError::Arity { builtin, expected: "a body", got: 0 });
+    }
+    let body = wrap_body(interp, body)?;
+    interp.alloc(Node::new(ty, Payload::Form { params, body }))
+}
+
+/// `(defun name (params…) body…)` — define a form globally; returns the
+/// name symbol.
+pub fn defun(
+    interp: &mut Interp,
+    _hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    _env: EnvId,
+    _depth: usize,
+) -> Result<NodeId> {
+    expect_min("defun", args, 3)?;
+    let name = symbol_of(interp, args[0], "defun")?;
+    let form = make_callable(interp, NodeType::Form, args[1], &args[2..], "defun")?;
+    interp.envs.define(interp.global, name, form);
+    Ok(args[0])
+}
+
+/// `(defmacro name (params…) body…)` — define a macro globally; returns
+/// the name symbol.
+pub fn defmacro(
+    interp: &mut Interp,
+    _hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    _env: EnvId,
+    _depth: usize,
+) -> Result<NodeId> {
+    expect_min("defmacro", args, 3)?;
+    let name = symbol_of(interp, args[0], "defmacro")?;
+    let mac = make_callable(interp, NodeType::Macro, args[1], &args[2..], "defmacro")?;
+    interp.envs.define(interp.global, name, mac);
+    Ok(args[0])
+}
+
+/// `(lambda (params…) body…)` — anonymous form, returned as a value.
+pub fn lambda(
+    interp: &mut Interp,
+    _hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    _env: EnvId,
+    _depth: usize,
+) -> Result<NodeId> {
+    expect_min("lambda", args, 2)?;
+    make_callable(interp, NodeType::Form, args[0], &args[1..], "lambda")
+}
+
+/// `(let sym expr)` (paper style) or `(let ((a e1) (b e2)…) body…)`
+/// (Common-Lisp style extension).
+pub fn let_(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_min("let", args, 2)?;
+    match interp.arena.get(args[0]).ty {
+        NodeType::Symbol => {
+            expect_exact("let", args, 2)?;
+            let sym = symbol_of(interp, args[0], "let")?;
+            let value = eval(interp, hook, args[1], env, depth + 1)?;
+            interp.envs.define(env, sym, value);
+            Ok(value)
+        }
+        NodeType::List => cl_let(interp, hook, args, env, depth, false),
+        _ => Err(CuliError::Type { builtin: "let", expected: "a symbol or binding list" }),
+    }
+}
+
+/// `(let* ((a e1) (b e2)…) body…)` — sequential binding: each initializer
+/// sees the bindings before it.
+pub fn let_star(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_min("let*", args, 2)?;
+    if interp.arena.get(args[0]).ty != NodeType::List {
+        return Err(CuliError::Type { builtin: "let*", expected: "a binding list" });
+    }
+    cl_let(interp, hook, args, env, depth, true)
+}
+
+fn cl_let(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+    sequential: bool,
+) -> Result<NodeId> {
+    let builtin: &'static str = if sequential { "let*" } else { "let" };
+    let bindings = interp.arena.list_children(args[0]);
+    let inner = interp.envs.push(Some(env));
+    for &b in &bindings {
+        let parts = match interp.arena.get(b).ty {
+            NodeType::List => interp.arena.list_children(b),
+            _ => return Err(CuliError::Type { builtin, expected: "(symbol value) binding pairs" }),
+        };
+        if parts.len() != 2 {
+            return Err(CuliError::Type { builtin, expected: "(symbol value) binding pairs" });
+        }
+        let sym = symbol_of(interp, parts[0], builtin)?;
+        let init_env = if sequential { inner } else { env };
+        let value = eval(interp, hook, parts[1], init_env, depth + 1)?;
+        interp.envs.define(inner, sym, value);
+    }
+    let mut last = None;
+    for &body in &args[1..] {
+        last = Some(eval(interp, hook, body, inner, depth + 1)?);
+    }
+    match last {
+        Some(v) => Ok(v),
+        None => nil(interp),
+    }
+}
+
+/// `(setq sym expr [sym2 expr2 …])` — update the nearest binding of each
+/// symbol (defining globally when unbound); returns the last value.
+pub fn setq(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    if args.is_empty() || !args.len().is_multiple_of(2) {
+        return Err(CuliError::Arity {
+            builtin: "setq",
+            expected: "an even number of",
+            got: args.len(),
+        });
+    }
+    let mut last = None;
+    for pair in args.chunks_exact(2) {
+        let sym = symbol_of(interp, pair[0], "setq")?;
+        let value = eval(interp, hook, pair[1], env, depth + 1)?;
+        let updated = interp.envs.set_nearest(env, sym, value, &interp.strings, &mut interp.meter);
+        if !updated {
+            interp.envs.define(interp.global, sym, value);
+        }
+        last = Some(value);
+    }
+    Ok(last.expect("non-empty pairs"))
+}
+
+
+#[cfg(test)]
+mod tests {
+    use crate::error::CuliError;
+    use crate::interp::Interp;
+
+    fn run(src: &str) -> String {
+        Interp::default().eval_str(src).unwrap()
+    }
+
+    #[test]
+    fn defun_returns_name_and_defines_globally() {
+        let mut i = Interp::default();
+        assert_eq!(i.eval_str("(defun sq (x) (* x x))").unwrap(), "sq");
+        assert_eq!(i.eval_str("(sq 9)").unwrap(), "81");
+    }
+
+    #[test]
+    fn defun_multi_form_body_wraps_in_progn() {
+        let mut i = Interp::default();
+        i.eval_str("(defun f (x) (setq y x) (+ y 1))").unwrap();
+        assert_eq!(i.eval_str("(f 10)").unwrap(), "11");
+        assert_eq!(i.eval_str("y").unwrap(), "10");
+    }
+
+    #[test]
+    fn defun_from_inside_a_form_is_global() {
+        // Paper: defun stores in the *global* environment even when invoked
+        // from a nested scope.
+        let mut i = Interp::default();
+        i.eval_str("(defun outer () (defun inner () 42))").unwrap();
+        i.eval_str("(outer)").unwrap();
+        assert_eq!(i.eval_str("(inner)").unwrap(), "42");
+    }
+
+    #[test]
+    fn lambda_is_a_value() {
+        assert_eq!(run("((lambda (x) (+ x 1)) 41)"), "42");
+        let mut i = Interp::default();
+        i.eval_str("(setq inc (lambda (x) (+ x 1)))").unwrap();
+        assert_eq!(i.eval_str("(inc 1)").unwrap(), "2");
+    }
+
+    #[test]
+    fn paper_style_let_binds_in_current_env() {
+        let mut i = Interp::default();
+        assert_eq!(i.eval_str("(progn (let x 5) (+ x 1))").unwrap(), "6");
+    }
+
+    #[test]
+    fn paper_style_let_returns_the_value() {
+        assert_eq!(run("(let x 5)"), "5");
+    }
+
+    #[test]
+    fn cl_style_let_scopes_bindings() {
+        let mut i = Interp::default();
+        i.eval_str("(setq x 1)").unwrap();
+        assert_eq!(i.eval_str("(let ((x 10) (y 2)) (+ x y))").unwrap(), "12");
+        assert_eq!(i.eval_str("x").unwrap(), "1", "outer x untouched");
+    }
+
+    #[test]
+    fn cl_let_initializers_see_outer_scope() {
+        let mut i = Interp::default();
+        i.eval_str("(setq x 1)").unwrap();
+        // Plain let: both initializers evaluate against the *outer* env.
+        assert_eq!(i.eval_str("(let ((x 10) (y x)) y)").unwrap(), "1");
+        // let*: sequential, y sees the new x.
+        assert_eq!(i.eval_str("(let* ((x 10) (y x)) y)").unwrap(), "10");
+    }
+
+    #[test]
+    fn setq_updates_nearest_then_global() {
+        let mut i = Interp::default();
+        i.eval_str("(setq x 1)").unwrap();
+        i.eval_str("(defun poke () (setq x 99))").unwrap();
+        i.eval_str("(poke)").unwrap();
+        assert_eq!(i.eval_str("x").unwrap(), "99", "setq reached the global binding");
+    }
+
+    #[test]
+    fn setq_shadowed_by_parameter_stays_local() {
+        let mut i = Interp::default();
+        i.eval_str("(setq x 1)").unwrap();
+        i.eval_str("(defun poke (x) (setq x 99) x)").unwrap();
+        assert_eq!(i.eval_str("(poke 5)").unwrap(), "99");
+        assert_eq!(i.eval_str("x").unwrap(), "1", "parameter absorbed the setq");
+    }
+
+    #[test]
+    fn setq_multiple_pairs() {
+        let mut i = Interp::default();
+        assert_eq!(i.eval_str("(setq a 1 b 2)").unwrap(), "2");
+        assert_eq!(i.eval_str("(+ a b)").unwrap(), "3");
+    }
+
+    #[test]
+    fn setq_odd_args_error() {
+        assert!(matches!(
+            Interp::default().eval_str("(setq a)").unwrap_err(),
+            CuliError::Arity { .. }
+        ));
+    }
+
+    #[test]
+    fn defmacro_expands_unevaluated() {
+        let mut i = Interp::default();
+        // A macro receives the raw argument expression; (my-if c a b)
+        // rewrites into a cond. The division by zero in the untaken branch
+        // must never run.
+        i.eval_str("(defmacro my-if (c a b) (list 'cond (list c a) (list T b)))").unwrap();
+        assert_eq!(i.eval_str("(my-if (< 1 2) 10 (/ 1 0))").unwrap(), "10");
+        assert_eq!(i.eval_str("(my-if (> 1 2) (/ 1 0) 20)").unwrap(), "20");
+    }
+
+    #[test]
+    fn type_errors() {
+        assert!(matches!(
+            Interp::default().eval_str("(defun 5 (x) x)").unwrap_err(),
+            CuliError::Type { .. }
+        ));
+        assert!(matches!(
+            Interp::default().eval_str("(let 5 5)").unwrap_err(),
+            CuliError::Type { .. }
+        ));
+    }
+}

@@ -1,0 +1,265 @@
+//! Higher-order and searching built-ins: `mapcar apply funcall assoc
+//! member last butlast`.
+//!
+//! `mapcar`/`apply`/`funcall` re-enter the evaluator with an
+//! already-evaluated function value and argument values; the arguments are
+//! quote-wrapped so they are not evaluated a second time.
+
+use super::util::{as_list_children, eval_args, expect_exact, expect_min, list_from_values, nil};
+use crate::builtins::compare::deep_eq;
+use crate::error::{CuliError, Result};
+use crate::eval::{eval, ParallelHook};
+use crate::interp::Interp;
+use crate::node::{Node, NodeType, Payload};
+use crate::types::{EnvId, NodeId};
+
+/// Applies an evaluated function value to evaluated argument values by
+/// building `(f (quote a1) … (quote ak))` and evaluating it.
+pub(crate) fn call_value(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    f: NodeId,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    match interp.arena.get(f).ty {
+        NodeType::Function | NodeType::Form => {}
+        _ => return Err(CuliError::Type { builtin: "funcall", expected: "a function or form" }),
+    }
+    let expr = interp.alloc(Node::new(
+        NodeType::Expression,
+        Payload::List { first: None, last: None },
+    ))?;
+    let f_copy = interp.copy_for_list(f)?;
+    interp.arena.list_append(expr, f_copy);
+    let quote_sym = interp.strings.intern(b"quote");
+    for &a in args {
+        let quoted = interp.alloc(Node::new(
+            NodeType::List,
+            Payload::List { first: None, last: None },
+        ))?;
+        let qsym = interp.alloc(Node::symbol(quote_sym))?;
+        interp.arena.list_append(quoted, qsym);
+        let a_copy = interp.copy_for_list(a)?;
+        interp.arena.list_append(quoted, a_copy);
+        interp.arena.list_append(expr, quoted);
+    }
+    eval(interp, hook, expr, env, depth + 1)
+}
+
+/// `(mapcar f lst1 … lstk)` — element-wise application; result length is
+/// the shortest input list's.
+pub fn mapcar(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_min("mapcar", args, 2)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let f = values[0];
+    let mut lists = Vec::with_capacity(values.len() - 1);
+    for &v in &values[1..] {
+        lists.push(as_list_children(interp, v, "mapcar")?);
+    }
+    let n = lists.iter().map(Vec::len).min().unwrap_or(0);
+    let mut results = Vec::with_capacity(n);
+    for i in 0..n {
+        let row: Vec<NodeId> = lists.iter().map(|l| l[i]).collect();
+        results.push(call_value(interp, hook, f, &row, env, depth)?);
+    }
+    list_from_values(interp, &results)
+}
+
+/// `(apply f arglist)` — call `f` with the list's elements as arguments.
+pub fn apply(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("apply", args, 2)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let call_args = as_list_children(interp, values[1], "apply")?;
+    call_value(interp, hook, values[0], &call_args, env, depth)
+}
+
+/// `(funcall f a1 … ak)` — call `f` with the given arguments.
+pub fn funcall(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_min("funcall", args, 1)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    call_value(interp, hook, values[0], &values[1..], env, depth)
+}
+
+/// `(assoc key alist)` — first `(key value…)` pair whose head is `equal`
+/// to the key; nil when absent.
+pub fn assoc(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("assoc", args, 2)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let pairs = as_list_children(interp, values[1], "assoc")?;
+    for pair in pairs {
+        let entry = as_list_children(interp, pair, "assoc")?;
+        if let Some(&head) = entry.first() {
+            if deep_eq(interp, values[0], head) {
+                return Ok(pair);
+            }
+        }
+    }
+    nil(interp)
+}
+
+/// `(member x lst)` — the tail of `lst` starting at the first element
+/// `equal` to `x` (sharing the chain), or nil.
+pub fn member(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("member", args, 2)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let kids = as_list_children(interp, values[1], "member")?;
+    let (_, last) = match interp.arena.get(values[1]).payload {
+        Payload::List { first, last } => (first, last),
+        _ => (None, None),
+    };
+    for &kid in &kids {
+        if deep_eq(interp, values[0], kid) {
+            return interp.alloc(Node {
+                ty: NodeType::List,
+                payload: Payload::List { first: Some(kid), last },
+                next: None,
+            });
+        }
+    }
+    nil(interp)
+}
+
+/// `(last lst)` — single-element list holding the final element (Common
+/// Lisp's last cons), nil for empty input.
+pub fn last(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("last", args, 1)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let kids = as_list_children(interp, values[0], "last")?;
+    match kids.last() {
+        Some(&node) => interp.alloc(Node {
+            ty: NodeType::List,
+            payload: Payload::List { first: Some(node), last: Some(node) },
+            next: None,
+        }),
+        None => nil(interp),
+    }
+}
+
+/// `(butlast lst)` — everything except the final element (shallow copy).
+pub fn butlast(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("butlast", args, 1)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let kids = as_list_children(interp, values[0], "butlast")?;
+    if kids.is_empty() {
+        return nil(interp);
+    }
+    list_from_values(interp, &kids[..kids.len() - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+
+    fn run(src: &str) -> String {
+        Interp::default().eval_str(src).unwrap()
+    }
+
+    #[test]
+    fn mapcar_single_and_zipped() {
+        assert_eq!(run("(mapcar abs (list -1 2 -3))"), "(1 2 3)");
+        assert_eq!(run("(mapcar + (list 1 2 3) (list 10 20 30))"), "(11 22 33)");
+        assert_eq!(run("(mapcar + (list 1 2 3) (list 10 20))"), "(11 22)", "shortest wins");
+        assert_eq!(run("(mapcar abs nil)"), "()");
+    }
+
+    #[test]
+    fn mapcar_with_user_forms_and_lambdas() {
+        let mut i = Interp::default();
+        i.eval_str("(defun sq (x) (* x x))").unwrap();
+        assert_eq!(i.eval_str("(mapcar sq (list 1 2 3 4))").unwrap(), "(1 4 9 16)");
+        assert_eq!(
+            i.eval_str("(mapcar (lambda (x) (+ x 100)) (list 1 2))").unwrap(),
+            "(101 102)"
+        );
+    }
+
+    #[test]
+    fn mapcar_does_not_double_evaluate_elements() {
+        // Elements that *look* like calls must be passed as data.
+        assert_eq!(run("(mapcar car (list (list 1 2) (list 3 4)))"), "(1 3)");
+        assert_eq!(run("(mapcar length '((+ 1 2) (a b c d)))"), "(3 4)");
+    }
+
+    #[test]
+    fn apply_and_funcall() {
+        assert_eq!(run("(apply + (list 1 2 3))"), "6");
+        assert_eq!(run("(funcall * 2 3 7)"), "42");
+        let mut i = Interp::default();
+        i.eval_str("(defun sub2 (a b) (- a b))").unwrap();
+        assert_eq!(i.eval_str("(apply sub2 (list 10 4))").unwrap(), "6");
+        assert_eq!(i.eval_str("(funcall sub2 10 4)").unwrap(), "6");
+    }
+
+    #[test]
+    fn assoc_finds_pairs() {
+        let mut i = Interp::default();
+        i.eval_str("(setq table (list (list 'a 1) (list 'b 2)))").unwrap();
+        assert_eq!(i.eval_str("(assoc 'b table)").unwrap(), "(b 2)");
+        assert_eq!(i.eval_str("(assoc 'z table)").unwrap(), "nil");
+    }
+
+    #[test]
+    fn member_returns_shared_tail() {
+        assert_eq!(run("(member 3 (list 1 2 3 4 5))"), "(3 4 5)");
+        assert_eq!(run("(member 9 (list 1 2 3))"), "nil");
+        assert_eq!(run("(member (list 2) (list (list 1) (list 2) 3))"), "((2) 3)");
+    }
+
+    #[test]
+    fn last_and_butlast() {
+        assert_eq!(run("(last (list 1 2 3))"), "(3)");
+        assert_eq!(run("(last nil)"), "nil");
+        assert_eq!(run("(butlast (list 1 2 3))"), "(1 2)");
+        assert_eq!(run("(butlast (list 1))"), "()");
+        assert_eq!(run("(butlast nil)"), "nil");
+    }
+
+    #[test]
+    fn funcall_rejects_non_functions() {
+        assert!(Interp::default().eval_str("(funcall 5 1)").is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! File-I/O built-ins: `read-file write-file file-exists`.
+//!
+//! The paper's future-work feature (§III-D end): file I/O is routed over
+//! the host↔device message buffer. The device side is these builtins; the
+//! host side is whatever [`crate::hostio::HostIo`] the runtime attached.
+//! Byte traffic is charged to the meter (reads as scanned chars, writes as
+//! output bytes), standing in for the extra command-buffer round trips.
+
+use super::util::{bool_node, eval_args, expect_exact};
+use crate::error::{CuliError, Result};
+use crate::eval::ParallelHook;
+use crate::hostio::HostIoHandle;
+use crate::interp::Interp;
+use crate::node::{Node, NodeType, Payload};
+use crate::types::{EnvId, NodeId, StrId};
+
+fn host_io(interp: &Interp) -> Result<HostIoHandle> {
+    interp
+        .host_io
+        .clone()
+        .ok_or_else(|| CuliError::Io("no host I/O services attached to this session".into()))
+}
+
+fn string_arg(interp: &Interp, id: NodeId, builtin: &'static str) -> Result<StrId> {
+    let n = interp.arena.get(id);
+    match (n.ty, n.payload) {
+        (NodeType::Str, Payload::Text(s)) => Ok(s),
+        _ => Err(CuliError::Type { builtin, expected: "a string path" }),
+    }
+}
+
+/// `(read-file "path")` — the file contents as a string.
+pub fn read_file(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("read-file", args, 1)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let path = string_arg(interp, values[0], "read-file")?;
+    let io = host_io(interp)?;
+    let path_bytes = interp.strings.get(path).to_vec();
+    let data = io.0.read_file(&path_bytes).map_err(CuliError::Io)?;
+    // The content crosses the command buffer and is then scanned into
+    // device memory.
+    interp.meter.chars_scanned(data.len() as u64);
+    let sid = interp.strings.intern(&data);
+    interp.alloc(Node::string(sid))
+}
+
+/// `(write-file "path" "content")` — writes and returns T.
+pub fn write_file(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("write-file", args, 2)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let path = string_arg(interp, values[0], "write-file")?;
+    let content = string_arg(interp, values[1], "write-file")?;
+    let io = host_io(interp)?;
+    let path_bytes = interp.strings.get(path).to_vec();
+    let data = interp.strings.get(content).to_vec();
+    interp.meter.output_bytes(data.len() as u64);
+    io.0.write_file(&path_bytes, &data).map_err(CuliError::Io)?;
+    bool_node(interp, true)
+}
+
+/// `(file-exists "path")` — T or nil.
+pub fn file_exists(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("file-exists", args, 1)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let path = string_arg(interp, values[0], "file-exists")?;
+    let io = host_io(interp)?;
+    let path_bytes = interp.strings.get(path).to_vec();
+    let exists = io.0.exists(&path_bytes);
+    bool_node(interp, exists)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::error::CuliError;
+    use crate::hostio::{testing::MemIo, HostIoHandle};
+    use crate::interp::Interp;
+
+    fn interp_with_io() -> Interp {
+        let mut i = Interp::default();
+        let io = Some(HostIoHandle::new(MemIo::default()));
+        i.host_io = io;
+        i
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut i = interp_with_io();
+        assert_eq!(i.eval_str("(write-file \"a.txt\" \"hello device\")").unwrap(), "T");
+        assert_eq!(i.eval_str("(read-file \"a.txt\")").unwrap(), "\"hello device\"");
+        assert_eq!(i.eval_str("(file-exists \"a.txt\")").unwrap(), "T");
+        assert_eq!(i.eval_str("(file-exists \"b.txt\")").unwrap(), "nil");
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let mut i = interp_with_io();
+        assert!(matches!(i.eval_str("(read-file \"nope\")").unwrap_err(), CuliError::Io(_)));
+    }
+
+    #[test]
+    fn no_host_io_attached_is_an_io_error() {
+        let mut i = Interp::default();
+        assert!(matches!(
+            i.eval_str("(read-file \"x\")").unwrap_err(),
+            CuliError::Io(msg) if msg.contains("no host I/O")
+        ));
+    }
+
+    #[test]
+    fn io_charges_byte_traffic() {
+        let mut i = interp_with_io();
+        i.eval_str("(write-file \"f\" \"0123456789\")").unwrap();
+        let before = i.meter.snapshot();
+        i.eval_str("(read-file \"f\")").unwrap();
+        let d = i.meter.snapshot().delta_since(&before);
+        assert!(d.chars_scanned >= 10, "read bytes charged: {}", d.chars_scanned);
+    }
+
+    #[test]
+    fn lisp_level_composition() {
+        let mut i = interp_with_io();
+        i.eval_str("(write-file \"n.txt\" (number-to-string (* 6 7)))").unwrap();
+        assert_eq!(i.eval_str("(string-to-number (read-file \"n.txt\"))").unwrap(), "42");
+    }
+}

@@ -1,0 +1,238 @@
+//! List built-ins: `car cdr cons list append length reverse nth`.
+//!
+//! Lists are the linked node chains of paper Fig. 2; `car`/`cdr` are the
+//! access primitives the paper names as the reason linked lists are "the
+//! natural data structure to use". `cdr` and `cons` share structure
+//! (immutable children make that safe) and are O(1), like the C original.
+
+use super::util::{as_list_children, as_num, eval_args, expect_exact, list_from_values, nil, Num};
+use crate::error::{CuliError, Result};
+use crate::eval::ParallelHook;
+use crate::interp::Interp;
+use crate::node::{Node, NodeType, Payload};
+use crate::types::{EnvId, NodeId};
+
+/// `(car lst)` — first element; `(car nil)` and `(car ())` are nil.
+pub fn car(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("car", args, 1)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let kids = as_list_children(interp, values[0], "car")?;
+    match kids.first() {
+        Some(&first) => Ok(first),
+        None => nil(interp),
+    }
+}
+
+/// `(cdr lst)` — everything after the first element, sharing the original
+/// chain (O(1)); nil when fewer than two elements remain.
+pub fn cdr(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("cdr", args, 1)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let node = interp.arena.read(values[0], &mut interp.meter);
+    let (first, last) = match node.payload {
+        Payload::List { first, last } => (first, last),
+        Payload::Empty if node.ty == NodeType::Nil => (None, None),
+        _ => return Err(CuliError::Type { builtin: "cdr", expected: "a list" }),
+    };
+    let Some(first) = first else { return nil(interp) };
+    let second = interp.arena.get(first).next;
+    match second {
+        Some(second) => interp.alloc(Node {
+            ty: NodeType::List,
+            payload: Payload::List { first: Some(second), last },
+            next: None,
+        }),
+        None => nil(interp),
+    }
+}
+
+/// `(cons x lst)` — new list with `x` prepended, sharing `lst`'s chain
+/// (O(1)). `lst` may be nil. Dotted pairs are not supported (CuLi lists are
+/// proper lists).
+pub fn cons(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("cons", args, 2)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let tail = interp.arena.read(values[1], &mut interp.meter);
+    let (tfirst, tlast) = match tail.payload {
+        Payload::List { first, last } => (first, last),
+        Payload::Empty if tail.ty == NodeType::Nil => (None, None),
+        _ => return Err(CuliError::Type { builtin: "cons", expected: "a list as second argument" }),
+    };
+    // Fresh head node whose `next` points into the shared tail chain.
+    let head_src = *interp.arena.get(values[0]);
+    let head = interp.alloc(Node { ty: head_src.ty, payload: head_src.payload, next: tfirst })?;
+    interp.alloc(Node {
+        ty: NodeType::List,
+        payload: Payload::List { first: Some(head), last: Some(tlast.unwrap_or(head)) },
+        next: None,
+    })
+}
+
+/// `(list a b …)` — list of the evaluated arguments.
+pub fn list(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let values = eval_args(interp, hook, args, env, depth)?;
+    list_from_values(interp, &values)
+}
+
+/// `(append l1 l2 …)` — concatenation (shallow element copies).
+pub fn append(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let mut all = Vec::new();
+    for v in &values {
+        all.extend(as_list_children(interp, *v, "append")?);
+    }
+    list_from_values(interp, &all)
+}
+
+/// `(length lst)`.
+pub fn length(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("length", args, 1)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let kids = as_list_children(interp, values[0], "length")?;
+    interp.alloc(Node::int(kids.len() as i64))
+}
+
+/// `(reverse lst)` — reversed shallow copy.
+pub fn reverse(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("reverse", args, 1)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let mut kids = as_list_children(interp, values[0], "reverse")?;
+    kids.reverse();
+    list_from_values(interp, &kids)
+}
+
+/// `(nth i lst)` — zero-based element access; nil past the end.
+pub fn nth(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("nth", args, 2)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let idx = match as_num(interp, values[0], "nth")? {
+        Num::I(v) if v >= 0 => v as usize,
+        _ => return Err(CuliError::Type { builtin: "nth", expected: "a non-negative integer index" }),
+    };
+    let kids = as_list_children(interp, values[1], "nth")?;
+    match kids.get(idx) {
+        Some(&k) => Ok(k),
+        None => nil(interp),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::error::CuliError;
+    use crate::interp::Interp;
+
+    fn run(src: &str) -> String {
+        Interp::default().eval_str(src).unwrap()
+    }
+
+    #[test]
+    fn car_cdr_basics() {
+        assert_eq!(run("(car (list 1 2 3))"), "1");
+        assert_eq!(run("(cdr (list 1 2 3))"), "(2 3)");
+        assert_eq!(run("(car nil)"), "nil");
+        assert_eq!(run("(cdr nil)"), "nil");
+        assert_eq!(run("(cdr (list 1))"), "nil");
+        assert_eq!(run("(car (cdr (list 1 2 3)))"), "2");
+    }
+
+    #[test]
+    fn car_cdr_on_quoted_lists() {
+        assert_eq!(run("(car '(a b))"), "a");
+        assert_eq!(run("(cdr '(a b c))"), "(b c)");
+    }
+
+    #[test]
+    fn cons_prepends_and_shares() {
+        assert_eq!(run("(cons 1 (list 2 3))"), "(1 2 3)");
+        assert_eq!(run("(cons 1 nil)"), "(1)");
+        assert_eq!(run("(cons (list 1) (list 2))"), "((1) 2)");
+    }
+
+    #[test]
+    fn cons_does_not_mutate_tail() {
+        let mut i = Interp::default();
+        i.eval_str("(setq tail (list 2 3))").unwrap();
+        assert_eq!(i.eval_str("(cons 1 tail)").unwrap(), "(1 2 3)");
+        assert_eq!(i.eval_str("tail").unwrap(), "(2 3)", "shared tail unchanged");
+        assert_eq!(i.eval_str("(cons 0 tail)").unwrap(), "(0 2 3)");
+    }
+
+    #[test]
+    fn list_evaluates_arguments() {
+        assert_eq!(run("(list (+ 1 1) (+ 2 2))"), "(2 4)");
+        assert_eq!(run("(list)"), "()");
+    }
+
+    #[test]
+    fn append_concatenates() {
+        assert_eq!(run("(append (list 1 2) (list 3) (list 4 5))"), "(1 2 3 4 5)");
+        assert_eq!(run("(append nil (list 1))"), "(1)");
+        assert_eq!(run("(append)"), "()");
+    }
+
+    #[test]
+    fn length_reverse_nth() {
+        assert_eq!(run("(length (list 1 2 3))"), "3");
+        assert_eq!(run("(length nil)"), "0");
+        assert_eq!(run("(reverse (list 1 2 3))"), "(3 2 1)");
+        assert_eq!(run("(nth 0 (list 10 20))"), "10");
+        assert_eq!(run("(nth 1 (list 10 20))"), "20");
+        assert_eq!(run("(nth 5 (list 10 20))"), "nil");
+    }
+
+    #[test]
+    fn type_errors() {
+        let mut i = Interp::default();
+        assert!(matches!(i.eval_str("(car 5)").unwrap_err(), CuliError::Type { .. }));
+        assert!(matches!(i.eval_str("(cons 1 2)").unwrap_err(), CuliError::Type { .. }));
+        assert!(matches!(i.eval_str("(nth -1 (list 1))").unwrap_err(), CuliError::Type { .. }));
+    }
+}

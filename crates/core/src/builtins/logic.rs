@@ -1,0 +1,109 @@
+//! Logical built-ins: short-circuiting `and`/`or`, plus `not`.
+
+use super::util::{bool_node, expect_exact, is_truthy};
+use crate::error::Result;
+use crate::eval::{eval, ParallelHook};
+use crate::interp::Interp;
+use crate::types::{EnvId, NodeId};
+
+/// `(and e…)` — evaluates left to right; nil short-circuits. Returns the
+/// last value (or T for `(and)`).
+pub fn and(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let mut last = None;
+    for &a in args {
+        let v = eval(interp, hook, a, env, depth + 1)?;
+        if !is_truthy(interp, v) {
+            return Ok(v);
+        }
+        last = Some(v);
+    }
+    match last {
+        Some(v) => Ok(v),
+        None => bool_node(interp, true),
+    }
+}
+
+/// `(or e…)` — evaluates left to right; the first truthy value
+/// short-circuits. Returns nil for `(or)`.
+pub fn or(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let mut last = None;
+    for &a in args {
+        let v = eval(interp, hook, a, env, depth + 1)?;
+        if is_truthy(interp, v) {
+            return Ok(v);
+        }
+        last = Some(v);
+    }
+    match last {
+        Some(v) => Ok(v),
+        None => bool_node(interp, false),
+    }
+}
+
+/// `(not x)` — T when x is nil.
+pub fn not(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("not", args, 1)?;
+    let v = eval(interp, hook, args[0], env, depth + 1)?;
+    let truthy = is_truthy(interp, v);
+    bool_node(interp, !truthy)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+
+    fn run(src: &str) -> String {
+        Interp::default().eval_str(src).unwrap()
+    }
+
+    #[test]
+    fn and_semantics() {
+        assert_eq!(run("(and)"), "T");
+        assert_eq!(run("(and 1 2 3)"), "3", "returns the last value");
+        assert_eq!(run("(and 1 nil 3)"), "nil");
+        assert_eq!(run("(and T T)"), "T");
+    }
+
+    #[test]
+    fn and_short_circuits() {
+        assert_eq!(run("(and nil (/ 1 0))"), "nil");
+    }
+
+    #[test]
+    fn or_semantics() {
+        assert_eq!(run("(or)"), "nil");
+        assert_eq!(run("(or nil 2 3)"), "2", "returns the first truthy value");
+        assert_eq!(run("(or nil nil)"), "nil");
+    }
+
+    #[test]
+    fn or_short_circuits() {
+        assert_eq!(run("(or 1 (/ 1 0))"), "1");
+    }
+
+    #[test]
+    fn not_semantics() {
+        assert_eq!(run("(not nil)"), "T");
+        assert_eq!(run("(not T)"), "nil");
+        assert_eq!(run("(not 0)"), "nil", "0 is truthy");
+        assert_eq!(run("(not ())"), "T", "empty list is nil-valued");
+    }
+}

@@ -1,0 +1,294 @@
+//! Extended numeric built-ins: `1+ 1- sqrt expt floor ceiling truncate
+//! float integerp floatp evenp oddp`.
+
+use super::util::{as_num, bool_node, eval_args, expect_exact, num_node, Num};
+use crate::error::{CuliError, Result};
+use crate::eval::ParallelHook;
+use crate::interp::Interp;
+use crate::node::Payload;
+use crate::types::{EnvId, NodeId};
+
+fn one_num(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+    name: &'static str,
+) -> Result<Num> {
+    expect_exact(name, args, 1)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    interp.meter.arith_op();
+    as_num(interp, values[0], name)
+}
+
+/// `(1+ n)` — increment.
+pub fn inc(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    match one_num(interp, hook, args, env, depth, "1+")? {
+        Num::I(v) => num_node(interp, Num::I(v.checked_add(1).ok_or(CuliError::IntOverflow)?)),
+        Num::F(v) => num_node(interp, Num::F(v + 1.0)),
+    }
+}
+
+/// `(1- n)` — decrement.
+pub fn dec(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    match one_num(interp, hook, args, env, depth, "1-")? {
+        Num::I(v) => num_node(interp, Num::I(v.checked_sub(1).ok_or(CuliError::IntOverflow)?)),
+        Num::F(v) => num_node(interp, Num::F(v - 1.0)),
+    }
+}
+
+/// `(sqrt n)` — always a float (CuLi has no exact roots).
+pub fn sqrt(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let v = one_num(interp, hook, args, env, depth, "sqrt")?.as_f64();
+    num_node(interp, Num::F(v.sqrt()))
+}
+
+/// `(expt base power)` — integer power for non-negative integer exponents
+/// (checked), float otherwise.
+pub fn expt(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("expt", args, 2)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let base = as_num(interp, values[0], "expt")?;
+    let power = as_num(interp, values[1], "expt")?;
+    interp.meter.arith_op();
+    match (base, power) {
+        (Num::I(b), Num::I(p)) if (0..=u32::MAX as i64).contains(&p) => {
+            let v = b.checked_pow(p as u32).ok_or(CuliError::IntOverflow)?;
+            num_node(interp, Num::I(v))
+        }
+        (b, p) => num_node(interp, Num::F(b.as_f64().powf(p.as_f64()))),
+    }
+}
+
+fn rounding(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+    name: &'static str,
+    f: fn(f64) -> f64,
+) -> Result<NodeId> {
+    match one_num(interp, hook, args, env, depth, name)? {
+        Num::I(v) => num_node(interp, Num::I(v)),
+        Num::F(v) => {
+            let r = f(v);
+            if r.is_finite() && (i64::MIN as f64..=i64::MAX as f64).contains(&r) {
+                num_node(interp, Num::I(r as i64))
+            } else {
+                Err(CuliError::IntOverflow)
+            }
+        }
+    }
+}
+
+/// `(floor n)` — largest integer ≤ n.
+pub fn floor(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    rounding(interp, hook, args, env, depth, "floor", f64::floor)
+}
+
+/// `(ceiling n)` — smallest integer ≥ n.
+pub fn ceiling(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    rounding(interp, hook, args, env, depth, "ceiling", f64::ceil)
+}
+
+/// `(truncate n)` — round toward zero.
+pub fn truncate(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    rounding(interp, hook, args, env, depth, "truncate", f64::trunc)
+}
+
+/// `(float n)` — force float representation.
+pub fn float(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let v = one_num(interp, hook, args, env, depth, "float")?.as_f64();
+    num_node(interp, Num::F(v))
+}
+
+fn type_pred(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+    name: &'static str,
+    want_int: bool,
+) -> Result<NodeId> {
+    expect_exact(name, args, 1)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let is = match interp.arena.get(values[0]).payload {
+        Payload::Int(_) => want_int,
+        Payload::Float(_) => !want_int,
+        _ => false,
+    };
+    bool_node(interp, is)
+}
+
+/// `(integerp x)`.
+pub fn integerp(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    type_pred(interp, hook, args, env, depth, "integerp", true)
+}
+
+/// `(floatp x)`.
+pub fn floatp(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    type_pred(interp, hook, args, env, depth, "floatp", false)
+}
+
+fn parity(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+    name: &'static str,
+    want_even: bool,
+) -> Result<NodeId> {
+    match one_num(interp, hook, args, env, depth, name)? {
+        Num::I(v) => bool_node(interp, (v % 2 == 0) == want_even),
+        Num::F(_) => Err(CuliError::Type { builtin: name, expected: "an integer" }),
+    }
+}
+
+/// `(evenp n)`.
+pub fn evenp(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    parity(interp, hook, args, env, depth, "evenp", true)
+}
+
+/// `(oddp n)`.
+pub fn oddp(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    parity(interp, hook, args, env, depth, "oddp", false)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::error::CuliError;
+    use crate::interp::Interp;
+
+    fn run(src: &str) -> String {
+        Interp::default().eval_str(src).unwrap()
+    }
+
+    #[test]
+    fn inc_dec() {
+        assert_eq!(run("(1+ 41)"), "42");
+        assert_eq!(run("(1- 43)"), "42");
+        assert_eq!(run("(1+ 0.5)"), "1.5");
+        assert_eq!(
+            Interp::default().eval_str("(1+ 9223372036854775807)").unwrap_err(),
+            CuliError::IntOverflow
+        );
+    }
+
+    #[test]
+    fn sqrt_and_expt() {
+        assert_eq!(run("(sqrt 9)"), "3.0");
+        assert_eq!(run("(sqrt 2.25)"), "1.5");
+        assert_eq!(run("(expt 2 10)"), "1024");
+        assert_eq!(run("(expt 2 -1)"), "0.5");
+        assert_eq!(run("(expt 4 0.5)"), "2.0");
+        assert_eq!(
+            Interp::default().eval_str("(expt 10 99)").unwrap_err(),
+            CuliError::IntOverflow
+        );
+    }
+
+    #[test]
+    fn rounding_family() {
+        assert_eq!(run("(floor 2.7)"), "2");
+        assert_eq!(run("(floor -2.7)"), "-3");
+        assert_eq!(run("(ceiling 2.1)"), "3");
+        assert_eq!(run("(ceiling -2.1)"), "-2");
+        assert_eq!(run("(truncate 2.9)"), "2");
+        assert_eq!(run("(truncate -2.9)"), "-2");
+        assert_eq!(run("(floor 5)"), "5", "integers pass through");
+        assert_eq!(run("(float 3)"), "3.0");
+    }
+
+    #[test]
+    fn numeric_type_predicates() {
+        assert_eq!(run("(integerp 5)"), "T");
+        assert_eq!(run("(integerp 5.0)"), "nil");
+        assert_eq!(run("(floatp 5.0)"), "T");
+        assert_eq!(run("(floatp 'x)"), "nil");
+    }
+
+    #[test]
+    fn parity() {
+        assert_eq!(run("(evenp 4)"), "T");
+        assert_eq!(run("(evenp 5)"), "nil");
+        assert_eq!(run("(oddp 5)"), "T");
+        assert_eq!(run("(oddp -3)"), "T");
+        assert!(Interp::default().eval_str("(evenp 1.5)").is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Built-in functions (`N_FUNCTION` nodes in the global environment).
+//!
+//! Paper §III-A b: built-ins are *"stored as function pointers and they
+//! expect a list of nodes containing the parameters and a pointer to the
+//! environment that should be used for its execution"*. Exactly so here:
+//! every built-in is a plain `fn` receiving its argument nodes
+//! **unevaluated** plus the evaluation environment; each decides what to
+//! evaluate (`setq` and `quote` famously do not).
+
+use crate::error::Result;
+use crate::eval::ParallelHook;
+use crate::interp::Interp;
+use crate::types::{BuiltinId, EnvId, NodeId};
+
+mod arith;
+pub(crate) mod compare;
+mod control;
+mod defs;
+mod higher;
+mod io;
+mod iter;
+mod lists;
+mod logic;
+mod math;
+mod parallel;
+mod predicates;
+mod quasi;
+mod strfns;
+pub(crate) mod util;
+
+/// Signature of every built-in: unevaluated argument nodes, the evaluation
+/// environment, and the current recursion depth (threaded through so deep
+/// builtin chains still hit the recursion limit).
+pub type BuiltinFn =
+    fn(&mut Interp, &mut dyn ParallelHook, &[NodeId], EnvId, usize) -> Result<NodeId>;
+
+/// A named built-in.
+#[derive(Clone, Copy)]
+pub struct BuiltinDef {
+    /// The symbol under which the function is stored globally.
+    pub name: &'static str,
+    /// The implementation.
+    pub func: BuiltinFn,
+}
+
+impl core::fmt::Debug for BuiltinDef {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "BuiltinDef({})", self.name)
+    }
+}
+
+/// The registry resolves [`BuiltinId`]s stored in nodes back to functions.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    defs: Vec<BuiltinDef>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a definition, returning its id.
+    pub fn register(&mut self, def: &BuiltinDef) -> BuiltinId {
+        let id = BuiltinId::new(self.defs.len());
+        self.defs.push(*def);
+        id
+    }
+
+    /// The function behind an id.
+    pub fn func(&self, id: BuiltinId) -> BuiltinFn {
+        self.defs[id.index()].func
+    }
+
+    /// The name behind an id.
+    pub fn name(&self, id: BuiltinId) -> &'static str {
+        self.defs[id.index()].name
+    }
+
+    /// Number of registered built-ins.
+    pub fn count(&self) -> usize {
+        self.defs.len()
+    }
+}
+
+/// Every built-in CuLi ships, in registration order.
+pub fn all_builtins() -> &'static [BuiltinDef] {
+    &[
+        // Arithmetic
+        BuiltinDef { name: "+", func: arith::add },
+        BuiltinDef { name: "-", func: arith::sub },
+        BuiltinDef { name: "*", func: arith::mul },
+        BuiltinDef { name: "/", func: arith::div },
+        BuiltinDef { name: "mod", func: arith::modulo },
+        BuiltinDef { name: "abs", func: arith::abs },
+        BuiltinDef { name: "min", func: arith::min },
+        BuiltinDef { name: "max", func: arith::max },
+        // Comparison
+        BuiltinDef { name: "=", func: compare::num_eq },
+        BuiltinDef { name: "/=", func: compare::num_ne },
+        BuiltinDef { name: "<", func: compare::lt },
+        BuiltinDef { name: ">", func: compare::gt },
+        BuiltinDef { name: "<=", func: compare::le },
+        BuiltinDef { name: ">=", func: compare::ge },
+        BuiltinDef { name: "eq", func: compare::eq_identity },
+        BuiltinDef { name: "equal", func: compare::equal_deep },
+        // Lists
+        BuiltinDef { name: "car", func: lists::car },
+        BuiltinDef { name: "cdr", func: lists::cdr },
+        BuiltinDef { name: "cons", func: lists::cons },
+        BuiltinDef { name: "list", func: lists::list },
+        BuiltinDef { name: "append", func: lists::append },
+        BuiltinDef { name: "length", func: lists::length },
+        BuiltinDef { name: "reverse", func: lists::reverse },
+        BuiltinDef { name: "nth", func: lists::nth },
+        // Control
+        BuiltinDef { name: "if", func: control::if_ },
+        BuiltinDef { name: "cond", func: control::cond },
+        BuiltinDef { name: "progn", func: control::progn },
+        BuiltinDef { name: "when", func: control::when },
+        BuiltinDef { name: "unless", func: control::unless },
+        BuiltinDef { name: "while", func: control::while_ },
+        BuiltinDef { name: "quote", func: control::quote },
+        BuiltinDef { name: "quasiquote", func: quasi::quasiquote },
+        BuiltinDef { name: "unquote", func: quasi::unquote_outside },
+        BuiltinDef { name: "unquote-splicing", func: quasi::unquote_outside },
+        BuiltinDef { name: "eval", func: control::eval_fn },
+        // Definitions
+        BuiltinDef { name: "defun", func: defs::defun },
+        BuiltinDef { name: "defmacro", func: defs::defmacro },
+        BuiltinDef { name: "lambda", func: defs::lambda },
+        BuiltinDef { name: "let", func: defs::let_ },
+        BuiltinDef { name: "let*", func: defs::let_star },
+        BuiltinDef { name: "setq", func: defs::setq },
+        // Logic
+        BuiltinDef { name: "and", func: logic::and },
+        BuiltinDef { name: "or", func: logic::or },
+        BuiltinDef { name: "not", func: logic::not },
+        // Predicates
+        BuiltinDef { name: "atom", func: predicates::atom },
+        BuiltinDef { name: "null", func: predicates::null },
+        BuiltinDef { name: "listp", func: predicates::listp },
+        BuiltinDef { name: "consp", func: predicates::consp },
+        BuiltinDef { name: "numberp", func: predicates::numberp },
+        BuiltinDef { name: "symbolp", func: predicates::symbolp },
+        BuiltinDef { name: "stringp", func: predicates::stringp },
+        BuiltinDef { name: "zerop", func: predicates::zerop },
+        // Extended math
+        BuiltinDef { name: "1+", func: math::inc },
+        BuiltinDef { name: "1-", func: math::dec },
+        BuiltinDef { name: "sqrt", func: math::sqrt },
+        BuiltinDef { name: "expt", func: math::expt },
+        BuiltinDef { name: "floor", func: math::floor },
+        BuiltinDef { name: "ceiling", func: math::ceiling },
+        BuiltinDef { name: "truncate", func: math::truncate },
+        BuiltinDef { name: "float", func: math::float },
+        BuiltinDef { name: "integerp", func: math::integerp },
+        BuiltinDef { name: "floatp", func: math::floatp },
+        BuiltinDef { name: "evenp", func: math::evenp },
+        BuiltinDef { name: "oddp", func: math::oddp },
+        // Higher-order & search
+        BuiltinDef { name: "mapcar", func: higher::mapcar },
+        BuiltinDef { name: "apply", func: higher::apply },
+        BuiltinDef { name: "funcall", func: higher::funcall },
+        BuiltinDef { name: "assoc", func: higher::assoc },
+        BuiltinDef { name: "member", func: higher::member },
+        BuiltinDef { name: "last", func: higher::last },
+        BuiltinDef { name: "butlast", func: higher::butlast },
+        // Iteration
+        BuiltinDef { name: "dotimes", func: iter::dotimes },
+        BuiltinDef { name: "dolist", func: iter::dolist },
+        // Strings
+        BuiltinDef { name: "concat", func: strfns::concat },
+        BuiltinDef { name: "string-length", func: strfns::string_length },
+        BuiltinDef { name: "substring", func: strfns::substring },
+        BuiltinDef { name: "string=", func: strfns::string_eq },
+        BuiltinDef { name: "number-to-string", func: strfns::number_to_string },
+        BuiltinDef { name: "string-to-number", func: strfns::string_to_number },
+        // File I/O over the host link (the paper's future-work feature)
+        BuiltinDef { name: "read-file", func: io::read_file },
+        BuiltinDef { name: "write-file", func: io::write_file },
+        BuiltinDef { name: "file-exists", func: io::file_exists },
+        // Parallelism — the paper's |||-expression
+        BuiltinDef { name: "|||", func: parallel::par },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut reg = Registry::new();
+        let defs = all_builtins();
+        for def in defs {
+            reg.register(def);
+        }
+        assert_eq!(reg.count(), defs.len());
+        for (i, def) in defs.iter().enumerate() {
+            assert_eq!(reg.name(BuiltinId::new(i)), def.name);
+        }
+    }
+
+    #[test]
+    fn builtin_names_are_unique() {
+        let defs = all_builtins();
+        let mut names: Vec<&str> = defs.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), defs.len(), "duplicate builtin name");
+    }
+
+    #[test]
+    fn paper_mentioned_builtins_present() {
+        // The paper names these explicitly: +, -, defun, cdr, let, setq, |||.
+        let names: Vec<&str> = all_builtins().iter().map(|d| d.name).collect();
+        for required in ["+", "-", "defun", "cdr", "let", "setq", "|||"] {
+            assert!(names.contains(&required), "{required} missing");
+        }
+    }
+}

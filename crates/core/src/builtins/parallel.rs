@@ -1,0 +1,179 @@
+//! The `|||` built-in — CuLi's parallel section (paper §III-D).
+//!
+//! `(||| n f list1 … listk)`: the first parameter is the number of workers,
+//! the second the function to execute, and the remaining parameters are
+//! k lists of arguments. The master builds, per worker `w`, a new
+//! expression `(f list1[w] … listk[w])` (paper's example: `(||| 3 + (1 2 3)
+//! (4 5 6))` becomes `(+ 1 4)`, `(+ 2 5)`, `(+ 3 6)`), hands the batch to
+//! the parallel backend, then collects the results **in distribution
+//! order** into a fresh list.
+
+use super::util::{as_list_children, expect_min, list_from_values};
+use crate::error::{CuliError, Result};
+use crate::eval::{eval, ParallelHook};
+use crate::interp::Interp;
+use crate::node::{Node, NodeType, Payload};
+use crate::types::{EnvId, NodeId};
+
+/// Implements `(||| n f args…)`.
+pub fn par(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_min("|||", args, 2)?;
+
+    // Worker count.
+    let n_val = eval(interp, hook, args[0], env, depth + 1)?;
+    let n = match interp.arena.get(n_val).payload {
+        Payload::Int(v) if v > 0 => v as usize,
+        _ => return Err(CuliError::Type { builtin: "|||", expected: "a positive worker count" }),
+    };
+    if let Some(max) = hook.max_workers() {
+        if n > max {
+            return Err(CuliError::TooManyWorkers { requested: n, available: max });
+        }
+    }
+
+    // The function to distribute.
+    let f_val = eval(interp, hook, args[1], env, depth + 1)?;
+    match interp.arena.get(f_val).ty {
+        NodeType::Function | NodeType::Form => {}
+        _ => return Err(CuliError::Type { builtin: "|||", expected: "a function or form" }),
+    }
+
+    // Argument lists, each at least n long.
+    let mut lists: Vec<Vec<NodeId>> = Vec::with_capacity(args.len() - 2);
+    for (i, &a) in args[2..].iter().enumerate() {
+        let v = eval(interp, hook, a, env, depth + 1)?;
+        let kids = as_list_children(interp, v, "|||")?;
+        if kids.len() < n {
+            return Err(CuliError::ParallelArgShort {
+                arg_index: i,
+                len: kids.len(),
+                requested: n,
+            });
+        }
+        lists.push(kids);
+    }
+
+    // Build one expression per worker (paper §III-D a).
+    let mut jobs = Vec::with_capacity(n);
+    for w in 0..n {
+        let expr = interp.alloc(Node::new(
+            NodeType::Expression,
+            Payload::List { first: None, last: None },
+        ))?;
+        let f_copy = interp.copy_for_list(f_val)?;
+        interp.arena.list_append(expr, f_copy);
+        for list in &lists {
+            let elem_copy = interp.copy_for_list(list[w])?;
+            interp.arena.list_append(expr, elem_copy);
+        }
+        jobs.push(expr);
+    }
+
+    // Distribute, wait, collect in order (paper §III-D b: "appends the
+    // workers' results in the same order as the work was distributed").
+    let results = hook.execute(interp, &jobs, env)?;
+    debug_assert_eq!(results.len(), jobs.len());
+    list_from_values(interp, &results)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::error::CuliError;
+    use crate::interp::Interp;
+
+    fn run(src: &str) -> String {
+        Interp::default().eval_str(src).unwrap()
+    }
+
+    fn run_err(src: &str) -> CuliError {
+        Interp::default().eval_str(src).unwrap_err()
+    }
+
+    #[test]
+    fn paper_example() {
+        // Paper §III-D a: (||| 3 + (1 2 3) (4 5 6)) → workers compute
+        // (+ 1 4), (+ 2 5), (+ 3 6).
+        assert_eq!(run("(||| 3 + (1 2 3) (4 5 6))"), "(5 7 9)");
+    }
+
+    #[test]
+    fn results_keep_distribution_order() {
+        assert_eq!(run("(||| 4 - (10 20 30 40) (1 2 3 4))"), "(9 18 27 36)");
+    }
+
+    #[test]
+    fn works_with_user_defined_forms() {
+        let mut i = Interp::default();
+        i.eval_str("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")
+            .unwrap();
+        assert_eq!(i.eval_str("(||| 6 fib (5 5 5 5 5 5))").unwrap(), "(5 5 5 5 5 5)");
+        assert_eq!(i.eval_str("(||| 3 fib (1 5 9))").unwrap(), "(1 5 34)");
+    }
+
+    #[test]
+    fn single_worker_and_single_list() {
+        assert_eq!(run("(||| 1 abs (-5))"), "(5)");
+    }
+
+    #[test]
+    fn zero_arg_function_jobs() {
+        let mut i = Interp::default();
+        i.eval_str("(defun answer () 42)").unwrap();
+        assert_eq!(i.eval_str("(||| 3 answer)").unwrap(), "(42 42 42)");
+    }
+
+    #[test]
+    fn uses_fewer_workers_than_list_length() {
+        assert_eq!(run("(||| 2 + (1 2 3 4) (10 20 30 40))"), "(11 22)");
+    }
+
+    #[test]
+    fn argument_lists_may_be_expressions() {
+        assert_eq!(run("(||| 2 * (list 2 3) (list 10 10))"), "(20 30)");
+    }
+
+    #[test]
+    fn short_list_is_an_error() {
+        match run_err("(||| 3 + (1 2) (4 5 6))") {
+            CuliError::ParallelArgShort { arg_index: 0, len: 2, requested: 3 } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_worker_count_is_an_error() {
+        assert!(matches!(run_err("(||| 0 + (1) (2))"), CuliError::Type { .. }));
+        assert!(matches!(run_err("(||| -3 + (1) (2))"), CuliError::Type { .. }));
+        assert!(matches!(run_err("(||| 1.5 + (1) (2))"), CuliError::Type { .. }));
+    }
+
+    #[test]
+    fn non_function_is_an_error() {
+        assert!(matches!(run_err("(||| 1 5 (1))"), CuliError::Type { .. }));
+    }
+
+    #[test]
+    fn nested_parallel_sections() {
+        // A worker may itself open a ||| section.
+        let mut i = Interp::default();
+        i.eval_str("(defun row (x) (||| 2 + (1 2) (list x x)))").unwrap();
+        assert_eq!(i.eval_str("(||| 2 row (10 20))").unwrap(), "((11 12) (21 22))");
+    }
+
+    #[test]
+    fn workers_do_not_leak_bindings_to_each_other() {
+        // Each worker binds w locally via its own environment; the global w
+        // stays visible afterwards and unchanged.
+        let mut i = Interp::default();
+        i.eval_str("(setq w 7)").unwrap();
+        i.eval_str("(defun probe (x) (progn (let v x) (+ v w)))").unwrap();
+        assert_eq!(i.eval_str("(||| 2 probe (100 200))").unwrap(), "(107 207)");
+        assert_eq!(i.eval_str("w").unwrap(), "7");
+    }
+}

@@ -1,0 +1,194 @@
+//! Type predicates: `atom null listp consp numberp symbolp stringp zerop`.
+
+use super::util::{bool_node, eval_args, expect_exact};
+use crate::error::{CuliError, Result};
+use crate::eval::ParallelHook;
+use crate::interp::Interp;
+use crate::node::{NodeType, Payload};
+use crate::types::{EnvId, NodeId};
+
+fn one_value(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+    name: &'static str,
+) -> Result<NodeId> {
+    expect_exact(name, args, 1)?;
+    Ok(eval_args(interp, hook, args, env, depth)?[0])
+}
+
+/// `(atom x)` — everything that is not a (non-empty) list.
+pub fn atom(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let v = one_value(interp, hook, args, env, depth, "atom")?;
+    let n = interp.arena.get(v);
+    let is_atom = match n.ty {
+        NodeType::List | NodeType::Expression => {
+            matches!(n.payload, Payload::List { first: None, .. }) // () is an atom
+        }
+        _ => true,
+    };
+    bool_node(interp, is_atom)
+}
+
+/// `(null x)` — T for nil and the empty list.
+pub fn null(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let v = one_value(interp, hook, args, env, depth, "null")?;
+    let truthy = interp.arena.get(v).is_truthy();
+    bool_node(interp, !truthy)
+}
+
+/// `(listp x)` — T for lists (including empty) and nil.
+pub fn listp(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let v = one_value(interp, hook, args, env, depth, "listp")?;
+    let ty = interp.arena.get(v).ty;
+    bool_node(
+        interp,
+        matches!(ty, NodeType::List | NodeType::Expression | NodeType::Nil),
+    )
+}
+
+/// `(consp x)` — T only for non-empty lists.
+pub fn consp(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let v = one_value(interp, hook, args, env, depth, "consp")?;
+    let n = interp.arena.get(v);
+    let is_cons = matches!(n.ty, NodeType::List | NodeType::Expression)
+        && !matches!(n.payload, Payload::List { first: None, .. });
+    bool_node(interp, is_cons)
+}
+
+/// `(numberp x)`.
+pub fn numberp(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let v = one_value(interp, hook, args, env, depth, "numberp")?;
+    let ty = interp.arena.get(v).ty;
+    bool_node(interp, matches!(ty, NodeType::Int | NodeType::Float))
+}
+
+/// `(symbolp x)`.
+pub fn symbolp(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let v = one_value(interp, hook, args, env, depth, "symbolp")?;
+    let ty = interp.arena.get(v).ty;
+    bool_node(interp, ty == NodeType::Symbol)
+}
+
+/// `(stringp x)`.
+pub fn stringp(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let v = one_value(interp, hook, args, env, depth, "stringp")?;
+    let ty = interp.arena.get(v).ty;
+    bool_node(interp, ty == NodeType::Str)
+}
+
+/// `(zerop x)` — T for integer 0 and float 0.0.
+pub fn zerop(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let v = one_value(interp, hook, args, env, depth, "zerop")?;
+    match interp.arena.get(v).payload {
+        Payload::Int(i) => bool_node(interp, i == 0),
+        Payload::Float(f) => bool_node(interp, f == 0.0),
+        _ => Err(CuliError::Type { builtin: "zerop", expected: "a number" }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+
+    fn run(src: &str) -> String {
+        Interp::default().eval_str(src).unwrap()
+    }
+
+    #[test]
+    fn atom_predicate() {
+        assert_eq!(run("(atom 5)"), "T");
+        assert_eq!(run("(atom 'x)"), "T");
+        assert_eq!(run("(atom nil)"), "T");
+        assert_eq!(run("(atom ())"), "T");
+        assert_eq!(run("(atom (list 1))"), "nil");
+    }
+
+    #[test]
+    fn null_predicate() {
+        assert_eq!(run("(null nil)"), "T");
+        assert_eq!(run("(null ())"), "T");
+        assert_eq!(run("(null 0)"), "nil");
+        assert_eq!(run("(null (list 1))"), "nil");
+    }
+
+    #[test]
+    fn list_predicates() {
+        assert_eq!(run("(listp (list 1))"), "T");
+        assert_eq!(run("(listp ())"), "T");
+        assert_eq!(run("(listp nil)"), "T");
+        assert_eq!(run("(listp 5)"), "nil");
+        assert_eq!(run("(consp (list 1))"), "T");
+        assert_eq!(run("(consp ())"), "nil");
+        assert_eq!(run("(consp nil)"), "nil");
+    }
+
+    #[test]
+    fn type_predicates() {
+        assert_eq!(run("(numberp 1)"), "T");
+        assert_eq!(run("(numberp 1.5)"), "T");
+        assert_eq!(run("(numberp 'x)"), "nil");
+        assert_eq!(run("(symbolp 'x)"), "T");
+        assert_eq!(run("(symbolp 1)"), "nil");
+        assert_eq!(run("(stringp \"s\")"), "T");
+        assert_eq!(run("(stringp 's)"), "nil");
+    }
+
+    #[test]
+    fn zerop_predicate() {
+        assert_eq!(run("(zerop 0)"), "T");
+        assert_eq!(run("(zerop 0.0)"), "T");
+        assert_eq!(run("(zerop 1)"), "nil");
+        assert!(Interp::default().eval_str("(zerop 'x)").is_err());
+    }
+}

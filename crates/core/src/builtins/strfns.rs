@@ -1,0 +1,190 @@
+//! String built-ins — exercising the hand-rolled string library from Lisp.
+//!
+//! `concat string-length substring string= number-to-string
+//! string-to-number`. The C original ships its own string routines because
+//! CUDA has none; these builtins are the Lisp-visible face of that library.
+
+use super::util::{as_num, eval_args, expect_exact, expect_min, Num};
+use crate::error::{CuliError, Result};
+use crate::eval::ParallelHook;
+use crate::interp::Interp;
+use crate::node::{Node, NodeType, Payload};
+use crate::types::{EnvId, NodeId, StrId};
+use culi_strlib::fmt_num::{f64_to_vec, i64_to_vec};
+use culi_strlib::parse_num::{classify_number, NumParse};
+
+fn text_of(interp: &Interp, id: NodeId, builtin: &'static str) -> Result<StrId> {
+    let n = interp.arena.get(id);
+    match (n.ty, n.payload) {
+        (NodeType::Str, Payload::Text(s)) => Ok(s),
+        _ => Err(CuliError::Type { builtin, expected: "a string" }),
+    }
+}
+
+/// `(concat s1 s2 …)` — string concatenation.
+pub fn concat(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let mut out = Vec::new();
+    for &v in &values {
+        let sid = text_of(interp, v, "concat")?;
+        out.extend_from_slice(interp.strings.get(sid));
+    }
+    interp.meter.output_bytes(out.len() as u64);
+    let sid = interp.strings.intern(&out);
+    interp.alloc(Node::string(sid))
+}
+
+/// `(string-length s)`.
+pub fn string_length(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("string-length", args, 1)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let sid = text_of(interp, values[0], "string-length")?;
+    let len = interp.strings.len_of(sid) as i64;
+    interp.alloc(Node::int(len))
+}
+
+/// `(substring s start end)` — byte range, clamped to the string length.
+pub fn substring(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("substring", args, 3)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let sid = text_of(interp, values[0], "substring")?;
+    let start = non_negative(interp, values[1], "substring")?;
+    let end = non_negative(interp, values[2], "substring")?;
+    let text = interp.strings.get(sid);
+    let len = text.len();
+    let start = start.min(len);
+    let end = end.clamp(start, len);
+    let slice = text[start..end].to_vec();
+    let out = interp.strings.intern(&slice);
+    interp.alloc(Node::string(out))
+}
+
+/// `(string= a b)` — byte-wise string equality.
+pub fn string_eq(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("string=", args, 2)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let a = text_of(interp, values[0], "string=")?;
+    let b = text_of(interp, values[1], "string=")?;
+    let eq = culi_strlib::cstr::streq(interp.strings.get(a), interp.strings.get(b));
+    interp.meter.symbol_cmp_bytes(interp.strings.len_of(a).min(interp.strings.len_of(b)) as u64 + 1);
+    super::util::bool_node(interp, eq)
+}
+
+/// `(number-to-string n)` — hand-rolled itoa/dtoa.
+pub fn number_to_string(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_exact("number-to-string", args, 1)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    interp.meter.number_format();
+    let bytes = match as_num(interp, values[0], "number-to-string")? {
+        Num::I(v) => i64_to_vec(v),
+        Num::F(v) => f64_to_vec(v),
+    };
+    let sid = interp.strings.intern(&bytes);
+    interp.alloc(Node::string(sid))
+}
+
+/// `(string-to-number s)` — parses ints and floats; nil when unparsable.
+pub fn string_to_number(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    expect_min("string-to-number", args, 1)?;
+    expect_exact("string-to-number", args, 1)?;
+    let values = eval_args(interp, hook, args, env, depth)?;
+    let sid = text_of(interp, values[0], "string-to-number")?;
+    let text = interp.strings.get(sid).to_vec();
+    match classify_number(&text) {
+        NumParse::Int(v) => interp.alloc(Node::int(v)),
+        NumParse::Float(v) => interp.alloc(Node::float(v)),
+        NumParse::NotANumber => interp.alloc(Node::nil()),
+    }
+}
+
+fn non_negative(interp: &Interp, id: NodeId, builtin: &'static str) -> Result<usize> {
+    match interp.arena.get(id).payload {
+        Payload::Int(v) if v >= 0 => Ok(v as usize),
+        _ => Err(CuliError::Type { builtin, expected: "a non-negative integer" }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::Interp;
+
+    fn run(src: &str) -> String {
+        Interp::default().eval_str(src).unwrap()
+    }
+
+    #[test]
+    fn concat_joins() {
+        assert_eq!(run("(concat \"foo\" \"bar\")"), "\"foobar\"");
+        assert_eq!(run("(concat)"), "\"\"");
+    }
+
+    #[test]
+    fn string_length_counts_bytes() {
+        assert_eq!(run("(string-length \"hello\")"), "5");
+        assert_eq!(run("(string-length \"\")"), "0");
+    }
+
+    #[test]
+    fn substring_clamps() {
+        assert_eq!(run("(substring \"hello\" 1 3)"), "\"el\"");
+        assert_eq!(run("(substring \"hello\" 0 99)"), "\"hello\"");
+        assert_eq!(run("(substring \"hello\" 4 2)"), "\"\"");
+    }
+
+    #[test]
+    fn string_equality() {
+        assert_eq!(run("(string= \"a\" \"a\")"), "T");
+        assert_eq!(run("(string= \"a\" \"b\")"), "nil");
+    }
+
+    #[test]
+    fn number_string_roundtrip() {
+        assert_eq!(run("(number-to-string 42)"), "\"42\"");
+        assert_eq!(run("(number-to-string 1.5)"), "\"1.5\"");
+        assert_eq!(run("(string-to-number \"42\")"), "42");
+        assert_eq!(run("(string-to-number \"1.5\")"), "1.5");
+        assert_eq!(run("(string-to-number \"xyz\")"), "nil");
+    }
+
+    #[test]
+    fn type_errors() {
+        assert!(Interp::default().eval_str("(concat 5)").is_err());
+        assert!(Interp::default().eval_str("(string-length 5)").is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Shared helpers for built-in implementations.
+
+use crate::error::{CuliError, Result};
+use crate::eval::{eval, ParallelHook};
+use crate::interp::Interp;
+use crate::node::{Node, NodeType, Payload};
+use crate::types::{EnvId, NodeId};
+
+/// A number as builtins see it: CuLi is int-preserving but promotes to
+/// float the moment any float participates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Num {
+    /// Exact integer.
+    I(i64),
+    /// IEEE double.
+    F(f64),
+}
+
+impl Num {
+    /// The value as `f64` (exact for every `i64` the workloads use).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Num::I(v) => v as f64,
+            Num::F(v) => v,
+        }
+    }
+}
+
+/// Evaluates every argument in order.
+pub fn eval_args(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<Vec<NodeId>> {
+    let mut out = Vec::with_capacity(args.len());
+    for &a in args {
+        out.push(eval(interp, hook, a, env, depth + 1)?);
+    }
+    Ok(out)
+}
+
+/// Reads a node as a number or reports a type error for `builtin`.
+pub fn as_num(interp: &Interp, id: NodeId, builtin: &'static str) -> Result<Num> {
+    match interp.arena.get(id).payload {
+        Payload::Int(v) => Ok(Num::I(v)),
+        Payload::Float(v) => Ok(Num::F(v)),
+        _ => Err(CuliError::Type { builtin, expected: "a number" }),
+    }
+}
+
+/// Allocates a node holding `n`.
+pub fn num_node(interp: &mut Interp, n: Num) -> Result<NodeId> {
+    match n {
+        Num::I(v) => interp.alloc(Node::int(v)),
+        Num::F(v) => interp.alloc(Node::float(v)),
+    }
+}
+
+/// Allocates a nil node.
+pub fn nil(interp: &mut Interp) -> Result<NodeId> {
+    interp.alloc(Node::nil())
+}
+
+/// Allocates `T` or `nil` from a Rust bool.
+pub fn bool_node(interp: &mut Interp, b: bool) -> Result<NodeId> {
+    if b {
+        interp.alloc(Node::truth())
+    } else {
+        interp.alloc(Node::nil())
+    }
+}
+
+/// Lisp truthiness of the node behind `id`.
+pub fn is_truthy(interp: &Interp, id: NodeId) -> bool {
+    interp.arena.get(id).is_truthy()
+}
+
+/// Errors unless exactly `n` arguments were supplied.
+pub fn expect_exact(builtin: &'static str, args: &[NodeId], n: usize) -> Result<()> {
+    if args.len() != n {
+        return Err(CuliError::Arity {
+            builtin,
+            expected: exact_name(n),
+            got: args.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Errors unless at least `n` arguments were supplied.
+pub fn expect_min(builtin: &'static str, args: &[NodeId], n: usize) -> Result<()> {
+    if args.len() < n {
+        return Err(CuliError::Arity {
+            builtin,
+            expected: min_name(n),
+            got: args.len(),
+        });
+    }
+    Ok(())
+}
+
+fn exact_name(n: usize) -> &'static str {
+    match n {
+        0 => "exactly 0",
+        1 => "exactly 1",
+        2 => "exactly 2",
+        3 => "exactly 3",
+        _ => "a fixed count of",
+    }
+}
+
+fn min_name(n: usize) -> &'static str {
+    match n {
+        1 => "at least 1",
+        2 => "at least 2",
+        3 => "at least 3",
+        _ => "more",
+    }
+}
+
+/// Builds a fresh list node whose children are shallow copies of `values`.
+pub fn list_from_values(interp: &mut Interp, values: &[NodeId]) -> Result<NodeId> {
+    let list = interp.alloc(Node::empty_list())?;
+    for &v in values {
+        let copy = interp.copy_for_list(v)?;
+        interp.arena.list_append(list, copy);
+    }
+    Ok(list)
+}
+
+/// Reads a node as a list (or nil, treated as the empty list), returning
+/// its children.
+pub fn as_list_children(
+    interp: &Interp,
+    id: NodeId,
+    builtin: &'static str,
+) -> Result<Vec<NodeId>> {
+    let n = interp.arena.get(id);
+    match n.ty {
+        NodeType::List | NodeType::Expression => Ok(interp.arena.list_children(id)),
+        NodeType::Nil => Ok(Vec::new()),
+        _ => Err(CuliError::Type { builtin, expected: "a list" }),
+    }
+}

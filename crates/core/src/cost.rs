@@ -1,0 +1,214 @@
+//! Operation counting — the raw material of the simulated timing model.
+//!
+//! CuLi's evaluation (paper §IV) is reported in three phases — parsing,
+//! evaluation, printing — whose durations differ radically between devices.
+//! Rather than guessing times, the interpreter *counts* every primitive
+//! operation it performs; a device model (in `culi-gpu-sim`) later converts
+//! those counts into simulated nanoseconds using per-device operation costs.
+//! Counts are exact and deterministic, so figure regeneration is exactly
+//! reproducible.
+
+/// Raw operation counters for one stretch of interpreter work.
+///
+/// All counters are cumulative; use [`Counters::delta_since`] to isolate a
+/// phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Bytes examined by the tokenizer (whitespace included). Dominates the
+    /// parse phase — the paper attributes Fermi's parsing advantage to
+    /// byte-stream throughput (L2 size, memory-bus width).
+    pub chars_scanned: u64,
+    /// Nodes allocated from the arena.
+    pub nodes_alloc: u64,
+    /// Nodes returned to the arena.
+    pub nodes_freed: u64,
+    /// Node reads (following child/sibling links, reading payloads).
+    pub node_reads: u64,
+    /// Evaluator steps (one per `eval` entry).
+    pub eval_steps: u64,
+    /// Environment bindings probed during symbol lookup.
+    pub env_probes: u64,
+    /// Bytes compared during symbol comparisons (the C code `strcmp`s its
+    /// way through environment chains).
+    pub symbol_cmp_bytes: u64,
+    /// Arithmetic/comparison primitive operations executed.
+    pub arith_ops: u64,
+    /// Built-in function invocations.
+    pub builtin_calls: u64,
+    /// User-defined form (defun/lambda/macro) applications.
+    pub form_applies: u64,
+    /// Bytes appended to the output string by the printer.
+    pub output_bytes: u64,
+    /// Number-formatting operations (itoa/dtoa) performed while printing.
+    pub number_formats: u64,
+}
+
+impl Counters {
+    /// Element-wise `self - earlier`; counters are monotone so this is the
+    /// work done since `earlier` was snapshotted.
+    pub fn delta_since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            chars_scanned: self.chars_scanned - earlier.chars_scanned,
+            nodes_alloc: self.nodes_alloc - earlier.nodes_alloc,
+            nodes_freed: self.nodes_freed - earlier.nodes_freed,
+            node_reads: self.node_reads - earlier.node_reads,
+            eval_steps: self.eval_steps - earlier.eval_steps,
+            env_probes: self.env_probes - earlier.env_probes,
+            symbol_cmp_bytes: self.symbol_cmp_bytes - earlier.symbol_cmp_bytes,
+            arith_ops: self.arith_ops - earlier.arith_ops,
+            builtin_calls: self.builtin_calls - earlier.builtin_calls,
+            form_applies: self.form_applies - earlier.form_applies,
+            output_bytes: self.output_bytes - earlier.output_bytes,
+            number_formats: self.number_formats - earlier.number_formats,
+        }
+    }
+
+    /// Element-wise sum, for aggregating per-worker counters.
+    pub fn add(&mut self, other: &Counters) {
+        self.chars_scanned += other.chars_scanned;
+        self.nodes_alloc += other.nodes_alloc;
+        self.nodes_freed += other.nodes_freed;
+        self.node_reads += other.node_reads;
+        self.eval_steps += other.eval_steps;
+        self.env_probes += other.env_probes;
+        self.symbol_cmp_bytes += other.symbol_cmp_bytes;
+        self.arith_ops += other.arith_ops;
+        self.builtin_calls += other.builtin_calls;
+        self.form_applies += other.form_applies;
+        self.output_bytes += other.output_bytes;
+        self.number_formats += other.number_formats;
+    }
+
+    /// Total of all counters — a crude "work units" scalar used by tests to
+    /// assert that some work happened.
+    pub fn total(&self) -> u64 {
+        self.chars_scanned
+            + self.nodes_alloc
+            + self.nodes_freed
+            + self.node_reads
+            + self.eval_steps
+            + self.env_probes
+            + self.symbol_cmp_bytes
+            + self.arith_ops
+            + self.builtin_calls
+            + self.form_applies
+            + self.output_bytes
+            + self.number_formats
+    }
+}
+
+/// The meter carried by the interpreter. A thin wrapper so call sites read
+/// as intent (`meter.count_alloc()`) and so future backends can hook counts
+/// without touching the interpreter.
+#[derive(Debug, Clone, Default)]
+pub struct Meter {
+    counters: Counters,
+}
+
+impl Meter {
+    /// Fresh meter with all counters zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current cumulative counters.
+    pub fn snapshot(&self) -> Counters {
+        self.counters
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        self.counters = Counters::default();
+    }
+
+    #[inline]
+    pub(crate) fn chars_scanned(&mut self, n: u64) {
+        self.counters.chars_scanned += n;
+    }
+    #[inline]
+    pub(crate) fn node_alloc(&mut self) {
+        self.counters.nodes_alloc += 1;
+    }
+    #[inline]
+    pub(crate) fn node_freed(&mut self) {
+        self.counters.nodes_freed += 1;
+    }
+    #[inline]
+    pub(crate) fn node_read(&mut self) {
+        self.counters.node_reads += 1;
+    }
+    #[inline]
+    pub(crate) fn eval_step(&mut self) {
+        self.counters.eval_steps += 1;
+    }
+    #[inline]
+    pub(crate) fn env_probe(&mut self) {
+        self.counters.env_probes += 1;
+    }
+    #[inline]
+    pub(crate) fn symbol_cmp_bytes(&mut self, n: u64) {
+        self.counters.symbol_cmp_bytes += n;
+    }
+    #[inline]
+    pub(crate) fn arith_op(&mut self) {
+        self.counters.arith_ops += 1;
+    }
+    #[inline]
+    pub(crate) fn builtin_call(&mut self) {
+        self.counters.builtin_calls += 1;
+    }
+    #[inline]
+    pub(crate) fn form_apply(&mut self) {
+        self.counters.form_applies += 1;
+    }
+    #[inline]
+    pub(crate) fn output_bytes(&mut self, n: u64) {
+        self.counters.output_bytes += n;
+    }
+    #[inline]
+    pub(crate) fn number_format(&mut self) {
+        self.counters.number_formats += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_isolates_a_phase() {
+        let mut m = Meter::new();
+        m.chars_scanned(10);
+        m.node_alloc();
+        let mid = m.snapshot();
+        m.chars_scanned(5);
+        m.eval_step();
+        let d = m.snapshot().delta_since(&mid);
+        assert_eq!(d.chars_scanned, 5);
+        assert_eq!(d.eval_steps, 1);
+        assert_eq!(d.nodes_alloc, 0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = Counters { arith_ops: 2, ..Default::default() };
+        let b = Counters { arith_ops: 3, output_bytes: 7, ..Default::default() };
+        a.add(&b);
+        assert_eq!(a.arith_ops, 5);
+        assert_eq!(a.output_bytes, 7);
+    }
+
+    #[test]
+    fn total_sums_everything() {
+        let c = Counters { chars_scanned: 1, eval_steps: 2, output_bytes: 3, ..Default::default() };
+        assert_eq!(c.total(), 6);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut m = Meter::new();
+        m.arith_op();
+        m.reset();
+        assert_eq!(m.snapshot(), Counters::default());
+    }
+}

@@ -1,0 +1,299 @@
+//! Environments — the symbol-binding trees of paper Figs. 6 and 7.
+//!
+//! *"An environment contains a linked list of environment nodes and a link
+//! to a parent environment. The only exception is the global environment
+//! that has no link to other environments. Each environment node itself
+//! contains a symbol for comparison and the node that the symbol points
+//! to."*
+//!
+//! Lookup walks the local binding list, then the parent chain, up to the
+//! global environment; the *first* match wins (late binding, locally
+//! shadowing). `set` (the engine of `setq`) mutates the nearest existing
+//! binding — the one sanctioned side effect, which the paper warns must be
+//! used carefully under parallel evaluation.
+
+use crate::cost::Meter;
+use crate::strings::StrTable;
+use crate::types::{BindingId, EnvId, NodeId, StrId};
+
+/// One `(symbol → node)` pair in an environment's linked list.
+#[derive(Debug, Clone, Copy)]
+struct Binding {
+    sym: StrId,
+    value: NodeId,
+    next: Option<BindingId>,
+}
+
+/// One environment: head of its binding list plus the parent link.
+#[derive(Debug, Clone, Copy)]
+struct Env {
+    parent: Option<EnvId>,
+    first: Option<BindingId>,
+}
+
+/// Arena of environments and bindings.
+#[derive(Debug, Clone, Default)]
+pub struct EnvArena {
+    envs: Vec<Env>,
+    bindings: Vec<Binding>,
+}
+
+impl EnvArena {
+    /// Empty arena; create the global environment with [`EnvArena::push`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a new environment whose parent is `parent` (`None` for the
+    /// global environment).
+    pub fn push(&mut self, parent: Option<EnvId>) -> EnvId {
+        let id = EnvId::new(self.envs.len());
+        self.envs.push(Env { parent, first: None });
+        id
+    }
+
+    /// The parent of `env`, `None` at the global environment.
+    pub fn parent(&self, env: EnvId) -> Option<EnvId> {
+        self.envs[env.index()].parent
+    }
+
+    /// Number of environments ever created.
+    pub fn env_count(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// Number of bindings ever created.
+    pub fn binding_count(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Prepends a new binding `sym → value` to `env`'s local list. New
+    /// bindings shadow older ones with the same symbol (both locally and up
+    /// the chain) because lookup takes the first match.
+    pub fn define(&mut self, env: EnvId, sym: StrId, value: NodeId) {
+        let b = BindingId::new(self.bindings.len());
+        let head = self.envs[env.index()].first;
+        self.bindings.push(Binding { sym, value, next: head });
+        self.envs[env.index()].first = Some(b);
+    }
+
+    /// Looks `sym` up, walking `env` then its ancestors; first match wins.
+    /// Charges one probe plus a `strcmp`-equivalent byte count per binding
+    /// examined, mirroring the C implementation's per-binding `strcmp`.
+    pub fn lookup(
+        &self,
+        env: EnvId,
+        sym: StrId,
+        strings: &StrTable,
+        meter: &mut Meter,
+    ) -> Option<NodeId> {
+        let sym_len = strings.len_of(sym) as u64;
+        let mut cur_env = Some(env);
+        while let Some(e) = cur_env {
+            let mut cur = self.envs[e.index()].first;
+            while let Some(b) = cur {
+                let binding = &self.bindings[b.index()];
+                meter.env_probe();
+                // The C code strcmp()s the two names; equal-length prefix
+                // comparison is the dominant cost, so charge the shorter of
+                // the two lengths plus the terminator check.
+                let cmp_len = sym_len.min(strings.len_of(binding.sym) as u64) + 1;
+                meter.symbol_cmp_bytes(cmp_len);
+                if binding.sym == sym {
+                    return Some(binding.value);
+                }
+                cur = binding.next;
+            }
+            cur_env = self.envs[e.index()].parent;
+        }
+        None
+    }
+
+    /// `setq` semantics: overwrites the nearest existing binding of `sym`
+    /// walking outwards from `env`. Returns `true` when a binding was
+    /// found and updated; the caller falls back to a global `define`
+    /// otherwise.
+    pub fn set_nearest(
+        &mut self,
+        env: EnvId,
+        sym: StrId,
+        value: NodeId,
+        strings: &StrTable,
+        meter: &mut Meter,
+    ) -> bool {
+        let sym_len = strings.len_of(sym) as u64;
+        let mut cur_env = Some(env);
+        while let Some(e) = cur_env {
+            let mut cur = self.envs[e.index()].first;
+            while let Some(b) = cur {
+                meter.env_probe();
+                let binding = self.bindings[b.index()];
+                let cmp_len = sym_len.min(strings.len_of(binding.sym) as u64) + 1;
+                meter.symbol_cmp_bytes(cmp_len);
+                if binding.sym == sym {
+                    self.bindings[b.index()].value = value;
+                    return true;
+                }
+                cur = binding.next;
+            }
+            cur_env = self.envs[e.index()].parent;
+        }
+        false
+    }
+
+    /// Iterates the local bindings of one environment (no parents), newest
+    /// first. Used by GC root scanning and diagnostics.
+    pub fn local_bindings(&self, env: EnvId) -> impl Iterator<Item = (StrId, NodeId)> + '_ {
+        LocalIter { arena: self, cur: self.envs[env.index()].first }
+    }
+}
+
+struct LocalIter<'a> {
+    arena: &'a EnvArena,
+    cur: Option<BindingId>,
+}
+
+impl Iterator for LocalIter<'_> {
+    type Item = (StrId, NodeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let b = self.cur?;
+        let binding = &self.arena.bindings[b.index()];
+        self.cur = binding.next;
+        Some((binding.sym, binding.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (EnvArena, StrTable, Meter) {
+        (EnvArena::new(), StrTable::new(), Meter::new())
+    }
+
+    #[test]
+    fn define_then_lookup() {
+        let (mut envs, mut strs, mut m) = fixture();
+        let g = envs.push(None);
+        let x = strs.intern(b"x");
+        let n = NodeId::new(7);
+        envs.define(g, x, n);
+        assert_eq!(envs.lookup(g, x, &strs, &mut m), Some(n));
+    }
+
+    #[test]
+    fn lookup_missing_returns_none() {
+        let (mut envs, mut strs, mut m) = fixture();
+        let g = envs.push(None);
+        let x = strs.intern(b"x");
+        assert_eq!(envs.lookup(g, x, &strs, &mut m), None);
+    }
+
+    #[test]
+    fn child_sees_parent_bindings() {
+        let (mut envs, mut strs, mut m) = fixture();
+        let g = envs.push(None);
+        let child = envs.push(Some(g));
+        let x = strs.intern(b"x");
+        let n = NodeId::new(1);
+        envs.define(g, x, n);
+        assert_eq!(envs.lookup(child, x, &strs, &mut m), Some(n));
+    }
+
+    #[test]
+    fn local_binding_shadows_parent() {
+        let (mut envs, mut strs, mut m) = fixture();
+        let g = envs.push(None);
+        let child = envs.push(Some(g));
+        let x = strs.intern(b"x");
+        envs.define(g, x, NodeId::new(1));
+        envs.define(child, x, NodeId::new(2));
+        assert_eq!(envs.lookup(child, x, &strs, &mut m), Some(NodeId::new(2)));
+        assert_eq!(envs.lookup(g, x, &strs, &mut m), Some(NodeId::new(1)), "parent unaffected");
+    }
+
+    #[test]
+    fn rebinding_locally_shadows_older_local() {
+        let (mut envs, mut strs, mut m) = fixture();
+        let g = envs.push(None);
+        let x = strs.intern(b"x");
+        envs.define(g, x, NodeId::new(1));
+        envs.define(g, x, NodeId::new(2));
+        assert_eq!(envs.lookup(g, x, &strs, &mut m), Some(NodeId::new(2)));
+    }
+
+    #[test]
+    fn set_nearest_updates_local_over_global() {
+        let (mut envs, mut strs, mut m) = fixture();
+        let g = envs.push(None);
+        let child = envs.push(Some(g));
+        let x = strs.intern(b"x");
+        envs.define(g, x, NodeId::new(1));
+        envs.define(child, x, NodeId::new(2));
+        assert!(envs.set_nearest(child, x, NodeId::new(9), &strs, &mut m));
+        assert_eq!(envs.lookup(child, x, &strs, &mut m), Some(NodeId::new(9)));
+        assert_eq!(envs.lookup(g, x, &strs, &mut m), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn set_nearest_reaches_global_when_no_local() {
+        let (mut envs, mut strs, mut m) = fixture();
+        let g = envs.push(None);
+        let child = envs.push(Some(g));
+        let x = strs.intern(b"x");
+        envs.define(g, x, NodeId::new(1));
+        assert!(envs.set_nearest(child, x, NodeId::new(5), &strs, &mut m));
+        assert_eq!(envs.lookup(g, x, &strs, &mut m), Some(NodeId::new(5)), "global mutated");
+    }
+
+    #[test]
+    fn set_nearest_misses_when_unbound() {
+        let (mut envs, mut strs, mut m) = fixture();
+        let g = envs.push(None);
+        let x = strs.intern(b"x");
+        assert!(!envs.set_nearest(g, x, NodeId::new(5), &strs, &mut m));
+    }
+
+    #[test]
+    fn sibling_environments_are_isolated() {
+        // Paper §III-D b: each worker's environment chains to the |||
+        // expression's env; workers cannot see each other's bindings.
+        let (mut envs, mut strs, mut m) = fixture();
+        let g = envs.push(None);
+        let w1 = envs.push(Some(g));
+        let w2 = envs.push(Some(g));
+        let x = strs.intern(b"x");
+        envs.define(w1, x, NodeId::new(11));
+        assert_eq!(envs.lookup(w2, x, &strs, &mut m), None);
+    }
+
+    #[test]
+    fn lookup_charges_probe_and_cmp_costs() {
+        let (mut envs, mut strs, mut m) = fixture();
+        let g = envs.push(None);
+        let a = strs.intern(b"alpha");
+        let b = strs.intern(b"beta");
+        envs.define(g, a, NodeId::new(1));
+        envs.define(g, b, NodeId::new(2));
+        // Looking up `alpha` probes `beta` (head) first, then `alpha`.
+        let before = m.snapshot();
+        envs.lookup(g, a, &strs, &mut m).unwrap();
+        let d = m.snapshot().delta_since(&before);
+        assert_eq!(d.env_probes, 2);
+        // min(5,4)+1 = 5 bytes vs beta, min(5,5)+1 = 6 vs alpha.
+        assert_eq!(d.symbol_cmp_bytes, 11);
+    }
+
+    #[test]
+    fn local_bindings_iterates_newest_first() {
+        let (mut envs, mut strs, _m) = fixture();
+        let g = envs.push(None);
+        let x = strs.intern(b"x");
+        let y = strs.intern(b"y");
+        envs.define(g, x, NodeId::new(1));
+        envs.define(g, y, NodeId::new(2));
+        let names: Vec<StrId> = envs.local_bindings(g).map(|(s, _)| s).collect();
+        assert_eq!(names, vec![y, x]);
+    }
+}

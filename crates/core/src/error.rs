@@ -1,0 +1,178 @@
+//! Interpreter error type.
+
+use core::fmt;
+
+/// Everything that can go wrong while parsing or evaluating CuLi input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CuliError {
+    /// Input ended inside a string literal.
+    UnterminatedString {
+        /// Byte offset of the opening quote.
+        at: usize,
+    },
+    /// A `)` with no matching `(`.
+    UnbalancedClose {
+        /// Byte offset of the stray parenthesis.
+        at: usize,
+    },
+    /// Input ended with unclosed `(`s.
+    UnbalancedOpen {
+        /// How many lists remained open.
+        depth: usize,
+    },
+    /// The fixed node arena is exhausted (the paper's stated input-size
+    /// limitation: *"the size of the possible inputs is currently limited
+    /// ... by the organization of the nodes"*).
+    ArenaFull {
+        /// The arena capacity that was exceeded.
+        capacity: usize,
+    },
+    /// Evaluation exceeded the configured recursion depth.
+    RecursionLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A built-in was applied to a value of the wrong type.
+    Type {
+        /// The built-in that complained.
+        builtin: &'static str,
+        /// Human-readable description of the expectation.
+        expected: &'static str,
+    },
+    /// A built-in received the wrong number of arguments.
+    Arity {
+        /// The built-in that complained.
+        builtin: &'static str,
+        /// Human-readable arity description (e.g. "exactly 2").
+        expected: &'static str,
+        /// How many arguments arrived.
+        got: usize,
+    },
+    /// Integer division or modulo by zero.
+    DivByZero,
+    /// Integer arithmetic overflowed `i64`.
+    IntOverflow,
+    /// The fixed output buffer overflowed while printing.
+    OutputFull {
+        /// Configured output capacity in bytes.
+        capacity: usize,
+    },
+    /// `|||` was asked for more workers than the device provides.
+    TooManyWorkers {
+        /// Workers requested.
+        requested: usize,
+        /// Workers available.
+        available: usize,
+    },
+    /// `|||`'s argument lists were shorter than the worker count.
+    ParallelArgShort {
+        /// Index (0-based) of the offending argument list.
+        arg_index: usize,
+        /// Its length.
+        len: usize,
+        /// Workers requested.
+        requested: usize,
+    },
+    /// A worker failed; carries the worker index and the underlying error.
+    WorkerFailed {
+        /// Which worker.
+        worker: usize,
+        /// What went wrong, pre-rendered (keeps the type `Sized` + cheap).
+        message: String,
+    },
+    /// Host-side file I/O failed (missing file, no host services attached).
+    Io(String),
+    /// A parallel backend failed (e.g. the simulated device livelocked).
+    /// Carries the backend's rendered diagnosis; runtimes re-map this to
+    /// their own error types.
+    Backend(String),
+    /// Internal invariant violation — always a bug, never user error.
+    Internal(&'static str),
+}
+
+impl fmt::Display for CuliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnterminatedString { at } => {
+                write!(f, "unterminated string literal starting at byte {at}")
+            }
+            Self::UnbalancedClose { at } => {
+                write!(f, "unmatched ')' at byte {at}")
+            }
+            Self::UnbalancedOpen { depth } => {
+                write!(f, "input ended with {depth} unclosed '('")
+            }
+            Self::ArenaFull { capacity } => {
+                write!(f, "node arena exhausted (capacity {capacity})")
+            }
+            Self::RecursionLimit { limit } => {
+                write!(f, "recursion depth limit {limit} exceeded")
+            }
+            Self::Type { builtin, expected } => {
+                write!(f, "{builtin}: expected {expected}")
+            }
+            Self::Arity { builtin, expected, got } => {
+                write!(f, "{builtin}: expected {expected} argument(s), got {got}")
+            }
+            Self::DivByZero => write!(f, "division by zero"),
+            Self::IntOverflow => write!(f, "integer overflow"),
+            Self::OutputFull { capacity } => {
+                write!(f, "output buffer exhausted (capacity {capacity})")
+            }
+            Self::TooManyWorkers { requested, available } => {
+                write!(f, "||| requested {requested} workers, device has {available}")
+            }
+            Self::ParallelArgShort { arg_index, len, requested } => {
+                write!(
+                    f,
+                    "||| argument list {arg_index} has {len} element(s) but {requested} workers were requested"
+                )
+            }
+            Self::WorkerFailed { worker, message } => {
+                write!(f, "worker {worker} failed: {message}")
+            }
+            Self::Io(msg) => write!(f, "file i/o error: {msg}"),
+            Self::Backend(msg) => write!(f, "parallel backend error: {msg}"),
+            Self::Internal(what) => write!(f, "internal interpreter error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CuliError {}
+
+/// Convenience alias used throughout the interpreter.
+pub type Result<T> = core::result::Result<T, CuliError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(CuliError, &str)> = vec![
+            (CuliError::UnterminatedString { at: 4 }, "byte 4"),
+            (CuliError::UnbalancedClose { at: 9 }, "byte 9"),
+            (CuliError::UnbalancedOpen { depth: 2 }, "2 unclosed"),
+            (CuliError::ArenaFull { capacity: 128 }, "128"),
+            (CuliError::RecursionLimit { limit: 64 }, "64"),
+            (
+                CuliError::Type { builtin: "car", expected: "a list" },
+                "car",
+            ),
+            (
+                CuliError::Arity { builtin: "cons", expected: "exactly 2", got: 3 },
+                "got 3",
+            ),
+            (CuliError::DivByZero, "zero"),
+            (CuliError::OutputFull { capacity: 16 }, "16"),
+            (
+                CuliError::TooManyWorkers { requested: 99, available: 32 },
+                "99",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The evaluator — recursive traversal of the parse tree (paper §III-B c).
+//!
+//! The dispatch follows the paper to the letter:
+//!
+//! * `N_SYMBOL` — look the symbol up through the environment chain; the
+//!   first occurrence replaces it ("late binding"). **If there is no
+//!   matching symbol, the symbol is not replaced** — unbound symbols
+//!   evaluate to themselves, a deliberate CuLi quirk we preserve.
+//! * `N_LIST` — evaluate the first element to decide whether the list is an
+//!   expression (head is a built-in `N_FUNCTION`) or a form application
+//!   (head is an `N_FORM`); otherwise evaluate all elements and return the
+//!   resulting list.
+//! * Expression: children are handed to the built-in **unevaluated**
+//!   ("built-in functions might use them without evaluation, e.g. `setq`").
+//! * Form: arguments are evaluated, a fresh environment binds the
+//!   parameters, and the stored body is evaluated there. The new
+//!   environment's parent is the *caller's* environment — CuLi is
+//!   dynamically scoped, which is what lets the paper say "functions can
+//!   behave differently to the same parameters in different environments".
+//! * Anything else is a primitive and evaluates to itself.
+
+use crate::error::{CuliError, Result};
+use crate::interp::Interp;
+use crate::node::{Node, NodeType, Payload};
+use crate::types::{EnvId, NodeId};
+
+/// Backend for `|||` parallel sections.
+///
+/// The core evaluator is backend-agnostic: when it reaches a `|||`
+/// expression it builds one expression per worker (paper §III-D a) and asks
+/// the hook to evaluate them. `culi-runtime` provides the GPU postbox
+/// implementation and a real-thread CPU implementation; the default
+/// [`SequentialHook`] evaluates jobs in order, which is semantically
+/// identical (CuLi workers are side-effect-isolated).
+pub trait ParallelHook {
+    /// Evaluates each job expression in its own child environment of
+    /// `parent_env`, returning results in job order.
+    fn execute(
+        &mut self,
+        interp: &mut Interp,
+        jobs: &[NodeId],
+        parent_env: EnvId,
+    ) -> Result<Vec<NodeId>>;
+
+    /// The number of workers this backend can serve, if bounded. The GPU
+    /// backend's grid has a fixed worker count; `|||` rejects requests
+    /// beyond it with [`CuliError::TooManyWorkers`].
+    fn max_workers(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Evaluates jobs one after another on the calling thread.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SequentialHook;
+
+impl ParallelHook for SequentialHook {
+    fn execute(
+        &mut self,
+        interp: &mut Interp,
+        jobs: &[NodeId],
+        parent_env: EnvId,
+    ) -> Result<Vec<NodeId>> {
+        let mut out = Vec::with_capacity(jobs.len());
+        for (w, &job) in jobs.iter().enumerate() {
+            // Paper §III-D b: each worker's subtree is rooted in an
+            // environment whose parent is the |||-expression's environment.
+            let env = interp.envs.push(Some(parent_env));
+            let value = eval(interp, self, job, env, 0).map_err(|e| CuliError::WorkerFailed {
+                worker: w,
+                message: e.to_string(),
+            })?;
+            out.push(value);
+        }
+        Ok(out)
+    }
+}
+
+/// Evaluates `node` in `env`. `depth` is the current recursion depth.
+pub fn eval(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    node: NodeId,
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    if depth > interp.config.max_depth {
+        return Err(CuliError::RecursionLimit { limit: interp.config.max_depth });
+    }
+    interp.meter.eval_step();
+    let n = *interp.arena.read(node, &mut interp.meter);
+    match n.ty {
+        NodeType::Symbol => {
+            let sid = match n.payload {
+                Payload::Text(s) => s,
+                _ => return Err(CuliError::Internal("symbol without text")),
+            };
+            match interp.envs.lookup(env, sid, &interp.strings, &mut interp.meter) {
+                Some(bound) => Ok(bound),
+                None => Ok(node), // unbound symbols evaluate to themselves
+            }
+        }
+        NodeType::List | NodeType::Expression => {
+            let kids = interp.arena.list_children(node);
+            let Some(&head) = kids.first() else {
+                return Ok(node); // () evaluates to itself (nil-valued)
+            };
+            let head_val = eval(interp, hook, head, env, depth + 1)?;
+            let head_node = *interp.arena.read(head_val, &mut interp.meter);
+            match head_node.ty {
+                NodeType::Function => {
+                    let builtin = match head_node.payload {
+                        Payload::Builtin(b) => b,
+                        _ => return Err(CuliError::Internal("function without builtin id")),
+                    };
+                    interp.meter.builtin_call();
+                    let f = interp.builtins.func(builtin);
+                    f(interp, hook, &kids[1..], env, depth)
+                }
+                NodeType::Form => apply_form(interp, hook, head_val, &kids[1..], env, depth),
+                NodeType::Macro => apply_macro(interp, hook, head_val, &kids[1..], env, depth),
+                _ => {
+                    // Not an expression or form: evaluate all elements and
+                    // return the resulting list.
+                    let result = interp.alloc(Node::empty_list())?;
+                    let first = interp.copy_for_list(head_val)?;
+                    interp.arena.list_append(result, first);
+                    for &kid in &kids[1..] {
+                        let v = eval(interp, hook, kid, env, depth + 1)?;
+                        let v = interp.copy_for_list(v)?;
+                        interp.arena.list_append(result, v);
+                    }
+                    Ok(result)
+                }
+            }
+        }
+        // Primitives (and already-built functions/forms) are returned
+        // unchanged.
+        _ => Ok(node),
+    }
+}
+
+/// Applies a user-defined form: evaluate arguments, bind parameters in a
+/// fresh environment chained to the caller's, evaluate the stored body.
+pub fn apply_form(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    form: NodeId,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let (params, body) = match interp.arena.get(form).payload {
+        Payload::Form { params, body } => (params, body),
+        _ => return Err(CuliError::Internal("apply_form on non-form")),
+    };
+    let param_syms = param_symbols(interp, params)?;
+    if param_syms.len() != args.len() {
+        return Err(CuliError::Arity {
+            builtin: "form application",
+            expected: arity_name(param_syms.len()),
+            got: args.len(),
+        });
+    }
+    // Evaluate arguments in the caller's environment first …
+    let mut values = Vec::with_capacity(args.len());
+    for &a in args {
+        values.push(eval(interp, hook, a, env, depth + 1)?);
+    }
+    // … then bind them in a fresh environment and evaluate the body there.
+    interp.meter.form_apply();
+    let call_env = interp.envs.push(Some(env));
+    for (sym, value) in param_syms.into_iter().zip(values) {
+        interp.envs.define(call_env, sym, value);
+    }
+    eval(interp, hook, body, call_env, depth + 1)
+}
+
+/// Applies a macro: bind the *unevaluated* argument nodes, evaluate the body
+/// to obtain the expansion, then evaluate the expansion in the caller's
+/// environment.
+fn apply_macro(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    mac: NodeId,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let (params, body) = match interp.arena.get(mac).payload {
+        Payload::Form { params, body } => (params, body),
+        _ => return Err(CuliError::Internal("apply_macro on non-macro")),
+    };
+    let param_syms = param_symbols(interp, params)?;
+    if param_syms.len() != args.len() {
+        return Err(CuliError::Arity {
+            builtin: "macro application",
+            expected: arity_name(param_syms.len()),
+            got: args.len(),
+        });
+    }
+    interp.meter.form_apply();
+    let expand_env = interp.envs.push(Some(env));
+    for (sym, &arg) in param_syms.iter().zip(args) {
+        interp.envs.define(expand_env, *sym, arg);
+    }
+    let expansion = eval(interp, hook, body, expand_env, depth + 1)?;
+    eval(interp, hook, expansion, env, depth + 1)
+}
+
+/// Extracts the parameter symbols of a form's parameter list.
+fn param_symbols(interp: &Interp, params: NodeId) -> Result<Vec<crate::types::StrId>> {
+    let mut out = Vec::new();
+    for kid in interp.arena.list_children(params) {
+        match interp.arena.get(kid).payload {
+            Payload::Text(s) if interp.arena.get(kid).ty == NodeType::Symbol => out.push(s),
+            _ => {
+                return Err(CuliError::Type {
+                    builtin: "form application",
+                    expected: "parameter list of symbols",
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn arity_name(n: usize) -> &'static str {
+    // Only used in error messages; avoids allocating in the common path.
+    match n {
+        0 => "exactly 0",
+        1 => "exactly 1",
+        2 => "exactly 2",
+        3 => "exactly 3",
+        4 => "exactly 4",
+        _ => "the declared parameter count",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::InterpConfig;
+
+    fn run(src: &str) -> String {
+        Interp::default().eval_str(src).unwrap()
+    }
+
+    fn run_err(src: &str) -> CuliError {
+        Interp::default().eval_str(src).unwrap_err()
+    }
+
+    #[test]
+    fn paper_headline_example() {
+        // Paper §III-A: (* 2 (+ 4 3) 6) = 84
+        assert_eq!(run("(* 2 (+ 4 3) 6)"), "84");
+    }
+
+    #[test]
+    fn primitives_self_evaluate() {
+        assert_eq!(run("5"), "5");
+        assert_eq!(run("1.25"), "1.25");
+        assert_eq!(run("nil"), "nil");
+        assert_eq!(run("T"), "T");
+        assert_eq!(run("\"s\""), "\"s\"");
+    }
+
+    #[test]
+    fn unbound_symbols_evaluate_to_themselves() {
+        // Paper: "If there is no matching symbol, the symbol is not
+        // replaced."
+        assert_eq!(run("frobnicate"), "frobnicate");
+    }
+
+    #[test]
+    fn non_function_list_evaluates_elements() {
+        assert_eq!(run("(1 2 3)"), "(1 2 3)");
+        assert_eq!(run("(1 (+ 1 1) 3)"), "(1 2 3)");
+    }
+
+    #[test]
+    fn empty_list_evaluates_to_itself() {
+        assert_eq!(run("()"), "()");
+    }
+
+    #[test]
+    fn defun_and_recursion() {
+        let mut i = Interp::default();
+        i.eval_str("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")
+            .unwrap();
+        assert_eq!(i.eval_str("(fib 5)").unwrap(), "5");
+        assert_eq!(i.eval_str("(fib 10)").unwrap(), "55");
+    }
+
+    #[test]
+    fn recursion_limit_enforced() {
+        let mut i = Interp::new(InterpConfig { max_depth: 64, ..Default::default() });
+        i.eval_str("(defun inf (n) (inf (+ n 1)))").unwrap();
+        assert!(matches!(
+            i.eval_str("(inf 0)").unwrap_err(),
+            CuliError::RecursionLimit { limit: 64 }
+        ));
+    }
+
+    #[test]
+    fn form_arity_checked() {
+        let mut i = Interp::default();
+        i.eval_str("(defun two (a b) (+ a b))").unwrap();
+        assert!(matches!(
+            i.eval_str("(two 1)").unwrap_err(),
+            CuliError::Arity { got: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn dynamic_scoping_visible_through_call_chain() {
+        // Callee sees the caller's let-binding: CuLi environments chain to
+        // the caller, not the definition site.
+        let mut i = Interp::default();
+        i.eval_str("(defun get-x () x)").unwrap();
+        i.eval_str("(defun with-x () (progn (let x 99) (get-x)))").unwrap();
+        assert_eq!(i.eval_str("(with-x)").unwrap(), "99");
+    }
+
+    #[test]
+    fn lambda_applies_inline() {
+        assert_eq!(run("((lambda (x y) (* x y)) 6 7)"), "42");
+    }
+
+    #[test]
+    fn worker_failure_reports_index() {
+        let err = run_err("(||| 2 / (1 2) (1 0))");
+        match err {
+            CuliError::WorkerFailed { worker, message } => {
+                assert_eq!(worker, 1);
+                assert!(message.contains("zero"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn eval_steps_counted() {
+        let mut i = Interp::default();
+        let before = i.meter.snapshot();
+        i.eval_str("(+ 1 2)").unwrap();
+        let d = i.meter.snapshot().delta_since(&before);
+        assert!(d.eval_steps >= 4, "eval steps {}", d.eval_steps);
+        assert_eq!(d.builtin_calls, 1);
+    }
+}

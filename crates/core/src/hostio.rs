@@ -1,0 +1,97 @@
+//! Host-side I/O services for device code.
+//!
+//! The paper lists program-internal file I/O as a missing feature that
+//! *"can be realized by using the buffer for exchanging messages between
+//! host and device for this purpose and will be added in future
+//! versions"*. This module is that future version's seam: the interpreter
+//! (device side) calls a [`HostIo`] implementation provided by the runtime
+//! (host side); the byte traffic is charged through the meter like any
+//! other device↔host exchange.
+
+use std::sync::Arc;
+
+/// Host services available to the device: a minimal file API.
+pub trait HostIo: Send + Sync {
+    /// Reads a whole file; `Err(message)` when it does not exist or the
+    /// host refuses.
+    fn read_file(&self, path: &[u8]) -> Result<Vec<u8>, String>;
+    /// Writes (creates or replaces) a whole file.
+    fn write_file(&self, path: &[u8], data: &[u8]) -> Result<(), String>;
+    /// `true` when the file exists.
+    fn exists(&self, path: &[u8]) -> bool;
+}
+
+/// Cloneable, debuggable handle around a shared host-I/O implementation.
+#[derive(Clone)]
+pub struct HostIoHandle(pub Arc<dyn HostIo>);
+
+impl core::fmt::Debug for HostIoHandle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("HostIoHandle(..)")
+    }
+}
+
+impl HostIoHandle {
+    /// Wraps an implementation.
+    pub fn new(io: impl HostIo + 'static) -> Self {
+        Self(Arc::new(io))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    /// In-memory file map for unit tests.
+    #[derive(Default)]
+    pub struct MemIo {
+        files: Mutex<HashMap<Vec<u8>, Vec<u8>>>,
+    }
+
+    impl HostIo for MemIo {
+        fn read_file(&self, path: &[u8]) -> Result<Vec<u8>, String> {
+            self.files
+                .lock()
+                .unwrap()
+                .get(path)
+                .cloned()
+                .ok_or_else(|| format!("no such file: {}", String::from_utf8_lossy(path)))
+        }
+
+        fn write_file(&self, path: &[u8], data: &[u8]) -> Result<(), String> {
+            self.files.lock().unwrap().insert(path.to_vec(), data.to_vec());
+            Ok(())
+        }
+
+        fn exists(&self, path: &[u8]) -> bool {
+            self.files.lock().unwrap().contains_key(path)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::MemIo;
+    use super::*;
+
+    #[test]
+    fn mem_io_roundtrip() {
+        let io = MemIo::default();
+        assert!(!io.exists(b"a.txt"));
+        io.write_file(b"a.txt", b"hello").unwrap();
+        assert!(io.exists(b"a.txt"));
+        assert_eq!(io.read_file(b"a.txt").unwrap(), b"hello");
+        assert!(io.read_file(b"missing").is_err());
+    }
+
+    #[test]
+    fn handle_is_cloneable_and_shared() {
+        let handle = HostIoHandle::new(MemIo::default());
+        let other = handle.clone();
+        handle.0.write_file(b"x", b"1").unwrap();
+        assert_eq!(other.0.read_file(b"x").unwrap(), b"1", "clones share storage");
+        assert_eq!(format!("{handle:?}"), "HostIoHandle(..)");
+    }
+}

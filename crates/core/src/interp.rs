@@ -1,0 +1,245 @@
+//! The interpreter object: arenas, environments, builtin registry, meter.
+//!
+//! One [`Interp`] corresponds to one running CuLi instance — on the real
+//! system, the state living in GPU global memory for the lifetime of the
+//! persistent kernel. It is deliberately `Clone` so the CPU-threaded
+//! runtime can fork isolated workers, and so tests can snapshot state.
+
+use crate::arena::NodeArena;
+use crate::builtins::Registry;
+use crate::cost::Meter;
+use crate::env::EnvArena;
+use crate::error::Result;
+use crate::eval::{eval, ParallelHook, SequentialHook};
+use crate::node::Node;
+use crate::parser::parse;
+use crate::printer::print_to_string;
+use crate::strings::StrTable;
+use crate::types::{EnvId, NodeId};
+
+/// Construction-time limits, the analogue of CuLi's compile-time constants.
+#[derive(Debug, Clone)]
+pub struct InterpConfig {
+    /// Node arena slots (the paper's fixed node array length).
+    pub arena_capacity: usize,
+    /// Output buffer bytes (the device side of the command buffer).
+    pub output_capacity: usize,
+    /// Maximum parse nesting and evaluation recursion depth.
+    pub max_depth: usize,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        Self {
+            arena_capacity: 1 << 20,
+            output_capacity: 1 << 16,
+            max_depth: 512,
+        }
+    }
+}
+
+/// A complete CuLi interpreter instance.
+#[derive(Debug, Clone)]
+pub struct Interp {
+    /// Limits this instance was built with.
+    pub config: InterpConfig,
+    /// Node storage.
+    pub arena: NodeArena,
+    /// Interned strings and symbols.
+    pub strings: StrTable,
+    /// Environment tree storage.
+    pub envs: EnvArena,
+    /// Built-in function registry.
+    pub builtins: Registry,
+    /// The global environment (root of the environment tree; holds the
+    /// built-in functions and everything `defun`/`setq` made global).
+    pub global: EnvId,
+    /// Operation counters for the cost model.
+    pub meter: Meter,
+    /// Host-side I/O services (the paper's future-work file API, routed
+    /// over the command buffer). `None` until a runtime attaches one.
+    pub host_io: Option<crate::hostio::HostIoHandle>,
+}
+
+impl Interp {
+    /// Builds an interpreter: allocates the arenas, creates the global
+    /// environment and registers every built-in function in it (the paper
+    /// stores builtins like `+` and `defun` in the global environment).
+    pub fn new(config: InterpConfig) -> Self {
+        let mut interp = Self {
+            arena: NodeArena::with_capacity(config.arena_capacity),
+            strings: StrTable::new(),
+            envs: EnvArena::new(),
+            builtins: Registry::new(),
+            global: EnvId::new(0), // placeholder, replaced below
+            meter: Meter::new(),
+            host_io: None,
+            config,
+        };
+        interp.global = interp.envs.push(None);
+        let defs = crate::builtins::all_builtins();
+        for def in defs {
+            let id = interp.builtins.register(def);
+            let sym = interp.strings.intern(def.name.as_bytes());
+            let node = interp
+                .arena
+                .alloc(Node::function(id), &mut interp.meter)
+                .expect("arena must fit the builtin table");
+            interp.envs.define(interp.global, sym, node);
+        }
+        interp
+    }
+
+    /// Allocates a node, charging the meter.
+    pub fn alloc(&mut self, node: Node) -> Result<NodeId> {
+        self.arena.alloc(node, &mut self.meter)
+    }
+
+    /// Allocates a symbol node for `name`.
+    pub fn symbol(&mut self, name: &[u8]) -> Result<NodeId> {
+        let sid = self.strings.intern(name);
+        self.alloc(Node::symbol(sid))
+    }
+
+    /// Shallow-copies a node for insertion into a freshly built list.
+    ///
+    /// Nodes are immutable once visible, but their `next` link is the list
+    /// chain they already sit in — linking an existing node into a second
+    /// list would corrupt the first. The copy shares any child structure
+    /// (safe: children are immutable), exactly as cheap as the C original's
+    /// fresh result nodes.
+    pub fn copy_for_list(&mut self, id: NodeId) -> Result<NodeId> {
+        let n = *self.arena.get(id);
+        self.alloc(Node { ty: n.ty, payload: n.payload, next: None })
+    }
+
+    /// Deep-copies a node tree from another interpreter instance into this
+    /// one, re-interning text and preserving structure. Used by the
+    /// real-threads CPU backend: workers evaluate in forked instances and
+    /// their results are imported back (the forks share builtin registry
+    /// order, so `Builtin` payloads transfer unchanged).
+    pub fn import_tree(&mut self, src: &Interp, node: NodeId) -> Result<NodeId> {
+        let n = *src.arena.get(node);
+        let payload = match n.payload {
+            crate::node::Payload::Text(sid) => {
+                let text = src.strings.get(sid).to_vec();
+                crate::node::Payload::Text(self.strings.intern(&text))
+            }
+            crate::node::Payload::List { first, .. } => {
+                let list = self.alloc(Node::new(
+                    n.ty,
+                    crate::node::Payload::List { first: None, last: None },
+                ))?;
+                let mut cur = first;
+                while let Some(child) = cur {
+                    let copied = self.import_tree(src, child)?;
+                    self.arena.list_append(list, copied);
+                    cur = src.arena.get(child).next;
+                }
+                return Ok(list);
+            }
+            crate::node::Payload::Form { params, body } => {
+                let params = self.import_tree(src, params)?;
+                let body = self.import_tree(src, body)?;
+                crate::node::Payload::Form { params, body }
+            }
+            other => other,
+        };
+        self.alloc(Node { ty: n.ty, payload, next: None })
+    }
+
+    /// Looks `name` up in the global environment without charging lookup
+    /// costs (diagnostics/tests).
+    pub fn lookup_global(&mut self, name: &[u8]) -> Option<NodeId> {
+        let sym = self.strings.intern(name);
+        let mut scratch = Meter::new();
+        self.envs.lookup(self.global, sym, &self.strings, &mut scratch)
+    }
+
+    /// Parses, evaluates and prints one input line against the persistent
+    /// global environment, sequentially (no parallel backend). This is the
+    /// plain-CPU read–eval–print used by tests and the quickstart; the
+    /// runtimes in `culi-runtime` drive the same pieces phase by phase.
+    pub fn eval_str(&mut self, src: &str) -> Result<String> {
+        self.eval_str_with(src, &mut SequentialHook)
+    }
+
+    /// Like [`Interp::eval_str`] but with an explicit parallel backend for
+    /// `|||` expressions.
+    pub fn eval_str_with(&mut self, src: &str, hook: &mut dyn ParallelHook) -> Result<String> {
+        let forms = parse(self, src.as_bytes())?;
+        let mut last = None;
+        for form in forms {
+            last = Some(eval(self, hook, form, self.global, 0)?);
+        }
+        match last {
+            Some(node) => print_to_string(self, node),
+            None => Ok(String::new()),
+        }
+    }
+}
+
+impl Default for Interp {
+    fn default() -> Self {
+        Self::new(InterpConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_interp_registers_builtins_globally() {
+        let mut i = Interp::default();
+        for name in ["+", "-", "*", "/", "car", "cdr", "defun", "let", "setq", "|||"] {
+            assert!(
+                i.lookup_global(name.as_bytes()).is_some(),
+                "builtin {name} missing from global environment"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_str_empty_input() {
+        let mut i = Interp::default();
+        assert_eq!(i.eval_str("").unwrap(), "");
+        assert_eq!(i.eval_str("   \n ").unwrap(), "");
+    }
+
+    #[test]
+    fn eval_str_multiple_forms_returns_last() {
+        let mut i = Interp::default();
+        assert_eq!(i.eval_str("(+ 1 1) (+ 2 2)").unwrap(), "4");
+    }
+
+    #[test]
+    fn global_environment_persists_between_inputs() {
+        // Paper §I: "the successively created environment on the GPU is
+        // persistent until the interpreter is terminated".
+        let mut i = Interp::default();
+        i.eval_str("(setq x 41)").unwrap();
+        assert_eq!(i.eval_str("(+ x 1)").unwrap(), "42");
+    }
+
+    #[test]
+    fn copy_for_list_detaches_next() {
+        let mut i = Interp::default();
+        let forms = crate::parser::parse(&mut i, b"(1 2)").unwrap();
+        let kids = i.arena.list_children(forms[0]);
+        assert!(i.arena.get(kids[0]).next.is_some());
+        let copy = i.copy_for_list(kids[0]).unwrap();
+        assert!(i.arena.get(copy).next.is_none());
+        assert_eq!(i.arena.get(copy).payload, i.arena.get(kids[0]).payload);
+    }
+
+    #[test]
+    fn interp_is_cloneable_for_worker_forks() {
+        let mut i = Interp::default();
+        i.eval_str("(setq x 7)").unwrap();
+        let mut fork = i.clone();
+        assert_eq!(fork.eval_str("x").unwrap(), "7");
+        fork.eval_str("(setq x 8)").unwrap();
+        assert_eq!(i.eval_str("x").unwrap(), "7", "fork must not affect original");
+    }
+}

@@ -1,0 +1,45 @@
+//! # culi-core — the CuLi Lisp interpreter
+//!
+//! Rust reproduction of the interpreter described in *"And Now for
+//! Something Completely Different: Running Lisp on GPUs"* (Süß, Döring,
+//! Brinkmann, Nagel — IEEE CLUSTER 2018): node arena, environment trees,
+//! character-by-character parser, recursive evaluator, postfix printer, and
+//! the `|||` parallel construct.
+//!
+//! This crate is backend-agnostic: it executes Lisp and *counts* every
+//! primitive operation ([`cost::Counters`]); the GPU/CPU device models in
+//! `culi-gpu-sim` turn those counts into simulated time, and
+//! `culi-runtime` supplies real parallel backends for `|||` via the
+//! [`eval::ParallelHook`] seam.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use culi_core::interp::Interp;
+//!
+//! let mut lisp = Interp::default();
+//! lisp.eval_str("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))").unwrap();
+//! assert_eq!(lisp.eval_str("(||| 3 fib (5 6 7))").unwrap(), "(5 8 13)");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod builtins;
+pub mod cost;
+pub mod env;
+pub mod error;
+pub mod eval;
+pub mod gc;
+pub mod hostio;
+pub mod interp;
+pub mod node;
+pub mod parser;
+pub mod printer;
+pub mod strings;
+pub mod types;
+
+pub use error::{CuliError, Result};
+pub use eval::{eval, ParallelHook, SequentialHook};
+pub use interp::{Interp, InterpConfig};
+pub use types::{BindingId, BuiltinId, EnvId, NodeId, StrId};

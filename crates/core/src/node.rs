@@ -1,0 +1,203 @@
+//! The node — CuLi's single universal value representation.
+//!
+//! Paper §III-A a: *"The most basic structure of CuLi is the node ... Such a
+//! node stores values, functions and links to other nodes. After a value has
+//! been assigned to a node, it becomes immutable."*
+//!
+//! Every node carries a type tag and a payload, plus a `next` link used when
+//! the node is an element of a list. Lists carry first/last child pointers
+//! (paper Fig. 2), so `car` is one hop and appending during parsing is O(1).
+
+use crate::types::{BuiltinId, NodeId, StrId};
+
+/// The node type tag, mirroring the paper's `N_*` enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeType {
+    /// `N_NIL` — the false/empty value.
+    Nil,
+    /// `N_TRUE` — the true value, printed `T`.
+    True,
+    /// `N_INT` — 64-bit signed integer.
+    Int,
+    /// `N_FLOAT` — IEEE-754 double.
+    Float,
+    /// `N_STRING` — immutable byte string.
+    Str,
+    /// `N_SYMBOL` — a name, late-bound through environments.
+    Symbol,
+    /// `N_FUNCTION` — a built-in function stored in the global environment.
+    Function,
+    /// `N_LIST` — a linked list of child nodes.
+    List,
+    /// `N_EXPRESSION` — a list whose head resolved to a built-in; the
+    /// intermediate step of evaluation (paper Fig. 3).
+    Expression,
+    /// `N_FORM` — a user-defined function (`defun`): parameter list + body.
+    Form,
+    /// A user-defined macro (`defmacro`): like a form, but arguments arrive
+    /// unevaluated and the expansion is evaluated again. The paper lists
+    /// macros among the supported features without detailing them.
+    Macro,
+}
+
+impl NodeType {
+    /// `true` for types whose nodes evaluate to themselves unchanged
+    /// (paper §III-B c: *"If the node type is none of the previously
+    /// mentioned ones it must be a primitive and can be returned
+    /// unchanged"*).
+    pub fn is_self_evaluating(self) -> bool {
+        matches!(
+            self,
+            NodeType::Nil
+                | NodeType::True
+                | NodeType::Int
+                | NodeType::Float
+                | NodeType::Str
+                | NodeType::Function
+                | NodeType::Form
+                | NodeType::Macro
+        )
+    }
+}
+
+/// Node payload, one variant per [`NodeType`] family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Payload {
+    /// `Nil`/`True` carry no payload.
+    Empty,
+    /// Integer value.
+    Int(i64),
+    /// Float value.
+    Float(f64),
+    /// Interned text of a string or symbol.
+    Text(StrId),
+    /// Registry handle of a built-in function.
+    Builtin(BuiltinId),
+    /// List contents: first and last child (paper Fig. 2 keeps both so the
+    /// parser can append in O(1) and printing knows where to stop).
+    List {
+        /// First child, `None` for the empty list.
+        first: Option<NodeId>,
+        /// Last child, `None` for the empty list.
+        last: Option<NodeId>,
+    },
+    /// User-defined function or macro: parameter list and body.
+    Form {
+        /// `N_LIST` node holding parameter symbols.
+        params: NodeId,
+        /// Body expression evaluated on application.
+        body: NodeId,
+    },
+}
+
+/// One slot of the node arena.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Node {
+    /// The type tag.
+    pub ty: NodeType,
+    /// Payload as dictated by `ty`.
+    pub payload: Payload,
+    /// Sibling link: the next element when this node sits inside a list.
+    pub next: Option<NodeId>,
+}
+
+impl Node {
+    /// A fresh node with no sibling.
+    pub fn new(ty: NodeType, payload: Payload) -> Self {
+        Self { ty, payload, next: None }
+    }
+
+    /// The canonical nil node value.
+    pub fn nil() -> Self {
+        Self::new(NodeType::Nil, Payload::Empty)
+    }
+
+    /// The canonical true node value.
+    pub fn truth() -> Self {
+        Self::new(NodeType::True, Payload::Empty)
+    }
+
+    /// Integer node.
+    pub fn int(v: i64) -> Self {
+        Self::new(NodeType::Int, Payload::Int(v))
+    }
+
+    /// Float node.
+    pub fn float(v: f64) -> Self {
+        Self::new(NodeType::Float, Payload::Float(v))
+    }
+
+    /// Symbol node over interned text.
+    pub fn symbol(s: StrId) -> Self {
+        Self::new(NodeType::Symbol, Payload::Text(s))
+    }
+
+    /// String node over interned text.
+    pub fn string(s: StrId) -> Self {
+        Self::new(NodeType::Str, Payload::Text(s))
+    }
+
+    /// Built-in function node.
+    pub fn function(f: BuiltinId) -> Self {
+        Self::new(NodeType::Function, Payload::Builtin(f))
+    }
+
+    /// Empty list node.
+    pub fn empty_list() -> Self {
+        Self::new(NodeType::List, Payload::List { first: None, last: None })
+    }
+
+    /// In Lisp, everything except `nil` (and the empty list, which *is*
+    /// nil-valued) is truthy.
+    pub fn is_truthy(&self) -> bool {
+        match self.ty {
+            NodeType::Nil => false,
+            NodeType::List => !matches!(self.payload, Payload::List { first: None, .. }),
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_evaluating_classification() {
+        assert!(NodeType::Int.is_self_evaluating());
+        assert!(NodeType::Nil.is_self_evaluating());
+        assert!(NodeType::Str.is_self_evaluating());
+        assert!(!NodeType::Symbol.is_self_evaluating());
+        assert!(!NodeType::List.is_self_evaluating());
+        assert!(!NodeType::Expression.is_self_evaluating());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Node::nil().is_truthy());
+        assert!(Node::truth().is_truthy());
+        assert!(Node::int(0).is_truthy(), "0 is truthy in Lisp");
+        assert!(Node::float(0.0).is_truthy());
+        assert!(!Node::empty_list().is_truthy(), "() is nil");
+        let lst = Node::new(
+            NodeType::List,
+            Payload::List { first: Some(NodeId::new(0)), last: Some(NodeId::new(0)) },
+        );
+        assert!(lst.is_truthy());
+    }
+
+    #[test]
+    fn constructors_set_types() {
+        assert_eq!(Node::int(5).ty, NodeType::Int);
+        assert_eq!(Node::float(1.5).ty, NodeType::Float);
+        assert_eq!(Node::nil().ty, NodeType::Nil);
+        assert_eq!(Node::empty_list().ty, NodeType::List);
+    }
+
+    #[test]
+    fn node_is_small() {
+        // One arena slot should stay cache-friendly; the paper packs nodes
+        // into a contiguous global array.
+        assert!(core::mem::size_of::<Node>() <= 32, "{}", core::mem::size_of::<Node>());
+    }
+}

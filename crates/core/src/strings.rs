@@ -1,0 +1,97 @@
+//! Interned string storage.
+//!
+//! The C original stores `const char *` pointers in nodes; symbols are
+//! compared with `strcmp` during environment lookup. Here text lives in an
+//! append-only table and nodes hold [`StrId`] handles. Symbols are
+//! deduplicated so identical names share one id — the cost model still
+//! charges byte-comparison work for symbol lookups (see
+//! [`crate::env::EnvArena::lookup`]) to stay faithful to what the device
+//! actually pays.
+
+use crate::types::StrId;
+use std::collections::HashMap;
+
+/// Append-only, deduplicating text table.
+#[derive(Debug, Clone, Default)]
+pub struct StrTable {
+    texts: Vec<Box<[u8]>>,
+    dedup: HashMap<Box<[u8]>, StrId>,
+}
+
+impl StrTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `text`, returning the existing id when the exact bytes were
+    /// seen before.
+    pub fn intern(&mut self, text: &[u8]) -> StrId {
+        if let Some(&id) = self.dedup.get(text) {
+            return id;
+        }
+        let id = StrId::new(self.texts.len());
+        let boxed: Box<[u8]> = text.into();
+        self.texts.push(boxed.clone());
+        self.dedup.insert(boxed, id);
+        id
+    }
+
+    /// The bytes behind an id.
+    pub fn get(&self, id: StrId) -> &[u8] {
+        &self.texts[id.index()]
+    }
+
+    /// Length in bytes of the text behind `id`.
+    pub fn len_of(&self, id: StrId) -> usize {
+        self.texts[id.index()].len()
+    }
+
+    /// Number of distinct interned texts.
+    pub fn count(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// Lossy UTF-8 view for diagnostics.
+    pub fn display(&self, id: StrId) -> String {
+        String::from_utf8_lossy(self.get(id)).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups() {
+        let mut t = StrTable::new();
+        let a = t.intern(b"fib");
+        let b = t.intern(b"fib");
+        let c = t.intern(b"fob");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.count(), 2);
+    }
+
+    #[test]
+    fn get_roundtrips() {
+        let mut t = StrTable::new();
+        let id = t.intern(b"hello world");
+        assert_eq!(t.get(id), b"hello world");
+        assert_eq!(t.len_of(id), 11);
+        assert_eq!(t.display(id), "hello world");
+    }
+
+    #[test]
+    fn empty_string_is_internable() {
+        let mut t = StrTable::new();
+        let id = t.intern(b"");
+        assert_eq!(t.get(id), b"");
+    }
+
+    #[test]
+    fn case_sensitive() {
+        let mut t = StrTable::new();
+        assert_ne!(t.intern(b"Foo"), t.intern(b"foo"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Index newtypes for the interpreter's arenas.
+//!
+//! Everything the interpreter touches lives in flat arrays ("global memory"
+//! in the paper's GPU build): nodes, interned strings, environments and
+//! bindings. These newtypes keep the index spaces from mixing and keep
+//! `Option<Id>` at four bytes via `NonZeroU32`.
+
+use core::fmt;
+use core::num::NonZeroU32;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(NonZeroU32);
+
+        impl $name {
+            /// Wraps an arena index (0-based).
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                debug_assert!(index < u32::MAX as usize);
+                Self(NonZeroU32::new(index as u32 + 1).expect("index + 1 overflowed"))
+            }
+
+            /// The 0-based arena index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0.get() as usize - 1
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.index())
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Handle to a [`crate::node::Node`] in the node arena.
+    NodeId,
+    "n"
+);
+define_id!(
+    /// Handle to an interned string or symbol.
+    StrId,
+    "s"
+);
+define_id!(
+    /// Handle to an environment in the environment arena.
+    EnvId,
+    "e"
+);
+define_id!(
+    /// Handle to a single `(symbol → node)` binding.
+    BindingId,
+    "b"
+);
+define_id!(
+    /// Handle to a built-in function in the registry.
+    BuiltinId,
+    "f"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        for i in [0usize, 1, 42, 1_000_000] {
+            assert_eq!(NodeId::new(i).index(), i);
+            assert_eq!(StrId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn option_is_free() {
+        assert_eq!(
+            core::mem::size_of::<Option<NodeId>>(),
+            core::mem::size_of::<u32>()
+        );
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", NodeId::new(3)), "n3");
+        assert_eq!(format!("{:?}", EnvId::new(0)), "e0");
+    }
+}

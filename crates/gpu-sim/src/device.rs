@@ -1,0 +1,562 @@
+//! Device catalog and cost model.
+//!
+//! The paper evaluates CuLi on six NVIDIA GPUs spanning four architecture
+//! generations, plus two x86 hosts. We reproduce each as a [`DeviceSpec`]:
+//! real structural parameters (SM/core count, clock, L2 size, memory-bus
+//! width) plus a [`CostTable`] assigning a cycle price to every primitive
+//! operation the interpreter counts.
+//!
+//! ## Calibration
+//!
+//! Cost tables are calibrated so the regenerated figures reproduce the
+//! paper's *shapes* (see `EXPERIMENTS.md` for the paper-vs-measured index):
+//!
+//! * **Fermi parses fast** (paper Fig. 16b / 17b): Fermi caches global
+//!   loads in L1 by default; Kepler and later disabled that, and the paper
+//!   additionally blames the narrower memory bus (384→256 bit) and smaller
+//!   L2. Encoded as [`CostTable::char_scan`]: ~8× cheaper when
+//!   `l1_cached_global_loads` is set.
+//! * **Newer GPUs evaluate faster** (Fig. 16c): per-op costs shrink with
+//!   the architecture generation while clocks rise.
+//! * **Newer GPUs have higher base latency** (Fig. 14): context setup cost
+//!   grew with driver/runtime complexity; encoded directly as
+//!   `launch_overhead_ns`/`teardown_ns` per device.
+//! * **CPUs win by ≥10×** (Fig. 15): single-thread op costs are 1–2 orders
+//!   of magnitude cheaper on the out-of-order hosts.
+
+/// GPU architecture generations appearing in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// Tesla C2075, GeForce GTX 480.
+    Fermi,
+    /// Tesla K20, GeForce GTX 680.
+    Kepler,
+    /// Tesla M40.
+    Maxwell,
+    /// GeForce GTX 1080.
+    Pascal,
+    /// Post-paper generation (Tesla V100 class) used for the conclusion's
+    /// projection: independent thread scheduling + configurable L1.
+    Volta,
+    /// x86 host (Intel/AMD).
+    Host,
+}
+
+/// Device class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// CUDA-capable GPU running the persistent CuLi kernel.
+    Gpu,
+    /// Multicore CPU running the pthreads build.
+    Cpu,
+}
+
+/// Cycle prices of the interpreter's primitive operations plus the
+/// synchronization primitives of the persistent kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostTable {
+    /// Per input byte examined by the tokenizer.
+    pub char_scan: u64,
+    /// Per node allocated from the arena (global-memory RMW on GPU).
+    pub node_alloc: u64,
+    /// Per node payload/link read.
+    pub node_read: u64,
+    /// Per environment binding probed.
+    pub env_probe: u64,
+    /// Per byte compared during symbol lookup (`strcmp`).
+    pub sym_cmp_byte: u64,
+    /// Per evaluator dispatch step.
+    pub eval_step: u64,
+    /// Per arithmetic/comparison primitive.
+    pub arith: u64,
+    /// Per built-in invocation.
+    pub builtin_call: u64,
+    /// Per user-form application (environment creation + binding).
+    pub form_apply: u64,
+    /// Per output byte appended by the printer.
+    pub output_byte: u64,
+    /// Per number formatted (itoa/dtoa).
+    pub num_format: u64,
+    /// Per atomic read-modify-write on a postbox flag. The paper notes
+    /// atomically accessed flags bypass the transparent cache and are
+    /// "slower than direct" accesses.
+    pub atomic_rmw: u64,
+    /// Per plain global-memory read of a flag (spin-loop body).
+    pub spin_iter: u64,
+    /// Block barrier (`__syncthreads`).
+    pub barrier: u64,
+    /// Master writing one job into a worker postbox (expression pointer +
+    /// `work`/`sync` flags).
+    pub job_write: u64,
+    /// Master collecting one worker result from its postbox.
+    pub job_collect: u64,
+}
+
+/// One evaluated device: identity, structure, and costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name as used in the paper's figures.
+    pub name: &'static str,
+    /// GPU or CPU.
+    pub kind: DeviceKind,
+    /// Architecture generation.
+    pub arch: Arch,
+    /// Streaming multiprocessors (GPU) or hardware threads (CPU).
+    pub sm_count: u32,
+    /// Threads per block; the paper fixes this to one warp (32). CPUs: 1.
+    pub warp_size: u32,
+    /// Resident worker blocks per SM for the persistent kernel grid.
+    pub blocks_per_sm: u32,
+    /// Core clock in MHz.
+    pub clock_mhz: u32,
+    /// L2 cache in KiB (paper cites the 768→512 KiB reduction).
+    pub l2_kib: u32,
+    /// Memory interface width in bits (paper cites 384→256).
+    pub mem_bus_bits: u32,
+    /// Fermi-style transparent L1 caching of global loads.
+    pub l1_cached_global_loads: bool,
+    /// Volta-style independent thread scheduling: every lane has its own
+    /// program counter, so a spinning lane no longer starves divergent
+    /// lanes of the same warp. The paper's conclusion anticipates exactly
+    /// this ("New versions of NVidia GPUs provide a new threading model
+    /// that is closer to the model provided on CPUs"); with it enabled,
+    /// both livelock hazards of §III-D disappear mechanically. All eight
+    /// evaluated devices predate it.
+    pub independent_thread_scheduling: bool,
+    /// CUDA context / process setup time in nanoseconds (Fig. 14).
+    pub launch_overhead_ns: u64,
+    /// Graceful stop time in nanoseconds (Fig. 14 includes the stop).
+    pub teardown_ns: u64,
+    /// Per-command REPL dispatch overhead in device cycles: the master
+    /// waking from its `dev_sync` spin, re-entering the evaluation loop and
+    /// signalling back. The paper folds all device time into the three
+    /// phases (parse/eval/print), so runtimes charge this to the eval
+    /// phase — it is why GPU runtimes plateau near half a millisecond for
+    /// tiny inputs (Fig. 15, 1–64 threads).
+    pub command_overhead_cycles: u64,
+    /// Operation costs.
+    pub costs: CostTable,
+}
+
+impl DeviceSpec {
+    /// Converts device cycles to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 * 1000.0 / self.clock_mhz as f64
+    }
+
+    /// Converts device cycles to milliseconds.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        self.cycles_to_ns(cycles) / 1e6
+    }
+
+    /// Total worker threads the persistent kernel grid provides (the master
+    /// block is excluded when masked; see `KernelConfig`).
+    pub fn grid_workers(&self) -> usize {
+        (self.sm_count * self.blocks_per_sm * self.warp_size) as usize
+    }
+
+    /// Base latency in milliseconds (launch + graceful stop), Fig. 14.
+    pub fn base_latency_ms(&self) -> f64 {
+        (self.launch_overhead_ns + self.teardown_ns) as f64 / 1e6
+    }
+
+    /// `true` for Fermi-generation GPUs (the parsing outliers).
+    pub fn is_fermi(&self) -> bool {
+        self.arch == Arch::Fermi
+    }
+}
+
+fn gpu_costs(arch: Arch, l1_cached: bool) -> CostTable {
+    // Generation scaling: later architectures dispatch interpreter ops
+    // faster (better ILP, larger register files, faster atomics). The
+    // byte-scan price is *not* generation-scaled — it is governed by
+    // whether global loads are transparently cached (Fermi) or not.
+    let gen = match arch {
+        Arch::Fermi => 1.00,
+        Arch::Kepler => 0.90,
+        Arch::Maxwell => 0.75,
+        Arch::Pascal => 0.60,
+        Arch::Volta => 0.45,
+        Arch::Host => unreachable!("host uses cpu_costs"),
+    };
+    let s = |base: f64| -> u64 { (base * gen).round().max(1.0) as u64 };
+    CostTable {
+        // Byte-stream scanning is the one place Fermi wins: transparent L1
+        // caching of global loads makes the next sequential byte ~a cache
+        // hit; Kepler+ pay an uncached global load per byte.
+        char_scan: if l1_cached { 90 } else { 1650 },
+        node_alloc: s(160.0),
+        node_read: s(40.0),
+        env_probe: s(80.0),
+        sym_cmp_byte: s(8.0),
+        eval_step: s(25.0),
+        arith: s(8.0),
+        builtin_call: s(40.0),
+        form_apply: s(120.0),
+        output_byte: s(700.0),
+        num_format: s(500.0),
+        atomic_rmw: s(120.0),
+        spin_iter: s(40.0),
+        barrier: s(50.0),
+        job_write: s(400.0),
+        job_collect: s(250.0),
+    }
+}
+
+fn cpu_costs() -> CostTable {
+    CostTable {
+        char_scan: 2,
+        node_alloc: 12,
+        node_read: 2,
+        env_probe: 4,
+        sym_cmp_byte: 1,
+        eval_step: 5,
+        arith: 1,
+        builtin_call: 8,
+        form_apply: 24,
+        output_byte: 3,
+        num_format: 40,
+        atomic_rmw: 40,
+        spin_iter: 8,
+        barrier: 30,
+        // "job write/collect" on the CPU build is handing work to a pthread
+        // worker: queue push/pop plus cache-line transfer.
+        job_write: 120,
+        job_collect: 80,
+    }
+}
+
+/// Tesla C2075 (Fermi): 14 SMs @ 1150 MHz, 768 KiB L2, 384-bit bus.
+pub fn tesla_c2075() -> DeviceSpec {
+    DeviceSpec {
+        name: "TeslaC2075",
+        kind: DeviceKind::Gpu,
+        arch: Arch::Fermi,
+        sm_count: 14,
+        warp_size: 32,
+        blocks_per_sm: 8,
+        clock_mhz: 1150,
+        l2_kib: 768,
+        mem_bus_bits: 384,
+        l1_cached_global_loads: true,
+        launch_overhead_ns: 90_000,
+        teardown_ns: 30_000,
+        independent_thread_scheduling: false,
+        command_overhead_cycles: 500000,
+        costs: gpu_costs(Arch::Fermi, true),
+    }
+}
+
+/// Tesla K20 (Kepler): 13 SMX @ 706 MHz, 1.25 MiB L2, 320-bit bus.
+pub fn tesla_k20() -> DeviceSpec {
+    DeviceSpec {
+        name: "TeslaK20",
+        kind: DeviceKind::Gpu,
+        arch: Arch::Kepler,
+        sm_count: 13,
+        warp_size: 32,
+        blocks_per_sm: 16,
+        clock_mhz: 706,
+        l2_kib: 1280,
+        mem_bus_bits: 320,
+        l1_cached_global_loads: false,
+        launch_overhead_ns: 150_000,
+        teardown_ns: 50_000,
+        independent_thread_scheduling: false,
+        command_overhead_cycles: 550000,
+        costs: gpu_costs(Arch::Kepler, false),
+    }
+}
+
+/// Tesla M40 (Maxwell): 24 SMs @ 948 MHz, 3 MiB L2, 384-bit bus.
+pub fn tesla_m40() -> DeviceSpec {
+    DeviceSpec {
+        name: "TeslaM40",
+        kind: DeviceKind::Gpu,
+        arch: Arch::Maxwell,
+        sm_count: 24,
+        warp_size: 32,
+        blocks_per_sm: 16,
+        clock_mhz: 948,
+        l2_kib: 3072,
+        mem_bus_bits: 384,
+        l1_cached_global_loads: false,
+        launch_overhead_ns: 230_000,
+        teardown_ns: 70_000,
+        independent_thread_scheduling: false,
+        command_overhead_cycles: 450000,
+        costs: gpu_costs(Arch::Maxwell, false),
+    }
+}
+
+/// GeForce GTX 480 (Fermi): 15 SMs @ 1401 MHz, 768 KiB L2, 384-bit bus.
+pub fn gtx480() -> DeviceSpec {
+    DeviceSpec {
+        name: "GTX480",
+        kind: DeviceKind::Gpu,
+        arch: Arch::Fermi,
+        sm_count: 15,
+        warp_size: 32,
+        blocks_per_sm: 8,
+        clock_mhz: 1401,
+        l2_kib: 768,
+        mem_bus_bits: 384,
+        l1_cached_global_loads: true,
+        launch_overhead_ns: 70_000,
+        teardown_ns: 20_000,
+        independent_thread_scheduling: false,
+        command_overhead_cycles: 500000,
+        costs: gpu_costs(Arch::Fermi, true),
+    }
+}
+
+/// GeForce GTX 680 (Kepler): 8 SMX @ 1006 MHz, 512 KiB L2, 256-bit bus.
+/// The paper's L2/bus-narrowing example (768→512 KiB, 384→256 bit).
+pub fn gtx680() -> DeviceSpec {
+    DeviceSpec {
+        name: "GTX680",
+        kind: DeviceKind::Gpu,
+        arch: Arch::Kepler,
+        sm_count: 8,
+        warp_size: 32,
+        blocks_per_sm: 16,
+        clock_mhz: 1006,
+        l2_kib: 512,
+        mem_bus_bits: 256,
+        l1_cached_global_loads: false,
+        launch_overhead_ns: 40_000,
+        teardown_ns: 12_000,
+        independent_thread_scheduling: false,
+        command_overhead_cycles: 500000,
+        costs: gpu_costs(Arch::Kepler, false),
+    }
+}
+
+/// GeForce GTX 1080 (Pascal): 20 SMs @ 1607 MHz, 2 MiB L2, 256-bit bus.
+pub fn gtx1080() -> DeviceSpec {
+    DeviceSpec {
+        name: "GTX1080",
+        kind: DeviceKind::Gpu,
+        arch: Arch::Pascal,
+        sm_count: 20,
+        warp_size: 32,
+        blocks_per_sm: 16,
+        clock_mhz: 1607,
+        l2_kib: 2048,
+        mem_bus_bits: 256,
+        l1_cached_global_loads: false,
+        launch_overhead_ns: 240_000,
+        teardown_ns: 70_000,
+        independent_thread_scheduling: false,
+        command_overhead_cycles: 400000,
+        costs: gpu_costs(Arch::Pascal, false),
+    }
+}
+
+/// Hypothetical next-generation GPU (Tesla V100 class) for the paper's
+/// conclusion projection. Not part of the evaluated eight:
+///
+/// * **independent thread scheduling** — the "new threading model that is
+///   closer to the model provided on CPUs" the paper expects to exploit;
+///   both §III-D livelock hazards vanish on it;
+/// * **configurable L1** — global loads cached again ("Another profitable
+///   feature is the configurable cache of these devices which can help to
+///   reduce the parsing penalties"), so `char_scan` returns to the cheap
+///   Fermi-style price;
+/// * one more generation of per-op cost scaling.
+pub fn volta_sim() -> DeviceSpec {
+    DeviceSpec {
+        name: "V100sim",
+        kind: DeviceKind::Gpu,
+        arch: Arch::Volta,
+        sm_count: 80,
+        warp_size: 32,
+        blocks_per_sm: 16,
+        clock_mhz: 1370,
+        l2_kib: 6144,
+        mem_bus_bits: 4096, // HBM2
+        l1_cached_global_loads: true,
+        independent_thread_scheduling: true,
+        launch_overhead_ns: 260_000,
+        teardown_ns: 80_000,
+        command_overhead_cycles: 380_000,
+        costs: gpu_costs(Arch::Volta, true),
+    }
+}
+
+/// Intel Xeon E5-2620: 6 cores + HT (12 hardware threads) @ 2.0 GHz.
+pub fn intel_e5_2620() -> DeviceSpec {
+    DeviceSpec {
+        name: "Intel E5-2620",
+        kind: DeviceKind::Cpu,
+        arch: Arch::Host,
+        sm_count: 12,
+        warp_size: 1,
+        blocks_per_sm: 1,
+        clock_mhz: 2000,
+        l2_kib: 1536,
+        mem_bus_bits: 256,
+        l1_cached_global_loads: true,
+        launch_overhead_ns: 1_100,
+        teardown_ns: 400,
+        independent_thread_scheduling: false,
+        command_overhead_cycles: 30000,
+        costs: cpu_costs(),
+    }
+}
+
+/// AMD Opteron 6272 (4 sockets): 64 cores @ 1.8 GHz.
+pub fn amd_6272() -> DeviceSpec {
+    DeviceSpec {
+        name: "AMD 6272",
+        kind: DeviceKind::Cpu,
+        arch: Arch::Host,
+        sm_count: 64,
+        warp_size: 1,
+        blocks_per_sm: 1,
+        clock_mhz: 1800,
+        l2_kib: 2048,
+        mem_bus_bits: 256,
+        l1_cached_global_loads: true,
+        launch_overhead_ns: 950,
+        teardown_ns: 350,
+        independent_thread_scheduling: false,
+        command_overhead_cycles: 30000,
+        costs: cpu_costs(),
+    }
+}
+
+/// All eight devices of the paper's evaluation, figure order.
+pub fn all_devices() -> Vec<DeviceSpec> {
+    vec![
+        tesla_c2075(),
+        tesla_k20(),
+        tesla_m40(),
+        gtx480(),
+        gtx680(),
+        gtx1080(),
+        intel_e5_2620(),
+        amd_6272(),
+    ]
+}
+
+/// The six GPUs only.
+pub fn all_gpus() -> Vec<DeviceSpec> {
+    all_devices().into_iter().filter(|d| d.kind == DeviceKind::Gpu).collect()
+}
+
+/// Devices for the conclusion's projection experiment: the evaluated GPUs
+/// plus the hypothetical next generation, and the CPUs as the bar to clear.
+pub fn projection_devices() -> Vec<DeviceSpec> {
+    let mut d = all_devices();
+    d.push(volta_sim());
+    d
+}
+
+/// The two CPUs only.
+pub fn all_cpus() -> Vec<DeviceSpec> {
+    all_devices().into_iter().filter(|d| d.kind == DeviceKind::Cpu).collect()
+}
+
+/// Looks a device up by its figure name (case-insensitive, ignoring spaces).
+pub fn device_by_name(name: &str) -> Option<DeviceSpec> {
+    let norm = |s: &str| s.to_ascii_lowercase().replace([' ', '-', '_'], "");
+    all_devices().into_iter().find(|d| norm(d.name) == norm(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_eight_devices() {
+        let d = all_devices();
+        assert_eq!(d.len(), 8);
+        assert_eq!(all_gpus().len(), 6);
+        assert_eq!(all_cpus().len(), 2);
+    }
+
+    #[test]
+    fn base_latency_ordering_matches_fig14() {
+        // Newer GPU ⇒ higher base latency; GTX 680 lowest, ~6× below
+        // GTX 1080 and M40; CPUs > 30× faster than the fastest GPU.
+        let lat = |d: DeviceSpec| d.base_latency_ms();
+        assert!(lat(gtx680()) < lat(gtx480()));
+        assert!(lat(gtx480()) < lat(tesla_c2075()));
+        assert!(lat(tesla_c2075()) < lat(tesla_k20()));
+        assert!(lat(tesla_k20()) < lat(tesla_m40()));
+        assert!(lat(tesla_m40()) <= lat(gtx1080()));
+        let ratio = lat(gtx1080()) / lat(gtx680());
+        assert!((4.0..9.0).contains(&ratio), "GTX1080/GTX680 latency ratio {ratio}");
+        let fastest_gpu = lat(gtx680());
+        for cpu in all_cpus() {
+            assert!(fastest_gpu / cpu.base_latency_ms() > 30.0, "{}", cpu.name);
+        }
+    }
+
+    #[test]
+    fn fermi_scans_bytes_cheaper() {
+        for gpu in all_gpus() {
+            if gpu.is_fermi() {
+                assert!(gpu.costs.char_scan < 150, "{}", gpu.name);
+            } else {
+                assert!(gpu.costs.char_scan >= 500, "{}", gpu.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_ops_are_an_order_of_magnitude_cheaper() {
+        let gpu = gtx1080().costs;
+        let cpu = intel_e5_2620().costs;
+        assert!(gpu.eval_step / cpu.eval_step >= 3);
+        assert!(gpu.node_alloc / cpu.node_alloc >= 5);
+        assert!(gpu.char_scan / cpu.char_scan >= 100);
+    }
+
+    #[test]
+    fn eval_cost_decreases_with_generation() {
+        let fermi = tesla_c2075().costs;
+        let kepler = tesla_k20().costs;
+        let maxwell = tesla_m40().costs;
+        let pascal = gtx1080().costs;
+        assert!(fermi.eval_step >= kepler.eval_step);
+        assert!(kepler.eval_step >= maxwell.eval_step);
+        assert!(maxwell.eval_step >= pascal.eval_step);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let d = gtx1080(); // 1607 MHz
+        let ns = d.cycles_to_ns(1607);
+        assert!((ns - 1000.0).abs() < 1.0, "{ns}");
+        assert!((d.cycles_to_ms(1_607_000_000) - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn grid_sizes_saturate_the_sms() {
+        // Persistent kernels can only use co-resident blocks; Fermi's
+        // 8-blocks/SM limit caps its grid below 4096 workers, which the
+        // runtime covers with multi-round distribution.
+        for gpu in all_gpus() {
+            let w = gpu.grid_workers();
+            assert!(w >= 2048, "{}: {} workers", gpu.name, w);
+            assert_eq!(w % 32, 0, "{}: grid must be warp-aligned", gpu.name);
+        }
+    }
+
+    #[test]
+    fn device_lookup_by_name() {
+        assert_eq!(device_by_name("GTX480").unwrap().name, "GTX480");
+        assert_eq!(device_by_name("tesla c2075").unwrap().name, "TeslaC2075");
+        assert_eq!(device_by_name("intel e5-2620").unwrap().name, "Intel E5-2620");
+        assert!(device_by_name("RTX9090").is_none());
+    }
+
+    #[test]
+    fn warp_sized_blocks_as_in_the_paper() {
+        for gpu in all_gpus() {
+            assert_eq!(gpu.warp_size, 32, "{}: block = one warp", gpu.name);
+        }
+    }
+}

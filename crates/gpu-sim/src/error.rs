@@ -1,0 +1,92 @@
+//! Simulator errors — most importantly, livelock detection.
+
+use core::fmt;
+
+/// Why a persistent-kernel simulation could not make progress.
+///
+/// Both causes are the warp-divergence hazards of paper §III-D d, and each
+/// maps to the mitigation that prevents it (Fig. 12 / Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LivelockCause {
+    /// The master block's worker threads were not disabled (paper Fig. 12
+    /// ablation): workers of block 0 wait at a block barrier the master
+    /// never joins, so any job assigned to block 0 can never complete while
+    /// the master spins on its result.
+    MasterBlockUnmasked,
+    /// The per-block synchronization flag was disabled (paper Fig. 13 /
+    /// Alg. 1 ablation) and a block received jobs for only part of its
+    /// warp: the jobless threads stay in their busy-wait loop, and because
+    /// a pre-Volta warp serializes divergent paths, the spinning group
+    /// monopolizes the warp — the threads holding jobs never run.
+    PartialWarpWithoutBlockFlag {
+        /// The block whose warp livelocked.
+        block: u32,
+        /// How many of its 32 threads held jobs.
+        assigned: u32,
+    },
+}
+
+impl fmt::Display for LivelockCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MasterBlockUnmasked => write!(
+                f,
+                "master block not masked: block-0 workers wait at a barrier the master never joins"
+            ),
+            Self::PartialWarpWithoutBlockFlag { block, assigned } => write!(
+                f,
+                "block {block} has {assigned}/32 threads with jobs and no block sync flag: \
+                 the spinning jobless threads monopolize the warp"
+            ),
+        }
+    }
+}
+
+/// Errors from the machine simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The kernel cannot make progress; the watchdog fired.
+    Livelock {
+        /// Structural diagnosis.
+        cause: LivelockCause,
+        /// Device cycles elapsed when detected.
+        at_cycles: u64,
+    },
+    /// The command buffer protocol was violated.
+    Protocol(&'static str),
+    /// A section was requested after shutdown.
+    KernelStopped,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Livelock { cause, at_cycles } => {
+                write!(f, "livelock detected at cycle {at_cycles}: {cause}")
+            }
+            Self::Protocol(what) => write!(f, "command-buffer protocol violation: {what}"),
+            Self::KernelStopped => write!(f, "persistent kernel already stopped"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_diagnostic() {
+        let e = SimError::Livelock {
+            cause: LivelockCause::PartialWarpWithoutBlockFlag { block: 3, assigned: 17 },
+            at_cycles: 1234,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("block 3"));
+        assert!(msg.contains("17/32"));
+        assert!(msg.contains("1234"));
+        let e2 = SimError::Livelock { cause: LivelockCause::MasterBlockUnmasked, at_cycles: 9 };
+        assert!(e2.to_string().contains("master block"));
+    }
+}

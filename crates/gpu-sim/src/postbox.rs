@@ -1,0 +1,166 @@
+//! Per-thread postboxes (paper Fig. 10).
+//!
+//! *"Each thread has its own, exclusive postbox which is stored in an array
+//! in global memory."* A postbox carries `active`, `work`,
+//! `synchronization` flags and the `io` slot holding the expression to
+//! evaluate / the result. All flag traffic uses atomics — the paper
+//! stresses that this defeats the transparent cache and is priced
+//! accordingly by the cost model; the array counts every atomic so the
+//! kernel can charge them.
+
+/// One worker's postbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Postbox {
+    /// Kernel-alive flag; master clears it to stop the worker loop.
+    pub active: bool,
+    /// Work available for this thread.
+    pub work: bool,
+    /// Handshake flag: master sets it with the job; worker clears it when
+    /// the result is in `io`.
+    pub sync: bool,
+    /// The job slot: opaque job id and its compute budget in cycles.
+    pub io: Option<JobSlot>,
+}
+
+/// What travels through the `io` pointer: which job, and how much compute
+/// it represents (the simulator's stand-in for the actual expression tree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSlot {
+    /// Caller-side job index.
+    pub job: u32,
+    /// Evaluation cost in device cycles.
+    pub cycles: u64,
+}
+
+impl Default for Postbox {
+    fn default() -> Self {
+        // Initial values per the paper: active=1, work=0, sync=0.
+        Self { active: true, work: false, sync: false, io: None }
+    }
+}
+
+/// The global-memory postbox array, with atomic-operation accounting.
+#[derive(Debug, Clone)]
+pub struct PostboxArray {
+    boxes: Vec<Postbox>,
+    atomic_ops: u64,
+}
+
+impl PostboxArray {
+    /// One postbox per thread.
+    pub fn new(threads: usize) -> Self {
+        Self { boxes: vec![Postbox::default(); threads], atomic_ops: 0 }
+    }
+
+    /// Number of postboxes.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// `true` when the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// Atomic RMWs performed so far.
+    pub fn atomic_ops(&self) -> u64 {
+        self.atomic_ops
+    }
+
+    /// Master deposits a job: writes `io`, then sets `work` and `sync`
+    /// (three atomics, paper Fig. 11).
+    pub fn deposit(&mut self, thread: usize, slot: JobSlot) {
+        let b = &mut self.boxes[thread];
+        debug_assert!(!b.work, "depositing into a busy postbox");
+        b.io = Some(slot);
+        b.work = true;
+        b.sync = true;
+        self.atomic_ops += 3;
+    }
+
+    /// Worker completes: clears `work`, publishes the result by clearing
+    /// `sync` (two atomics). Returns the job it held.
+    pub fn complete(&mut self, thread: usize) -> Option<JobSlot> {
+        let b = &mut self.boxes[thread];
+        let slot = b.io.take();
+        b.work = false;
+        b.sync = false;
+        self.atomic_ops += 2;
+        slot
+    }
+
+    /// Master polls a worker's `sync` flag (one atomic read).
+    pub fn poll_sync(&mut self, thread: usize) -> bool {
+        self.atomic_ops += 1;
+        self.boxes[thread].sync
+    }
+
+    /// Master broadcasts termination: clears every `active` flag.
+    pub fn deactivate_all(&mut self) {
+        for b in &mut self.boxes {
+            b.active = false;
+        }
+        self.atomic_ops += self.boxes.len() as u64;
+    }
+
+    /// Read-only view of one postbox (no atomic charged; diagnostics).
+    pub fn peek(&self, thread: usize) -> &Postbox {
+        &self.boxes[thread]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_matches_paper() {
+        let arr = PostboxArray::new(4);
+        for t in 0..4 {
+            let b = arr.peek(t);
+            assert!(b.active, "active=1 initially");
+            assert!(!b.work, "work=0 initially");
+            assert!(!b.sync, "synchronization=0 initially");
+            assert!(b.io.is_none());
+        }
+    }
+
+    #[test]
+    fn deposit_complete_cycle() {
+        let mut arr = PostboxArray::new(2);
+        arr.deposit(1, JobSlot { job: 7, cycles: 500 });
+        assert!(arr.peek(1).work);
+        assert!(arr.poll_sync(1), "sync set while work pending");
+        let done = arr.complete(1).unwrap();
+        assert_eq!(done.job, 7);
+        assert!(!arr.poll_sync(1), "sync cleared after completion");
+        assert!(!arr.peek(1).work);
+    }
+
+    #[test]
+    fn atomic_ops_counted() {
+        let mut arr = PostboxArray::new(2);
+        arr.deposit(0, JobSlot { job: 0, cycles: 1 }); // 3 atomics
+        arr.poll_sync(0); // 1
+        arr.complete(0); // 2
+        assert_eq!(arr.atomic_ops(), 6);
+    }
+
+    #[test]
+    fn deactivate_reaches_everyone() {
+        let mut arr = PostboxArray::new(3);
+        arr.deactivate_all();
+        for t in 0..3 {
+            assert!(!arr.peek(t).active);
+        }
+        assert_eq!(arr.atomic_ops(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy postbox")]
+    fn double_deposit_panics_in_debug() {
+        let mut arr = PostboxArray::new(1);
+        arr.deposit(0, JobSlot { job: 0, cycles: 1 });
+        arr.deposit(0, JobSlot { job: 1, cycles: 1 });
+    }
+}

@@ -1,0 +1,53 @@
+//! Simulation statistics: synchronization traffic and scheduling facts.
+
+/// Counters accumulated over a kernel's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Atomic read-modify-writes on postbox/flag words. The paper notes
+    /// these bypass the transparent cache and carry a performance penalty.
+    pub atomic_ops: u64,
+    /// Block barrier crossings (`__syncthreads`), counted per thread.
+    pub barrier_crossings: u64,
+    /// Busy-wait loop iterations executed by spinning threads (the
+    /// energy-hungry waiting the paper's §II-C laments).
+    pub spin_iterations: u64,
+    /// Warp divergence events (a warp splitting into groups).
+    pub divergence_events: u64,
+    /// Parallel sections executed (`|||` expressions reaching the device).
+    pub sections: u64,
+    /// Distribution rounds across all sections (jobs can exceed workers).
+    pub distribution_rounds: u64,
+    /// Jobs executed across all sections.
+    pub jobs_executed: u64,
+    /// Worker blocks that ever received work.
+    pub blocks_touched: u64,
+}
+
+impl SimStats {
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &SimStats) {
+        self.atomic_ops += other.atomic_ops;
+        self.barrier_crossings += other.barrier_crossings;
+        self.spin_iterations += other.spin_iterations;
+        self.divergence_events += other.divergence_events;
+        self.sections += other.sections;
+        self.distribution_rounds += other.distribution_rounds;
+        self.jobs_executed += other.jobs_executed;
+        self.blocks_touched += other.blocks_touched;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = SimStats { atomic_ops: 5, sections: 1, ..Default::default() };
+        let b = SimStats { atomic_ops: 3, jobs_executed: 7, ..Default::default() };
+        a.add(&b);
+        assert_eq!(a.atomic_ops, 8);
+        assert_eq!(a.jobs_executed, 7);
+        assert_eq!(a.sections, 1);
+    }
+}

@@ -1,0 +1,418 @@
+//! The CPU read–eval–print loops (the paper's comparison systems).
+//!
+//! Two backends share one type:
+//!
+//! * **Modeled** — the same staged pipeline as the GPU session, but timed
+//!   by a [`CpuMachine`] (list-scheduled pthread workers, no warps, no
+//!   postbox spinning). This is the backend behind the CPU series of
+//!   Figs. 14–18.
+//! * **Threaded** — `|||` sections really run on OS threads via crossbeam:
+//!   each worker thread gets a forked interpreter (CuLi workers are
+//!   side-effect-isolated, so a fork per worker preserves semantics) and
+//!   results are imported back in distribution order. This backend proves
+//!   the interpreter's parallel semantics on real hardware and reports
+//!   wall-clock time.
+
+use crate::error::{Result, RuntimeError};
+use crate::phases::{breakdown, counters_to_cycles};
+use crate::reply::Reply;
+use culi_core::cost::Counters;
+use culi_core::eval::{eval, ParallelHook, SequentialHook};
+use culi_core::{CuliError, Interp, InterpConfig, NodeId};
+use culi_gpu_sim::{CpuMachine, DeviceSpec, SectionReport, SimError};
+
+/// How `|||` sections execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuMode {
+    /// Deterministic cost-model timing (figures).
+    Modeled,
+    /// Real crossbeam threads (functional parallelism; wall-clock timing).
+    Threaded {
+        /// Worker thread count.
+        threads: usize,
+    },
+}
+
+/// Configuration for a CPU session.
+#[derive(Debug, Clone)]
+pub struct CpuReplConfig {
+    /// Interpreter limits.
+    pub interp: InterpConfig,
+    /// Execution mode.
+    pub mode: CpuMode,
+    /// Run the collector between commands.
+    pub gc_between_commands: bool,
+    /// Host-side file services exposed to device code.
+    pub host_io: Option<culi_core::hostio::HostIoHandle>,
+}
+
+impl Default for CpuReplConfig {
+    fn default() -> Self {
+        Self {
+            interp: InterpConfig::default(),
+            mode: CpuMode::Modeled,
+            gc_between_commands: true,
+            host_io: None,
+        }
+    }
+}
+
+/// A live CuLi session on a (modeled or real) CPU.
+#[derive(Debug)]
+pub struct CpuRepl {
+    interp: Interp,
+    machine: CpuMachine,
+    config: CpuReplConfig,
+}
+
+impl CpuRepl {
+    /// Boots a CPU session for `spec` (one of the catalog's CPU devices).
+    pub fn launch(spec: DeviceSpec, config: CpuReplConfig) -> Self {
+        let mut interp = Interp::new(config.interp.clone());
+        interp.host_io = config.host_io.clone();
+        Self { interp, machine: CpuMachine::launch(spec), config }
+    }
+
+    /// The device this session models.
+    pub fn spec(&self) -> DeviceSpec {
+        *self.machine.spec()
+    }
+
+    /// Direct access to the interpreter (tests/diagnostics).
+    pub fn interp_mut(&mut self) -> &mut Interp {
+        &mut self.interp
+    }
+
+    /// Submits one command line.
+    pub fn submit(&mut self, input: &str) -> Result<Reply> {
+        if !self.machine.is_running() {
+            return Err(RuntimeError::SessionClosed);
+        }
+        let wall_start = std::time::Instant::now();
+        let costs = self.spec().costs;
+
+        // --- Parse ------------------------------------------------------
+        let m0 = self.interp.meter.snapshot();
+        let parse_result = culi_core::parser::parse(&mut self.interp, input.as_bytes());
+        let parse_counters = self.interp.meter.snapshot().delta_since(&m0);
+        self.machine.serial_compute(counters_to_cycles(&costs, &parse_counters))?;
+        let forms = match parse_result {
+            Ok(forms) => forms,
+            Err(e) => return self.error_reply(e, parse_counters),
+        };
+
+        // --- Evaluate -----------------------------------------------------
+        let m1 = self.interp.meter.snapshot();
+        let (last, sections, job_counters, eval_error, sim_error) = match self.config.mode {
+            CpuMode::Modeled => {
+                let mut hook = CpuModelHook {
+                    machine: &mut self.machine,
+                    costs,
+                    job_counters: Counters::default(),
+                    sections: Vec::new(),
+                    sim_error: None,
+                };
+                let (last, err) = eval_forms(&mut self.interp, &mut hook, &forms);
+                (last, hook.sections, hook.job_counters, err, hook.sim_error)
+            }
+            CpuMode::Threaded { threads } => {
+                let mut hook = ThreadedHook { threads };
+                let (last, err) = eval_forms(&mut self.interp, &mut hook, &forms);
+                (last, Vec::new(), Counters::default(), err, None)
+            }
+        };
+        if let Some(sim) = sim_error {
+            return Err(RuntimeError::Device(sim));
+        }
+        let eval_total = self.interp.meter.snapshot().delta_since(&m1);
+        let eval_master = eval_total.delta_since(&job_counters);
+        let dispatch_overhead = self.spec().command_overhead_cycles;
+        let section_cycles: u64 =
+            sections.iter().map(|s| s.total_cycles()).sum::<u64>() + dispatch_overhead;
+        self.machine
+            .serial_compute(counters_to_cycles(&costs, &eval_master) + dispatch_overhead)?;
+        if let Some(e) = eval_error {
+            let mut counters = parse_counters;
+            counters.add(&eval_master);
+            return self.error_reply(e, counters);
+        }
+
+        // --- Print ---------------------------------------------------------
+        let m2 = self.interp.meter.snapshot();
+        let output = match last {
+            Some(node) => match culi_core::printer::print_to_string(&mut self.interp, node) {
+                Ok(s) => s,
+                Err(e) => {
+                    let mut counters = parse_counters;
+                    counters.add(&eval_master);
+                    return self.error_reply(e, counters);
+                }
+            },
+            None => String::new(),
+        };
+        let print_counters = self.interp.meter.snapshot().delta_since(&m2);
+        self.machine.serial_compute(counters_to_cycles(&costs, &print_counters))?;
+
+        if self.config.gc_between_commands {
+            culi_core::gc::collect(&mut self.interp, &[]);
+        }
+        let spec = self.spec();
+        let phases =
+            breakdown(&spec, &parse_counters, &eval_master, &print_counters, section_cycles, 0);
+        Ok(Reply {
+            output,
+            ok: true,
+            phases,
+            sections,
+            wall_ns: wall_start.elapsed().as_nanos() as u64,
+        })
+    }
+
+    fn error_reply(&mut self, e: CuliError, counters: Counters) -> Result<Reply> {
+        if self.config.gc_between_commands {
+            culi_core::gc::collect(&mut self.interp, &[]);
+        }
+        let spec = self.spec();
+        let phases = breakdown(
+            &spec,
+            &counters,
+            &Counters::default(),
+            &Counters::default(),
+            0,
+            0,
+        );
+        Ok(Reply {
+            output: format!("error: {e}"),
+            ok: false,
+            phases,
+            sections: Vec::new(),
+            wall_ns: 0,
+        })
+    }
+
+    /// Stops the worker pool; returns total setup+teardown in ms.
+    pub fn shutdown(&mut self) -> f64 {
+        self.machine.shutdown();
+        self.machine.overhead_ns() as f64 / 1e6
+    }
+
+    /// `true` until shutdown.
+    pub fn is_running(&self) -> bool {
+        self.machine.is_running()
+    }
+}
+
+fn eval_forms(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    forms: &[NodeId],
+) -> (Option<NodeId>, Option<CuliError>) {
+    let mut last = None;
+    for &form in forms {
+        match eval(interp, hook, form, interp.global, 0) {
+            Ok(v) => last = Some(v),
+            Err(e) => return (last, Some(e)),
+        }
+    }
+    (last, None)
+}
+
+/// Modeled pthread pool: job costs are list-scheduled by the machine.
+struct CpuModelHook<'m> {
+    machine: &'m mut CpuMachine,
+    costs: culi_gpu_sim::CostTable,
+    job_counters: Counters,
+    sections: Vec<SectionReport>,
+    sim_error: Option<SimError>,
+}
+
+impl ParallelHook for CpuModelHook<'_> {
+    fn execute(
+        &mut self,
+        interp: &mut Interp,
+        jobs: &[NodeId],
+        parent_env: culi_core::EnvId,
+    ) -> culi_core::Result<Vec<NodeId>> {
+        let mut results = Vec::with_capacity(jobs.len());
+        let mut job_cycles = Vec::with_capacity(jobs.len());
+        for (w, &job) in jobs.iter().enumerate() {
+            let env = interp.envs.push(Some(parent_env));
+            let before = interp.meter.snapshot();
+            let nested_before = self.job_counters;
+            let value = eval(interp, self, job, env, 0).map_err(|e| CuliError::WorkerFailed {
+                worker: w,
+                message: e.to_string(),
+            })?;
+            let delta = interp.meter.snapshot().delta_since(&before);
+            let nested = self.job_counters.delta_since(&nested_before);
+            let own = delta.delta_since(&nested);
+            self.job_counters.add(&own);
+            job_cycles.push(crate::phases::counters_to_cycles(&self.costs, &own));
+            results.push(value);
+        }
+        match self.machine.parallel_section(&job_cycles) {
+            Ok(report) => {
+                self.sections.push(report);
+                Ok(results)
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                self.sim_error = Some(e);
+                Err(CuliError::Backend(msg))
+            }
+        }
+    }
+}
+
+/// Real-threads pool: forks the interpreter per worker thread, evaluates
+/// job chunks concurrently, imports results back in order.
+pub struct ThreadedHook {
+    /// Worker thread count.
+    pub threads: usize,
+}
+
+impl ParallelHook for ThreadedHook {
+    fn execute(
+        &mut self,
+        interp: &mut Interp,
+        jobs: &[NodeId],
+        parent_env: culi_core::EnvId,
+    ) -> culi_core::Result<Vec<NodeId>> {
+        let t = self.threads.clamp(1, jobs.len().max(1));
+        // Contiguous chunks keep the order mapping trivial.
+        let chunk_size = jobs.len().div_ceil(t);
+        let template = interp.clone();
+
+        type WorkerOut = culi_core::Result<(Interp, Vec<NodeId>)>;
+        let outcomes: Vec<WorkerOut> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (c, chunk) in jobs.chunks(chunk_size).enumerate() {
+                let mut fork = template.clone();
+                handles.push(scope.spawn(move |_| -> WorkerOut {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for (i, &job) in chunk.iter().enumerate() {
+                        let env = fork.envs.push(Some(parent_env));
+                        let v = eval(&mut fork, &mut SequentialHook, job, env, 0).map_err(
+                            |e| CuliError::WorkerFailed {
+                                worker: c * chunk_size + i,
+                                message: e.to_string(),
+                            },
+                        )?;
+                        out.push(v);
+                    }
+                    Ok((fork, out))
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("crossbeam scope failed");
+
+        let mut results = Vec::with_capacity(jobs.len());
+        for outcome in outcomes {
+            let (fork, values) = outcome?;
+            for v in values {
+                results.push(interp.import_tree(&fork, v)?);
+            }
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culi_gpu_sim::device::{amd_6272, intel_e5_2620};
+
+    fn modeled() -> CpuRepl {
+        CpuRepl::launch(intel_e5_2620(), CpuReplConfig::default())
+    }
+
+    fn threaded(threads: usize) -> CpuRepl {
+        CpuRepl::launch(
+            intel_e5_2620(),
+            CpuReplConfig {
+                interp: InterpConfig { arena_capacity: 1 << 16, ..Default::default() },
+                mode: CpuMode::Threaded { threads },
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn modeled_end_to_end() {
+        let mut r = modeled();
+        assert_eq!(r.submit("(* 2 (+ 4 3) 6)").unwrap().expect_ok(), "84");
+    }
+
+    #[test]
+    fn modeled_parallel_sections_report() {
+        let mut r = modeled();
+        let reply = r.submit("(||| 3 + (1 2 3) (4 5 6))").unwrap();
+        assert_eq!(reply.output, "(5 7 9)");
+        assert_eq!(reply.sections.len(), 1);
+    }
+
+    #[test]
+    fn threaded_matches_sequential_results() {
+        let mut r = threaded(4);
+        r.submit("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))").unwrap();
+        let reply = r.submit("(||| 8 fib (1 2 3 4 5 6 7 8))").unwrap();
+        assert_eq!(reply.output, "(1 1 2 3 5 8 13 21)");
+        assert!(reply.wall_ns > 0);
+    }
+
+    #[test]
+    fn threaded_respects_result_order_with_few_threads() {
+        let mut r = threaded(3);
+        let reply = r.submit("(||| 7 - (10 20 30 40 50 60 70) (1 2 3 4 5 6 7))").unwrap();
+        assert_eq!(reply.output, "(9 18 27 36 45 54 63)");
+    }
+
+    #[test]
+    fn threaded_worker_error_reports_global_index() {
+        let mut r = threaded(2);
+        let reply = r.submit("(||| 4 / (1 1 1 1) (1 1 0 1))").unwrap();
+        assert!(!reply.ok);
+        assert!(reply.output.contains("worker 2"), "{}", reply.output);
+    }
+
+    #[test]
+    fn threaded_workers_cannot_corrupt_main_state() {
+        let mut r = threaded(4);
+        r.submit("(setq total 100)").unwrap();
+        // Workers setq `total` in their forks; the master copy is intact.
+        r.submit("(defun bump (x) (progn (setq total (+ total x)) total))").unwrap();
+        let reply = r.submit("(||| 4 bump (1 2 3 4))").unwrap();
+        assert_eq!(reply.output, "(101 102 103 104)");
+        assert_eq!(r.submit("total").unwrap().output, "100");
+    }
+
+    #[test]
+    fn cpu_phases_dominated_by_eval() {
+        // Paper Fig. 18: on CPUs parsing and printing are almost
+        // negligible; evaluation dominates.
+        let mut r = CpuRepl::launch(amd_6272(), CpuReplConfig::default());
+        r.submit("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))").unwrap();
+        let jobs = vec!["5"; 64].join(" ");
+        let reply = r.submit(&format!("(||| 64 fib ({jobs}))")).unwrap();
+        let (p, e, pr) = reply.phases.proportions();
+        assert!(e > 0.6, "eval share {e}");
+        assert!(p < 0.3, "parse share {p}");
+        assert!(pr < 0.3, "print share {pr}");
+    }
+
+    #[test]
+    fn sessions_survive_errors() {
+        let mut r = modeled();
+        assert!(!r.submit("(car 5)").unwrap().ok);
+        assert_eq!(r.submit("(+ 1 1)").unwrap().output, "2");
+    }
+
+    #[test]
+    fn shutdown_closes() {
+        let mut r = modeled();
+        let ms = r.shutdown();
+        assert!(ms > 0.0);
+        assert!(matches!(r.submit("1"), Err(RuntimeError::SessionClosed)));
+    }
+}

@@ -1,0 +1,57 @@
+//! Runtime errors: interpreter failures plus device-simulation failures.
+
+use core::fmt;
+use culi_core::CuliError;
+use culi_gpu_sim::SimError;
+
+/// Anything that can stop a REPL session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The interpreter rejected the input or failed evaluating it.
+    Lisp(CuliError),
+    /// The simulated device failed — livelock or protocol violation.
+    Device(SimError),
+    /// The session was already shut down.
+    SessionClosed,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lisp(e) => write!(f, "lisp error: {e}"),
+            Self::Device(e) => write!(f, "device error: {e}"),
+            Self::SessionClosed => write!(f, "session already closed"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<CuliError> for RuntimeError {
+    fn from(e: CuliError) -> Self {
+        Self::Lisp(e)
+    }
+}
+
+impl From<SimError> for RuntimeError {
+    fn from(e: SimError) -> Self {
+        Self::Device(e)
+    }
+}
+
+/// Runtime result alias.
+pub type Result<T> = core::result::Result<T, RuntimeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let l: RuntimeError = CuliError::DivByZero.into();
+        assert!(l.to_string().contains("division"));
+        let d: RuntimeError = SimError::KernelStopped.into();
+        assert!(d.to_string().contains("kernel"));
+        assert!(RuntimeError::SessionClosed.to_string().contains("closed"));
+    }
+}

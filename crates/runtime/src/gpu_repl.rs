@@ -1,0 +1,450 @@
+//! The GPU read–eval–print loop: CuLi proper.
+//!
+//! One [`GpuRepl`] is the paper's full system: a host loop feeding a
+//! command buffer (Figs. 8/9), a persistent kernel whose master thread
+//! parses, evaluates and prints entirely "on the device", and the postbox
+//! machinery executing `|||` sections across worker blocks (Figs. 10–13).
+//!
+//! The interpreter runs for real; the device contributes *time*: every
+//! operation the interpreter counts is priced by the device's cost table,
+//! master-serial work advances the kernel clock, and parallel sections go
+//! through the simulated Algorithm-1 choreography (which is where the
+//! warp-livelock ablations bite).
+
+use crate::error::{Result, RuntimeError};
+use crate::phases::{breakdown, counters_to_cycles};
+use crate::reply::Reply;
+use culi_core::cost::Counters;
+use culi_core::eval::{eval, ParallelHook};
+use culi_core::{CuliError, Interp, InterpConfig, NodeId};
+use culi_gpu_sim::cmdbuf::CommandBuffer;
+use culi_gpu_sim::{
+    CostTable, DeviceSpec, KernelConfig, PersistentKernel, SectionReport, SimError, SimStats,
+};
+
+/// Configuration for a GPU session.
+#[derive(Debug, Clone)]
+pub struct GpuReplConfig {
+    /// Kernel mitigation switches (ablations flip these).
+    pub kernel: KernelConfig,
+    /// Interpreter limits.
+    pub interp: InterpConfig,
+    /// Run the mark-sweep collector after every command, keeping long
+    /// interactive sessions inside the fixed arena.
+    pub gc_between_commands: bool,
+    /// Command buffer capacity in bytes (both directions).
+    pub cmdbuf_capacity: usize,
+    /// Host-side file services exposed to device code (`read-file` etc.,
+    /// the paper's future-work feature). `None` disables file I/O.
+    pub host_io: Option<culi_core::hostio::HostIoHandle>,
+}
+
+impl Default for GpuReplConfig {
+    fn default() -> Self {
+        Self {
+            kernel: KernelConfig::default(),
+            interp: InterpConfig::default(),
+            gc_between_commands: true,
+            cmdbuf_capacity: 1 << 16,
+            host_io: None,
+        }
+    }
+}
+
+/// A live CuLi session on a simulated GPU.
+#[derive(Debug)]
+pub struct GpuRepl {
+    interp: Interp,
+    kernel: PersistentKernel,
+    cmdbuf: CommandBuffer,
+    config: GpuReplConfig,
+}
+
+impl GpuRepl {
+    /// Boots the session: allocates the interpreter state in "device
+    /// memory" and launches the persistent kernel.
+    pub fn launch(spec: DeviceSpec, config: GpuReplConfig) -> Self {
+        let mut interp = Interp::new(config.interp.clone());
+        interp.host_io = config.host_io.clone();
+        Self {
+            interp,
+            kernel: PersistentKernel::launch(spec, config.kernel),
+            cmdbuf: CommandBuffer::new(config.cmdbuf_capacity),
+            config,
+        }
+    }
+
+    /// The device this session runs on.
+    pub fn spec(&self) -> DeviceSpec {
+        *self.kernel.spec()
+    }
+
+    /// Workers the grid offers to `|||`.
+    pub fn worker_count(&self) -> usize {
+        self.kernel.worker_count()
+    }
+
+    /// Direct access to the interpreter (tests/diagnostics).
+    pub fn interp_mut(&mut self) -> &mut Interp {
+        &mut self.interp
+    }
+
+    /// Submits one command line through the full host→device→host path.
+    ///
+    /// Lisp-level errors come back as a printed reply with `ok == false`
+    /// (the REPL prints them, it does not die); device-level failures
+    /// (livelock, protocol violations) are [`RuntimeError`]s.
+    pub fn submit(&mut self, input: &str) -> Result<Reply> {
+        if !self.kernel.is_running() {
+            return Err(RuntimeError::SessionClosed);
+        }
+        let transfer_before = self.cmdbuf.transfer_ns();
+        self.cmdbuf.host_write(input.as_bytes())?;
+        let taken = self.cmdbuf.device_take()?;
+        debug_assert_eq!(taken, input.as_bytes());
+
+        // --- Parse (master thread) -------------------------------------
+        let m0 = self.interp.meter.snapshot();
+        let parse_result = culi_core::parser::parse(&mut self.interp, &taken);
+        let parse_counters = self.interp.meter.snapshot().delta_since(&m0);
+        self.kernel
+            .master_compute(counters_to_cycles(&self.spec().costs, &parse_counters))?;
+        let forms = match parse_result {
+            Ok(forms) => forms,
+            Err(e) => {
+                return self.error_reply(e, parse_counters, transfer_before);
+            }
+        };
+
+        // --- Evaluate (master + workers) --------------------------------
+        let m1 = self.interp.meter.snapshot();
+        let costs = self.spec_costs();
+        let global = self.interp.global;
+        let mut hook = GpuHook {
+            kernel: &mut self.kernel,
+            costs,
+            job_counters: Counters::default(),
+            sections: Vec::new(),
+            sim_error: None,
+        };
+        let mut last: Option<NodeId> = None;
+        let mut eval_error: Option<CuliError> = None;
+        for form in forms {
+            match eval(&mut self.interp, &mut hook, form, global, 0) {
+                Ok(v) => last = Some(v),
+                Err(e) => {
+                    eval_error = Some(e);
+                    break;
+                }
+            }
+        }
+        let sections = hook.sections;
+        let job_counters = hook.job_counters;
+        if let Some(sim) = hook.sim_error {
+            return Err(RuntimeError::Device(sim));
+        }
+        let eval_total = self.interp.meter.snapshot().delta_since(&m1);
+        // Master-side evaluation work excludes what the workers executed
+        // (that time lives inside the sections' execute phase). The
+        // per-command REPL dispatch overhead (spin wake, loop re-entry,
+        // signalling) is charged here too — the paper folds all device
+        // time into the three phases.
+        let eval_master = eval_total.delta_since(&job_counters);
+        let dispatch_overhead = self.spec().command_overhead_cycles;
+        let section_cycles: u64 =
+            sections.iter().map(|s| s.total_cycles()).sum::<u64>() + dispatch_overhead;
+        self.kernel
+            .master_compute(counters_to_cycles(&self.spec().costs, &eval_master) + dispatch_overhead)?;
+        if let Some(e) = eval_error {
+            let mut counters = parse_counters;
+            counters.add(&eval_master);
+            return self.error_reply(e, counters, transfer_before);
+        }
+
+        // --- Print (master thread) ---------------------------------------
+        let m2 = self.interp.meter.snapshot();
+        let output = match last {
+            Some(node) => match culi_core::printer::print_to_string(&mut self.interp, node) {
+                Ok(s) => s,
+                Err(e) => {
+                    let print_counters = self.interp.meter.snapshot().delta_since(&m2);
+                    let mut counters = parse_counters;
+                    counters.add(&eval_master);
+                    counters.add(&print_counters);
+                    return self.error_reply(e, counters, transfer_before);
+                }
+            },
+            None => String::new(),
+        };
+        let print_counters = self.interp.meter.snapshot().delta_since(&m2);
+        self.kernel
+            .master_compute(counters_to_cycles(&self.spec().costs, &print_counters))?;
+
+        // --- Reply handshake ---------------------------------------------
+        self.cmdbuf.device_reply(output.as_bytes())?;
+        let echoed = self.cmdbuf.host_read()?;
+        debug_assert_eq!(echoed, output.as_bytes());
+
+        if self.config.gc_between_commands {
+            culi_core::gc::collect(&mut self.interp, &[]);
+        }
+
+        let phases = breakdown(
+            &self.spec(),
+            &parse_counters,
+            &eval_master,
+            &print_counters,
+            section_cycles,
+            self.cmdbuf.transfer_ns() - transfer_before,
+        );
+        Ok(Reply { output, ok: true, phases, sections, wall_ns: 0 })
+    }
+
+    fn spec_costs(&self) -> CostTable {
+        self.kernel.spec().costs
+    }
+
+    /// Renders a Lisp error as a printed reply (the REPL survives).
+    fn error_reply(
+        &mut self,
+        e: CuliError,
+        counters: Counters,
+        transfer_before: u64,
+    ) -> Result<Reply> {
+        let output = format!("error: {e}");
+        self.cmdbuf.device_reply(output.as_bytes())?;
+        self.cmdbuf.host_read()?;
+        if self.config.gc_between_commands {
+            culi_core::gc::collect(&mut self.interp, &[]);
+        }
+        let phases = breakdown(
+            &self.spec(),
+            &counters,
+            &Counters::default(),
+            &Counters::default(),
+            0,
+            self.cmdbuf.transfer_ns() - transfer_before,
+        );
+        Ok(Reply { output, ok: false, phases, sections: Vec::new(), wall_ns: 0 })
+    }
+
+    /// Device-side elapsed nanoseconds so far.
+    pub fn elapsed_device_ns(&self) -> f64 {
+        self.kernel.elapsed_device_ns()
+    }
+
+    /// Synchronization statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.kernel.stats()
+    }
+
+    /// Base latency of this device: launch plus graceful stop, in
+    /// milliseconds (paper Fig. 14). Measured by booting and immediately
+    /// stopping a scratch kernel.
+    pub fn measure_base_latency_ms(spec: DeviceSpec) -> f64 {
+        let mut k = PersistentKernel::launch(spec, KernelConfig::default());
+        k.shutdown();
+        k.overhead_ns() as f64 / 1e6
+    }
+
+    /// Graceful stop: host clears `dev_active`, the master deactivates the
+    /// workers, the context is torn down.
+    pub fn shutdown(&mut self) -> f64 {
+        self.cmdbuf.host_terminate();
+        self.kernel.shutdown();
+        self.kernel.overhead_ns() as f64 / 1e6
+    }
+
+    /// `true` until shutdown.
+    pub fn is_running(&self) -> bool {
+        self.kernel.is_running()
+    }
+}
+
+/// The `|||` backend bridging the interpreter to the simulated kernel.
+struct GpuHook<'k> {
+    kernel: &'k mut PersistentKernel,
+    costs: CostTable,
+    /// All counters consumed inside worker jobs (for master/worker cost
+    /// separation).
+    job_counters: Counters,
+    sections: Vec<SectionReport>,
+    sim_error: Option<SimError>,
+}
+
+impl ParallelHook for GpuHook<'_> {
+    fn execute(
+        &mut self,
+        interp: &mut Interp,
+        jobs: &[NodeId],
+        parent_env: culi_core::EnvId,
+    ) -> culi_core::Result<Vec<NodeId>> {
+        let mut results = Vec::with_capacity(jobs.len());
+        let mut job_cycles = Vec::with_capacity(jobs.len());
+        for (w, &job) in jobs.iter().enumerate() {
+            let env = interp.envs.push(Some(parent_env));
+            let before = interp.meter.snapshot();
+            let nested_before = self.job_counters;
+            let value = eval(interp, self, job, env, 0).map_err(|e| CuliError::WorkerFailed {
+                worker: w,
+                message: e.to_string(),
+            })?;
+            let delta = interp.meter.snapshot().delta_since(&before);
+            // A nested ||| inside this job already accounted its own
+            // workers; bill only this job's own operations.
+            let nested = self.job_counters.delta_since(&nested_before);
+            let own = delta.delta_since(&nested);
+            self.job_counters.add(&own);
+            job_cycles.push(counters_to_cycles(&self.costs, &own));
+            results.push(value);
+        }
+        match self.kernel.parallel_section(&job_cycles) {
+            Ok(report) => {
+                self.sections.push(report);
+                Ok(results)
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                self.sim_error = Some(e);
+                Err(CuliError::Backend(msg))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culi_gpu_sim::device::{gtx1080, tesla_c2075};
+    use culi_gpu_sim::LivelockCause;
+
+    fn repl() -> GpuRepl {
+        GpuRepl::launch(gtx1080(), GpuReplConfig::default())
+    }
+
+    #[test]
+    fn arithmetic_end_to_end() {
+        let mut r = repl();
+        let reply = r.submit("(* 2 (+ 4 3) 6)").unwrap();
+        assert!(reply.ok);
+        assert_eq!(reply.output, "84");
+        assert!(reply.phases.parse_cycles > 0);
+        assert!(reply.phases.eval_cycles > 0);
+        assert!(reply.phases.print_cycles > 0);
+        assert!(reply.phases.transfer_ns > 0);
+    }
+
+    #[test]
+    fn environment_persists_across_commands() {
+        let mut r = repl();
+        r.submit("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))").unwrap();
+        let reply = r.submit("(fib 10)").unwrap();
+        assert_eq!(reply.output, "55");
+    }
+
+    #[test]
+    fn parallel_section_reports_appear() {
+        let mut r = repl();
+        let reply = r.submit("(||| 3 + (1 2 3) (4 5 6))").unwrap();
+        assert_eq!(reply.output, "(5 7 9)");
+        assert_eq!(reply.sections.len(), 1);
+        assert_eq!(reply.sections[0].blocks_used, 1);
+        assert!(reply.sections[0].execute_cycles > 0);
+    }
+
+    #[test]
+    fn lisp_errors_are_printed_not_fatal() {
+        let mut r = repl();
+        let reply = r.submit("(/ 1 0)").unwrap();
+        assert!(!reply.ok);
+        assert!(reply.output.contains("division"));
+        // Session survives.
+        assert_eq!(r.submit("(+ 1 1)").unwrap().output, "2");
+    }
+
+    #[test]
+    fn parse_errors_are_printed_not_fatal() {
+        let mut r = repl();
+        let reply = r.submit("(+ 1").unwrap();
+        assert!(!reply.ok);
+        assert!(reply.output.contains("unclosed"));
+        assert_eq!(r.submit("(+ 1 2)").unwrap().output, "3");
+    }
+
+    #[test]
+    fn livelock_is_a_device_error() {
+        let cfg = GpuReplConfig {
+            kernel: KernelConfig { mask_master_block: false, ..Default::default() },
+            ..Default::default()
+        };
+        let mut r = GpuRepl::launch(gtx1080(), cfg);
+        match r.submit("(||| 2 + (1 2) (3 4))") {
+            Err(RuntimeError::Device(SimError::Livelock {
+                cause: LivelockCause::MasterBlockUnmasked,
+                ..
+            })) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_time_not_double_billed_to_master() {
+        let mut r = repl();
+        r.submit("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))").unwrap();
+        let par = r.submit("(||| 32 fib (5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5))").unwrap();
+        // 32 identical jobs in one warp: execute time ≈ one job, while the
+        // master's own eval share stays far below 32× a single job.
+        let single = {
+            let mut r2 = repl();
+            r2.submit("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))").unwrap();
+            r2.submit("(fib 5)").unwrap()
+        };
+        assert!(
+            par.phases.eval_cycles < 32 * single.phases.eval_cycles,
+            "master billed {} vs 32×{}",
+            par.phases.eval_cycles,
+            single.phases.eval_cycles
+        );
+        assert_eq!(par.output.matches('5').count(), 32);
+    }
+
+    #[test]
+    fn shutdown_closes_the_session() {
+        let mut r = repl();
+        let base = r.shutdown();
+        assert!(base > 0.0);
+        assert!(matches!(r.submit("1"), Err(RuntimeError::SessionClosed)));
+    }
+
+    #[test]
+    fn base_latency_matches_spec() {
+        let ms = GpuRepl::measure_base_latency_ms(gtx1080());
+        assert!((ms - gtx1080().base_latency_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gc_keeps_long_sessions_alive() {
+        let mut cfg = GpuReplConfig::default();
+        cfg.interp.arena_capacity = 2048;
+        let mut r = GpuRepl::launch(gtx1080(), cfg);
+        for _ in 0..100 {
+            let reply = r.submit("(+ 1 2 3 4 5 6 7 8 9)").unwrap();
+            assert_eq!(reply.output, "45");
+        }
+    }
+
+    #[test]
+    fn fermi_parses_faster_than_pascal() {
+        let input = format!("(+ {})", "1 ".repeat(500));
+        let mut fermi = GpuRepl::launch(tesla_c2075(), GpuReplConfig::default());
+        let mut pascal = repl();
+        let pf = fermi.submit(&input).unwrap().phases;
+        let pp = pascal.submit(&input).unwrap().phases;
+        assert!(
+            pf.parse_ms() < pp.parse_ms(),
+            "Fermi {} ms vs Pascal {} ms",
+            pf.parse_ms(),
+            pp.parse_ms()
+        );
+    }
+}

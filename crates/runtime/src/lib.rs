@@ -1,0 +1,32 @@
+//! # culi-runtime — CuLi's execution runtimes
+//!
+//! Ties the interpreter (`culi-core`) to the machine models
+//! (`culi-gpu-sim`):
+//!
+//! * [`gpu_repl::GpuRepl`] — the paper's system: host command buffer,
+//!   persistent kernel, master-thread parse/eval/print, postbox-driven
+//!   `|||` sections with warp-livelock mechanics.
+//! * [`cpu_repl::CpuRepl`] — the comparison systems: a modeled pthread
+//!   pool (figures) and a real crossbeam-threads backend (functional
+//!   parallelism).
+//! * [`session::Session`] — one facade over every backend.
+//! * [`phases`] — operation counts → cycles → per-phase milliseconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu_repl;
+pub mod error;
+pub mod gpu_repl;
+pub mod phases;
+pub mod reply;
+pub mod session;
+pub mod vfs;
+
+pub use cpu_repl::{CpuMode, CpuRepl, CpuReplConfig, ThreadedHook};
+pub use error::{Result, RuntimeError};
+pub use gpu_repl::{GpuRepl, GpuReplConfig};
+pub use phases::{counters_to_cycles, PhaseBreakdown};
+pub use reply::Reply;
+pub use session::Session;
+pub use vfs::{DirFs, VirtualFs};

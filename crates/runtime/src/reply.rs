@@ -1,0 +1,30 @@
+//! The unified REPL reply type shared by all backends.
+
+use crate::phases::PhaseBreakdown;
+use culi_gpu_sim::SectionReport;
+
+/// Result of submitting one line to any CuLi backend.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// The printed output (or a rendered error message).
+    pub output: String,
+    /// `false` when `output` is an error message rather than a value.
+    pub ok: bool,
+    /// Per-phase simulated timing (zeroed sections the backend does not
+    /// model; the real-threads backend reports only master-side phases).
+    pub phases: PhaseBreakdown,
+    /// One report per `|||` section the command executed (modeled
+    /// backends only).
+    pub sections: Vec<SectionReport>,
+    /// Real wall-clock nanoseconds (real-threads backend only; 0 for
+    /// modeled backends, whose time is simulated).
+    pub wall_ns: u64,
+}
+
+impl Reply {
+    /// Shorthand used by tests: panics unless the reply is a success.
+    pub fn expect_ok(self) -> String {
+        assert!(self.ok, "REPL error: {}", self.output);
+        self.output
+    }
+}

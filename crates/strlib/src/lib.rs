@@ -1,0 +1,39 @@
+//! # culi-strlib — freestanding string routines for CuLi
+//!
+//! The CuLi paper (§III-A) notes that *"Since CUDA lacks a string library, we
+//! implemented our own with functions to parse strings. These functions are
+//! also used in the CPU tests for comparison reasons."*
+//!
+//! This crate is the Rust equivalent of that hand-rolled library: a small,
+//! allocation-free set of byte-slice routines used by both the simulated GPU
+//! device code and the CPU runtime, so that parsing/printing work is charged
+//! identically on every backend. Nothing here touches `std::str::FromStr` or
+//! `format!` on the hot path — numbers are scanned and rendered by hand, the
+//! way the original C code had to.
+//!
+//! Modules:
+//! * [`ascii`] — character classification matching the paper's tokenizer
+//!   rules (whitespace markers, number-start characters `+-.E`, digits).
+//! * [`cstr`] — C-style primitives (`strlen`, `strcmp`, `memcpy`) mirroring
+//!   what the CUDA implementation had to provide itself.
+//! * [`scan`] — tokenizer support: find the next *marker* (whitespace or
+//!   parenthesis) the way the CuLi parser walks its input string.
+//! * [`parse_num`] — hand-rolled integer and float parsing.
+//! * [`fmt_num`] — hand-rolled integer and float formatting.
+//! * [`buf`] — [`buf::StrBuf`], a fixed-capacity output buffer standing in
+//!   for the device-side output string (the command buffer has a fixed size).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod bignum;
+pub mod buf;
+pub mod cstr;
+pub mod fmt_num;
+pub mod parse_num;
+pub mod scan;
+
+pub use buf::StrBuf;
+pub use parse_num::{parse_f64, parse_i64, NumParse};
+pub use scan::{next_token, Token, TokenKind};

@@ -1,0 +1,408 @@
+//! Hand-rolled number parsing.
+//!
+//! The CuLi tokenizer classifies a token as a number when it *starts* with a
+//! digit or one of `+ - . E`, and as a float when it *contains a dot*
+//! (paper §III-B b). A token that merely starts like a number but fails to
+//! parse (e.g. the bare symbol `+`) falls back to being a symbol — this is
+//! how the built-in arithmetic symbols survive classification.
+//!
+//! Everything here is explicit byte-walking: the device has no `strtod`.
+
+/// Result of attempting to read a token as a number.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NumParse {
+    /// The token is a well-formed integer that fits in `i64`.
+    Int(i64),
+    /// The token is a well-formed float (contains `.` and/or an exponent,
+    /// or is an integer too large for `i64` — CuLi promotes on overflow).
+    Float(f64),
+    /// The token is not a number; the parser classifies it as a symbol.
+    NotANumber,
+}
+
+/// Parses a complete token as an `i64`. Accepts an optional leading `+`/`-`
+/// followed by one or more digits; anything else (including trailing bytes)
+/// returns `None`.
+pub fn parse_i64(tok: &[u8]) -> Option<i64> {
+    let (neg, digits) = split_sign(tok);
+    if digits.is_empty() || !digits.iter().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let mut acc: i64 = 0;
+    for &b in digits {
+        let d = (b - b'0') as i64;
+        acc = acc.checked_mul(10)?.checked_add(d)?;
+    }
+    Some(if neg { -acc } else { acc })
+}
+
+/// Parses a complete token as an `f64`. Grammar:
+/// `[+-]? digits* ('.' digits*)? ([eE] [+-]? digits+)?` with at least one
+/// mantissa digit. Returns `None` for malformed tokens.
+///
+/// Accuracy: mantissa digits accumulate exactly in a `u128` (first 34
+/// significant digits); the final scaling uses exactly-representable powers
+/// of ten where possible, so values with ≤ 15 significant digits and small
+/// exponents convert exactly, and everything else is within ~1 ulp — the
+/// same ballpark as the original C implementation's hand-rolled `strtod`.
+pub fn parse_f64(tok: &[u8]) -> Option<f64> {
+    let (neg, rest) = split_sign(tok);
+    let mut i = 0;
+
+    let mut mant: u128 = 0;
+    let mut mant_digits = 0u32; // significant digits consumed into `mant`
+    let mut seen_digit = false;
+    let mut exp10: i32 = 0;
+
+    // Integer part.
+    while i < rest.len() && rest[i].is_ascii_digit() {
+        seen_digit = true;
+        if mant_digits < 34 {
+            mant = mant * 10 + (rest[i] - b'0') as u128;
+            mant_digits += 1;
+        } else {
+            exp10 += 1; // digit beyond our exact window shifts the exponent
+        }
+        i += 1;
+    }
+    // Fraction part.
+    if i < rest.len() && rest[i] == b'.' {
+        i += 1;
+        while i < rest.len() && rest[i].is_ascii_digit() {
+            seen_digit = true;
+            if mant_digits < 34 {
+                mant = mant * 10 + (rest[i] - b'0') as u128;
+                mant_digits += 1;
+                exp10 -= 1;
+            }
+            i += 1;
+        }
+    }
+    if !seen_digit {
+        return None;
+    }
+    // Exponent part.
+    if i < rest.len() && (rest[i] == b'e' || rest[i] == b'E') {
+        i += 1;
+        let (eneg, edigits_start) = match rest.get(i) {
+            Some(b'+') => (false, i + 1),
+            Some(b'-') => (true, i + 1),
+            _ => (false, i),
+        };
+        let mut j = edigits_start;
+        let mut e: i32 = 0;
+        while j < rest.len() && rest[j].is_ascii_digit() {
+            e = e.saturating_mul(10).saturating_add((rest[j] - b'0') as i32);
+            j += 1;
+        }
+        if j == edigits_start {
+            return None; // `e` with no digits
+        }
+        exp10 += if eneg { -e } else { e };
+        i = j;
+    }
+    if i != rest.len() {
+        return None; // trailing junk
+    }
+
+    let magnitude = convert_decimal(mant, exp10);
+    Some(if neg { -magnitude } else { magnitude })
+}
+
+/// Converts `mant × 10^exp10` to the nearest `f64`.
+///
+/// Fast path (exact with a single rounding): mantissa below 2^53 and
+/// `|exp10| ≤ 22`, where the power of ten is exactly representable. All
+/// other finite cases go through [`correctly_round`], which verifies and
+/// adjusts the approximation with exact bignum comparisons, so the result is
+/// the correctly rounded conversion of the (up to 34) digits read.
+fn convert_decimal(mant: u128, exp10: i32) -> f64 {
+    if mant == 0 {
+        return 0.0;
+    }
+    if mant < (1u128 << 53) && (-22..=22).contains(&exp10) {
+        return scale_by_pow10(mant, exp10);
+    }
+    // Magnitude shortcuts keep the bignums small: 10^-347 underflows to 0
+    // even with a 34-digit mantissa; 10^309 overflows even with mantissa 1.
+    if exp10 > 309 {
+        return f64::INFINITY;
+    }
+    if exp10 < -380 {
+        return 0.0;
+    }
+    correctly_round(mant, exp10, scale_by_pow10(mant, exp10))
+}
+
+/// Nudges `approx` until it is the `f64` nearest to the exact value
+/// `d × 10^k`, using exact integer comparisons against the midpoints between
+/// adjacent floats. The fast-path approximation is within a few ulp, so this
+/// loop runs at most a handful of iterations.
+fn correctly_round(d: u128, k: i32, approx: f64) -> f64 {
+    use crate::bignum::BigUint;
+    use core::cmp::Ordering;
+
+    // Exact comparison of d×10^k against mid = (ma×2^ea + mb×2^eb)/2, the
+    // midpoint of two adjacent floats given by (mantissa, exponent) pairs.
+    // Everything is scaled into integers: 10^k = 2^k·5^k, and halving the
+    // midpoint becomes a -1 on the binary exponent.
+    let cmp_value_vs_mid = |(ma, ea): (u64, i64), (mb, eb): (u64, i64)| -> Ordering {
+        let emin = ea.min(eb);
+        let mut mid = BigUint::from_u128(
+            ((ma as u128) << (ea - emin) as u32) + ((mb as u128) << (eb - emin) as u32),
+        );
+        let mid_e2 = emin - 1;
+        let mut val = BigUint::from_u128(d);
+        if k >= 0 {
+            val.mul_pow5(k as u32);
+        } else {
+            mid.mul_pow5((-k) as u32);
+        }
+        // Clear the remaining binary exponents onto whichever side is lower.
+        let shift = k as i64 - mid_e2;
+        if shift >= 0 {
+            val.shl(shift as usize);
+        } else {
+            mid.shl((-shift) as usize);
+        }
+        val.cmp(&mid)
+    };
+
+    let decompose = |x: f64| -> (u64, i64) {
+        let bits = x.to_bits();
+        let be = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        if be == 0 {
+            (frac, -1074)
+        } else {
+            (frac | (1 << 52), be - 1075)
+        }
+    };
+
+    const MAX_MANT: (u64, i64) = ((1 << 53) - 1, 971); // f64::MAX decomposed
+    const OVERFLOW_BOUND: (u64, i64) = (1 << 53, 971); // 2^1024 decomposed
+
+    let mut cur = approx.abs();
+    for _ in 0..64 {
+        if cur.is_infinite() {
+            // Below the MAX/2^1024 midpoint the value rounds back to MAX.
+            match cmp_value_vs_mid(MAX_MANT, OVERFLOW_BOUND) {
+                Ordering::Greater | Ordering::Equal => return f64::INFINITY,
+                Ordering::Less => {
+                    cur = f64::MAX;
+                    continue;
+                }
+            }
+        }
+        if cur == 0.0 {
+            // Above the 0/minsubnormal midpoint the value rounds up.
+            match cmp_value_vs_mid((0, -1074), (1, -1074)) {
+                Ordering::Greater => {
+                    cur = f64::from_bits(1);
+                    continue;
+                }
+                _ => return 0.0,
+            }
+        }
+        let here = decompose(cur);
+        let above = f64::from_bits(cur.to_bits() + 1);
+        // vs upper midpoint (cur, next_up)
+        let up = if above.is_infinite() {
+            cmp_value_vs_mid(MAX_MANT, OVERFLOW_BOUND)
+        } else {
+            cmp_value_vs_mid(here, decompose(above))
+        };
+        if up == Ordering::Greater {
+            cur = above;
+            continue;
+        }
+        // vs lower midpoint (next_down, cur)
+        let below = f64::from_bits(cur.to_bits() - 1);
+        let down = if cur.to_bits() == 1 {
+            cmp_value_vs_mid((0, -1074), (1, -1074))
+        } else {
+            cmp_value_vs_mid(decompose(below), here)
+        };
+        if down == Ordering::Less {
+            cur = below;
+            continue;
+        }
+        // Ties: round half to even.
+        if up == Ordering::Equal && here.0 % 2 == 1 {
+            cur = above;
+        } else if down == Ordering::Equal && here.0 % 2 == 1 {
+            cur = below;
+        }
+        break;
+    }
+    cur
+}
+
+/// Classifies a token the way the CuLi parser does: a token containing `.`
+/// or an exponent marker parses as a float; otherwise as an integer
+/// (promoted to float if it overflows `i64`); failures are symbols.
+pub fn classify_number(tok: &[u8]) -> NumParse {
+    let has_float_marker = tok.iter().any(|&b| b == b'.' || b == b'e' || b == b'E');
+    if !has_float_marker {
+        if let Some(v) = parse_i64(tok) {
+            return NumParse::Int(v);
+        }
+        // Integer-looking but overflowing i64 ⇒ promote to float.
+        let (_, digits) = split_sign(tok);
+        if !digits.is_empty() && digits.iter().all(|b| b.is_ascii_digit()) {
+            if let Some(v) = parse_f64(tok) {
+                return NumParse::Float(v);
+            }
+        }
+        return NumParse::NotANumber;
+    }
+    match parse_f64(tok) {
+        Some(v) => NumParse::Float(v),
+        None => NumParse::NotANumber,
+    }
+}
+
+fn split_sign(tok: &[u8]) -> (bool, &[u8]) {
+    match tok.first() {
+        Some(b'-') => (true, &tok[1..]),
+        Some(b'+') => (false, &tok[1..]),
+        _ => (false, tok),
+    }
+}
+
+/// Exactly-representable powers of ten in `f64` (10^0 … 10^22).
+const POW10_EXACT: [f64; 23] = [
+    1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15, 1e16,
+    1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+];
+
+/// Computes `mant * 10^exp10` with at most a couple of roundings.
+fn scale_by_pow10(mant: u128, exp10: i32) -> f64 {
+    if mant == 0 {
+        return 0.0;
+    }
+    let m = mant as f64; // one rounding when mant ≥ 2^53
+    let e = exp10;
+    if e == 0 {
+        return m;
+    }
+    if (0..=22).contains(&e) {
+        return m * POW10_EXACT[e as usize];
+    }
+    if (-22..0).contains(&e) {
+        return m / POW10_EXACT[(-e) as usize];
+    }
+    // Large exponents: split into exact chunks to limit rounding error.
+    let mut v = m;
+    let mut rem = e;
+    while rem > 22 {
+        v *= POW10_EXACT[22];
+        rem -= 22;
+        if v.is_infinite() {
+            return v;
+        }
+    }
+    while rem < -22 {
+        v /= POW10_EXACT[22];
+        rem += 22;
+        if v == 0.0 {
+            return v;
+        }
+    }
+    if rem >= 0 {
+        v * POW10_EXACT[rem as usize]
+    } else {
+        v / POW10_EXACT[(-rem) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_basic() {
+        assert_eq!(parse_i64(b"0"), Some(0));
+        assert_eq!(parse_i64(b"42"), Some(42));
+        assert_eq!(parse_i64(b"-17"), Some(-17));
+        assert_eq!(parse_i64(b"+5"), Some(5));
+        assert_eq!(parse_i64(b"9223372036854775807"), Some(i64::MAX));
+        assert_eq!(parse_i64(b"-9223372036854775808"), None, "abs overflows during accumulation");
+    }
+
+    #[test]
+    fn int_rejects_junk() {
+        for bad in [b"" as &[u8], b"+", b"-", b"1.5", b"12x", b"x12", b"1 2"] {
+            assert_eq!(parse_i64(bad), None, "{:?}", std::str::from_utf8(bad));
+        }
+    }
+
+    #[test]
+    fn float_basic() {
+        assert_eq!(parse_f64(b"0.0"), Some(0.0));
+        assert_eq!(parse_f64(b"1.5"), Some(1.5));
+        assert_eq!(parse_f64(b"-2.25"), Some(-2.25));
+        assert_eq!(parse_f64(b".5"), Some(0.5));
+        assert_eq!(parse_f64(b"5."), Some(5.0));
+        assert_eq!(parse_f64(b"1e3"), Some(1000.0));
+        assert_eq!(parse_f64(b"1.5E-2"), Some(0.015));
+        assert_eq!(parse_f64(b"+2.5e+1"), Some(25.0));
+    }
+
+    #[test]
+    fn float_rejects_junk() {
+        for bad in [b"" as &[u8], b".", b"+", b"-", b"e5", b"1e", b"1e+", b"1.2.3", b"1x"] {
+            assert_eq!(parse_f64(bad), None, "{:?}", std::str::from_utf8(bad));
+        }
+    }
+
+    #[test]
+    fn float_matches_std_closely() {
+        let cases: &[&str] = &[
+            "3.141592653589793",
+            "2.718281828459045",
+            "1e308",
+            "1e-308",
+            "123456789.123456789",
+            "0.1",
+            "0.2",
+            "0.30000000000000004",
+            "6.02214076e23",
+            "-1.7976931348623157e308",
+        ];
+        for s in cases {
+            let ours = parse_f64(s.as_bytes()).unwrap();
+            let std: f64 = s.parse().unwrap();
+            let err = if std == 0.0 { ours.abs() } else { ((ours - std) / std).abs() };
+            assert!(err <= 1e-15, "{s}: ours={ours:e} std={std:e}");
+        }
+    }
+
+    #[test]
+    fn float_overflow_saturates_to_infinity() {
+        assert_eq!(parse_f64(b"1e400"), Some(f64::INFINITY));
+        assert_eq!(parse_f64(b"-1e400"), Some(f64::NEG_INFINITY));
+        assert_eq!(parse_f64(b"1e-400"), Some(0.0));
+    }
+
+    #[test]
+    fn classify_follows_paper_rules() {
+        assert_eq!(classify_number(b"7"), NumParse::Int(7));
+        assert_eq!(classify_number(b"-7"), NumParse::Int(-7));
+        assert_eq!(classify_number(b"7.5"), NumParse::Float(7.5));
+        assert_eq!(classify_number(b"1e2"), NumParse::Float(100.0));
+        assert_eq!(classify_number(b"+"), NumParse::NotANumber);
+        assert_eq!(classify_number(b"-"), NumParse::NotANumber);
+        assert_eq!(classify_number(b"x7"), NumParse::NotANumber);
+        assert_eq!(classify_number(b"1.2.3"), NumParse::NotANumber);
+    }
+
+    #[test]
+    fn classify_promotes_i64_overflow_to_float() {
+        // 2^63 exactly: one past i64::MAX.
+        match classify_number(b"9223372036854775808") {
+            NumParse::Float(v) => assert_eq!(v, 9.223372036854776e18),
+            other => panic!("expected float promotion, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Tokenizer support: walking the input string marker-to-marker.
+//!
+//! The CuLi parser (paper §III-B b) *"walks the string until it sees a
+//! whitespace character, or an opening or closing parenthesis"*. The
+//! substring between the previous marker and the current one becomes the
+//! input for node classification. [`next_token`] implements exactly that
+//! walk and additionally reports how many bytes were examined, which the
+//! device cost model charges as per-character global-memory reads.
+
+use crate::ascii;
+
+/// The kind of lexical element produced by [`next_token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `(` — opens a new list (and a new environment).
+    LParen,
+    /// `)` — closes the current list.
+    RParen,
+    /// A quoted string literal; the range excludes the quotation marks
+    /// (paper: *"The quotation marks are not carried into the value"*).
+    Str,
+    /// Any unquoted atom: number, `nil`, `T` or symbol. Classification into
+    /// those node types happens in the parser, not the tokenizer.
+    Atom,
+    /// `'` — reader shorthand for `(quote …)`. An extension over the
+    /// paper's grammar; standard Lisp source is unreadable without it.
+    Quote,
+    /// `` ` `` — reader shorthand for `(quasiquote …)` (extension).
+    Backquote,
+    /// `,` — reader shorthand for `(unquote …)` (extension).
+    Unquote,
+    /// `,@` — reader shorthand for `(unquote-splicing …)` (extension).
+    UnquoteSplice,
+}
+
+/// A token: its [`TokenKind`] plus the byte range of its text in the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of lexical element this is.
+    pub kind: TokenKind,
+    /// Start byte offset of the token text (for [`TokenKind::Str`], the
+    /// first byte *after* the opening quote).
+    pub start: usize,
+    /// End byte offset (exclusive; for strings, the closing quote position).
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `input`.
+    pub fn text<'a>(&self, input: &'a [u8]) -> &'a [u8] {
+        &input[self.start..self.end]
+    }
+}
+
+/// Outcome of a [`next_token`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scan {
+    /// A token was found; `next` is the offset to resume scanning from.
+    Tok {
+        /// The token found.
+        tok: Token,
+        /// Resume offset for the next call.
+        next: usize,
+    },
+    /// Only trailing whitespace remained.
+    End,
+    /// A string literal was opened but never closed before the input ended.
+    UnterminatedString {
+        /// Offset of the opening quote.
+        at: usize,
+    },
+}
+
+/// Scans the next token of `input` starting at byte offset `pos`.
+///
+/// Returns the token, the resume offset, and — via `chars_read` — the number
+/// of bytes the scanner examined (whitespace included), which is the unit of
+/// work the paper's parsing phase is dominated by.
+pub fn next_token(input: &[u8], mut pos: usize, chars_read: &mut u64) -> Scan {
+    // Skip leading whitespace.
+    while pos < input.len() && ascii::is_space(input[pos]) {
+        pos += 1;
+        *chars_read += 1;
+    }
+    if pos >= input.len() {
+        return Scan::End;
+    }
+    let b = input[pos];
+    *chars_read += 1;
+    match b {
+        b'(' => Scan::Tok {
+            tok: Token { kind: TokenKind::LParen, start: pos, end: pos + 1 },
+            next: pos + 1,
+        },
+        b')' => Scan::Tok {
+            tok: Token { kind: TokenKind::RParen, start: pos, end: pos + 1 },
+            next: pos + 1,
+        },
+        b'\'' => Scan::Tok {
+            tok: Token { kind: TokenKind::Quote, start: pos, end: pos + 1 },
+            next: pos + 1,
+        },
+        b'`' => Scan::Tok {
+            tok: Token { kind: TokenKind::Backquote, start: pos, end: pos + 1 },
+            next: pos + 1,
+        },
+        b',' => {
+            if input.get(pos + 1) == Some(&b'@') {
+                *chars_read += 1;
+                Scan::Tok {
+                    tok: Token { kind: TokenKind::UnquoteSplice, start: pos, end: pos + 2 },
+                    next: pos + 2,
+                }
+            } else {
+                Scan::Tok {
+                    tok: Token { kind: TokenKind::Unquote, start: pos, end: pos + 1 },
+                    next: pos + 1,
+                }
+            }
+        }
+        b'"' => {
+            // Scan to the closing quote. CuLi strings have no escape
+            // sequences; the first closing quote terminates the literal.
+            let start = pos + 1;
+            let mut i = start;
+            while i < input.len() && input[i] != b'"' {
+                i += 1;
+                *chars_read += 1;
+            }
+            if i >= input.len() {
+                return Scan::UnterminatedString { at: pos };
+            }
+            *chars_read += 1; // the closing quote
+            Scan::Tok { tok: Token { kind: TokenKind::Str, start, end: i }, next: i + 1 }
+        }
+        _ => {
+            // Plain atom: run to the next marker.
+            let start = pos;
+            let mut i = pos + 1;
+            while i < input.len() && !ascii::is_marker(input[i]) {
+                i += 1;
+                *chars_read += 1;
+            }
+            Scan::Tok { tok: Token { kind: TokenKind::Atom, start, end: i }, next: i }
+        }
+    }
+}
+
+/// Convenience: tokenizes an entire input, for tests and diagnostics.
+pub fn tokenize_all(input: &[u8]) -> Result<Vec<Token>, usize> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    let mut chars = 0u64;
+    loop {
+        match next_token(input, pos, &mut chars) {
+            Scan::Tok { tok, next } => {
+                out.push(tok);
+                pos = next;
+            }
+            Scan::End => return Ok(out),
+            Scan::UnterminatedString { at } => return Err(at),
+        }
+    }
+}
+
+/// Counts opening minus closing parentheses, ignoring parens inside string
+/// literals. The host only uploads input once this balance reaches zero
+/// (paper §III-C a: *"The host uploads the input to the GPU if the number of
+/// opening and closing parentheses is equal"*). Returns `None` when the
+/// balance goes negative (more `)` than `(`), which can never become valid.
+pub fn paren_balance(input: &[u8]) -> Option<i64> {
+    let mut depth: i64 = 0;
+    let mut in_str = false;
+    for &b in input {
+        if in_str {
+            if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth < 0 {
+                    return None;
+                }
+            }
+            _ => {}
+        }
+    }
+    Some(depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &[u8]) -> Vec<TokenKind> {
+        tokenize_all(input).unwrap().iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_expression() {
+        assert_eq!(
+            kinds(b"(+ 1 2)"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Atom,
+                TokenKind::Atom,
+                TokenKind::Atom,
+                TokenKind::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn token_texts() {
+        let input = b"(* 2 (+ 4 3) 6)";
+        let toks = tokenize_all(input).unwrap();
+        let texts: Vec<&[u8]> = toks.iter().map(|t| t.text(input)).collect();
+        assert_eq!(
+            texts,
+            vec![
+                b"(".as_ref(),
+                b"*",
+                b"2",
+                b"(",
+                b"+",
+                b"4",
+                b"3",
+                b")",
+                b"6",
+                b")"
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literal_strips_quotes() {
+        let input = b"(\"hi there\")";
+        let toks = tokenize_all(input).unwrap();
+        assert_eq!(toks[1].kind, TokenKind::Str);
+        assert_eq!(toks[1].text(input), b"hi there");
+    }
+
+    #[test]
+    fn unterminated_string_reports_offset() {
+        assert_eq!(tokenize_all(b"(\"oops"), Err(1));
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(kinds(b"").is_empty());
+        assert!(kinds(b"   \n\t ").is_empty());
+    }
+
+    #[test]
+    fn atoms_split_on_markers_without_spaces() {
+        assert_eq!(
+            kinds(b"(car(cdr x))"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Atom,
+                TokenKind::LParen,
+                TokenKind::Atom,
+                TokenKind::Atom,
+                TokenKind::RParen,
+                TokenKind::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn chars_read_counts_every_examined_byte() {
+        let mut chars = 0u64;
+        let input = b"  abc ";
+        match next_token(input, 0, &mut chars) {
+            Scan::Tok { tok, next } => {
+                assert_eq!(tok.text(input), b"abc");
+                assert_eq!(next, 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // two spaces + three atom bytes examined
+        assert_eq!(chars, 5);
+    }
+
+    #[test]
+    fn paren_balance_examples() {
+        assert_eq!(paren_balance(b"(+ 1 2)"), Some(0));
+        assert_eq!(paren_balance(b"((("), Some(3));
+        assert_eq!(paren_balance(b"())"), None);
+        assert_eq!(paren_balance(b"(\")\")"), Some(0), "paren inside string ignored");
+        assert_eq!(paren_balance(b""), Some(0));
+    }
+}

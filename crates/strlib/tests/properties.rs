@@ -1,0 +1,102 @@
+//! Property-based tests for the freestanding string library.
+
+use culi_strlib::fmt_num::{f64_to_vec, i64_to_vec};
+use culi_strlib::parse_num::{classify_number, parse_f64, parse_i64, NumParse};
+use culi_strlib::scan::{paren_balance, tokenize_all};
+use proptest::prelude::*;
+
+proptest! {
+    /// format(i) then parse must reproduce every i64 exactly.
+    #[test]
+    fn i64_roundtrip(v in any::<i64>()) {
+        let s = i64_to_vec(v);
+        prop_assert_eq!(parse_i64(&s), Some(v));
+    }
+
+    /// format(f) then parse must reproduce finite f64s to the bit (or, in
+    /// the documented worst case, within one ulp).
+    #[test]
+    fn f64_roundtrip(v in any::<f64>().prop_filter("finite", |v| v.is_finite())) {
+        let s = f64_to_vec(v);
+        let back = parse_f64(&s).unwrap();
+        if back.to_bits() != v.to_bits() {
+            // Documented fallback: the 17-digit form is within 1 ulp.
+            let ulp = f64::from_bits(v.to_bits().wrapping_add(1)) - v;
+            prop_assert!((back - v).abs() <= ulp.abs() * 2.0,
+                "{} -> {} -> {}", v, String::from_utf8_lossy(&s), back);
+        }
+    }
+
+    /// Our integer parser agrees with std's on arbitrary digit strings.
+    #[test]
+    fn i64_parse_matches_std(s in "[+-]?[0-9]{1,18}") {
+        let ours = parse_i64(s.as_bytes());
+        let std: Result<i64, _> = s.parse();
+        prop_assert_eq!(ours, std.ok());
+    }
+
+    /// Our float parser stays within 1e-15 relative error of std's on
+    /// well-formed decimal strings.
+    #[test]
+    fn f64_parse_close_to_std(s in "[+-]?[0-9]{1,15}\\.[0-9]{1,15}(e[+-]?[0-9]{1,2})?") {
+        let ours = parse_f64(s.as_bytes()).unwrap();
+        let std: f64 = s.parse().unwrap();
+        if std == 0.0 {
+            prop_assert!(ours.abs() < 1e-300);
+        } else if std.is_finite() {
+            prop_assert!(((ours - std) / std).abs() < 1e-15, "{}: {} vs {}", s, ours, std);
+        }
+    }
+
+    /// classify_number never panics and is consistent: Int ⇒ parse_i64 works.
+    #[test]
+    fn classify_total(s in "[ -~]{0,24}") {
+        match classify_number(s.as_bytes()) {
+            NumParse::Int(v) => prop_assert_eq!(parse_i64(s.as_bytes()), Some(v)),
+            NumParse::Float(_) | NumParse::NotANumber => {}
+        }
+    }
+
+    /// The tokenizer terminates on arbitrary printable input and every token
+    /// has a sane, in-bounds, non-empty-or-string range.
+    #[test]
+    fn tokenizer_total_and_in_bounds(s in "[ -~]{0,160}") {
+        if let Ok(toks) = tokenize_all(s.as_bytes()) {
+            for t in &toks {
+                prop_assert!(t.start <= t.end);
+                prop_assert!(t.end <= s.len());
+            }
+        }
+    }
+
+    /// Balanced-paren counting matches a straightforward reference that is
+    /// blind to everything except quotes and parens.
+    #[test]
+    fn paren_balance_matches_reference(s in "[()a-z\" ]{0,80}") {
+        let mut depth = 0i64;
+        let mut bad = false;
+        let mut in_str = false;
+        for b in s.bytes() {
+            if in_str { if b == b'"' { in_str = false; } continue; }
+            match b {
+                b'"' => in_str = true,
+                b'(' => depth += 1,
+                b')' => { depth -= 1; if depth < 0 { bad = true; break; } }
+                _ => {}
+            }
+        }
+        let expect = if bad { None } else { Some(depth) };
+        prop_assert_eq!(paren_balance(s.as_bytes()), expect);
+    }
+
+    /// strcmp is antisymmetric and consistent with slice equality for
+    /// NUL-free strings.
+    #[test]
+    fn strcmp_antisymmetric(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+        use culi_strlib::cstr::strcmp;
+        let ab = strcmp(a.as_bytes(), b.as_bytes());
+        let ba = strcmp(b.as_bytes(), a.as_bytes());
+        prop_assert_eq!(ab.signum(), -ba.signum());
+        prop_assert_eq!(ab == 0, a == b);
+    }
+}

@@ -1,0 +1,61 @@
+//! Device sweep: run the paper's fib(5) workload on all eight evaluated
+//! devices and print a Fig. 15-style comparison, including the headline
+//! result — current CPUs still beat the GPU build by an order of
+//! magnitude, but newer GPU generations close the evaluation gap.
+//!
+//! ```text
+//! cargo run --release --example device_sweep
+//! ```
+
+use culi::prelude::*;
+
+const FIB: &str = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+
+fn fib_input(n: usize) -> String {
+    let args = vec!["5"; n].join(" ");
+    format!("(||| {n} fib ({args}))")
+}
+
+fn main() {
+    let threads = [1usize, 32, 256, 1024, 4096];
+
+    println!("{:<16} {:>10}", "device", "base ms");
+    for spec in all_devices() {
+        println!("{:<16} {:>10.4}", spec.name, Session::measure_base_latency_ms(spec));
+    }
+
+    println!("\nruntime in ms (paper Fig. 15 shape):");
+    print!("{:<16}", "device");
+    for n in threads {
+        print!(" {n:>9}");
+    }
+    println!();
+
+    let mut best_cpu = f64::INFINITY;
+    let mut best_gpu = f64::INFINITY;
+    for spec in all_devices() {
+        let mut session = Session::for_device(spec);
+        session.submit(FIB).unwrap();
+        print!("{:<16}", spec.name);
+        for n in threads {
+            let reply = session.submit(&fib_input(n)).unwrap();
+            assert!(reply.ok, "{}", reply.output);
+            let ms = reply.phases.runtime_ms();
+            print!(" {ms:>9.4}");
+            if n == 4096 {
+                match spec.kind {
+                    DeviceKind::Cpu => best_cpu = best_cpu.min(ms),
+                    DeviceKind::Gpu => best_gpu = best_gpu.min(ms),
+                }
+            }
+        }
+        println!();
+        session.shutdown();
+    }
+
+    println!(
+        "\nat 4096 threads the best CPU ({best_cpu:.2} ms) beats the best GPU \
+         ({best_gpu:.2} ms) by {:.1}x — the paper's 'CPUs still win' result",
+        best_gpu / best_cpu
+    );
+}

@@ -1,0 +1,90 @@
+//! The CuLi experience: an interactive REPL whose evaluation runs on a
+//! simulated GPU, with the host doing only read and print — exactly the
+//! paper's split. Multi-line input is uploaded only once the parentheses
+//! balance, as the original host loop does.
+//!
+//! ```text
+//! cargo run --example interactive_repl [device-name]
+//! echo '(+ 1 2)' | cargo run --example interactive_repl gtx480
+//! ```
+
+use culi::prelude::*;
+use culi::strlib::scan::paren_balance;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let device = std::env::args().nth(1).unwrap_or_else(|| "GTX1080".to_string());
+    let Some(spec) = device_by_name(&device) else {
+        eprintln!("unknown device {device:?}; try one of:");
+        for d in all_devices() {
+            eprintln!("  {}", d.name);
+        }
+        std::process::exit(1);
+    };
+
+    let mut session = Session::for_device(spec);
+    eprintln!("CuLi on {} — ^D to quit, :time toggles phase timing", spec.name);
+
+    let stdin = std::io::stdin();
+    let mut show_time = false;
+    let mut pending = String::new();
+    prompt(&pending);
+    for line in stdin.lock().lines() {
+        let line = line.expect("stdin read failed");
+        if line.trim() == ":time" {
+            show_time = !show_time;
+            eprintln!("timing {}", if show_time { "on" } else { "off" });
+            prompt(&pending);
+            continue;
+        }
+        pending.push_str(&line);
+        pending.push('\n');
+        // Host-side gate (paper §III-C a): upload only when the parens
+        // balance; unbalanced-negative can never recover, so reset.
+        match paren_balance(pending.as_bytes()) {
+            Some(0) => {}
+            Some(_) => {
+                prompt(&pending);
+                continue;
+            }
+            None => {
+                eprintln!("error: unmatched ')'");
+                pending.clear();
+                prompt(&pending);
+                continue;
+            }
+        }
+        let input = std::mem::take(&mut pending);
+        if input.trim().is_empty() {
+            prompt(&pending);
+            continue;
+        }
+        match session.submit(&input) {
+            Ok(reply) => {
+                println!("{}", reply.output);
+                if show_time {
+                    eprintln!(
+                        "  parse {:.4} ms | eval {:.4} ms | print {:.4} ms | total {:.4} ms",
+                        reply.phases.parse_ms(),
+                        reply.phases.eval_ms(),
+                        reply.phases.print_ms(),
+                        reply.phases.runtime_ms()
+                    );
+                }
+            }
+            Err(e) => eprintln!("device error: {e}"),
+        }
+        prompt(&pending);
+    }
+    let base = session.shutdown();
+    eprintln!("\nbye — launch+teardown cost {base:.3} ms");
+}
+
+fn prompt(pending: &str) {
+    if pending.is_empty() {
+        eprint!("culi> ");
+    } else {
+        eprint!("....> ");
+    }
+    std::io::stderr().flush().ok();
+}

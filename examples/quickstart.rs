@@ -1,0 +1,49 @@
+//! Quickstart: boot CuLi on a simulated GTX 1080, define a function,
+//! fan work out with `|||`, and look at where the device time went.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use culi::prelude::*;
+
+fn main() {
+    // The paper's flagship device pairing: a modern GPU vs its own numbers.
+    let spec = culi::sim::device::gtx1080();
+    let mut session = Session::for_device(spec);
+    println!("booted CuLi on {} ({} worker threads)\n", spec.name, spec.grid_workers() - 32);
+
+    // The host uploads each line through the command buffer; the persistent
+    // kernel parses, evaluates and prints entirely "on the device".
+    let inputs = [
+        "(* 2 (+ 4 3) 6)",
+        "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+        "(||| 8 fib (1 2 3 4 5 6 7 8))",
+        "(let parallel-sum (||| 4 + (1 2 3 4) (10 20 30 40)))",
+        "(length parallel-sum)",
+    ];
+
+    for input in inputs {
+        let reply = session.submit(input).expect("device failure");
+        println!("culi> {input}");
+        println!("      {}", reply.output);
+        println!(
+            "      [parse {:.4} ms | eval {:.4} ms | print {:.4} ms]",
+            reply.phases.parse_ms(),
+            reply.phases.eval_ms(),
+            reply.phases.print_ms()
+        );
+        for (i, s) in reply.sections.iter().enumerate() {
+            println!(
+                "      ||| section {i}: {} block(s), {} round(s), {} cycles",
+                s.blocks_used,
+                s.rounds,
+                s.total_cycles()
+            );
+        }
+        println!();
+    }
+
+    let base = session.shutdown();
+    println!("graceful stop; total launch+teardown: {base:.3} ms (paper Fig. 14)");
+}

@@ -1,0 +1,45 @@
+//! # CuLi — a Lisp interpreter running on a (simulated) GPU
+//!
+//! Rust reproduction of *"And Now for Something Completely Different:
+//! Running Lisp on GPUs"* (Süß, Döring, Brinkmann, Nagel — IEEE CLUSTER
+//! 2018). This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] (`culi-core`) — the interpreter: node arena, environments,
+//!   parser, evaluator, printer, builtins, `|||`.
+//! * [`strlib`] (`culi-strlib`) — the freestanding string library.
+//! * [`sim`] (`culi-gpu-sim`) — device catalog and the persistent-kernel /
+//!   CPU machine models.
+//! * [`runtime`] (`culi-runtime`) — the GPU and CPU REPLs and the
+//!   [`runtime::Session`] facade.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use culi::prelude::*;
+//!
+//! // Boot CuLi on a simulated GTX 1080 and use it like the paper does.
+//! let mut session = Session::for_device(culi::sim::device::gtx1080());
+//! session.submit("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))").unwrap();
+//! let reply = session.submit("(||| 4 fib (5 6 7 8))").unwrap();
+//! assert_eq!(reply.output, "(5 8 13 21)");
+//! println!("device time: {:.3} ms", reply.phases.execution_ms());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use culi_core as core;
+pub use culi_gpu_sim as sim;
+pub use culi_runtime as runtime;
+pub use culi_strlib as strlib;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use culi_core::{CuliError, Interp, InterpConfig, SequentialHook};
+    pub use culi_gpu_sim::{
+        all_cpus, all_devices, all_gpus, device_by_name, DeviceKind, DeviceSpec, KernelConfig,
+    };
+    pub use culi_runtime::{
+        CpuMode, CpuRepl, CpuReplConfig, GpuRepl, GpuReplConfig, Reply, RuntimeError, Session,
+    };
+}

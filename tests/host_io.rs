@@ -1,0 +1,97 @@
+//! The paper's future-work feature end-to-end: device-side file I/O
+//! routed through the host, on every backend.
+
+use culi::prelude::*;
+use culi::runtime::VirtualFs;
+use culi::sim::device;
+
+fn gpu_with_fs() -> (GpuRepl, culi::core::hostio::HostIoHandle) {
+    let handle = VirtualFs::new().into_handle();
+    let repl = GpuRepl::launch(
+        device::gtx1080(),
+        GpuReplConfig { host_io: Some(handle.clone()), ..Default::default() },
+    );
+    (repl, handle)
+}
+
+#[test]
+fn write_read_roundtrip_on_gpu() {
+    let (mut repl, _fs) = gpu_with_fs();
+    assert_eq!(repl.submit("(write-file \"out.txt\" \"from the device\")").unwrap().output, "T");
+    assert_eq!(
+        repl.submit("(read-file \"out.txt\")").unwrap().output,
+        "\"from the device\""
+    );
+    assert_eq!(repl.submit("(file-exists \"out.txt\")").unwrap().output, "T");
+    assert_eq!(repl.submit("(file-exists \"other\")").unwrap().output, "nil");
+}
+
+#[test]
+fn host_side_prepared_files_visible_to_device() {
+    let fs = VirtualFs::new();
+    fs.preload(b"config.lisp", b"(5 10 15)");
+    let mut repl = GpuRepl::launch(
+        device::tesla_m40(),
+        GpuReplConfig { host_io: Some(fs.into_handle()), ..Default::default() },
+    );
+    // Device reads the file, evals its content via the reader builtins.
+    repl.submit("(setq raw (read-file \"config.lisp\"))").unwrap();
+    let reply = repl.submit("(string-length raw)").unwrap();
+    assert_eq!(reply.output, "9");
+}
+
+#[test]
+fn io_failures_are_printed_lisp_errors() {
+    let (mut repl, _fs) = gpu_with_fs();
+    let reply = repl.submit("(read-file \"missing.txt\")").unwrap();
+    assert!(!reply.ok);
+    assert!(reply.output.contains("no such file"), "{}", reply.output);
+    // REPL keeps going.
+    assert_eq!(repl.submit("(+ 1 1)").unwrap().output, "2");
+}
+
+#[test]
+fn no_services_attached_is_a_clean_error() {
+    let mut session = Session::for_device(device::gtx480());
+    let reply = session.submit("(read-file \"x\")").unwrap();
+    assert!(!reply.ok);
+    assert!(reply.output.contains("no host I/O"), "{}", reply.output);
+}
+
+#[test]
+fn threaded_workers_share_the_virtual_fs() {
+    let handle = VirtualFs::new().into_handle();
+    let mut repl = CpuRepl::launch(
+        device::intel_e5_2620(),
+        CpuReplConfig {
+            interp: InterpConfig { arena_capacity: 1 << 16, ..Default::default() },
+            mode: CpuMode::Threaded { threads: 4 },
+            host_io: Some(handle.clone()),
+            ..Default::default()
+        },
+    );
+    // Every worker writes its own file, named after its argument.
+    repl.submit(
+        "(defun emit (n) (write-file (concat \"w\" (number-to-string n)) (number-to-string (* n n))))",
+    )
+    .unwrap();
+    let reply = repl.submit("(||| 4 emit (1 2 3 4))").unwrap();
+    assert_eq!(reply.output, "(T T T T)");
+    for (n, sq) in [(1, "1"), (2, "4"), (3, "9"), (4, "16")] {
+        let data = handle.0.read_file(format!("w{n}").as_bytes()).unwrap();
+        assert_eq!(data, sq.as_bytes(), "file w{n}");
+    }
+}
+
+#[test]
+fn io_traffic_charges_device_time() {
+    let (mut repl, _fs) = gpu_with_fs();
+    let big = "x".repeat(5000);
+    repl.submit(&format!("(write-file \"big\" \"{big}\")")).unwrap();
+    let small_read = repl.submit("(file-exists \"big\")").unwrap();
+    let big_read = repl.submit("(read-file \"big\")").unwrap();
+    assert!(
+        big_read.phases.eval_cycles > small_read.phases.eval_cycles,
+        "reading 5 KB must cost more than an existence probe"
+    );
+}

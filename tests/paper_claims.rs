@@ -1,0 +1,110 @@
+//! The paper's headline claims, verified end-to-end on the reproduction
+//! (fast subset; the full figure regeneration lives in `culi-bench`).
+
+use culi::prelude::*;
+use culi::sim::device;
+
+const FIB: &str = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+
+fn fib_input(n: usize) -> String {
+    let args = vec!["5"; n].join(" ");
+    format!("(||| {n} fib ({args}))")
+}
+
+fn runtime_ms(spec: DeviceSpec, n: usize) -> f64 {
+    let mut session = Session::for_device(spec);
+    session.submit(FIB).unwrap();
+    let reply = session.submit(&fib_input(n)).unwrap();
+    assert!(reply.ok, "{}: {}", spec.name, reply.output);
+    reply.phases.runtime_ms()
+}
+
+/// §I / §IV: "At the moment, Lisp programs running on CPUs outperform Lisp
+/// programs on GPUs" — by at least an order of magnitude at scale.
+#[test]
+fn cpus_outperform_gpus_at_scale() {
+    let n = 1024;
+    let best_cpu = all_cpus().into_iter().map(|d| runtime_ms(d, n)).fold(f64::INFINITY, f64::min);
+    for gpu in all_gpus() {
+        let t = runtime_ms(gpu, n);
+        assert!(t / best_cpu > 5.0, "{}: {t:.3} ms vs best CPU {best_cpu:.3} ms", gpu.name);
+    }
+}
+
+/// Fig. 14: "the newer the GPU, the higher the base latency", GTX 680
+/// about six times lower than GTX 1080 / M40, CPUs > 30× faster still.
+#[test]
+fn base_latency_trend() {
+    let lat = |d: DeviceSpec| Session::measure_base_latency_ms(d);
+    assert!(lat(device::gtx680()) < lat(device::tesla_k20()));
+    assert!(lat(device::tesla_k20()) < lat(device::tesla_m40()));
+    let ratio = lat(device::gtx1080()) / lat(device::gtx680());
+    assert!((3.0..10.0).contains(&ratio), "{ratio}");
+    for cpu in all_cpus() {
+        assert!(lat(device::gtx680()) / lat(cpu) > 30.0, "{}", cpu.name);
+    }
+}
+
+/// §IV-b: "This result can be explained by the good string parsing
+/// performance of Fermi GPUs."
+#[test]
+fn fermi_parsing_advantage() {
+    let parse_ms = |spec: DeviceSpec| -> f64 {
+        let mut session = Session::for_device(spec);
+        session.submit(FIB).unwrap();
+        session.submit(&fib_input(512)).unwrap().phases.parse_ms()
+    };
+    let fermi = parse_ms(device::gtx480()).max(parse_ms(device::tesla_c2075()));
+    for post in [device::tesla_k20(), device::tesla_m40(), device::gtx680(), device::gtx1080()] {
+        let t = parse_ms(post);
+        assert!(t > 3.0 * fermi, "{}: {t:.4} vs fermi {fermi:.4}", post.name);
+    }
+}
+
+/// §IV-c: "the trend of the evaluation phase shows that the newer the GPU,
+/// the lower the computation time."
+#[test]
+fn evaluation_improves_with_gpu_generation() {
+    let eval_ms = |spec: DeviceSpec| -> f64 {
+        let mut session = Session::for_device(spec);
+        session.submit(FIB).unwrap();
+        session.submit(&fib_input(1024)).unwrap().phases.eval_ms()
+    };
+    let fermi = eval_ms(device::tesla_c2075());
+    let kepler = eval_ms(device::tesla_k20()) * device::tesla_k20().clock_mhz as f64
+        / device::tesla_c2075().clock_mhz as f64; // clock-normalized
+    let maxwell = eval_ms(device::tesla_m40());
+    let pascal = eval_ms(device::gtx1080());
+    assert!(fermi > maxwell, "{fermi} vs {maxwell}");
+    assert!(maxwell > pascal, "{maxwell} vs {pascal}");
+    assert!(kepler > pascal, "{kepler} vs {pascal}");
+}
+
+/// §IV intro: uploads are "not bounded by the bandwidth limits of PCIe" —
+/// even the 8 KB input transfers in well under the device compute time.
+#[test]
+fn transfers_are_not_the_bottleneck() {
+    let mut session = Session::for_device(device::gtx1080());
+    session.submit(FIB).unwrap();
+    let reply = session.submit(&fib_input(4096)).unwrap();
+    let transfer_ms = reply.phases.transfer_ns as f64 / 1e6;
+    assert!(
+        transfer_ms * 100.0 < reply.phases.execution_ms(),
+        "transfer {transfer_ms} ms vs execution {} ms",
+        reply.phases.execution_ms()
+    );
+}
+
+/// §I: "a complete Lisp interpreter running on the GPU … the host side
+/// only for input and output" — device-side time accounts for the whole
+/// pipeline except the handshake.
+#[test]
+fn host_does_only_io() {
+    let mut repl = GpuRepl::launch(device::tesla_m40(), GpuReplConfig::default());
+    let before = repl.elapsed_device_ns();
+    let reply = repl.submit("(+ 1 2)").unwrap();
+    let device_ns = repl.elapsed_device_ns() - before;
+    // All three phases happened on the device clock.
+    let phase_ns = reply.phases.execution_ms() * 1e6;
+    assert!((device_ns - phase_ns).abs() < 1.0, "{device_ns} vs {phase_ns}");
+}

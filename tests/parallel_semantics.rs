@@ -1,0 +1,127 @@
+//! Semantics of `|||` across backends: equivalence with sequential
+//! evaluation, ordering, worker isolation, multi-round distribution.
+
+use culi::prelude::*;
+use culi::sim::device;
+
+const FIB: &str = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+
+/// `(||| n f xs)` must equal mapping f over the first n xs sequentially.
+#[test]
+fn parallel_equals_sequential_map() {
+    let xs: Vec<i64> = (0..48).collect();
+    let xs_str = xs.iter().map(i64::to_string).collect::<Vec<_>>().join(" ");
+
+    // Sequential reference on a plain interpreter.
+    let mut reference = Interp::default();
+    reference.eval_str(FIB).unwrap();
+    let mut expected = Vec::new();
+    for &x in &xs {
+        expected.push(reference.eval_str(&format!("(fib (mod {x} 10))")).unwrap());
+    }
+    let expected = format!("({})", expected.join(" "));
+
+    for spec in all_devices() {
+        let mut session = Session::for_device(spec);
+        session.submit(FIB).unwrap();
+        session.submit("(defun job (x) (fib (mod x 10)))").unwrap();
+        let reply = session.submit(&format!("(||| 48 job ({xs_str}))")).unwrap();
+        assert_eq!(reply.output, expected, "{}", spec.name);
+    }
+}
+
+#[test]
+fn multi_round_distribution_beyond_grid_capacity() {
+    // Fermi's grid holds 3552 workers; 4096 jobs need two distribution
+    // rounds (the worker loop of Alg. 1 loops for exactly this reason).
+    let spec = device::tesla_c2075();
+    let mut repl = GpuRepl::launch(spec, GpuReplConfig::default());
+    repl.submit(FIB).unwrap();
+    let n = repl.worker_count() + 100;
+    let args = vec!["3"; n].join(" ");
+    let reply = repl.submit(&format!("(||| {n} fib ({args}))")).unwrap();
+    assert!(reply.ok, "{}", reply.output);
+    assert_eq!(reply.sections.len(), 1);
+    assert_eq!(reply.sections[0].rounds, 2, "expected two distribution rounds");
+    assert_eq!(reply.output.matches('2').count(), n, "fib(3)=2, n results");
+}
+
+#[test]
+fn results_preserve_distribution_order_everywhere() {
+    for spec in all_devices() {
+        let mut session = Session::for_device(spec);
+        let reply = session
+            .submit("(||| 6 - (60 50 40 30 20 10) (1 2 3 4 5 6))")
+            .unwrap();
+        assert_eq!(reply.output, "(59 48 37 26 15 4)", "{}", spec.name);
+    }
+}
+
+#[test]
+fn worker_environments_are_isolated_from_each_other() {
+    // Paper §III-D b: "Values stored in a worker's environment do not
+    // affect other workers."
+    let mut session = Session::for_device(device::gtx1080());
+    session.submit("(defun stash (x) (progn (let mine x) (* mine mine)))").unwrap();
+    let reply = session.submit("(||| 5 stash (1 2 3 4 5))").unwrap();
+    assert_eq!(reply.output, "(1 4 9 16 25)");
+    // `mine` never escaped to the global environment.
+    assert_eq!(session.submit("mine").unwrap().output, "mine");
+}
+
+#[test]
+fn workers_see_the_global_environment() {
+    // Paper §III-D b: each worker chains through the |||-expression's
+    // environment to the global one.
+    let mut session = Session::for_device(device::tesla_m40());
+    session.submit("(setq offset 100)").unwrap();
+    session.submit("(defun shift (x) (+ x offset))").unwrap();
+    assert_eq!(session.submit("(||| 3 shift (1 2 3))").unwrap().output, "(101 102 103)");
+}
+
+#[test]
+fn nested_parallel_sections_run_on_every_backend() {
+    for spec in [device::gtx680(), device::amd_6272()] {
+        let mut session = Session::for_device(spec);
+        session.submit("(defun inner (x) (||| 2 * (list x x) (1 2)))").unwrap();
+        let reply = session.submit("(||| 2 inner (3 4))").unwrap();
+        assert_eq!(reply.output, "((3 6) (4 8))", "{}", spec.name);
+    }
+}
+
+#[test]
+fn too_short_argument_lists_error_cleanly() {
+    let mut session = Session::for_device(device::gtx480());
+    let reply = session.submit("(||| 5 + (1 2 3) (1 2 3 4 5))").unwrap();
+    assert!(!reply.ok);
+    assert!(reply.output.contains("|||"), "{}", reply.output);
+    // Session survives.
+    assert_eq!(session.submit("(+ 1 1)").unwrap().output, "2");
+}
+
+#[test]
+fn threaded_backend_scales_down_to_one_thread() {
+    let mut one = Session::cpu_threaded(device::intel_e5_2620(), 1);
+    one.submit(FIB).unwrap();
+    assert_eq!(one.submit("(||| 4 fib (5 5 5 5))").unwrap().output, "(5 5 5 5)");
+}
+
+#[test]
+fn threaded_and_modeled_agree_on_a_mixed_program() {
+    let program = [
+        FIB,
+        "(setq base 1000)",
+        "(defun job (x) (+ base (fib x)))",
+    ];
+    let call = "(||| 6 job (1 2 3 4 5 6))";
+    let mut modeled = Session::for_device(device::amd_6272());
+    let mut threaded = Session::cpu_threaded(device::amd_6272(), 6);
+    for line in program {
+        modeled.submit(line).unwrap();
+        threaded.submit(line).unwrap();
+    }
+    let a = modeled.submit(call).unwrap().output;
+    let b = threaded.submit(call).unwrap().output;
+    assert_eq!(a, b);
+    assert_eq!(a, "(1001 1001 1002 1003 1005 1008)");
+}

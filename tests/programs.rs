@@ -1,0 +1,192 @@
+//! Real Lisp programs running end-to-end on the simulated GPU — the
+//! acceptance suite: if CuLi is "a complete Lisp interpreter", these must
+//! just work. Note the careful variable naming: CuLi is dynamically
+//! scoped (environments chain to the *caller*), so free variables in
+//! lambdas resolve against the dynamic chain.
+
+use culi::prelude::*;
+use culi::sim::device;
+
+fn session() -> Session {
+    Session::for_device(device::gtx1080())
+}
+
+#[test]
+fn quicksort() {
+    let mut s = session();
+    s.submit(
+        "(defun filter (pred lst) \
+           (if (null lst) nil \
+             (if (funcall pred (car lst)) \
+               (cons (car lst) (filter pred (cdr lst))) \
+               (filter pred (cdr lst)))))",
+    )
+    .unwrap();
+    s.submit(
+        "(defun qs (xs) \
+           (if (null xs) nil \
+             (let* ((pivot (car xs)) (rest (cdr xs))) \
+               (append \
+                 (qs (filter (lambda (y) (< y pivot)) rest)) \
+                 (list pivot) \
+                 (qs (filter (lambda (y) (>= y pivot)) rest))))))",
+    )
+    .unwrap();
+    let reply = s.submit("(qs (list 3 1 4 1 5 9 2 6 5 3 5))").unwrap();
+    assert_eq!(reply.output, "(1 1 2 3 3 4 5 5 5 6 9)");
+    assert_eq!(s.submit("(qs nil)").unwrap().output, "nil");
+    assert_eq!(s.submit("(qs (list 42))").unwrap().output, "(42)");
+}
+
+#[test]
+fn ackermann() {
+    let mut s = session();
+    s.submit(
+        "(defun ack (m n) \
+           (cond ((= m 0) (+ n 1)) \
+                 ((= n 0) (ack (- m 1) 1)) \
+                 (T (ack (- m 1) (ack m (- n 1))))))",
+    )
+    .unwrap();
+    assert_eq!(s.submit("(ack 1 3)").unwrap().output, "5");
+    assert_eq!(s.submit("(ack 2 3)").unwrap().output, "9");
+    assert_eq!(s.submit("(ack 3 3)").unwrap().output, "61");
+}
+
+#[test]
+fn fizzbuzz_via_mapcar_and_cond() {
+    let mut s = session();
+    s.submit(
+        "(defun fizz (n) \
+           (cond ((= 0 (mod n 15)) \"fizzbuzz\") \
+                 ((= 0 (mod n 3)) \"fizz\") \
+                 ((= 0 (mod n 5)) \"buzz\") \
+                 (T n)))",
+    )
+    .unwrap();
+    let reply = s.submit("(mapcar fizz (list 1 3 5 15 7))").unwrap();
+    assert_eq!(reply.output, "(1 \"fizz\" \"buzz\" \"fizzbuzz\" 7)");
+}
+
+#[test]
+fn map_reduce_with_parallel_map() {
+    // The |||-parallel map feeds a sequential reduce — the paper's
+    // motivating usage pattern.
+    let mut s = session();
+    s.submit("(defun sq (x) (* x x))").unwrap();
+    s.submit("(setq squares (||| 10 sq (1 2 3 4 5 6 7 8 9 10)))").unwrap();
+    assert_eq!(s.submit("(apply + squares)").unwrap().output, "385");
+    assert_eq!(s.submit("(apply max squares)").unwrap().output, "100");
+}
+
+#[test]
+fn iterative_fibonacci_with_while() {
+    let mut s = session();
+    s.submit(
+        "(defun fib-iter (n) \
+           (let* ((a 0) (b 1) (i 0)) \
+             (progn \
+               (while (< i n) \
+                 (let tmp b) \
+                 (setq b (+ a b)) \
+                 (setq a tmp) \
+                 (setq i (+ i 1))) \
+               a)))",
+    )
+    .unwrap();
+    assert_eq!(s.submit("(fib-iter 10)").unwrap().output, "55");
+    assert_eq!(s.submit("(fib-iter 30)").unwrap().output, "832040");
+}
+
+#[test]
+fn macro_generated_control_flow() {
+    let mut s = session();
+    // A `for` macro expanding to dotimes + body splice.
+    s.submit("(defmacro for (var n body) `(dotimes (,var ,n) ,body))").unwrap();
+    s.submit("(setq total 0)").unwrap();
+    s.submit("(for k 10 (setq total (+ total k)))").unwrap();
+    assert_eq!(s.submit("total").unwrap().output, "45");
+}
+
+#[test]
+fn association_list_database() {
+    let mut s = session();
+    s.submit(
+        "(setq db (list (list \"fermi\" 2010) (list \"kepler\" 2012) \
+                        (list \"maxwell\" 2014) (list \"pascal\" 2016)))",
+    )
+    .unwrap();
+    assert_eq!(s.submit("(car (cdr (assoc \"kepler\" db)))").unwrap().output, "2012");
+    assert_eq!(s.submit("(assoc \"volta\" db)").unwrap().output, "nil");
+    assert_eq!(s.submit("(length db)").unwrap().output, "4");
+    // Insert and look up again.
+    s.submit("(setq db (cons (list \"volta\" 2017) db))").unwrap();
+    assert_eq!(s.submit("(car (cdr (assoc \"volta\" db)))").unwrap().output, "2017");
+}
+
+#[test]
+fn higher_order_composition_and_the_funarg_problem() {
+    let mut s = session();
+    s.submit("(setq add3 (lambda (x) (+ x 3)))").unwrap();
+    s.submit("(setq dbl (lambda (x) (* x 2)))").unwrap();
+
+    // Composition works while f and g are live on the dynamic chain.
+    s.submit("(defun compose-call (f g x) (funcall f (funcall g x)))").unwrap();
+    assert_eq!(s.submit("(compose-call add3 dbl 10)").unwrap().output, "23");
+
+    // CuLi is dynamically scoped (environments chain to the caller, paper
+    // §III-B), so a lambda that *escapes* the binding of its free
+    // variables exhibits the classic upward funarg problem: f and g are
+    // gone by the time the escaped lambda runs. This is faithful
+    // behavior, pinned here as a regression test.
+    s.submit("(defun compose (f g) (lambda (x) (funcall f (funcall g x))))").unwrap();
+    let reply = s.submit("(funcall (compose add3 dbl) 10)").unwrap();
+    assert!(!reply.ok, "escaped lambda must not find f/g: {}", reply.output);
+    assert!(reply.output.contains("funcall"), "{}", reply.output);
+}
+
+#[test]
+fn string_processing_pipeline() {
+    let mut s = session();
+    s.submit("(setq words (list \"running\" \"lisp\" \"on\" \"gpus\"))").unwrap();
+    s.submit(
+        "(defun join (lst) (if (null lst) \"\" \
+            (if (null (cdr lst)) (car lst) \
+              (concat (car lst) \" \" (join (cdr lst))))))",
+    )
+    .unwrap();
+    assert_eq!(s.submit("(join words)").unwrap().output, "\"running lisp on gpus\"");
+    assert_eq!(s.submit("(string-length (join words))").unwrap().output, "20");
+    assert_eq!(
+        s.submit("(mapcar string-length words)").unwrap().output,
+        "(7 4 2 4)"
+    );
+}
+
+#[test]
+fn the_whole_suite_also_runs_on_a_cpu_backend() {
+    // Cross-backend determinism spot check with the most intricate program.
+    let mut s = Session::for_device(device::amd_6272());
+    s.submit(
+        "(defun filter (pred lst) \
+           (if (null lst) nil \
+             (if (funcall pred (car lst)) \
+               (cons (car lst) (filter pred (cdr lst))) \
+               (filter pred (cdr lst)))))",
+    )
+    .unwrap();
+    s.submit(
+        "(defun qs (xs) \
+           (if (null xs) nil \
+             (let* ((pivot (car xs)) (rest (cdr xs))) \
+               (append \
+                 (qs (filter (lambda (y) (< y pivot)) rest)) \
+                 (list pivot) \
+                 (qs (filter (lambda (y) (>= y pivot)) rest))))))",
+    )
+    .unwrap();
+    assert_eq!(
+        s.submit("(qs (list 9 8 7 6 5 4 3 2 1 0))").unwrap().output,
+        "(0 1 2 3 4 5 6 7 8 9)"
+    );
+}

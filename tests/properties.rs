@@ -1,0 +1,164 @@
+//! Property-based tests over the whole stack.
+
+use culi::core::{Interp, InterpConfig};
+use culi::prelude::*;
+use culi::sim::device;
+use proptest::prelude::*;
+
+/// Strategy: a rendered CuLi value expression with a predictable printed
+/// form, built bottom-up (ints, floats kept to exact halves, strings,
+/// symbols, quoted nested lists).
+fn value_expr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(|v| v.to_string()),
+        (-1000i32..1000).prop_map(|v| format!("{}.5", v)),
+        "[a-z][a-z0-9-]{0,6}".prop_map(|s| s),
+        "[a-z ]{0,8}".prop_map(|s| format!("\"{s}\"")),
+        Just("nil".to_string()),
+        Just("T".to_string()),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop::collection::vec(inner, 0..5).prop_map(|items| format!("({})", items.join(" ")))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print(parse(x)) is idempotent: whatever a quoted value prints as,
+    /// re-reading and re-printing it reproduces the same text.
+    #[test]
+    fn print_parse_roundtrip_is_idempotent(expr in value_expr()) {
+        let mut lisp = Interp::default();
+        let once = lisp.eval_str(&format!("(quote {expr})")).unwrap();
+        let mut lisp2 = Interp::default();
+        let twice = lisp2.eval_str(&format!("(quote {once})")).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Arbitrary printable input never panics the full GPU pipeline — it
+    /// parses+evaluates or reports a clean error.
+    #[test]
+    fn arbitrary_input_never_panics_the_repl(input in "[ -~]{0,120}") {
+        let mut repl = GpuRepl::launch(
+            device::gtx680(),
+            GpuReplConfig {
+                interp: InterpConfig {
+                    arena_capacity: 1 << 14,
+                    max_depth: 64,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let _ = repl.submit(&input); // Ok(reply) or Err — never a panic
+    }
+
+    /// Integer arithmetic agrees with a Rust reference model.
+    #[test]
+    fn int_arithmetic_matches_reference(
+        a in -10_000i64..10_000,
+        b in -10_000i64..10_000,
+        c in 1i64..100,
+    ) {
+        let mut lisp = Interp::default();
+        let cases = [
+            (format!("(+ {a} {b})"), (a + b).to_string()),
+            (format!("(- {a} {b})"), (a - b).to_string()),
+            (format!("(* {a} {c})"), (a * c).to_string()),
+            (format!("(mod {a} {c})"), a.rem_euclid(c).to_string()),
+            (format!("(min {a} {b})"), a.min(b).to_string()),
+            (format!("(max {a} {b})"), a.max(b).to_string()),
+        ];
+        for (expr, want) in cases {
+            prop_assert_eq!(lisp.eval_str(&expr).unwrap(), want, "{}", expr);
+        }
+    }
+
+    /// Comparison chains agree with Rust's comparison operators.
+    #[test]
+    fn comparisons_match_reference(a in -100i64..100, b in -100i64..100) {
+        let mut lisp = Interp::default();
+        let tf = |v: bool| if v { "T" } else { "nil" };
+        let cases = [
+            (format!("(< {a} {b})"), tf(a < b)),
+            (format!("(> {a} {b})"), tf(a > b)),
+            (format!("(<= {a} {b})"), tf(a <= b)),
+            (format!("(>= {a} {b})"), tf(a >= b)),
+            (format!("(= {a} {b})"), tf(a == b)),
+        ];
+        for (expr, want) in cases {
+            prop_assert_eq!(lisp.eval_str(&expr).unwrap(), want, "{}", expr);
+        }
+    }
+
+    /// `(||| n + xs ys)` equals element-wise addition, for any n and data.
+    #[test]
+    fn parallel_add_matches_elementwise(
+        pairs in prop::collection::vec((-1000i64..1000, -1000i64..1000), 1..40)
+    ) {
+        let n = pairs.len();
+        let xs: Vec<String> = pairs.iter().map(|p| p.0.to_string()).collect();
+        let ys: Vec<String> = pairs.iter().map(|p| p.1.to_string()).collect();
+        let want: Vec<String> = pairs.iter().map(|p| (p.0 + p.1).to_string()).collect();
+        let input = format!("(||| {n} + ({}) ({}))", xs.join(" "), ys.join(" "));
+        let mut lisp = Interp::default();
+        prop_assert_eq!(lisp.eval_str(&input).unwrap(), format!("({})", want.join(" ")));
+    }
+
+    /// Every backend produces the identical reply for a random value
+    /// expression (quoted, so evaluation is printing-only).
+    #[test]
+    fn backends_agree_on_arbitrary_values(expr in value_expr()) {
+        let input = format!("(quote {expr})");
+        let mut reference: Option<String> = None;
+        for spec in [device::gtx1080(), device::tesla_c2075(), device::intel_e5_2620()] {
+            let mut session = Session::for_device(spec);
+            let reply = session.submit(&input).unwrap();
+            prop_assert!(reply.ok);
+            match &reference {
+                None => reference = Some(reply.output),
+                Some(r) => prop_assert_eq!(r, &reply.output, "{}", spec.name),
+            }
+        }
+    }
+
+    /// list/length/reverse/append laws hold for arbitrary int lists.
+    #[test]
+    fn list_laws(xs in prop::collection::vec(-100i64..100, 0..12)) {
+        let mut lisp = Interp::default();
+        let body = xs.iter().map(i64::to_string).collect::<Vec<_>>().join(" ");
+        lisp.eval_str(&format!("(setq xs (list {body}))")).unwrap();
+        // length
+        prop_assert_eq!(lisp.eval_str("(length xs)").unwrap(), xs.len().to_string());
+        // reverse . reverse = id
+        prop_assert_eq!(
+            lisp.eval_str("(equal (reverse (reverse xs)) xs)").unwrap(),
+            "T"
+        );
+        // length (append xs xs) = 2 * length xs
+        prop_assert_eq!(
+            lisp.eval_str("(length (append xs xs))").unwrap(),
+            (2 * xs.len()).to_string()
+        );
+        // cons/car/cdr inverse
+        if !xs.is_empty() {
+            prop_assert_eq!(
+                lisp.eval_str("(equal (cons (car xs) (cdr xs)) xs)").unwrap(),
+                "T"
+            );
+        }
+    }
+
+    /// GC never changes observable results: evaluate, collect, re-evaluate.
+    #[test]
+    fn gc_preserves_semantics(seed in 0u64..1000) {
+        let mut lisp = Interp::new(InterpConfig { arena_capacity: 1 << 14, ..Default::default() });
+        lisp.eval_str(&format!("(setq x {seed})")).unwrap();
+        lisp.eval_str("(defun probe () (* x 3))").unwrap();
+        let before = lisp.eval_str("(probe)").unwrap();
+        culi::core::gc::collect(&mut lisp, &[]);
+        let after = lisp.eval_str("(probe)").unwrap();
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end REPL behavior across every backend: same programs, same
+//! outputs, persistent environments, graceful error recovery.
+
+use culi::prelude::*;
+use culi::sim::device;
+
+/// A session program exercising definitions, scoping, lists, strings,
+/// macros and parallel sections, with the expected output per line.
+fn script() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("(* 2 (+ 4 3) 6)", "84"),
+        ("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))", "fib"),
+        ("(fib 10)", "55"),
+        ("(setq xs (list 1 2 3 4))", "(1 2 3 4)"),
+        ("(append xs (reverse xs))", "(1 2 3 4 4 3 2 1)"),
+        ("(car (cdr xs))", "2"),
+        ("(let ((a 2) (b 3)) (* a b))", "6"),
+        ("(defmacro twice (e) (list '+ e e))", "twice"),
+        ("(twice (fib 6))", "16"),
+        ("(concat \"cu\" \"li\")", "\"culi\""),
+        ("(||| 4 fib (4 5 6 7))", "(3 5 8 13)"),
+        ("(cond ((> 1 2) 'no) ((< 1 2) 'yes))", "yes"),
+        ("(and T (or nil 42))", "42"),
+        ("(string-to-number (number-to-string 3.5))", "3.5"),
+    ]
+}
+
+#[test]
+fn script_agrees_on_all_eight_devices() {
+    for spec in all_devices() {
+        let mut session = Session::for_device(spec);
+        for (input, want) in script() {
+            let reply = session.submit(input).unwrap();
+            assert!(reply.ok, "{}: {input} → {}", spec.name, reply.output);
+            assert_eq!(reply.output, want, "{}: {input}", spec.name);
+        }
+        session.shutdown();
+    }
+}
+
+#[test]
+fn script_agrees_on_real_threads() {
+    let mut session = Session::cpu_threaded(device::intel_e5_2620(), 4);
+    for (input, want) in script() {
+        let reply = session.submit(input).unwrap();
+        assert!(reply.ok, "{input} → {}", reply.output);
+        assert_eq!(reply.output, want, "{input}");
+    }
+}
+
+#[test]
+fn gpu_session_recovers_from_every_error_class() {
+    let mut session = Session::for_device(device::gtx680());
+    let errors = [
+        "(+ 1",                      // parse: unbalanced
+        "(\"never closed",           // parse: unterminated string
+        "(/ 1 0)",                   // eval: division by zero
+        "(car 5)",                   // eval: type error
+        "(cons 1)",                  // eval: arity error
+        "(+ 9223372036854775807 1)", // eval: overflow
+    ];
+    for bad in errors {
+        let reply = session.submit(bad).unwrap();
+        assert!(!reply.ok, "{bad} should fail, got {}", reply.output);
+        assert!(reply.output.starts_with("error: "), "{bad} → {}", reply.output);
+    }
+    // Session fully functional afterwards.
+    assert_eq!(session.submit("(+ 20 22)").unwrap().output, "42");
+}
+
+#[test]
+fn environment_persists_until_termination() {
+    // Paper §I: the environment built up interactively persists until the
+    // interpreter is terminated.
+    let mut session = Session::for_device(device::tesla_m40());
+    session.submit("(setq counter 0)").unwrap();
+    for _ in 0..10 {
+        session.submit("(setq counter (+ counter 1))").unwrap();
+    }
+    assert_eq!(session.submit("counter").unwrap().output, "10");
+    session.shutdown();
+    assert!(matches!(session.submit("counter"), Err(RuntimeError::SessionClosed)));
+}
+
+#[test]
+fn long_interactive_sessions_stay_within_the_arena() {
+    // 500 commands through a deliberately small arena: the GC keeps the
+    // fixed node array (the paper's stated limitation) from exhausting.
+    let cfg = GpuReplConfig {
+        interp: InterpConfig { arena_capacity: 4096, ..Default::default() },
+        ..Default::default()
+    };
+    let mut repl = GpuRepl::launch(device::gtx480(), cfg);
+    repl.submit("(defun sq (x) (* x x))").unwrap();
+    for i in 0..500 {
+        let reply = repl.submit(&format!("(sq {i})")).unwrap();
+        assert_eq!(reply.output, (i * i).to_string(), "command {i}");
+    }
+}
+
+#[test]
+fn transfer_costs_scale_with_io_size() {
+    let mut session = Session::for_device(device::gtx1080());
+    let small = session.submit("(+ 1 2)").unwrap();
+    let big_list = format!("(list {})", vec!["7"; 1000].join(" "));
+    let big = session.submit(&big_list).unwrap();
+    assert!(big.phases.transfer_ns > small.phases.transfer_ns);
+}
+
+#[test]
+fn unbound_symbols_echo_like_the_paper_says() {
+    let mut session = Session::for_device(device::tesla_k20());
+    assert_eq!(session.submit("mystery").unwrap().output, "mystery");
+    assert_eq!(session.submit("(1 mystery 3)").unwrap().output, "(1 mystery 3)");
+}

@@ -1,0 +1,162 @@
+//! Invariants of the machine simulation observed through the runtime:
+//! timing monotonicity, phase accounting, livelock matrix, statistics.
+
+use culi::prelude::*;
+use culi::sim::device;
+use culi::sim::{LivelockCause, SimError};
+
+const FIB: &str = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+
+fn fib_input(n: usize) -> String {
+    let args = vec!["5"; n].join(" ");
+    format!("(||| {n} fib ({args}))")
+}
+
+#[test]
+fn more_jobs_never_cost_less() {
+    for spec in [device::gtx1080(), device::amd_6272()] {
+        let mut session = Session::for_device(spec);
+        session.submit(FIB).unwrap();
+        let mut prev = 0.0;
+        for n in [1usize, 8, 64, 512, 2048] {
+            let reply = session.submit(&fib_input(n)).unwrap();
+            let t = reply.phases.execution_ms();
+            assert!(
+                t >= prev,
+                "{}: execution time decreased at n={n}: {t} < {prev}",
+                spec.name
+            );
+            prev = t;
+        }
+    }
+}
+
+#[test]
+fn longer_inputs_never_parse_faster() {
+    let mut session = Session::for_device(device::tesla_k20());
+    let mut prev = 0.0;
+    for n in [1usize, 16, 256, 4096] {
+        let input = format!("(list {})", vec!["1"; n].join(" "));
+        let reply = session.submit(&input).unwrap();
+        let t = reply.phases.parse_ms();
+        assert!(t >= prev, "parse time decreased at n={n}");
+        prev = t;
+    }
+}
+
+#[test]
+fn phase_proportions_are_a_partition() {
+    let mut session = Session::for_device(device::gtx480());
+    session.submit(FIB).unwrap();
+    for n in [1usize, 32, 1024] {
+        let reply = session.submit(&fib_input(n)).unwrap();
+        let (p, e, pr) = reply.phases.proportions();
+        assert!((p + e + pr - 1.0).abs() < 1e-9, "n={n}: {p}+{e}+{pr}");
+        assert!(p >= 0.0 && e >= 0.0 && pr >= 0.0);
+        let total = reply.phases.parse_ms() + reply.phases.eval_ms() + reply.phases.print_ms();
+        assert!((total - reply.phases.execution_ms()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn livelock_matrix_matches_the_paper() {
+    let spec = device::gtx1080();
+    // (mask, flag, jobs) → livelocks?
+    let cases = [
+        (true, true, 33, false),   // the shipped design
+        (true, true, 64, false),
+        (false, true, 4, true),    // Fig. 12 ablation
+        (true, false, 33, true),   // Fig. 13 ablation, partial warp
+        (true, false, 64, false),  // multiple of 32: paper says fine
+        (true, false, 4096, false),
+    ];
+    for (mask, flag, jobs, expect_livelock) in cases {
+        let mut session = Session::gpu_with_kernel_config(
+            spec,
+            KernelConfig { mask_master_block: mask, block_sync_flag: flag },
+        );
+        session.submit(FIB).unwrap();
+        let result = session.submit(&fib_input(jobs));
+        let livelocked = matches!(
+            result,
+            Err(RuntimeError::Device(SimError::Livelock { .. }))
+        );
+        assert_eq!(
+            livelocked, expect_livelock,
+            "mask={mask} flag={flag} jobs={jobs}: got {result:?}"
+        );
+    }
+}
+
+#[test]
+fn livelock_diagnosis_names_the_block() {
+    let mut session = Session::gpu_with_kernel_config(
+        device::gtx680(),
+        KernelConfig { block_sync_flag: false, ..Default::default() },
+    );
+    session.submit(FIB).unwrap();
+    match session.submit(&fib_input(40)) {
+        Err(RuntimeError::Device(SimError::Livelock {
+            cause: LivelockCause::PartialWarpWithoutBlockFlag { assigned, .. },
+            ..
+        })) => assert_eq!(assigned, 8, "40 jobs = 32 + 8"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn atomic_traffic_scales_with_jobs() {
+    let spec = device::tesla_m40();
+    let count_atomics = |n: usize| -> u64 {
+        let mut repl = GpuRepl::launch(spec, GpuReplConfig::default());
+        repl.submit(FIB).unwrap();
+        repl.submit(&fib_input(n)).unwrap();
+        repl.stats().atomic_ops
+    };
+    let a32 = count_atomics(32);
+    let a1024 = count_atomics(1024);
+    // 6 postbox atomics per job plus per-block flag traffic.
+    assert!(a1024 > a32 * 20, "atomics {a32} → {a1024}");
+    assert!(a1024 >= 6 * 1024, "at least 6 atomics per job: {a1024}");
+}
+
+#[test]
+fn spin_counters_record_idle_burn() {
+    // Paper §II-C: busy-waiting workers burn cycles while the master
+    // parses. A long serial command must grow the spin counter.
+    let spec = device::gtx1080();
+    let mut repl = GpuRepl::launch(spec, GpuReplConfig::default());
+    let before = repl.stats().spin_iterations;
+    repl.submit(&format!("(length (list {}))", vec!["1"; 2000].join(" "))).unwrap();
+    let after = repl.stats().spin_iterations;
+    assert!(after > before, "spin iterations must grow: {before} → {after}");
+}
+
+#[test]
+fn base_latency_is_independent_of_work_done() {
+    let spec = device::tesla_k20();
+    let idle = Session::measure_base_latency_ms(spec);
+    let mut busy = Session::for_device(spec);
+    busy.submit(FIB).unwrap();
+    busy.submit(&fib_input(128)).unwrap();
+    let after_work = busy.shutdown();
+    assert!((idle - after_work).abs() < 1e-9, "{idle} vs {after_work}");
+}
+
+#[test]
+fn sm_oversubscription_grows_execute_time_linearly() {
+    let spec = device::gtx1080(); // 20 SMs
+    let mut repl = GpuRepl::launch(spec, GpuReplConfig::default());
+    repl.submit(FIB).unwrap();
+    let exec = |repl: &mut GpuRepl, blocks: usize| -> u64 {
+        let reply = repl.submit(&fib_input(32 * blocks)).unwrap();
+        reply.sections[0].execute_cycles
+    };
+    let one_wave = exec(&mut repl, 20); // 1 block per SM
+    let four_waves = exec(&mut repl, 80); // 4 blocks per SM
+    let ratio = four_waves as f64 / one_wave as f64;
+    assert!(
+        (3.0..5.5).contains(&ratio),
+        "4 blocks/SM should take ~4× one: {one_wave} → {four_waves} ({ratio:.2}×)"
+    );
+}
