@@ -18,7 +18,13 @@ fn bench(c: &mut Criterion) {
             || PostboxArray::new(1024),
             |mut arr| {
                 for t in 0..1024 {
-                    arr.deposit(t, JobSlot { job: t as u32, cycles: 1 });
+                    arr.deposit(
+                        t,
+                        JobSlot {
+                            job: t as u32,
+                            cycles: 1,
+                        },
+                    );
                 }
                 for t in 0..1024 {
                     black_box(arr.poll_sync(t));

@@ -29,7 +29,10 @@ fn bench(c: &mut Criterion) {
             || {
                 PersistentKernel::launch(
                     gtx1080(),
-                    KernelConfig { block_sync_flag: false, ..Default::default() },
+                    KernelConfig {
+                        block_sync_flag: false,
+                        ..Default::default()
+                    },
                 )
             },
             |mut k| black_box(k.parallel_section(&vec![10_000u64; 33]).unwrap_err()),

@@ -62,11 +62,21 @@ fn bench(c: &mut Criterion) {
         let mut group = c.benchmark_group("fmt_num");
         group.bench_function("format_f64_shortest", |b| {
             let mut buf = [0u8; 32];
-            b.iter(|| black_box(culi_strlib::fmt_num::format_f64(black_box(core::f64::consts::PI), &mut buf)))
+            b.iter(|| {
+                black_box(culi_strlib::fmt_num::format_f64(
+                    black_box(core::f64::consts::PI),
+                    &mut buf,
+                ))
+            })
         });
         group.bench_function("format_i64", |b| {
             let mut buf = [0u8; 20];
-            b.iter(|| black_box(culi_strlib::fmt_num::format_i64(black_box(-1234567890123i64), &mut buf)))
+            b.iter(|| {
+                black_box(culi_strlib::fmt_num::format_i64(
+                    black_box(-1234567890123i64),
+                    &mut buf,
+                ))
+            })
         });
         group.finish();
     }
@@ -86,6 +96,49 @@ fn bench(c: &mut Criterion) {
                 |mut i| black_box(culi_core::gc::collect(&mut i, &[])),
                 criterion::BatchSize::LargeInput,
             )
+        });
+        group.finish();
+    }
+
+    // Environment lookup at increasing chain depth, against a global env
+    // sized like the real one (every builtin registered). Exercises the
+    // indexed fast path; `legacy_scan` pins the faithful-walk baseline it
+    // replaced, so the win is visible in one report.
+    {
+        let mut group = c.benchmark_group("env_lookup");
+        for depth in [1usize, 8, 64] {
+            let (interp, env, sym) = culi_bench::workload::env_chain_fixture(depth);
+            group.bench_function(&format!("indexed_depth_{depth}"), |b| {
+                let mut meter = culi_core::cost::Meter::new();
+                b.iter(|| black_box(interp.envs.lookup(env, sym, &interp.strings, &mut meter)))
+            });
+            group.bench_function(&format!("legacy_scan_depth_{depth}"), |b| {
+                let mut meter = culi_core::cost::Meter::new();
+                b.iter(|| {
+                    black_box(
+                        interp
+                            .envs
+                            .lookup_legacy(env, sym, &interp.strings, &mut meter),
+                    )
+                })
+            });
+        }
+        group.finish();
+    }
+
+    // Arena allocation on a fragmented arena: 50% freed, interleaved. The
+    // free-list allocator is O(1) here; the seed's wrapping scan was O(n)
+    // per alloc once the cursor sat in a dense region.
+    {
+        let mut group = c.benchmark_group("arena_alloc");
+        group.bench_function("fragmented_50pct_alloc_free", |b| {
+            let (mut arena, mut meter) = culi_bench::workload::fragmented_arena(1 << 16);
+            b.iter(|| {
+                let id = arena
+                    .alloc(culi_core::node::Node::int(7), &mut meter)
+                    .expect("fragmented arena has free slots");
+                arena.free(black_box(id), &mut meter);
+            })
         });
         group.finish();
     }

@@ -24,7 +24,7 @@ fn main() {
     if want("fig14") {
         let rows = figures::fig14();
         if json {
-            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+            println!("{}", culi_bench::jsonout::pretty_rows(&rows));
         } else {
             println!("{}", figures::render_fig14(&rows));
         }
@@ -37,7 +37,7 @@ fn main() {
         eprintln!("running the fib(5) sweep on all 8 devices …");
         let points = figures::sweep();
         if json {
-            println!("{}", serde_json::to_string_pretty(&points).unwrap());
+            println!("{}", culi_bench::jsonout::pretty_rows(&points));
         } else {
             for (fig, metric) in [
                 ("fig15", "runtime"),
@@ -56,7 +56,7 @@ fn main() {
     if want("fig17") {
         let points = figures::fig17();
         if json {
-            println!("{}", serde_json::to_string_pretty(&points).unwrap());
+            println!("{}", culi_bench::jsonout::pretty_rows(&points));
         } else {
             println!(
                 "{}",
@@ -71,7 +71,7 @@ fn main() {
     if want("fig18") {
         let points = figures::fig18();
         if json {
-            println!("{}", serde_json::to_string_pretty(&points).unwrap());
+            println!("{}", culi_bench::jsonout::pretty_rows(&points));
         } else {
             println!(
                 "{}",
@@ -86,7 +86,7 @@ fn main() {
     if want("ablation") || want("ablations") {
         let rows = figures::ablations();
         if json {
-            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+            println!("{}", culi_bench::jsonout::pretty_rows(&rows));
         } else {
             println!("{}", figures::render_ablations(&rows));
         }
@@ -95,7 +95,7 @@ fn main() {
     if want("atomics") {
         let rows = figures::atomics_overhead();
         if json {
-            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+            println!("{}", culi_bench::jsonout::pretty_rows(&rows));
         } else {
             println!("{}", figures::render_atomics(&rows));
         }
@@ -104,7 +104,7 @@ fn main() {
     if want("projection") {
         let rows = figures::projection();
         if json {
-            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+            println!("{}", culi_bench::jsonout::pretty_rows(&rows));
         } else {
             println!("{}", figures::render_projection(&rows));
         }

@@ -7,13 +7,13 @@
 //! (orderings, ratios, crossovers), which `tests` in this module and
 //! `EXPERIMENTS.md` pin down.
 
+use crate::jsonout::{Json, ToJson};
 use crate::workload::{expected_output, fib_input, thread_counts, FIB_DEFUN};
 use culi_gpu_sim::{all_devices, DeviceSpec, KernelConfig, LivelockCause, SimError};
 use culi_runtime::{GpuRepl, GpuReplConfig, Reply, RuntimeError, Session};
-use serde::Serialize;
 
 /// Fig. 14: base latency (launch + graceful stop) per device.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig14Row {
     /// Device name.
     pub device: String,
@@ -22,7 +22,7 @@ pub struct Fig14Row {
 }
 
 /// One point of the thread-count sweeps (Figs. 15 and 16a–d).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Device name.
     pub device: String,
@@ -41,7 +41,7 @@ pub struct SweepPoint {
 }
 
 /// One point of the proportional-runtime charts (Figs. 17/18).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ProportionPoint {
     /// Device name.
     pub device: String,
@@ -56,7 +56,7 @@ pub struct ProportionPoint {
 }
 
 /// Outcome of one ablation run (experiments A1/A2).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Ablation id (A1, A2, …).
     pub id: String,
@@ -71,7 +71,7 @@ pub struct AblationRow {
 }
 
 /// Experiment A3: atomic-access overhead in the `|||` machinery.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AtomicsRow {
     /// Device name.
     pub device: String,
@@ -87,12 +87,96 @@ pub struct AtomicsRow {
     pub atomic_penalty: f64,
 }
 
+impl ToJson for Fig14Row {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("device", Json::Str(self.device.clone())),
+            ("base_latency_ms", Json::Num(self.base_latency_ms)),
+        ])
+    }
+}
+
+impl ToJson for SweepPoint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("device", Json::Str(self.device.clone())),
+            ("threads", Json::UInt(self.threads as u64)),
+            ("parse_ms", Json::Num(self.parse_ms)),
+            ("eval_ms", Json::Num(self.eval_ms)),
+            ("print_ms", Json::Num(self.print_ms)),
+            ("execution_ms", Json::Num(self.execution_ms)),
+            ("runtime_ms", Json::Num(self.runtime_ms)),
+        ])
+    }
+}
+
+impl ToJson for ProportionPoint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("device", Json::Str(self.device.clone())),
+            ("threads", Json::UInt(self.threads as u64)),
+            ("parse", Json::Num(self.parse)),
+            ("eval", Json::Num(self.eval)),
+            ("print", Json::Num(self.print)),
+        ])
+    }
+}
+
+impl ToJson for AblationRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id", Json::Str(self.id.clone())),
+            ("config", Json::Str(self.config.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("outcome", Json::Str(self.outcome.clone())),
+            ("livelocked", Json::Bool(self.livelocked)),
+        ])
+    }
+}
+
+impl ToJson for AtomicsRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("device", Json::Str(self.device.clone())),
+            ("threads", Json::UInt(self.threads as u64)),
+            ("atomic_ops", Json::UInt(self.atomic_ops)),
+            (
+                "protocol_cycles_atomic",
+                Json::UInt(self.protocol_cycles_atomic),
+            ),
+            (
+                "protocol_cycles_direct",
+                Json::UInt(self.protocol_cycles_direct),
+            ),
+            ("atomic_penalty", Json::Num(self.atomic_penalty)),
+        ])
+    }
+}
+
+impl ToJson for ProjectionRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("device", Json::Str(self.device.clone())),
+            ("generation", Json::Str(self.generation.clone())),
+            ("eval_ms", Json::Num(self.eval_ms)),
+            ("runtime_ms", Json::Num(self.runtime_ms)),
+            ("gap_vs_best_cpu", Json::Num(self.gap_vs_best_cpu)),
+            (
+                "livelock_free_without_mitigations",
+                Json::Bool(self.livelock_free_without_mitigations),
+            ),
+        ])
+    }
+}
+
 fn session_for(spec: DeviceSpec) -> Session {
     Session::for_device(spec)
 }
 
 fn submit_checked(session: &mut Session, input: &str, expect: Option<&str>) -> Reply {
-    let reply = session.submit(input).expect("device failure during figure run");
+    let reply = session
+        .submit(input)
+        .expect("device failure during figure run");
     assert!(reply.ok, "lisp error during figure run: {}", reply.output);
     if let Some(want) = expect {
         assert_eq!(reply.output, want, "wrong result during figure run");
@@ -124,8 +208,7 @@ pub fn sweep_on(devices: &[DeviceSpec]) -> Vec<SweepPoint> {
         let mut session = session_for(spec);
         submit_checked(&mut session, FIB_DEFUN, Some("fib"));
         for n in thread_counts() {
-            let reply =
-                submit_checked(&mut session, &fib_input(n), Some(&expected_output(n)));
+            let reply = submit_checked(&mut session, &fib_input(n), Some(&expected_output(n)));
             out.push(SweepPoint {
                 device: spec.name.to_string(),
                 threads: n,
@@ -153,8 +236,7 @@ pub fn proportions(device_names: &[&str]) -> Vec<ProportionPoint> {
         let mut session = session_for(spec);
         submit_checked(&mut session, FIB_DEFUN, Some("fib"));
         for n in thread_counts() {
-            let reply =
-                submit_checked(&mut session, &fib_input(n), Some(&expected_output(n)));
+            let reply = submit_checked(&mut session, &fib_input(n), Some(&expected_output(n)));
             let (parse, eval, print) = reply.phases.proportions();
             out.push(ProportionPoint {
                 device: spec.name.to_string(),
@@ -189,7 +271,10 @@ pub fn ablations() -> Vec<AblationRow> {
     // A1: master block not masked.
     let mut s = Session::gpu_with_kernel_config(
         spec,
-        KernelConfig { mask_master_block: false, ..Default::default() },
+        KernelConfig {
+            mask_master_block: false,
+            ..Default::default()
+        },
     );
     submit_checked(&mut s, FIB_DEFUN, Some("fib"));
     rows.push(ablation_row(
@@ -203,7 +288,10 @@ pub fn ablations() -> Vec<AblationRow> {
     // A2: block sync flag disabled, job count not a multiple of 32.
     let mut s = Session::gpu_with_kernel_config(
         spec,
-        KernelConfig { block_sync_flag: false, ..Default::default() },
+        KernelConfig {
+            block_sync_flag: false,
+            ..Default::default()
+        },
     );
     submit_checked(&mut s, FIB_DEFUN, Some("fib"));
     rows.push(ablation_row(
@@ -218,7 +306,10 @@ pub fn ablations() -> Vec<AblationRow> {
     // notes ("no problem as long as the number of jobs is a multiple of 32").
     let mut s = Session::gpu_with_kernel_config(
         spec,
-        KernelConfig { block_sync_flag: false, ..Default::default() },
+        KernelConfig {
+            block_sync_flag: false,
+            ..Default::default()
+        },
     );
     submit_checked(&mut s, FIB_DEFUN, Some("fib"));
     rows.push(ablation_row(
@@ -250,7 +341,10 @@ fn ablation_row(
     result: culi_runtime::Result<Reply>,
 ) -> AblationRow {
     let (outcome, livelocked) = match result {
-        Ok(reply) if reply.ok => (format!("ok ({} chars of output)", reply.output.len()), false),
+        Ok(reply) if reply.ok => (
+            format!("ok ({} chars of output)", reply.output.len()),
+            false,
+        ),
         Ok(reply) => (format!("lisp error: {}", reply.output), false),
         Err(RuntimeError::Device(SimError::Livelock { cause, .. })) => {
             let kind = match cause {
@@ -277,7 +371,10 @@ fn ablation_row(
 /// CUDA's transparent caching … this implies a performance penalty").
 pub fn atomics_overhead() -> Vec<AtomicsRow> {
     let mut out = Vec::new();
-    for spec in [culi_gpu_sim::device::tesla_c2075(), culi_gpu_sim::device::gtx1080()] {
+    for spec in [
+        culi_gpu_sim::device::tesla_c2075(),
+        culi_gpu_sim::device::gtx1080(),
+    ] {
         for n in [32usize, 1024, 4096] {
             let mut repl = GpuRepl::launch(spec, GpuReplConfig::default());
             let defun = repl.submit(FIB_DEFUN).unwrap();
@@ -285,8 +382,11 @@ pub fn atomics_overhead() -> Vec<AtomicsRow> {
             let reply = repl.submit(&fib_input(n)).unwrap();
             assert!(reply.ok);
             let stats = repl.stats();
-            let protocol_atomic: u64 =
-                reply.sections.iter().map(|s| s.distribute_cycles + s.collect_cycles).sum();
+            let protocol_atomic: u64 = reply
+                .sections
+                .iter()
+                .map(|s| s.distribute_cycles + s.collect_cycles)
+                .sum();
             // Re-price: every atomic in the protocol becomes a plain read
             // (spin_iter is the cached-access cycle count in the table).
             let saved = stats.atomic_ops * (spec.costs.atomic_rmw - spec.costs.spin_iter);
@@ -306,7 +406,7 @@ pub fn atomics_overhead() -> Vec<AtomicsRow> {
 }
 
 /// One generation point of the conclusion's projection experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ProjectionRow {
     /// Device name.
     pub device: String,
@@ -355,7 +455,10 @@ pub fn projection() -> Vec<ProjectionRow> {
             // Ablation survival: both mitigations off, partial warp.
             let mut ab = Session::gpu_with_kernel_config(
                 spec,
-                KernelConfig { mask_master_block: false, block_sync_flag: false },
+                KernelConfig {
+                    mask_master_block: false,
+                    block_sync_flag: false,
+                },
             );
             submit_checked(&mut ab, FIB_DEFUN, Some("fib"));
             let survives = matches!(ab.submit(&fib_input(33)), Ok(r) if r.ok);
@@ -377,9 +480,8 @@ pub fn projection() -> Vec<ProjectionRow> {
 
 /// Renders the projection experiment.
 pub fn render_projection(rows: &[ProjectionRow]) -> String {
-    let mut s = String::from(
-        "P1 — Generation projection (paper §V: the CPU/GPU gap per generation)\n",
-    );
+    let mut s =
+        String::from("P1 — Generation projection (paper §V: the CPU/GPU gap per generation)\n");
     s.push_str(&format!(
         "{:<12} {:<9} {:>10} {:>12} {:>14} {:>12}\n",
         "device", "arch", "eval ms", "runtime ms", "gap vs CPU", "ITS-safe"
@@ -392,7 +494,11 @@ pub fn render_projection(rows: &[ProjectionRow]) -> String {
             r.eval_ms,
             r.runtime_ms,
             r.gap_vs_best_cpu,
-            if r.livelock_free_without_mitigations { "yes" } else { "no" }
+            if r.livelock_free_without_mitigations {
+                "yes"
+            } else {
+                "no"
+            }
         ));
     }
     s
@@ -457,7 +563,10 @@ pub fn render_sweep(points: &[SweepPoint], metric: &str) -> String {
 
 /// Renders proportional runtimes (Figs. 17/18).
 pub fn render_proportions(points: &[ProportionPoint], title: &str) -> String {
-    let mut s = format!("{title}\n{:<16} {:>8} {:>8} {:>8} {:>8}\n", "device", "threads", "parse%", "eval%", "print%");
+    let mut s = format!(
+        "{title}\n{:<16} {:>8} {:>8} {:>8} {:>8}\n",
+        "device", "threads", "parse%", "eval%", "print%"
+    );
     for p in points {
         s.push_str(&format!(
             "{:<16} {:>8} {:>7.1}% {:>7.1}% {:>7.1}%\n",
@@ -475,7 +584,10 @@ pub fn render_proportions(points: &[ProportionPoint], title: &str) -> String {
 pub fn render_ablations(rows: &[AblationRow]) -> String {
     let mut s = String::from("Ablations — warp-divergence mitigations (paper Figs. 12/13)\n");
     for r in rows {
-        s.push_str(&format!("[{}] {}\n    workload: {}\n    outcome:  {}\n", r.id, r.config, r.workload, r.outcome));
+        s.push_str(&format!(
+            "[{}] {}\n    workload: {}\n    outcome:  {}\n",
+            r.id, r.config, r.workload, r.outcome
+        ));
     }
     s
 }
@@ -525,9 +637,19 @@ mod tests {
             .iter()
             .map(|d| point(&points, d, 4096).runtime_ms)
             .fold(f64::INFINITY, f64::min);
-        for gpu in ["TeslaC2075", "TeslaK20", "TeslaM40", "GTX480", "GTX680", "GTX1080"] {
+        for gpu in [
+            "TeslaC2075",
+            "TeslaK20",
+            "TeslaM40",
+            "GTX480",
+            "GTX680",
+            "GTX1080",
+        ] {
             let t = point(&points, gpu, 4096).runtime_ms;
-            assert!(t / cpu_best >= 8.0, "{gpu}: {t:.3} ms vs cpu {cpu_best:.3} ms");
+            assert!(
+                t / cpu_best >= 8.0,
+                "{gpu}: {t:.3} ms vs cpu {cpu_best:.3} ms"
+            );
         }
 
         // Fig. 15: plateau from 1 to 64, then clear growth to 4096.
@@ -541,10 +663,17 @@ mod tests {
 
         // Fig. 15: GTX480 is the fastest GPU at scale, GTX1080 second.
         let gpus_at = |n: usize| -> Vec<(String, f64)> {
-            ["TeslaC2075", "TeslaK20", "TeslaM40", "GTX480", "GTX680", "GTX1080"]
-                .iter()
-                .map(|d| (d.to_string(), point(&points, d, n).runtime_ms))
-                .collect()
+            [
+                "TeslaC2075",
+                "TeslaK20",
+                "TeslaM40",
+                "GTX480",
+                "GTX680",
+                "GTX1080",
+            ]
+            .iter()
+            .map(|d| (d.to_string(), point(&points, d, n).runtime_ms))
+            .collect()
         };
         let mut ranked = gpus_at(4096);
         ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
@@ -558,7 +687,10 @@ mod tests {
             .fold(0.0, f64::max);
         for d in ["TeslaK20", "TeslaM40", "GTX680", "GTX1080"] {
             let t = point(&points, d, 4096).parse_ms;
-            assert!(t / fermi_worst >= 4.0, "{d}: parse {t:.3} vs fermi {fermi_worst:.3}");
+            assert!(
+                t / fermi_worst >= 4.0,
+                "{d}: parse {t:.3} vs fermi {fermi_worst:.3}"
+            );
         }
 
         // Fig. 16c: evaluation time drops with the GPU generation.
@@ -567,7 +699,10 @@ mod tests {
         assert!(eval_of("TeslaM40") > eval_of("GTX1080"));
 
         // Fig. 16d: GPU printing is orders of magnitude above CPU printing.
-        assert!(point(&points, "GTX1080", 4096).print_ms / point(&points, "AMD 6272", 4096).print_ms > 20.0);
+        assert!(
+            point(&points, "GTX1080", 4096).print_ms / point(&points, "AMD 6272", 4096).print_ms
+                > 20.0
+        );
     }
 
     #[test]
@@ -583,11 +718,22 @@ mod tests {
     fn fig17_parse_dominates_post_fermi_only() {
         let points = fig17();
         let at = |d: &str, n: usize| {
-            points.iter().find(|p| p.device == d && p.threads == n).unwrap()
+            points
+                .iter()
+                .find(|p| p.device == d && p.threads == n)
+                .unwrap()
         };
         // Post-Fermi: parse > 50% of kernel time at scale.
-        assert!(at("TeslaM40", 4096).parse > 0.5, "{}", at("TeslaM40", 4096).parse);
-        assert!(at("GTX1080", 4096).parse > 0.5, "{}", at("GTX1080", 4096).parse);
+        assert!(
+            at("TeslaM40", 4096).parse > 0.5,
+            "{}",
+            at("TeslaM40", 4096).parse
+        );
+        assert!(
+            at("GTX1080", 4096).parse > 0.5,
+            "{}",
+            at("GTX1080", 4096).parse
+        );
         // Fermi: parse never exceeds ~11%.
         for n in thread_counts() {
             let p = at("TeslaC2075", n).parse;
@@ -645,7 +791,13 @@ mod tests {
     fn atomics_carry_a_real_penalty() {
         let rows = atomics_overhead();
         for r in &rows {
-            assert!(r.atomic_penalty > 1.0, "{}@{}: {}", r.device, r.threads, r.atomic_penalty);
+            assert!(
+                r.atomic_penalty > 1.0,
+                "{}@{}: {}",
+                r.device,
+                r.threads,
+                r.atomic_penalty
+            );
             assert!(r.atomic_ops > 0);
         }
     }

@@ -10,4 +10,5 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod jsonout;
 pub mod workload;

@@ -6,8 +6,7 @@
 //! module generates exactly those inputs.
 
 /// The recursive Fibonacci definition submitted once per session.
-pub const FIB_DEFUN: &str =
-    "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+pub const FIB_DEFUN: &str = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
 
 /// Which Fibonacci index every worker computes (the paper uses the 5th).
 pub const FIB_INDEX: u32 = 5;
@@ -42,6 +41,46 @@ pub fn fib(n: u64) -> u64 {
     } else {
         fib(n - 1) + fib(n - 2)
     }
+}
+
+/// Benchmark fixture: a full interpreter (global env holds every builtin),
+/// a chain of `depth` child environments each carrying one local binding,
+/// and the symbol `+` as the lookup target. `+` is registered *first*, so
+/// it sits at the very tail of the global binding list: the faithful scan
+/// walks the chain, then every builtin; the indexed lookup walks the chain
+/// and resolves the global hit in O(1). This is exactly the shape of every
+/// builtin resolution the evaluator performs.
+pub fn env_chain_fixture(depth: usize) -> (culi_core::Interp, culi_core::EnvId, culi_core::StrId) {
+    let mut interp = culi_core::Interp::default();
+    let target = interp.strings.intern(b"+");
+    let mut env = interp.global;
+    for i in 0..depth {
+        env = interp.envs.push(Some(env));
+        let local = interp.strings.intern(format!("local-{i}").as_bytes());
+        interp
+            .envs
+            .define(env, local, culi_core::NodeId::new(i + 1), &interp.strings);
+    }
+    (interp, env, target)
+}
+
+/// Benchmark fixture: an arena filled to capacity and then 50% freed in an
+/// interleaved (every-other-slot) pattern — the worst case for the seed's
+/// wrapping-scan allocator.
+pub fn fragmented_arena(capacity: usize) -> (culi_core::arena::NodeArena, culi_core::cost::Meter) {
+    let mut arena = culi_core::arena::NodeArena::with_capacity(capacity);
+    let mut meter = culi_core::cost::Meter::new();
+    let ids: Vec<culi_core::NodeId> = (0..capacity)
+        .map(|i| {
+            arena
+                .alloc(culi_core::node::Node::int(i as i64), &mut meter)
+                .unwrap()
+        })
+        .collect();
+    for id in ids.into_iter().step_by(2) {
+        arena.free(id, &mut meter);
+    }
+    (arena, meter)
 }
 
 #[cfg(test)]

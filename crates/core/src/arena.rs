@@ -7,23 +7,34 @@
 //! returned. When the nodes are not needed anymore, they are marked as
 //! free."*
 //!
-//! We reproduce that allocator: a contiguous slot array, a sequential
-//! cursor, free marks, and — because a long interactive session would
-//! otherwise exhaust the array — a wrapping rescan that reuses freed slots.
-//! Exhaustion is a real, reportable error ([`CuliError::ArenaFull`]), which
-//! the paper names as the current input-size limitation.
+//! # Simulated cost vs. real data structure
+//!
+//! The C original finds "the sequentially next free node" by scanning — an
+//! O(capacity) worst case once the array fragments. We keep the paper's
+//! observable contract (fixed capacity, exhaustion is [`CuliError::ArenaFull`],
+//! identical meter charges: the paper's model prices an allocation as one
+//! `node_alloc`, not per slot probed) but implement it with an **intrusive
+//! free-list**: every free slot stores the index of the next free slot, so
+//! allocation and free are O(1) regardless of fragmentation. The list is
+//! seeded in ascending order, which preserves the "sequential" allocation
+//! pattern the paper describes for a fresh arena, and [`crate::gc`] rebuilds
+//! it in ascending order during sweep so post-collection allocation stays
+//! cache-friendly.
 
 use crate::cost::Meter;
 use crate::error::{CuliError, Result};
 use crate::node::{Node, Payload};
 use crate::types::NodeId;
 
+/// Sentinel for "no next free slot".
+const FREE_NONE: u32 = u32::MAX;
+
 /// Fixed-capacity slot allocator for [`Node`]s.
 #[derive(Debug, Clone)]
 pub struct NodeArena {
     slots: Vec<Slot>,
-    /// Next index the sequential scan starts from.
-    cursor: usize,
+    /// Head of the intrusive free-list ([`FREE_NONE`] when full).
+    free_head: u32,
     /// Number of live (occupied) slots.
     live: usize,
     /// Highest number of simultaneously live slots ever observed.
@@ -32,14 +43,37 @@ pub struct NodeArena {
 
 #[derive(Debug, Clone)]
 enum Slot {
-    Free,
+    /// Free slot, holding the index of the next free slot (the free-list
+    /// link lives *inside* the unused storage, as the C original's array
+    /// could).
+    Free {
+        next_free: u32,
+    },
     Occupied(Node),
 }
 
 impl NodeArena {
     /// Creates an arena with `capacity` node slots.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { slots: vec![Slot::Free; capacity], cursor: 0, live: 0, high_water: 0 }
+        assert!(
+            capacity < FREE_NONE as usize,
+            "arena capacity must fit the u32 free-list index space"
+        );
+        let slots = (0..capacity)
+            .map(|i| Slot::Free {
+                next_free: if i + 1 < capacity {
+                    (i + 1) as u32
+                } else {
+                    FREE_NONE
+                },
+            })
+            .collect();
+        Self {
+            slots,
+            free_head: if capacity > 0 { 0 } else { FREE_NONE },
+            live: 0,
+            high_water: 0,
+        }
     }
 
     /// Total slot count (the compile-time array length in the C original).
@@ -57,38 +91,78 @@ impl NodeArena {
         self.high_water
     }
 
-    /// Allocates a node, returning its id. Scans sequentially from the
-    /// cursor (wrapping once) for a free slot, as the original allocator
-    /// hands out "the sequentially next free node".
+    /// Allocates a node, returning its id. Pops the free-list head: O(1)
+    /// even on a heavily fragmented arena (the seed implementation's
+    /// wrapping linear scan degraded to O(capacity) there).
     pub fn alloc(&mut self, node: Node, meter: &mut Meter) -> Result<NodeId> {
-        let cap = self.slots.len();
-        if self.live >= cap {
-            return Err(CuliError::ArenaFull { capacity: cap });
+        let idx = self.free_head;
+        if idx == FREE_NONE {
+            return Err(CuliError::ArenaFull {
+                capacity: self.slots.len(),
+            });
         }
-        let mut idx = self.cursor;
-        for _ in 0..cap {
-            if matches!(self.slots[idx], Slot::Free) {
-                self.slots[idx] = Slot::Occupied(node);
-                self.cursor = (idx + 1) % cap;
-                self.live += 1;
-                self.high_water = self.high_water.max(self.live);
-                meter.node_alloc();
-                return Ok(NodeId::new(idx));
-            }
-            idx = (idx + 1) % cap;
-        }
-        Err(CuliError::ArenaFull { capacity: cap })
+        let slot = &mut self.slots[idx as usize];
+        let next = match slot {
+            Slot::Free { next_free } => *next_free,
+            Slot::Occupied(_) => unreachable!("occupied slot on the free list"),
+        };
+        *slot = Slot::Occupied(node);
+        self.free_head = next;
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        meter.node_alloc();
+        Ok(NodeId::new(idx as usize))
     }
 
-    /// Marks a single node free. The caller is responsible for making sure
-    /// nothing still references it (see [`crate::gc`] for the safe path).
+    /// Marks a single node free (pushes it on the free-list). The caller is
+    /// responsible for making sure nothing still references it (see
+    /// [`crate::gc`] for the safe path).
     pub fn free(&mut self, id: NodeId, meter: &mut Meter) {
         let slot = &mut self.slots[id.index()];
         if matches!(slot, Slot::Occupied(_)) {
-            *slot = Slot::Free;
+            *slot = Slot::Free {
+                next_free: self.free_head,
+            };
+            self.free_head = id.index() as u32;
             self.live -= 1;
             meter.node_freed();
         }
+    }
+
+    /// Frees every live slot whose bit is clear in `marked` (a word-packed
+    /// bitmap, bit `i` of word `i / 64` for slot `i`) and rebuilds the
+    /// entire free-list in ascending slot order. Returns the number of
+    /// slots freed.
+    ///
+    /// This is the GC sweep: one pass, no per-victim bookkeeping. Sweep
+    /// frees are *not* metered — matching the original collector, which
+    /// discarded its scratch meter — because the paper's cost model charges
+    /// only mutator-driven node traffic.
+    pub(crate) fn sweep_unmarked(&mut self, marked: &[u64]) -> usize {
+        debug_assert!(
+            marked.len() * 64 >= self.slots.len(),
+            "mark bitmap too small"
+        );
+        let mut freed = 0usize;
+        let mut head = FREE_NONE;
+        for idx in (0..self.slots.len()).rev() {
+            let is_marked = marked[idx >> 6] & (1u64 << (idx & 63)) != 0;
+            match &mut self.slots[idx] {
+                Slot::Occupied(_) if !is_marked => {
+                    self.slots[idx] = Slot::Free { next_free: head };
+                    head = idx as u32;
+                    freed += 1;
+                }
+                Slot::Occupied(_) => {}
+                Slot::Free { next_free } => {
+                    *next_free = head;
+                    head = idx as u32;
+                }
+            }
+        }
+        self.free_head = head;
+        self.live -= freed;
+        freed
     }
 
     /// Immutable access. Panics on a freed slot — that is always an
@@ -96,7 +170,7 @@ impl NodeArena {
     pub fn get(&self, id: NodeId) -> &Node {
         match &self.slots[id.index()] {
             Slot::Occupied(n) => n,
-            Slot::Free => panic!("use-after-free of node {id:?}"),
+            Slot::Free { .. } => panic!("use-after-free of node {id:?}"),
         }
     }
 
@@ -118,7 +192,7 @@ impl NodeArena {
     pub(crate) fn get_mut(&mut self, id: NodeId) -> &mut Node {
         match &mut self.slots[id.index()] {
             Slot::Occupied(n) => n,
-            Slot::Free => panic!("use-after-free of node {id:?}"),
+            Slot::Free { .. } => panic!("use-after-free of node {id:?}"),
         }
     }
 
@@ -132,11 +206,17 @@ impl NodeArena {
         };
         match (first, last) {
             (None, None) => {
-                self.get_mut(list).payload = Payload::List { first: Some(child), last: Some(child) };
+                self.get_mut(list).payload = Payload::List {
+                    first: Some(child),
+                    last: Some(child),
+                };
             }
             (Some(f), Some(l)) => {
                 self.get_mut(l).next = Some(child);
-                self.get_mut(list).payload = Payload::List { first: Some(f), last: Some(child) };
+                self.get_mut(list).payload = Payload::List {
+                    first: Some(f),
+                    last: Some(child),
+                };
             }
             _ => panic!("corrupt list payload on {list:?}"),
         }
@@ -151,10 +231,18 @@ impl NodeArena {
         ListIter { arena: self, cur }
     }
 
-    /// Collects the children of a list node into a vector (convenience for
-    /// builtins that index arguments).
+    /// Collects the children of a list node into a vector. Convenience for
+    /// cold builtins that index arguments; hot paths iterate the sibling
+    /// chain via [`NodeArena::iter_list`] or reuse a scratch buffer from
+    /// [`crate::interp::Interp`] instead of allocating.
     pub fn list_children(&self, list: NodeId) -> Vec<NodeId> {
         self.iter_list(list).collect()
+    }
+
+    /// Appends the children of a list node to `out` without allocating
+    /// (beyond `out`'s own growth on first use).
+    pub fn list_children_into(&self, list: NodeId, out: &mut Vec<NodeId>) {
+        out.extend(self.iter_list(list));
     }
 
     /// Length of a list node.
@@ -166,7 +254,7 @@ impl NodeArena {
     pub fn iter_live(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.slots.iter().enumerate().filter_map(|(i, s)| match s {
             Slot::Occupied(_) => Some(NodeId::new(i)),
-            Slot::Free => None,
+            Slot::Free { .. } => None,
         })
     }
 
@@ -212,10 +300,13 @@ pub struct ArenaStats {
 impl NodeArena {
     /// Current occupancy statistics.
     pub fn stats(&self) -> ArenaStats {
-        ArenaStats { capacity: self.capacity(), live: self.live, high_water: self.high_water }
+        ArenaStats {
+            capacity: self.capacity(),
+            live: self.live,
+            high_water: self.high_water,
+        }
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -246,14 +337,70 @@ mod tests {
     }
 
     #[test]
-    fn freed_slots_are_reused_after_wraparound() {
+    fn freed_slots_are_reused() {
         let (mut a, mut m) = arena(2);
         let n0 = a.alloc(Node::int(0), &mut m).unwrap();
         let _n1 = a.alloc(Node::int(1), &mut m).unwrap();
         a.free(n0, &mut m);
         let n2 = a.alloc(Node::int(2), &mut m).unwrap();
-        assert_eq!(n2.index(), 0, "scan wraps to the freed slot");
+        assert_eq!(n2.index(), 0, "freed slot is immediately reusable");
         assert_eq!(a.live(), 2);
+    }
+
+    #[test]
+    fn fragmented_arena_allocs_in_constant_steps() {
+        // Interleaved fragmentation: fill, free every other slot, then
+        // re-allocate. Every freed slot must be handed out again (no leaks,
+        // no premature ArenaFull) and exhaustion must land exactly at
+        // capacity.
+        let cap = 64;
+        let (mut a, mut m) = arena(cap);
+        let ids: Vec<NodeId> = (0..cap)
+            .map(|i| a.alloc(Node::int(i as i64), &mut m).unwrap())
+            .collect();
+        let freed: Vec<NodeId> = ids.iter().copied().step_by(2).collect();
+        for &id in &freed {
+            a.free(id, &mut m);
+        }
+        assert_eq!(a.live(), cap / 2);
+        let mut reused = Vec::new();
+        for i in 0..cap / 2 {
+            reused.push(a.alloc(Node::int(i as i64), &mut m).unwrap());
+        }
+        let mut freed_sorted: Vec<usize> = freed.iter().map(|id| id.index()).collect();
+        let mut reused_sorted: Vec<usize> = reused.iter().map(|id| id.index()).collect();
+        freed_sorted.sort_unstable();
+        reused_sorted.sort_unstable();
+        assert_eq!(
+            freed_sorted, reused_sorted,
+            "exactly the freed slots are reused"
+        );
+        assert_eq!(
+            a.alloc(Node::int(0), &mut m),
+            Err(CuliError::ArenaFull { capacity: cap }),
+            "exhaustion at exact capacity"
+        );
+    }
+
+    #[test]
+    fn sweep_rebuilds_ascending_free_list() {
+        let (mut a, mut m) = arena(8);
+        let ids: Vec<NodeId> = (0..8)
+            .map(|i| a.alloc(Node::int(i), &mut m).unwrap())
+            .collect();
+        // Keep slots 1 and 6 live, sweep the rest.
+        let mut marked = vec![0u64; 1];
+        for keep in [1usize, 6] {
+            marked[0] |= 1 << keep;
+        }
+        let freed = a.sweep_unmarked(&marked);
+        assert_eq!(freed, 6);
+        assert_eq!(a.live(), 2);
+        assert!(a.is_live(ids[1]) && a.is_live(ids[6]));
+        // Ascending rebuild: the next allocations walk 0, 2, 3, …
+        assert_eq!(a.alloc(Node::int(0), &mut m).unwrap().index(), 0);
+        assert_eq!(a.alloc(Node::int(0), &mut m).unwrap().index(), 2);
+        assert_eq!(a.alloc(Node::int(0), &mut m).unwrap().index(), 3);
     }
 
     #[test]
@@ -323,5 +470,14 @@ mod tests {
         a.free(n0, &mut m);
         let live: Vec<NodeId> = a.iter_live().collect();
         assert_eq!(live, vec![n1]);
+    }
+
+    #[test]
+    fn zero_capacity_arena_is_always_full() {
+        let (mut a, mut m) = arena(0);
+        assert_eq!(
+            a.alloc(Node::int(0), &mut m),
+            Err(CuliError::ArenaFull { capacity: 0 })
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! the moment a float participates the whole operation is carried out in
 //! `f64`, matching the int/float promotion of the C original.
 
-use super::util::{as_num, eval_args, expect_exact, expect_min, num_node, Num};
+use super::util::{as_num, eval_args_scratch, expect_exact, expect_min, num_node, Num};
 use crate::error::{CuliError, Result};
 use crate::eval::ParallelHook;
 use crate::interp::Interp;
@@ -23,22 +23,38 @@ fn fold_binop(
     float_op: fn(f64, f64) -> f64,
     identity: Option<Num>,
 ) -> Result<NodeId> {
-    let values = eval_args(interp, hook, args, env, depth)?;
-    let mut nums = Vec::with_capacity(values.len());
-    for v in &values {
-        nums.push(as_num(interp, *v, name)?);
+    let values = eval_args_scratch(interp, hook, args, env, depth)?;
+    let result = fold_values(interp, &values, name, int_op, float_op, identity);
+    interp.put_node_buf(values);
+    result
+}
+
+fn fold_values(
+    interp: &mut Interp,
+    values: &[NodeId],
+    name: &'static str,
+    int_op: fn(i64, i64) -> Option<i64>,
+    float_op: fn(f64, f64) -> f64,
+    identity: Option<Num>,
+) -> Result<NodeId> {
+    // Type-check every operand up front (the fold below must not surface
+    // an overflow before a later operand's type error).
+    for &v in values {
+        as_num(interp, v, name)?;
     }
-    let mut iter = nums.into_iter();
-    let mut acc = match iter.next() {
-        Some(first) => first,
-        None => {
-            return match identity {
-                Some(id) => num_node(interp, id),
-                None => Err(CuliError::Arity { builtin: name, expected: "at least 1", got: 0 }),
-            }
-        }
+    let Some(&first) = values.first() else {
+        return match identity {
+            Some(id) => num_node(interp, id),
+            None => Err(CuliError::Arity {
+                builtin: name,
+                expected: "at least 1",
+                got: 0,
+            }),
+        };
     };
-    for n in iter {
+    let mut acc = as_num(interp, first, name)?;
+    for &v in &values[1..] {
+        let n = as_num(interp, v, name)?;
         interp.meter.arith_op();
         acc = match (acc, n) {
             (Num::I(a), Num::I(b)) => match int_op(a, b) {
@@ -59,7 +75,17 @@ pub fn add(
     env: EnvId,
     depth: usize,
 ) -> Result<NodeId> {
-    fold_binop(interp, hook, args, env, depth, "+", i64::checked_add, |a, b| a + b, Some(Num::I(0)))
+    fold_binop(
+        interp,
+        hook,
+        args,
+        env,
+        depth,
+        "+",
+        i64::checked_add,
+        |a, b| a + b,
+        Some(Num::I(0)),
+    )
 }
 
 /// `(- a)` negates; `(- a b …)` subtracts left to right.
@@ -72,14 +98,29 @@ pub fn sub(
 ) -> Result<NodeId> {
     expect_min("-", args, 1)?;
     if args.len() == 1 {
-        let values = eval_args(interp, hook, args, env, depth)?;
+        let values = eval_args_scratch(interp, hook, args, env, depth)?;
+        let value = values[0];
+        interp.put_node_buf(values);
         interp.meter.arith_op();
-        return match as_num(interp, values[0], "-")? {
-            Num::I(v) => num_node(interp, Num::I(v.checked_neg().ok_or(CuliError::IntOverflow)?)),
+        return match as_num(interp, value, "-")? {
+            Num::I(v) => num_node(
+                interp,
+                Num::I(v.checked_neg().ok_or(CuliError::IntOverflow)?),
+            ),
             Num::F(v) => num_node(interp, Num::F(-v)),
         };
     }
-    fold_binop(interp, hook, args, env, depth, "-", i64::checked_sub, |a, b| a - b, None)
+    fold_binop(
+        interp,
+        hook,
+        args,
+        env,
+        depth,
+        "-",
+        i64::checked_sub,
+        |a, b| a - b,
+        None,
+    )
 }
 
 /// `(* a b …)` — product; `(*)` is 1.
@@ -90,7 +131,17 @@ pub fn mul(
     env: EnvId,
     depth: usize,
 ) -> Result<NodeId> {
-    fold_binop(interp, hook, args, env, depth, "*", i64::checked_mul, |a, b| a * b, Some(Num::I(1)))
+    fold_binop(
+        interp,
+        hook,
+        args,
+        env,
+        depth,
+        "*",
+        i64::checked_mul,
+        |a, b| a * b,
+        Some(Num::I(1)),
+    )
 }
 
 /// `(/ a b …)` — division. Integer division is exact when it divides
@@ -104,13 +155,19 @@ pub fn div(
     depth: usize,
 ) -> Result<NodeId> {
     expect_min("/", args, 2)?;
-    let values = eval_args(interp, hook, args, env, depth)?;
-    let mut nums = Vec::with_capacity(values.len());
-    for v in &values {
-        nums.push(as_num(interp, *v, "/")?);
+    let values = eval_args_scratch(interp, hook, args, env, depth)?;
+    let result = div_values(interp, &values);
+    interp.put_node_buf(values);
+    result
+}
+
+fn div_values(interp: &mut Interp, values: &[NodeId]) -> Result<NodeId> {
+    for &v in values {
+        as_num(interp, v, "/")?;
     }
-    let mut acc = nums[0];
-    for &n in &nums[1..] {
+    let mut acc = as_num(interp, values[0], "/")?;
+    for &v in &values[1..] {
+        let n = as_num(interp, v, "/")?;
         interp.meter.arith_op();
         acc = match (acc, n) {
             (Num::I(a), Num::I(b)) => {
@@ -139,13 +196,20 @@ pub fn modulo(
     depth: usize,
 ) -> Result<NodeId> {
     expect_exact("mod", args, 2)?;
-    let values = eval_args(interp, hook, args, env, depth)?;
-    let (a, b) = match (
+    let values = eval_args_scratch(interp, hook, args, env, depth)?;
+    let pair = (
         interp.arena.get(values[0]).payload,
         interp.arena.get(values[1]).payload,
-    ) {
+    );
+    interp.put_node_buf(values);
+    let (a, b) = match pair {
         (Payload::Int(a), Payload::Int(b)) => (a, b),
-        _ => return Err(CuliError::Type { builtin: "mod", expected: "two integers" }),
+        _ => {
+            return Err(CuliError::Type {
+                builtin: "mod",
+                expected: "two integers",
+            })
+        }
     };
     if b == 0 {
         return Err(CuliError::DivByZero);
@@ -153,7 +217,11 @@ pub fn modulo(
     interp.meter.arith_op();
     // Floored modulo: result carries the divisor's sign.
     let r = a % b;
-    let m = if r != 0 && (r < 0) != (b < 0) { r + b } else { r };
+    let m = if r != 0 && (r < 0) != (b < 0) {
+        r + b
+    } else {
+        r
+    };
     num_node(interp, Num::I(m))
 }
 
@@ -166,10 +234,15 @@ pub fn abs(
     depth: usize,
 ) -> Result<NodeId> {
     expect_exact("abs", args, 1)?;
-    let values = eval_args(interp, hook, args, env, depth)?;
+    let values = eval_args_scratch(interp, hook, args, env, depth)?;
+    let value = values[0];
+    interp.put_node_buf(values);
     interp.meter.arith_op();
-    match as_num(interp, values[0], "abs")? {
-        Num::I(v) => num_node(interp, Num::I(v.checked_abs().ok_or(CuliError::IntOverflow)?)),
+    match as_num(interp, value, "abs")? {
+        Num::I(v) => num_node(
+            interp,
+            Num::I(v.checked_abs().ok_or(CuliError::IntOverflow)?),
+        ),
         Num::F(v) => num_node(interp, Num::F(v.abs())),
     }
 }
@@ -206,12 +279,27 @@ fn extremum(
     want_min: bool,
 ) -> Result<NodeId> {
     expect_min(name, args, 1)?;
-    let values = eval_args(interp, hook, args, env, depth)?;
+    let values = eval_args_scratch(interp, hook, args, env, depth)?;
+    let result = extremum_values(interp, &values, name, want_min);
+    interp.put_node_buf(values);
+    result
+}
+
+fn extremum_values(
+    interp: &mut Interp,
+    values: &[NodeId],
+    name: &'static str,
+    want_min: bool,
+) -> Result<NodeId> {
     let mut best = as_num(interp, values[0], name)?;
     for &v in &values[1..] {
         let n = as_num(interp, v, name)?;
         interp.meter.arith_op();
-        let take = if want_min { n.as_f64() < best.as_f64() } else { n.as_f64() > best.as_f64() };
+        let take = if want_min {
+            n.as_f64() < best.as_f64()
+        } else {
+            n.as_f64() > best.as_f64()
+        };
         if take {
             best = n;
         }
@@ -291,7 +379,10 @@ mod tests {
     fn int_overflow_is_an_error() {
         assert_eq!(run_err("(+ 9223372036854775807 1)"), CuliError::IntOverflow);
         assert_eq!(run_err("(* 9223372036854775807 2)"), CuliError::IntOverflow);
-        assert_eq!(run_err("(- -9223372036854775807 2)"), CuliError::IntOverflow);
+        assert_eq!(
+            run_err("(- -9223372036854775807 2)"),
+            CuliError::IntOverflow
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Comparison built-ins: numeric ordering chains, `eq`, `equal`.
 
-use super::util::{as_num, bool_node, eval_args, expect_exact, expect_min};
+use super::util::{as_num, bool_node, eval_args, eval_args_scratch, expect_exact, expect_min};
 use crate::error::Result;
 use crate::eval::ParallelHook;
 use crate::interp::Interp;
@@ -17,7 +17,18 @@ fn chain(
     pred: fn(f64, f64) -> bool,
 ) -> Result<NodeId> {
     expect_min(name, args, 2)?;
-    let values = eval_args(interp, hook, args, env, depth)?;
+    let values = eval_args_scratch(interp, hook, args, env, depth)?;
+    let result = chain_values(interp, &values, name, pred);
+    interp.put_node_buf(values);
+    result
+}
+
+fn chain_values(
+    interp: &mut Interp,
+    values: &[NodeId],
+    name: &'static str,
+    pred: fn(f64, f64) -> bool,
+) -> Result<NodeId> {
     let mut prev = as_num(interp, values[0], name)?.as_f64();
     for &v in &values[1..] {
         let cur = as_num(interp, v, name)?.as_f64();
@@ -168,8 +179,7 @@ pub fn deep_eq(interp: &mut Interp, a: NodeId, b: NodeId) -> bool {
     if lists(na.ty) && lists(nb.ty) {
         let ka = interp.arena.list_children(a);
         let kb = interp.arena.list_children(b);
-        return ka.len() == kb.len()
-            && ka.iter().zip(&kb).all(|(&x, &y)| deep_eq(interp, x, y));
+        return ka.len() == kb.len() && ka.iter().zip(&kb).all(|(&x, &y)| deep_eq(interp, x, y));
     }
     if na.ty != nb.ty {
         return false;
@@ -180,9 +190,16 @@ pub fn deep_eq(interp: &mut Interp, a: NodeId, b: NodeId) -> bool {
         (Payload::Float(x), Payload::Float(y)) => x == y,
         (Payload::Text(x), Payload::Text(y)) => x == y,
         (Payload::Builtin(x), Payload::Builtin(y)) => x == y,
-        (Payload::Form { params: pa, body: ba }, Payload::Form { params: pb, body: bb }) => {
-            pa == pb && ba == bb
-        }
+        (
+            Payload::Form {
+                params: pa,
+                body: ba,
+            },
+            Payload::Form {
+                params: pb,
+                body: bb,
+            },
+        ) => pa == pb && ba == bb,
         _ => false,
     }
 }
@@ -227,7 +244,11 @@ mod tests {
         assert_eq!(run("(eq 'a 'b)"), "nil");
         assert_eq!(run("(eq nil nil)"), "T");
         assert_eq!(run("(eq \"x\" \"x\")"), "T", "interned strings share ids");
-        assert_eq!(run("(eq (list 1 2) (list 1 2))"), "nil", "distinct list nodes");
+        assert_eq!(
+            run("(eq (list 1 2) (list 1 2))"),
+            "nil",
+            "distinct list nodes"
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub fn if_(
     depth: usize,
 ) -> Result<NodeId> {
     if args.len() != 2 && args.len() != 3 {
-        return Err(CuliError::Arity { builtin: "if", expected: "2 or 3", got: args.len() });
+        return Err(CuliError::Arity {
+            builtin: "if",
+            expected: "2 or 3",
+            got: args.len(),
+        });
     }
     let cond = eval(interp, hook, args[0], env, depth + 1)?;
     if is_truthy(interp, cond) {
@@ -43,23 +47,46 @@ pub fn cond(
     depth: usize,
 ) -> Result<NodeId> {
     for &clause in args {
-        let parts = match interp.arena.get(clause).ty {
-            NodeType::List => interp.arena.list_children(clause),
-            _ => return Err(CuliError::Type { builtin: "cond", expected: "clause lists" }),
-        };
-        let Some(&test) = parts.first() else {
-            return Err(CuliError::Type { builtin: "cond", expected: "non-empty clauses" });
-        };
-        let test_val = eval(interp, hook, test, env, depth + 1)?;
-        if is_truthy(interp, test_val) {
-            let mut last = test_val;
-            for &body in &parts[1..] {
-                last = eval(interp, hook, body, env, depth + 1)?;
-            }
-            return Ok(last);
+        if interp.arena.get(clause).ty != NodeType::List {
+            return Err(CuliError::Type {
+                builtin: "cond",
+                expected: "clause lists",
+            });
+        }
+        let mut parts = interp.take_node_buf();
+        interp.arena.list_children_into(clause, &mut parts);
+        let outcome = cond_clause(interp, hook, &parts, env, depth);
+        interp.put_node_buf(parts);
+        if let Some(value) = outcome? {
+            return Ok(value);
         }
     }
     nil(interp)
+}
+
+/// Evaluates one `cond` clause; `Some(value)` when the clause fired.
+fn cond_clause(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    parts: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<Option<NodeId>> {
+    let Some(&test) = parts.first() else {
+        return Err(CuliError::Type {
+            builtin: "cond",
+            expected: "non-empty clauses",
+        });
+    };
+    let test_val = eval(interp, hook, test, env, depth + 1)?;
+    if !is_truthy(interp, test_val) {
+        return Ok(None);
+    }
+    let mut last = test_val;
+    for &body in &parts[1..] {
+        last = eval(interp, hook, body, env, depth + 1)?;
+    }
+    Ok(Some(last))
 }
 
 /// `(progn e…)` — evaluate in order, return the last value (nil if empty).
@@ -168,7 +195,7 @@ pub fn eval_fn(
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::interp::Interp;
 
     fn run(src: &str) -> String {
@@ -217,7 +244,10 @@ mod tests {
     fn while_loops_until_false() {
         let mut i = Interp::default();
         i.eval_str("(setq n 0)").unwrap();
-        assert_eq!(i.eval_str("(while (< n 5) (setq n (+ n 1)))").unwrap(), "nil");
+        assert_eq!(
+            i.eval_str("(while (< n 5) (setq n (+ n 1)))").unwrap(),
+            "nil"
+        );
         assert_eq!(i.eval_str("n").unwrap(), "5");
     }
 

@@ -22,7 +22,10 @@ fn symbol_of(interp: &Interp, id: NodeId, builtin: &'static str) -> Result<StrId
     let n = interp.arena.get(id);
     match (n.ty, n.payload) {
         (NodeType::Symbol, Payload::Text(s)) => Ok(s),
-        _ => Err(CuliError::Type { builtin, expected: "a symbol" }),
+        _ => Err(CuliError::Type {
+            builtin,
+            expected: "a symbol",
+        }),
     }
 }
 
@@ -52,10 +55,17 @@ fn make_callable(
     builtin: &'static str,
 ) -> Result<NodeId> {
     if interp.arena.get(params).ty != NodeType::List {
-        return Err(CuliError::Type { builtin, expected: "a parameter list" });
+        return Err(CuliError::Type {
+            builtin,
+            expected: "a parameter list",
+        });
     }
     if body.is_empty() {
-        return Err(CuliError::Arity { builtin, expected: "a body", got: 0 });
+        return Err(CuliError::Arity {
+            builtin,
+            expected: "a body",
+            got: 0,
+        });
     }
     let body = wrap_body(interp, body)?;
     interp.alloc(Node::new(ty, Payload::Form { params, body }))
@@ -73,7 +83,9 @@ pub fn defun(
     expect_min("defun", args, 3)?;
     let name = symbol_of(interp, args[0], "defun")?;
     let form = make_callable(interp, NodeType::Form, args[1], &args[2..], "defun")?;
-    interp.envs.define(interp.global, name, form);
+    interp
+        .envs
+        .define(interp.global, name, form, &interp.strings);
     Ok(args[0])
 }
 
@@ -89,7 +101,9 @@ pub fn defmacro(
     expect_min("defmacro", args, 3)?;
     let name = symbol_of(interp, args[0], "defmacro")?;
     let mac = make_callable(interp, NodeType::Macro, args[1], &args[2..], "defmacro")?;
-    interp.envs.define(interp.global, name, mac);
+    interp
+        .envs
+        .define(interp.global, name, mac, &interp.strings);
     Ok(args[0])
 }
 
@@ -120,11 +134,14 @@ pub fn let_(
             expect_exact("let", args, 2)?;
             let sym = symbol_of(interp, args[0], "let")?;
             let value = eval(interp, hook, args[1], env, depth + 1)?;
-            interp.envs.define(env, sym, value);
+            interp.envs.define(env, sym, value, &interp.strings);
             Ok(value)
         }
         NodeType::List => cl_let(interp, hook, args, env, depth, false),
-        _ => Err(CuliError::Type { builtin: "let", expected: "a symbol or binding list" }),
+        _ => Err(CuliError::Type {
+            builtin: "let",
+            expected: "a symbol or binding list",
+        }),
     }
 }
 
@@ -139,7 +156,10 @@ pub fn let_star(
 ) -> Result<NodeId> {
     expect_min("let*", args, 2)?;
     if interp.arena.get(args[0]).ty != NodeType::List {
-        return Err(CuliError::Type { builtin: "let*", expected: "a binding list" });
+        return Err(CuliError::Type {
+            builtin: "let*",
+            expected: "a binding list",
+        });
     }
     cl_let(interp, hook, args, env, depth, true)
 }
@@ -158,15 +178,23 @@ fn cl_let(
     for &b in &bindings {
         let parts = match interp.arena.get(b).ty {
             NodeType::List => interp.arena.list_children(b),
-            _ => return Err(CuliError::Type { builtin, expected: "(symbol value) binding pairs" }),
+            _ => {
+                return Err(CuliError::Type {
+                    builtin,
+                    expected: "(symbol value) binding pairs",
+                })
+            }
         };
         if parts.len() != 2 {
-            return Err(CuliError::Type { builtin, expected: "(symbol value) binding pairs" });
+            return Err(CuliError::Type {
+                builtin,
+                expected: "(symbol value) binding pairs",
+            });
         }
         let sym = symbol_of(interp, parts[0], builtin)?;
         let init_env = if sequential { inner } else { env };
         let value = eval(interp, hook, parts[1], init_env, depth + 1)?;
-        interp.envs.define(inner, sym, value);
+        interp.envs.define(inner, sym, value, &interp.strings);
     }
     let mut last = None;
     for &body in &args[1..] {
@@ -198,15 +226,18 @@ pub fn setq(
     for pair in args.chunks_exact(2) {
         let sym = symbol_of(interp, pair[0], "setq")?;
         let value = eval(interp, hook, pair[1], env, depth + 1)?;
-        let updated = interp.envs.set_nearest(env, sym, value, &interp.strings, &mut interp.meter);
+        let updated = interp
+            .envs
+            .set_nearest(env, sym, value, &interp.strings, &mut interp.meter);
         if !updated {
-            interp.envs.define(interp.global, sym, value);
+            interp
+                .envs
+                .define(interp.global, sym, value, &interp.strings);
         }
         last = Some(value);
     }
     Ok(last.expect("non-empty pairs"))
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -285,7 +316,11 @@ mod tests {
         i.eval_str("(setq x 1)").unwrap();
         i.eval_str("(defun poke () (setq x 99))").unwrap();
         i.eval_str("(poke)").unwrap();
-        assert_eq!(i.eval_str("x").unwrap(), "99", "setq reached the global binding");
+        assert_eq!(
+            i.eval_str("x").unwrap(),
+            "99",
+            "setq reached the global binding"
+        );
     }
 
     #[test]
@@ -318,7 +353,8 @@ mod tests {
         // A macro receives the raw argument expression; (my-if c a b)
         // rewrites into a cond. The division by zero in the untaken branch
         // must never run.
-        i.eval_str("(defmacro my-if (c a b) (list 'cond (list c a) (list T b)))").unwrap();
+        i.eval_str("(defmacro my-if (c a b) (list 'cond (list c a) (list T b)))")
+            .unwrap();
         assert_eq!(i.eval_str("(my-if (< 1 2) 10 (/ 1 0))").unwrap(), "10");
         assert_eq!(i.eval_str("(my-if (> 1 2) (/ 1 0) 20)").unwrap(), "20");
     }

@@ -25,11 +25,19 @@ pub(crate) fn call_value(
 ) -> Result<NodeId> {
     match interp.arena.get(f).ty {
         NodeType::Function | NodeType::Form => {}
-        _ => return Err(CuliError::Type { builtin: "funcall", expected: "a function or form" }),
+        _ => {
+            return Err(CuliError::Type {
+                builtin: "funcall",
+                expected: "a function or form",
+            })
+        }
     }
     let expr = interp.alloc(Node::new(
         NodeType::Expression,
-        Payload::List { first: None, last: None },
+        Payload::List {
+            first: None,
+            last: None,
+        },
     ))?;
     let f_copy = interp.copy_for_list(f)?;
     interp.arena.list_append(expr, f_copy);
@@ -37,7 +45,10 @@ pub(crate) fn call_value(
     for &a in args {
         let quoted = interp.alloc(Node::new(
             NodeType::List,
-            Payload::List { first: None, last: None },
+            Payload::List {
+                first: None,
+                last: None,
+            },
         ))?;
         let qsym = interp.alloc(Node::symbol(quote_sym))?;
         interp.arena.list_append(quoted, qsym);
@@ -143,7 +154,10 @@ pub fn member(
         if deep_eq(interp, values[0], kid) {
             return interp.alloc(Node {
                 ty: NodeType::List,
-                payload: Payload::List { first: Some(kid), last },
+                payload: Payload::List {
+                    first: Some(kid),
+                    last,
+                },
                 next: None,
             });
         }
@@ -166,7 +180,10 @@ pub fn last(
     match kids.last() {
         Some(&node) => interp.alloc(Node {
             ty: NodeType::List,
-            payload: Payload::List { first: Some(node), last: Some(node) },
+            payload: Payload::List {
+                first: Some(node),
+                last: Some(node),
+            },
             next: None,
         }),
         None => nil(interp),
@@ -202,7 +219,11 @@ mod tests {
     fn mapcar_single_and_zipped() {
         assert_eq!(run("(mapcar abs (list -1 2 -3))"), "(1 2 3)");
         assert_eq!(run("(mapcar + (list 1 2 3) (list 10 20 30))"), "(11 22 33)");
-        assert_eq!(run("(mapcar + (list 1 2 3) (list 10 20))"), "(11 22)", "shortest wins");
+        assert_eq!(
+            run("(mapcar + (list 1 2 3) (list 10 20))"),
+            "(11 22)",
+            "shortest wins"
+        );
         assert_eq!(run("(mapcar abs nil)"), "()");
     }
 
@@ -210,9 +231,13 @@ mod tests {
     fn mapcar_with_user_forms_and_lambdas() {
         let mut i = Interp::default();
         i.eval_str("(defun sq (x) (* x x))").unwrap();
-        assert_eq!(i.eval_str("(mapcar sq (list 1 2 3 4))").unwrap(), "(1 4 9 16)");
         assert_eq!(
-            i.eval_str("(mapcar (lambda (x) (+ x 100)) (list 1 2))").unwrap(),
+            i.eval_str("(mapcar sq (list 1 2 3 4))").unwrap(),
+            "(1 4 9 16)"
+        );
+        assert_eq!(
+            i.eval_str("(mapcar (lambda (x) (+ x 100)) (list 1 2))")
+                .unwrap(),
             "(101 102)"
         );
     }
@@ -237,7 +262,8 @@ mod tests {
     #[test]
     fn assoc_finds_pairs() {
         let mut i = Interp::default();
-        i.eval_str("(setq table (list (list 'a 1) (list 'b 2)))").unwrap();
+        i.eval_str("(setq table (list (list 'a 1) (list 'b 2)))")
+            .unwrap();
         assert_eq!(i.eval_str("(assoc 'b table)").unwrap(), "(b 2)");
         assert_eq!(i.eval_str("(assoc 'z table)").unwrap(), "nil");
     }
@@ -246,7 +272,10 @@ mod tests {
     fn member_returns_shared_tail() {
         assert_eq!(run("(member 3 (list 1 2 3 4 5))"), "(3 4 5)");
         assert_eq!(run("(member 9 (list 1 2 3))"), "nil");
-        assert_eq!(run("(member (list 2) (list (list 1) (list 2) 3))"), "((2) 3)");
+        assert_eq!(
+            run("(member (list 2) (list (list 1) (list 2) 3))"),
+            "((2) 3)"
+        );
     }
 
     #[test]

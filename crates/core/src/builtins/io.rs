@@ -25,7 +25,10 @@ fn string_arg(interp: &Interp, id: NodeId, builtin: &'static str) -> Result<StrI
     let n = interp.arena.get(id);
     match (n.ty, n.payload) {
         (NodeType::Str, Payload::Text(s)) => Ok(s),
-        _ => Err(CuliError::Type { builtin, expected: "a string path" }),
+        _ => Err(CuliError::Type {
+            builtin,
+            expected: "a string path",
+        }),
     }
 }
 
@@ -103,8 +106,15 @@ mod tests {
     #[test]
     fn write_then_read() {
         let mut i = interp_with_io();
-        assert_eq!(i.eval_str("(write-file \"a.txt\" \"hello device\")").unwrap(), "T");
-        assert_eq!(i.eval_str("(read-file \"a.txt\")").unwrap(), "\"hello device\"");
+        assert_eq!(
+            i.eval_str("(write-file \"a.txt\" \"hello device\")")
+                .unwrap(),
+            "T"
+        );
+        assert_eq!(
+            i.eval_str("(read-file \"a.txt\")").unwrap(),
+            "\"hello device\""
+        );
         assert_eq!(i.eval_str("(file-exists \"a.txt\")").unwrap(), "T");
         assert_eq!(i.eval_str("(file-exists \"b.txt\")").unwrap(), "nil");
     }
@@ -112,7 +122,10 @@ mod tests {
     #[test]
     fn missing_file_is_an_io_error() {
         let mut i = interp_with_io();
-        assert!(matches!(i.eval_str("(read-file \"nope\")").unwrap_err(), CuliError::Io(_)));
+        assert!(matches!(
+            i.eval_str("(read-file \"nope\")").unwrap_err(),
+            CuliError::Io(_)
+        ));
     }
 
     #[test]
@@ -131,13 +144,22 @@ mod tests {
         let before = i.meter.snapshot();
         i.eval_str("(read-file \"f\")").unwrap();
         let d = i.meter.snapshot().delta_since(&before);
-        assert!(d.chars_scanned >= 10, "read bytes charged: {}", d.chars_scanned);
+        assert!(
+            d.chars_scanned >= 10,
+            "read bytes charged: {}",
+            d.chars_scanned
+        );
     }
 
     #[test]
     fn lisp_level_composition() {
         let mut i = interp_with_io();
-        i.eval_str("(write-file \"n.txt\" (number-to-string (* 6 7)))").unwrap();
-        assert_eq!(i.eval_str("(string-to-number (read-file \"n.txt\"))").unwrap(), "42");
+        i.eval_str("(write-file \"n.txt\" (number-to-string (* 6 7)))")
+            .unwrap();
+        assert_eq!(
+            i.eval_str("(string-to-number (read-file \"n.txt\"))")
+                .unwrap(),
+            "42"
+        );
     }
 }

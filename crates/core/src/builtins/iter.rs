@@ -12,21 +12,31 @@ use crate::interp::Interp;
 use crate::node::{Node, NodeType, Payload};
 use crate::types::{EnvId, NodeId, StrId};
 
-fn loop_header(
-    interp: &Interp,
-    head: NodeId,
-    builtin: &'static str,
-) -> Result<(StrId, NodeId)> {
+fn loop_header(interp: &Interp, head: NodeId, builtin: &'static str) -> Result<(StrId, NodeId)> {
     let parts = match interp.arena.get(head).ty {
         NodeType::List => interp.arena.list_children(head),
-        _ => return Err(CuliError::Type { builtin, expected: "a (var source) header" }),
+        _ => {
+            return Err(CuliError::Type {
+                builtin,
+                expected: "a (var source) header",
+            })
+        }
     };
     if parts.len() != 2 {
-        return Err(CuliError::Type { builtin, expected: "a (var source) header" });
+        return Err(CuliError::Type {
+            builtin,
+            expected: "a (var source) header",
+        });
     }
-    match (interp.arena.get(parts[0]).ty, interp.arena.get(parts[0]).payload) {
+    match (
+        interp.arena.get(parts[0]).ty,
+        interp.arena.get(parts[0]).payload,
+    ) {
         (NodeType::Symbol, Payload::Text(sym)) => Ok((sym, parts[1])),
-        _ => Err(CuliError::Type { builtin, expected: "a symbol loop variable" }),
+        _ => Err(CuliError::Type {
+            builtin,
+            expected: "a symbol loop variable",
+        }),
     }
 }
 
@@ -43,12 +53,17 @@ pub fn dotimes(
     let count_val = eval(interp, hook, count_expr, env, depth + 1)?;
     let count = match interp.arena.get(count_val).payload {
         Payload::Int(v) if v >= 0 => v,
-        _ => return Err(CuliError::Type { builtin: "dotimes", expected: "a non-negative count" }),
+        _ => {
+            return Err(CuliError::Type {
+                builtin: "dotimes",
+                expected: "a non-negative count",
+            })
+        }
     };
     let loop_env = interp.envs.push(Some(env));
     for i in 0..count {
         let idx = interp.alloc(Node::int(i))?;
-        interp.envs.define(loop_env, var, idx);
+        interp.envs.define(loop_env, var, idx, &interp.strings);
         for &body in &args[1..] {
             eval(interp, hook, body, loop_env, depth + 1)?;
         }
@@ -70,7 +85,7 @@ pub fn dolist(
     let items = as_list_children(interp, list_val, "dolist")?;
     let loop_env = interp.envs.push(Some(env));
     for item in items {
-        interp.envs.define(loop_env, var, item);
+        interp.envs.define(loop_env, var, item, &interp.strings);
         for &body in &args[1..] {
             eval(interp, hook, body, loop_env, depth + 1)?;
         }
@@ -86,7 +101,10 @@ mod tests {
     fn dotimes_counts() {
         let mut i = Interp::default();
         i.eval_str("(setq acc 0)").unwrap();
-        assert_eq!(i.eval_str("(dotimes (k 5) (setq acc (+ acc k)))").unwrap(), "nil");
+        assert_eq!(
+            i.eval_str("(dotimes (k 5) (setq acc (+ acc k)))").unwrap(),
+            "nil"
+        );
         assert_eq!(i.eval_str("acc").unwrap(), "10");
     }
 
@@ -102,7 +120,8 @@ mod tests {
     fn dolist_walks_elements() {
         let mut i = Interp::default();
         i.eval_str("(setq acc 1)").unwrap();
-        i.eval_str("(dolist (x (list 2 3 7)) (setq acc (* acc x)))").unwrap();
+        i.eval_str("(dolist (x (list 2 3 7)) (setq acc (* acc x)))")
+            .unwrap();
         assert_eq!(i.eval_str("acc").unwrap(), "42");
     }
 

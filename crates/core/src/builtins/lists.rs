@@ -5,7 +5,9 @@
 //! natural data structure to use". `cdr` and `cons` share structure
 //! (immutable children make that safe) and are O(1), like the C original.
 
-use super::util::{as_list_children, as_num, eval_args, expect_exact, list_from_values, nil, Num};
+use super::util::{
+    as_num, eval_args_scratch, expect_exact, list_first, list_from_values, nil, Num,
+};
 use crate::error::{CuliError, Result};
 use crate::eval::ParallelHook;
 use crate::interp::Interp;
@@ -21,10 +23,11 @@ pub fn car(
     depth: usize,
 ) -> Result<NodeId> {
     expect_exact("car", args, 1)?;
-    let values = eval_args(interp, hook, args, env, depth)?;
-    let kids = as_list_children(interp, values[0], "car")?;
-    match kids.first() {
-        Some(&first) => Ok(first),
+    let values = eval_args_scratch(interp, hook, args, env, depth)?;
+    let value = values[0];
+    interp.put_node_buf(values);
+    match list_first(interp, value, "car")? {
+        Some(first) => Ok(first),
         None => nil(interp),
     }
 }
@@ -39,19 +42,31 @@ pub fn cdr(
     depth: usize,
 ) -> Result<NodeId> {
     expect_exact("cdr", args, 1)?;
-    let values = eval_args(interp, hook, args, env, depth)?;
-    let node = interp.arena.read(values[0], &mut interp.meter);
+    let values = eval_args_scratch(interp, hook, args, env, depth)?;
+    let value = values[0];
+    interp.put_node_buf(values);
+    let node = interp.arena.read(value, &mut interp.meter);
     let (first, last) = match node.payload {
         Payload::List { first, last } => (first, last),
         Payload::Empty if node.ty == NodeType::Nil => (None, None),
-        _ => return Err(CuliError::Type { builtin: "cdr", expected: "a list" }),
+        _ => {
+            return Err(CuliError::Type {
+                builtin: "cdr",
+                expected: "a list",
+            })
+        }
     };
-    let Some(first) = first else { return nil(interp) };
+    let Some(first) = first else {
+        return nil(interp);
+    };
     let second = interp.arena.get(first).next;
     match second {
         Some(second) => interp.alloc(Node {
             ty: NodeType::List,
-            payload: Payload::List { first: Some(second), last },
+            payload: Payload::List {
+                first: Some(second),
+                last,
+            },
             next: None,
         }),
         None => nil(interp),
@@ -69,19 +84,33 @@ pub fn cons(
     depth: usize,
 ) -> Result<NodeId> {
     expect_exact("cons", args, 2)?;
-    let values = eval_args(interp, hook, args, env, depth)?;
-    let tail = interp.arena.read(values[1], &mut interp.meter);
+    let values = eval_args_scratch(interp, hook, args, env, depth)?;
+    let (head_id, tail_id) = (values[0], values[1]);
+    interp.put_node_buf(values);
+    let tail = interp.arena.read(tail_id, &mut interp.meter);
     let (tfirst, tlast) = match tail.payload {
         Payload::List { first, last } => (first, last),
         Payload::Empty if tail.ty == NodeType::Nil => (None, None),
-        _ => return Err(CuliError::Type { builtin: "cons", expected: "a list as second argument" }),
+        _ => {
+            return Err(CuliError::Type {
+                builtin: "cons",
+                expected: "a list as second argument",
+            })
+        }
     };
     // Fresh head node whose `next` points into the shared tail chain.
-    let head_src = *interp.arena.get(values[0]);
-    let head = interp.alloc(Node { ty: head_src.ty, payload: head_src.payload, next: tfirst })?;
+    let head_src = *interp.arena.get(head_id);
+    let head = interp.alloc(Node {
+        ty: head_src.ty,
+        payload: head_src.payload,
+        next: tfirst,
+    })?;
     interp.alloc(Node {
         ty: NodeType::List,
-        payload: Payload::List { first: Some(head), last: Some(tlast.unwrap_or(head)) },
+        payload: Payload::List {
+            first: Some(head),
+            last: Some(tlast.unwrap_or(head)),
+        },
         next: None,
     })
 }
@@ -94,8 +123,10 @@ pub fn list(
     env: EnvId,
     depth: usize,
 ) -> Result<NodeId> {
-    let values = eval_args(interp, hook, args, env, depth)?;
-    list_from_values(interp, &values)
+    let values = eval_args_scratch(interp, hook, args, env, depth)?;
+    let result = list_from_values(interp, &values);
+    interp.put_node_buf(values);
+    result
 }
 
 /// `(append l1 l2 …)` — concatenation (shallow element copies).
@@ -106,12 +137,24 @@ pub fn append(
     env: EnvId,
     depth: usize,
 ) -> Result<NodeId> {
-    let values = eval_args(interp, hook, args, env, depth)?;
-    let mut all = Vec::new();
-    for v in &values {
-        all.extend(as_list_children(interp, *v, "append")?);
+    let values = eval_args_scratch(interp, hook, args, env, depth)?;
+    let mut all = interp.take_node_buf();
+    for &v in &values {
+        // Validate the element is a list, then splice its children in
+        // without an intermediate vector.
+        if let Err(e) = list_first(interp, v, "append") {
+            interp.put_node_buf(values);
+            interp.put_node_buf(all);
+            return Err(e);
+        }
+        if interp.arena.get(v).ty != NodeType::Nil {
+            interp.arena.list_children_into(v, &mut all);
+        }
     }
-    list_from_values(interp, &all)
+    interp.put_node_buf(values);
+    let result = list_from_values(interp, &all);
+    interp.put_node_buf(all);
+    result
 }
 
 /// `(length lst)`.
@@ -123,9 +166,14 @@ pub fn length(
     depth: usize,
 ) -> Result<NodeId> {
     expect_exact("length", args, 1)?;
-    let values = eval_args(interp, hook, args, env, depth)?;
-    let kids = as_list_children(interp, values[0], "length")?;
-    interp.alloc(Node::int(kids.len() as i64))
+    let values = eval_args_scratch(interp, hook, args, env, depth)?;
+    let value = values[0];
+    interp.put_node_buf(values);
+    let len = match list_first(interp, value, "length")? {
+        Some(_) => interp.arena.list_len(value),
+        None => 0,
+    };
+    interp.alloc(Node::int(len as i64))
 }
 
 /// `(reverse lst)` — reversed shallow copy.
@@ -137,10 +185,21 @@ pub fn reverse(
     depth: usize,
 ) -> Result<NodeId> {
     expect_exact("reverse", args, 1)?;
-    let values = eval_args(interp, hook, args, env, depth)?;
-    let mut kids = as_list_children(interp, values[0], "reverse")?;
+    let values = eval_args_scratch(interp, hook, args, env, depth)?;
+    let value = values[0];
+    interp.put_node_buf(values);
+    let mut kids = interp.take_node_buf();
+    if let Err(e) = list_first(interp, value, "reverse") {
+        interp.put_node_buf(kids);
+        return Err(e);
+    }
+    if interp.arena.get(value).ty != NodeType::Nil {
+        interp.arena.list_children_into(value, &mut kids);
+    }
     kids.reverse();
-    list_from_values(interp, &kids)
+    let result = list_from_values(interp, &kids);
+    interp.put_node_buf(kids);
+    result
 }
 
 /// `(nth i lst)` — zero-based element access; nil past the end.
@@ -152,14 +211,26 @@ pub fn nth(
     depth: usize,
 ) -> Result<NodeId> {
     expect_exact("nth", args, 2)?;
-    let values = eval_args(interp, hook, args, env, depth)?;
-    let idx = match as_num(interp, values[0], "nth")? {
+    let values = eval_args_scratch(interp, hook, args, env, depth)?;
+    let (idx_id, list_id) = (values[0], values[1]);
+    interp.put_node_buf(values);
+    let idx = match as_num(interp, idx_id, "nth")? {
         Num::I(v) if v >= 0 => v as usize,
-        _ => return Err(CuliError::Type { builtin: "nth", expected: "a non-negative integer index" }),
+        _ => {
+            return Err(CuliError::Type {
+                builtin: "nth",
+                expected: "a non-negative integer index",
+            })
+        }
     };
-    let kids = as_list_children(interp, values[1], "nth")?;
-    match kids.get(idx) {
-        Some(&k) => Ok(k),
+    list_first(interp, list_id, "nth")?;
+    let found = if interp.arena.get(list_id).ty == NodeType::Nil {
+        None
+    } else {
+        interp.arena.iter_list(list_id).nth(idx)
+    };
+    match found {
+        Some(k) => Ok(k),
         None => nil(interp),
     }
 }
@@ -201,7 +272,11 @@ mod tests {
         let mut i = Interp::default();
         i.eval_str("(setq tail (list 2 3))").unwrap();
         assert_eq!(i.eval_str("(cons 1 tail)").unwrap(), "(1 2 3)");
-        assert_eq!(i.eval_str("tail").unwrap(), "(2 3)", "shared tail unchanged");
+        assert_eq!(
+            i.eval_str("tail").unwrap(),
+            "(2 3)",
+            "shared tail unchanged"
+        );
         assert_eq!(i.eval_str("(cons 0 tail)").unwrap(), "(0 2 3)");
     }
 
@@ -213,7 +288,10 @@ mod tests {
 
     #[test]
     fn append_concatenates() {
-        assert_eq!(run("(append (list 1 2) (list 3) (list 4 5))"), "(1 2 3 4 5)");
+        assert_eq!(
+            run("(append (list 1 2) (list 3) (list 4 5))"),
+            "(1 2 3 4 5)"
+        );
         assert_eq!(run("(append nil (list 1))"), "(1)");
         assert_eq!(run("(append)"), "()");
     }
@@ -231,8 +309,17 @@ mod tests {
     #[test]
     fn type_errors() {
         let mut i = Interp::default();
-        assert!(matches!(i.eval_str("(car 5)").unwrap_err(), CuliError::Type { .. }));
-        assert!(matches!(i.eval_str("(cons 1 2)").unwrap_err(), CuliError::Type { .. }));
-        assert!(matches!(i.eval_str("(nth -1 (list 1))").unwrap_err(), CuliError::Type { .. }));
+        assert!(matches!(
+            i.eval_str("(car 5)").unwrap_err(),
+            CuliError::Type { .. }
+        ));
+        assert!(matches!(
+            i.eval_str("(cons 1 2)").unwrap_err(),
+            CuliError::Type { .. }
+        ));
+        assert!(matches!(
+            i.eval_str("(nth -1 (list 1))").unwrap_err(),
+            CuliError::Type { .. }
+        ));
     }
 }

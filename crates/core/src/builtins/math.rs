@@ -31,7 +31,10 @@ pub fn inc(
     depth: usize,
 ) -> Result<NodeId> {
     match one_num(interp, hook, args, env, depth, "1+")? {
-        Num::I(v) => num_node(interp, Num::I(v.checked_add(1).ok_or(CuliError::IntOverflow)?)),
+        Num::I(v) => num_node(
+            interp,
+            Num::I(v.checked_add(1).ok_or(CuliError::IntOverflow)?),
+        ),
         Num::F(v) => num_node(interp, Num::F(v + 1.0)),
     }
 }
@@ -45,7 +48,10 @@ pub fn dec(
     depth: usize,
 ) -> Result<NodeId> {
     match one_num(interp, hook, args, env, depth, "1-")? {
-        Num::I(v) => num_node(interp, Num::I(v.checked_sub(1).ok_or(CuliError::IntOverflow)?)),
+        Num::I(v) => num_node(
+            interp,
+            Num::I(v.checked_sub(1).ok_or(CuliError::IntOverflow)?),
+        ),
         Num::F(v) => num_node(interp, Num::F(v - 1.0)),
     }
 }
@@ -204,7 +210,10 @@ fn parity(
 ) -> Result<NodeId> {
     match one_num(interp, hook, args, env, depth, name)? {
         Num::I(v) => bool_node(interp, (v % 2 == 0) == want_even),
-        Num::F(_) => Err(CuliError::Type { builtin: name, expected: "an integer" }),
+        Num::F(_) => Err(CuliError::Type {
+            builtin: name,
+            expected: "an integer",
+        }),
     }
 }
 
@@ -245,7 +254,9 @@ mod tests {
         assert_eq!(run("(1- 43)"), "42");
         assert_eq!(run("(1+ 0.5)"), "1.5");
         assert_eq!(
-            Interp::default().eval_str("(1+ 9223372036854775807)").unwrap_err(),
+            Interp::default()
+                .eval_str("(1+ 9223372036854775807)")
+                .unwrap_err(),
             CuliError::IntOverflow
         );
     }

@@ -88,101 +88,350 @@ impl Registry {
 pub fn all_builtins() -> &'static [BuiltinDef] {
     &[
         // Arithmetic
-        BuiltinDef { name: "+", func: arith::add },
-        BuiltinDef { name: "-", func: arith::sub },
-        BuiltinDef { name: "*", func: arith::mul },
-        BuiltinDef { name: "/", func: arith::div },
-        BuiltinDef { name: "mod", func: arith::modulo },
-        BuiltinDef { name: "abs", func: arith::abs },
-        BuiltinDef { name: "min", func: arith::min },
-        BuiltinDef { name: "max", func: arith::max },
+        BuiltinDef {
+            name: "+",
+            func: arith::add,
+        },
+        BuiltinDef {
+            name: "-",
+            func: arith::sub,
+        },
+        BuiltinDef {
+            name: "*",
+            func: arith::mul,
+        },
+        BuiltinDef {
+            name: "/",
+            func: arith::div,
+        },
+        BuiltinDef {
+            name: "mod",
+            func: arith::modulo,
+        },
+        BuiltinDef {
+            name: "abs",
+            func: arith::abs,
+        },
+        BuiltinDef {
+            name: "min",
+            func: arith::min,
+        },
+        BuiltinDef {
+            name: "max",
+            func: arith::max,
+        },
         // Comparison
-        BuiltinDef { name: "=", func: compare::num_eq },
-        BuiltinDef { name: "/=", func: compare::num_ne },
-        BuiltinDef { name: "<", func: compare::lt },
-        BuiltinDef { name: ">", func: compare::gt },
-        BuiltinDef { name: "<=", func: compare::le },
-        BuiltinDef { name: ">=", func: compare::ge },
-        BuiltinDef { name: "eq", func: compare::eq_identity },
-        BuiltinDef { name: "equal", func: compare::equal_deep },
+        BuiltinDef {
+            name: "=",
+            func: compare::num_eq,
+        },
+        BuiltinDef {
+            name: "/=",
+            func: compare::num_ne,
+        },
+        BuiltinDef {
+            name: "<",
+            func: compare::lt,
+        },
+        BuiltinDef {
+            name: ">",
+            func: compare::gt,
+        },
+        BuiltinDef {
+            name: "<=",
+            func: compare::le,
+        },
+        BuiltinDef {
+            name: ">=",
+            func: compare::ge,
+        },
+        BuiltinDef {
+            name: "eq",
+            func: compare::eq_identity,
+        },
+        BuiltinDef {
+            name: "equal",
+            func: compare::equal_deep,
+        },
         // Lists
-        BuiltinDef { name: "car", func: lists::car },
-        BuiltinDef { name: "cdr", func: lists::cdr },
-        BuiltinDef { name: "cons", func: lists::cons },
-        BuiltinDef { name: "list", func: lists::list },
-        BuiltinDef { name: "append", func: lists::append },
-        BuiltinDef { name: "length", func: lists::length },
-        BuiltinDef { name: "reverse", func: lists::reverse },
-        BuiltinDef { name: "nth", func: lists::nth },
+        BuiltinDef {
+            name: "car",
+            func: lists::car,
+        },
+        BuiltinDef {
+            name: "cdr",
+            func: lists::cdr,
+        },
+        BuiltinDef {
+            name: "cons",
+            func: lists::cons,
+        },
+        BuiltinDef {
+            name: "list",
+            func: lists::list,
+        },
+        BuiltinDef {
+            name: "append",
+            func: lists::append,
+        },
+        BuiltinDef {
+            name: "length",
+            func: lists::length,
+        },
+        BuiltinDef {
+            name: "reverse",
+            func: lists::reverse,
+        },
+        BuiltinDef {
+            name: "nth",
+            func: lists::nth,
+        },
         // Control
-        BuiltinDef { name: "if", func: control::if_ },
-        BuiltinDef { name: "cond", func: control::cond },
-        BuiltinDef { name: "progn", func: control::progn },
-        BuiltinDef { name: "when", func: control::when },
-        BuiltinDef { name: "unless", func: control::unless },
-        BuiltinDef { name: "while", func: control::while_ },
-        BuiltinDef { name: "quote", func: control::quote },
-        BuiltinDef { name: "quasiquote", func: quasi::quasiquote },
-        BuiltinDef { name: "unquote", func: quasi::unquote_outside },
-        BuiltinDef { name: "unquote-splicing", func: quasi::unquote_outside },
-        BuiltinDef { name: "eval", func: control::eval_fn },
+        BuiltinDef {
+            name: "if",
+            func: control::if_,
+        },
+        BuiltinDef {
+            name: "cond",
+            func: control::cond,
+        },
+        BuiltinDef {
+            name: "progn",
+            func: control::progn,
+        },
+        BuiltinDef {
+            name: "when",
+            func: control::when,
+        },
+        BuiltinDef {
+            name: "unless",
+            func: control::unless,
+        },
+        BuiltinDef {
+            name: "while",
+            func: control::while_,
+        },
+        BuiltinDef {
+            name: "quote",
+            func: control::quote,
+        },
+        BuiltinDef {
+            name: "quasiquote",
+            func: quasi::quasiquote,
+        },
+        BuiltinDef {
+            name: "unquote",
+            func: quasi::unquote_outside,
+        },
+        BuiltinDef {
+            name: "unquote-splicing",
+            func: quasi::unquote_outside,
+        },
+        BuiltinDef {
+            name: "eval",
+            func: control::eval_fn,
+        },
         // Definitions
-        BuiltinDef { name: "defun", func: defs::defun },
-        BuiltinDef { name: "defmacro", func: defs::defmacro },
-        BuiltinDef { name: "lambda", func: defs::lambda },
-        BuiltinDef { name: "let", func: defs::let_ },
-        BuiltinDef { name: "let*", func: defs::let_star },
-        BuiltinDef { name: "setq", func: defs::setq },
+        BuiltinDef {
+            name: "defun",
+            func: defs::defun,
+        },
+        BuiltinDef {
+            name: "defmacro",
+            func: defs::defmacro,
+        },
+        BuiltinDef {
+            name: "lambda",
+            func: defs::lambda,
+        },
+        BuiltinDef {
+            name: "let",
+            func: defs::let_,
+        },
+        BuiltinDef {
+            name: "let*",
+            func: defs::let_star,
+        },
+        BuiltinDef {
+            name: "setq",
+            func: defs::setq,
+        },
         // Logic
-        BuiltinDef { name: "and", func: logic::and },
-        BuiltinDef { name: "or", func: logic::or },
-        BuiltinDef { name: "not", func: logic::not },
+        BuiltinDef {
+            name: "and",
+            func: logic::and,
+        },
+        BuiltinDef {
+            name: "or",
+            func: logic::or,
+        },
+        BuiltinDef {
+            name: "not",
+            func: logic::not,
+        },
         // Predicates
-        BuiltinDef { name: "atom", func: predicates::atom },
-        BuiltinDef { name: "null", func: predicates::null },
-        BuiltinDef { name: "listp", func: predicates::listp },
-        BuiltinDef { name: "consp", func: predicates::consp },
-        BuiltinDef { name: "numberp", func: predicates::numberp },
-        BuiltinDef { name: "symbolp", func: predicates::symbolp },
-        BuiltinDef { name: "stringp", func: predicates::stringp },
-        BuiltinDef { name: "zerop", func: predicates::zerop },
+        BuiltinDef {
+            name: "atom",
+            func: predicates::atom,
+        },
+        BuiltinDef {
+            name: "null",
+            func: predicates::null,
+        },
+        BuiltinDef {
+            name: "listp",
+            func: predicates::listp,
+        },
+        BuiltinDef {
+            name: "consp",
+            func: predicates::consp,
+        },
+        BuiltinDef {
+            name: "numberp",
+            func: predicates::numberp,
+        },
+        BuiltinDef {
+            name: "symbolp",
+            func: predicates::symbolp,
+        },
+        BuiltinDef {
+            name: "stringp",
+            func: predicates::stringp,
+        },
+        BuiltinDef {
+            name: "zerop",
+            func: predicates::zerop,
+        },
         // Extended math
-        BuiltinDef { name: "1+", func: math::inc },
-        BuiltinDef { name: "1-", func: math::dec },
-        BuiltinDef { name: "sqrt", func: math::sqrt },
-        BuiltinDef { name: "expt", func: math::expt },
-        BuiltinDef { name: "floor", func: math::floor },
-        BuiltinDef { name: "ceiling", func: math::ceiling },
-        BuiltinDef { name: "truncate", func: math::truncate },
-        BuiltinDef { name: "float", func: math::float },
-        BuiltinDef { name: "integerp", func: math::integerp },
-        BuiltinDef { name: "floatp", func: math::floatp },
-        BuiltinDef { name: "evenp", func: math::evenp },
-        BuiltinDef { name: "oddp", func: math::oddp },
+        BuiltinDef {
+            name: "1+",
+            func: math::inc,
+        },
+        BuiltinDef {
+            name: "1-",
+            func: math::dec,
+        },
+        BuiltinDef {
+            name: "sqrt",
+            func: math::sqrt,
+        },
+        BuiltinDef {
+            name: "expt",
+            func: math::expt,
+        },
+        BuiltinDef {
+            name: "floor",
+            func: math::floor,
+        },
+        BuiltinDef {
+            name: "ceiling",
+            func: math::ceiling,
+        },
+        BuiltinDef {
+            name: "truncate",
+            func: math::truncate,
+        },
+        BuiltinDef {
+            name: "float",
+            func: math::float,
+        },
+        BuiltinDef {
+            name: "integerp",
+            func: math::integerp,
+        },
+        BuiltinDef {
+            name: "floatp",
+            func: math::floatp,
+        },
+        BuiltinDef {
+            name: "evenp",
+            func: math::evenp,
+        },
+        BuiltinDef {
+            name: "oddp",
+            func: math::oddp,
+        },
         // Higher-order & search
-        BuiltinDef { name: "mapcar", func: higher::mapcar },
-        BuiltinDef { name: "apply", func: higher::apply },
-        BuiltinDef { name: "funcall", func: higher::funcall },
-        BuiltinDef { name: "assoc", func: higher::assoc },
-        BuiltinDef { name: "member", func: higher::member },
-        BuiltinDef { name: "last", func: higher::last },
-        BuiltinDef { name: "butlast", func: higher::butlast },
+        BuiltinDef {
+            name: "mapcar",
+            func: higher::mapcar,
+        },
+        BuiltinDef {
+            name: "apply",
+            func: higher::apply,
+        },
+        BuiltinDef {
+            name: "funcall",
+            func: higher::funcall,
+        },
+        BuiltinDef {
+            name: "assoc",
+            func: higher::assoc,
+        },
+        BuiltinDef {
+            name: "member",
+            func: higher::member,
+        },
+        BuiltinDef {
+            name: "last",
+            func: higher::last,
+        },
+        BuiltinDef {
+            name: "butlast",
+            func: higher::butlast,
+        },
         // Iteration
-        BuiltinDef { name: "dotimes", func: iter::dotimes },
-        BuiltinDef { name: "dolist", func: iter::dolist },
+        BuiltinDef {
+            name: "dotimes",
+            func: iter::dotimes,
+        },
+        BuiltinDef {
+            name: "dolist",
+            func: iter::dolist,
+        },
         // Strings
-        BuiltinDef { name: "concat", func: strfns::concat },
-        BuiltinDef { name: "string-length", func: strfns::string_length },
-        BuiltinDef { name: "substring", func: strfns::substring },
-        BuiltinDef { name: "string=", func: strfns::string_eq },
-        BuiltinDef { name: "number-to-string", func: strfns::number_to_string },
-        BuiltinDef { name: "string-to-number", func: strfns::string_to_number },
+        BuiltinDef {
+            name: "concat",
+            func: strfns::concat,
+        },
+        BuiltinDef {
+            name: "string-length",
+            func: strfns::string_length,
+        },
+        BuiltinDef {
+            name: "substring",
+            func: strfns::substring,
+        },
+        BuiltinDef {
+            name: "string=",
+            func: strfns::string_eq,
+        },
+        BuiltinDef {
+            name: "number-to-string",
+            func: strfns::number_to_string,
+        },
+        BuiltinDef {
+            name: "string-to-number",
+            func: strfns::string_to_number,
+        },
         // File I/O over the host link (the paper's future-work feature)
-        BuiltinDef { name: "read-file", func: io::read_file },
-        BuiltinDef { name: "write-file", func: io::write_file },
-        BuiltinDef { name: "file-exists", func: io::file_exists },
+        BuiltinDef {
+            name: "read-file",
+            func: io::read_file,
+        },
+        BuiltinDef {
+            name: "write-file",
+            func: io::write_file,
+        },
+        BuiltinDef {
+            name: "file-exists",
+            func: io::file_exists,
+        },
         // Parallelism — the paper's |||-expression
-        BuiltinDef { name: "|||", func: parallel::par },
+        BuiltinDef {
+            name: "|||",
+            func: parallel::par,
+        },
     ]
 }
 

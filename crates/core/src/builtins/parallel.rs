@@ -29,11 +29,19 @@ pub fn par(
     let n_val = eval(interp, hook, args[0], env, depth + 1)?;
     let n = match interp.arena.get(n_val).payload {
         Payload::Int(v) if v > 0 => v as usize,
-        _ => return Err(CuliError::Type { builtin: "|||", expected: "a positive worker count" }),
+        _ => {
+            return Err(CuliError::Type {
+                builtin: "|||",
+                expected: "a positive worker count",
+            })
+        }
     };
     if let Some(max) = hook.max_workers() {
         if n > max {
-            return Err(CuliError::TooManyWorkers { requested: n, available: max });
+            return Err(CuliError::TooManyWorkers {
+                requested: n,
+                available: max,
+            });
         }
     }
 
@@ -41,7 +49,12 @@ pub fn par(
     let f_val = eval(interp, hook, args[1], env, depth + 1)?;
     match interp.arena.get(f_val).ty {
         NodeType::Function | NodeType::Form => {}
-        _ => return Err(CuliError::Type { builtin: "|||", expected: "a function or form" }),
+        _ => {
+            return Err(CuliError::Type {
+                builtin: "|||",
+                expected: "a function or form",
+            })
+        }
     }
 
     // Argument lists, each at least n long.
@@ -64,7 +77,10 @@ pub fn par(
     for w in 0..n {
         let expr = interp.alloc(Node::new(
             NodeType::Expression,
-            Payload::List { first: None, last: None },
+            Payload::List {
+                first: None,
+                last: None,
+            },
         ))?;
         let f_copy = interp.copy_for_list(f_val)?;
         interp.arena.list_append(expr, f_copy);
@@ -112,7 +128,10 @@ mod tests {
         let mut i = Interp::default();
         i.eval_str("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")
             .unwrap();
-        assert_eq!(i.eval_str("(||| 6 fib (5 5 5 5 5 5))").unwrap(), "(5 5 5 5 5 5)");
+        assert_eq!(
+            i.eval_str("(||| 6 fib (5 5 5 5 5 5))").unwrap(),
+            "(5 5 5 5 5 5)"
+        );
         assert_eq!(i.eval_str("(||| 3 fib (1 5 9))").unwrap(), "(1 5 34)");
     }
 
@@ -141,16 +160,29 @@ mod tests {
     #[test]
     fn short_list_is_an_error() {
         match run_err("(||| 3 + (1 2) (4 5 6))") {
-            CuliError::ParallelArgShort { arg_index: 0, len: 2, requested: 3 } => {}
+            CuliError::ParallelArgShort {
+                arg_index: 0,
+                len: 2,
+                requested: 3,
+            } => {}
             other => panic!("{other:?}"),
         }
     }
 
     #[test]
     fn bad_worker_count_is_an_error() {
-        assert!(matches!(run_err("(||| 0 + (1) (2))"), CuliError::Type { .. }));
-        assert!(matches!(run_err("(||| -3 + (1) (2))"), CuliError::Type { .. }));
-        assert!(matches!(run_err("(||| 1.5 + (1) (2))"), CuliError::Type { .. }));
+        assert!(matches!(
+            run_err("(||| 0 + (1) (2))"),
+            CuliError::Type { .. }
+        ));
+        assert!(matches!(
+            run_err("(||| -3 + (1) (2))"),
+            CuliError::Type { .. }
+        ));
+        assert!(matches!(
+            run_err("(||| 1.5 + (1) (2))"),
+            CuliError::Type { .. }
+        ));
     }
 
     #[test]
@@ -162,8 +194,12 @@ mod tests {
     fn nested_parallel_sections() {
         // A worker may itself open a ||| section.
         let mut i = Interp::default();
-        i.eval_str("(defun row (x) (||| 2 + (1 2) (list x x)))").unwrap();
-        assert_eq!(i.eval_str("(||| 2 row (10 20))").unwrap(), "((11 12) (21 22))");
+        i.eval_str("(defun row (x) (||| 2 + (1 2) (list x x)))")
+            .unwrap();
+        assert_eq!(
+            i.eval_str("(||| 2 row (10 20))").unwrap(),
+            "((11 12) (21 22))"
+        );
     }
 
     #[test]
@@ -172,7 +208,8 @@ mod tests {
         // stays visible afterwards and unchanged.
         let mut i = Interp::default();
         i.eval_str("(setq w 7)").unwrap();
-        i.eval_str("(defun probe (x) (progn (let v x) (+ v w)))").unwrap();
+        i.eval_str("(defun probe (x) (progn (let v x) (+ v w)))")
+            .unwrap();
         assert_eq!(i.eval_str("(||| 2 probe (100 200))").unwrap(), "(107 207)");
         assert_eq!(i.eval_str("w").unwrap(), "7");
     }

@@ -133,7 +133,10 @@ pub fn zerop(
     match interp.arena.get(v).payload {
         Payload::Int(i) => bool_node(interp, i == 0),
         Payload::Float(f) => bool_node(interp, f == 0.0),
-        _ => Err(CuliError::Type { builtin: "zerop", expected: "a number" }),
+        _ => Err(CuliError::Type {
+            builtin: "zerop",
+            expected: "a number",
+        }),
     }
 }
 

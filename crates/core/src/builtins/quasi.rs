@@ -52,7 +52,10 @@ fn expand(
     if head_symbol_is(interp, node, b"unquote") {
         let kids = interp.arena.list_children(node);
         if kids.len() != 2 {
-            return Err(CuliError::Type { builtin: "quasiquote", expected: "(unquote expr)" });
+            return Err(CuliError::Type {
+                builtin: "quasiquote",
+                expected: "(unquote expr)",
+            });
         }
         if level == 1 {
             let v = eval(interp, hook, kids[1], env, depth + 1)?;
@@ -132,9 +135,10 @@ pub fn quasiquote(
     expect_exact("quasiquote", args, 1)?;
     match expand(interp, hook, args[0], env, depth, 1)? {
         Expanded::Value(v) => Ok(v),
-        Expanded::Splice(_) => {
-            Err(CuliError::Type { builtin: "quasiquote", expected: "no top-level ,@" })
-        }
+        Expanded::Splice(_) => Err(CuliError::Type {
+            builtin: "quasiquote",
+            expected: "no top-level ,@",
+        }),
     }
 }
 
@@ -147,7 +151,10 @@ pub fn unquote_outside(
     _depth: usize,
 ) -> Result<NodeId> {
     let _ = nil(interp); // keep the signature's side effects uniform
-    Err(CuliError::Type { builtin: "unquote", expected: "use inside a quasiquote template" })
+    Err(CuliError::Type {
+        builtin: "unquote",
+        expected: "use inside a quasiquote template",
+    })
 }
 
 #[cfg(test)]
@@ -170,7 +177,10 @@ mod tests {
         assert_eq!(run("`(1 ,(+ 1 1) 3)"), "(1 2 3)");
         let mut i = Interp::default();
         i.eval_str("(setq x 42)").unwrap();
-        assert_eq!(i.eval_str("`(the answer is ,x)").unwrap(), "(the answer is 42)");
+        assert_eq!(
+            i.eval_str("`(the answer is ,x)").unwrap(),
+            "(the answer is 42)"
+        );
     }
 
     #[test]
@@ -187,18 +197,27 @@ mod tests {
         // The inner backquote protects its commas by one level.
         let mut i = Interp::default();
         i.eval_str("(setq x 9)").unwrap();
-        assert_eq!(i.eval_str("`(a `(b ,(c)))").unwrap(), "(a (quasiquote (b (unquote (c)))))");
+        assert_eq!(
+            i.eval_str("`(a `(b ,(c)))").unwrap(),
+            "(a (quasiquote (b (unquote (c)))))"
+        );
         assert_eq!(i.eval_str("`(out ,x)").unwrap(), "(out 9)");
     }
 
     #[test]
     fn macros_with_quasiquote() {
         let mut i = Interp::default();
-        i.eval_str("(defmacro swap-args (f a b) `(,f ,b ,a))").unwrap();
+        i.eval_str("(defmacro swap-args (f a b) `(,f ,b ,a))")
+            .unwrap();
         assert_eq!(i.eval_str("(swap-args - 2 10)").unwrap(), "8");
-        i.eval_str("(defmacro unless2 (c body) `(if ,c nil ,body))").unwrap();
+        i.eval_str("(defmacro unless2 (c body) `(if ,c nil ,body))")
+            .unwrap();
         assert_eq!(i.eval_str("(unless2 nil 7)").unwrap(), "7");
-        assert_eq!(i.eval_str("(unless2 T (/ 1 0))").unwrap(), "nil", "lazy branch");
+        assert_eq!(
+            i.eval_str("(unless2 T (/ 1 0))").unwrap(),
+            "nil",
+            "lazy branch"
+        );
     }
 
     #[test]

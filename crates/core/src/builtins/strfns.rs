@@ -17,7 +17,10 @@ fn text_of(interp: &Interp, id: NodeId, builtin: &'static str) -> Result<StrId> 
     let n = interp.arena.get(id);
     match (n.ty, n.payload) {
         (NodeType::Str, Payload::Text(s)) => Ok(s),
-        _ => Err(CuliError::Type { builtin, expected: "a string" }),
+        _ => Err(CuliError::Type {
+            builtin,
+            expected: "a string",
+        }),
     }
 }
 
@@ -90,7 +93,9 @@ pub fn string_eq(
     let a = text_of(interp, values[0], "string=")?;
     let b = text_of(interp, values[1], "string=")?;
     let eq = culi_strlib::cstr::streq(interp.strings.get(a), interp.strings.get(b));
-    interp.meter.symbol_cmp_bytes(interp.strings.len_of(a).min(interp.strings.len_of(b)) as u64 + 1);
+    interp
+        .meter
+        .symbol_cmp_bytes(interp.strings.len_of(a).min(interp.strings.len_of(b)) as u64 + 1);
     super::util::bool_node(interp, eq)
 }
 
@@ -136,7 +141,10 @@ pub fn string_to_number(
 fn non_negative(interp: &Interp, id: NodeId, builtin: &'static str) -> Result<usize> {
     match interp.arena.get(id).payload {
         Payload::Int(v) if v >= 0 => Ok(v as usize),
-        _ => Err(CuliError::Type { builtin, expected: "a non-negative integer" }),
+        _ => Err(CuliError::Type {
+            builtin,
+            expected: "a non-negative integer",
+        }),
     }
 }
 

@@ -41,12 +41,39 @@ pub fn eval_args(
     Ok(out)
 }
 
+/// Evaluates every argument in order into a pooled scratch buffer. The
+/// caller must hand the buffer back with [`Interp::put_node_buf`] once the
+/// values are consumed; hot builtins use this to stay allocation-free in
+/// steady state.
+pub fn eval_args_scratch(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<Vec<NodeId>> {
+    let mut out = interp.take_node_buf();
+    for &a in args {
+        match eval(interp, hook, a, env, depth + 1) {
+            Ok(v) => out.push(v),
+            Err(e) => {
+                interp.put_node_buf(out);
+                return Err(e);
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Reads a node as a number or reports a type error for `builtin`.
 pub fn as_num(interp: &Interp, id: NodeId, builtin: &'static str) -> Result<Num> {
     match interp.arena.get(id).payload {
         Payload::Int(v) => Ok(Num::I(v)),
         Payload::Float(v) => Ok(Num::F(v)),
-        _ => Err(CuliError::Type { builtin, expected: "a number" }),
+        _ => Err(CuliError::Type {
+            builtin,
+            expected: "a number",
+        }),
     }
 }
 
@@ -130,17 +157,35 @@ pub fn list_from_values(interp: &mut Interp, values: &[NodeId]) -> Result<NodeId
     Ok(list)
 }
 
+/// Validates that `id` is a list (or nil, treated as the empty list) and
+/// returns its first child without allocating — `None` for an empty list.
+/// Hot builtins pair this with [`crate::arena::NodeArena::iter_list`] to
+/// traverse the sibling chain directly.
+pub fn list_first(interp: &Interp, id: NodeId, builtin: &'static str) -> Result<Option<NodeId>> {
+    let n = interp.arena.get(id);
+    match n.ty {
+        NodeType::List | NodeType::Expression => match n.payload {
+            Payload::List { first, .. } => Ok(first),
+            _ => Ok(None),
+        },
+        NodeType::Nil => Ok(None),
+        _ => Err(CuliError::Type {
+            builtin,
+            expected: "a list",
+        }),
+    }
+}
+
 /// Reads a node as a list (or nil, treated as the empty list), returning
 /// its children.
-pub fn as_list_children(
-    interp: &Interp,
-    id: NodeId,
-    builtin: &'static str,
-) -> Result<Vec<NodeId>> {
+pub fn as_list_children(interp: &Interp, id: NodeId, builtin: &'static str) -> Result<Vec<NodeId>> {
     let n = interp.arena.get(id);
     match n.ty {
         NodeType::List | NodeType::Expression => Ok(interp.arena.list_children(id)),
         NodeType::Nil => Ok(Vec::new()),
-        _ => Err(CuliError::Type { builtin, expected: "a list" }),
+        _ => Err(CuliError::Type {
+            builtin,
+            expected: "a list",
+        }),
     }
 }

@@ -145,6 +145,14 @@ impl Meter {
     pub(crate) fn env_probe(&mut self) {
         self.counters.env_probes += 1;
     }
+    /// Bulk probe charge: the indexed environment (see [`crate::env`])
+    /// computes how many probes the paper's linear scan *would* have
+    /// performed and charges them in one add, keeping counters bit-identical
+    /// to the faithful walk without paying for it.
+    #[inline]
+    pub(crate) fn env_probes_n(&mut self, n: u64) {
+        self.counters.env_probes += n;
+    }
     #[inline]
     pub(crate) fn symbol_cmp_bytes(&mut self, n: u64) {
         self.counters.symbol_cmp_bytes += n;
@@ -191,8 +199,15 @@ mod tests {
 
     #[test]
     fn add_accumulates() {
-        let mut a = Counters { arith_ops: 2, ..Default::default() };
-        let b = Counters { arith_ops: 3, output_bytes: 7, ..Default::default() };
+        let mut a = Counters {
+            arith_ops: 2,
+            ..Default::default()
+        };
+        let b = Counters {
+            arith_ops: 3,
+            output_bytes: 7,
+            ..Default::default()
+        };
         a.add(&b);
         assert_eq!(a.arith_ops, 5);
         assert_eq!(a.output_bytes, 7);
@@ -200,7 +215,12 @@ mod tests {
 
     #[test]
     fn total_sums_everything() {
-        let c = Counters { chars_scanned: 1, eval_steps: 2, output_bytes: 3, ..Default::default() };
+        let c = Counters {
+            chars_scanned: 1,
+            eval_steps: 2,
+            output_bytes: 3,
+            ..Default::default()
+        };
         assert_eq!(c.total(), 6);
     }
 

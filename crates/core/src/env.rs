@@ -11,24 +11,141 @@
 //! shadowing). `set` (the engine of `setq`) mutates the nearest existing
 //! binding — the one sanctioned side effect, which the paper warns must be
 //! used carefully under parallel evaluation.
+//!
+//! # Simulated cost vs. real data structure
+//!
+//! The C original resolves a symbol by `strcmp`ing its way down every
+//! binding list — O(total bindings) per lookup, which is brutal in the
+//! global environment (it holds every builtin plus everything `defun`/
+//! `setq` ever defined). The cost model must keep charging exactly that
+//! faithful walk (`env_probes` + `symbol_cmp_bytes`), but nothing forces us
+//! to *perform* it. This module therefore splits the two concerns:
+//!
+//! * **Real structure.** Environments below a small binding count are
+//!   scanned inline — the list is at most [`INLINE_SCAN_MAX`] long, symbols
+//!   compare as interned-id equality, and each binding caches its name
+//!   length, so the walk is a handful of integer compares. Environments
+//!   that grow past the threshold (in practice: the global environment) are
+//!   *promoted* to an [`EnvIndex`]: a `HashMap<StrId, BindingId>` resolving
+//!   a symbol to its newest binding in O(1).
+//! * **Simulated cost.** For promoted environments the paper-model charges
+//!   are *computed* instead of accumulated: a per-environment histogram of
+//!   binding-name lengths prices a full miss scan in O(distinct lengths),
+//!   and a per-symbol charge cache (invalidated incrementally on `define`)
+//!   prices a hit in O(1) after the first resolution. The numbers are
+//!   bit-identical to what the faithful scan would have charged.
+//!
+//! In debug builds every indexed lookup is cross-checked against
+//! [`EnvArena::lookup_legacy`], the retained reference implementation of
+//! the faithful scan — both the resolved node and the exact meter deltas
+//! must agree.
 
 use crate::cost::Meter;
 use crate::strings::StrTable;
 use crate::types::{BindingId, EnvId, NodeId, StrId};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply–xor–shift hasher for the 4-byte interned-id keys of the symbol
+/// index. SipHash (std's default) costs more than the whole inline scan it
+/// replaces; id keys need no DoS resistance.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        let mut x = self.0 ^ v as u64;
+        x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 32;
+        self.0 = x;
+    }
+}
+
+type IdBuildHasher = BuildHasherDefault<IdHasher>;
+
+/// Binding-count threshold above which an environment is promoted from
+/// inline scanning to a hashed symbol index. Call environments (a few
+/// parameters) stay inline and allocation-free; the global environment
+/// promotes while the builtins are registered.
+const INLINE_SCAN_MAX: u32 = 8;
 
 /// One `(symbol → node)` pair in an environment's linked list.
 #[derive(Debug, Clone, Copy)]
 struct Binding {
     sym: StrId,
+    /// Byte length of the symbol's name, cached at definition time so
+    /// charge computation never re-touches the string table (interned text
+    /// is immutable, so the length cannot go stale).
+    sym_len: u32,
     value: NodeId,
     next: Option<BindingId>,
 }
 
-/// One environment: head of its binding list plus the parent link.
+/// One entry of a promoted environment's symbol index: the newest binding
+/// of a symbol (the one the faithful scan finds first) together with the
+/// precomputed paper-model charge of that scan — the probes and strcmp
+/// bytes the faithful walk pays before (and including) the first match.
 #[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    binding: BindingId,
+    /// Name length of the indexed symbol (needed to update `bytes` when a
+    /// newer binding is prepended in front of the match).
+    sym_len: u32,
+    probes: u64,
+    bytes: u64,
+}
+
+/// The acceleration structure of a promoted (binding-heavy) environment.
+#[derive(Debug, Clone)]
+struct EnvIndex {
+    /// Symbol → newest binding plus its precomputed hit charge. One cheap
+    /// hash probe resolves both the value and the simulated cost.
+    map: HashMap<StrId, IndexEntry, IdBuildHasher>,
+    /// Histogram of binding-name lengths over *all* local bindings,
+    /// shadowed ones included (a miss scans past them too): sorted
+    /// `(length, count)` pairs.
+    len_histogram: Vec<(u32, u32)>,
+}
+
+impl EnvIndex {
+    fn add_len(&mut self, len: u32) {
+        match self.len_histogram.binary_search_by_key(&len, |&(l, _)| l) {
+            Ok(i) => self.len_histogram[i].1 += 1,
+            Err(i) => self.len_histogram.insert(i, (len, 1)),
+        }
+    }
+
+    /// Σ over all bindings of `min(sym_len, binding_len)` — the variable
+    /// part of a full miss scan's strcmp bytes.
+    fn min_len_sum(&self, sym_len: u64) -> u64 {
+        self.len_histogram
+            .iter()
+            .map(|&(len, count)| sym_len.min(len as u64) * count as u64)
+            .sum()
+    }
+}
+
+/// One environment: head of its binding list, the parent link, and (for
+/// promoted environments) the symbol index.
+#[derive(Debug, Clone)]
 struct Env {
     parent: Option<EnvId>,
     first: Option<BindingId>,
+    /// Number of local bindings, shadowed ones included.
+    len: u32,
+    index: Option<Box<EnvIndex>>,
 }
 
 /// Arena of environments and bindings.
@@ -48,7 +165,12 @@ impl EnvArena {
     /// global environment).
     pub fn push(&mut self, parent: Option<EnvId>) -> EnvId {
         let id = EnvId::new(self.envs.len());
-        self.envs.push(Env { parent, first: None });
+        self.envs.push(Env {
+            parent,
+            first: None,
+            len: 0,
+            index: None,
+        });
         id
     }
 
@@ -67,20 +189,205 @@ impl EnvArena {
         self.bindings.len()
     }
 
+    /// `true` if `env` has at least one local binding. GC root scanning
+    /// uses this to skip the (numerous) dead call/worker environments that
+    /// never bound anything.
+    pub fn has_local_bindings(&self, env: EnvId) -> bool {
+        self.envs[env.index()].first.is_some()
+    }
+
+    /// `true` once `env` carries a hashed symbol index (diagnostics,
+    /// benches).
+    pub fn is_promoted(&self, env: EnvId) -> bool {
+        self.envs[env.index()].index.is_some()
+    }
+
     /// Prepends a new binding `sym → value` to `env`'s local list. New
     /// bindings shadow older ones with the same symbol (both locally and up
     /// the chain) because lookup takes the first match.
-    pub fn define(&mut self, env: EnvId, sym: StrId, value: NodeId) {
+    pub fn define(&mut self, env: EnvId, sym: StrId, value: NodeId, strings: &StrTable) {
+        let sym_len = strings.len_of(sym) as u32;
         let b = BindingId::new(self.bindings.len());
         let head = self.envs[env.index()].first;
-        self.bindings.push(Binding { sym, value, next: head });
-        self.envs[env.index()].first = Some(b);
+        self.bindings.push(Binding {
+            sym,
+            sym_len,
+            value,
+            next: head,
+        });
+        let e = &mut self.envs[env.index()];
+        e.first = Some(b);
+        e.len += 1;
+        match &mut e.index {
+            Some(index) => {
+                index.add_len(sym_len);
+                // The new head binding is examined first by every future
+                // scan: shift every entry's charge by one probe and one
+                // comparison against the new name, then (re)index the
+                // defined symbol itself, which now matches at the head.
+                for (entry_sym, entry) in index.map.iter_mut() {
+                    if *entry_sym != sym {
+                        entry.probes += 1;
+                        entry.bytes += (entry.sym_len as u64).min(sym_len as u64) + 1;
+                    }
+                }
+                index.map.insert(
+                    sym,
+                    IndexEntry {
+                        binding: b,
+                        sym_len,
+                        probes: 1,
+                        bytes: sym_len as u64 + 1,
+                    },
+                );
+            }
+            None => {
+                if e.len > INLINE_SCAN_MAX {
+                    self.promote(env);
+                }
+            }
+        }
+    }
+
+    /// Builds the symbol index for an environment that outgrew inline
+    /// scanning, pricing every indexed symbol's faithful hit scan up front.
+    fn promote(&mut self, env: EnvId) {
+        let mut index = EnvIndex {
+            map: HashMap::default(),
+            len_histogram: Vec::new(),
+        };
+        // Lengths of the bindings already walked (head side), in order: the
+        // prefix a faithful scan examines before reaching each binding.
+        let mut prefix_lens: Vec<u32> = Vec::new();
+        let mut cur = self.envs[env.index()].first;
+        while let Some(b) = cur {
+            let binding = &self.bindings[b.index()];
+            // Walking head-first, the first occurrence of a symbol is its
+            // newest (visible) binding — only that one is indexed.
+            if let std::collections::hash_map::Entry::Vacant(slot) = index.map.entry(binding.sym) {
+                let sym_len = binding.sym_len as u64;
+                let prefix_bytes: u64 =
+                    prefix_lens.iter().map(|&l| sym_len.min(l as u64) + 1).sum();
+                slot.insert(IndexEntry {
+                    binding: b,
+                    sym_len: binding.sym_len,
+                    probes: prefix_lens.len() as u64 + 1,
+                    bytes: prefix_bytes + sym_len + 1,
+                });
+            }
+            index.add_len(binding.sym_len);
+            prefix_lens.push(binding.sym_len);
+            cur = binding.next;
+        }
+        self.envs[env.index()].index = Some(Box::new(index));
+    }
+
+    /// Resolves `sym` from `env` outwards, returning the binding (if any)
+    /// plus the exact probe/byte charges the paper's faithful scan would
+    /// have paid for this resolution.
+    fn find(&self, env: EnvId, sym: StrId, sym_len: u64) -> (Option<BindingId>, u64, u64) {
+        let mut probes = 0u64;
+        let mut bytes = 0u64;
+        let mut cur_env = Some(env);
+        while let Some(e) = cur_env {
+            let env_ref = &self.envs[e.index()];
+            match &env_ref.index {
+                Some(index) => {
+                    if let Some(entry) = index.map.get(&sym) {
+                        return (
+                            Some(entry.binding),
+                            probes + entry.probes,
+                            bytes + entry.bytes,
+                        );
+                    }
+                    // Miss: the faithful scan examines every local binding.
+                    probes += env_ref.len as u64;
+                    bytes += env_ref.len as u64 + index.min_len_sum(sym_len);
+                }
+                None => {
+                    // Inline environment: the list is short; scan it with
+                    // interned-id equality, accumulating charges as we go.
+                    let mut cur = env_ref.first;
+                    while let Some(b) = cur {
+                        let binding = &self.bindings[b.index()];
+                        probes += 1;
+                        bytes += sym_len.min(binding.sym_len as u64) + 1;
+                        if binding.sym == sym {
+                            return (Some(b), probes, bytes);
+                        }
+                        cur = binding.next;
+                    }
+                }
+            }
+            cur_env = env_ref.parent;
+        }
+        (None, probes, bytes)
     }
 
     /// Looks `sym` up, walking `env` then its ancestors; first match wins.
     /// Charges one probe plus a `strcmp`-equivalent byte count per binding
-    /// examined, mirroring the C implementation's per-binding `strcmp`.
+    /// the *faithful* scan would have examined, mirroring the C
+    /// implementation's per-binding `strcmp` (see the module docs for how
+    /// the charges are computed without performing that scan).
     pub fn lookup(
+        &self,
+        env: EnvId,
+        sym: StrId,
+        strings: &StrTable,
+        meter: &mut Meter,
+    ) -> Option<NodeId> {
+        let sym_len = strings.len_of(sym) as u64;
+        let (found, probes, bytes) = self.find(env, sym, sym_len);
+        meter.env_probes_n(probes);
+        meter.symbol_cmp_bytes(bytes);
+        let result = found.map(|b| self.bindings[b.index()].value);
+        #[cfg(debug_assertions)]
+        self.crosscheck_against_legacy(env, sym, strings, result, probes, bytes);
+        result
+    }
+
+    /// `setq` semantics: overwrites the nearest existing binding of `sym`
+    /// walking outwards from `env`. Returns `true` when a binding was
+    /// found and updated; the caller falls back to a global `define`
+    /// otherwise. Charges exactly like [`EnvArena::lookup`].
+    pub fn set_nearest(
+        &mut self,
+        env: EnvId,
+        sym: StrId,
+        value: NodeId,
+        strings: &StrTable,
+        meter: &mut Meter,
+    ) -> bool {
+        let sym_len = strings.len_of(sym) as u64;
+        let (found, probes, bytes) = self.find(env, sym, sym_len);
+        meter.env_probes_n(probes);
+        meter.symbol_cmp_bytes(bytes);
+        #[cfg(debug_assertions)]
+        self.crosscheck_against_legacy(
+            env,
+            sym,
+            strings,
+            found.map(|b| self.bindings[b.index()].value),
+            probes,
+            bytes,
+        );
+        match found {
+            Some(b) => {
+                // Value mutation only: scan order, name lengths and the
+                // symbol index are all unaffected.
+                self.bindings[b.index()].value = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reference implementation: the seed's faithful linear scan, charging
+    /// the meter per binding examined exactly as the C original's `strcmp`
+    /// walk would. Kept for the debug-mode cross-check and the equivalence
+    /// property tests; the optimized [`EnvArena::lookup`] must return the
+    /// same node *and* the same meter deltas.
+    pub fn lookup_legacy(
         &self,
         env: EnvId,
         sym: StrId,
@@ -109,42 +416,100 @@ impl EnvArena {
         None
     }
 
-    /// `setq` semantics: overwrites the nearest existing binding of `sym`
-    /// walking outwards from `env`. Returns `true` when a binding was
-    /// found and updated; the caller falls back to a global `define`
-    /// otherwise.
-    pub fn set_nearest(
-        &mut self,
+    #[cfg(debug_assertions)]
+    fn crosscheck_against_legacy(
+        &self,
         env: EnvId,
         sym: StrId,
-        value: NodeId,
         strings: &StrTable,
-        meter: &mut Meter,
-    ) -> bool {
-        let sym_len = strings.len_of(sym) as u64;
-        let mut cur_env = Some(env);
-        while let Some(e) = cur_env {
-            let mut cur = self.envs[e.index()].first;
-            while let Some(b) = cur {
-                meter.env_probe();
-                let binding = self.bindings[b.index()];
-                let cmp_len = sym_len.min(strings.len_of(binding.sym) as u64) + 1;
-                meter.symbol_cmp_bytes(cmp_len);
-                if binding.sym == sym {
-                    self.bindings[b.index()].value = value;
-                    return true;
-                }
-                cur = binding.next;
-            }
-            cur_env = self.envs[e.index()].parent;
-        }
-        false
+        result: Option<NodeId>,
+        probes: u64,
+        bytes: u64,
+    ) {
+        let mut legacy_meter = Meter::new();
+        let legacy = self.lookup_legacy(env, sym, strings, &mut legacy_meter);
+        debug_assert_eq!(
+            legacy, result,
+            "indexed lookup result diverged from the legacy scan"
+        );
+        let counters = legacy_meter.snapshot();
+        debug_assert_eq!(
+            (counters.env_probes, counters.symbol_cmp_bytes),
+            (probes, bytes),
+            "indexed lookup charges diverged from the legacy scan"
+        );
     }
 
     /// Iterates the local bindings of one environment (no parents), newest
     /// first. Used by GC root scanning and diagnostics.
     pub fn local_bindings(&self, env: EnvId) -> impl Iterator<Item = (StrId, NodeId)> + '_ {
-        LocalIter { arena: self, cur: self.envs[env.index()].first }
+        LocalIter {
+            arena: self,
+            cur: self.envs[env.index()].first,
+        }
+    }
+
+    /// Drops every environment past the first `keep_envs` (the persistent
+    /// set: the global environment and anything created before evaluation
+    /// started) and compacts the binding arena down to the bindings those
+    /// environments still reference.
+    ///
+    /// CuLi is dynamically scoped: no node ever captures an environment, so
+    /// environments created *during* evaluation (form applications, `let`
+    /// blocks, `|||` workers) are garbage the moment evaluation returns.
+    /// [`crate::gc::collect`] calls this between evaluations — without it,
+    /// every form application leaks an environment whose bindings pin
+    /// otherwise-dead nodes forever, and root scanning re-walks an
+    /// ever-growing environment list each collection.
+    ///
+    /// Callers must not retain [`EnvId`]s or [`BindingId`]s of transient
+    /// environments across this call.
+    pub(crate) fn reclaim_transient(&mut self, keep_envs: usize) {
+        if self.envs.len() <= keep_envs
+            && self.bindings.len() as u64 == self.persistent_binding_estimate(keep_envs)
+        {
+            return;
+        }
+        let mut new_bindings: Vec<Binding> = Vec::new();
+        for e in 0..keep_envs.min(self.envs.len()) {
+            // Rebuild this environment's chain, preserving order: the
+            // binding at head-position p lands at `base + p`.
+            let base = new_bindings.len();
+            let mut cur = self.envs[e].first;
+            let mut new_first: Option<BindingId> = None;
+            let mut prev: Option<usize> = None;
+            while let Some(b) = cur {
+                let mut binding = self.bindings[b.index()];
+                cur = binding.next;
+                binding.next = None;
+                let idx = new_bindings.len();
+                new_bindings.push(binding);
+                match prev {
+                    None => new_first = Some(BindingId::new(idx)),
+                    Some(p) => new_bindings[p].next = Some(BindingId::new(idx)),
+                }
+                prev = Some(idx);
+            }
+            self.envs[e].first = new_first;
+            // Remap the symbol index positionally: an entry's `probes` is
+            // exactly its binding's 1-based position from the head, so the
+            // relocated id is `base + probes - 1` (charges are positional
+            // and unaffected by the move).
+            if let Some(index) = &mut self.envs[e].index {
+                for entry in index.map.values_mut() {
+                    entry.binding = BindingId::new(base + entry.probes as usize - 1);
+                }
+            }
+        }
+        self.envs.truncate(keep_envs);
+        self.bindings = new_bindings;
+    }
+
+    fn persistent_binding_estimate(&self, keep_envs: usize) -> u64 {
+        self.envs[..keep_envs.min(self.envs.len())]
+            .iter()
+            .map(|e| e.len as u64)
+            .sum()
     }
 }
 
@@ -178,7 +543,7 @@ mod tests {
         let g = envs.push(None);
         let x = strs.intern(b"x");
         let n = NodeId::new(7);
-        envs.define(g, x, n);
+        envs.define(g, x, n, &strs);
         assert_eq!(envs.lookup(g, x, &strs, &mut m), Some(n));
     }
 
@@ -197,7 +562,7 @@ mod tests {
         let child = envs.push(Some(g));
         let x = strs.intern(b"x");
         let n = NodeId::new(1);
-        envs.define(g, x, n);
+        envs.define(g, x, n, &strs);
         assert_eq!(envs.lookup(child, x, &strs, &mut m), Some(n));
     }
 
@@ -207,10 +572,14 @@ mod tests {
         let g = envs.push(None);
         let child = envs.push(Some(g));
         let x = strs.intern(b"x");
-        envs.define(g, x, NodeId::new(1));
-        envs.define(child, x, NodeId::new(2));
+        envs.define(g, x, NodeId::new(1), &strs);
+        envs.define(child, x, NodeId::new(2), &strs);
         assert_eq!(envs.lookup(child, x, &strs, &mut m), Some(NodeId::new(2)));
-        assert_eq!(envs.lookup(g, x, &strs, &mut m), Some(NodeId::new(1)), "parent unaffected");
+        assert_eq!(
+            envs.lookup(g, x, &strs, &mut m),
+            Some(NodeId::new(1)),
+            "parent unaffected"
+        );
     }
 
     #[test]
@@ -218,8 +587,8 @@ mod tests {
         let (mut envs, mut strs, mut m) = fixture();
         let g = envs.push(None);
         let x = strs.intern(b"x");
-        envs.define(g, x, NodeId::new(1));
-        envs.define(g, x, NodeId::new(2));
+        envs.define(g, x, NodeId::new(1), &strs);
+        envs.define(g, x, NodeId::new(2), &strs);
         assert_eq!(envs.lookup(g, x, &strs, &mut m), Some(NodeId::new(2)));
     }
 
@@ -229,8 +598,8 @@ mod tests {
         let g = envs.push(None);
         let child = envs.push(Some(g));
         let x = strs.intern(b"x");
-        envs.define(g, x, NodeId::new(1));
-        envs.define(child, x, NodeId::new(2));
+        envs.define(g, x, NodeId::new(1), &strs);
+        envs.define(child, x, NodeId::new(2), &strs);
         assert!(envs.set_nearest(child, x, NodeId::new(9), &strs, &mut m));
         assert_eq!(envs.lookup(child, x, &strs, &mut m), Some(NodeId::new(9)));
         assert_eq!(envs.lookup(g, x, &strs, &mut m), Some(NodeId::new(1)));
@@ -242,9 +611,13 @@ mod tests {
         let g = envs.push(None);
         let child = envs.push(Some(g));
         let x = strs.intern(b"x");
-        envs.define(g, x, NodeId::new(1));
+        envs.define(g, x, NodeId::new(1), &strs);
         assert!(envs.set_nearest(child, x, NodeId::new(5), &strs, &mut m));
-        assert_eq!(envs.lookup(g, x, &strs, &mut m), Some(NodeId::new(5)), "global mutated");
+        assert_eq!(
+            envs.lookup(g, x, &strs, &mut m),
+            Some(NodeId::new(5)),
+            "global mutated"
+        );
     }
 
     #[test]
@@ -264,7 +637,7 @@ mod tests {
         let w1 = envs.push(Some(g));
         let w2 = envs.push(Some(g));
         let x = strs.intern(b"x");
-        envs.define(w1, x, NodeId::new(11));
+        envs.define(w1, x, NodeId::new(11), &strs);
         assert_eq!(envs.lookup(w2, x, &strs, &mut m), None);
     }
 
@@ -274,8 +647,8 @@ mod tests {
         let g = envs.push(None);
         let a = strs.intern(b"alpha");
         let b = strs.intern(b"beta");
-        envs.define(g, a, NodeId::new(1));
-        envs.define(g, b, NodeId::new(2));
+        envs.define(g, a, NodeId::new(1), &strs);
+        envs.define(g, b, NodeId::new(2), &strs);
         // Looking up `alpha` probes `beta` (head) first, then `alpha`.
         let before = m.snapshot();
         envs.lookup(g, a, &strs, &mut m).unwrap();
@@ -291,9 +664,87 @@ mod tests {
         let g = envs.push(None);
         let x = strs.intern(b"x");
         let y = strs.intern(b"y");
-        envs.define(g, x, NodeId::new(1));
-        envs.define(g, y, NodeId::new(2));
+        envs.define(g, x, NodeId::new(1), &strs);
+        envs.define(g, y, NodeId::new(2), &strs);
         let names: Vec<StrId> = envs.local_bindings(g).map(|(s, _)| s).collect();
         assert_eq!(names, vec![y, x]);
+    }
+
+    /// Fills one environment past the promotion threshold with numbered
+    /// symbols; returns the ids in definition order.
+    fn populate(envs: &mut EnvArena, strs: &mut StrTable, env: EnvId, n: usize) -> Vec<StrId> {
+        (0..n)
+            .map(|i| {
+                let sym = strs.intern(format!("sym-{i}").as_bytes());
+                envs.define(env, sym, NodeId::new(i), strs);
+                sym
+            })
+            .collect()
+    }
+
+    #[test]
+    fn promotion_preserves_results_and_charges() {
+        // A large environment promotes to the hashed index; every lookup
+        // (hit at every scan depth, plus a miss) must agree with the legacy
+        // scan in both value and charges. Debug builds assert this inside
+        // lookup; assert it explicitly so release test runs cover it too.
+        let (mut envs, mut strs, _m) = fixture();
+        let g = envs.push(None);
+        let syms = populate(&mut envs, &mut strs, g, 40);
+        assert!(envs.is_promoted(g));
+        let missing = strs.intern(b"missing-symbol");
+        for &sym in syms.iter().chain([&missing]) {
+            let mut fast = Meter::new();
+            let mut slow = Meter::new();
+            let a = envs.lookup(g, sym, &strs, &mut fast);
+            let b = envs.lookup_legacy(g, sym, &strs, &mut slow);
+            assert_eq!(a, b);
+            assert_eq!(fast.snapshot(), slow.snapshot(), "charges for {sym:?}");
+        }
+    }
+
+    #[test]
+    fn charges_track_defines_after_caching() {
+        // Cache a hit charge, then prepend more bindings (including a
+        // shadowing one) and make sure the memoized charges update.
+        let (mut envs, mut strs, _m) = fixture();
+        let g = envs.push(None);
+        let syms = populate(&mut envs, &mut strs, g, 20);
+        let probe = syms[3];
+        let mut before = Meter::new();
+        envs.lookup(g, probe, &strs, &mut before); // populates the cache
+        let longer = strs.intern(b"a-much-longer-symbol-name");
+        envs.define(g, longer, NodeId::new(99), &strs);
+        envs.define(g, syms[7], NodeId::new(98), &strs); // shadow another
+        for &sym in &[probe, syms[7], longer] {
+            let mut fast = Meter::new();
+            let mut slow = Meter::new();
+            assert_eq!(
+                envs.lookup(g, sym, &strs, &mut fast),
+                envs.lookup_legacy(g, sym, &strs, &mut slow)
+            );
+            assert_eq!(fast.snapshot(), slow.snapshot(), "charges for {sym:?}");
+        }
+    }
+
+    #[test]
+    fn deep_chain_misses_price_every_environment() {
+        // A lookup that misses everywhere charges the full scan of every
+        // environment on the chain, exactly like the legacy walk.
+        let (mut envs, mut strs, _m) = fixture();
+        let g = envs.push(None);
+        populate(&mut envs, &mut strs, g, 30);
+        let mut env = g;
+        for i in 0..6 {
+            env = envs.push(Some(env));
+            let sym = strs.intern(format!("local-{i}").as_bytes());
+            envs.define(env, sym, NodeId::new(i), &strs);
+        }
+        let missing = strs.intern(b"nope");
+        let mut fast = Meter::new();
+        let mut slow = Meter::new();
+        assert_eq!(envs.lookup(env, missing, &strs, &mut fast), None);
+        assert_eq!(envs.lookup_legacy(env, missing, &strs, &mut slow), None);
+        assert_eq!(fast.snapshot(), slow.snapshot());
     }
 }

@@ -111,7 +111,11 @@ impl fmt::Display for CuliError {
             Self::Type { builtin, expected } => {
                 write!(f, "{builtin}: expected {expected}")
             }
-            Self::Arity { builtin, expected, got } => {
+            Self::Arity {
+                builtin,
+                expected,
+                got,
+            } => {
                 write!(f, "{builtin}: expected {expected} argument(s), got {got}")
             }
             Self::DivByZero => write!(f, "division by zero"),
@@ -119,10 +123,20 @@ impl fmt::Display for CuliError {
             Self::OutputFull { capacity } => {
                 write!(f, "output buffer exhausted (capacity {capacity})")
             }
-            Self::TooManyWorkers { requested, available } => {
-                write!(f, "||| requested {requested} workers, device has {available}")
+            Self::TooManyWorkers {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "||| requested {requested} workers, device has {available}"
+                )
             }
-            Self::ParallelArgShort { arg_index, len, requested } => {
+            Self::ParallelArgShort {
+                arg_index,
+                len,
+                requested,
+            } => {
                 write!(
                     f,
                     "||| argument list {arg_index} has {len} element(s) but {requested} workers were requested"
@@ -156,17 +170,27 @@ mod tests {
             (CuliError::ArenaFull { capacity: 128 }, "128"),
             (CuliError::RecursionLimit { limit: 64 }, "64"),
             (
-                CuliError::Type { builtin: "car", expected: "a list" },
+                CuliError::Type {
+                    builtin: "car",
+                    expected: "a list",
+                },
                 "car",
             ),
             (
-                CuliError::Arity { builtin: "cons", expected: "exactly 2", got: 3 },
+                CuliError::Arity {
+                    builtin: "cons",
+                    expected: "exactly 2",
+                    got: 3,
+                },
                 "got 3",
             ),
             (CuliError::DivByZero, "zero"),
             (CuliError::OutputFull { capacity: 16 }, "16"),
             (
-                CuliError::TooManyWorkers { requested: 99, available: 32 },
+                CuliError::TooManyWorkers {
+                    requested: 99,
+                    available: 32,
+                },
                 "99",
             ),
         ];

@@ -18,6 +18,16 @@
 //!   dynamically scoped, which is what lets the paper say "functions can
 //!   behave differently to the same parameters in different environments".
 //! * Anything else is a primitive and evaluates to itself.
+//!
+//! # Hot-path discipline
+//!
+//! The recursive walk is heap-allocation-free in steady state: list
+//! children are gathered by following the sibling chain into pooled
+//! scratch buffers ([`Interp::take_node_buf`]), form application reuses
+//! pooled buffers for argument values and parameter symbols, and symbol
+//! resolution goes through the indexed environment (see [`crate::env`]).
+//! Only arena nodes — the paper's one real allocation — are created per
+//! step, and their allocator is O(1) (see [`crate::arena`]).
 
 use crate::error::{CuliError, Result};
 use crate::interp::Interp;
@@ -85,7 +95,9 @@ pub fn eval(
     depth: usize,
 ) -> Result<NodeId> {
     if depth > interp.config.max_depth {
-        return Err(CuliError::RecursionLimit { limit: interp.config.max_depth });
+        return Err(CuliError::RecursionLimit {
+            limit: interp.config.max_depth,
+        });
     }
     interp.meter.eval_step();
     let n = *interp.arena.read(node, &mut interp.meter);
@@ -95,44 +107,56 @@ pub fn eval(
                 Payload::Text(s) => s,
                 _ => return Err(CuliError::Internal("symbol without text")),
             };
-            match interp.envs.lookup(env, sid, &interp.strings, &mut interp.meter) {
+            match interp
+                .envs
+                .lookup(env, sid, &interp.strings, &mut interp.meter)
+            {
                 Some(bound) => Ok(bound),
                 None => Ok(node), // unbound symbols evaluate to themselves
             }
         }
         NodeType::List | NodeType::Expression => {
-            let kids = interp.arena.list_children(node);
-            let Some(&head) = kids.first() else {
-                return Ok(node); // () evaluates to itself (nil-valued)
+            let head = match n.payload {
+                Payload::List {
+                    first: Some(first), ..
+                } => first,
+                Payload::List { first: None, .. } => {
+                    return Ok(node); // () evaluates to itself (nil-valued)
+                }
+                _ => return Err(CuliError::Internal("list without list payload")),
             };
-            let head_val = eval(interp, hook, head, env, depth + 1)?;
-            let head_node = *interp.arena.read(head_val, &mut interp.meter);
-            match head_node.ty {
-                NodeType::Function => {
-                    let builtin = match head_node.payload {
-                        Payload::Builtin(b) => b,
-                        _ => return Err(CuliError::Internal("function without builtin id")),
-                    };
-                    interp.meter.builtin_call();
-                    let f = interp.builtins.func(builtin);
-                    f(interp, hook, &kids[1..], env, depth)
-                }
-                NodeType::Form => apply_form(interp, hook, head_val, &kids[1..], env, depth),
-                NodeType::Macro => apply_macro(interp, hook, head_val, &kids[1..], env, depth),
-                _ => {
-                    // Not an expression or form: evaluate all elements and
-                    // return the resulting list.
-                    let result = interp.alloc(Node::empty_list())?;
-                    let first = interp.copy_for_list(head_val)?;
-                    interp.arena.list_append(result, first);
-                    for &kid in &kids[1..] {
-                        let v = eval(interp, hook, kid, env, depth + 1)?;
-                        let v = interp.copy_for_list(v)?;
-                        interp.arena.list_append(result, v);
-                    }
-                    Ok(result)
-                }
+            // Collect the argument ids by walking the sibling chain into a
+            // pooled buffer: no per-eval Vec, and builtins still see a
+            // contiguous `&[NodeId]`.
+            let mut args = interp.take_node_buf();
+            let mut cur = interp.arena.get(head).next;
+            while let Some(id) = cur {
+                args.push(id);
+                cur = interp.arena.get(id).next;
             }
+            let head_val = match eval_head(interp, hook, head, env, depth) {
+                Ok(v) => v,
+                Err(e) => {
+                    interp.put_node_buf(args);
+                    return Err(e);
+                }
+            };
+            let head_node = *interp.arena.read(head_val, &mut interp.meter);
+            let result = match head_node.ty {
+                NodeType::Function => match head_node.payload {
+                    Payload::Builtin(b) => {
+                        interp.meter.builtin_call();
+                        let f = interp.builtins.func(b);
+                        f(interp, hook, &args, env, depth)
+                    }
+                    _ => Err(CuliError::Internal("function without builtin id")),
+                },
+                NodeType::Form => apply_form(interp, hook, head_val, &args, env, depth),
+                NodeType::Macro => apply_macro(interp, hook, head_val, &args, env, depth),
+                _ => eval_plain_list(interp, hook, head_val, &args, env, depth),
+            };
+            interp.put_node_buf(args);
+            result
         }
         // Primitives (and already-built functions/forms) are returned
         // unchanged.
@@ -140,8 +164,68 @@ pub fn eval(
     }
 }
 
+/// Evaluates the head position of a list. Symbol heads — the common case:
+/// every `(f …)` call — resolve inline instead of re-entering [`eval`],
+/// with metering identical to the recursive path (one eval step, one node
+/// read, the lookup's charges, and the same recursion-limit check).
+#[inline]
+fn eval_head(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    head: NodeId,
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    if interp.arena.get(head).ty == NodeType::Symbol {
+        if depth + 1 > interp.config.max_depth {
+            return Err(CuliError::RecursionLimit {
+                limit: interp.config.max_depth,
+            });
+        }
+        interp.meter.eval_step();
+        let n = *interp.arena.read(head, &mut interp.meter);
+        let sid = match n.payload {
+            Payload::Text(s) => s,
+            _ => return Err(CuliError::Internal("symbol without text")),
+        };
+        return Ok(
+            match interp
+                .envs
+                .lookup(env, sid, &interp.strings, &mut interp.meter)
+            {
+                Some(bound) => bound,
+                None => head, // unbound symbols evaluate to themselves
+            },
+        );
+    }
+    eval(interp, hook, head, env, depth + 1)
+}
+
+/// "Not an expression or form": evaluate all elements and return the
+/// resulting list. `head_val` is the already-evaluated first element.
+fn eval_plain_list(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    head_val: NodeId,
+    rest: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<NodeId> {
+    let result = interp.alloc(Node::empty_list())?;
+    let first = interp.copy_for_list(head_val)?;
+    interp.arena.list_append(result, first);
+    for &kid in rest {
+        let v = eval(interp, hook, kid, env, depth + 1)?;
+        let v = interp.copy_for_list(v)?;
+        interp.arena.list_append(result, v);
+    }
+    Ok(result)
+}
+
 /// Applies a user-defined form: evaluate arguments, bind parameters in a
 /// fresh environment chained to the caller's, evaluate the stored body.
+/// Argument values and parameter symbols live in pooled scratch buffers,
+/// so steady-state application is heap-allocation-free.
 pub fn apply_form(
     interp: &mut Interp,
     hook: &mut dyn ParallelHook,
@@ -154,25 +238,40 @@ pub fn apply_form(
         Payload::Form { params, body } => (params, body),
         _ => return Err(CuliError::Internal("apply_form on non-form")),
     };
-    let param_syms = param_symbols(interp, params)?;
+    let mut param_syms = interp.take_sym_buf();
+    if let Err(e) = param_symbols_into(interp, params, &mut param_syms) {
+        interp.put_sym_buf(param_syms);
+        return Err(e);
+    }
     if param_syms.len() != args.len() {
+        let expected = arity_name(param_syms.len());
+        interp.put_sym_buf(param_syms);
         return Err(CuliError::Arity {
             builtin: "form application",
-            expected: arity_name(param_syms.len()),
+            expected,
             got: args.len(),
         });
     }
     // Evaluate arguments in the caller's environment first …
-    let mut values = Vec::with_capacity(args.len());
+    let mut values = interp.take_node_buf();
     for &a in args {
-        values.push(eval(interp, hook, a, env, depth + 1)?);
+        match eval(interp, hook, a, env, depth + 1) {
+            Ok(v) => values.push(v),
+            Err(e) => {
+                interp.put_sym_buf(param_syms);
+                interp.put_node_buf(values);
+                return Err(e);
+            }
+        }
     }
     // … then bind them in a fresh environment and evaluate the body there.
     interp.meter.form_apply();
     let call_env = interp.envs.push(Some(env));
-    for (sym, value) in param_syms.into_iter().zip(values) {
-        interp.envs.define(call_env, sym, value);
+    for (&sym, &value) in param_syms.iter().zip(values.iter()) {
+        interp.envs.define(call_env, sym, value, &interp.strings);
     }
+    interp.put_sym_buf(param_syms);
+    interp.put_node_buf(values);
     eval(interp, hook, body, call_env, depth + 1)
 }
 
@@ -191,27 +290,38 @@ fn apply_macro(
         Payload::Form { params, body } => (params, body),
         _ => return Err(CuliError::Internal("apply_macro on non-macro")),
     };
-    let param_syms = param_symbols(interp, params)?;
+    let mut param_syms = interp.take_sym_buf();
+    if let Err(e) = param_symbols_into(interp, params, &mut param_syms) {
+        interp.put_sym_buf(param_syms);
+        return Err(e);
+    }
     if param_syms.len() != args.len() {
+        let expected = arity_name(param_syms.len());
+        interp.put_sym_buf(param_syms);
         return Err(CuliError::Arity {
             builtin: "macro application",
-            expected: arity_name(param_syms.len()),
+            expected,
             got: args.len(),
         });
     }
     interp.meter.form_apply();
     let expand_env = interp.envs.push(Some(env));
-    for (sym, &arg) in param_syms.iter().zip(args) {
-        interp.envs.define(expand_env, *sym, arg);
+    for (&sym, &arg) in param_syms.iter().zip(args) {
+        interp.envs.define(expand_env, sym, arg, &interp.strings);
     }
+    interp.put_sym_buf(param_syms);
     let expansion = eval(interp, hook, body, expand_env, depth + 1)?;
     eval(interp, hook, expansion, env, depth + 1)
 }
 
-/// Extracts the parameter symbols of a form's parameter list.
-fn param_symbols(interp: &Interp, params: NodeId) -> Result<Vec<crate::types::StrId>> {
-    let mut out = Vec::new();
-    for kid in interp.arena.list_children(params) {
+/// Collects the parameter symbols of a form's parameter list into a
+/// caller-provided (pooled) buffer, walking the sibling chain directly.
+fn param_symbols_into(
+    interp: &Interp,
+    params: NodeId,
+    out: &mut Vec<crate::types::StrId>,
+) -> Result<()> {
+    for kid in interp.arena.iter_list(params) {
         match interp.arena.get(kid).payload {
             Payload::Text(s) if interp.arena.get(kid).ty == NodeType::Symbol => out.push(s),
             _ => {
@@ -222,7 +332,7 @@ fn param_symbols(interp: &Interp, params: NodeId) -> Result<Vec<crate::types::St
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 fn arity_name(n: usize) -> &'static str {
@@ -294,7 +404,10 @@ mod tests {
 
     #[test]
     fn recursion_limit_enforced() {
-        let mut i = Interp::new(InterpConfig { max_depth: 64, ..Default::default() });
+        let mut i = Interp::new(InterpConfig {
+            max_depth: 64,
+            ..Default::default()
+        });
         i.eval_str("(defun inf (n) (inf (+ n 1)))").unwrap();
         assert!(matches!(
             i.eval_str("(inf 0)").unwrap_err(),
@@ -318,7 +431,8 @@ mod tests {
         // the caller, not the definition site.
         let mut i = Interp::default();
         i.eval_str("(defun get-x () x)").unwrap();
-        i.eval_str("(defun with-x () (progn (let x 99) (get-x)))").unwrap();
+        i.eval_str("(defun with-x () (progn (let x 99) (get-x)))")
+            .unwrap();
         assert_eq!(i.eval_str("(with-x)").unwrap(), "99");
     }
 

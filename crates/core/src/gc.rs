@@ -8,11 +8,18 @@
 //! list. Running it between REPL inputs keeps long interactive sessions
 //! from exhausting the arena — the extension the paper's §III-D "negative
 //! point" paragraph calls for.
+//!
+//! The collector itself is allocation-free in steady state: the mark
+//! bitmap is a word-packed `Vec<u64>` held on [`Interp`] and reused across
+//! collections (the original allocated `vec![false; capacity]` each time),
+//! the root/traversal stack is likewise pooled, environments that never
+//! bound anything are skipped during root scanning, and the sweep is a
+//! single arena pass that rebuilds the free-list in place instead of
+//! collecting victims into a vector first.
 
-use crate::cost::Meter;
 use crate::interp::Interp;
 use crate::node::Payload;
-use crate::types::NodeId;
+use crate::types::{EnvId, NodeId};
 
 /// Result of one collection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,30 +32,58 @@ pub struct GcStats {
     pub freed: usize,
 }
 
-/// Collects garbage: every node not reachable from an environment binding
-/// or from `extra_roots` is freed. Returns sweep statistics.
+/// Collects garbage: transient environments (everything created during
+/// evaluation — form applications, `let` blocks, `|||` workers) are
+/// reclaimed first, then every node not reachable from a surviving
+/// environment binding or from `extra_roots` is freed. Returns sweep
+/// statistics.
 ///
-/// Safety of the sweep relies on the interpreter's structural invariant
-/// that environments only reference nodes (never the other way round), so
-/// reachability from bindings + pinned roots is exactly liveness.
+/// Safety of the sweep relies on two structural invariants: environments
+/// only reference nodes (never the other way round), so reachability from
+/// bindings + pinned roots is exactly liveness; and no node captures an
+/// environment (CuLi is dynamically scoped), so environments beyond the
+/// interpreter's persistent set are dead between evaluations. Accordingly,
+/// `collect` must only run **between** evaluations (as the REPL runtimes
+/// do), and callers must not retain [`crate::types::EnvId`]s of transient
+/// environments across a collection.
 pub fn collect(interp: &mut Interp, extra_roots: &[NodeId]) -> GcStats {
     let live_before = interp.arena.live();
     let cap = interp.arena.capacity();
-    let mut marked = vec![false; cap];
 
-    // Roots: every binding in every environment, ever created. Environments
+    // Environments created during evaluation are unreachable once it
+    // returns (dynamic scoping: nothing captures an environment), so drop
+    // them before rooting — this is what lets form-application temporaries
+    // die, and it keeps the root scan proportional to the persistent set
+    // instead of every environment ever created.
+    interp.envs.reclaim_transient(interp.persistent_envs);
+
+    // Reused word-packed mark bitmap (cleared, not reallocated).
+    let mut marked = std::mem::take(&mut interp.scratch.gc_marks);
+    marked.clear();
+    marked.resize(cap.div_ceil(64), 0);
+
+    // Roots: every binding in every environment ever created. Environments
     // themselves are never collected (they are small and the paper keeps
-    // them persistent for the interpreter's lifetime).
-    let mut stack: Vec<NodeId> = Vec::new();
+    // them persistent for the interpreter's lifetime) — but the many dead
+    // call/worker environments that never bound anything are skipped
+    // outright instead of being re-walked every collection.
+    let mut stack = std::mem::take(&mut interp.scratch.gc_roots);
+    stack.clear();
     for e in 0..interp.envs.env_count() {
-        for (_, value) in interp.envs.local_bindings(crate::types::EnvId::new(e)) {
+        let env = EnvId::new(e);
+        if !interp.envs.has_local_bindings(env) {
+            continue;
+        }
+        for (_, value) in interp.envs.local_bindings(env) {
             stack.push(value);
         }
     }
     stack.extend_from_slice(extra_roots);
 
     while let Some(id) = stack.pop() {
-        if marked[id.index()] {
+        let idx = id.index();
+        let (word, bit) = (idx >> 6, 1u64 << (idx & 63));
+        if marked[word] & bit != 0 {
             continue;
         }
         // A root may have been freed already by an explicit `free` misuse;
@@ -56,13 +91,15 @@ pub fn collect(interp: &mut Interp, extra_roots: &[NodeId]) -> GcStats {
         if !interp.arena.is_live(id) {
             continue;
         }
-        marked[id.index()] = true;
+        marked[word] |= bit;
         let node = *interp.arena.get(id);
         if let Some(next) = node.next {
             stack.push(next);
         }
         match node.payload {
-            Payload::List { first: Some(first), .. } => stack.push(first),
+            Payload::List {
+                first: Some(first), ..
+            } => stack.push(first),
             Payload::Form { params, body } => {
                 stack.push(params);
                 stack.push(body);
@@ -71,13 +108,16 @@ pub fn collect(interp: &mut Interp, extra_roots: &[NodeId]) -> GcStats {
         }
     }
 
-    let mut scratch = Meter::new();
-    let victims: Vec<NodeId> =
-        interp.arena.iter_live().filter(|id| !marked[id.index()]).collect();
-    for id in &victims {
-        interp.arena.free(*id, &mut scratch);
+    // One arena pass: free unmarked slots and rebuild the free-list.
+    let freed = interp.arena.sweep_unmarked(&marked);
+
+    interp.scratch.gc_marks = marked;
+    interp.scratch.gc_roots = stack; // drained by the mark loop
+    GcStats {
+        live_before,
+        live_after: interp.arena.live(),
+        freed,
     }
-    GcStats { live_before, live_after: interp.arena.live(), freed: victims.len() }
 }
 
 #[cfg(test)]
@@ -110,12 +150,18 @@ mod tests {
         let pinned = forms[0];
         collect(&mut i, &[pinned]);
         // The pinned tree is intact and printable.
-        assert_eq!(crate::printer::print_to_string(&mut i, pinned).unwrap(), "(1 2 3)");
+        assert_eq!(
+            crate::printer::print_to_string(&mut i, pinned).unwrap(),
+            "(1 2 3)"
+        );
     }
 
     #[test]
     fn gc_enables_long_sessions_in_small_arenas() {
-        let mut i = Interp::new(InterpConfig { arena_capacity: 512, ..Default::default() });
+        let mut i = Interp::new(InterpConfig {
+            arena_capacity: 512,
+            ..Default::default()
+        });
         for round in 0..200 {
             i.eval_str("(+ 1 2 3 4 5 6 7 8)").unwrap_or_else(|e| {
                 panic!("round {round}: arena should never exhaust with GC: {e}")
@@ -128,7 +174,10 @@ mod tests {
     fn gc_without_gc_small_arena_exhausts() {
         // Control experiment for the test above: without collection the
         // same loop must hit ArenaFull — the paper's stated limitation.
-        let mut i = Interp::new(InterpConfig { arena_capacity: 512, ..Default::default() });
+        let mut i = Interp::new(InterpConfig {
+            arena_capacity: 512,
+            ..Default::default()
+        });
         let mut failed = false;
         for _ in 0..200 {
             if i.eval_str("(+ 1 2 3 4 5 6 7 8)").is_err() {

@@ -61,7 +61,10 @@ pub(crate) mod testing {
         }
 
         fn write_file(&self, path: &[u8], data: &[u8]) -> Result<(), String> {
-            self.files.lock().unwrap().insert(path.to_vec(), data.to_vec());
+            self.files
+                .lock()
+                .unwrap()
+                .insert(path.to_vec(), data.to_vec());
             Ok(())
         }
 
@@ -91,7 +94,11 @@ mod tests {
         let handle = HostIoHandle::new(MemIo::default());
         let other = handle.clone();
         handle.0.write_file(b"x", b"1").unwrap();
-        assert_eq!(other.0.read_file(b"x").unwrap(), b"1", "clones share storage");
+        assert_eq!(
+            other.0.read_file(b"x").unwrap(),
+            b"1",
+            "clones share storage"
+        );
         assert_eq!(format!("{handle:?}"), "HostIoHandle(..)");
     }
 }

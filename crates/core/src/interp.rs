@@ -15,7 +15,7 @@ use crate::node::Node;
 use crate::parser::parse;
 use crate::printer::print_to_string;
 use crate::strings::StrTable;
-use crate::types::{EnvId, NodeId};
+use crate::types::{EnvId, NodeId, StrId};
 
 /// Construction-time limits, the analogue of CuLi's compile-time constants.
 #[derive(Debug, Clone)]
@@ -36,6 +36,20 @@ impl Default for InterpConfig {
             max_depth: 512,
         }
     }
+}
+
+/// Reusable buffers for the evaluator's steady-state hot path and the
+/// collector. Buffers are taken, used, cleared and returned; after the
+/// first few evaluations every `eval` step, builtin call and GC cycle runs
+/// without touching the heap allocator.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    node_bufs: Vec<Vec<NodeId>>,
+    sym_bufs: Vec<Vec<StrId>>,
+    /// Word-packed GC mark bitmap, reused across collections.
+    pub(crate) gc_marks: Vec<u64>,
+    /// GC root/traversal stack, reused across collections.
+    pub(crate) gc_roots: Vec<NodeId>,
 }
 
 /// A complete CuLi interpreter instance.
@@ -59,6 +73,12 @@ pub struct Interp {
     /// Host-side I/O services (the paper's future-work file API, routed
     /// over the command buffer). `None` until a runtime attaches one.
     pub host_io: Option<crate::hostio::HostIoHandle>,
+    /// Reusable hot-path buffers (see [`Scratch`]).
+    pub(crate) scratch: Scratch,
+    /// Environments created before any evaluation (the global environment):
+    /// everything beyond this watermark is transient and reclaimed by
+    /// [`crate::gc::collect`] between evaluations.
+    pub(crate) persistent_envs: usize,
 }
 
 impl Interp {
@@ -74,9 +94,12 @@ impl Interp {
             global: EnvId::new(0), // placeholder, replaced below
             meter: Meter::new(),
             host_io: None,
+            scratch: Scratch::default(),
+            persistent_envs: 0,
             config,
         };
         interp.global = interp.envs.push(None);
+        interp.persistent_envs = interp.envs.env_count();
         let defs = crate::builtins::all_builtins();
         for def in defs {
             let id = interp.builtins.register(def);
@@ -85,9 +108,49 @@ impl Interp {
                 .arena
                 .alloc(Node::function(id), &mut interp.meter)
                 .expect("arena must fit the builtin table");
-            interp.envs.define(interp.global, sym, node);
+            interp
+                .envs
+                .define(interp.global, sym, node, &interp.strings);
         }
         interp
+    }
+
+    /// Takes a cleared [`NodeId`] buffer from the scratch pool (or a fresh
+    /// one while the pool warms up). Return it with
+    /// [`Interp::put_node_buf`] so its capacity is reused; steady-state
+    /// evaluation then performs zero heap allocations for list traversal
+    /// and argument collection.
+    #[inline]
+    pub fn take_node_buf(&mut self) -> Vec<NodeId> {
+        self.scratch.node_bufs.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer taken with [`Interp::take_node_buf`] to the pool.
+    /// Outsized buffers (one huge list evaluated once) are dropped rather
+    /// than pooled, so a single large expression cannot pin its peak
+    /// capacity — multiplied by recursion depth and per-worker clones —
+    /// for the interpreter's lifetime.
+    #[inline]
+    pub fn put_node_buf(&mut self, mut buf: Vec<NodeId>) {
+        const POOL_CAPACITY_LIMIT: usize = 1 << 16;
+        if buf.capacity() <= POOL_CAPACITY_LIMIT {
+            buf.clear();
+            self.scratch.node_bufs.push(buf);
+        }
+    }
+
+    /// Takes a cleared [`StrId`] buffer from the scratch pool (parameter
+    /// symbol collection during form application).
+    #[inline]
+    pub(crate) fn take_sym_buf(&mut self) -> Vec<StrId> {
+        self.scratch.sym_bufs.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer taken with [`Interp::take_sym_buf`] to the pool.
+    #[inline]
+    pub(crate) fn put_sym_buf(&mut self, mut buf: Vec<StrId>) {
+        buf.clear();
+        self.scratch.sym_bufs.push(buf);
     }
 
     /// Allocates a node, charging the meter.
@@ -110,7 +173,11 @@ impl Interp {
     /// fresh result nodes.
     pub fn copy_for_list(&mut self, id: NodeId) -> Result<NodeId> {
         let n = *self.arena.get(id);
-        self.alloc(Node { ty: n.ty, payload: n.payload, next: None })
+        self.alloc(Node {
+            ty: n.ty,
+            payload: n.payload,
+            next: None,
+        })
     }
 
     /// Deep-copies a node tree from another interpreter instance into this
@@ -128,7 +195,10 @@ impl Interp {
             crate::node::Payload::List { first, .. } => {
                 let list = self.alloc(Node::new(
                     n.ty,
-                    crate::node::Payload::List { first: None, last: None },
+                    crate::node::Payload::List {
+                        first: None,
+                        last: None,
+                    },
                 ))?;
                 let mut cur = first;
                 while let Some(child) = cur {
@@ -145,7 +215,11 @@ impl Interp {
             }
             other => other,
         };
-        self.alloc(Node { ty: n.ty, payload, next: None })
+        self.alloc(Node {
+            ty: n.ty,
+            payload,
+            next: None,
+        })
     }
 
     /// Looks `name` up in the global environment without charging lookup
@@ -153,7 +227,8 @@ impl Interp {
     pub fn lookup_global(&mut self, name: &[u8]) -> Option<NodeId> {
         let sym = self.strings.intern(name);
         let mut scratch = Meter::new();
-        self.envs.lookup(self.global, sym, &self.strings, &mut scratch)
+        self.envs
+            .lookup(self.global, sym, &self.strings, &mut scratch)
     }
 
     /// Parses, evaluates and prints one input line against the persistent
@@ -192,7 +267,9 @@ mod tests {
     #[test]
     fn new_interp_registers_builtins_globally() {
         let mut i = Interp::default();
-        for name in ["+", "-", "*", "/", "car", "cdr", "defun", "let", "setq", "|||"] {
+        for name in [
+            "+", "-", "*", "/", "car", "cdr", "defun", "let", "setq", "|||",
+        ] {
             assert!(
                 i.lookup_global(name.as_bytes()).is_some(),
                 "builtin {name} missing from global environment"
@@ -240,6 +317,10 @@ mod tests {
         let mut fork = i.clone();
         assert_eq!(fork.eval_str("x").unwrap(), "7");
         fork.eval_str("(setq x 8)").unwrap();
-        assert_eq!(i.eval_str("x").unwrap(), "7", "fork must not affect original");
+        assert_eq!(
+            i.eval_str("x").unwrap(),
+            "7",
+            "fork must not affect original"
+        );
     }
 }

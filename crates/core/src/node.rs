@@ -104,7 +104,11 @@ pub struct Node {
 impl Node {
     /// A fresh node with no sibling.
     pub fn new(ty: NodeType, payload: Payload) -> Self {
-        Self { ty, payload, next: None }
+        Self {
+            ty,
+            payload,
+            next: None,
+        }
     }
 
     /// The canonical nil node value.
@@ -144,7 +148,13 @@ impl Node {
 
     /// Empty list node.
     pub fn empty_list() -> Self {
-        Self::new(NodeType::List, Payload::List { first: None, last: None })
+        Self::new(
+            NodeType::List,
+            Payload::List {
+                first: None,
+                last: None,
+            },
+        )
     }
 
     /// In Lisp, everything except `nil` (and the empty list, which *is*
@@ -181,7 +191,10 @@ mod tests {
         assert!(!Node::empty_list().is_truthy(), "() is nil");
         let lst = Node::new(
             NodeType::List,
-            Payload::List { first: Some(NodeId::new(0)), last: Some(NodeId::new(0)) },
+            Payload::List {
+                first: Some(NodeId::new(0)),
+                last: Some(NodeId::new(0)),
+            },
         );
         assert!(lst.is_truthy());
     }
@@ -198,6 +211,10 @@ mod tests {
     fn node_is_small() {
         // One arena slot should stay cache-friendly; the paper packs nodes
         // into a contiguous global array.
-        assert!(core::mem::size_of::<Node>() <= 32, "{}", core::mem::size_of::<Node>());
+        assert!(
+            core::mem::size_of::<Node>() <= 32,
+            "{}",
+            core::mem::size_of::<Node>()
+        );
     }
 }

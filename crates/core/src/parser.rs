@@ -24,7 +24,14 @@ use culi_strlib::scan::{next_token, Scan, Token, TokenKind};
 /// which the reference REPL also tolerates in practice.
 pub fn parse(interp: &mut Interp, input: &[u8]) -> Result<Vec<NodeId>> {
     let max_depth = interp.config.max_depth;
-    let mut parser = Parser { interp, input, pos: 0, chars: 0, depth: 0, max_depth };
+    let mut parser = Parser {
+        interp,
+        input,
+        pos: 0,
+        chars: 0,
+        depth: 0,
+        max_depth,
+    };
     let forms = parser.parse_all()?;
     let scanned = parser.chars;
     interp.meter.chars_scanned(scanned);
@@ -93,7 +100,9 @@ impl Parser<'_> {
     fn parse_list(&mut self) -> Result<NodeId> {
         self.depth += 1;
         if self.depth > self.max_depth {
-            return Err(CuliError::RecursionLimit { limit: self.max_depth });
+            return Err(CuliError::RecursionLimit {
+                limit: self.max_depth,
+            });
         }
         let result = self.parse_list_inner();
         self.depth -= 1;
@@ -207,13 +216,19 @@ mod tests {
     #[test]
     fn unbalanced_close_is_an_error() {
         let mut i = interp();
-        assert_eq!(parse(&mut i, b"(+ 1 2))"), Err(CuliError::UnbalancedClose { at: 7 }));
+        assert_eq!(
+            parse(&mut i, b"(+ 1 2))"),
+            Err(CuliError::UnbalancedClose { at: 7 })
+        );
     }
 
     #[test]
     fn unbalanced_open_is_an_error() {
         let mut i = interp();
-        assert!(matches!(parse(&mut i, b"((+ 1 2)"), Err(CuliError::UnbalancedOpen { .. })));
+        assert!(matches!(
+            parse(&mut i, b"((+ 1 2)"),
+            Err(CuliError::UnbalancedOpen { .. })
+        ));
     }
 
     #[test]

@@ -139,7 +139,10 @@ mod tests {
 
     #[test]
     fn output_overflow_is_an_error() {
-        let mut i = Interp::new(InterpConfig { output_capacity: 4, ..Default::default() });
+        let mut i = Interp::new(InterpConfig {
+            output_capacity: 4,
+            ..Default::default()
+        });
         let forms = parse(&mut i, b"(1 2 3 4 5)").unwrap();
         assert_eq!(
             print(&mut i, forms[0]),

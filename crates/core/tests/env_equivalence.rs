@@ -1,0 +1,191 @@
+//! Equivalence of the indexed environment against the paper-faithful scan,
+//! and free-list arena behavior under fragmentation.
+//!
+//! The interpreter's cost model must stay bit-identical to the C
+//! original's linear scans even though the real data structures changed
+//! (hashed symbol index, intrusive free-list). These tests drive both
+//! implementations over randomized environment trees and assert that the
+//! resolved `NodeId` *and* the exact `Meter` deltas agree.
+
+use culi_core::cost::Meter;
+use culi_core::env::EnvArena;
+use culi_core::strings::StrTable;
+use culi_core::types::{EnvId, NodeId, StrId};
+use culi_core::{Interp, InterpConfig};
+use proptest::prelude::*;
+
+/// A randomized environment tree: `shape[i]` picks the parent of env `i+1`
+/// among the already-created envs, `defs` assigns (env, symbol, value)
+/// triples, symbols drawn from a pool with many name-length collisions.
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    parents: Vec<usize>,
+    defs: Vec<(usize, usize, usize)>,
+    queries: Vec<(usize, usize)>,
+}
+
+fn tree_spec() -> impl Strategy<Value = TreeSpec> {
+    (
+        prop::collection::vec(0usize..64, 0..12),
+        prop::collection::vec((0usize..64, 0usize..24, 1usize..1000), 0..80),
+        prop::collection::vec((0usize..64, 0usize..24), 1..40),
+    )
+        .prop_map(|(parents, defs, queries)| TreeSpec {
+            parents,
+            defs,
+            queries,
+        })
+}
+
+/// Builds the symbol pool: short and long names, duplicated lengths.
+fn symbol_pool(strings: &mut StrTable) -> Vec<StrId> {
+    (0..24)
+        .map(|i| {
+            let name = match i % 4 {
+                0 => format!("s{i}"),
+                1 => format!("sym-{i}"),
+                2 => format!("a-rather-long-symbol-name-{i}"),
+                _ => format!("x{}", i / 4),
+            };
+            strings.intern(name.as_bytes())
+        })
+        .collect()
+}
+
+fn build(spec: &TreeSpec) -> (EnvArena, StrTable, Vec<EnvId>, Vec<StrId>) {
+    let mut envs = EnvArena::new();
+    let mut strings = StrTable::new();
+    let pool = symbol_pool(&mut strings);
+    let mut ids = vec![envs.push(None)];
+    for &p in &spec.parents {
+        let parent = ids[p % ids.len()];
+        ids.push(envs.push(Some(parent)));
+    }
+    for &(e, s, v) in &spec.defs {
+        let env = ids[e % ids.len()];
+        let sym = pool[s % pool.len()];
+        envs.define(env, sym, NodeId::new(v), &strings);
+    }
+    (envs, strings, ids, pool)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Indexed lookup returns the same node and charges the same meter
+    /// deltas as the legacy scan, over randomized environment trees.
+    #[test]
+    fn indexed_lookup_equals_legacy_scan(spec in tree_spec()) {
+        let (envs, strings, ids, pool) = build(&spec);
+        for &(e, s) in &spec.queries {
+            let env = ids[e % ids.len()];
+            let sym = pool[s % pool.len()];
+            let mut fast = Meter::new();
+            let mut slow = Meter::new();
+            let a = envs.lookup(env, sym, &strings, &mut fast);
+            let b = envs.lookup_legacy(env, sym, &strings, &mut slow);
+            prop_assert_eq!(a, b, "value diverged for {:?}", sym);
+            prop_assert_eq!(fast.snapshot(), slow.snapshot(), "charges diverged for {:?}", sym);
+        }
+    }
+
+    /// `set_nearest` charges exactly like a lookup of the same symbol and
+    /// updates the same binding the legacy scan would have found.
+    #[test]
+    fn set_nearest_charges_match_lookup(spec in tree_spec()) {
+        let (mut envs, strings, ids, pool) = build(&spec);
+        for &(e, s) in &spec.queries {
+            let env = ids[e % ids.len()];
+            let sym = pool[s % pool.len()];
+            let mut lookup_meter = Meter::new();
+            let expect = envs.lookup_legacy(env, sym, &strings, &mut lookup_meter);
+            let mut set_meter = Meter::new();
+            let updated = envs.set_nearest(env, sym, NodeId::new(424_242), &strings, &mut set_meter);
+            prop_assert_eq!(updated, expect.is_some());
+            prop_assert_eq!(set_meter.snapshot(), lookup_meter.snapshot());
+            if updated {
+                let mut m = Meter::new();
+                prop_assert_eq!(
+                    envs.lookup_legacy(env, sym, &strings, &mut m),
+                    Some(NodeId::new(424_242))
+                );
+            }
+        }
+    }
+
+    /// Whole-interpreter check: random programs leave identical meters on
+    /// an interpreter driven by the indexed path and one cross-validated by
+    /// the legacy scan (the debug assertion inside `lookup` enforces the
+    /// per-call agreement; this pins the end-to-end counter totals).
+    #[test]
+    fn program_meter_is_deterministic(seed in 0u64..500) {
+        let program = format!(
+            "(defun poke (a b) (+ a (* b {}))) (poke {} {})",
+            seed % 7 + 1, seed % 13, seed % 11
+        );
+        let run = || {
+            let mut i = Interp::new(InterpConfig { arena_capacity: 1 << 14, ..Default::default() });
+            i.eval_str(&program).unwrap();
+            i.meter.snapshot()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Free-list alloc on a randomly fragmented arena: every freed slot is
+    /// reused before exhaustion, and `ArenaFull` lands at exact capacity.
+    #[test]
+    fn fragmented_arena_reuses_and_fills_exactly(
+        free_pattern in prop::collection::vec(any::<bool>(), 32..128)
+    ) {
+        use culi_core::arena::NodeArena;
+        use culi_core::node::Node;
+        let cap = free_pattern.len();
+        let mut arena = NodeArena::with_capacity(cap);
+        let mut meter = Meter::new();
+        let ids: Vec<NodeId> =
+            (0..cap).map(|i| arena.alloc(Node::int(i as i64), &mut meter).unwrap()).collect();
+        let mut freed = 0usize;
+        for (id, &f) in ids.iter().zip(&free_pattern) {
+            if f {
+                arena.free(*id, &mut meter);
+                freed += 1;
+            }
+        }
+        prop_assert_eq!(arena.live(), cap - freed);
+        for _ in 0..freed {
+            arena.alloc(Node::int(0), &mut meter).unwrap();
+        }
+        prop_assert_eq!(arena.live(), cap);
+        prop_assert!(arena.alloc(Node::int(0), &mut meter).is_err(), "must be exactly full");
+        let c = meter.snapshot();
+        prop_assert_eq!(c.nodes_alloc, (cap + freed) as u64);
+        prop_assert_eq!(c.nodes_freed, freed as u64);
+    }
+}
+
+/// GC reclaims transient environments: a long session of form applications
+/// keeps both the environment count and the binding count bounded.
+#[test]
+fn gc_bounds_environment_growth() {
+    let mut i = Interp::new(InterpConfig {
+        arena_capacity: 1 << 14,
+        ..Default::default()
+    });
+    i.eval_str("(defun burn (n) (if (< n 1) 0 (burn (- n 1))))")
+        .unwrap();
+    let mut peak_envs = 0;
+    for _ in 0..50 {
+        i.eval_str("(burn 40)").unwrap();
+        culi_core::gc::collect(&mut i, &[]);
+        peak_envs = peak_envs.max(i.envs.env_count());
+    }
+    assert!(
+        peak_envs <= 64,
+        "transient environments must be reclaimed, saw {peak_envs}"
+    );
+    assert!(
+        i.envs.binding_count() <= 256,
+        "binding arena must stay compact, saw {}",
+        i.envs.binding_count()
+    );
+}

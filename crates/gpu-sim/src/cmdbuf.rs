@@ -126,7 +126,9 @@ impl CommandBuffer {
             return Err(SimError::Protocol("host write after termination"));
         }
         if self.dev_sync {
-            return Err(SimError::Protocol("host write while device owns the buffer"));
+            return Err(SimError::Protocol(
+                "host write while device owns the buffer",
+            ));
         }
         if input.len() > self.capacity {
             return Err(SimError::Protocol("input exceeds command buffer capacity"));
@@ -238,10 +240,16 @@ mod tests {
     #[test]
     fn capacity_enforced_both_ways() {
         let mut cb = CommandBuffer::new(4);
-        assert!(matches!(cb.host_write(b"12345"), Err(SimError::Protocol(_))));
+        assert!(matches!(
+            cb.host_write(b"12345"),
+            Err(SimError::Protocol(_))
+        ));
         cb.host_write(b"123").unwrap();
         cb.device_take().unwrap();
-        assert!(matches!(cb.device_reply(b"12345"), Err(SimError::Protocol(_))));
+        assert!(matches!(
+            cb.device_reply(b"12345"),
+            Err(SimError::Protocol(_))
+        ));
     }
 
     #[test]

@@ -28,7 +28,13 @@ impl CpuMachine {
     /// Starts the process/pool; charges process-setup overhead.
     pub fn launch(spec: DeviceSpec) -> Self {
         debug_assert_eq!(spec.kind, DeviceKind::Cpu, "CpuMachine wants a CPU spec");
-        Self { spec, cycles: 0, host_ns: spec.launch_overhead_ns, stats: SimStats::default(), running: true }
+        Self {
+            spec,
+            cycles: 0,
+            host_ns: spec.launch_overhead_ns,
+            stats: SimStats::default(),
+            running: true,
+        }
     }
 
     /// The device this machine models.
@@ -69,8 +75,9 @@ impl CpuMachine {
 
         // Greedy list scheduling: each job goes to the earliest-free core.
         // BinaryHeap is a max-heap, so store negated finish times.
-        let mut heap: BinaryHeap<std::cmp::Reverse<u64>> =
-            (0..cores.min(job_cycles.len())).map(|_| std::cmp::Reverse(0u64)).collect();
+        let mut heap: BinaryHeap<std::cmp::Reverse<u64>> = (0..cores.min(job_cycles.len()))
+            .map(|_| std::cmp::Reverse(0u64))
+            .collect();
         let mut makespan = 0u64;
         for &j in job_cycles {
             let std::cmp::Reverse(free_at) = heap.pop().expect("non-empty pool");
@@ -132,14 +139,16 @@ mod tests {
         let mut m = CpuMachine::launch(amd_6272()); // 64 cores
         let r = m.parallel_section(&vec![1_000; 64]).unwrap();
         assert_eq!(r.execute_cycles, 1_000, "one job per core");
-        let r2 = CpuMachine::launch(amd_6272()).parallel_section(&vec![1_000; 128]).unwrap();
+        let r2 = CpuMachine::launch(amd_6272())
+            .parallel_section(&vec![1_000; 128])
+            .unwrap();
         assert_eq!(r2.execute_cycles, 2_000, "two rounds");
     }
 
     #[test]
     fn makespan_handles_skewed_jobs() {
         let mut m = CpuMachine::launch(intel_e5_2620()); // 12 threads
-        // One giant job dominates.
+                                                         // One giant job dominates.
         let mut jobs = vec![100u64; 23];
         jobs.push(1_000_000);
         let r = m.parallel_section(&jobs).unwrap();
@@ -166,7 +175,10 @@ mod tests {
     fn shutdown_blocks_further_sections() {
         let mut m = CpuMachine::launch(intel_e5_2620());
         m.shutdown();
-        assert!(matches!(m.parallel_section(&[1]), Err(SimError::KernelStopped)));
+        assert!(matches!(
+            m.parallel_section(&[1]),
+            Err(SimError::KernelStopped)
+        ));
     }
 
     #[test]

@@ -442,7 +442,10 @@ pub fn all_devices() -> Vec<DeviceSpec> {
 
 /// The six GPUs only.
 pub fn all_gpus() -> Vec<DeviceSpec> {
-    all_devices().into_iter().filter(|d| d.kind == DeviceKind::Gpu).collect()
+    all_devices()
+        .into_iter()
+        .filter(|d| d.kind == DeviceKind::Gpu)
+        .collect()
 }
 
 /// Devices for the conclusion's projection experiment: the evaluated GPUs
@@ -455,13 +458,18 @@ pub fn projection_devices() -> Vec<DeviceSpec> {
 
 /// The two CPUs only.
 pub fn all_cpus() -> Vec<DeviceSpec> {
-    all_devices().into_iter().filter(|d| d.kind == DeviceKind::Cpu).collect()
+    all_devices()
+        .into_iter()
+        .filter(|d| d.kind == DeviceKind::Cpu)
+        .collect()
 }
 
 /// Looks a device up by its figure name (case-insensitive, ignoring spaces).
 pub fn device_by_name(name: &str) -> Option<DeviceSpec> {
     let norm = |s: &str| s.to_ascii_lowercase().replace([' ', '-', '_'], "");
-    all_devices().into_iter().find(|d| norm(d.name) == norm(name))
+    all_devices()
+        .into_iter()
+        .find(|d| norm(d.name) == norm(name))
 }
 
 #[cfg(test)]
@@ -487,7 +495,10 @@ mod tests {
         assert!(lat(tesla_k20()) < lat(tesla_m40()));
         assert!(lat(tesla_m40()) <= lat(gtx1080()));
         let ratio = lat(gtx1080()) / lat(gtx680());
-        assert!((4.0..9.0).contains(&ratio), "GTX1080/GTX680 latency ratio {ratio}");
+        assert!(
+            (4.0..9.0).contains(&ratio),
+            "GTX1080/GTX680 latency ratio {ratio}"
+        );
         let fastest_gpu = lat(gtx680());
         for cpu in all_cpus() {
             assert!(fastest_gpu / cpu.base_latency_ms() > 30.0, "{}", cpu.name);
@@ -549,7 +560,10 @@ mod tests {
     fn device_lookup_by_name() {
         assert_eq!(device_by_name("GTX480").unwrap().name, "GTX480");
         assert_eq!(device_by_name("tesla c2075").unwrap().name, "TeslaC2075");
-        assert_eq!(device_by_name("intel e5-2620").unwrap().name, "Intel E5-2620");
+        assert_eq!(
+            device_by_name("intel e5-2620").unwrap().name,
+            "Intel E5-2620"
+        );
         assert!(device_by_name("RTX9090").is_none());
     }
 

@@ -79,14 +79,20 @@ mod tests {
     #[test]
     fn display_is_diagnostic() {
         let e = SimError::Livelock {
-            cause: LivelockCause::PartialWarpWithoutBlockFlag { block: 3, assigned: 17 },
+            cause: LivelockCause::PartialWarpWithoutBlockFlag {
+                block: 3,
+                assigned: 17,
+            },
             at_cycles: 1234,
         };
         let msg = e.to_string();
         assert!(msg.contains("block 3"));
         assert!(msg.contains("17/32"));
         assert!(msg.contains("1234"));
-        let e2 = SimError::Livelock { cause: LivelockCause::MasterBlockUnmasked, at_cycles: 9 };
+        let e2 = SimError::Livelock {
+            cause: LivelockCause::MasterBlockUnmasked,
+            at_cycles: 9,
+        };
         assert!(e2.to_string().contains("master block"));
     }
 }

@@ -50,7 +50,10 @@ pub struct KernelConfig {
 
 impl Default for KernelConfig {
     fn default() -> Self {
-        Self { mask_master_block: true, block_sync_flag: true }
+        Self {
+            mask_master_block: true,
+            block_sync_flag: true,
+        }
     }
 }
 
@@ -208,8 +211,13 @@ impl PersistentKernel {
             for (i, &cyc) in batch.iter().enumerate() {
                 let (block, lane) = self.worker_position(i);
                 let thread = (block * self.spec.warp_size + lane) as usize;
-                self.postboxes
-                    .deposit(thread, JobSlot { job: (next_job + i) as u32, cycles: cyc });
+                self.postboxes.deposit(
+                    thread,
+                    JobSlot {
+                        job: (next_job + i) as u32,
+                        cycles: cyc,
+                    },
+                );
                 per_block.entry(block).or_default().push(cyc);
             }
             report.distribute_cycles += batch.len() as u64 * costs.job_write;
@@ -225,10 +233,7 @@ impl PersistentKernel {
                     let assigned = jobs.len() as u32;
                     if !assigned.is_multiple_of(self.spec.warp_size) {
                         return Err(SimError::Livelock {
-                            cause: LivelockCause::PartialWarpWithoutBlockFlag {
-                                block,
-                                assigned,
-                            },
+                            cause: LivelockCause::PartialWarpWithoutBlockFlag { block, assigned },
                             at_cycles: self.cycles + report.distribute_cycles,
                         });
                     }
@@ -236,7 +241,8 @@ impl PersistentKernel {
             }
 
             // --- Execution (blocks in parallel, SMs serialize blocks) ---
-            let mut per_sm: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+            let mut per_sm: std::collections::BTreeMap<u32, u64> =
+                std::collections::BTreeMap::new();
             for (&block, jobs) in &per_block {
                 let lane_max = jobs.iter().copied().max().unwrap_or(0);
                 // Wake: exit the spin loop (one last flag read), cross the
@@ -352,7 +358,10 @@ mod tests {
         );
         assert!(!k.is_running());
         assert!(matches!(k.master_compute(1), Err(SimError::KernelStopped)));
-        assert!(matches!(k.parallel_section(&[1]), Err(SimError::KernelStopped)));
+        assert!(matches!(
+            k.parallel_section(&[1]),
+            Err(SimError::KernelStopped)
+        ));
     }
 
     #[test]
@@ -384,7 +393,10 @@ mod tests {
         let mut k32 = kernel();
         let r32 = k32.parallel_section(&vec![5_000; 32]).unwrap();
         assert_eq!(r1.execute_cycles, r32.execute_cycles);
-        assert!(r32.distribute_cycles > r1.distribute_cycles, "serial master cost grows");
+        assert!(
+            r32.distribute_cycles > r1.distribute_cycles,
+            "serial master cost grows"
+        );
     }
 
     #[test]
@@ -415,17 +427,26 @@ mod tests {
 
     #[test]
     fn unmasked_master_block_livelocks() {
-        let cfg = KernelConfig { mask_master_block: false, ..Default::default() };
+        let cfg = KernelConfig {
+            mask_master_block: false,
+            ..Default::default()
+        };
         let mut k = PersistentKernel::launch(gtx1080(), cfg);
         match k.parallel_section(&[100]) {
-            Err(SimError::Livelock { cause: LivelockCause::MasterBlockUnmasked, .. }) => {}
+            Err(SimError::Livelock {
+                cause: LivelockCause::MasterBlockUnmasked,
+                ..
+            }) => {}
             other => panic!("expected livelock, got {other:?}"),
         }
     }
 
     #[test]
     fn partial_warp_without_block_flag_livelocks() {
-        let cfg = KernelConfig { block_sync_flag: false, ..Default::default() };
+        let cfg = KernelConfig {
+            block_sync_flag: false,
+            ..Default::default()
+        };
         let mut k = PersistentKernel::launch(gtx1080(), cfg);
         // 33 jobs: one full block + one lone job in the next block.
         match k.parallel_section(&vec![100; 33]) {
@@ -441,7 +462,10 @@ mod tests {
     fn full_warps_survive_without_block_flag() {
         // Paper: "this is no problem as long as the number of jobs is a
         // multiple of 32".
-        let cfg = KernelConfig { block_sync_flag: false, ..Default::default() };
+        let cfg = KernelConfig {
+            block_sync_flag: false,
+            ..Default::default()
+        };
         let mut k = PersistentKernel::launch(gtx1080(), cfg);
         let r = k.parallel_section(&vec![100; 64]).unwrap();
         assert_eq!(r.blocks_used, 2);
@@ -481,7 +505,10 @@ mod tests {
         // warp-divergence hazards. On the V100-class device, both
         // mitigations can be disabled without livelock.
         use crate::device::volta_sim;
-        let cfg = KernelConfig { mask_master_block: false, block_sync_flag: false };
+        let cfg = KernelConfig {
+            mask_master_block: false,
+            block_sync_flag: false,
+        };
         let mut k = PersistentKernel::launch(volta_sim(), cfg);
         let r = k.parallel_section(&vec![100; 33]).unwrap();
         assert_eq!(r.rounds, 1);
@@ -497,6 +524,9 @@ mod tests {
         let mut heavy = kernel();
         let rh = heavy.parallel_section(&[50_000; 16]).unwrap();
         assert!(rh.execute_cycles > rl.execute_cycles);
-        assert_eq!(rh.distribute_cycles, rl.distribute_cycles, "master cost is size-independent");
+        assert_eq!(
+            rh.distribute_cycles, rl.distribute_cycles,
+            "master cost is size-independent"
+        );
     }
 }

@@ -35,7 +35,12 @@ pub struct JobSlot {
 impl Default for Postbox {
     fn default() -> Self {
         // Initial values per the paper: active=1, work=0, sync=0.
-        Self { active: true, work: false, sync: false, io: None }
+        Self {
+            active: true,
+            work: false,
+            sync: false,
+            io: None,
+        }
     }
 }
 
@@ -49,7 +54,10 @@ pub struct PostboxArray {
 impl PostboxArray {
     /// One postbox per thread.
     pub fn new(threads: usize) -> Self {
-        Self { boxes: vec![Postbox::default(); threads], atomic_ops: 0 }
+        Self {
+            boxes: vec![Postbox::default(); threads],
+            atomic_ops: 0,
+        }
     }
 
     /// Number of postboxes.
@@ -128,7 +136,13 @@ mod tests {
     #[test]
     fn deposit_complete_cycle() {
         let mut arr = PostboxArray::new(2);
-        arr.deposit(1, JobSlot { job: 7, cycles: 500 });
+        arr.deposit(
+            1,
+            JobSlot {
+                job: 7,
+                cycles: 500,
+            },
+        );
         assert!(arr.peek(1).work);
         assert!(arr.poll_sync(1), "sync set while work pending");
         let done = arr.complete(1).unwrap();

@@ -43,8 +43,16 @@ mod tests {
 
     #[test]
     fn add_accumulates() {
-        let mut a = SimStats { atomic_ops: 5, sections: 1, ..Default::default() };
-        let b = SimStats { atomic_ops: 3, jobs_executed: 7, ..Default::default() };
+        let mut a = SimStats {
+            atomic_ops: 5,
+            sections: 1,
+            ..Default::default()
+        };
+        let b = SimStats {
+            atomic_ops: 3,
+            jobs_executed: 7,
+            ..Default::default()
+        };
         a.add(&b);
         assert_eq!(a.atomic_ops, 8);
         assert_eq!(a.jobs_executed, 7);

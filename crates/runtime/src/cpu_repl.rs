@@ -6,7 +6,7 @@
 //!   by a [`CpuMachine`] (list-scheduled pthread workers, no warps, no
 //!   postbox spinning). This is the backend behind the CPU series of
 //!   Figs. 14–18.
-//! * **Threaded** — `|||` sections really run on OS threads via crossbeam:
+//! * **Threaded** — `|||` sections really run on scoped OS threads:
 //!   each worker thread gets a forked interpreter (CuLi workers are
 //!   side-effect-isolated, so a fork per worker preserves semantics) and
 //!   results are imported back in distribution order. This backend proves
@@ -26,7 +26,7 @@ use culi_gpu_sim::{CpuMachine, DeviceSpec, SectionReport, SimError};
 pub enum CpuMode {
     /// Deterministic cost-model timing (figures).
     Modeled,
-    /// Real crossbeam threads (functional parallelism; wall-clock timing).
+    /// Real scoped OS threads (functional parallelism; wall-clock timing).
     Threaded {
         /// Worker thread count.
         threads: usize,
@@ -70,7 +70,11 @@ impl CpuRepl {
     pub fn launch(spec: DeviceSpec, config: CpuReplConfig) -> Self {
         let mut interp = Interp::new(config.interp.clone());
         interp.host_io = config.host_io.clone();
-        Self { interp, machine: CpuMachine::launch(spec), config }
+        Self {
+            interp,
+            machine: CpuMachine::launch(spec),
+            config,
+        }
     }
 
     /// The device this session models.
@@ -95,7 +99,8 @@ impl CpuRepl {
         let m0 = self.interp.meter.snapshot();
         let parse_result = culi_core::parser::parse(&mut self.interp, input.as_bytes());
         let parse_counters = self.interp.meter.snapshot().delta_since(&m0);
-        self.machine.serial_compute(counters_to_cycles(&costs, &parse_counters))?;
+        self.machine
+            .serial_compute(counters_to_cycles(&costs, &parse_counters))?;
         let forms = match parse_result {
             Ok(forms) => forms,
             Err(e) => return self.error_reply(e, parse_counters),
@@ -151,14 +156,21 @@ impl CpuRepl {
             None => String::new(),
         };
         let print_counters = self.interp.meter.snapshot().delta_since(&m2);
-        self.machine.serial_compute(counters_to_cycles(&costs, &print_counters))?;
+        self.machine
+            .serial_compute(counters_to_cycles(&costs, &print_counters))?;
 
         if self.config.gc_between_commands {
             culi_core::gc::collect(&mut self.interp, &[]);
         }
         let spec = self.spec();
-        let phases =
-            breakdown(&spec, &parse_counters, &eval_master, &print_counters, section_cycles, 0);
+        let phases = breakdown(
+            &spec,
+            &parse_counters,
+            &eval_master,
+            &print_counters,
+            section_cycles,
+            0,
+        );
         Ok(Reply {
             output,
             ok: true,
@@ -284,28 +296,30 @@ impl ParallelHook for ThreadedHook {
         let template = interp.clone();
 
         type WorkerOut = culi_core::Result<(Interp, Vec<NodeId>)>;
-        let outcomes: Vec<WorkerOut> = crossbeam::thread::scope(|scope| {
+        let outcomes: Vec<WorkerOut> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (c, chunk) in jobs.chunks(chunk_size).enumerate() {
                 let mut fork = template.clone();
-                handles.push(scope.spawn(move |_| -> WorkerOut {
+                handles.push(scope.spawn(move || -> WorkerOut {
                     let mut out = Vec::with_capacity(chunk.len());
                     for (i, &job) in chunk.iter().enumerate() {
                         let env = fork.envs.push(Some(parent_env));
-                        let v = eval(&mut fork, &mut SequentialHook, job, env, 0).map_err(
-                            |e| CuliError::WorkerFailed {
+                        let v = eval(&mut fork, &mut SequentialHook, job, env, 0).map_err(|e| {
+                            CuliError::WorkerFailed {
                                 worker: c * chunk_size + i,
                                 message: e.to_string(),
-                            },
-                        )?;
+                            }
+                        })?;
                         out.push(v);
                     }
                     Ok((fork, out))
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("crossbeam scope failed");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
 
         let mut results = Vec::with_capacity(jobs.len());
         for outcome in outcomes {
@@ -331,7 +345,10 @@ mod tests {
         CpuRepl::launch(
             intel_e5_2620(),
             CpuReplConfig {
-                interp: InterpConfig { arena_capacity: 1 << 16, ..Default::default() },
+                interp: InterpConfig {
+                    arena_capacity: 1 << 16,
+                    ..Default::default()
+                },
                 mode: CpuMode::Threaded { threads },
                 ..Default::default()
             },
@@ -355,7 +372,8 @@ mod tests {
     #[test]
     fn threaded_matches_sequential_results() {
         let mut r = threaded(4);
-        r.submit("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))").unwrap();
+        r.submit("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")
+            .unwrap();
         let reply = r.submit("(||| 8 fib (1 2 3 4 5 6 7 8))").unwrap();
         assert_eq!(reply.output, "(1 1 2 3 5 8 13 21)");
         assert!(reply.wall_ns > 0);
@@ -364,7 +382,9 @@ mod tests {
     #[test]
     fn threaded_respects_result_order_with_few_threads() {
         let mut r = threaded(3);
-        let reply = r.submit("(||| 7 - (10 20 30 40 50 60 70) (1 2 3 4 5 6 7))").unwrap();
+        let reply = r
+            .submit("(||| 7 - (10 20 30 40 50 60 70) (1 2 3 4 5 6 7))")
+            .unwrap();
         assert_eq!(reply.output, "(9 18 27 36 45 54 63)");
     }
 
@@ -381,7 +401,8 @@ mod tests {
         let mut r = threaded(4);
         r.submit("(setq total 100)").unwrap();
         // Workers setq `total` in their forks; the master copy is intact.
-        r.submit("(defun bump (x) (progn (setq total (+ total x)) total))").unwrap();
+        r.submit("(defun bump (x) (progn (setq total (+ total x)) total))")
+            .unwrap();
         let reply = r.submit("(||| 4 bump (1 2 3 4))").unwrap();
         assert_eq!(reply.output, "(101 102 103 104)");
         assert_eq!(r.submit("total").unwrap().output, "100");
@@ -392,7 +413,8 @@ mod tests {
         // Paper Fig. 18: on CPUs parsing and printing are almost
         // negligible; evaluation dominates.
         let mut r = CpuRepl::launch(amd_6272(), CpuReplConfig::default());
-        r.submit("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))").unwrap();
+        r.submit("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")
+            .unwrap();
         let jobs = vec!["5"; 64].join(" ");
         let reply = r.submit(&format!("(||| 64 fib ({jobs}))")).unwrap();
         let (p, e, pr) = reply.phases.proportions();

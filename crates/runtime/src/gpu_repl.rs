@@ -153,8 +153,9 @@ impl GpuRepl {
         let dispatch_overhead = self.spec().command_overhead_cycles;
         let section_cycles: u64 =
             sections.iter().map(|s| s.total_cycles()).sum::<u64>() + dispatch_overhead;
-        self.kernel
-            .master_compute(counters_to_cycles(&self.spec().costs, &eval_master) + dispatch_overhead)?;
+        self.kernel.master_compute(
+            counters_to_cycles(&self.spec().costs, &eval_master) + dispatch_overhead,
+        )?;
         if let Some(e) = eval_error {
             let mut counters = parse_counters;
             counters.add(&eval_master);
@@ -197,7 +198,13 @@ impl GpuRepl {
             section_cycles,
             self.cmdbuf.transfer_ns() - transfer_before,
         );
-        Ok(Reply { output, ok: true, phases, sections, wall_ns: 0 })
+        Ok(Reply {
+            output,
+            ok: true,
+            phases,
+            sections,
+            wall_ns: 0,
+        })
     }
 
     fn spec_costs(&self) -> CostTable {
@@ -225,7 +232,13 @@ impl GpuRepl {
             0,
             self.cmdbuf.transfer_ns() - transfer_before,
         );
-        Ok(Reply { output, ok: false, phases, sections: Vec::new(), wall_ns: 0 })
+        Ok(Reply {
+            output,
+            ok: false,
+            phases,
+            sections: Vec::new(),
+            wall_ns: 0,
+        })
     }
 
     /// Device-side elapsed nanoseconds so far.
@@ -337,7 +350,8 @@ mod tests {
     #[test]
     fn environment_persists_across_commands() {
         let mut r = repl();
-        r.submit("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))").unwrap();
+        r.submit("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")
+            .unwrap();
         let reply = r.submit("(fib 10)").unwrap();
         assert_eq!(reply.output, "55");
     }
@@ -374,7 +388,10 @@ mod tests {
     #[test]
     fn livelock_is_a_device_error() {
         let cfg = GpuReplConfig {
-            kernel: KernelConfig { mask_master_block: false, ..Default::default() },
+            kernel: KernelConfig {
+                mask_master_block: false,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let mut r = GpuRepl::launch(gtx1080(), cfg);
@@ -390,13 +407,19 @@ mod tests {
     #[test]
     fn worker_time_not_double_billed_to_master() {
         let mut r = repl();
-        r.submit("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))").unwrap();
-        let par = r.submit("(||| 32 fib (5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5))").unwrap();
+        r.submit("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")
+            .unwrap();
+        let par = r
+            .submit(
+                "(||| 32 fib (5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5 5))",
+            )
+            .unwrap();
         // 32 identical jobs in one warp: execute time ≈ one job, while the
         // master's own eval share stays far below 32× a single job.
         let single = {
             let mut r2 = repl();
-            r2.submit("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))").unwrap();
+            r2.submit("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))")
+                .unwrap();
             r2.submit("(fib 5)").unwrap()
         };
         assert!(

@@ -7,7 +7,7 @@
 //!   persistent kernel, master-thread parse/eval/print, postbox-driven
 //!   `|||` sections with warp-livelock mechanics.
 //! * [`cpu_repl::CpuRepl`] — the comparison systems: a modeled pthread
-//!   pool (figures) and a real crossbeam-threads backend (functional
+//!   pool (figures) and a real std::thread scoped backend (functional
 //!   parallelism).
 //! * [`session::Session`] — one facade over every backend.
 //! * [`phases`] — operation counts → cycles → per-phase milliseconds.

@@ -120,9 +120,18 @@ mod tests {
     #[test]
     fn counters_to_cycles_is_linear() {
         let costs = gtx1080().costs;
-        let a = Counters { chars_scanned: 10, ..Default::default() };
-        let b = Counters { chars_scanned: 20, ..Default::default() };
-        assert_eq!(2 * counters_to_cycles(&costs, &a), counters_to_cycles(&costs, &b));
+        let a = Counters {
+            chars_scanned: 10,
+            ..Default::default()
+        };
+        let b = Counters {
+            chars_scanned: 20,
+            ..Default::default()
+        };
+        assert_eq!(
+            2 * counters_to_cycles(&costs, &a),
+            counters_to_cycles(&costs, &b)
+        );
         assert_eq!(counters_to_cycles(&costs, &Counters::default()), 0);
     }
 
@@ -155,7 +164,10 @@ mod tests {
 
     #[test]
     fn empty_breakdown_has_zero_proportions() {
-        let p = PhaseBreakdown { clock_mhz: 1000, ..Default::default() };
+        let p = PhaseBreakdown {
+            clock_mhz: 1000,
+            ..Default::default()
+        };
         assert_eq!(p.proportions(), (0.0, 0.0, 0.0));
     }
 }

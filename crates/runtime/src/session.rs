@@ -32,14 +32,23 @@ impl Session {
 
     /// Boots a GPU session with explicit kernel switches (ablations).
     pub fn gpu_with_kernel_config(spec: DeviceSpec, kernel: KernelConfig) -> Self {
-        Self::Gpu(GpuRepl::launch(spec, GpuReplConfig { kernel, ..Default::default() }))
+        Self::Gpu(GpuRepl::launch(
+            spec,
+            GpuReplConfig {
+                kernel,
+                ..Default::default()
+            },
+        ))
     }
 
     /// Boots a real-threads CPU session.
     pub fn cpu_threaded(spec: DeviceSpec, threads: usize) -> Self {
         Self::Cpu(CpuRepl::launch(
             spec,
-            CpuReplConfig { mode: CpuMode::Threaded { threads }, ..Default::default() },
+            CpuReplConfig {
+                mode: CpuMode::Threaded { threads },
+                ..Default::default()
+            },
         ))
     }
 

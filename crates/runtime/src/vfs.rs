@@ -10,14 +10,22 @@
 //! * [`DirFs`] — a real directory on the host, path-jailed to its root.
 
 use culi_core::hostio::{HostIo, HostIoHandle};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::{Component, Path, PathBuf};
+use std::sync::Mutex;
 
 /// In-memory host filesystem.
 #[derive(Default)]
 pub struct VirtualFs {
     files: Mutex<HashMap<Vec<u8>, Vec<u8>>>,
+}
+
+impl VirtualFs {
+    /// Locks the map; a poisoned lock (a panicked worker) is recovered
+    /// since the map itself is always left in a consistent state.
+    fn files(&self) -> std::sync::MutexGuard<'_, HashMap<Vec<u8>, Vec<u8>>> {
+        self.files.lock().unwrap_or_else(|p| p.into_inner())
+    }
 }
 
 impl VirtualFs {
@@ -28,12 +36,12 @@ impl VirtualFs {
 
     /// Pre-populates a file (test/bench setup).
     pub fn preload(&self, path: &[u8], data: &[u8]) {
-        self.files.lock().insert(path.to_vec(), data.to_vec());
+        self.files().insert(path.to_vec(), data.to_vec());
     }
 
     /// Number of stored files.
     pub fn file_count(&self) -> usize {
-        self.files.lock().len()
+        self.files().len()
     }
 
     /// Wraps into the handle the interpreter consumes.
@@ -44,20 +52,19 @@ impl VirtualFs {
 
 impl HostIo for VirtualFs {
     fn read_file(&self, path: &[u8]) -> Result<Vec<u8>, String> {
-        self.files
-            .lock()
+        self.files()
             .get(path)
             .cloned()
             .ok_or_else(|| format!("no such file: {}", String::from_utf8_lossy(path)))
     }
 
     fn write_file(&self, path: &[u8], data: &[u8]) -> Result<(), String> {
-        self.files.lock().insert(path.to_vec(), data.to_vec());
+        self.files().insert(path.to_vec(), data.to_vec());
         Ok(())
     }
 
     fn exists(&self, path: &[u8]) -> bool {
-        self.files.lock().contains_key(path)
+        self.files().contains_key(path)
     }
 }
 

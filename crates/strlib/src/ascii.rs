@@ -79,7 +79,11 @@ mod tests {
             assert!(is_number_start(*b), "{} should start a number", *b as char);
         }
         for b in b"abcxyzZ_*/\"(" {
-            assert!(!is_number_start(*b), "{} should not start a number", *b as char);
+            assert!(
+                !is_number_start(*b),
+                "{} should not start a number",
+                *b as char
+            );
         }
     }
 

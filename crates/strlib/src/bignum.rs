@@ -153,7 +153,6 @@ impl BigUint {
         rem as u32
     }
 
-
     /// Extracts the full decimal representation, most significant digit
     /// first. Zero yields `[0]`.
     pub fn to_decimal_digits(&self) -> Vec<u8> {
@@ -203,14 +202,20 @@ mod tests {
     use core::cmp::Ordering;
 
     fn decimal_string(b: &BigUint) -> String {
-        b.to_decimal_digits().iter().map(|d| (b'0' + d) as char).collect()
+        b.to_decimal_digits()
+            .iter()
+            .map(|d| (b'0' + d) as char)
+            .collect()
     }
 
     #[test]
     fn from_and_digits() {
         assert_eq!(decimal_string(&BigUint::zero()), "0");
         assert_eq!(decimal_string(&BigUint::from_u64(7)), "7");
-        assert_eq!(decimal_string(&BigUint::from_u64(1_000_000_000)), "1000000000");
+        assert_eq!(
+            decimal_string(&BigUint::from_u64(1_000_000_000)),
+            "1000000000"
+        );
         assert_eq!(
             decimal_string(&BigUint::from_u128(u128::MAX)),
             "340282366920938463463374607431768211455"

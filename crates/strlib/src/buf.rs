@@ -17,7 +17,11 @@ pub struct BufFull {
 
 impl fmt::Display for BufFull {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "output buffer full ({} byte(s) over capacity)", self.overflow)
+        write!(
+            f,
+            "output buffer full ({} byte(s) over capacity)",
+            self.overflow
+        )
     }
 }
 
@@ -33,7 +37,10 @@ pub struct StrBuf {
 impl StrBuf {
     /// Creates an empty buffer with the given capacity in bytes.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { data: Vec::with_capacity(cap.min(4096)), cap }
+        Self {
+            data: Vec::with_capacity(cap.min(4096)),
+            cap,
+        }
     }
 
     /// Current length in bytes.
@@ -85,7 +92,9 @@ impl StrBuf {
     pub fn push_bytes(&mut self, s: &[u8]) -> Result<(), BufFull> {
         let need = self.data.len() + s.len();
         if need > self.cap {
-            return Err(BufFull { overflow: need - self.cap });
+            return Err(BufFull {
+                overflow: need - self.cap,
+            });
         }
         self.data.extend_from_slice(s);
         Ok(())

@@ -70,7 +70,14 @@ pub fn format_f64(v: f64, out: &mut [u8]) -> usize {
         return write_bytes(out, if v < 0.0 { b"-inf" } else { b"inf" });
     }
     if v == 0.0 {
-        return write_bytes(out, if v.is_sign_negative() { b"-0.0" } else { b"0.0" });
+        return write_bytes(
+            out,
+            if v.is_sign_negative() {
+                b"-0.0"
+            } else {
+                b"0.0"
+            },
+        );
     }
     // Escalate precision until the text re-parses to the exact same bits.
     for prec in 1..=17u32 {
@@ -178,8 +185,11 @@ fn significant_digits(a: f64, prec: usize) -> ([u8; 17], usize, i32) {
     let bits = a.to_bits();
     let be = ((bits >> 52) & 0x7ff) as i64;
     let frac = bits & ((1u64 << 52) - 1);
-    let (m, e2): (u64, i64) =
-        if be == 0 { (frac, -1074) } else { (frac | (1 << 52), be - 1075) };
+    let (m, e2): (u64, i64) = if be == 0 {
+        (frac, -1074)
+    } else {
+        (frac | (1 << 52), be - 1075)
+    };
 
     let mut n = BigUint::from_u64(m);
     let e10_offset: i64 = if e2 >= 0 {
@@ -199,8 +209,7 @@ fn significant_digits(a: f64, prec: usize) -> ([u8; 17], usize, i32) {
     if digits.len() > prec {
         let next = digits[prec];
         let rest_nonzero = digits[prec + 1..].iter().any(|&d| d != 0);
-        let round_up =
-            next > 5 || (next == 5 && (rest_nonzero || out[prec - 1] % 2 == 1));
+        let round_up = next > 5 || (next == 5 && (rest_nonzero || out[prec - 1] % 2 == 1));
         if round_up {
             let mut i = prec;
             loop {
@@ -304,8 +313,8 @@ mod tests {
             0.2,
             0.30000000000000004,
             1.5,
-            3.141592653589793,
-            2.718281828459045,
+            core::f64::consts::PI,
+            core::f64::consts::E,
             1e10,
             1e-10,
             123456.789,

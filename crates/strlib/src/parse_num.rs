@@ -327,7 +327,11 @@ mod tests {
         assert_eq!(parse_i64(b"-17"), Some(-17));
         assert_eq!(parse_i64(b"+5"), Some(5));
         assert_eq!(parse_i64(b"9223372036854775807"), Some(i64::MAX));
-        assert_eq!(parse_i64(b"-9223372036854775808"), None, "abs overflows during accumulation");
+        assert_eq!(
+            parse_i64(b"-9223372036854775808"),
+            None,
+            "abs overflows during accumulation"
+        );
     }
 
     #[test]
@@ -351,7 +355,17 @@ mod tests {
 
     #[test]
     fn float_rejects_junk() {
-        for bad in [b"" as &[u8], b".", b"+", b"-", b"e5", b"1e", b"1e+", b"1.2.3", b"1x"] {
+        for bad in [
+            b"" as &[u8],
+            b".",
+            b"+",
+            b"-",
+            b"e5",
+            b"1e",
+            b"1e+",
+            b"1.2.3",
+            b"1x",
+        ] {
             assert_eq!(parse_f64(bad), None, "{:?}", std::str::from_utf8(bad));
         }
     }
@@ -373,7 +387,11 @@ mod tests {
         for s in cases {
             let ours = parse_f64(s.as_bytes()).unwrap();
             let std: f64 = s.parse().unwrap();
-            let err = if std == 0.0 { ours.abs() } else { ((ours - std) / std).abs() };
+            let err = if std == 0.0 {
+                ours.abs()
+            } else {
+                ((ours - std) / std).abs()
+            };
             assert!(err <= 1e-15, "{s}: ours={ours:e} std={std:e}");
         }
     }

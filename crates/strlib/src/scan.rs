@@ -89,31 +89,55 @@ pub fn next_token(input: &[u8], mut pos: usize, chars_read: &mut u64) -> Scan {
     *chars_read += 1;
     match b {
         b'(' => Scan::Tok {
-            tok: Token { kind: TokenKind::LParen, start: pos, end: pos + 1 },
+            tok: Token {
+                kind: TokenKind::LParen,
+                start: pos,
+                end: pos + 1,
+            },
             next: pos + 1,
         },
         b')' => Scan::Tok {
-            tok: Token { kind: TokenKind::RParen, start: pos, end: pos + 1 },
+            tok: Token {
+                kind: TokenKind::RParen,
+                start: pos,
+                end: pos + 1,
+            },
             next: pos + 1,
         },
         b'\'' => Scan::Tok {
-            tok: Token { kind: TokenKind::Quote, start: pos, end: pos + 1 },
+            tok: Token {
+                kind: TokenKind::Quote,
+                start: pos,
+                end: pos + 1,
+            },
             next: pos + 1,
         },
         b'`' => Scan::Tok {
-            tok: Token { kind: TokenKind::Backquote, start: pos, end: pos + 1 },
+            tok: Token {
+                kind: TokenKind::Backquote,
+                start: pos,
+                end: pos + 1,
+            },
             next: pos + 1,
         },
         b',' => {
             if input.get(pos + 1) == Some(&b'@') {
                 *chars_read += 1;
                 Scan::Tok {
-                    tok: Token { kind: TokenKind::UnquoteSplice, start: pos, end: pos + 2 },
+                    tok: Token {
+                        kind: TokenKind::UnquoteSplice,
+                        start: pos,
+                        end: pos + 2,
+                    },
                     next: pos + 2,
                 }
             } else {
                 Scan::Tok {
-                    tok: Token { kind: TokenKind::Unquote, start: pos, end: pos + 1 },
+                    tok: Token {
+                        kind: TokenKind::Unquote,
+                        start: pos,
+                        end: pos + 1,
+                    },
                     next: pos + 1,
                 }
             }
@@ -131,7 +155,14 @@ pub fn next_token(input: &[u8], mut pos: usize, chars_read: &mut u64) -> Scan {
                 return Scan::UnterminatedString { at: pos };
             }
             *chars_read += 1; // the closing quote
-            Scan::Tok { tok: Token { kind: TokenKind::Str, start, end: i }, next: i + 1 }
+            Scan::Tok {
+                tok: Token {
+                    kind: TokenKind::Str,
+                    start,
+                    end: i,
+                },
+                next: i + 1,
+            }
         }
         _ => {
             // Plain atom: run to the next marker.
@@ -141,7 +172,14 @@ pub fn next_token(input: &[u8], mut pos: usize, chars_read: &mut u64) -> Scan {
                 i += 1;
                 *chars_read += 1;
             }
-            Scan::Tok { tok: Token { kind: TokenKind::Atom, start, end: i }, next: i }
+            Scan::Tok {
+                tok: Token {
+                    kind: TokenKind::Atom,
+                    start,
+                    end: i,
+                },
+                next: i,
+            }
         }
     }
 }
@@ -198,7 +236,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &[u8]) -> Vec<TokenKind> {
-        tokenize_all(input).unwrap().iter().map(|t| t.kind).collect()
+        tokenize_all(input)
+            .unwrap()
+            .iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -292,7 +334,11 @@ mod tests {
         assert_eq!(paren_balance(b"(+ 1 2)"), Some(0));
         assert_eq!(paren_balance(b"((("), Some(3));
         assert_eq!(paren_balance(b"())"), None);
-        assert_eq!(paren_balance(b"(\")\")"), Some(0), "paren inside string ignored");
+        assert_eq!(
+            paren_balance(b"(\")\")"),
+            Some(0),
+            "paren inside string ignored"
+        );
         assert_eq!(paren_balance(b""), Some(0));
     }
 }

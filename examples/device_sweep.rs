@@ -21,7 +21,11 @@ fn main() {
 
     println!("{:<16} {:>10}", "device", "base ms");
     for spec in all_devices() {
-        println!("{:<16} {:>10.4}", spec.name, Session::measure_base_latency_ms(spec));
+        println!(
+            "{:<16} {:>10.4}",
+            spec.name,
+            Session::measure_base_latency_ms(spec)
+        );
     }
 
     println!("\nruntime in ms (paper Fig. 15 shape):");

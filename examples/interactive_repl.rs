@@ -13,7 +13,9 @@ use culi::strlib::scan::paren_balance;
 use std::io::{BufRead, Write};
 
 fn main() {
-    let device = std::env::args().nth(1).unwrap_or_else(|| "GTX1080".to_string());
+    let device = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "GTX1080".to_string());
     let Some(spec) = device_by_name(&device) else {
         eprintln!("unknown device {device:?}; try one of:");
         for d in all_devices() {
@@ -23,7 +25,10 @@ fn main() {
     };
 
     let mut session = Session::for_device(spec);
-    eprintln!("CuLi on {} — ^D to quit, :time toggles phase timing", spec.name);
+    eprintln!(
+        "CuLi on {} — ^D to quit, :time toggles phase timing",
+        spec.name
+    );
 
     let stdin = std::io::stdin();
     let mut show_time = false;

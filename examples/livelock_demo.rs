@@ -45,17 +45,26 @@ fn main() {
     );
     try_config(
         "no master-block masking (Fig. 12 removed), 4 jobs",
-        KernelConfig { mask_master_block: false, ..Default::default() },
+        KernelConfig {
+            mask_master_block: false,
+            ..Default::default()
+        },
         4,
     );
     try_config(
         "no block sync flag (Fig. 13 removed), 33 jobs (partial warp)",
-        KernelConfig { block_sync_flag: false, ..Default::default() },
+        KernelConfig {
+            block_sync_flag: false,
+            ..Default::default()
+        },
         33,
     );
     try_config(
         "no block sync flag, 64 jobs (full warps — paper: 'no problem')",
-        KernelConfig { block_sync_flag: false, ..Default::default() },
+        KernelConfig {
+            block_sync_flag: false,
+            ..Default::default()
+        },
         64,
     );
 }

@@ -22,7 +22,11 @@ fn main() {
     let expect: Vec<i64> = xs.iter().map(|&x| 3 * x * x - 2 * x + 7).collect();
     let expect_str = format!(
         "({})",
-        expect.iter().map(i64::to_string).collect::<Vec<_>>().join(" ")
+        expect
+            .iter()
+            .map(i64::to_string)
+            .collect::<Vec<_>>()
+            .join(" ")
     );
 
     // 1. Real threads on this machine.
@@ -49,7 +53,8 @@ fn main() {
     //    never leak between workers or back to the master.
     let mut iso = Session::cpu_threaded(culi::sim::device::intel_e5_2620(), 4);
     iso.submit("(setq scale 1000)").unwrap();
-    iso.submit("(defun scaled (x) (progn (let scale (* x 10)) (* x scale)))").unwrap();
+    iso.submit("(defun scaled (x) (progn (let scale (* x 10)) (* x scale)))")
+        .unwrap();
     let reply = iso.submit("(||| 4 scaled (1 2 3 4))").unwrap();
     assert_eq!(reply.output, "(10 40 90 160)");
     assert_eq!(iso.submit("scale").unwrap().output, "1000");

@@ -11,7 +11,11 @@ fn main() {
     // The paper's flagship device pairing: a modern GPU vs its own numbers.
     let spec = culi::sim::device::gtx1080();
     let mut session = Session::for_device(spec);
-    println!("booted CuLi on {} ({} worker threads)\n", spec.name, spec.grid_workers() - 32);
+    println!(
+        "booted CuLi on {} ({} worker threads)\n",
+        spec.name,
+        spec.grid_workers() - 32
+    );
 
     // The host uploads each line through the command buffer; the persistent
     // kernel parses, evaluates and prints entirely "on the device".

@@ -9,11 +9,15 @@ fn arena_exhaustion_mid_parallel_section_is_recoverable() {
     // An arena big enough for the builtins and small programs, but far too
     // small for a 256-worker section.
     let cfg = GpuReplConfig {
-        interp: InterpConfig { arena_capacity: 2000, ..Default::default() },
+        interp: InterpConfig {
+            arena_capacity: 2000,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut repl = GpuRepl::launch(device::gtx1080(), cfg);
-    repl.submit("(defun burn (x) (list x x x x x x x x))").unwrap();
+    repl.submit("(defun burn (x) (list x x x x x x x x))")
+        .unwrap();
     let args = vec!["9"; 256].join(" ");
     let reply = repl.submit(&format!("(||| 256 burn ({args}))")).unwrap();
     assert!(!reply.ok, "section must exhaust the arena");
@@ -27,27 +31,40 @@ fn arena_exhaustion_mid_parallel_section_is_recoverable() {
 #[test]
 fn worker_recursion_limit_reports_the_worker() {
     let cfg = GpuReplConfig {
-        interp: InterpConfig { max_depth: 48, ..Default::default() },
+        interp: InterpConfig {
+            max_depth: 48,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut repl = GpuRepl::launch(device::gtx680(), cfg);
-    repl.submit("(defun spin (n) (if (< n 1) 0 (spin (- n 1))))").unwrap();
+    repl.submit("(defun spin (n) (if (< n 1) 0 (spin (- n 1))))")
+        .unwrap();
     // Worker 1 gets a depth that exceeds the limit; worker 0 stays shallow.
     let reply = repl.submit("(||| 2 spin (1 500))").unwrap();
     assert!(!reply.ok);
     assert!(reply.output.contains("worker 1"), "{}", reply.output);
     assert!(reply.output.contains("recursion"), "{}", reply.output);
-    assert_eq!(repl.submit("(spin 3)").unwrap().output, "0", "session survives");
+    assert_eq!(
+        repl.submit("(spin 3)").unwrap().output,
+        "0",
+        "session survives"
+    );
 }
 
 #[test]
 fn output_buffer_overflow_is_a_printed_error() {
     let cfg = GpuReplConfig {
-        interp: InterpConfig { output_capacity: 64, ..Default::default() },
+        interp: InterpConfig {
+            output_capacity: 64,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut repl = GpuRepl::launch(device::tesla_m40(), cfg);
-    let reply = repl.submit(&format!("(list {})", vec!["7"; 200].join(" "))).unwrap();
+    let reply = repl
+        .submit(&format!("(list {})", vec!["7"; 200].join(" ")))
+        .unwrap();
     assert!(!reply.ok);
     assert!(reply.output.contains("output buffer"), "{}", reply.output);
     assert_eq!(repl.submit("(+ 1 1)").unwrap().output, "2");
@@ -58,11 +75,15 @@ fn reply_exceeding_the_command_buffer_is_a_device_error() {
     // Misconfiguration: the interpreter's output fits its own buffer but
     // not the shared command buffer — a protocol violation, not a Lisp
     // error.
-    let cfg = GpuReplConfig { cmdbuf_capacity: 4096, ..Default::default() };
+    let cfg = GpuReplConfig {
+        cmdbuf_capacity: 4096,
+        ..Default::default()
+    };
     let mut repl = GpuRepl::launch(device::gtx480(), cfg);
     // Build a >4 KB result from a tiny input so only the reply overflows.
     repl.submit("(setq xs nil)").unwrap();
-    repl.submit("(dotimes (i 600) (setq xs (cons 12345678 xs)))").unwrap();
+    repl.submit("(dotimes (i 600) (setq xs (cons 12345678 xs)))")
+        .unwrap();
     match repl.submit("xs") {
         Err(RuntimeError::Device(culi::sim::SimError::Protocol(_))) => {}
         other => panic!("expected protocol violation, got {other:?}"),
@@ -72,7 +93,10 @@ fn reply_exceeding_the_command_buffer_is_a_device_error() {
 #[test]
 fn parse_depth_limit_guards_pathological_nesting() {
     let cfg = GpuReplConfig {
-        interp: InterpConfig { max_depth: 32, ..Default::default() },
+        interp: InterpConfig {
+            max_depth: 32,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut repl = GpuRepl::launch(device::gtx1080(), cfg);
@@ -95,7 +119,10 @@ fn threaded_backend_survives_a_failing_chunk() {
 #[test]
 fn gc_restores_capacity_after_repeated_failures() {
     let cfg = GpuReplConfig {
-        interp: InterpConfig { arena_capacity: 1500, ..Default::default() },
+        interp: InterpConfig {
+            arena_capacity: 1500,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut repl = GpuRepl::launch(device::gtx1080(), cfg);
@@ -113,6 +140,10 @@ fn gc_restores_capacity_after_repeated_failures() {
 fn empty_parallel_argument_lists() {
     let mut session = Session::for_device(device::amd_6272());
     let reply = session.submit("(||| 1 + () ())").unwrap();
-    assert!(!reply.ok, "empty lists cannot feed 1 worker: {}", reply.output);
+    assert!(
+        !reply.ok,
+        "empty lists cannot feed 1 worker: {}",
+        reply.output
+    );
     assert!(reply.output.contains("|||"));
 }

@@ -9,7 +9,10 @@ fn gpu_with_fs() -> (GpuRepl, culi::core::hostio::HostIoHandle) {
     let handle = VirtualFs::new().into_handle();
     let repl = GpuRepl::launch(
         device::gtx1080(),
-        GpuReplConfig { host_io: Some(handle.clone()), ..Default::default() },
+        GpuReplConfig {
+            host_io: Some(handle.clone()),
+            ..Default::default()
+        },
     );
     (repl, handle)
 }
@@ -17,13 +20,24 @@ fn gpu_with_fs() -> (GpuRepl, culi::core::hostio::HostIoHandle) {
 #[test]
 fn write_read_roundtrip_on_gpu() {
     let (mut repl, _fs) = gpu_with_fs();
-    assert_eq!(repl.submit("(write-file \"out.txt\" \"from the device\")").unwrap().output, "T");
+    assert_eq!(
+        repl.submit("(write-file \"out.txt\" \"from the device\")")
+            .unwrap()
+            .output,
+        "T"
+    );
     assert_eq!(
         repl.submit("(read-file \"out.txt\")").unwrap().output,
         "\"from the device\""
     );
-    assert_eq!(repl.submit("(file-exists \"out.txt\")").unwrap().output, "T");
-    assert_eq!(repl.submit("(file-exists \"other\")").unwrap().output, "nil");
+    assert_eq!(
+        repl.submit("(file-exists \"out.txt\")").unwrap().output,
+        "T"
+    );
+    assert_eq!(
+        repl.submit("(file-exists \"other\")").unwrap().output,
+        "nil"
+    );
 }
 
 #[test]
@@ -32,10 +46,14 @@ fn host_side_prepared_files_visible_to_device() {
     fs.preload(b"config.lisp", b"(5 10 15)");
     let mut repl = GpuRepl::launch(
         device::tesla_m40(),
-        GpuReplConfig { host_io: Some(fs.into_handle()), ..Default::default() },
+        GpuReplConfig {
+            host_io: Some(fs.into_handle()),
+            ..Default::default()
+        },
     );
     // Device reads the file, evals its content via the reader builtins.
-    repl.submit("(setq raw (read-file \"config.lisp\"))").unwrap();
+    repl.submit("(setq raw (read-file \"config.lisp\"))")
+        .unwrap();
     let reply = repl.submit("(string-length raw)").unwrap();
     assert_eq!(reply.output, "9");
 }
@@ -64,7 +82,10 @@ fn threaded_workers_share_the_virtual_fs() {
     let mut repl = CpuRepl::launch(
         device::intel_e5_2620(),
         CpuReplConfig {
-            interp: InterpConfig { arena_capacity: 1 << 16, ..Default::default() },
+            interp: InterpConfig {
+                arena_capacity: 1 << 16,
+                ..Default::default()
+            },
             mode: CpuMode::Threaded { threads: 4 },
             host_io: Some(handle.clone()),
             ..Default::default()
@@ -87,7 +108,8 @@ fn threaded_workers_share_the_virtual_fs() {
 fn io_traffic_charges_device_time() {
     let (mut repl, _fs) = gpu_with_fs();
     let big = "x".repeat(5000);
-    repl.submit(&format!("(write-file \"big\" \"{big}\")")).unwrap();
+    repl.submit(&format!("(write-file \"big\" \"{big}\")"))
+        .unwrap();
     let small_read = repl.submit("(file-exists \"big\")").unwrap();
     let big_read = repl.submit("(read-file \"big\")").unwrap();
     assert!(

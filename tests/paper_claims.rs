@@ -24,10 +24,17 @@ fn runtime_ms(spec: DeviceSpec, n: usize) -> f64 {
 #[test]
 fn cpus_outperform_gpus_at_scale() {
     let n = 1024;
-    let best_cpu = all_cpus().into_iter().map(|d| runtime_ms(d, n)).fold(f64::INFINITY, f64::min);
+    let best_cpu = all_cpus()
+        .into_iter()
+        .map(|d| runtime_ms(d, n))
+        .fold(f64::INFINITY, f64::min);
     for gpu in all_gpus() {
         let t = runtime_ms(gpu, n);
-        assert!(t / best_cpu > 5.0, "{}: {t:.3} ms vs best CPU {best_cpu:.3} ms", gpu.name);
+        assert!(
+            t / best_cpu > 5.0,
+            "{}: {t:.3} ms vs best CPU {best_cpu:.3} ms",
+            gpu.name
+        );
     }
 }
 
@@ -55,7 +62,12 @@ fn fermi_parsing_advantage() {
         session.submit(&fib_input(512)).unwrap().phases.parse_ms()
     };
     let fermi = parse_ms(device::gtx480()).max(parse_ms(device::tesla_c2075()));
-    for post in [device::tesla_k20(), device::tesla_m40(), device::gtx680(), device::gtx1080()] {
+    for post in [
+        device::tesla_k20(),
+        device::tesla_m40(),
+        device::gtx680(),
+        device::gtx1080(),
+    ] {
         let t = parse_ms(post);
         assert!(t > 3.0 * fermi, "{}: {t:.4} vs fermi {fermi:.4}", post.name);
     }
@@ -106,5 +118,8 @@ fn host_does_only_io() {
     let device_ns = repl.elapsed_device_ns() - before;
     // All three phases happened on the device clock.
     let phase_ns = reply.phases.execution_ms() * 1e6;
-    assert!((device_ns - phase_ns).abs() < 1.0, "{device_ns} vs {phase_ns}");
+    assert!(
+        (device_ns - phase_ns).abs() < 1.0,
+        "{device_ns} vs {phase_ns}"
+    );
 }

@@ -42,7 +42,10 @@ fn multi_round_distribution_beyond_grid_capacity() {
     let reply = repl.submit(&format!("(||| {n} fib ({args}))")).unwrap();
     assert!(reply.ok, "{}", reply.output);
     assert_eq!(reply.sections.len(), 1);
-    assert_eq!(reply.sections[0].rounds, 2, "expected two distribution rounds");
+    assert_eq!(
+        reply.sections[0].rounds, 2,
+        "expected two distribution rounds"
+    );
     assert_eq!(reply.output.matches('2').count(), n, "fib(3)=2, n results");
 }
 
@@ -62,7 +65,9 @@ fn worker_environments_are_isolated_from_each_other() {
     // Paper §III-D b: "Values stored in a worker's environment do not
     // affect other workers."
     let mut session = Session::for_device(device::gtx1080());
-    session.submit("(defun stash (x) (progn (let mine x) (* mine mine)))").unwrap();
+    session
+        .submit("(defun stash (x) (progn (let mine x) (* mine mine)))")
+        .unwrap();
     let reply = session.submit("(||| 5 stash (1 2 3 4 5))").unwrap();
     assert_eq!(reply.output, "(1 4 9 16 25)");
     // `mine` never escaped to the global environment.
@@ -76,14 +81,19 @@ fn workers_see_the_global_environment() {
     let mut session = Session::for_device(device::tesla_m40());
     session.submit("(setq offset 100)").unwrap();
     session.submit("(defun shift (x) (+ x offset))").unwrap();
-    assert_eq!(session.submit("(||| 3 shift (1 2 3))").unwrap().output, "(101 102 103)");
+    assert_eq!(
+        session.submit("(||| 3 shift (1 2 3))").unwrap().output,
+        "(101 102 103)"
+    );
 }
 
 #[test]
 fn nested_parallel_sections_run_on_every_backend() {
     for spec in [device::gtx680(), device::amd_6272()] {
         let mut session = Session::for_device(spec);
-        session.submit("(defun inner (x) (||| 2 * (list x x) (1 2)))").unwrap();
+        session
+            .submit("(defun inner (x) (||| 2 * (list x x) (1 2)))")
+            .unwrap();
         let reply = session.submit("(||| 2 inner (3 4))").unwrap();
         assert_eq!(reply.output, "((3 6) (4 8))", "{}", spec.name);
     }
@@ -103,16 +113,15 @@ fn too_short_argument_lists_error_cleanly() {
 fn threaded_backend_scales_down_to_one_thread() {
     let mut one = Session::cpu_threaded(device::intel_e5_2620(), 1);
     one.submit(FIB).unwrap();
-    assert_eq!(one.submit("(||| 4 fib (5 5 5 5))").unwrap().output, "(5 5 5 5)");
+    assert_eq!(
+        one.submit("(||| 4 fib (5 5 5 5))").unwrap().output,
+        "(5 5 5 5)"
+    );
 }
 
 #[test]
 fn threaded_and_modeled_agree_on_a_mixed_program() {
-    let program = [
-        FIB,
-        "(setq base 1000)",
-        "(defun job (x) (+ base (fib x)))",
-    ];
+    let program = [FIB, "(setq base 1000)", "(defun job (x) (+ base (fib x)))"];
     let call = "(||| 6 job (1 2 3 4 5 6))";
     let mut modeled = Session::for_device(device::amd_6272());
     let mut threaded = Session::cpu_threaded(device::amd_6272(), 6);

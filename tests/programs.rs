@@ -74,7 +74,8 @@ fn map_reduce_with_parallel_map() {
     // motivating usage pattern.
     let mut s = session();
     s.submit("(defun sq (x) (* x x))").unwrap();
-    s.submit("(setq squares (||| 10 sq (1 2 3 4 5 6 7 8 9 10)))").unwrap();
+    s.submit("(setq squares (||| 10 sq (1 2 3 4 5 6 7 8 9 10)))")
+        .unwrap();
     assert_eq!(s.submit("(apply + squares)").unwrap().output, "385");
     assert_eq!(s.submit("(apply max squares)").unwrap().output, "100");
 }
@@ -102,7 +103,8 @@ fn iterative_fibonacci_with_while() {
 fn macro_generated_control_flow() {
     let mut s = session();
     // A `for` macro expanding to dotimes + body splice.
-    s.submit("(defmacro for (var n body) `(dotimes (,var ,n) ,body))").unwrap();
+    s.submit("(defmacro for (var n body) `(dotimes (,var ,n) ,body))")
+        .unwrap();
     s.submit("(setq total 0)").unwrap();
     s.submit("(for k 10 (setq total (+ total k)))").unwrap();
     assert_eq!(s.submit("total").unwrap().output, "45");
@@ -116,12 +118,21 @@ fn association_list_database() {
                         (list \"maxwell\" 2014) (list \"pascal\" 2016)))",
     )
     .unwrap();
-    assert_eq!(s.submit("(car (cdr (assoc \"kepler\" db)))").unwrap().output, "2012");
+    assert_eq!(
+        s.submit("(car (cdr (assoc \"kepler\" db)))")
+            .unwrap()
+            .output,
+        "2012"
+    );
     assert_eq!(s.submit("(assoc \"volta\" db)").unwrap().output, "nil");
     assert_eq!(s.submit("(length db)").unwrap().output, "4");
     // Insert and look up again.
-    s.submit("(setq db (cons (list \"volta\" 2017) db))").unwrap();
-    assert_eq!(s.submit("(car (cdr (assoc \"volta\" db)))").unwrap().output, "2017");
+    s.submit("(setq db (cons (list \"volta\" 2017) db))")
+        .unwrap();
+    assert_eq!(
+        s.submit("(car (cdr (assoc \"volta\" db)))").unwrap().output,
+        "2017"
+    );
 }
 
 #[test]
@@ -131,7 +142,8 @@ fn higher_order_composition_and_the_funarg_problem() {
     s.submit("(setq dbl (lambda (x) (* x 2)))").unwrap();
 
     // Composition works while f and g are live on the dynamic chain.
-    s.submit("(defun compose-call (f g x) (funcall f (funcall g x)))").unwrap();
+    s.submit("(defun compose-call (f g x) (funcall f (funcall g x)))")
+        .unwrap();
     assert_eq!(s.submit("(compose-call add3 dbl 10)").unwrap().output, "23");
 
     // CuLi is dynamically scoped (environments chain to the caller, paper
@@ -139,24 +151,36 @@ fn higher_order_composition_and_the_funarg_problem() {
     // variables exhibits the classic upward funarg problem: f and g are
     // gone by the time the escaped lambda runs. This is faithful
     // behavior, pinned here as a regression test.
-    s.submit("(defun compose (f g) (lambda (x) (funcall f (funcall g x))))").unwrap();
+    s.submit("(defun compose (f g) (lambda (x) (funcall f (funcall g x))))")
+        .unwrap();
     let reply = s.submit("(funcall (compose add3 dbl) 10)").unwrap();
-    assert!(!reply.ok, "escaped lambda must not find f/g: {}", reply.output);
+    assert!(
+        !reply.ok,
+        "escaped lambda must not find f/g: {}",
+        reply.output
+    );
     assert!(reply.output.contains("funcall"), "{}", reply.output);
 }
 
 #[test]
 fn string_processing_pipeline() {
     let mut s = session();
-    s.submit("(setq words (list \"running\" \"lisp\" \"on\" \"gpus\"))").unwrap();
+    s.submit("(setq words (list \"running\" \"lisp\" \"on\" \"gpus\"))")
+        .unwrap();
     s.submit(
         "(defun join (lst) (if (null lst) \"\" \
             (if (null (cdr lst)) (car lst) \
               (concat (car lst) \" \" (join (cdr lst))))))",
     )
     .unwrap();
-    assert_eq!(s.submit("(join words)").unwrap().output, "\"running lisp on gpus\"");
-    assert_eq!(s.submit("(string-length (join words))").unwrap().output, "20");
+    assert_eq!(
+        s.submit("(join words)").unwrap().output,
+        "\"running lisp on gpus\""
+    );
+    assert_eq!(
+        s.submit("(string-length (join words))").unwrap().output,
+        "20"
+    );
     assert_eq!(
         s.submit("(mapcar string-length words)").unwrap().output,
         "(7 4 2 4)"

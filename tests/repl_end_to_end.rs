@@ -9,7 +9,10 @@ use culi::sim::device;
 fn script() -> Vec<(&'static str, &'static str)> {
     vec![
         ("(* 2 (+ 4 3) 6)", "84"),
-        ("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))", "fib"),
+        (
+            "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+            "fib",
+        ),
         ("(fib 10)", "55"),
         ("(setq xs (list 1 2 3 4))", "(1 2 3 4)"),
         ("(append xs (reverse xs))", "(1 2 3 4 4 3 2 1)"),
@@ -62,7 +65,11 @@ fn gpu_session_recovers_from_every_error_class() {
     for bad in errors {
         let reply = session.submit(bad).unwrap();
         assert!(!reply.ok, "{bad} should fail, got {}", reply.output);
-        assert!(reply.output.starts_with("error: "), "{bad} → {}", reply.output);
+        assert!(
+            reply.output.starts_with("error: "),
+            "{bad} → {}",
+            reply.output
+        );
     }
     // Session fully functional afterwards.
     assert_eq!(session.submit("(+ 20 22)").unwrap().output, "42");
@@ -79,7 +86,10 @@ fn environment_persists_until_termination() {
     }
     assert_eq!(session.submit("counter").unwrap().output, "10");
     session.shutdown();
-    assert!(matches!(session.submit("counter"), Err(RuntimeError::SessionClosed)));
+    assert!(matches!(
+        session.submit("counter"),
+        Err(RuntimeError::SessionClosed)
+    ));
 }
 
 #[test]
@@ -87,7 +97,10 @@ fn long_interactive_sessions_stay_within_the_arena() {
     // 500 commands through a deliberately small arena: the GC keeps the
     // fixed node array (the paper's stated limitation) from exhausting.
     let cfg = GpuReplConfig {
-        interp: InterpConfig { arena_capacity: 4096, ..Default::default() },
+        interp: InterpConfig {
+            arena_capacity: 4096,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut repl = GpuRepl::launch(device::gtx480(), cfg);
@@ -111,5 +124,8 @@ fn transfer_costs_scale_with_io_size() {
 fn unbound_symbols_echo_like_the_paper_says() {
     let mut session = Session::for_device(device::tesla_k20());
     assert_eq!(session.submit("mystery").unwrap().output, "mystery");
-    assert_eq!(session.submit("(1 mystery 3)").unwrap().output, "(1 mystery 3)");
+    assert_eq!(
+        session.submit("(1 mystery 3)").unwrap().output,
+        "(1 mystery 3)"
+    );
 }

@@ -63,24 +63,24 @@ fn livelock_matrix_matches_the_paper() {
     let spec = device::gtx1080();
     // (mask, flag, jobs) → livelocks?
     let cases = [
-        (true, true, 33, false),   // the shipped design
+        (true, true, 33, false), // the shipped design
         (true, true, 64, false),
-        (false, true, 4, true),    // Fig. 12 ablation
-        (true, false, 33, true),   // Fig. 13 ablation, partial warp
-        (true, false, 64, false),  // multiple of 32: paper says fine
+        (false, true, 4, true),   // Fig. 12 ablation
+        (true, false, 33, true),  // Fig. 13 ablation, partial warp
+        (true, false, 64, false), // multiple of 32: paper says fine
         (true, false, 4096, false),
     ];
     for (mask, flag, jobs, expect_livelock) in cases {
         let mut session = Session::gpu_with_kernel_config(
             spec,
-            KernelConfig { mask_master_block: mask, block_sync_flag: flag },
+            KernelConfig {
+                mask_master_block: mask,
+                block_sync_flag: flag,
+            },
         );
         session.submit(FIB).unwrap();
         let result = session.submit(&fib_input(jobs));
-        let livelocked = matches!(
-            result,
-            Err(RuntimeError::Device(SimError::Livelock { .. }))
-        );
+        let livelocked = matches!(result, Err(RuntimeError::Device(SimError::Livelock { .. })));
         assert_eq!(
             livelocked, expect_livelock,
             "mask={mask} flag={flag} jobs={jobs}: got {result:?}"
@@ -92,7 +92,10 @@ fn livelock_matrix_matches_the_paper() {
 fn livelock_diagnosis_names_the_block() {
     let mut session = Session::gpu_with_kernel_config(
         device::gtx680(),
-        KernelConfig { block_sync_flag: false, ..Default::default() },
+        KernelConfig {
+            block_sync_flag: false,
+            ..Default::default()
+        },
     );
     session.submit(FIB).unwrap();
     match session.submit(&fib_input(40)) {
@@ -127,9 +130,13 @@ fn spin_counters_record_idle_burn() {
     let spec = device::gtx1080();
     let mut repl = GpuRepl::launch(spec, GpuReplConfig::default());
     let before = repl.stats().spin_iterations;
-    repl.submit(&format!("(length (list {}))", vec!["1"; 2000].join(" "))).unwrap();
+    repl.submit(&format!("(length (list {}))", vec!["1"; 2000].join(" ")))
+        .unwrap();
     let after = repl.stats().spin_iterations;
-    assert!(after > before, "spin iterations must grow: {before} → {after}");
+    assert!(
+        after > before,
+        "spin iterations must grow: {before} → {after}"
+    );
 }
 
 #[test]

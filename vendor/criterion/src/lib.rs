@@ -1,0 +1,305 @@
+//! A dependency-free stand-in for the [criterion](https://docs.rs/criterion)
+//! benchmark harness, API-compatible with the subset this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! criterion cannot be resolved; this crate keeps every `benches/*.rs`
+//! target compiling and *running* with real wall-clock measurements. It is
+//! intentionally simple: per benchmark it warms up, picks an iteration
+//! count that makes one sample take roughly [`SAMPLE_TARGET`], collects a
+//! fixed number of samples and reports the median time per iteration (plus
+//! throughput when configured).
+//!
+//! Differences from real criterion: no statistical analysis beyond the
+//! median/min/max, no HTML reports, no baseline storage. Set
+//! `CULI_BENCH_FAST=1` to shrink sample counts (CI smoke runs).
+
+use std::time::{Duration, Instant};
+
+/// Target duration of one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favor
+/// of `std::hint::black_box`, but some call sites still use it).
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// How expensive batch setup is relative to the routine; only a hint in
+/// real criterion and ignored here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The measurement context handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a context, reading an optional benchmark-name filter from the
+    /// command line (cargo bench passes extra args through).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Self { filter }
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group(id);
+        group.bench_function("", f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates in the report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sample-count hint; this harness uses a fixed schedule, so the value
+    /// is accepted for API compatibility and otherwise ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint; ignored (fixed schedule).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&full, &bencher.samples, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn fast_mode() -> bool {
+    std::env::var("CULI_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn sample_count() -> usize {
+    if fast_mode() {
+        3
+    } else {
+        15
+    }
+}
+
+/// Per-iteration timings collected for one benchmark.
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly; the routine's output is passed through
+    /// `black_box` so the optimizer cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and estimate a single-iteration duration.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters_per_sample >= 1 << 24 {
+                break;
+            }
+            iters_per_sample = (iters_per_sample * 2).max(1);
+        }
+        for _ in 0..sample_count() {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples.push(ns);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// inside the timed section.
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        // One warmup run.
+        black_box(routine(setup()));
+        let samples = if fast_mode() { 3 } else { 10 };
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            let ns = start.elapsed().as_nanos() as f64;
+            black_box(out);
+            self.samples.push(ns.max(1.0));
+        }
+    }
+
+    /// Like `iter_batched` but the routine borrows its input.
+    pub fn iter_batched_ref<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(&mut S) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(&mut setup()));
+        let samples = if fast_mode() { 3 } else { 10 };
+        for _ in 0..samples {
+            let mut input = setup();
+            let start = Instant::now();
+            let out = routine(&mut input);
+            let ns = start.elapsed().as_nanos() as f64;
+            black_box(out);
+            self.samples.push(ns.max(1.0));
+        }
+    }
+}
+
+fn report(name: &str, samples: &[f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(
+            " {:>10.1} MiB/s",
+            n as f64 / median * 1e9 / (1024.0 * 1024.0)
+        ),
+        Throughput::Elements(n) => format!(" {:>10.1} Melem/s", n as f64 / median * 1e9 / 1e6),
+    });
+    println!(
+        "{name:<40} time: [{} {} {}]{}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max),
+        rate.unwrap_or_default()
+    );
+}
+
+/// Formats nanoseconds with criterion-like unit scaling.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declares a group function running each target with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_iter() {
+        std::env::set_var("CULI_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert!(fmt_ns(10.0).ends_with("ns"));
+        assert!(fmt_ns(10_000.0).ends_with("µs"));
+        assert!(fmt_ns(10_000_000.0).ends_with("ms"));
+    }
+}

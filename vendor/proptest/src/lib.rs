@@ -1,0 +1,290 @@
+//! A dependency-free stand-in for the [proptest](https://docs.rs/proptest)
+//! property-testing framework, API-compatible with the subset this
+//! workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! proptest cannot be resolved. This crate implements the pieces the test
+//! suites rely on:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_filter`,
+//!   `prop_recursive` and boxing;
+//! * [`any`] for the primitive types in use, [`Just`], ranges as
+//!   strategies, tuple strategies, [`collection::vec`], `prop_oneof!`;
+//! * string *literals* as strategies, generating from a practical regex
+//!   subset (char classes with ranges, `{m,n}`/`?`/`*`/`+` quantifiers,
+//!   groups, escapes) — see [`string_gen`];
+//! * the [`proptest!`] macro with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`, plus
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Generation is driven by a deterministic [`test_runner::TestRng`] seeded
+//! from the test name, so failures are reproducible run-to-run. Unlike real
+//! proptest there is **no shrinking**: a failing case reports its inputs
+//! verbatim.
+
+pub mod collection;
+pub mod strategy;
+pub mod string_gen;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+
+/// Per-test configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the whole-workspace suite
+        // fast while still exercising the generators broadly.
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property assertion (carried as an error so the harness can
+/// report the generated inputs before panicking).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: String) -> Self {
+        Self(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (with generated
+/// inputs reported) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                        __l, __r
+                    )));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+                        __l, __r, format!($($fmt)+)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts two values differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `left != right`\n  both: `{:?}`",
+                        __l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Declares property tests. Mirrors proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0i64..100, s in "[a-z]{1,4}") { prop_assert!(x >= 0); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}\n"),+),
+                    $(&$arg),+
+                );
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (move || {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__err) = __outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}:\n{}\nwith inputs:\n{}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __err,
+                        __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn rng() -> crate::test_runner::TestRng {
+        crate::test_runner::TestRng::for_test("selftest")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (5i64..17).generate(&mut r);
+            assert!((5..17).contains(&v));
+            let u = (0usize..3).generate(&mut r);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn map_filter_compose() {
+        let mut r = rng();
+        let s = (0i32..100)
+            .prop_map(|v| v * 2)
+            .prop_filter("even", |v| *v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut r = rng();
+        let s = prop::collection::vec(0u64..10, 2..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_just() {
+        let mut r = rng();
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut r));
+        }
+        assert_eq!(seen, [1u8, 2, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        let mut r = rng();
+        let leaf = (0i32..10).prop_map(|v| v.to_string());
+        let tree = leaf.prop_recursive(3, 24, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(|kids| format!("({})", kids.join(" ")))
+        });
+        for _ in 0..200 {
+            let s = tree.generate(&mut r);
+            assert!(!s.is_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(a in -50i64..50, b in -50i64..50) {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert!(a - b == -(b - a), "{} vs {}", a - b, -(b - a));
+            prop_assert_ne!(a, a + 1);
+        }
+
+        #[test]
+        fn string_strategies_match_pattern(s in "[+-]?[0-9]{1,6}") {
+            let ok: i64 = s.parse().unwrap();
+            prop_assert!(ok.abs() <= 999_999);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Generation of strings matching a practical regex subset.
+//!
+//! Supported syntax (everything the workspace's patterns use):
+//!
+//! * literal characters and `\x` escapes;
+//! * character classes `[...]` with ranges (`a-z`, ` -~`) and literal `-`
+//!   at the edges;
+//! * groups `(...)`;
+//! * quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (`*`/`+` capped at 8 reps);
+//! * `.` as "any printable ASCII".
+//!
+//! Unsupported constructs (alternation `|`, anchors, negated classes)
+//! panic loudly so a new pattern cannot silently generate garbage.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Piece {
+    Lit(char),
+    /// Inclusive char ranges.
+    Class(Vec<(char, char)>),
+    Group(Vec<(Piece, Quant)>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    min: u32,
+    max: u32,
+}
+
+const ONE: Quant = Quant { min: 1, max: 1 };
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let seq = parse_seq(&chars, &mut pos, false, pattern);
+    assert!(pos == chars.len(), "trailing regex input in {pattern:?}");
+    let mut out = String::new();
+    emit_seq(&seq, rng, &mut out);
+    out
+}
+
+fn parse_seq(
+    chars: &[char],
+    pos: &mut usize,
+    in_group: bool,
+    pattern: &str,
+) -> Vec<(Piece, Quant)> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        let piece = match c {
+            ')' if in_group => break,
+            '(' => {
+                *pos += 1;
+                let inner = parse_seq(chars, pos, true, pattern);
+                assert!(
+                    *pos < chars.len() && chars[*pos] == ')',
+                    "unclosed group in {pattern:?}"
+                );
+                *pos += 1;
+                Piece::Group(inner)
+            }
+            '[' => {
+                *pos += 1;
+                Piece::Class(parse_class(chars, pos, pattern))
+            }
+            '\\' => {
+                *pos += 1;
+                assert!(*pos < chars.len(), "dangling escape in {pattern:?}");
+                let lit = chars[*pos];
+                *pos += 1;
+                Piece::Lit(lit)
+            }
+            '.' => {
+                *pos += 1;
+                Piece::Class(vec![(' ', '~')])
+            }
+            '|' | '^' | '$' => panic!("unsupported regex construct {c:?} in {pattern:?}"),
+            _ => {
+                *pos += 1;
+                Piece::Lit(c)
+            }
+        };
+        let quant = parse_quant(chars, pos, pattern);
+        seq.push((piece, quant));
+    }
+    seq
+}
+
+fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    assert!(
+        *pos < chars.len() && chars[*pos] != '^',
+        "negated classes unsupported in {pattern:?}"
+    );
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let mut c = chars[*pos];
+        if c == '\\' {
+            *pos += 1;
+            assert!(
+                *pos < chars.len(),
+                "dangling escape in class of {pattern:?}"
+            );
+            c = chars[*pos];
+        }
+        *pos += 1;
+        // A `-` forms a range unless it is the final char before `]`.
+        if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+            let hi = chars[*pos + 1];
+            assert!(c <= hi, "inverted class range in {pattern:?}");
+            ranges.push((c, hi));
+            *pos += 2;
+        } else {
+            ranges.push((c, c));
+        }
+    }
+    assert!(*pos < chars.len(), "unclosed class in {pattern:?}");
+    *pos += 1; // consume ']'
+    assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+    ranges
+}
+
+fn parse_quant(chars: &[char], pos: &mut usize, pattern: &str) -> Quant {
+    if *pos >= chars.len() {
+        return ONE;
+    }
+    match chars[*pos] {
+        '?' => {
+            *pos += 1;
+            Quant { min: 0, max: 1 }
+        }
+        '*' => {
+            *pos += 1;
+            Quant { min: 0, max: 8 }
+        }
+        '+' => {
+            *pos += 1;
+            Quant { min: 1, max: 8 }
+        }
+        '{' => {
+            *pos += 1;
+            let mut min = 0u32;
+            while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                min = min * 10 + chars[*pos].to_digit(10).unwrap();
+                *pos += 1;
+            }
+            let max = if *pos < chars.len() && chars[*pos] == ',' {
+                *pos += 1;
+                let mut m = 0u32;
+                while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                    m = m * 10 + chars[*pos].to_digit(10).unwrap();
+                    *pos += 1;
+                }
+                m
+            } else {
+                min
+            };
+            assert!(
+                *pos < chars.len() && chars[*pos] == '}',
+                "unclosed quantifier in {pattern:?}"
+            );
+            *pos += 1;
+            assert!(min <= max, "inverted quantifier in {pattern:?}");
+            Quant { min, max }
+        }
+        _ => ONE,
+    }
+}
+
+fn emit_seq(seq: &[(Piece, Quant)], rng: &mut TestRng, out: &mut String) {
+    for (piece, quant) in seq {
+        let reps = quant.min + rng.below((quant.max - quant.min + 1) as u64) as u32;
+        for _ in 0..reps {
+            emit_piece(piece, rng, out);
+        }
+    }
+}
+
+fn emit_piece(piece: &Piece, rng: &mut TestRng, out: &mut String) {
+    match piece {
+        Piece::Lit(c) => out.push(*c),
+        Piece::Class(ranges) => {
+            // Weight ranges by their width for a uniform char distribution.
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let width = (hi as u64) - (lo as u64) + 1;
+                if pick < width {
+                    out.push(char::from_u32(lo as u32 + pick as u32).expect("class char"));
+                    return;
+                }
+                pick -= width;
+            }
+            unreachable!("class pick out of bounds");
+        }
+        Piece::Group(inner) => emit_seq(inner, rng, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("string_gen")
+    }
+
+    #[test]
+    fn fixed_repetition() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("[a-z]{3}", &mut r);
+            assert_eq!(s.len(), 3);
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn bounded_repetition_and_edge_dash() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9-]{0,6}", &mut r);
+            assert!((1..=7).contains(&s.len()));
+            assert!(s
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-'));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[ -~]{0,16}", &mut r);
+            assert!(s.bytes().all(|b| (0x20..=0x7e).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn optional_group_and_escape() {
+        let mut r = rng();
+        let mut saw_exp = false;
+        for _ in 0..300 {
+            let s = generate("[+-]?[0-9]{1,3}\\.[0-9]{1,3}(e[+-]?[0-9]{1,2})?", &mut r);
+            let _: f64 = s.parse().unwrap_or_else(|_| panic!("unparsable {s:?}"));
+            saw_exp |= s.contains('e');
+        }
+        assert!(saw_exp, "exponent group never generated");
+    }
+
+    #[test]
+    fn class_with_parens_and_quote() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[()a-z\" ]{0,12}", &mut r);
+            assert!(s.chars().all(|c| c == '('
+                || c == ')'
+                || c == '"'
+                || c == ' '
+                || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn alternation_rejected() {
+        generate("a|b", &mut rng());
+    }
+}
