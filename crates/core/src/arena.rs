@@ -39,6 +39,12 @@ pub struct NodeArena {
     live: usize,
     /// Highest number of simultaneously live slots ever observed.
     high_water: usize,
+    /// One past the highest slot index ever allocated. Slots at or beyond
+    /// this mark still carry their pristine ascending seed links, so the
+    /// GC sweep only has to rebuild the free-list below it — collections
+    /// cost O(high slot), not O(capacity) (a 1 Mi-slot arena no longer
+    /// pays ~ms sweeps for a few-thousand-node session).
+    high_slot: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -73,6 +79,7 @@ impl NodeArena {
             free_head: if capacity > 0 { 0 } else { FREE_NONE },
             live: 0,
             high_water: 0,
+            high_slot: 0,
         }
     }
 
@@ -89,6 +96,13 @@ impl NodeArena {
     /// Peak occupancy over the arena's lifetime.
     pub fn high_water(&self) -> usize {
         self.high_water
+    }
+
+    /// One past the highest slot index ever allocated — the sweep bound
+    /// (every live node id is below it; slots beyond it are untouched
+    /// seed-state free slots).
+    pub fn high_slot(&self) -> usize {
+        self.high_slot
     }
 
     /// Allocates a node, returning its id. Pops the free-list head: O(1)
@@ -110,6 +124,7 @@ impl NodeArena {
         self.free_head = next;
         self.live += 1;
         self.high_water = self.high_water.max(self.live);
+        self.high_slot = self.high_slot.max(idx as usize + 1);
         meter.node_alloc();
         Ok(NodeId::new(idx as usize))
     }
@@ -131,21 +146,26 @@ impl NodeArena {
 
     /// Frees every live slot whose bit is clear in `marked` (a word-packed
     /// bitmap, bit `i` of word `i / 64` for slot `i`) and rebuilds the
-    /// entire free-list in ascending slot order. Returns the number of
-    /// slots freed.
+    /// free-list below the high-water slot in ascending order. Returns the
+    /// number of slots freed.
     ///
-    /// This is the GC sweep: one pass, no per-victim bookkeeping. Sweep
-    /// frees are *not* metered — matching the original collector, which
-    /// discarded its scratch meter — because the paper's cost model charges
-    /// only mutator-driven node traffic.
+    /// This is the GC sweep: one pass **bounded by the highest slot ever
+    /// allocated**, no per-victim bookkeeping. Slots at or beyond
+    /// [`NodeArena::high_slot`] were never allocated, so they still carry
+    /// their pristine ascending seed links — the rebuilt list simply
+    /// chains into them, making the sweep proportional to peak usage
+    /// instead of capacity. Sweep frees are *not* metered — matching the
+    /// original collector, which discarded its scratch meter — because the
+    /// paper's cost model charges only mutator-driven node traffic.
     pub(crate) fn sweep_unmarked(&mut self, marked: &[u64]) -> usize {
-        debug_assert!(
-            marked.len() * 64 >= self.slots.len(),
-            "mark bitmap too small"
-        );
+        debug_assert!(marked.len() * 64 >= self.high_slot, "mark bitmap too small");
         let mut freed = 0usize;
-        let mut head = FREE_NONE;
-        for idx in (0..self.slots.len()).rev() {
+        let mut head = if self.high_slot < self.slots.len() {
+            self.high_slot as u32
+        } else {
+            FREE_NONE
+        };
+        for idx in (0..self.high_slot).rev() {
             let is_marked = marked[idx >> 6] & (1u64 << (idx & 63)) != 0;
             match &mut self.slots[idx] {
                 Slot::Occupied(_) if !is_marked => {
@@ -401,6 +421,42 @@ mod tests {
         assert_eq!(a.alloc(Node::int(0), &mut m).unwrap().index(), 0);
         assert_eq!(a.alloc(Node::int(0), &mut m).unwrap().index(), 2);
         assert_eq!(a.alloc(Node::int(0), &mut m).unwrap().index(), 3);
+    }
+
+    #[test]
+    fn bounded_sweep_preserves_untouched_tail() {
+        // Only 4 of 1024 slots were ever allocated: the sweep must not
+        // disturb the pristine tail, and every slot must remain reachable
+        // through the free-list afterwards.
+        let cap = 1024;
+        let (mut a, mut m) = arena(cap);
+        let ids: Vec<NodeId> = (0..4)
+            .map(|i| a.alloc(Node::int(i as i64), &mut m).unwrap())
+            .collect();
+        assert_eq!(a.high_slot(), 4);
+        let mut marked = vec![0u64; 1];
+        marked[0] |= 1 << 1; // keep only slot 1
+        assert_eq!(a.sweep_unmarked(&marked), 3);
+        assert!(a.is_live(ids[1]));
+        for _ in 0..cap - 1 {
+            a.alloc(Node::int(0), &mut m).unwrap();
+        }
+        assert_eq!(
+            a.alloc(Node::int(0), &mut m),
+            Err(CuliError::ArenaFull { capacity: cap }),
+            "exhaustion at exact capacity after a bounded sweep"
+        );
+    }
+
+    #[test]
+    fn high_slot_tracks_peak_index_not_live_count() {
+        let (mut a, mut m) = arena(16);
+        let n0 = a.alloc(Node::int(0), &mut m).unwrap();
+        let n1 = a.alloc(Node::int(1), &mut m).unwrap();
+        a.free(n0, &mut m);
+        a.free(n1, &mut m);
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.high_slot(), 2, "high slot is a watermark, not a count");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! the parallel backend, then collects the results **in distribution
 //! order** into a fresh list.
 
-use super::util::{as_list_children, expect_min, list_from_values};
+use super::util::{expect_min, list_from_values};
 use crate::error::{CuliError, Result};
 use crate::eval::{eval, ParallelHook};
 use crate::interp::Interp;
@@ -16,6 +16,11 @@ use crate::node::{Node, NodeType, Payload};
 use crate::types::{EnvId, NodeId};
 
 /// Implements `(||| n f args…)`.
+///
+/// Argument collection, job construction and result gathering all run
+/// through pooled scratch buffers ([`Interp::take_node_buf`]) — a warm
+/// section performs no heap allocation on the master side beyond the
+/// arena nodes of the job expressions and the result list.
 pub fn par(
     interp: &mut Interp,
     hook: &mut dyn ParallelHook,
@@ -57,45 +62,108 @@ pub fn par(
         }
     }
 
-    // Argument lists, each at least n long.
-    let mut lists: Vec<Vec<NodeId>> = Vec::with_capacity(args.len() - 2);
+    // Argument lists, flattened into one pooled buffer with stride `n`
+    // (only the first n elements of each list are distributed).
+    let nlists = args.len() - 2;
+    let mut argv = interp.take_node_buf();
     for (i, &a) in args[2..].iter().enumerate() {
-        let v = eval(interp, hook, a, env, depth + 1)?;
-        let kids = as_list_children(interp, v, "|||")?;
-        if kids.len() < n {
+        let v = match eval(interp, hook, a, env, depth + 1) {
+            Ok(v) => v,
+            Err(e) => {
+                interp.put_node_buf(argv);
+                return Err(e);
+            }
+        };
+        let node = interp.arena.get(v);
+        let first = match (node.ty, node.payload) {
+            (NodeType::List | NodeType::Expression, Payload::List { first, .. }) => first,
+            (NodeType::Nil, _) => None,
+            _ => {
+                interp.put_node_buf(argv);
+                return Err(CuliError::Type {
+                    builtin: "|||",
+                    expected: "a list",
+                });
+            }
+        };
+        let before = argv.len();
+        let mut cur = first;
+        while let Some(id) = cur {
+            if argv.len() - before == n {
+                break;
+            }
+            argv.push(id);
+            cur = interp.arena.get(id).next;
+        }
+        let got = argv.len() - before;
+        if got < n {
+            interp.put_node_buf(argv);
             return Err(CuliError::ParallelArgShort {
                 arg_index: i,
-                len: kids.len(),
+                len: got,
                 requested: n,
             });
         }
-        lists.push(kids);
     }
 
     // Build one expression per worker (paper §III-D a).
-    let mut jobs = Vec::with_capacity(n);
+    let mut jobs = interp.take_node_buf();
     for w in 0..n {
-        let expr = interp.alloc(Node::new(
-            NodeType::Expression,
-            Payload::List {
-                first: None,
-                last: None,
-            },
-        ))?;
-        let f_copy = interp.copy_for_list(f_val)?;
-        interp.arena.list_append(expr, f_copy);
-        for list in &lists {
-            let elem_copy = interp.copy_for_list(list[w])?;
-            interp.arena.list_append(expr, elem_copy);
+        let built = build_job(interp, f_val, &argv, nlists, n, w);
+        match built {
+            Ok(expr) => jobs.push(expr),
+            Err(e) => {
+                interp.put_node_buf(argv);
+                interp.put_node_buf(jobs);
+                return Err(e);
+            }
         }
-        jobs.push(expr);
     }
+    interp.put_node_buf(argv);
 
     // Distribute, wait, collect in order (paper §III-D b: "appends the
     // workers' results in the same order as the work was distributed").
-    let results = hook.execute(interp, &jobs, env)?;
-    debug_assert_eq!(results.len(), jobs.len());
-    list_from_values(interp, &results)
+    let mut results = interp.take_node_buf();
+    let outcome = hook.execute(interp, &jobs, env, &mut results);
+    interp.put_node_buf(jobs);
+    match outcome {
+        Ok(()) => {
+            debug_assert_eq!(results.len(), n);
+            let list = list_from_values(interp, &results);
+            interp.put_node_buf(results);
+            list
+        }
+        Err(e) => {
+            interp.put_node_buf(results);
+            Err(e)
+        }
+    }
+}
+
+/// Builds worker `w`'s job expression `(f list1[w] … listk[w])` from the
+/// flattened argument buffer.
+fn build_job(
+    interp: &mut Interp,
+    f_val: NodeId,
+    argv: &[NodeId],
+    nlists: usize,
+    n: usize,
+    w: usize,
+) -> Result<NodeId> {
+    let expr = interp.alloc(Node::new(
+        NodeType::Expression,
+        Payload::List {
+            first: None,
+            last: None,
+        },
+    ))?;
+    let f_copy = interp.copy_for_list(f_val)?;
+    interp.arena.list_append(expr, f_copy);
+    for l in 0..nlists {
+        let elem_copy = interp.copy_for_list(argv[l * n + w])?;
+        interp.arena.list_append(expr, elem_copy);
+    }
+    Ok(expr)
 }
 
 #[cfg(test)]

@@ -39,6 +39,22 @@
 //! [`EnvArena::lookup_legacy`], the retained reference implementation of
 //! the faithful scan — both the resolved node and the exact meter deltas
 //! must agree.
+//!
+//! # Sync epochs (persistent worker pools)
+//!
+//! The real-threads `|||` backend keeps long-lived worker interpreters
+//! that were forked from the master once and must observe everything the
+//! master defines *afterwards*. To make that incremental, the arena keeps
+//! a monotonically increasing **sync epoch** and a replay log: every
+//! mutation of a *logged* environment (the persistent set, marked with
+//! [`EnvArena::start_sync_log`] — in practice the global environment)
+//! appends a [`SyncRecord`]. A worker that last synchronized at epoch `e`
+//! replays exactly [`EnvArena::sync_records_since`]`(e)` instead of being
+//! re-cloned. The log is compacted during GC (only the newest record per
+//! `(environment, symbol)` is replayable — older ones are shadowed or
+//! overwritten anyway), so it stays proportional to the number of
+//! distinct global definitions, and surviving record values are GC roots
+//! until then.
 
 use crate::cost::Meter;
 use crate::strings::StrTable;
@@ -148,11 +164,54 @@ struct Env {
     index: Option<Box<EnvIndex>>,
 }
 
+/// How a logged environment mutation reached the arena — replaying a
+/// `Define` prepends a fresh (shadowing) binding, replaying a `Set`
+/// overwrites the visible binding (falling back to a define when the
+/// replica never saw the original definition, e.g. after log compaction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncKind {
+    /// A new binding was prepended (`defun`, top-level `let`, `setq`
+    /// fallback on an unbound symbol).
+    Define,
+    /// The nearest existing binding's value was overwritten (`setq`).
+    Set,
+}
+
+/// One replayable mutation of a logged (persistent) environment. `value`
+/// is a node in the *owning* interpreter's arena; replicas re-materialize
+/// it through the flat codec in [`crate::postbox`].
+#[derive(Debug, Clone, Copy)]
+pub struct SyncRecord {
+    /// The epoch this mutation was stamped with (strictly increasing
+    /// within the log, gap-free until compaction).
+    pub epoch: u64,
+    /// The mutated environment (persistent, so its id is stable across
+    /// clones and collections).
+    pub env: EnvId,
+    /// The bound symbol.
+    pub sym: StrId,
+    /// The bound value.
+    pub value: NodeId,
+    /// Define vs. set semantics for replay.
+    pub kind: SyncKind,
+}
+
 /// Arena of environments and bindings.
 #[derive(Debug, Clone, Default)]
 pub struct EnvArena {
     envs: Vec<Env>,
     bindings: Vec<Binding>,
+    /// Environments with index below this record their mutations in
+    /// `sync_log` (0 until [`EnvArena::start_sync_log`]).
+    logged_envs: usize,
+    /// Next epoch to stamp (== number of mutations ever logged).
+    epoch: u64,
+    /// Replayable mutations of logged environments, epoch-ascending.
+    sync_log: Vec<SyncRecord>,
+    /// Log length right after the last compaction (irreducible records);
+    /// compaction re-runs only once the log doubles past it, so repeated
+    /// collections over an already-minimal log do no work.
+    compacted_len: usize,
 }
 
 impl EnvArena {
@@ -247,6 +306,91 @@ impl EnvArena {
                 }
             }
         }
+        self.log_mutation(env, sym, value, SyncKind::Define);
+    }
+
+    /// Starts recording mutations of every environment that exists right
+    /// now (the persistent set) into the sync log. Called once by
+    /// [`crate::interp::Interp::new`] after the builtins are registered —
+    /// worker replicas fork *after* that point, so boot-time definitions
+    /// never need replaying.
+    pub fn start_sync_log(&mut self) {
+        self.logged_envs = self.envs.len();
+    }
+
+    /// The current sync epoch: stamp a replica with this after replaying
+    /// (or cloning), then replay [`EnvArena::sync_records_since`] of that
+    /// stamp to catch up later.
+    pub fn sync_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of records currently held in the sync log (replicas use the
+    /// growth of their *own* log to detect that a parallel job mutated
+    /// persistent state and their fork has diverged from the master).
+    pub fn sync_log_len(&self) -> usize {
+        self.sync_log.len()
+    }
+
+    /// All logged mutations stamped at `epoch` or later, oldest first.
+    pub fn sync_records_since(&self, epoch: u64) -> &[SyncRecord] {
+        let start = self.sync_log.partition_point(|r| r.epoch < epoch);
+        &self.sync_log[start..]
+    }
+
+    #[inline]
+    fn log_mutation(&mut self, env: EnvId, sym: StrId, value: NodeId, kind: SyncKind) {
+        if env.index() < self.logged_envs {
+            self.sync_log.push(SyncRecord {
+                epoch: self.epoch,
+                env,
+                sym,
+                value,
+                kind,
+            });
+            self.epoch += 1;
+        }
+    }
+
+    /// Drops log records that can never influence a replay again: any
+    /// record for an `(environment, symbol)` pair that has a newer record
+    /// is either shadowed (define) or overwritten (set), so replaying only
+    /// the newest yields the same visible bindings. Epoch stamps are
+    /// preserved, so replicas holding older epochs stay correct. Called by
+    /// [`crate::gc::collect`] once the log outgrows a small threshold;
+    /// afterwards every surviving record value equals a live binding value.
+    pub(crate) fn maybe_compact_sync_log(&mut self) {
+        const COMPACT_THRESHOLD: usize = 64;
+        // Amortization: a log can be irreducible (every record is the
+        // newest for its symbol) — re-scanning it on every collection
+        // would be pure waste, so wait until it doubles past the last
+        // compacted size.
+        if self.sync_log.len() <= COMPACT_THRESHOLD || self.sync_log.len() < self.compacted_len * 2
+        {
+            return;
+        }
+        let mut seen: std::collections::HashSet<(EnvId, StrId)> =
+            std::collections::HashSet::with_capacity(self.sync_log.len());
+        let mut keep = vec![false; self.sync_log.len()];
+        for (i, r) in self.sync_log.iter().enumerate().rev() {
+            if seen.insert((r.env, r.sym)) {
+                keep[i] = true;
+            }
+        }
+        let mut i = 0;
+        self.sync_log.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
+        self.compacted_len = self.sync_log.len();
+    }
+
+    /// Values held by sync-log records. They are GC roots: between
+    /// compactions a record may reference an already-overwritten value
+    /// that a stale replica still needs to replay.
+    pub(crate) fn sync_log_values(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.sync_log.iter().map(|r| r.value)
     }
 
     /// Builds the symbol index for an environment that outgrew inline
@@ -283,9 +427,10 @@ impl EnvArena {
     }
 
     /// Resolves `sym` from `env` outwards, returning the binding (if any)
-    /// plus the exact probe/byte charges the paper's faithful scan would
-    /// have paid for this resolution.
-    fn find(&self, env: EnvId, sym: StrId, sym_len: u64) -> (Option<BindingId>, u64, u64) {
+    /// together with the environment that owns it, plus the exact
+    /// probe/byte charges the paper's faithful scan would have paid for
+    /// this resolution.
+    fn find(&self, env: EnvId, sym: StrId, sym_len: u64) -> (Option<(BindingId, EnvId)>, u64, u64) {
         let mut probes = 0u64;
         let mut bytes = 0u64;
         let mut cur_env = Some(env);
@@ -295,7 +440,7 @@ impl EnvArena {
                 Some(index) => {
                     if let Some(entry) = index.map.get(&sym) {
                         return (
-                            Some(entry.binding),
+                            Some((entry.binding, e)),
                             probes + entry.probes,
                             bytes + entry.bytes,
                         );
@@ -313,7 +458,7 @@ impl EnvArena {
                         probes += 1;
                         bytes += sym_len.min(binding.sym_len as u64) + 1;
                         if binding.sym == sym {
-                            return (Some(b), probes, bytes);
+                            return (Some((b, e)), probes, bytes);
                         }
                         cur = binding.next;
                     }
@@ -340,7 +485,7 @@ impl EnvArena {
         let (found, probes, bytes) = self.find(env, sym, sym_len);
         meter.env_probes_n(probes);
         meter.symbol_cmp_bytes(bytes);
-        let result = found.map(|b| self.bindings[b.index()].value);
+        let result = found.map(|(b, _)| self.bindings[b.index()].value);
         #[cfg(debug_assertions)]
         self.crosscheck_against_legacy(env, sym, strings, result, probes, bytes);
         result
@@ -367,15 +512,16 @@ impl EnvArena {
             env,
             sym,
             strings,
-            found.map(|b| self.bindings[b.index()].value),
+            found.map(|(b, _)| self.bindings[b.index()].value),
             probes,
             bytes,
         );
         match found {
-            Some(b) => {
+            Some((b, owner)) => {
                 // Value mutation only: scan order, name lengths and the
                 // symbol index are all unaffected.
                 self.bindings[b.index()].value = value;
+                self.log_mutation(owner, sym, value, SyncKind::Set);
                 true
             }
             None => false,
@@ -725,6 +871,57 @@ mod tests {
             );
             assert_eq!(fast.snapshot(), slow.snapshot(), "charges for {sym:?}");
         }
+    }
+
+    #[test]
+    fn sync_log_records_only_logged_envs() {
+        let (mut envs, mut strs, mut m) = fixture();
+        let g = envs.push(None);
+        let boot = strs.intern(b"boot");
+        envs.define(g, boot, NodeId::new(0), &strs); // before logging starts
+        envs.start_sync_log();
+        assert_eq!(envs.sync_epoch(), 0);
+        let x = strs.intern(b"x");
+        envs.define(g, x, NodeId::new(1), &strs);
+        let child = envs.push(Some(g));
+        let y = strs.intern(b"y");
+        envs.define(child, y, NodeId::new(2), &strs); // transient: unlogged
+        assert!(envs.set_nearest(child, x, NodeId::new(3), &strs, &mut m));
+        let records = envs.sync_records_since(0);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].sym, x);
+        assert_eq!(records[0].kind, SyncKind::Define);
+        assert_eq!(records[1].kind, SyncKind::Set);
+        assert_eq!(records[1].env, g, "set logged against the owning env");
+        assert_eq!(records[1].value, NodeId::new(3));
+        assert_eq!(envs.sync_records_since(1).len(), 1);
+        assert_eq!(envs.sync_records_since(2).len(), 0);
+        assert_eq!(envs.sync_epoch(), 2);
+    }
+
+    #[test]
+    fn sync_log_compaction_keeps_newest_per_symbol() {
+        let (mut envs, mut strs, _m) = fixture();
+        let g = envs.push(None);
+        envs.start_sync_log();
+        let syms: Vec<StrId> = (0..10)
+            .map(|i| strs.intern(format!("s{i}").as_bytes()))
+            .collect();
+        for round in 0..10 {
+            for (i, &sym) in syms.iter().enumerate() {
+                envs.define(g, sym, NodeId::new(round * 10 + i), &strs);
+            }
+        }
+        assert_eq!(envs.sync_log_len(), 100);
+        envs.maybe_compact_sync_log();
+        let records = envs.sync_records_since(0);
+        assert_eq!(records.len(), 10, "one surviving record per symbol");
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.value, NodeId::new(90 + i), "newest value survives");
+        }
+        // Epochs stay ascending so replica replay boundaries stay valid.
+        assert!(records.windows(2).all(|w| w[0].epoch < w[1].epoch));
+        assert_eq!(envs.sync_epoch(), 100);
     }
 
     #[test]

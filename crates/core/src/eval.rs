@@ -44,13 +44,20 @@ use crate::types::{EnvId, NodeId};
 /// identical (CuLi workers are side-effect-isolated).
 pub trait ParallelHook {
     /// Evaluates each job expression in its own child environment of
-    /// `parent_env`, returning results in job order.
+    /// `parent_env`, appending results to `results` in job order.
+    ///
+    /// `results` is a caller-provided (pooled) buffer: `|||` hands every
+    /// backend the same recycled scratch so a warm section performs no
+    /// per-section heap allocation for result collection. Implementations
+    /// must push exactly one value per job on success; on error the buffer
+    /// contents are unspecified (the caller discards them).
     fn execute(
         &mut self,
         interp: &mut Interp,
         jobs: &[NodeId],
         parent_env: EnvId,
-    ) -> Result<Vec<NodeId>>;
+        results: &mut Vec<NodeId>,
+    ) -> Result<()>;
 
     /// The number of workers this backend can serve, if bounded. The GPU
     /// backend's grid has a fixed worker count; `|||` rejects requests
@@ -70,8 +77,8 @@ impl ParallelHook for SequentialHook {
         interp: &mut Interp,
         jobs: &[NodeId],
         parent_env: EnvId,
-    ) -> Result<Vec<NodeId>> {
-        let mut out = Vec::with_capacity(jobs.len());
+        results: &mut Vec<NodeId>,
+    ) -> Result<()> {
         for (w, &job) in jobs.iter().enumerate() {
             // Paper §III-D b: each worker's subtree is rooted in an
             // environment whose parent is the |||-expression's environment.
@@ -80,9 +87,9 @@ impl ParallelHook for SequentialHook {
                 worker: w,
                 message: e.to_string(),
             })?;
-            out.push(value);
+            results.push(value);
         }
-        Ok(out)
+        Ok(())
     }
 }
 

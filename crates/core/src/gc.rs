@@ -48,7 +48,6 @@ pub struct GcStats {
 /// environments across a collection.
 pub fn collect(interp: &mut Interp, extra_roots: &[NodeId]) -> GcStats {
     let live_before = interp.arena.live();
-    let cap = interp.arena.capacity();
 
     // Environments created during evaluation are unreachable once it
     // returns (dynamic scoping: nothing captures an environment), so drop
@@ -57,10 +56,17 @@ pub fn collect(interp: &mut Interp, extra_roots: &[NodeId]) -> GcStats {
     // instead of every environment ever created.
     interp.envs.reclaim_transient(interp.persistent_envs);
 
-    // Reused word-packed mark bitmap (cleared, not reallocated).
+    // Fold the worker-sync replay log down to its replayable core before
+    // rooting it (see below) so it cannot pin dead values indefinitely.
+    interp.envs.maybe_compact_sync_log();
+
+    // Reused word-packed mark bitmap (cleared, not reallocated), sized to
+    // the highest slot ever allocated: both marking and the sweep are
+    // bounded by peak arena usage, not capacity.
+    let bound = interp.arena.high_slot();
     let mut marked = std::mem::take(&mut interp.scratch.gc_marks);
     marked.clear();
-    marked.resize(cap.div_ceil(64), 0);
+    marked.resize(bound.div_ceil(64), 0);
 
     // Roots: every binding in every environment ever created. Environments
     // themselves are never collected (they are small and the paper keeps
@@ -79,6 +85,10 @@ pub fn collect(interp: &mut Interp, extra_roots: &[NodeId]) -> GcStats {
         }
     }
     stack.extend_from_slice(extra_roots);
+    // Sync-log records are roots: a stale worker replica may still need to
+    // replay a value that the master has since overwritten (compaction
+    // above keeps this set proportional to distinct global definitions).
+    stack.extend(interp.envs.sync_log_values());
 
     while let Some(id) = stack.pop() {
         let idx = id.index();

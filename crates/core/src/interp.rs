@@ -16,6 +16,9 @@ use crate::parser::parse;
 use crate::printer::print_to_string;
 use crate::strings::StrTable;
 use crate::types::{EnvId, NodeId, StrId};
+use culi_strlib::StrBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Construction-time limits, the analogue of CuLi's compile-time constants.
 #[derive(Debug, Clone)]
@@ -46,6 +49,10 @@ impl Default for InterpConfig {
 pub struct Scratch {
     node_bufs: Vec<Vec<NodeId>>,
     sym_bufs: Vec<Vec<StrId>>,
+    /// Reusable printer output buffers (capacity = configured output
+    /// capacity), so repeated printing never re-allocates the output
+    /// string (the paper's Fig. 16d print phase).
+    print_bufs: Vec<StrBuf>,
     /// Word-packed GC mark bitmap, reused across collections.
     pub(crate) gc_marks: Vec<u64>,
     /// GC root/traversal stack, reused across collections.
@@ -53,7 +60,7 @@ pub struct Scratch {
 }
 
 /// A complete CuLi interpreter instance.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Interp {
     /// Limits this instance was built with.
     pub config: InterpConfig,
@@ -79,6 +86,35 @@ pub struct Interp {
     /// everything beyond this watermark is transient and reclaimed by
     /// [`crate::gc::collect`] between evaluations.
     pub(crate) persistent_envs: usize,
+    /// Whole-interpreter clones performed in this instance's lineage
+    /// (shared by every clone). Worker pools fork interpreters exactly
+    /// once at warm-up; tests and benches assert that a warm session's
+    /// count stays flat.
+    clone_counter: Arc<AtomicU64>,
+}
+
+/// Cloning an interpreter is a *fork*: a deep copy of the arena, strings,
+/// environments and registry. It is deliberately supported (the CPU
+/// backends fork workers, tests snapshot state) but expensive — the shared
+/// [`Interp::clone_count`] ticks on every clone so the parallel runtime
+/// can prove it only forks at pool warm-up.
+impl Clone for Interp {
+    fn clone(&self) -> Self {
+        self.clone_counter.fetch_add(1, Ordering::Relaxed);
+        Self {
+            config: self.config.clone(),
+            arena: self.arena.clone(),
+            strings: self.strings.clone(),
+            envs: self.envs.clone(),
+            builtins: self.builtins.clone(),
+            global: self.global,
+            meter: self.meter.clone(),
+            host_io: self.host_io.clone(),
+            scratch: self.scratch.clone(),
+            persistent_envs: self.persistent_envs,
+            clone_counter: Arc::clone(&self.clone_counter),
+        }
+    }
 }
 
 impl Interp {
@@ -96,6 +132,7 @@ impl Interp {
             host_io: None,
             scratch: Scratch::default(),
             persistent_envs: 0,
+            clone_counter: Arc::new(AtomicU64::new(0)),
             config,
         };
         interp.global = interp.envs.push(None);
@@ -112,7 +149,26 @@ impl Interp {
                 .envs
                 .define(interp.global, sym, node, &interp.strings);
         }
+        // Boot definitions never need replaying: worker replicas are
+        // forked from a fully-booted instance. Start the sync log here so
+        // only post-boot mutations travel to warm worker forks.
+        interp.envs.start_sync_log();
         interp
+    }
+
+    /// Number of whole-interpreter clones ever performed in this
+    /// instance's lineage (the counter is shared between an instance and
+    /// every fork made from it).
+    pub fn clone_count(&self) -> u64 {
+        self.clone_counter.load(Ordering::Relaxed)
+    }
+
+    /// Number of persistent environments (created before evaluation
+    /// started — the global environment). Everything beyond this watermark
+    /// is transient; the postbox chain codec uses it to find where a `|||`
+    /// expression's environment chain leaves replica-stable ground.
+    pub fn persistent_env_count(&self) -> usize {
+        self.persistent_envs
     }
 
     /// Takes a cleared [`NodeId`] buffer from the scratch pool (or a fresh
@@ -151,6 +207,25 @@ impl Interp {
     pub(crate) fn put_sym_buf(&mut self, mut buf: Vec<StrId>) {
         buf.clear();
         self.scratch.sym_bufs.push(buf);
+    }
+
+    /// Takes a cleared printer output buffer of the configured output
+    /// capacity from the scratch pool (or builds one while the pool warms
+    /// up). Return it with [`Interp::put_print_buf`]; after the first
+    /// print, printing re-allocates nothing.
+    #[inline]
+    pub fn take_print_buf(&mut self) -> StrBuf {
+        self.scratch
+            .print_bufs
+            .pop()
+            .unwrap_or_else(|| StrBuf::with_capacity(self.config.output_capacity))
+    }
+
+    /// Returns a buffer taken with [`Interp::take_print_buf`] to the pool.
+    #[inline]
+    pub fn put_print_buf(&mut self, mut buf: StrBuf) {
+        buf.clear();
+        self.scratch.print_bufs.push(buf);
     }
 
     /// Allocates a node, charging the meter.

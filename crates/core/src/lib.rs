@@ -35,6 +35,7 @@ pub mod hostio;
 pub mod interp;
 pub mod node;
 pub mod parser;
+pub mod postbox;
 pub mod printer;
 pub mod strings;
 pub mod types;

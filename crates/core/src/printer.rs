@@ -12,12 +12,18 @@ use crate::node::{NodeType, Payload};
 use crate::types::NodeId;
 use culi_strlib::StrBuf;
 
-/// Prints `node` into a fresh buffer of the interpreter's configured output
-/// capacity and returns the bytes.
+/// Prints `node` through a pooled buffer of the interpreter's configured
+/// output capacity and returns the bytes. The working buffer comes from
+/// [`Interp::take_print_buf`], so repeated printing reuses its capacity —
+/// only the returned copy is a fresh allocation (callers that can consume
+/// the bytes in place should use [`print_into`] with their own pooled
+/// buffer instead).
 pub fn print(interp: &mut Interp, node: NodeId) -> Result<Vec<u8>> {
-    let mut buf = StrBuf::with_capacity(interp.config.output_capacity);
-    print_into(interp, node, &mut buf)?;
-    Ok(buf.into_bytes())
+    let mut buf = interp.take_print_buf();
+    let result = print_into(interp, node, &mut buf);
+    let out = result.map(|_| buf.as_bytes().to_vec());
+    interp.put_print_buf(buf);
+    out
 }
 
 /// Prints `node` to the end of `buf`.
@@ -31,8 +37,14 @@ pub fn print_into(interp: &mut Interp, node: NodeId, buf: &mut StrBuf) -> Result
 }
 
 /// Convenience: print to a `String` (UTF-8-lossy; CuLi text is ASCII).
+/// Like [`print`], the working buffer is pooled on the interpreter; only
+/// the returned `String` itself is allocated.
 pub fn print_to_string(interp: &mut Interp, node: NodeId) -> Result<String> {
-    Ok(String::from_utf8_lossy(&print(interp, node)?).into_owned())
+    let mut buf = interp.take_print_buf();
+    let result = print_into(interp, node, &mut buf);
+    let out = result.map(|_| String::from_utf8_lossy(buf.as_bytes()).into_owned());
+    interp.put_print_buf(buf);
+    out
 }
 
 type BufResult = core::result::Result<(), culi_strlib::buf::BufFull>;
@@ -64,17 +76,13 @@ fn walk(interp: &mut Interp, node: NodeId, buf: &mut StrBuf, depth: usize) -> Bu
         NodeType::Str => match n.payload {
             Payload::Text(s) => {
                 buf.push(b'"')?;
-                let text = interp.strings.get(s).to_vec();
-                buf.push_bytes(&text)?;
+                buf.push_bytes(interp.strings.get(s))?;
                 buf.push(b'"')
             }
             _ => unreachable!("string node without text payload"),
         },
         NodeType::Symbol => match n.payload {
-            Payload::Text(s) => {
-                let text = interp.strings.get(s).to_vec();
-                buf.push_bytes(&text)
-            }
+            Payload::Text(s) => buf.push_bytes(interp.strings.get(s)),
             _ => unreachable!("symbol node without text payload"),
         },
         NodeType::Function => match n.payload {
@@ -90,12 +98,19 @@ fn walk(interp: &mut Interp, node: NodeId, buf: &mut StrBuf, depth: usize) -> Bu
         NodeType::Macro => buf.push_bytes(b"#<macro>"),
         NodeType::List | NodeType::Expression => {
             buf.push(b'(')?;
-            let kids = interp.arena.list_children(node);
-            for (i, kid) in kids.iter().enumerate() {
-                if i > 0 {
+            // Follow the sibling chain directly — no per-list child vector.
+            let mut cur = match n.payload {
+                Payload::List { first, .. } => first,
+                _ => None,
+            };
+            let mut first_kid = true;
+            while let Some(kid) = cur {
+                if !first_kid {
                     buf.push(b' ')?;
                 }
-                walk(interp, *kid, buf, depth + 1)?;
+                first_kid = false;
+                walk(interp, kid, buf, depth + 1)?;
+                cur = interp.arena.get(kid).next;
             }
             buf.push(b')')
         }
@@ -159,6 +174,26 @@ mod tests {
         let d = i.meter.snapshot().delta_since(&before);
         assert_eq!(d.output_bytes, 7); // "(1 2 3)"
         assert_eq!(d.number_formats, 3);
+    }
+
+    #[test]
+    fn pooled_print_buffer_is_cleared_between_prints() {
+        let mut i = Interp::new(InterpConfig::default());
+        let forms = parse(&mut i, b"(1 2 3) (4 5)").unwrap();
+        assert_eq!(print_to_string(&mut i, forms[0]).unwrap(), "(1 2 3)");
+        assert_eq!(print_to_string(&mut i, forms[1]).unwrap(), "(4 5)");
+        assert_eq!(print_to_string(&mut i, forms[0]).unwrap(), "(1 2 3)");
+    }
+
+    #[test]
+    fn overflow_recycles_the_buffer() {
+        let mut i = Interp::new(InterpConfig {
+            output_capacity: 4,
+            ..Default::default()
+        });
+        let forms = parse(&mut i, b"(1 2 3 4 5) 7").unwrap();
+        assert!(print(&mut i, forms[0]).is_err());
+        assert_eq!(print_to_string(&mut i, forms[1]).unwrap(), "7");
     }
 
     #[test]

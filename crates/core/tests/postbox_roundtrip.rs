@@ -1,0 +1,96 @@
+//! Property tests for the flat postbox codec: any tree the parser can
+//! produce must encode → decode into a *different* interpreter and print
+//! back identically, and batches must decode independently of order.
+
+use culi_core::postbox::{FlatTree, SyncPacket};
+use culi_core::printer::print_to_string;
+use culi_core::Interp;
+use proptest::prelude::*;
+
+/// A randomized s-expression source string: atoms (ints, floats, nil, T,
+/// symbols, strings) nested in lists up to depth 4.
+fn sexpr() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        any::<i32>().prop_map(|v| v.to_string()),
+        (0u16..1000u16, 0u16..100u16).prop_map(|(a, b)| format!("{a}.{b}")),
+        Just("nil".to_string()),
+        Just("T".to_string()),
+        Just("()".to_string()),
+        "[a-z]{1,8}".prop_map(|s| s.to_string()),
+        "[a-z]{0,6}".prop_map(|s| format!("\"{s}\"")),
+    ];
+    atom.prop_recursive(4, 64, 6, |inner| {
+        prop::collection::vec(inner, 0..6).prop_map(|kids| format!("({})", kids.join(" ")))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Encode in one interpreter, decode in a fresh one, print both: the
+    /// outputs must agree byte for byte.
+    #[test]
+    fn flat_tree_roundtrips_through_a_fresh_interpreter(src in sexpr()) {
+        let mut master = Interp::default();
+        let forms = culi_core::parser::parse(&mut master, src.as_bytes()).unwrap();
+        prop_assert_eq!(forms.len(), 1);
+        let mut buf = FlatTree::default();
+        buf.push_tree(&master, forms[0]);
+        let mut replica = Interp::default();
+        let decoded = buf.decode(0, &mut replica).unwrap();
+        prop_assert_eq!(
+            print_to_string(&mut master, forms[0]).unwrap(),
+            print_to_string(&mut replica, decoded).unwrap()
+        );
+    }
+
+    /// A batch of trees decodes per index, in any order, into the same
+    /// printed values — and a cleared buffer is reusable.
+    #[test]
+    fn batches_decode_in_any_order(srcs in prop::collection::vec(sexpr(), 1..6)) {
+        let mut master = Interp::default();
+        let mut buf = FlatTree::default();
+        let mut expected = Vec::new();
+        for src in &srcs {
+            let forms = culi_core::parser::parse(&mut master, src.as_bytes()).unwrap();
+            buf.push_tree(&master, forms[0]);
+            expected.push(print_to_string(&mut master, forms[0]).unwrap());
+        }
+        let mut replica = Interp::default();
+        // Reverse order: decoding must not depend on sequential reads.
+        for i in (0..srcs.len()).rev() {
+            let decoded = buf.decode(i, &mut replica).unwrap();
+            prop_assert_eq!(
+                &print_to_string(&mut replica, decoded).unwrap(),
+                &expected[i]
+            );
+        }
+        buf.clear();
+        prop_assert!(buf.is_empty());
+    }
+
+    /// Replaying a master's sync log into a stale fork converges the
+    /// fork's visible global bindings onto the master's, whatever mix of
+    /// fresh defines, shadowing redefines and sets happened in between.
+    #[test]
+    fn sync_replay_converges_replicas(
+        ops in prop::collection::vec((0usize..6, -1000i64..1000), 1..24)
+    ) {
+        let mut master = Interp::default();
+        let epoch0 = master.envs.sync_epoch();
+        let mut replica = master.clone();
+        for (slot, value) in &ops {
+            // setq defines on first touch, sets afterwards.
+            master.eval_str(&format!("(setq v{slot} {value})")).unwrap();
+        }
+        let mut packet = SyncPacket::default();
+        packet.encode_since(&master, epoch0);
+        packet.apply(&mut replica).unwrap();
+        for (slot, _) in &ops {
+            prop_assert_eq!(
+                master.eval_str(&format!("v{slot}")).unwrap(),
+                replica.eval_str(&format!("v{slot}")).unwrap()
+            );
+        }
+    }
+}

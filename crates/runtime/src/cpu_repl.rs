@@ -6,18 +6,19 @@
 //!   by a [`CpuMachine`] (list-scheduled pthread workers, no warps, no
 //!   postbox spinning). This is the backend behind the CPU series of
 //!   Figs. 14–18.
-//! * **Threaded** — `|||` sections really run on scoped OS threads:
-//!   each worker thread gets a forked interpreter (CuLi workers are
-//!   side-effect-isolated, so a fork per worker preserves semantics) and
-//!   results are imported back in distribution order. This backend proves
-//!   the interpreter's parallel semantics on real hardware and reports
-//!   wall-clock time.
+//! * **Threaded** — `|||` sections really run on OS threads: a
+//!   persistent [`ThreadedHook`] worker pool (see [`crate::pool`]) keeps
+//!   warm interpreter forks alive across sections and commands,
+//!   synchronizing them incrementally through the flat postbox codec.
+//!   This backend proves the interpreter's parallel semantics on real
+//!   hardware and reports wall-clock time.
 
 use crate::error::{Result, RuntimeError};
 use crate::phases::{breakdown, counters_to_cycles};
+use crate::pool::ThreadedHook;
 use crate::reply::Reply;
 use culi_core::cost::Counters;
-use culi_core::eval::{eval, ParallelHook, SequentialHook};
+use culi_core::eval::{eval, ParallelHook};
 use culi_core::{CuliError, Interp, InterpConfig, NodeId};
 use culi_gpu_sim::{CpuMachine, DeviceSpec, SectionReport, SimError};
 
@@ -63,6 +64,11 @@ pub struct CpuRepl {
     interp: Interp,
     machine: CpuMachine,
     config: CpuReplConfig,
+    /// Persistent real-threads backend (Threaded mode only; the worker
+    /// pool inside survives across commands).
+    threaded: Option<ThreadedHook>,
+    /// Reused per-job cycle scratch for the modeled backend.
+    scratch_cycles: Vec<u64>,
 }
 
 impl CpuRepl {
@@ -74,6 +80,8 @@ impl CpuRepl {
             interp,
             machine: CpuMachine::launch(spec),
             config,
+            threaded: None,
+            scratch_cycles: Vec::new(),
         }
     }
 
@@ -116,13 +124,19 @@ impl CpuRepl {
                     job_counters: Counters::default(),
                     sections: Vec::new(),
                     sim_error: None,
+                    job_cycles: std::mem::take(&mut self.scratch_cycles),
                 };
                 let (last, err) = eval_forms(&mut self.interp, &mut hook, &forms);
+                self.scratch_cycles = hook.job_cycles;
                 (last, hook.sections, hook.job_counters, err, hook.sim_error)
             }
             CpuMode::Threaded { threads } => {
-                let mut hook = ThreadedHook { threads };
-                let (last, err) = eval_forms(&mut self.interp, &mut hook, &forms);
+                // The hook (and its worker pool) persists across commands:
+                // workers stay warm and are synchronized incrementally.
+                let hook = self
+                    .threaded
+                    .get_or_insert_with(|| ThreadedHook::new(threads));
+                let (last, err) = eval_forms(&mut self.interp, hook, &forms);
                 (last, Vec::new(), Counters::default(), err, None)
             }
         };
@@ -204,6 +218,7 @@ impl CpuRepl {
 
     /// Stops the worker pool; returns total setup+teardown in ms.
     pub fn shutdown(&mut self) -> f64 {
+        self.threaded = None; // joins the persistent worker pool
         self.machine.shutdown();
         self.machine.overhead_ns() as f64 / 1e6
     }
@@ -230,12 +245,16 @@ fn eval_forms(
 }
 
 /// Modeled pthread pool: job costs are list-scheduled by the machine.
+/// `job_cycles` is lent by the repl and reused across sections and
+/// commands, so modeled sections allocate nothing per section beyond
+/// their report.
 struct CpuModelHook<'m> {
     machine: &'m mut CpuMachine,
     costs: culi_gpu_sim::CostTable,
     job_counters: Counters,
     sections: Vec<SectionReport>,
     sim_error: Option<SimError>,
+    job_cycles: Vec<u64>,
 }
 
 impl ParallelHook for CpuModelHook<'_> {
@@ -244,28 +263,41 @@ impl ParallelHook for CpuModelHook<'_> {
         interp: &mut Interp,
         jobs: &[NodeId],
         parent_env: culi_core::EnvId,
-    ) -> culi_core::Result<Vec<NodeId>> {
-        let mut results = Vec::with_capacity(jobs.len());
-        let mut job_cycles = Vec::with_capacity(jobs.len());
+        results: &mut Vec<NodeId>,
+    ) -> culi_core::Result<()> {
+        // Swap the pooled buffer out for the duration of this section: a
+        // *nested* ||| inside a job re-enters execute and must not clobber
+        // the outer section's cycles (the nested level simply starts from
+        // a fresh buffer, as the pre-pooling code did per section).
+        let mut cycles = std::mem::take(&mut self.job_cycles);
+        cycles.clear();
         for (w, &job) in jobs.iter().enumerate() {
             let env = interp.envs.push(Some(parent_env));
             let before = interp.meter.snapshot();
             let nested_before = self.job_counters;
-            let value = eval(interp, self, job, env, 0).map_err(|e| CuliError::WorkerFailed {
-                worker: w,
-                message: e.to_string(),
-            })?;
+            let value = match eval(interp, self, job, env, 0) {
+                Ok(v) => v,
+                Err(e) => {
+                    self.job_cycles = cycles;
+                    return Err(CuliError::WorkerFailed {
+                        worker: w,
+                        message: e.to_string(),
+                    });
+                }
+            };
             let delta = interp.meter.snapshot().delta_since(&before);
             let nested = self.job_counters.delta_since(&nested_before);
             let own = delta.delta_since(&nested);
             self.job_counters.add(&own);
-            job_cycles.push(crate::phases::counters_to_cycles(&self.costs, &own));
+            cycles.push(crate::phases::counters_to_cycles(&self.costs, &own));
             results.push(value);
         }
-        match self.machine.parallel_section(&job_cycles) {
+        let outcome = self.machine.parallel_section(&cycles);
+        self.job_cycles = cycles;
+        match outcome {
             Ok(report) => {
                 self.sections.push(report);
-                Ok(results)
+                Ok(())
             }
             Err(e) => {
                 let msg = e.to_string();
@@ -273,62 +305,6 @@ impl ParallelHook for CpuModelHook<'_> {
                 Err(CuliError::Backend(msg))
             }
         }
-    }
-}
-
-/// Real-threads pool: forks the interpreter per worker thread, evaluates
-/// job chunks concurrently, imports results back in order.
-pub struct ThreadedHook {
-    /// Worker thread count.
-    pub threads: usize,
-}
-
-impl ParallelHook for ThreadedHook {
-    fn execute(
-        &mut self,
-        interp: &mut Interp,
-        jobs: &[NodeId],
-        parent_env: culi_core::EnvId,
-    ) -> culi_core::Result<Vec<NodeId>> {
-        let t = self.threads.clamp(1, jobs.len().max(1));
-        // Contiguous chunks keep the order mapping trivial.
-        let chunk_size = jobs.len().div_ceil(t);
-        let template = interp.clone();
-
-        type WorkerOut = culi_core::Result<(Interp, Vec<NodeId>)>;
-        let outcomes: Vec<WorkerOut> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (c, chunk) in jobs.chunks(chunk_size).enumerate() {
-                let mut fork = template.clone();
-                handles.push(scope.spawn(move || -> WorkerOut {
-                    let mut out = Vec::with_capacity(chunk.len());
-                    for (i, &job) in chunk.iter().enumerate() {
-                        let env = fork.envs.push(Some(parent_env));
-                        let v = eval(&mut fork, &mut SequentialHook, job, env, 0).map_err(|e| {
-                            CuliError::WorkerFailed {
-                                worker: c * chunk_size + i,
-                                message: e.to_string(),
-                            }
-                        })?;
-                        out.push(v);
-                    }
-                    Ok((fork, out))
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-
-        let mut results = Vec::with_capacity(jobs.len());
-        for outcome in outcomes {
-            let (fork, values) = outcome?;
-            for v in values {
-                results.push(interp.import_tree(&fork, v)?);
-            }
-        }
-        Ok(results)
     }
 }
 

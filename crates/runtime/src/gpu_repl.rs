@@ -58,6 +58,8 @@ pub struct GpuRepl {
     kernel: PersistentKernel,
     cmdbuf: CommandBuffer,
     config: GpuReplConfig,
+    /// Reused per-job cycle scratch for the section hook.
+    scratch_cycles: Vec<u64>,
 }
 
 impl GpuRepl {
@@ -71,6 +73,7 @@ impl GpuRepl {
             kernel: PersistentKernel::launch(spec, config.kernel),
             cmdbuf: CommandBuffer::new(config.cmdbuf_capacity),
             config,
+            scratch_cycles: Vec::new(),
         }
     }
 
@@ -126,6 +129,7 @@ impl GpuRepl {
             job_counters: Counters::default(),
             sections: Vec::new(),
             sim_error: None,
+            job_cycles: std::mem::take(&mut self.scratch_cycles),
         };
         let mut last: Option<NodeId> = None;
         let mut eval_error: Option<CuliError> = None;
@@ -138,6 +142,7 @@ impl GpuRepl {
                 }
             }
         }
+        self.scratch_cycles = hook.job_cycles;
         let sections = hook.sections;
         let job_counters = hook.job_counters;
         if let Some(sim) = hook.sim_error {
@@ -275,6 +280,8 @@ impl GpuRepl {
 }
 
 /// The `|||` backend bridging the interpreter to the simulated kernel.
+/// `job_cycles` is lent by the repl and reused across sections and
+/// commands.
 struct GpuHook<'k> {
     kernel: &'k mut PersistentKernel,
     costs: CostTable,
@@ -283,6 +290,7 @@ struct GpuHook<'k> {
     job_counters: Counters,
     sections: Vec<SectionReport>,
     sim_error: Option<SimError>,
+    job_cycles: Vec<u64>,
 }
 
 impl ParallelHook for GpuHook<'_> {
@@ -291,30 +299,42 @@ impl ParallelHook for GpuHook<'_> {
         interp: &mut Interp,
         jobs: &[NodeId],
         parent_env: culi_core::EnvId,
-    ) -> culi_core::Result<Vec<NodeId>> {
-        let mut results = Vec::with_capacity(jobs.len());
-        let mut job_cycles = Vec::with_capacity(jobs.len());
+        results: &mut Vec<NodeId>,
+    ) -> culi_core::Result<()> {
+        // Swap the pooled buffer out for this section: a nested ||| inside
+        // a job re-enters execute and must not clobber the outer section's
+        // cycles (the nested level starts from a fresh buffer instead).
+        let mut cycles = std::mem::take(&mut self.job_cycles);
+        cycles.clear();
         for (w, &job) in jobs.iter().enumerate() {
             let env = interp.envs.push(Some(parent_env));
             let before = interp.meter.snapshot();
             let nested_before = self.job_counters;
-            let value = eval(interp, self, job, env, 0).map_err(|e| CuliError::WorkerFailed {
-                worker: w,
-                message: e.to_string(),
-            })?;
+            let value = match eval(interp, self, job, env, 0) {
+                Ok(v) => v,
+                Err(e) => {
+                    self.job_cycles = cycles;
+                    return Err(CuliError::WorkerFailed {
+                        worker: w,
+                        message: e.to_string(),
+                    });
+                }
+            };
             let delta = interp.meter.snapshot().delta_since(&before);
             // A nested ||| inside this job already accounted its own
             // workers; bill only this job's own operations.
             let nested = self.job_counters.delta_since(&nested_before);
             let own = delta.delta_since(&nested);
             self.job_counters.add(&own);
-            job_cycles.push(counters_to_cycles(&self.costs, &own));
+            cycles.push(counters_to_cycles(&self.costs, &own));
             results.push(value);
         }
-        match self.kernel.parallel_section(&job_cycles) {
+        let outcome = self.kernel.parallel_section(&cycles);
+        self.job_cycles = cycles;
+        match outcome {
             Ok(report) => {
                 self.sections.push(report);
-                Ok(results)
+                Ok(())
             }
             Err(e) => {
                 let msg = e.to_string();

@@ -7,8 +7,11 @@
 //!   persistent kernel, master-thread parse/eval/print, postbox-driven
 //!   `|||` sections with warp-livelock mechanics.
 //! * [`cpu_repl::CpuRepl`] — the comparison systems: a modeled pthread
-//!   pool (figures) and a real std::thread scoped backend (functional
-//!   parallelism).
+//!   pool (figures) and a real std::thread persistent-pool backend
+//!   (functional parallelism).
+//! * [`pool::WorkerPool`] — the persistent real-threads `|||` backend:
+//!   warm interpreter forks synchronized incrementally through the flat
+//!   postbox codec.
 //! * [`session::Session`] — one facade over every backend.
 //! * [`phases`] — operation counts → cycles → per-phase milliseconds.
 
@@ -19,14 +22,16 @@ pub mod cpu_repl;
 pub mod error;
 pub mod gpu_repl;
 pub mod phases;
+pub mod pool;
 pub mod reply;
 pub mod session;
 pub mod vfs;
 
-pub use cpu_repl::{CpuMode, CpuRepl, CpuReplConfig, ThreadedHook};
+pub use cpu_repl::{CpuMode, CpuRepl, CpuReplConfig};
 pub use error::{Result, RuntimeError};
 pub use gpu_repl::{GpuRepl, GpuReplConfig};
 pub use phases::{counters_to_cycles, PhaseBreakdown};
+pub use pool::{ForkPerSectionHook, ThreadedHook, WorkerPool};
 pub use reply::Reply;
 pub use session::Session;
 pub use vfs::{DirFs, VirtualFs};

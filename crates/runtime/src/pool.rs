@@ -1,0 +1,619 @@
+//! Persistent worker pool for the real-threads `|||` backend.
+//!
+//! PR 1's [`ForkPerSectionHook`] (retained below as the benchmark
+//! baseline) re-cloned the *entire* interpreter — arena, environments,
+//! string table — per worker chunk on every `|||` section. This module
+//! replaces it with the architecture the paper actually describes
+//! (§III-D): workers are **persistent** and jobs travel through a compact
+//! **postbox**.
+//!
+//! # Architecture
+//!
+//! * Each [`WorkerPool`] seat owns an OS thread holding a **warm
+//!   interpreter fork**, cloned exactly once at pool warm-up.
+//! * Master ⇄ worker traffic goes through one-slot [`Postbox`]es
+//!   (mutex + condvar around a single `Option`), not channels — no
+//!   per-message queue-node allocation, mirroring the GPU postbox's
+//!   fixed mailbox slots.
+//! * A section dispatch per active seat carries four recycled flat
+//!   buffers ([`culi_core::postbox`]):
+//!   1. a `SyncPacket` — the master's environment mutations since this
+//!      seat's **sync epoch** (see [`culi_core::env`]): warm forks replay
+//!      only new `defun`/`setq`s instead of being re-cloned;
+//!   2. a `ChainPacket` — the transient environment chain above the `|||`
+//!      expression (dynamic scoping: job bodies may reference enclosing
+//!      `let`/parameter bindings);
+//!   3. a `FlatTree` of encoded job expressions;
+//!   4. a `FlatTree` the worker fills with encoded results.
+//! * Buffers round-trip master → worker → master, so a warm section
+//!   performs **zero steady-state heap allocations** and **zero
+//!   whole-interpreter clones** ([`culi_core::Interp::clone_count`]
+//!   proves the latter in tests).
+//! * Results come back in distribution order; worker errors surface as
+//!   [`CuliError::WorkerFailed`] with the job's global index, exactly
+//!   like the sequential backend.
+//!
+//! # Isolation across sections
+//!
+//! The fork-per-section design silently guaranteed that worker-side
+//! mutations of *global* state died with the fork. Persistent workers
+//! would leak them into later sections, so every worker watches its own
+//! sync log: if a section's jobs grew it (a job ran `setq`/`defun`
+//! against persistent state), the worker reports itself **dirty** and the
+//! pool re-forks that seat before its next dispatch. Pure workloads — the
+//! paper's model — never pay this; mutating workloads get exactly the old
+//! fork-per-section semantics.
+//!
+//! After replying, a worker collects its own garbage (decoded sync
+//! values stay rooted by its global bindings; job temporaries die), so a
+//! warm worker's arena stays at its steady-state high-water mark.
+
+use culi_core::eval::{eval, ParallelHook, SequentialHook};
+use culi_core::postbox::{ChainPacket, FlatTree, SyncPacket};
+use culi_core::{CuliError, EnvId, Interp, NodeId};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A one-slot rendezvous mailbox: `put` blocks while the slot is
+/// occupied, `take` blocks while it is empty. The CPU analogue of the
+/// simulated kernel's postbox cells — no queue, no per-message
+/// allocation.
+#[derive(Debug)]
+struct Postbox<T> {
+    slot: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T> Postbox<T> {
+    fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn put(&self, value: T) {
+        let mut slot = self.slot.lock().unwrap();
+        while slot.is_some() {
+            slot = self.ready.wait(slot).unwrap();
+        }
+        *slot = Some(value);
+        self.ready.notify_all();
+    }
+
+    fn take(&self) -> T {
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            if let Some(v) = slot.take() {
+                self.ready.notify_all();
+                return v;
+            }
+            slot = self.ready.wait(slot).unwrap();
+        }
+    }
+}
+
+/// One section dispatch: every buffer is recycled across sections by
+/// round-tripping master → worker → master.
+#[derive(Debug, Default)]
+struct SectionMsg {
+    /// Master env mutations since this seat's last sync.
+    sync: SyncPacket,
+    /// Transient env chain above the `|||` expression.
+    chain: ChainPacket,
+    /// Encoded job expressions for this seat's chunk.
+    jobs: FlatTree,
+    /// Worker-filled encoded results.
+    results: FlatTree,
+    /// Global index of this chunk's first job (error reporting).
+    first_job: usize,
+}
+
+#[derive(Debug)]
+enum ToWorker {
+    Section(Box<SectionMsg>),
+    Shutdown,
+}
+
+#[derive(Debug)]
+struct SectionReply {
+    msg: Box<SectionMsg>,
+    /// First failing job `(global index, message)`, if any.
+    error: Option<(usize, String)>,
+    /// The section's jobs mutated persistent (global) state: this fork
+    /// has diverged from the master and must be replaced.
+    dirty: bool,
+    /// The worker panicked mid-section and is terminating.
+    panicked: bool,
+}
+
+#[derive(Debug)]
+struct Seat {
+    to: Arc<Postbox<ToWorker>>,
+    from: Arc<Postbox<SectionReply>>,
+    handle: Option<JoinHandle<()>>,
+    /// Master sync epoch this seat's fork has replayed up to.
+    synced_epoch: u64,
+    /// Recycled dispatch buffers (`None` only while a section is in
+    /// flight on this seat).
+    bufs: Option<Box<SectionMsg>>,
+    /// Fork diverged (dirty or panicked); replace before next dispatch.
+    needs_refork: bool,
+}
+
+impl Seat {
+    fn launch(template: &Interp) -> Self {
+        let to = Arc::new(Postbox::new());
+        let from = Arc::new(Postbox::new());
+        let interp = template.clone();
+        let (to2, from2) = (Arc::clone(&to), Arc::clone(&from));
+        let handle = std::thread::spawn(move || worker_loop(interp, &to2, &from2));
+        Self {
+            to,
+            from,
+            handle: Some(handle),
+            synced_epoch: template.envs.sync_epoch(),
+            bufs: Some(Box::default()),
+            needs_refork: false,
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.to.put(ToWorker::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(mut interp: Interp, to: &Postbox<ToWorker>, from: &Postbox<SectionReply>) {
+    loop {
+        match to.take() {
+            ToWorker::Shutdown => return,
+            ToWorker::Section(mut msg) => {
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    run_section(&mut interp, &mut msg)
+                }));
+                match outcome {
+                    Ok((error, dirty)) => {
+                        from.put(SectionReply {
+                            msg,
+                            error,
+                            dirty,
+                            panicked: false,
+                        });
+                        // Collect after replying: the master proceeds while
+                        // this fork sweeps its job temporaries (bounded by
+                        // its high-water slot, see culi_core::gc).
+                        culi_core::gc::collect(&mut interp, &[]);
+                    }
+                    Err(_) => {
+                        // The fork's state can no longer be trusted; report
+                        // and terminate. The pool re-forks this seat.
+                        from.put(SectionReply {
+                            msg: Box::default(),
+                            error: None,
+                            dirty: true,
+                            panicked: true,
+                        });
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs one dispatched section inside a worker: replay sync, rebuild the
+/// transient chain, evaluate each job, encode results. Returns the first
+/// failure (global job index + message) and the dirty flag.
+fn run_section(interp: &mut Interp, msg: &mut SectionMsg) -> (Option<(usize, String)>, bool) {
+    msg.results.clear();
+    // A failed sync replay leaves this fork *partially* synchronized while
+    // the master has already advanced the seat's epoch — report dirty so
+    // the pool replaces the fork instead of letting it silently diverge.
+    if let Err(e) = msg.sync.apply(interp) {
+        return (
+            Some((msg.first_job, format!("worker sync failed: {e}"))),
+            true,
+        );
+    }
+    let base_env = match msg.chain.rebuild(interp) {
+        Ok(env) => env,
+        Err(e) => {
+            return (
+                Some((msg.first_job, format!("worker chain rebuild failed: {e}"))),
+                true,
+            )
+        }
+    };
+    // Replaying the sync packet itself appends to this fork's own log;
+    // only growth *beyond* this point means a job mutated global state.
+    let log_before = interp.envs.sync_log_len();
+    let mut error = None;
+    for j in 0..msg.jobs.len() {
+        let job = match msg.jobs.decode(j, interp) {
+            Ok(id) => id,
+            Err(e) => {
+                error = Some((msg.first_job + j, e.to_string()));
+                break;
+            }
+        };
+        // Paper §III-D b: each job's subtree roots in a child of the |||
+        // expression's environment.
+        let env = interp.envs.push(Some(base_env));
+        match eval(interp, &mut SequentialHook, job, env, 0) {
+            Ok(value) => msg.results.push_tree(interp, value),
+            Err(e) => {
+                error = Some((msg.first_job + j, e.to_string()));
+                break;
+            }
+        }
+    }
+    let dirty = interp.envs.sync_log_len() != log_before;
+    (error, dirty)
+}
+
+/// A pool of persistent worker threads with warm interpreter forks.
+#[derive(Debug)]
+pub struct WorkerPool {
+    seats: Vec<Seat>,
+}
+
+impl WorkerPool {
+    /// Forks `threads` workers (at least one) from `template`. This is the
+    /// only point that clones whole interpreters; every later section is
+    /// incremental.
+    pub fn launch(template: &Interp, threads: usize) -> Self {
+        let seats = (0..threads.max(1))
+            .map(|_| Seat::launch(template))
+            .collect();
+        Self { seats }
+    }
+
+    /// Number of worker seats.
+    pub fn size(&self) -> usize {
+        self.seats.len()
+    }
+
+    /// Distributes `jobs` over the seats in contiguous chunks, blocks for
+    /// every reply, and appends the decoded results to `results` in
+    /// distribution order.
+    pub fn execute(
+        &mut self,
+        interp: &mut Interp,
+        jobs: &[NodeId],
+        parent_env: EnvId,
+        results: &mut Vec<NodeId>,
+    ) -> culi_core::Result<()> {
+        // Replace forks that diverged (dirty/panicked) in earlier sections.
+        for seat in &mut self.seats {
+            if seat.needs_refork {
+                seat.shutdown();
+                *seat = Seat::launch(interp);
+            }
+        }
+
+        let t = self.seats.len().min(jobs.len()).max(1);
+        let chunk_size = jobs.len().div_ceil(t);
+        let epoch_now = interp.envs.sync_epoch();
+
+        let mut active = 0;
+        for (c, chunk) in jobs.chunks(chunk_size).enumerate() {
+            let seat = &mut self.seats[c];
+            let mut msg = seat.bufs.take().expect("seat buffers still in flight");
+            msg.sync.encode_since(interp, seat.synced_epoch);
+            msg.chain.encode(interp, parent_env);
+            msg.jobs.clear();
+            for &job in chunk {
+                msg.jobs.push_tree(interp, job);
+            }
+            msg.first_job = c * chunk_size;
+            seat.synced_epoch = epoch_now;
+            seat.to.put(ToWorker::Section(msg));
+            active += 1;
+        }
+
+        // Collect in seat (= distribution) order; always drain every
+        // active seat so the pool stays consistent even on failure.
+        let mut first_error: Option<CuliError> = None;
+        for c in 0..active {
+            let reply = self.seats[c].from.take();
+            if reply.panicked {
+                self.seats[c].needs_refork = true;
+                if first_error.is_none() {
+                    first_error =
+                        Some(CuliError::Backend("||| worker thread panicked".to_string()));
+                }
+                self.seats[c].bufs = Some(reply.msg);
+                continue;
+            }
+            if reply.dirty {
+                self.seats[c].needs_refork = true;
+            }
+            if let Some((worker, message)) = reply.error {
+                if first_error.is_none() {
+                    first_error = Some(CuliError::WorkerFailed { worker, message });
+                }
+            } else if first_error.is_none() {
+                for i in 0..reply.msg.results.len() {
+                    match reply.msg.results.decode(i, interp) {
+                        Ok(v) => results.push(v),
+                        Err(e) => {
+                            first_error = Some(e);
+                            break;
+                        }
+                    }
+                }
+            }
+            self.seats[c].bufs = Some(reply.msg);
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for seat in &mut self.seats {
+            seat.shutdown();
+        }
+    }
+}
+
+/// Real-threads `|||` backend over a lazily-launched persistent
+/// [`WorkerPool`]. The pool forks its workers on the first section and
+/// keeps them warm across sections *and* REPL commands; see the module
+/// docs for the synchronization protocol.
+#[derive(Debug)]
+pub struct ThreadedHook {
+    threads: usize,
+    pool: Option<WorkerPool>,
+}
+
+impl ThreadedHook {
+    /// A backend that will fork `threads` persistent workers on first use.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            pool: None,
+        }
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` once the pool has been forked (diagnostics/tests).
+    pub fn is_warm(&self) -> bool {
+        self.pool.is_some()
+    }
+}
+
+impl ParallelHook for ThreadedHook {
+    fn execute(
+        &mut self,
+        interp: &mut Interp,
+        jobs: &[NodeId],
+        parent_env: EnvId,
+        results: &mut Vec<NodeId>,
+    ) -> culi_core::Result<()> {
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::launch(interp, self.threads));
+        }
+        self.pool
+            .as_mut()
+            .expect("pool just ensured")
+            .execute(interp, jobs, parent_env, results)
+    }
+}
+
+/// PR 1's fork-per-section backend, retained as the performance baseline
+/// and as a semantic reference: it clones the whole interpreter per worker
+/// chunk per section. `bench_pr2` and the equivalence property tests run
+/// it side by side with the pooled backend.
+#[derive(Debug, Clone, Copy)]
+pub struct ForkPerSectionHook {
+    /// Worker thread count.
+    pub threads: usize,
+}
+
+impl ParallelHook for ForkPerSectionHook {
+    fn execute(
+        &mut self,
+        interp: &mut Interp,
+        jobs: &[NodeId],
+        parent_env: EnvId,
+        results: &mut Vec<NodeId>,
+    ) -> culi_core::Result<()> {
+        let t = self.threads.clamp(1, jobs.len().max(1));
+        // Contiguous chunks keep the order mapping trivial.
+        let chunk_size = jobs.len().div_ceil(t);
+        let template = interp.clone();
+
+        type WorkerOut = culi_core::Result<(Interp, Vec<NodeId>)>;
+        let outcomes: Vec<WorkerOut> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (c, chunk) in jobs.chunks(chunk_size).enumerate() {
+                let mut fork = template.clone();
+                handles.push(scope.spawn(move || -> WorkerOut {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for (i, &job) in chunk.iter().enumerate() {
+                        let env = fork.envs.push(Some(parent_env));
+                        let v = eval(&mut fork, &mut SequentialHook, job, env, 0).map_err(|e| {
+                            CuliError::WorkerFailed {
+                                worker: c * chunk_size + i,
+                                message: e.to_string(),
+                            }
+                        })?;
+                        out.push(v);
+                    }
+                    Ok((fork, out))
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+
+        for outcome in outcomes {
+            let (fork, values) = outcome?;
+            for v in values {
+                results.push(interp.import_tree(&fork, v)?);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culi_core::InterpConfig;
+
+    fn interp() -> Interp {
+        Interp::new(InterpConfig {
+            arena_capacity: 1 << 16,
+            ..Default::default()
+        })
+    }
+
+    fn run(i: &mut Interp, hook: &mut dyn ParallelHook, src: &str) -> String {
+        i.eval_str_with(src, hook).unwrap()
+    }
+
+    #[test]
+    fn pooled_results_match_paper_example() {
+        let mut i = interp();
+        let mut hook = ThreadedHook::new(3);
+        assert_eq!(
+            run(&mut i, &mut hook, "(||| 3 + (1 2 3) (4 5 6))"),
+            "(5 7 9)"
+        );
+    }
+
+    #[test]
+    fn pool_is_lazy_and_persists_across_sections() {
+        let mut i = interp();
+        let mut hook = ThreadedHook::new(4);
+        assert!(!hook.is_warm());
+        run(&mut i, &mut hook, "(||| 4 + (1 2 3 4) (1 1 1 1))");
+        assert!(hook.is_warm());
+        let clones_after_warmup = i.clone_count();
+        for _ in 0..16 {
+            assert_eq!(
+                run(&mut i, &mut hook, "(||| 4 * (1 2 3 4) (2 2 2 2))"),
+                "(2 4 6 8)"
+            );
+        }
+        assert_eq!(
+            i.clone_count(),
+            clones_after_warmup,
+            "warm sections must not clone the interpreter"
+        );
+    }
+
+    #[test]
+    fn definitions_between_sections_reach_warm_workers() {
+        let mut i = interp();
+        let mut hook = ThreadedHook::new(2);
+        run(&mut i, &mut hook, "(||| 2 + (1 2) (0 0))"); // warm up
+        i.eval_str_with("(setq k 100)", &mut hook).unwrap();
+        i.eval_str_with("(defun addk (x) (+ x k))", &mut hook)
+            .unwrap();
+        assert_eq!(run(&mut i, &mut hook, "(||| 2 addk (1 2))"), "(101 102)");
+        i.eval_str_with("(setq k 200)", &mut hook).unwrap();
+        assert_eq!(run(&mut i, &mut hook, "(||| 2 addk (1 2))"), "(201 202)");
+    }
+
+    #[test]
+    fn dynamic_scope_chain_reaches_workers() {
+        // The ||| sits inside a form application; its body references the
+        // caller's parameter through dynamic scoping.
+        let mut i = interp();
+        let mut hook = ThreadedHook::new(2);
+        i.eval_str_with("(defun use-y (x) (+ x y))", &mut hook)
+            .unwrap();
+        i.eval_str_with("(defun outer (y) (||| 2 use-y (10 20)))", &mut hook)
+            .unwrap();
+        assert_eq!(run(&mut i, &mut hook, "(outer 7)"), "(17 27)");
+        assert_eq!(run(&mut i, &mut hook, "(outer 9)"), "(19 29)");
+    }
+
+    #[test]
+    fn worker_global_mutation_does_not_leak_across_sections() {
+        let mut i = interp();
+        let mut hook = ThreadedHook::new(2);
+        i.eval_str_with("(setq total 100)", &mut hook).unwrap();
+        i.eval_str_with(
+            "(defun bump (x) (progn (setq total (+ total x)) total))",
+            &mut hook,
+        )
+        .unwrap();
+        assert_eq!(run(&mut i, &mut hook, "(||| 2 bump (1 2))"), "(101 102)");
+        // Dirty forks were replaced: the next section starts from the
+        // master's state again (total is still 100 there).
+        assert_eq!(run(&mut i, &mut hook, "(||| 2 bump (5 6))"), "(105 106)");
+        assert_eq!(i.eval_str_with("total", &mut hook).unwrap(), "100");
+    }
+
+    #[test]
+    fn errors_report_global_job_index_in_distribution_order() {
+        let mut i = interp();
+        let mut hook = ThreadedHook::new(2);
+        let err = i
+            .eval_str_with("(||| 4 / (1 1 1 1) (1 1 0 1))", &mut hook)
+            .unwrap_err();
+        match err {
+            CuliError::WorkerFailed { worker, message } => {
+                assert_eq!(worker, 2);
+                assert!(message.contains("zero"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // The pool survives an error section.
+        assert_eq!(run(&mut i, &mut hook, "(||| 2 + (1 2) (1 1))"), "(2 3)");
+    }
+
+    #[test]
+    fn more_jobs_than_seats_chunk_in_order() {
+        let mut i = interp();
+        let mut hook = ThreadedHook::new(3);
+        assert_eq!(
+            run(
+                &mut i,
+                &mut hook,
+                "(||| 7 - (10 20 30 40 50 60 70) (1 2 3 4 5 6 7))"
+            ),
+            "(9 18 27 36 45 54 63)"
+        );
+    }
+
+    #[test]
+    fn nested_sections_run_inside_workers() {
+        let mut i = interp();
+        let mut hook = ThreadedHook::new(2);
+        i.eval_str_with("(defun row (x) (||| 2 + (1 2) (list x x)))", &mut hook)
+            .unwrap();
+        assert_eq!(
+            run(&mut i, &mut hook, "(||| 2 row (10 20))"),
+            "((11 12) (21 22))"
+        );
+    }
+
+    #[test]
+    fn fork_per_section_baseline_still_works() {
+        let mut i = interp();
+        let mut hook = ForkPerSectionHook { threads: 3 };
+        assert_eq!(
+            run(&mut i, &mut hook, "(||| 3 + (1 2 3) (4 5 6))"),
+            "(5 7 9)"
+        );
+        assert!(i.clone_count() > 0, "the baseline really does clone");
+    }
+}
