@@ -41,7 +41,7 @@ fn bench(c: &mut Criterion) {
 
     {
         let mut i = session();
-        let mut hook = ForkPerSectionHook { threads: 8 };
+        let mut hook = ForkPerSectionHook::new(8);
         group.bench_function("fork_per_section_8_workers", |b| {
             b.iter(|| {
                 black_box(i.eval_str_with(SECTION, &mut hook).unwrap());

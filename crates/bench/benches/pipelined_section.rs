@@ -1,0 +1,75 @@
+//! Multi-command `|||` throughput (real wall time): PR 2's per-command
+//! rendezvous (`submit` loop) vs PR 3's pipelined multi-section batch
+//! dispatch (`submit_batch`) on the same persistent pool, plus the
+//! snapshot-resync path under a worker-global-mutating workload. Each
+//! iteration processes a whole 16-command batch, mirroring a warm REPL
+//! command stream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use culi_core::InterpConfig;
+use culi_runtime::{CpuMode, CpuRepl, CpuReplConfig};
+use std::hint::black_box;
+
+const SECTION: &str = "(||| 8 + (1 2 3 4 5 6 7 8) (1 2 3 4 5 6 7 8))";
+const BATCH: usize = 16;
+
+fn repl(threads: usize) -> CpuRepl {
+    let mut repl = CpuRepl::launch(
+        culi_gpu_sim::device::intel_e5_2620(),
+        CpuReplConfig {
+            interp: InterpConfig {
+                arena_capacity: 1 << 16,
+                ..Default::default()
+            },
+            mode: CpuMode::Threaded { threads },
+            ..Default::default()
+        },
+    );
+    repl.submit(culi_bench::workload::FIB_DEFUN).unwrap();
+    repl
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipelined_section");
+    group.sample_size(20);
+
+    {
+        let mut r = repl(8);
+        r.submit(SECTION).unwrap(); // warm the pool
+        group.bench_function("rendezvous_16_commands_8w", |b| {
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    black_box(r.submit(SECTION).unwrap());
+                }
+            })
+        });
+    }
+
+    {
+        let mut r = repl(8);
+        let batch: Vec<&str> = vec![SECTION; BATCH];
+        r.submit_batch(&batch).unwrap(); // warm the pool
+        group.bench_function("batched_16_commands_8w", |b| {
+            b.iter(|| black_box(r.submit_batch(&batch).unwrap()))
+        });
+    }
+
+    {
+        // Every section dirties its seats: the whole batch runs on
+        // snapshot resyncs (zero clones — asserted by tests).
+        let mut r = repl(4);
+        r.submit("(setq total 100)").unwrap();
+        r.submit("(defun bump (x) (progn (setq total (+ total x)) total))")
+            .unwrap();
+        let batch: Vec<&str> = vec!["(||| 4 bump (1 2 3 4))"; BATCH];
+        r.submit_batch(&batch).unwrap();
+        group.bench_function("dirty_batched_16_commands_4w", |b| {
+            b.iter(|| black_box(r.submit_batch(&batch).unwrap()))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

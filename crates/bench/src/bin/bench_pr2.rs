@@ -103,7 +103,7 @@ fn main() {
     // PR 1 baseline: whole-interpreter clone per worker chunk per section.
     let forked = {
         let mut i = session();
-        let mut hook = ForkPerSectionHook { threads: 8 };
+        let mut hook = ForkPerSectionHook::new(8);
         let median = measure(samples, || {
             i.eval_str_with(SECTION, &mut hook).unwrap();
             culi_core::gc::collect(&mut i, &[]);

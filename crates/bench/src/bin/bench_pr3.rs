@@ -1,0 +1,284 @@
+//! `bench_pr3` — emits the PR-3 performance baseline as JSON.
+//!
+//! Measures the pipelined multi-section dispatch this PR added: warm
+//! multi-command `|||` throughput through `CpuRepl::submit_batch`
+//! (runs of consecutive sections coalesce into one postbox rendezvous
+//! per seat per run, double-buffered) against PR 2's per-command
+//! rendezvous (`submit` loop) on the same pool — the headline
+//! `pipelined_speedup_vs_rendezvous` must be ≥ 2× on ≥ 4 workers
+//! (asserted below, overhead-dominated workload). Also measures the
+//! snapshot-resync machinery: incremental `SyncPacket` replay vs
+//! `EnvSnapshot` rebuild at several divergence volumes, reporting the
+//! measured crossover that justifies the pool's count-based decision
+//! rule, plus the cost of a dirty-section snapshot recovery. Records the
+//! whole-interpreter clone count over a warm mixed batch (dirty seats
+//! included) — the PR's zero-clone acceptance number.
+//!
+//! ```text
+//! cargo run --release -p culi-bench --bin bench_pr3 [out.json]
+//! ```
+
+use culi_bench::jsonout::{Json, ToJson};
+use culi_core::postbox::{EnvSnapshot, SyncPacket};
+use culi_core::{Interp, InterpConfig};
+use culi_runtime::{CpuMode, CpuRepl, CpuReplConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct BenchRow {
+    name: String,
+    median_ns: f64,
+    samples: usize,
+}
+
+impl ToJson for BenchRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("median_ns", Json::Num(self.median_ns)),
+            ("samples", Json::UInt(self.samples as u64)),
+        ])
+    }
+}
+
+/// Runs `f` repeatedly, returning the median ns per call over `samples`
+/// batches sized to take roughly a millisecond each.
+fn measure<O>(samples: usize, mut f: impl FnMut() -> O) -> f64 {
+    let mut batch = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        if t.elapsed().as_micros() >= 1000 || batch >= 1 << 22 {
+            break;
+        }
+        batch *= 2;
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+const FIB: &str = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+const BATCH_LEN: usize = 32;
+
+fn threaded(threads: usize) -> CpuRepl {
+    let mut repl = CpuRepl::launch(
+        culi_gpu_sim::device::intel_e5_2620(),
+        CpuReplConfig {
+            interp: InterpConfig {
+                arena_capacity: 1 << 16,
+                ..Default::default()
+            },
+            mode: CpuMode::Threaded { threads },
+            ..Default::default()
+        },
+    );
+    repl.submit(FIB).unwrap();
+    repl
+}
+
+/// Median per-command ns of a warm `submit` loop vs a warm
+/// `submit_batch` over `BATCH_LEN` copies of `section`.
+fn throughput_pair(threads: usize, section: &str, samples: usize) -> (f64, f64) {
+    let mut loop_repl = threaded(threads);
+    for _ in 0..4 {
+        loop_repl.submit(section).unwrap().expect_ok();
+    }
+    let rendezvous = measure(samples, || loop_repl.submit(section).unwrap());
+
+    let mut batch_repl = threaded(threads);
+    let batch: Vec<&str> = vec![section; BATCH_LEN];
+    batch_repl.submit_batch(&batch).unwrap();
+    let batched = measure(samples, || batch_repl.submit_batch(&batch).unwrap()) / BATCH_LEN as f64;
+    (rendezvous, batched)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    let samples = 9;
+    let mut rows = Vec::new();
+
+    // Headline: overhead-dominated sections (tiny jobs) — exactly the
+    // regime the rendezvous latency dominates and the pipeline amortizes.
+    let section_small = "(||| 8 + (1 2 3 4 5 6 7 8) (1 2 3 4 5 6 7 8))";
+    let (rendezvous, batched) = throughput_pair(8, section_small, samples);
+    rows.push(BenchRow {
+        name: "pipeline/rendezvous_per_command_8w_tiny_jobs".into(),
+        median_ns: rendezvous,
+        samples,
+    });
+    rows.push(BenchRow {
+        name: "pipeline/batched_per_command_8w_tiny_jobs".into(),
+        median_ns: batched,
+        samples,
+    });
+    let speedup = rendezvous / batched;
+
+    // Compute-carrying sections for context (the win shrinks as job work
+    // grows toward the sequential floor — expected on shared cores).
+    let section_fib = "(||| 8 fib (4 4 4 4 4 4 4 4))";
+    let (r_fib, b_fib) = throughput_pair(8, section_fib, samples);
+    rows.push(BenchRow {
+        name: "pipeline/rendezvous_per_command_8w_fib4_jobs".into(),
+        median_ns: r_fib,
+        samples,
+    });
+    rows.push(BenchRow {
+        name: "pipeline/batched_per_command_8w_fib4_jobs".into(),
+        median_ns: b_fib,
+        samples,
+    });
+
+    // Dirty-section recovery: every section mutates worker-global state,
+    // so every dispatch pays a snapshot resync — and still never clones.
+    let dirty_cost = {
+        let mut repl = threaded(4);
+        repl.submit("(setq total 100)").unwrap();
+        repl.submit("(defun bump (x) (progn (setq total (+ total x)) total))")
+            .unwrap();
+        repl.submit("(||| 4 bump (1 2 3 4))").unwrap();
+        measure(samples, || repl.submit("(||| 4 bump (1 2 3 4))").unwrap())
+    };
+    rows.push(BenchRow {
+        name: "pipeline/dirty_section_snapshot_recovery_4w".into(),
+        median_ns: dirty_cost,
+        samples,
+    });
+
+    // Zero-clone acceptance over a warm mixed batch, dirty seats included.
+    let warm_clones = {
+        let mut repl = threaded(8);
+        repl.submit("(setq total 100)").unwrap();
+        repl.submit("(defun bump (x) (progn (setq total (+ total x)) total))")
+            .unwrap();
+        repl.submit("(||| 8 fib (4 4 4 4 4 4 4 4))").unwrap(); // warm
+        let before = repl.interp_mut().clone_count();
+        let mixed: Vec<&str> = [
+            "(||| 8 fib (4 4 4 4 4 4 4 4))",
+            "(||| 8 bump (1 2 3 4 5 6 7 8))",
+        ]
+        .into_iter()
+        .cycle()
+        .take(64)
+        .collect();
+        for reply in repl.submit_batch(&mixed).unwrap() {
+            assert!(reply.ok, "{}", reply.output);
+        }
+        repl.interp_mut().clone_count() - before
+    };
+
+    // Snapshot-resync vs incremental replay: encode+apply cost at
+    // several divergence volumes. The per-record costs are near-equal, so
+    // the crossover sits where the record counts cross — the measured
+    // basis for the pool's count-based decision rule.
+    let mut crossover_records = 0u64;
+    for n in [64usize, 256, 1024, 4096] {
+        let mut master = Interp::new(InterpConfig {
+            arena_capacity: 1 << 18,
+            ..Default::default()
+        });
+        let epoch0 = master.envs.sync_epoch();
+        let replica = master.clone();
+        for i in 0..n {
+            master
+                .eval_str(&format!("(setq s{} {})", i % 24, i))
+                .unwrap();
+        }
+        let mut packet = SyncPacket::default();
+        let mut snapshot = EnvSnapshot::default();
+        // Fresh replicas are cloned *outside* the timed region: only
+        // encode + apply are the costs the dispatcher's decision rule
+        // weighs.
+        let timed = |f: &mut dyn FnMut(&mut Interp)| -> f64 {
+            let iters = 24;
+            let mut times: Vec<f64> = (0..iters)
+                .map(|_| {
+                    let mut r = replica.clone();
+                    let t = Instant::now();
+                    f(&mut r);
+                    t.elapsed().as_nanos() as f64
+                })
+                .collect();
+            times.sort_by(|a, b| a.total_cmp(b));
+            times[iters / 2]
+        };
+        let replay_ns = timed(&mut |r| {
+            packet.encode_since(&master, epoch0);
+            packet.apply(r).unwrap();
+        });
+        let snapshot_ns = timed(&mut |r| {
+            snapshot.encode(&master);
+            snapshot.apply(r).unwrap();
+        });
+        rows.push(BenchRow {
+            name: format!("sync/incremental_replay_{n}_records"),
+            median_ns: replay_ns,
+            samples,
+        });
+        rows.push(BenchRow {
+            name: format!("sync/snapshot_resync_vs_{n}_records"),
+            median_ns: snapshot_ns,
+            samples,
+        });
+        if crossover_records == 0 && replay_ns > snapshot_ns {
+            crossover_records = n as u64;
+        }
+    }
+
+    let doc = Json::Obj(vec![
+        ("baseline", Json::Str("pr3".to_string())),
+        ("unit", Json::Str("nanoseconds (median)".to_string())),
+        (
+            "batch_workload",
+            Json::Str(format!(
+                "{BATCH_LEN} warm ||| commands per batch, 8 workers"
+            )),
+        ),
+        ("pipelined_speedup_vs_rendezvous", Json::Num(speedup)),
+        ("pipelined_speedup_fib4_jobs", Json::Num(r_fib / b_fib)),
+        (
+            "warm_interp_clones_over_64_mixed_batched_commands",
+            Json::UInt(warm_clones),
+        ),
+        (
+            "snapshot_vs_replay_crossover_records",
+            Json::UInt(crossover_records),
+        ),
+        (
+            "rows",
+            Json::Arr(rows.iter().map(ToJson::to_json).collect()),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.pretty() + "\n").expect("write baseline json");
+    println!("wrote {out_path}");
+    for r in &rows {
+        println!("{:<52} {:>12.1} ns", r.name, r.median_ns);
+    }
+    println!("pipelined speedup vs rendezvous (tiny jobs): {speedup:.2}x");
+    println!(
+        "pipelined speedup vs rendezvous (fib4 jobs): {:.2}x",
+        r_fib / b_fib
+    );
+    println!("warm interp clones over mixed batches: {warm_clones}");
+    println!("snapshot/replay crossover: ~{crossover_records} records");
+    assert_eq!(
+        warm_clones, 0,
+        "warm pipelined batches (dirty seats included) must not clone"
+    );
+    assert!(
+        speedup >= 2.0,
+        "pipelined batching must be >=2x over the per-command rendezvous (got {speedup:.2}x)"
+    );
+}

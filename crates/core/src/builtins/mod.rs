@@ -28,6 +28,8 @@ mod quasi;
 mod strfns;
 pub(crate) mod util;
 
+pub use parallel::{finish_section, prepare_section};
+
 /// Signature of every built-in: unevaluated argument nodes, the evaluation
 /// environment, and the current recursion depth (threaded through so deep
 /// builtin chains still hit the recursion limit).

@@ -28,6 +28,39 @@ pub fn par(
     env: EnvId,
     depth: usize,
 ) -> Result<NodeId> {
+    let jobs = prepare_section(interp, hook, args, env, depth)?;
+
+    // Distribute, wait, collect in order (paper §III-D b: "appends the
+    // workers' results in the same order as the work was distributed").
+    let n = jobs.len();
+    let mut results = interp.take_node_buf();
+    let outcome = hook.execute(interp, &jobs, env, &mut results);
+    interp.put_node_buf(jobs);
+    let finished = match outcome {
+        Ok(()) => {
+            debug_assert_eq!(results.len(), n);
+            finish_section(interp, &results)
+        }
+        Err(e) => Err(e),
+    };
+    interp.put_node_buf(results);
+    finished
+}
+
+/// The master-side front half of a `|||` section: evaluates the worker
+/// count, the function and the argument lists, then builds one job
+/// expression per worker into a pooled buffer (return it with
+/// [`Interp::put_node_buf`]). Split out of [`par`] so the pipelined REPL
+/// dispatcher (`culi-runtime`) can stage a section's jobs without
+/// blocking for its results while charging the meter *exactly* like the
+/// synchronous path.
+pub fn prepare_section(
+    interp: &mut Interp,
+    hook: &mut dyn ParallelHook,
+    args: &[NodeId],
+    env: EnvId,
+    depth: usize,
+) -> Result<Vec<NodeId>> {
     expect_min("|||", args, 2)?;
 
     // Worker count.
@@ -120,24 +153,13 @@ pub fn par(
         }
     }
     interp.put_node_buf(argv);
+    Ok(jobs)
+}
 
-    // Distribute, wait, collect in order (paper §III-D b: "appends the
-    // workers' results in the same order as the work was distributed").
-    let mut results = interp.take_node_buf();
-    let outcome = hook.execute(interp, &jobs, env, &mut results);
-    interp.put_node_buf(jobs);
-    match outcome {
-        Ok(()) => {
-            debug_assert_eq!(results.len(), n);
-            let list = list_from_values(interp, &results);
-            interp.put_node_buf(results);
-            list
-        }
-        Err(e) => {
-            interp.put_node_buf(results);
-            Err(e)
-        }
-    }
+/// The master-side back half of a `|||` section: wraps collected worker
+/// results into the section's value list, in distribution order.
+pub fn finish_section(interp: &mut Interp, results: &[NodeId]) -> Result<NodeId> {
+    list_from_values(interp, results)
 }
 
 /// Builds worker `w`'s job expression `(f list1[w] … listk[w])` from the

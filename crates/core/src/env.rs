@@ -55,6 +55,26 @@
 //! overwritten anyway), so it stays proportional to the number of
 //! distinct global definitions, and surviving record values are GC roots
 //! until then.
+//!
+//! # Replay faithfulness and the snapshot frontier
+//!
+//! Replicas must reproduce the master's binding lists *structurally*, not
+//! just by visible value: the paper's cost model charges a lookup for
+//! every binding the faithful scan walks past, so a replica missing a
+//! shadowed (dead) binding would meter job evaluation differently than
+//! the sequential reference. Replaying an **uncompacted** window is
+//! always structure-faithful (defines prepend, sets overwrite in place —
+//! the same operations the master performed). Compaction, however, drops
+//! shadowed `Define` records, so a replica whose sync epoch predates a
+//! dropped define can no longer be repaired incrementally. The arena
+//! tracks that boundary as [`EnvArena::sync_replay_faithful_since`]: a
+//! replica synced at an older epoch must be resynchronized with a whole-
+//! environment snapshot ([`crate::postbox::EnvSnapshot`]) instead —
+//! which also bounds the packet by the *live* environment size rather
+//! than the mutation volume. Dropping superseded `Set` records never
+//! moves the frontier: sets do not change list structure, and a replica
+//! replaying only the newest set still converges to the right visible
+//! values (intermediate values are unobservable between sync points).
 
 use crate::cost::Meter;
 use crate::strings::StrTable;
@@ -212,6 +232,11 @@ pub struct EnvArena {
     /// compaction re-runs only once the log doubles past it, so repeated
     /// collections over an already-minimal log do no work.
     compacted_len: usize,
+    /// Oldest epoch from which an incremental replay is still structure-
+    /// faithful (see the module docs): one past the newest `Define`
+    /// record ever dropped by compaction. Replicas synced before this
+    /// must snapshot-resync instead of replaying.
+    faithful_epoch: u64,
 }
 
 impl EnvArena {
@@ -375,6 +400,12 @@ impl EnvArena {
         for (i, r) in self.sync_log.iter().enumerate().rev() {
             if seen.insert((r.env, r.sym)) {
                 keep[i] = true;
+            } else if r.kind == SyncKind::Define {
+                // A dropped define was a (now shadowed) binding the master
+                // still carries: replicas older than it can no longer be
+                // repaired structure-faithfully by replay — advance the
+                // snapshot frontier past it.
+                self.faithful_epoch = self.faithful_epoch.max(r.epoch + 1);
             }
         }
         let mut i = 0;
@@ -384,6 +415,42 @@ impl EnvArena {
             k
         });
         self.compacted_len = self.sync_log.len();
+    }
+
+    /// Oldest sync epoch from which [`crate::postbox::SyncPacket`] replay
+    /// still reproduces the master's binding-list structure exactly.
+    /// Replicas synced before this epoch must be resynchronized with a
+    /// whole-environment snapshot (see the module docs).
+    pub fn sync_replay_faithful_since(&self) -> u64 {
+        self.faithful_epoch
+    }
+
+    /// Number of environments recording into the sync log (the persistent
+    /// set; 0 until [`EnvArena::start_sync_log`]).
+    pub fn logged_env_count(&self) -> usize {
+        self.logged_envs
+    }
+
+    /// Total live bindings (shadowed ones included) across the logged
+    /// environments — the record count of a whole-environment snapshot,
+    /// used to price snapshot-resync against incremental replay.
+    pub fn logged_binding_count(&self) -> usize {
+        self.envs[..self.logged_envs.min(self.envs.len())]
+            .iter()
+            .map(|e| e.len as usize)
+            .sum()
+    }
+
+    /// Drops every local binding of `env` (list head, count and symbol
+    /// index). Used by snapshot-resync to rebuild a replica's persistent
+    /// environment from a master dump; the orphaned binding slots are
+    /// compacted away by the replica's next
+    /// [`EnvArena::reclaim_transient`].
+    pub(crate) fn reset_env_bindings(&mut self, env: EnvId) {
+        let e = &mut self.envs[env.index()];
+        e.first = None;
+        e.len = 0;
+        e.index = None;
     }
 
     /// Values held by sync-log records. They are GC roots: between
@@ -922,6 +989,83 @@ mod tests {
         // Epochs stay ascending so replica replay boundaries stay valid.
         assert!(records.windows(2).all(|w| w[0].epoch < w[1].epoch));
         assert_eq!(envs.sync_epoch(), 100);
+    }
+
+    #[test]
+    fn compaction_tracks_the_faithfulness_frontier() {
+        let (mut envs, mut strs, _m) = fixture();
+        let g = envs.push(None);
+        envs.start_sync_log();
+        let x = strs.intern(b"x");
+        envs.define(g, x, NodeId::new(1), &strs); // epoch 0: shadowed later
+        envs.define(g, x, NodeId::new(2), &strs); // epoch 1: kept
+        for i in 0..70 {
+            let s = strs.intern(format!("q{i}").as_bytes());
+            envs.define(g, s, NodeId::new(i), &strs);
+        }
+        assert_eq!(envs.sync_replay_faithful_since(), 0);
+        envs.maybe_compact_sync_log();
+        // The dropped shadowed define carried epoch 0: replicas synced at
+        // epoch 0 can no longer be repaired by replay.
+        assert_eq!(envs.sync_replay_faithful_since(), 1);
+    }
+
+    #[test]
+    fn dropping_superseded_sets_keeps_replay_faithful() {
+        let (mut envs, mut strs, mut m) = fixture();
+        let g = envs.push(None);
+        let y = strs.intern(b"y");
+        // The binding predates the log (a boot/builtin-era definition), so
+        // the log holds only Set records for it.
+        envs.define(g, y, NodeId::new(0), &strs);
+        envs.start_sync_log();
+        for i in 0..70 {
+            assert!(envs.set_nearest(g, y, NodeId::new(i), &strs, &mut m));
+        }
+        envs.maybe_compact_sync_log();
+        // Sets never change list structure, so collapsing them does not
+        // move the snapshot frontier.
+        assert_eq!(envs.sync_replay_faithful_since(), 0);
+        assert_eq!(envs.sync_records_since(0).len(), 1, "newest set only");
+        assert_eq!(envs.sync_records_since(0)[0].value, NodeId::new(69));
+    }
+
+    #[test]
+    fn dropping_a_set_superseded_define_moves_the_frontier() {
+        // define y → set y: compaction keeps only the newest set, and the
+        // dropped *define* makes older replicas unrepairable by replay
+        // (a fallback re-define would land at the wrong list position if
+        // other defines interleaved), so the frontier must move.
+        let (mut envs, mut strs, mut m) = fixture();
+        let g = envs.push(None);
+        envs.start_sync_log();
+        let y = strs.intern(b"y");
+        envs.define(g, y, NodeId::new(0), &strs); // epoch 0: dropped
+        for i in 0..70 {
+            assert!(envs.set_nearest(g, y, NodeId::new(i), &strs, &mut m));
+        }
+        envs.maybe_compact_sync_log();
+        assert_eq!(envs.sync_replay_faithful_since(), 1);
+    }
+
+    #[test]
+    fn reset_env_bindings_clears_list_and_index() {
+        let (mut envs, mut strs, mut m) = fixture();
+        let g = envs.push(None);
+        let syms = populate(&mut envs, &mut strs, g, 40);
+        assert!(envs.is_promoted(g));
+        assert_eq!(envs.logged_binding_count(), 0, "log not started");
+        envs.reset_env_bindings(g);
+        assert!(!envs.has_local_bindings(g));
+        assert!(!envs.is_promoted(g));
+        assert_eq!(envs.lookup(g, syms[0], &strs, &mut m), None);
+        // Redefining re-promotes once the threshold is crossed again.
+        let again = populate(&mut envs, &mut strs, g, 40);
+        assert!(envs.is_promoted(g));
+        assert_eq!(
+            envs.lookup(g, again[5], &strs, &mut m),
+            Some(NodeId::new(5))
+        );
     }
 
     #[test]

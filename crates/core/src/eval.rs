@@ -171,6 +171,59 @@ pub fn eval(
     }
 }
 
+/// Charges the meter exactly as [`eval`] does when dispatching a
+/// `(sym …)` expression whose head resolves to a value — one eval step
+/// and node read for the expression, the inlined symbol-head step, read
+/// and environment lookup, the resolved head's read, and (for a builtin
+/// head) the call charge — while collecting the operand ids into `args`.
+/// Returns the resolved head value (or the head node itself when the
+/// symbol is unbound, mirroring self-evaluation).
+///
+/// This exists for dispatchers that need to *take over* after the
+/// evaluator's dispatch point without re-entering [`eval`] — the
+/// pipelined `|||` REPL path in `culi-runtime` stages a section's jobs
+/// through it so its meter charges stay bit-identical to the recursive
+/// path (the cross-backend differential harness asserts this).
+pub fn charge_symbol_head_dispatch(
+    interp: &mut Interp,
+    form: NodeId,
+    env: EnvId,
+    args: &mut Vec<NodeId>,
+) -> Result<NodeId> {
+    interp.meter.eval_step();
+    let n = *interp.arena.read(form, &mut interp.meter);
+    let first = match n.payload {
+        Payload::List {
+            first: Some(first), ..
+        } => first,
+        _ => return Err(CuliError::Internal("symbol-head dispatch on a non-list")),
+    };
+    let mut cur = interp.arena.get(first).next;
+    while let Some(id) = cur {
+        args.push(id);
+        cur = interp.arena.get(id).next;
+    }
+    interp.meter.eval_step();
+    let h = *interp.arena.read(first, &mut interp.meter);
+    let sid = match h.payload {
+        Payload::Text(s) if h.ty == NodeType::Symbol => s,
+        _ => {
+            return Err(CuliError::Internal(
+                "symbol-head dispatch on a non-symbol head",
+            ))
+        }
+    };
+    let head_val = interp
+        .envs
+        .lookup(env, sid, &interp.strings, &mut interp.meter)
+        .unwrap_or(first);
+    let head_node = *interp.arena.read(head_val, &mut interp.meter);
+    if head_node.ty == NodeType::Function {
+        interp.meter.builtin_call();
+    }
+    Ok(head_val)
+}
+
 /// Evaluates the head position of a list. Symbol heads — the common case:
 /// every `(f …)` call — resolve inline instead of re-entering [`eval`],
 /// with metering identical to the recursive path (one eval step, one node

@@ -228,6 +228,20 @@ impl Interp {
         self.scratch.print_bufs.push(buf);
     }
 
+    /// Runs `f` with the meter swapped out for a scratch one, discarding
+    /// whatever `f` charged. Used by the parallel runtimes for protocol
+    /// work that is *not* paper-model interpreter work — decoding worker
+    /// results or importing fork trees allocates real nodes, but the
+    /// modeled backends never perform those operations, so charging them
+    /// would make the real-threads backends' counters diverge from the
+    /// sequential reference.
+    pub fn unmetered<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let saved = std::mem::take(&mut self.meter);
+        let result = f(self);
+        self.meter = saved;
+        result
+    }
+
     /// Allocates a node, charging the meter.
     pub fn alloc(&mut self, node: Node) -> Result<NodeId> {
         self.arena.alloc(node, &mut self.meter)

@@ -10,7 +10,9 @@
 //!
 //! 1. a [`SyncPacket`] — the master's [`crate::env`] sync-log records since
 //!    the worker's last epoch, so the warm fork replays only *new* global
-//!    definitions;
+//!    definitions — **or** an [`EnvSnapshot`], a compacted dump of the
+//!    whole persistent environment set, whenever incremental replay would
+//!    be larger than resynchronizing from scratch (see below);
 //! 2. a [`ChainPacket`] — the transient environment chain between the
 //!    `|||` expression and the persistent set (dynamic scoping means job
 //!    bodies may resolve symbols bound by enclosing `let`s and form
@@ -20,7 +22,27 @@
 //! and answers with a [`FlatTree`] batch of result values. All four are
 //! plain `Vec`-backed buffers that the pool recycles across sections, so a
 //! warm section performs **zero steady-state heap allocations** for
-//! message traffic — the postbox buffer-reuse discipline.
+//! message traffic — the postbox buffer-reuse discipline. One oversized
+//! section must not pin its high-water capacity forever, so every packet
+//! supports [`FlatTree::shrink_to_budget`]-style capacity capping (the
+//! pool applies it when buffers return to the pool) and reports
+//! [`FlatTree::byte_capacity`] for diagnostics.
+//!
+//! # Snapshot-resync vs. incremental replay
+//!
+//! A [`SyncPacket`] grows with the number of mutations since the
+//! replica's epoch; an [`EnvSnapshot`] grows with the number of *live*
+//! bindings. A master that `setq`s in a hot loop between sections, or a
+//! seat that sat cold through thousands of definitions, makes the replay
+//! window arbitrarily larger than the environment itself — the dispatcher
+//! compares the two record counts and ships whichever is smaller, which
+//! bounds sync traffic by the live environment size regardless of define
+//! volume. A snapshot is also the only *faithful* repair once log
+//! compaction has dropped records the replica never saw
+//! ([`crate::env::EnvArena::sync_replay_faithful_since`]), and the only
+//! repair at all for a replica whose own jobs mutated persistent state
+//! (its structure has diverged from every epoch of the master's log) —
+//! both previously forced a whole-interpreter re-fork.
 //!
 //! # Wire format
 //!
@@ -91,6 +113,23 @@ impl TextHeap {
     fn byte_size(&self) -> usize {
         self.bytes.len() + self.spans.len() * 8
     }
+
+    fn byte_capacity(&self) -> usize {
+        self.bytes.capacity() + self.spans.capacity() * 8
+    }
+
+    /// Caps retained capacity at roughly `budget` bytes (split between the
+    /// span table and the byte heap).
+    fn shrink_to_budget(&mut self, budget: usize) {
+        self.spans.shrink_to(budget / 16);
+        self.bytes.shrink_to(budget / 2);
+    }
+
+    /// Overwrites `self` with `other`'s contents, reusing allocations.
+    fn copy_from(&mut self, other: &TextHeap) {
+        self.spans.clone_from(&other.spans);
+        self.bytes.clone_from(&other.bytes);
+    }
 }
 
 /// A batch of node trees in flat postbox encoding. Buffers grow on demand
@@ -127,6 +166,31 @@ impl FlatTree {
     /// paper's job-buffer occupancy).
     pub fn byte_size(&self) -> usize {
         self.words.len() * 4 + self.text.byte_size() + self.starts.len() * 4
+    }
+
+    /// Bytes of heap capacity currently retained by the buffers (the
+    /// quantity the pool's shrink policy bounds).
+    pub fn byte_capacity(&self) -> usize {
+        self.words.capacity() * 4 + self.text.byte_capacity() + self.starts.capacity() * 4
+    }
+
+    /// Caps retained capacity at roughly `budget` bytes so one oversized
+    /// batch does not pin its high-water allocation for the buffer's
+    /// lifetime. Contents are preserved (`Vec::shrink_to` never drops
+    /// below the current length).
+    pub fn shrink_to_budget(&mut self, budget: usize) {
+        self.words.shrink_to(budget / 8);
+        self.starts.shrink_to(budget / 16);
+        self.text.shrink_to_budget(budget / 4);
+    }
+
+    /// Overwrites `self` with `other`'s contents, reusing allocations
+    /// (unlike the derived `Clone`, no buffer is reallocated when
+    /// capacity suffices).
+    pub fn copy_from(&mut self, other: &FlatTree) {
+        self.words.clone_from(&other.words);
+        self.starts.clone_from(&other.starts);
+        self.text.copy_from(&other.text);
     }
 
     /// Appends the tree rooted at `root` to the batch.
@@ -319,6 +383,36 @@ impl SyncPacket {
         self.kinds.is_empty()
     }
 
+    /// Empties the packet, keeping capacity.
+    pub fn clear(&mut self) {
+        self.kinds.clear();
+        self.envs.clear();
+        self.syms.clear();
+        self.values.clear();
+    }
+
+    /// Encoded size in bytes (diagnostics and the snapshot-vs-replay
+    /// decision's tie-breaker).
+    pub fn byte_size(&self) -> usize {
+        self.kinds.len() + self.envs.len() * 4 + self.syms.byte_size() + self.values.byte_size()
+    }
+
+    /// Bytes of heap capacity currently retained.
+    pub fn byte_capacity(&self) -> usize {
+        self.kinds.capacity()
+            + self.envs.capacity() * 4
+            + self.syms.byte_capacity()
+            + self.values.byte_capacity()
+    }
+
+    /// Caps retained capacity at roughly `budget` bytes.
+    pub fn shrink_to_budget(&mut self, budget: usize) {
+        self.kinds.shrink_to(budget / 16);
+        self.envs.shrink_to(budget / 16);
+        self.syms.shrink_to_budget(budget / 4);
+        self.values.shrink_to_budget(budget / 2);
+    }
+
     /// Re-encodes the packet as every master mutation stamped at `epoch`
     /// or later (see [`crate::env::EnvArena::sync_records_since`]).
     pub fn encode_since(&mut self, interp: &Interp, epoch: u64) {
@@ -361,6 +455,118 @@ impl SyncPacket {
     }
 }
 
+/// A compacted whole-environment snapshot of the logged (persistent)
+/// environment set: every live binding of every logged environment,
+/// oldest first, in flat postbox encoding. Applying it *rebuilds* a
+/// replica's persistent environments from scratch, reproducing the
+/// master's binding-list structure exactly — shadowed bindings, order and
+/// name lengths included — so paper-model lookup charges inside the
+/// replica stay bit-identical to the master's. See the module docs for
+/// when the dispatcher prefers this over incremental [`SyncPacket`]
+/// replay.
+#[derive(Debug, Clone, Default)]
+pub struct EnvSnapshot {
+    /// Live binding count per logged environment, environment 0 first.
+    env_lens: Vec<u32>,
+    /// Binding names, oldest binding first within each environment.
+    syms: TextHeap,
+    /// One encoded value tree per binding.
+    values: FlatTree,
+    /// Reused walk scratch (newest-first binding collection).
+    bind_scratch: Vec<(StrId, NodeId)>,
+}
+
+impl EnvSnapshot {
+    /// Number of binding records in the snapshot.
+    pub fn record_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.env_lens.is_empty()
+    }
+
+    /// Empties the snapshot, keeping capacity.
+    pub fn clear(&mut self) {
+        self.env_lens.clear();
+        self.syms.clear();
+        self.values.clear();
+    }
+
+    /// Encoded size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.env_lens.len() * 4 + self.syms.byte_size() + self.values.byte_size()
+    }
+
+    /// Bytes of heap capacity currently retained.
+    pub fn byte_capacity(&self) -> usize {
+        self.env_lens.capacity() * 4
+            + self.syms.byte_capacity()
+            + self.values.byte_capacity()
+            + self.bind_scratch.capacity() * 16
+    }
+
+    /// Caps retained capacity at roughly `budget` bytes.
+    pub fn shrink_to_budget(&mut self, budget: usize) {
+        self.env_lens.shrink_to(budget / 16);
+        self.syms.shrink_to_budget(budget / 4);
+        self.values.shrink_to_budget(budget / 2);
+        self.bind_scratch.shrink_to(budget / 16);
+    }
+
+    /// Overwrites `self` with `other`'s encoded contents, reusing
+    /// allocations — the dispatcher encodes one snapshot per dispatch
+    /// and copies it into every seat's message.
+    pub fn copy_from(&mut self, other: &EnvSnapshot) {
+        self.env_lens.clone_from(&other.env_lens);
+        self.syms.copy_from(&other.syms);
+        self.values.copy_from(&other.values);
+    }
+
+    /// Encodes every live binding of `interp`'s logged environments,
+    /// oldest binding first (replaying defines in that order reproduces
+    /// the original list structure).
+    pub fn encode(&mut self, interp: &Interp) {
+        self.clear();
+        for e in 0..interp.envs.logged_env_count() {
+            let env = EnvId::new(e);
+            self.bind_scratch.clear();
+            self.bind_scratch.extend(interp.envs.local_bindings(env));
+            self.env_lens.push(self.bind_scratch.len() as u32);
+            for j in (0..self.bind_scratch.len()).rev() {
+                let (sym, value) = self.bind_scratch[j];
+                self.syms.push(interp.strings.get(sym));
+                self.values.push_tree(interp, value);
+            }
+        }
+    }
+
+    /// Rebuilds the replica's logged environments from the snapshot:
+    /// every logged environment is cleared and its bindings redefined in
+    /// original order. The replica must share the master's lineage (same
+    /// logged-environment count); anything else is a protocol error.
+    pub fn apply(&self, interp: &mut Interp) -> Result<()> {
+        if self.env_lens.len() != interp.envs.logged_env_count() {
+            return Err(CuliError::Internal(
+                "env snapshot does not match the replica's persistent set",
+            ));
+        }
+        let mut k = 0usize;
+        for (e, &len) in self.env_lens.iter().enumerate() {
+            let env = EnvId::new(e);
+            interp.envs.reset_env_bindings(env);
+            for _ in 0..len {
+                let sym = interp.strings.intern(self.syms.get(k)?);
+                let value = self.values.decode(k, interp)?;
+                interp.envs.define(env, sym, value, &interp.strings);
+                k += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The transient environment chain between a `|||` expression and the
 /// persistent set, flattened for replay inside a worker. Dynamic scoping
 /// means a job's form body may resolve symbols bound by enclosing `let`s
@@ -389,6 +595,24 @@ impl ChainPacket {
     /// environment (the common top-level case: nothing to rebuild).
     pub fn is_trivial(&self) -> bool {
         self.env_lens.is_empty()
+    }
+
+    /// Bytes of heap capacity currently retained.
+    pub fn byte_capacity(&self) -> usize {
+        self.env_lens.capacity() * 4
+            + self.syms.byte_capacity()
+            + self.values.byte_capacity()
+            + self.bind_scratch.capacity() * 16
+            + self.env_scratch.capacity() * 8
+    }
+
+    /// Caps retained capacity at roughly `budget` bytes.
+    pub fn shrink_to_budget(&mut self, budget: usize) {
+        self.env_lens.shrink_to(budget / 16);
+        self.syms.shrink_to_budget(budget / 4);
+        self.values.shrink_to_budget(budget / 2);
+        self.bind_scratch.shrink_to(budget / 16);
+        self.env_scratch.shrink_to(budget / 16);
     }
 
     /// Encodes the chain from `parent_env` down to (excluding) the first
@@ -593,6 +817,79 @@ mod tests {
             .unwrap();
         assert_eq!(replica.arena.get(got_a).payload, Payload::Int(2));
         assert_eq!(replica.arena.get(got_b).payload, Payload::Int(30));
+    }
+
+    #[test]
+    fn env_snapshot_rebuilds_exact_structure() {
+        let mut master = Interp::default();
+        let mut replica = master.clone();
+        master.eval_str("(setq a 1)").unwrap();
+        master.eval_str("(defun f (x) (+ x a))").unwrap();
+        master.eval_str("(defun f (x) (- x a))").unwrap(); // shadowing redefine
+        master.eval_str("(setq a 2)").unwrap();
+        let mut snap = EnvSnapshot::default();
+        snap.encode(&master);
+        snap.apply(&mut replica).unwrap();
+        assert_eq!(replica.eval_str("(f 10)").unwrap(), "8");
+        // Structure fidelity: the faithful scan pays the same charges in
+        // the replica as in the master, shadowed redefine included.
+        for name in ["a", "f", "+", "car", "no-such-symbol"] {
+            let mut mm = Meter::new();
+            let mut rm = Meter::new();
+            let ms = master.strings.intern(name.as_bytes());
+            let rs = replica.strings.intern(name.as_bytes());
+            let got_m = master
+                .envs
+                .lookup(master.global, ms, &master.strings, &mut mm);
+            let got_r = replica
+                .envs
+                .lookup(replica.global, rs, &replica.strings, &mut rm);
+            assert_eq!(got_m.is_some(), got_r.is_some(), "{name}");
+            assert_eq!(mm.snapshot(), rm.snapshot(), "charges for {name}");
+        }
+    }
+
+    #[test]
+    fn env_snapshot_size_tracks_live_bindings_not_mutation_volume() {
+        let mut master = Interp::default();
+        master.eval_str("(setq v 0)").unwrap();
+        let mut before = EnvSnapshot::default();
+        before.encode(&master);
+        for i in 0..500 {
+            master.eval_str(&format!("(setq v {i})")).unwrap();
+        }
+        let mut replay = SyncPacket::default();
+        replay.encode_since(&master, 0);
+        let mut after = EnvSnapshot::default();
+        after.encode(&master);
+        assert_eq!(after.record_count(), before.record_count());
+        assert!(
+            after.byte_size() < replay.byte_size(),
+            "snapshot {} bytes vs replay {} bytes",
+            after.byte_size(),
+            replay.byte_size()
+        );
+    }
+
+    #[test]
+    fn shrink_to_budget_caps_retained_capacity() {
+        let mut master = Interp::default();
+        let big = format!("({})", "123456789 ".repeat(4096));
+        let forms = crate::parser::parse(&mut master, big.as_bytes()).unwrap();
+        let mut buf = FlatTree::default();
+        buf.push_tree(&master, forms[0]);
+        buf.clear();
+        assert!(buf.byte_capacity() > 1 << 15);
+        buf.shrink_to_budget(1 << 10);
+        assert!(
+            buf.byte_capacity() <= 1 << 12,
+            "retained {} bytes",
+            buf.byte_capacity()
+        );
+        // Still usable after shrinking.
+        buf.push_tree(&master, forms[0]);
+        let mut replica = Interp::default();
+        assert!(buf.decode(0, &mut replica).is_ok());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The CPU read–eval–print loops (the paper's comparison systems).
 //!
-//! Two backends share one type:
+//! Three backends share one type:
 //!
 //! * **Modeled** — the same staged pipeline as the GPU session, but timed
 //!   by a [`CpuMachine`] (list-scheduled pthread workers, no warps, no
@@ -11,16 +11,42 @@
 //!   warm interpreter forks alive across sections and commands,
 //!   synchronizing them incrementally through the flat postbox codec.
 //!   This backend proves the interpreter's parallel semantics on real
-//!   hardware and reports wall-clock time.
+//!   hardware and reports wall-clock time. [`CpuRepl::submit_batch`]
+//!   additionally *pipelines* a command stream through the pool's
+//!   double-buffered postboxes (see below).
+//! * **ForkPerSection** — PR 1's clone-the-interpreter baseline
+//!   ([`ForkPerSectionHook`]), retained for benchmarks and as a semantic
+//!   reference in the cross-backend differential harness.
+//!
+//! # Pipelined command batches
+//!
+//! A synchronous `submit` pays one full postbox rendezvous per `|||`
+//! section: encode, wake every worker, sleep until every reply. When the
+//! caller hands over a whole command *stream*, most of that latency can
+//! be overlapped: [`CpuRepl::submit_batch`] classifies each command
+//! syntactically and, for a top-level `(||| …)` whose operands are
+//! **inert** (atoms, symbols, or literal lists — nothing whose evaluation
+//! could touch persistent state), stages the section into the pool's
+//! double buffers and moves straight on to parsing and staging the next
+//! command; replies are collected in order as the pipeline fills. Any
+//! other command — defines, `setq`s, nested expressions, parse errors —
+//! acts as a barrier: the pipeline drains, then the command runs through
+//! the ordinary synchronous path. Observable behaviour (replies, error
+//! text, per-command [`CommandCounters`]) is identical to a `submit`
+//! loop; the equivalence is property-tested and the staging path reuses
+//! [`culi_core::builtins::prepare_section`] plus a charge-exact mirror of
+//! the evaluator's dispatch so the meter cannot drift.
 
 use crate::error::{Result, RuntimeError};
-use crate::phases::{breakdown, counters_to_cycles};
-use crate::pool::ThreadedHook;
+use crate::phases::{breakdown, counters_to_cycles, CommandCounters};
+use crate::pool::{ForkPerSectionHook, ThreadedHook, WorkerPool};
 use crate::reply::Reply;
 use culi_core::cost::Counters;
 use culi_core::eval::{eval, ParallelHook};
+use culi_core::node::{NodeType, Payload};
 use culi_core::{CuliError, Interp, InterpConfig, NodeId};
 use culi_gpu_sim::{CpuMachine, DeviceSpec, SectionReport, SimError};
+use std::collections::VecDeque;
 
 /// How `|||` sections execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +55,11 @@ pub enum CpuMode {
     Modeled,
     /// Real scoped OS threads (functional parallelism; wall-clock timing).
     Threaded {
+        /// Worker thread count.
+        threads: usize,
+    },
+    /// PR 1's whole-interpreter-clone-per-section baseline.
+    ForkPerSection {
         /// Worker thread count.
         threads: usize,
     },
@@ -67,8 +98,29 @@ pub struct CpuRepl {
     /// Persistent real-threads backend (Threaded mode only; the worker
     /// pool inside survives across commands).
     threaded: Option<ThreadedHook>,
+    /// Persistent fork-per-section baseline backend.
+    forked: Option<ForkPerSectionHook>,
     /// Reused per-job cycle scratch for the modeled backend.
     scratch_cycles: Vec<u64>,
+    /// Parsed-but-not-yet-staged forms of the batch command currently
+    /// being processed: kept as GC roots while in-flight sections of
+    /// *earlier* commands are collected (their between-command GC must
+    /// not sweep the next command's parse tree).
+    batch_roots: Vec<NodeId>,
+}
+
+/// A pipelined command whose section is staged but not yet collected.
+#[derive(Debug)]
+struct PendingCommand {
+    /// Index into the batch's reply vector.
+    slot: usize,
+    /// Wall clock at parse start.
+    wall_start: std::time::Instant,
+    /// Parse-phase counters (already machine-accounted).
+    parse: Counters,
+    /// Master-side eval counters spent staging (header eval, job build,
+    /// encode-side dispatch).
+    eval_stage: Counters,
 }
 
 impl CpuRepl {
@@ -81,7 +133,9 @@ impl CpuRepl {
             machine: CpuMachine::launch(spec),
             config,
             threaded: None,
+            forked: None,
             scratch_cycles: Vec::new(),
+            batch_roots: Vec::new(),
         }
     }
 
@@ -111,8 +165,29 @@ impl CpuRepl {
             .serial_compute(counters_to_cycles(&costs, &parse_counters))?;
         let forms = match parse_result {
             Ok(forms) => forms,
-            Err(e) => return self.error_reply(e, parse_counters),
+            Err(e) => {
+                return self.error_reply(
+                    e,
+                    CommandCounters {
+                        parse: parse_counters,
+                        ..Default::default()
+                    },
+                )
+            }
         };
+        self.finish_submit(&forms, parse_counters, wall_start)
+    }
+
+    /// Evaluate-and-print half of [`CpuRepl::submit`], shared with the
+    /// barrier path of [`CpuRepl::submit_batch`] (which has already
+    /// parsed and machine-accounted the command).
+    fn finish_submit(
+        &mut self,
+        forms: &[NodeId],
+        parse_counters: Counters,
+        wall_start: std::time::Instant,
+    ) -> Result<Reply> {
+        let costs = self.spec().costs;
 
         // --- Evaluate -----------------------------------------------------
         let m1 = self.interp.meter.snapshot();
@@ -126,7 +201,7 @@ impl CpuRepl {
                     sim_error: None,
                     job_cycles: std::mem::take(&mut self.scratch_cycles),
                 };
-                let (last, err) = eval_forms(&mut self.interp, &mut hook, &forms);
+                let (last, err) = eval_forms(&mut self.interp, &mut hook, forms);
                 self.scratch_cycles = hook.job_cycles;
                 (last, hook.sections, hook.job_counters, err, hook.sim_error)
             }
@@ -136,24 +211,45 @@ impl CpuRepl {
                 let hook = self
                     .threaded
                     .get_or_insert_with(|| ThreadedHook::new(threads));
-                let (last, err) = eval_forms(&mut self.interp, hook, &forms);
-                (last, Vec::new(), Counters::default(), err, None)
+                let (last, err) = eval_forms(&mut self.interp, hook, forms);
+                (last, Vec::new(), hook.take_job_counters(), err, None)
+            }
+            CpuMode::ForkPerSection { threads } => {
+                let hook = self
+                    .forked
+                    .get_or_insert_with(|| ForkPerSectionHook::new(threads));
+                let (last, err) = eval_forms(&mut self.interp, hook, forms);
+                (last, Vec::new(), hook.take_job_counters(), err, None)
             }
         };
         if let Some(sim) = sim_error {
             return Err(RuntimeError::Device(sim));
         }
         let eval_total = self.interp.meter.snapshot().delta_since(&m1);
-        let eval_master = eval_total.delta_since(&job_counters);
+        // The modeled backend evaluates jobs on the master interpreter, so
+        // its job charges must be subtracted back out of the master meter;
+        // the real-threads backends meter jobs inside the workers and the
+        // master total is already job-free.
+        let eval_master = if matches!(self.config.mode, CpuMode::Modeled) {
+            eval_total.delta_since(&job_counters)
+        } else {
+            eval_total
+        };
         let dispatch_overhead = self.spec().command_overhead_cycles;
         let section_cycles: u64 =
             sections.iter().map(|s| s.total_cycles()).sum::<u64>() + dispatch_overhead;
         self.machine
             .serial_compute(counters_to_cycles(&costs, &eval_master) + dispatch_overhead)?;
         if let Some(e) = eval_error {
-            let mut counters = parse_counters;
-            counters.add(&eval_master);
-            return self.error_reply(e, counters);
+            return self.error_reply(
+                e,
+                CommandCounters {
+                    parse: parse_counters,
+                    eval_master,
+                    jobs: job_counters,
+                    ..Default::default()
+                },
+            );
         }
 
         // --- Print ---------------------------------------------------------
@@ -162,9 +258,15 @@ impl CpuRepl {
             Some(node) => match culi_core::printer::print_to_string(&mut self.interp, node) {
                 Ok(s) => s,
                 Err(e) => {
-                    let mut counters = parse_counters;
-                    counters.add(&eval_master);
-                    return self.error_reply(e, counters);
+                    return self.error_reply(
+                        e,
+                        CommandCounters {
+                            parse: parse_counters,
+                            eval_master,
+                            jobs: job_counters,
+                            ..Default::default()
+                        },
+                    )
                 }
             },
             None => String::new(),
@@ -173,9 +275,7 @@ impl CpuRepl {
         self.machine
             .serial_compute(counters_to_cycles(&costs, &print_counters))?;
 
-        if self.config.gc_between_commands {
-            culi_core::gc::collect(&mut self.interp, &[]);
-        }
+        self.gc_between_commands();
         let spec = self.spec();
         let phases = breakdown(
             &spec,
@@ -189,21 +289,328 @@ impl CpuRepl {
             output,
             ok: true,
             phases,
+            counters: CommandCounters {
+                parse: parse_counters,
+                eval_master,
+                jobs: job_counters,
+                print: print_counters,
+            },
             sections,
             wall_ns: wall_start.elapsed().as_nanos() as u64,
         })
     }
 
-    fn error_reply(&mut self, e: CuliError, counters: Counters) -> Result<Reply> {
-        if self.config.gc_between_commands {
-            culi_core::gc::collect(&mut self.interp, &[]);
+    /// Submits a stream of commands, pipelining consecutive `|||`-bearing
+    /// commands through the worker pool (Threaded mode; other modes fall
+    /// back to a `submit` loop): maximal runs of stageable section
+    /// commands coalesce into a *single multi-section dispatch* — one
+    /// postbox rendezvous per seat per run instead of one per seat per
+    /// section — and up to [`WorkerPool::PIPELINE_DEPTH`] runs ride the
+    /// double-buffered postboxes at once. Replies come back in input
+    /// order and match a `submit` loop exactly.
+    pub fn submit_batch(&mut self, inputs: &[&str]) -> Result<Vec<Reply>> {
+        if !matches!(self.config.mode, CpuMode::Threaded { .. }) {
+            return inputs.iter().map(|s| self.submit(s)).collect();
         }
+        if !self.machine.is_running() {
+            return Err(RuntimeError::SessionClosed);
+        }
+        let costs = self.spec().costs;
+        let mut replies: Vec<Option<Reply>> = (0..inputs.len()).map(|_| None).collect();
+        // Runs already shipped to the pool, oldest first.
+        let mut pending: VecDeque<Vec<PendingCommand>> = VecDeque::new();
+        // The run currently being assembled: per-command metadata plus
+        // its prepared (pooled) job buffers, staged together on flush.
+        let mut assembling: Vec<(PendingCommand, Vec<NodeId>)> = Vec::new();
+        for (slot, &input) in inputs.iter().enumerate() {
+            let wall_start = std::time::Instant::now();
+            // --- Parse (overlaps in-flight runs) -------------------------
+            let m0 = self.interp.meter.snapshot();
+            let parse_result = culi_core::parser::parse(&mut self.interp, input.as_bytes());
+            let parse_counters = self.interp.meter.snapshot().delta_since(&m0);
+            self.machine
+                .serial_compute(counters_to_cycles(&costs, &parse_counters))?;
+            let forms = match parse_result {
+                Ok(forms) => forms,
+                Err(e) => {
+                    // Barrier: preserve reply order, then fail like submit.
+                    self.flush_run(&mut assembling, &mut pending, &mut replies, &[])?;
+                    self.drain_pending(&mut pending, &mut replies)?;
+                    replies[slot] = Some(self.error_reply(
+                        e,
+                        CommandCounters {
+                            parse: parse_counters,
+                            ..Default::default()
+                        },
+                    )?);
+                    continue;
+                }
+            };
+            let stageable = forms.len() == 1 && stageable_section(&self.interp, forms[0]);
+            if !stageable {
+                // Barrier command: ship whatever is assembled, drain the
+                // pipeline, then run the ordinary synchronous path on the
+                // already-parsed forms (rooted across the drain's GCs).
+                self.flush_run(&mut assembling, &mut pending, &mut replies, &forms)?;
+                self.drain_pending(&mut pending, &mut replies)?;
+                self.batch_roots.clear();
+                replies[slot] = Some(self.finish_submit(&forms, parse_counters, wall_start)?);
+                continue;
+            }
+            // --- Prepare (meter-identical to the synchronous path) -------
+            let m1 = self.interp.meter.snapshot();
+            let prepared = self.prepare_classified_section(forms[0]);
+            let eval_stage = self.interp.meter.snapshot().delta_since(&m1);
+            match prepared {
+                Ok(jobs) => {
+                    self.batch_roots.extend_from_slice(&jobs);
+                    assembling.push((
+                        PendingCommand {
+                            slot,
+                            wall_start,
+                            parse: parse_counters,
+                            eval_stage,
+                        },
+                        jobs,
+                    ));
+                    if assembling.len() == WorkerPool::MAX_RUN_SECTIONS {
+                        self.flush_run(&mut assembling, &mut pending, &mut replies, &[])?;
+                    }
+                }
+                Err(e) => {
+                    // Header/argument evaluation failed before staging —
+                    // the same error the synchronous path would produce.
+                    self.flush_run(&mut assembling, &mut pending, &mut replies, &[])?;
+                    self.drain_pending(&mut pending, &mut replies)?;
+                    self.machine
+                        .serial_compute(counters_to_cycles(&costs, &eval_stage))?;
+                    replies[slot] = Some(self.error_reply(
+                        e,
+                        CommandCounters {
+                            parse: parse_counters,
+                            eval_master: eval_stage,
+                            ..Default::default()
+                        },
+                    )?);
+                }
+            }
+        }
+        self.flush_run(&mut assembling, &mut pending, &mut replies, &[])?;
+        self.drain_pending(&mut pending, &mut replies)?;
+        Ok(replies
+            .into_iter()
+            .map(|r| r.expect("every batch slot replied"))
+            .collect())
+    }
+
+    /// Ships the assembled run (if any) as one multi-section dispatch,
+    /// first collecting the oldest in-flight run when the double buffer
+    /// is full. `live_forms` are extra GC roots to keep across any
+    /// collections triggered here (a barrier command's parse tree).
+    fn flush_run(
+        &mut self,
+        assembling: &mut Vec<(PendingCommand, Vec<NodeId>)>,
+        pending: &mut VecDeque<Vec<PendingCommand>>,
+        replies: &mut [Option<Reply>],
+        live_forms: &[NodeId],
+    ) -> Result<()> {
+        self.batch_roots.clear();
+        for (_, jobs) in assembling.iter() {
+            self.batch_roots.extend_from_slice(jobs);
+        }
+        self.batch_roots.extend_from_slice(live_forms);
+        if !assembling.is_empty() {
+            // Keep at most the postbox depth in flight. Collections here
+            // GC between commands; the assembled jobs are rooted above.
+            while pending.len() >= WorkerPool::PIPELINE_DEPTH {
+                let run = pending.pop_front().expect("pipeline non-empty");
+                for (slot, reply) in self.collect_run(run)? {
+                    replies[slot] = Some(reply);
+                }
+            }
+            let threads = match self.config.mode {
+                CpuMode::Threaded { threads } => threads,
+                _ => unreachable!("pipelined staging outside Threaded mode"),
+            };
+            let hook = self
+                .threaded
+                .get_or_insert_with(|| ThreadedHook::new(threads));
+            let sections: Vec<&[NodeId]> =
+                assembling.iter().map(|(_, jobs)| jobs.as_slice()).collect();
+            let global = self.interp.global;
+            hook.pool_mut(&self.interp)
+                .stage_run(&mut self.interp, &sections, global);
+            let mut run = Vec::with_capacity(assembling.len());
+            for (cmd, jobs) in assembling.drain(..) {
+                self.interp.put_node_buf(jobs);
+                run.push(cmd);
+            }
+            pending.push_back(run);
+            // Jobs are encoded into the postbox now; only a barrier's
+            // parse tree still needs rooting.
+            self.batch_roots.clear();
+            self.batch_roots.extend_from_slice(live_forms);
+        }
+        Ok(())
+    }
+
+    /// Collects every command of one staged run, in order, into the
+    /// reply slots.
+    fn collect_run(&mut self, run: Vec<PendingCommand>) -> Result<Vec<(usize, Reply)>> {
+        let mut out = Vec::with_capacity(run.len());
+        for cmd in run {
+            out.push(self.collect_staged(cmd)?);
+        }
+        Ok(out)
+    }
+
+    /// Evaluates a classified top-level section command through the same
+    /// dispatch charges and job construction as the recursive evaluator
+    /// ([`culi_core::eval::charge_symbol_head_dispatch`] +
+    /// [`culi_core::builtins::prepare_section`]) and returns the pooled
+    /// job buffer, ready to stage. Meter-identical to `eval` reaching the
+    /// `|||` builtin (the differential harness asserts this).
+    fn prepare_classified_section(&mut self, form: NodeId) -> culi_core::Result<Vec<NodeId>> {
+        let threads = match self.config.mode {
+            CpuMode::Threaded { threads } => threads,
+            _ => unreachable!("pipelined staging outside Threaded mode"),
+        };
+        let interp = &mut self.interp;
+        let global = interp.global;
+        let mut args = interp.take_node_buf();
+        let dispatched =
+            culi_core::eval::charge_symbol_head_dispatch(interp, form, global, &mut args);
+        if let Err(e) = dispatched {
+            interp.put_node_buf(args);
+            return Err(e);
+        }
+        let hook = self
+            .threaded
+            .get_or_insert_with(|| ThreadedHook::new(threads));
+        let prepared = culi_core::builtins::prepare_section(interp, hook, &args, global, 0);
+        interp.put_node_buf(args);
+        prepared
+    }
+
+    /// Collects the oldest staged command: gather its section's replies,
+    /// build and print the result list, account the machine, GC.
+    fn collect_staged(&mut self, cmd: PendingCommand) -> Result<(usize, Reply)> {
+        let costs = self.spec().costs;
+        let dispatch_overhead = self.spec().command_overhead_cycles;
+        let hook = self
+            .threaded
+            .as_mut()
+            .expect("a staged command implies a live threaded hook");
+        let pool = hook.pool_mut(&self.interp);
+        let mut results = self.interp.take_node_buf();
+        let m = self.interp.meter.snapshot();
+        let outcome = pool.collect_next(&mut self.interp, &mut results);
+        let finished = match outcome {
+            Ok(()) => culi_core::builtins::finish_section(&mut self.interp, &results),
+            Err(e) => Err(e),
+        };
+        self.interp.put_node_buf(results);
+        let eval_collect = self.interp.meter.snapshot().delta_since(&m);
+        let mut eval_master = cmd.eval_stage;
+        eval_master.add(&eval_collect);
+        let job_counters = hook.take_job_counters();
+        self.machine
+            .serial_compute(counters_to_cycles(&costs, &eval_master) + dispatch_overhead)?;
+        let node = match finished {
+            Ok(node) => node,
+            Err(e) => {
+                let reply = self.error_reply(
+                    e,
+                    CommandCounters {
+                        parse: cmd.parse,
+                        eval_master,
+                        jobs: job_counters,
+                        ..Default::default()
+                    },
+                )?;
+                return Ok((cmd.slot, reply));
+            }
+        };
+
+        // --- Print -------------------------------------------------------
+        let m2 = self.interp.meter.snapshot();
+        let printed = culi_core::printer::print_to_string(&mut self.interp, node);
+        let print_counters = self.interp.meter.snapshot().delta_since(&m2);
+        let output = match printed {
+            Ok(s) => s,
+            Err(e) => {
+                let reply = self.error_reply(
+                    e,
+                    CommandCounters {
+                        parse: cmd.parse,
+                        eval_master,
+                        jobs: job_counters,
+                        ..Default::default()
+                    },
+                )?;
+                return Ok((cmd.slot, reply));
+            }
+        };
+        self.machine
+            .serial_compute(counters_to_cycles(&costs, &print_counters))?;
+        self.gc_between_commands();
         let spec = self.spec();
         let phases = breakdown(
             &spec,
-            &counters,
-            &Counters::default(),
-            &Counters::default(),
+            &cmd.parse,
+            &eval_master,
+            &print_counters,
+            dispatch_overhead,
+            0,
+        );
+        Ok((
+            cmd.slot,
+            Reply {
+                output,
+                ok: true,
+                phases,
+                counters: CommandCounters {
+                    parse: cmd.parse,
+                    eval_master,
+                    jobs: job_counters,
+                    print: print_counters,
+                },
+                sections: Vec::new(),
+                wall_ns: cmd.wall_start.elapsed().as_nanos() as u64,
+            },
+        ))
+    }
+
+    /// Collects every staged run in order into the reply slots.
+    fn drain_pending(
+        &mut self,
+        pending: &mut VecDeque<Vec<PendingCommand>>,
+        replies: &mut [Option<Reply>],
+    ) -> Result<()> {
+        while let Some(run) = pending.pop_front() {
+            for (slot, reply) in self.collect_run(run)? {
+                replies[slot] = Some(reply);
+            }
+        }
+        Ok(())
+    }
+
+    /// Between-command collection, keeping any parsed-but-unstaged batch
+    /// command's forms alive.
+    fn gc_between_commands(&mut self) {
+        if self.config.gc_between_commands {
+            culi_core::gc::collect(&mut self.interp, &self.batch_roots);
+        }
+    }
+
+    fn error_reply(&mut self, e: CuliError, counters: CommandCounters) -> Result<Reply> {
+        self.gc_between_commands();
+        let spec = self.spec();
+        let phases = breakdown(
+            &spec,
+            &counters.parse,
+            &counters.eval_master,
+            &counters.print,
             0,
             0,
         );
@@ -211,6 +618,7 @@ impl CpuRepl {
             output: format!("error: {e}"),
             ok: false,
             phases,
+            counters,
             sections: Vec::new(),
             wall_ns: 0,
         })
@@ -219,6 +627,7 @@ impl CpuRepl {
     /// Stops the worker pool; returns total setup+teardown in ms.
     pub fn shutdown(&mut self) -> f64 {
         self.threaded = None; // joins the persistent worker pool
+        self.forked = None;
         self.machine.shutdown();
         self.machine.overhead_ns() as f64 / 1e6
     }
@@ -227,6 +636,99 @@ impl CpuRepl {
     pub fn is_running(&self) -> bool {
         self.machine.is_running()
     }
+}
+
+/// Charge-free syntactic classification for the pipelined dispatcher:
+/// `form` is a `(||| …)` expression whose head symbol resolves to the
+/// parallel builtin in the global environment and whose operands are all
+/// [`inert_operand`]s. Such a command's evaluation cannot read or write
+/// anything another in-flight section could race with, and its result is
+/// only printed — so its section may be staged ahead.
+fn stageable_section(interp: &Interp, form: NodeId) -> bool {
+    let n = *interp.arena.get(form);
+    let first = match (n.ty, n.payload) {
+        (
+            NodeType::List | NodeType::Expression,
+            Payload::List {
+                first: Some(first), ..
+            },
+        ) => first,
+        _ => return false,
+    };
+    let head = *interp.arena.get(first);
+    let sid = match (head.ty, head.payload) {
+        (NodeType::Symbol, Payload::Text(s)) => s,
+        _ => return false,
+    };
+    if interp.strings.get(sid) != b"|||" {
+        return false;
+    }
+    match resolve_global_quiet(interp, sid) {
+        Some(node) => {
+            let resolved = interp.arena.get(node);
+            match (resolved.ty, resolved.payload) {
+                (NodeType::Function, Payload::Builtin(b)) => {
+                    if interp.builtins.name(b) != "|||" {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        None => return false,
+    }
+    let mut cur = interp.arena.get(first).next;
+    while let Some(id) = cur {
+        if !inert_operand(interp, id) {
+            return false;
+        }
+        cur = interp.arena.get(id).next;
+    }
+    true
+}
+
+/// `true` when evaluating `id` cannot have side effects: an atom (a
+/// literal evaluates to itself, a symbol to a pure lookup) or a list of
+/// atoms whose head does not resolve to anything callable (so the list
+/// evaluates element-wise instead of applying a function, form or macro).
+fn inert_operand(interp: &Interp, id: NodeId) -> bool {
+    let n = *interp.arena.get(id);
+    let mut cur = match (n.ty, n.payload) {
+        (NodeType::List | NodeType::Expression, Payload::List { first, .. }) => first,
+        _ => return true,
+    };
+    let mut is_head = true;
+    while let Some(kid) = cur {
+        let k = *interp.arena.get(kid);
+        match k.ty {
+            NodeType::List | NodeType::Expression => return false,
+            NodeType::Symbol if is_head => {
+                if let Payload::Text(s) = k.payload {
+                    if let Some(v) = resolve_global_quiet(interp, s) {
+                        if matches!(
+                            interp.arena.get(v).ty,
+                            NodeType::Function | NodeType::Form | NodeType::Macro
+                        ) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        is_head = false;
+        cur = k.next;
+    }
+    true
+}
+
+/// Global lookup without touching the session meter (classification must
+/// not charge anything — it is bookkeeping, not interpreter work).
+fn resolve_global_quiet(interp: &Interp, sid: culi_core::StrId) -> Option<NodeId> {
+    let mut scratch = culi_core::cost::Meter::new();
+    interp
+        .envs
+        .lookup(interp.global, sid, &interp.strings, &mut scratch)
 }
 
 fn eval_forms(
@@ -382,6 +884,114 @@ mod tests {
         let reply = r.submit("(||| 4 bump (1 2 3 4))").unwrap();
         assert_eq!(reply.output, "(101 102 103 104)");
         assert_eq!(r.submit("total").unwrap().output, "100");
+    }
+
+    #[test]
+    fn fork_per_section_mode_works_end_to_end() {
+        let mut r = CpuRepl::launch(
+            intel_e5_2620(),
+            CpuReplConfig {
+                interp: InterpConfig {
+                    arena_capacity: 1 << 16,
+                    ..Default::default()
+                },
+                mode: CpuMode::ForkPerSection { threads: 3 },
+                ..Default::default()
+            },
+        );
+        r.submit("(defun sq (x) (* x x))").unwrap();
+        let reply = r.submit("(||| 4 sq (1 2 3 4))").unwrap();
+        assert_eq!(reply.output, "(1 4 9 16)");
+        assert!(r.interp_mut().clone_count() > 0, "the baseline clones");
+    }
+
+    #[test]
+    fn batch_pipelines_sections_and_matches_submit_loop() {
+        let prelude = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+        let section = "(||| 4 fib (4 5 6 7))";
+        let mut a = threaded(4);
+        let mut b = threaded(4);
+        a.submit(prelude).unwrap();
+        b.submit(prelude).unwrap();
+        let batch: Vec<&str> = vec![section; 8];
+        let batched = b.submit_batch(&batch).unwrap();
+        for reply in batched {
+            let reference = a.submit(section).unwrap();
+            assert_eq!(reply.output, reference.output);
+            assert_eq!(reply.ok, reference.ok);
+            assert_eq!(reply.counters, reference.counters);
+        }
+    }
+
+    #[test]
+    fn batch_barriers_on_defines_and_stays_correct() {
+        let mut r = threaded(3);
+        let replies = r
+            .submit_batch(&[
+                "(setq g 5)",
+                "(defun addg (x) (+ x g))",
+                "(||| 3 addg (1 2 3))",
+                "(||| 3 addg (10 20 30))",
+                "(setq g 50)",
+                "(||| 3 addg (1 2 3))",
+            ])
+            .unwrap();
+        let outputs: Vec<&str> = replies.iter().map(|r| r.output.as_str()).collect();
+        assert_eq!(
+            outputs,
+            ["5", "addg", "(6 7 8)", "(15 25 35)", "50", "(51 52 53)"]
+        );
+    }
+
+    #[test]
+    fn batch_propagates_errors_in_order() {
+        let mut r = threaded(2);
+        let replies = r
+            .submit_batch(&[
+                "(||| 2 / (4 6) (2 2))",
+                "(||| 2 / (4 6) (0 2))", // worker 0 divides by zero
+                "(||| 2 / (4 6) (1 2))",
+                "(+ 1", // parse error barrier
+                "(||| 2 + (1 2) (1 1))",
+            ])
+            .unwrap();
+        assert_eq!(replies[0].output, "(2 3)");
+        assert!(!replies[1].ok);
+        assert!(
+            replies[1].output.contains("worker 0"),
+            "{}",
+            replies[1].output
+        );
+        assert_eq!(replies[2].output, "(4 3)");
+        assert!(!replies[3].ok);
+        assert_eq!(replies[4].output, "(2 3)");
+    }
+
+    #[test]
+    fn batch_with_zero_warm_clones() {
+        let mut r = threaded(4);
+        r.submit("(defun sq (x) (* x x))").unwrap();
+        r.submit("(||| 4 sq (1 2 3 4))").unwrap(); // warm the pool
+        let clones = r.interp_mut().clone_count();
+        let batch: Vec<&str> = vec!["(||| 4 sq (1 2 3 4))"; 32];
+        let replies = r.submit_batch(&batch).unwrap();
+        assert!(replies.iter().all(|r| r.output == "(1 4 9 16)"));
+        assert_eq!(
+            r.interp_mut().clone_count(),
+            clones,
+            "a warm pipelined batch must not clone the interpreter"
+        );
+    }
+
+    #[test]
+    fn classification_rejects_non_inert_operands() {
+        let mut r = threaded(2);
+        // `(list g g)` is a nested expression: evaluated under a barrier,
+        // still correct.
+        let replies = r
+            .submit_batch(&["(setq g 3)", "(||| 2 + (1 2) (list g g))"])
+            .unwrap();
+        assert_eq!(replies[1].output, "(4 5)");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! warp-livelock ablations bite).
 
 use crate::error::{Result, RuntimeError};
-use crate::phases::{breakdown, counters_to_cycles};
+use crate::phases::{breakdown, counters_to_cycles, CommandCounters};
 use crate::reply::Reply;
 use culi_core::cost::Counters;
 use culi_core::eval::{eval, ParallelHook};
@@ -115,7 +115,14 @@ impl GpuRepl {
         let forms = match parse_result {
             Ok(forms) => forms,
             Err(e) => {
-                return self.error_reply(e, parse_counters, transfer_before);
+                return self.error_reply(
+                    e,
+                    CommandCounters {
+                        parse: parse_counters,
+                        ..Default::default()
+                    },
+                    transfer_before,
+                );
             }
         };
 
@@ -162,9 +169,16 @@ impl GpuRepl {
             counters_to_cycles(&self.spec().costs, &eval_master) + dispatch_overhead,
         )?;
         if let Some(e) = eval_error {
-            let mut counters = parse_counters;
-            counters.add(&eval_master);
-            return self.error_reply(e, counters, transfer_before);
+            return self.error_reply(
+                e,
+                CommandCounters {
+                    parse: parse_counters,
+                    eval_master,
+                    jobs: job_counters,
+                    ..Default::default()
+                },
+                transfer_before,
+            );
         }
 
         // --- Print (master thread) ---------------------------------------
@@ -174,10 +188,16 @@ impl GpuRepl {
                 Ok(s) => s,
                 Err(e) => {
                     let print_counters = self.interp.meter.snapshot().delta_since(&m2);
-                    let mut counters = parse_counters;
-                    counters.add(&eval_master);
-                    counters.add(&print_counters);
-                    return self.error_reply(e, counters, transfer_before);
+                    return self.error_reply(
+                        e,
+                        CommandCounters {
+                            parse: parse_counters,
+                            eval_master,
+                            jobs: job_counters,
+                            print: print_counters,
+                        },
+                        transfer_before,
+                    );
                 }
             },
             None => String::new(),
@@ -207,6 +227,12 @@ impl GpuRepl {
             output,
             ok: true,
             phases,
+            counters: CommandCounters {
+                parse: parse_counters,
+                eval_master,
+                jobs: job_counters,
+                print: print_counters,
+            },
             sections,
             wall_ns: 0,
         })
@@ -220,7 +246,7 @@ impl GpuRepl {
     fn error_reply(
         &mut self,
         e: CuliError,
-        counters: Counters,
+        counters: CommandCounters,
         transfer_before: u64,
     ) -> Result<Reply> {
         let output = format!("error: {e}");
@@ -231,9 +257,9 @@ impl GpuRepl {
         }
         let phases = breakdown(
             &self.spec(),
-            &counters,
-            &Counters::default(),
-            &Counters::default(),
+            &counters.parse,
+            &counters.eval_master,
+            &counters.print,
             0,
             self.cmdbuf.transfer_ns() - transfer_before,
         );
@@ -241,6 +267,7 @@ impl GpuRepl {
             output,
             ok: false,
             phases,
+            counters,
             sections: Vec::new(),
             wall_ns: 0,
         })

@@ -30,7 +30,7 @@ pub mod vfs;
 pub use cpu_repl::{CpuMode, CpuRepl, CpuReplConfig};
 pub use error::{Result, RuntimeError};
 pub use gpu_repl::{GpuRepl, GpuReplConfig};
-pub use phases::{counters_to_cycles, PhaseBreakdown};
+pub use phases::{counters_to_cycles, CommandCounters, PhaseBreakdown};
 pub use pool::{ForkPerSectionHook, ThreadedHook, WorkerPool};
 pub use reply::Reply;
 pub use session::Session;

@@ -26,6 +26,40 @@ pub fn counters_to_cycles(costs: &CostTable, c: &Counters) -> u64 {
         + c.number_formats * costs.num_format
 }
 
+/// Paper-model operation counters of one REPL command, split the way the
+/// cost model attributes them. Every backend fills this identically for
+/// the same program — the cross-backend differential harness asserts it —
+/// so `parse`/`eval_master`/`print` cover the master thread's three
+/// phases and `jobs` covers work evaluated inside `|||` workers (measured
+/// in the worker interpreters for the real-threads backends, separated on
+/// the master meter for the modeled ones).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommandCounters {
+    /// Tokenize/parse phase.
+    pub parse: Counters,
+    /// Master-side evaluation work (job evaluation excluded).
+    pub eval_master: Counters,
+    /// Work evaluated inside `|||` section jobs (nested sections counted
+    /// once). Backend synchronization traffic — flat-codec encode/decode,
+    /// sync replay, fork imports — is *not* paper-model work and is never
+    /// charged here or anywhere else.
+    pub jobs: Counters,
+    /// Print phase.
+    pub print: Counters,
+}
+
+impl CommandCounters {
+    /// Element-wise sum of all four groups: the command's total
+    /// paper-model work regardless of where it ran.
+    pub fn combined(&self) -> Counters {
+        let mut total = self.parse;
+        total.add(&self.eval_master);
+        total.add(&self.jobs);
+        total.add(&self.print);
+        total
+    }
+}
+
 /// Per-phase timing of one REPL command on one device.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseBreakdown {

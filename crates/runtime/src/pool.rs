@@ -5,21 +5,26 @@
 //! string table — per worker chunk on every `|||` section. This module
 //! replaces it with the architecture the paper actually describes
 //! (§III-D): workers are **persistent** and jobs travel through a compact
-//! **postbox**.
+//! **postbox** — and, since PR 3, the postbox is **pipelined**: dispatch
+//! of section *k+1* overlaps execution of section *k*.
 //!
 //! # Architecture
 //!
 //! * Each [`WorkerPool`] seat owns an OS thread holding a **warm
 //!   interpreter fork**, cloned exactly once at pool warm-up.
-//! * Master ⇄ worker traffic goes through one-slot [`Postbox`]es
-//!   (mutex + condvar around a single `Option`), not channels — no
-//!   per-message queue-node allocation, mirroring the GPU postbox's
-//!   fixed mailbox slots.
-//! * A section dispatch per active seat carries four recycled flat
-//!   buffers ([`culi_core::postbox`]):
-//!   1. a `SyncPacket` — the master's environment mutations since this
-//!      seat's **sync epoch** (see [`culi_core::env`]): warm forks replay
-//!      only new `defun`/`setq`s instead of being re-cloned;
+//! * Master ⇄ worker traffic goes through **double-buffered**
+//!   [`Postbox`]es: a mutex + condvar around a two-slot FIFO, not
+//!   channels — no per-message queue-node allocation, mirroring the GPU
+//!   postbox's fixed mailbox cells. Two slots (instead of PR 2's one) let
+//!   the master ship section *k+1*'s packets while the worker still
+//!   executes section *k*, so a warm command stream pays one rendezvous
+//!   per *batch* instead of one sleep/wake pair per seat per section.
+//! * A section dispatch per active seat carries recycled flat buffers
+//!   ([`culi_core::postbox`]):
+//!   1. either a `SyncPacket` — the master's environment mutations since
+//!      this seat's **sync epoch** (see [`culi_core::env`]) — or an
+//!      `EnvSnapshot`, a whole-environment dump, whichever is smaller
+//!      (see *Snapshot resync* below);
 //!   2. a `ChainPacket` — the transient environment chain above the `|||`
 //!      expression (dynamic scoping: job bodies may reference enclosing
 //!      `let`/parameter bindings);
@@ -28,86 +33,202 @@
 //! * Buffers round-trip master → worker → master, so a warm section
 //!   performs **zero steady-state heap allocations** and **zero
 //!   whole-interpreter clones** ([`culi_core::Interp::clone_count`]
-//!   proves the latter in tests).
+//!   proves the latter in tests). Returned buffers are capped at
+//!   [`RETAINED_MSG_BYTES`] so one oversized section cannot pin its
+//!   high-water allocation for the pool's lifetime.
 //! * Results come back in distribution order; worker errors surface as
 //!   [`CuliError::WorkerFailed`] with the job's global index, exactly
-//!   like the sequential backend.
+//!   like the sequential backend. Each reply also carries the worker's
+//!   paper-model [`Counters`] for its jobs, so the real-threads backend
+//!   reports the same meter charges as the sequential reference.
 //!
-//! # Isolation across sections
+//! # Pipelined dispatch protocol
+//!
+//! [`WorkerPool::stage`] encodes and ships one section without waiting;
+//! [`WorkerPool::collect_next`] blocks for the oldest staged section's
+//! replies. [`WorkerPool::execute`] (the [`ParallelHook`] path) is
+//! `stage` + `collect_next` back to back — PR 2's rendezvous exactly. The
+//! REPL layer (`culi_runtime::cpu_repl::CpuRepl::submit_batch`) keeps up
+//! to [`WorkerPool::PIPELINE_DEPTH`] sections in flight.
+//!
+//! Staging ahead is only sound while the master's persistent state is
+//! frozen: a staged packet describes the master *as of staging time*, and
+//! the recovery paths below re-encode against the current master. `stage`
+//! therefore asserts that every in-flight section was staged at the same
+//! sync epoch; the REPL drains the pipeline before any command that could
+//! mutate persistent state.
+//!
+//! # Isolation across sections and snapshot resync
 //!
 //! The fork-per-section design silently guaranteed that worker-side
 //! mutations of *global* state died with the fork. Persistent workers
 //! would leak them into later sections, so every worker watches its own
 //! sync log: if a section's jobs grew it (a job ran `setq`/`defun`
-//! against persistent state), the worker reports itself **dirty** and the
-//! pool re-forks that seat before its next dispatch. Pure workloads — the
-//! paper's model — never pay this; mutating workloads get exactly the old
-//! fork-per-section semantics.
+//! against persistent state), the worker reports itself **dirty**. PR 2
+//! re-forked dirty seats (a whole-interpreter clone); PR 3 instead ships
+//! an [`culi_core::postbox::EnvSnapshot`] that rebuilds the replica's
+//! persistent environments in place — structure-faithful, no clone. The
+//! same snapshot repairs seats whose incremental replay window would be
+//! larger than the live environment (cold seats behind thousands of
+//! defines; the crossover is count-based, measured by `bench_pr3`'s
+//! `sync/` rows) and seats older than the log's compaction frontier
+//! ([`culi_core::env::EnvArena::sync_replay_faithful_since`]).
+//!
+//! A **dirty** worker refuses any already-queued plain section (its state
+//! has diverged from every master epoch) and the master re-arms the
+//! refused message with a snapshot. A **panicked** worker refuses
+//! everything; the master respawns the seat's thread from the current
+//! master — the only remaining source of post-warm-up clones, reserved
+//! for the pathological path. Pure workloads — the paper's model — never
+//! pay any of this.
 //!
 //! After replying, a worker collects its own garbage (decoded sync
 //! values stay rooted by its global bindings; job temporaries die), so a
 //! warm worker's arena stays at its steady-state high-water mark.
 
+use culi_core::cost::Counters;
 use culi_core::eval::{eval, ParallelHook, SequentialHook};
-use culi_core::postbox::{ChainPacket, FlatTree, SyncPacket};
+use culi_core::postbox::{ChainPacket, EnvSnapshot, FlatTree, SyncPacket};
 use culi_core::{CuliError, EnvId, Interp, NodeId};
+use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// A one-slot rendezvous mailbox: `put` blocks while the slot is
-/// occupied, `take` blocks while it is empty. The CPU analogue of the
-/// simulated kernel's postbox cells — no queue, no per-message
-/// allocation.
+/// Mailbox slots per direction: the master may run this many sections
+/// ahead of a worker (double buffering).
+const POSTBOX_DEPTH: usize = 2;
+
+/// Retained-capacity cap for a recycled [`SectionMsg`], applied when its
+/// buffers return to the seat pool: one oversized section must not pin
+/// high-water memory for the pool's lifetime.
+const RETAINED_MSG_BYTES: usize = 64 * 1024;
+
+/// Extra replay records tolerated before a snapshot becomes cheaper than
+/// incremental sync. Replay and snapshot records cost within a few
+/// percent of each other to encode/apply (both are one flat value tree
+/// plus one define/set; `bench_pr3`'s `sync/` rows measure both), so the
+/// crossover is essentially the record *counts*; the slack absorbs the
+/// snapshot's fixed cost of resetting and rebuilding the environment
+/// list.
+const SNAPSHOT_SLACK_RECORDS: usize = 16;
+
+/// A bounded FIFO rendezvous mailbox: `put` blocks while all
+/// [`POSTBOX_DEPTH`] slots are occupied, `take` blocks while the box is
+/// empty. The CPU analogue of the simulated kernel's postbox cells — no
+/// unbounded queue, no per-message allocation in steady state.
 #[derive(Debug)]
 struct Postbox<T> {
-    slot: Mutex<Option<T>>,
+    slots: Mutex<VecDeque<T>>,
     ready: Condvar,
 }
 
 impl<T> Postbox<T> {
     fn new() -> Self {
         Self {
-            slot: Mutex::new(None),
+            slots: Mutex::new(VecDeque::with_capacity(POSTBOX_DEPTH)),
             ready: Condvar::new(),
         }
     }
 
     fn put(&self, value: T) {
-        let mut slot = self.slot.lock().unwrap();
-        while slot.is_some() {
-            slot = self.ready.wait(slot).unwrap();
+        let mut slots = self.slots.lock().unwrap();
+        while slots.len() >= POSTBOX_DEPTH {
+            slots = self.ready.wait(slots).unwrap();
         }
-        *slot = Some(value);
+        slots.push_back(value);
         self.ready.notify_all();
     }
 
     fn take(&self) -> T {
-        let mut slot = self.slot.lock().unwrap();
+        let mut slots = self.slots.lock().unwrap();
         loop {
-            if let Some(v) = slot.take() {
+            if let Some(v) = slots.pop_front() {
                 self.ready.notify_all();
                 return v;
             }
-            slot = self.ready.wait(slot).unwrap();
+            slots = self.ready.wait(slots).unwrap();
         }
     }
 }
 
-/// One section dispatch: every buffer is recycled across sections by
-/// round-tripping master → worker → master.
+/// One dispatch message: a **run** of one or more consecutive sections
+/// for one seat, plus the synchronization payload. Every buffer is
+/// recycled across runs by round-tripping master → worker → master.
+/// Seats that participate in a run but not in one of its sections carry
+/// a zero-job entry for it, so section indices line up across seats.
 #[derive(Debug, Default)]
 struct SectionMsg {
-    /// Master env mutations since this seat's last sync.
+    /// Master env mutations since this seat's last sync (ignored when
+    /// `use_snapshot`).
     sync: SyncPacket,
-    /// Transient env chain above the `|||` expression.
+    /// Whole-environment resync (only read when `use_snapshot`).
+    snapshot: EnvSnapshot,
+    /// Synchronize via `snapshot` instead of `sync`.
+    use_snapshot: bool,
+    /// Continue a partially-executed run (after a mid-run dirty stop):
+    /// keep recorded outcomes and resume at section `completed` instead
+    /// of starting over.
+    resume: bool,
+    /// Transient env chain above the `|||` expressions (one per run: a
+    /// coalesced run shares its parent environment).
     chain: ChainPacket,
-    /// Encoded job expressions for this seat's chunk.
+    /// Encoded job expressions of every section, concatenated.
     jobs: FlatTree,
-    /// Worker-filled encoded results.
+    /// Jobs per section (this seat's chunks).
+    section_jobs: Vec<u32>,
+    /// Global index of this seat's first job, per section (errors).
+    section_first: Vec<u32>,
+    /// Worker-filled encoded results, concatenated across sections.
     results: FlatTree,
-    /// Global index of this chunk's first job (error reporting).
-    first_job: usize,
+    /// Worker-filled: results pushed per attempted section.
+    section_results: Vec<u32>,
+    /// Worker-filled: first failing job per section, if any.
+    section_error: Vec<Option<(usize, String)>>,
+    /// Worker-filled: paper-model charges of each section's jobs.
+    section_counters: Vec<Counters>,
+    /// Worker-filled: sections attempted (a mid-run dirty stop leaves
+    /// `completed < section_jobs.len()`; the master re-arms the same
+    /// message in `resume` mode with a snapshot).
+    completed: u32,
+}
+
+impl SectionMsg {
+    fn section_count(&self) -> usize {
+        self.section_jobs.len()
+    }
+
+    /// Bytes of heap capacity currently retained across all buffers.
+    fn byte_capacity(&self) -> usize {
+        self.sync.byte_capacity()
+            + self.snapshot.byte_capacity()
+            + self.chain.byte_capacity()
+            + self.jobs.byte_capacity()
+            + self.results.byte_capacity()
+            + (self.section_jobs.capacity()
+                + self.section_first.capacity()
+                + self.section_results.capacity())
+                * 4
+            + self.section_error.capacity() * std::mem::size_of::<Option<(usize, String)>>()
+            + self.section_counters.capacity() * std::mem::size_of::<Counters>()
+    }
+
+    /// Shrink policy: cap what a recycled message keeps.
+    fn shrink_to_retention_cap(&mut self) {
+        if self.byte_capacity() > RETAINED_MSG_BYTES {
+            let per_buf = RETAINED_MSG_BYTES / 5;
+            self.sync.shrink_to_budget(per_buf);
+            self.snapshot.shrink_to_budget(per_buf);
+            self.chain.shrink_to_budget(per_buf);
+            self.jobs.shrink_to_budget(per_buf);
+            self.results.shrink_to_budget(per_buf);
+            self.section_jobs.shrink_to(64);
+            self.section_first.shrink_to(64);
+            self.section_results.shrink_to(64);
+            self.section_error.shrink_to(64);
+            self.section_counters.shrink_to(64);
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -119,13 +240,18 @@ enum ToWorker {
 #[derive(Debug)]
 struct SectionReply {
     msg: Box<SectionMsg>,
-    /// First failing job `(global index, message)`, if any.
-    error: Option<(usize, String)>,
-    /// The section's jobs mutated persistent (global) state: this fork
-    /// has diverged from the master and must be replaced.
+    /// The worker ended this message poisoned: its fork has diverged
+    /// from the master (the last attempted section mutated persistent
+    /// state, or synchronization failed).
     dirty: bool,
-    /// The worker panicked mid-section and is terminating.
+    /// The worker panicked mid-run; its fork is untrusted and the seat's
+    /// thread must be respawned. Per-section outcomes in `msg` are
+    /// unreliable.
     panicked: bool,
+    /// The worker declined to run this message because an earlier run
+    /// poisoned it (`panicked` distinguishes hard from soft poison). The
+    /// message was not executed; the master re-arms and re-sends it.
+    refused: bool,
 }
 
 #[derive(Debug)]
@@ -135,11 +261,19 @@ struct Seat {
     handle: Option<JoinHandle<()>>,
     /// Master sync epoch this seat's fork has replayed up to.
     synced_epoch: u64,
-    /// Recycled dispatch buffers (`None` only while a section is in
-    /// flight on this seat).
-    bufs: Option<Box<SectionMsg>>,
-    /// Fork diverged (dirty or panicked); replace before next dispatch.
-    needs_refork: bool,
+    /// Recycled dispatch buffers; one set per pipeline slot. Empty only
+    /// while that many runs are in flight on this seat. (Boxed so the
+    /// postbox and reply types move a pointer, not the buffer struct.)
+    #[allow(clippy::vec_box)]
+    bufs: Vec<Box<SectionMsg>>,
+    /// Messages sent minus replies taken.
+    outstanding: usize,
+    /// A dirty end-of-run was observed: the next dispatch must carry a
+    /// snapshot (the worker refuses anything else).
+    soft_poisoned: bool,
+    /// A panic was observed: the thread must be respawned before the
+    /// next dispatch.
+    hard_poisoned: bool,
 }
 
 impl Seat {
@@ -154,9 +288,41 @@ impl Seat {
             from,
             handle: Some(handle),
             synced_epoch: template.envs.sync_epoch(),
-            bufs: Some(Box::default()),
-            needs_refork: false,
+            bufs: (0..POSTBOX_DEPTH).map(|_| Box::default()).collect(),
+            outstanding: 0,
+            soft_poisoned: false,
+            hard_poisoned: false,
         }
+    }
+
+    fn send(&mut self, msg: Box<SectionMsg>) {
+        self.to.put(ToWorker::Section(msg));
+        self.outstanding += 1;
+    }
+
+    fn take_reply(&mut self) -> SectionReply {
+        let reply = self.from.take();
+        self.outstanding -= 1;
+        reply
+    }
+
+    /// Returns a message's buffers to the pool, applying the retention
+    /// cap.
+    fn give_back(&mut self, mut msg: Box<SectionMsg>) {
+        msg.shrink_to_retention_cap();
+        self.bufs.push(msg);
+    }
+
+    /// Replaces this seat's worker thread with a fresh fork of `template`
+    /// (the panic-recovery path — the only post-warm-up interpreter
+    /// clone). Requires all outstanding replies to have been drained.
+    fn respawn(&mut self, template: &Interp) {
+        debug_assert_eq!(self.outstanding, 0, "respawn with replies in flight");
+        self.shutdown();
+        let bufs = std::mem::take(&mut self.bufs);
+        *self = Seat::launch(template);
+        // Keep the old buffer sets (they are already shrunk to cap).
+        self.bufs = bufs;
     }
 
     fn shutdown(&mut self) {
@@ -165,23 +331,93 @@ impl Seat {
             let _ = handle.join();
         }
     }
+
+    /// Re-sends a FIFO run of parked messages after this seat was
+    /// repaired: the first may carry a fresh snapshot (and continue a
+    /// partially-executed run when `resume_first`); the rest ride behind
+    /// it with nothing left to sync. Clears the master-side poison flags
+    /// — the worker is clean once the head message lands (a fresh fork
+    /// after a respawn, or a successful snapshot apply).
+    #[allow(clippy::vec_box)] // messages stay boxed end to end
+    fn resend_parked(
+        &mut self,
+        interp: &Interp,
+        parked: Vec<Box<SectionMsg>>,
+        snapshot_first: bool,
+        resume_first: bool,
+    ) {
+        for (k, mut msg) in parked.into_iter().enumerate() {
+            msg.use_snapshot = snapshot_first && k == 0;
+            if msg.use_snapshot {
+                msg.snapshot.encode(interp);
+            }
+            msg.resume = resume_first && k == 0;
+            msg.sync.clear();
+            self.send(msg);
+        }
+        self.soft_poisoned = false;
+        self.hard_poisoned = false;
+    }
+}
+
+/// Worker-side divergence state. A poisoned worker refuses messages
+/// instead of running them on a diverged fork, but keeps draining its
+/// mailbox so the pipeline never wedges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Poison {
+    /// Fork matches its sync epoch: run anything.
+    None,
+    /// A completed run's last section diverged the fork: only a
+    /// snapshot-bearing message may run.
+    Soft,
+    /// A run stopped dirty *mid-message*: only the master's resume
+    /// re-send of that same message may run — a fresh snapshot message
+    /// for a later run must not jump the remaining sections.
+    AwaitResume,
+    /// A panic left the fork untrusted: nothing runs until the master
+    /// respawns this thread.
+    Hard,
 }
 
 fn worker_loop(mut interp: Interp, to: &Postbox<ToWorker>, from: &Postbox<SectionReply>) {
+    let mut poison = Poison::None;
     loop {
         match to.take() {
             ToWorker::Shutdown => return,
             ToWorker::Section(mut msg) => {
-                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    run_section(&mut interp, &mut msg)
-                }));
+                let accept = match poison {
+                    Poison::None => true,
+                    Poison::Soft => msg.use_snapshot,
+                    Poison::AwaitResume => msg.resume,
+                    Poison::Hard => false,
+                };
+                if !accept {
+                    from.put(SectionReply {
+                        msg,
+                        dirty: false,
+                        panicked: poison == Poison::Hard,
+                        refused: true,
+                    });
+                    continue;
+                }
+                let outcome =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| run_msg(&mut interp, &mut msg)));
                 match outcome {
-                    Ok((error, dirty)) => {
+                    Ok(run) => {
+                        poison = if run.dirty {
+                            if (msg.completed as usize) < msg.section_count() {
+                                Poison::AwaitResume
+                            } else {
+                                Poison::Soft
+                            }
+                        } else {
+                            Poison::None
+                        };
                         from.put(SectionReply {
                             msg,
-                            error,
-                            dirty,
+                            dirty: run.dirty,
                             panicked: false,
+                            refused: false,
                         });
                         // Collect after replying: the master proceeds while
                         // this fork sweeps its job temporaries (bounded by
@@ -190,14 +426,15 @@ fn worker_loop(mut interp: Interp, to: &Postbox<ToWorker>, from: &Postbox<Sectio
                     }
                     Err(_) => {
                         // The fork's state can no longer be trusted; report
-                        // and terminate. The pool re-forks this seat.
+                        // and refuse everything until the master respawns
+                        // this seat.
+                        poison = Poison::Hard;
                         from.put(SectionReply {
-                            msg: Box::default(),
-                            error: None,
+                            msg,
                             dirty: true,
                             panicked: true,
+                            refused: false,
                         });
-                        return;
                     }
                 }
             }
@@ -205,71 +442,187 @@ fn worker_loop(mut interp: Interp, to: &Postbox<ToWorker>, from: &Postbox<Sectio
     }
 }
 
-/// Runs one dispatched section inside a worker: replay sync, rebuild the
-/// transient chain, evaluate each job, encode results. Returns the first
-/// failure (global job index + message) and the dirty flag.
-fn run_section(interp: &mut Interp, msg: &mut SectionMsg) -> (Option<(usize, String)>, bool) {
-    msg.results.clear();
-    // A failed sync replay leaves this fork *partially* synchronized while
-    // the master has already advanced the seat's epoch — report dirty so
-    // the pool replaces the fork instead of letting it silently diverge.
-    if let Err(e) = msg.sync.apply(interp) {
-        return (
-            Some((msg.first_job, format!("worker sync failed: {e}"))),
-            true,
-        );
+/// What one dispatched message did inside a worker.
+struct MsgRun {
+    /// The fork ends this message diverged from the master.
+    dirty: bool,
+    /// A snapshot was applied successfully (clears soft poison).
+    resynced: bool,
+}
+
+/// Runs one dispatched message inside a worker: synchronize (replay or
+/// snapshot), rebuild the transient chain, then execute the run's
+/// sections in order — each section's jobs evaluate in their own child
+/// environments, results/errors/charges are recorded per section. A
+/// section whose jobs mutate persistent state stops the run: the fork
+/// has diverged, and later sections must wait for a snapshot resync
+/// (the master re-sends this message in `resume` mode).
+fn run_msg(interp: &mut Interp, msg: &mut SectionMsg) -> MsgRun {
+    let mut run = MsgRun {
+        dirty: false,
+        resynced: false,
+    };
+    if !msg.resume {
+        msg.completed = 0;
+        msg.results.clear();
+        msg.section_results.clear();
+        msg.section_error.clear();
+        msg.section_counters.clear();
     }
+    let sections = msg.section_count();
+    // A failed sync leaves this fork in an unspecified intermediate
+    // state: every remaining section fails, and the dirty flag makes the
+    // next dispatch resynchronize from a snapshot.
+    let synced = if msg.use_snapshot {
+        msg.snapshot.apply(interp)
+    } else {
+        msg.sync.apply(interp)
+    };
+    if let Err(e) = synced {
+        for s in msg.completed as usize..sections {
+            msg.section_results.push(0);
+            msg.section_error.push(Some((
+                msg.section_first[s] as usize,
+                format!("worker sync failed: {e}"),
+            )));
+            msg.section_counters.push(Counters::default());
+        }
+        msg.completed = sections as u32;
+        run.dirty = true;
+        return run;
+    }
+    run.resynced = msg.use_snapshot;
     let base_env = match msg.chain.rebuild(interp) {
         Ok(env) => env,
         Err(e) => {
-            return (
-                Some((msg.first_job, format!("worker chain rebuild failed: {e}"))),
-                true,
-            )
+            for s in msg.completed as usize..sections {
+                msg.section_results.push(0);
+                msg.section_error.push(Some((
+                    msg.section_first[s] as usize,
+                    format!("worker chain rebuild failed: {e}"),
+                )));
+                msg.section_counters.push(Counters::default());
+            }
+            msg.completed = sections as u32;
+            run.dirty = true;
+            return run;
         }
     };
-    // Replaying the sync packet itself appends to this fork's own log;
-    // only growth *beyond* this point means a job mutated global state.
-    let log_before = interp.envs.sync_log_len();
-    let mut error = None;
-    for j in 0..msg.jobs.len() {
-        let job = match msg.jobs.decode(j, interp) {
-            Ok(id) => id,
-            Err(e) => {
-                error = Some((msg.first_job + j, e.to_string()));
-                break;
-            }
-        };
-        // Paper §III-D b: each job's subtree roots in a child of the |||
-        // expression's environment.
-        let env = interp.envs.push(Some(base_env));
-        match eval(interp, &mut SequentialHook, job, env, 0) {
-            Ok(value) => msg.results.push_tree(interp, value),
-            Err(e) => {
-                error = Some((msg.first_job + j, e.to_string()));
-                break;
+    // Job tree index where the next section starts (preceding sections'
+    // jobs were already consumed on resume).
+    let mut job_at: usize = msg.section_jobs[..msg.completed as usize]
+        .iter()
+        .map(|&n| n as usize)
+        .sum();
+    while (msg.completed as usize) < sections {
+        let s = msg.completed as usize;
+        let njobs = msg.section_jobs[s] as usize;
+        // Synchronization itself appends to this fork's own log; only
+        // growth *beyond* this point means a job mutated global state.
+        let log_before = interp.envs.sync_log_len();
+        let mut error: Option<(usize, String)> = None;
+        let mut pushed = 0u32;
+        let mut counters = Counters::default();
+        for j in 0..njobs {
+            let job = match msg.jobs.decode(job_at + j, interp) {
+                Ok(id) => id,
+                Err(e) => {
+                    error = Some((msg.section_first[s] as usize + j, e.to_string()));
+                    break;
+                }
+            };
+            // Paper §III-D b: each job's subtree roots in a child of the
+            // ||| expression's environment. The meter window around eval
+            // charges exactly the job's own interpreter work — codec
+            // traffic stays outside it, so these counters line up with
+            // the sequential backend's.
+            let env = interp.envs.push(Some(base_env));
+            let before = interp.meter.snapshot();
+            let outcome = eval(interp, &mut SequentialHook, job, env, 0);
+            counters.add(&interp.meter.snapshot().delta_since(&before));
+            match outcome {
+                Ok(value) => {
+                    msg.results.push_tree(interp, value);
+                    pushed += 1;
+                }
+                Err(e) => {
+                    error = Some((msg.section_first[s] as usize + j, e.to_string()));
+                    break;
+                }
             }
         }
+        job_at += njobs;
+        msg.section_results.push(pushed);
+        msg.section_error.push(error);
+        msg.section_counters.push(counters);
+        msg.completed = (s + 1) as u32;
+        if interp.envs.sync_log_len() != log_before {
+            // This section's jobs mutated persistent state: stop here.
+            run.dirty = true;
+            break;
+        }
     }
-    let dirty = interp.envs.sync_log_len() != log_before;
-    (error, dirty)
+    run
 }
 
-/// A pool of persistent worker threads with warm interpreter forks.
+/// Dispatch plan of one section within a staged run.
+#[derive(Debug, Clone, Copy)]
+struct SectionPlan {
+    /// Seats the section's jobs were chunked over (`0..active`).
+    active: usize,
+}
+
+/// One staged (in-flight) run of sections awaiting collection.
+#[derive(Debug)]
+struct StagedRun {
+    plans: Vec<SectionPlan>,
+    /// Master sync epoch at staging time (pipeline-frozen invariant).
+    epoch: u64,
+    /// Seats that received a message for this run.
+    active_seats: usize,
+    /// Per-seat executed replies, taken at first collection. The flag
+    /// marks a panicked seat (its recorded outcomes are unreliable; the
+    /// buffers still round-trip back to the seat pool).
+    replies: Vec<(bool, Box<SectionMsg>)>,
+    /// Sections already handed out by `collect_next`.
+    cursor: usize,
+    /// Result-tree cursor per seat (prefix of consumed result trees).
+    result_at: Vec<usize>,
+}
+
+/// A pool of persistent worker threads with warm interpreter forks and a
+/// pipelined multi-section dispatch queue (see the module docs for the
+/// protocol).
 #[derive(Debug)]
 pub struct WorkerPool {
     seats: Vec<Seat>,
+    pending: VecDeque<StagedRun>,
+    /// Job charges accumulated across collected sections since the last
+    /// [`WorkerPool::take_job_counters`].
+    job_counters: Counters,
 }
 
 impl WorkerPool {
+    /// Maximum runs a caller may keep staged-but-uncollected: the
+    /// postbox double-buffer depth.
+    pub const PIPELINE_DEPTH: usize = POSTBOX_DEPTH;
+
+    /// Maximum sections a single staged run may coalesce.
+    pub const MAX_RUN_SECTIONS: usize = 16;
+
     /// Forks `threads` workers (at least one) from `template`. This is the
     /// only point that clones whole interpreters; every later section is
-    /// incremental.
+    /// incremental (snapshot resync repairs diverged seats in place, and
+    /// only the panic-recovery path ever clones again).
     pub fn launch(template: &Interp, threads: usize) -> Self {
         let seats = (0..threads.max(1))
             .map(|_| Seat::launch(template))
             .collect();
-        Self { seats }
+        Self {
+            seats,
+            pending: VecDeque::new(),
+            job_counters: Counters::default(),
+        }
     }
 
     /// Number of worker seats.
@@ -277,9 +630,320 @@ impl WorkerPool {
         self.seats.len()
     }
 
-    /// Distributes `jobs` over the seats in contiguous chunks, blocks for
-    /// every reply, and appends the decoded results to `results` in
-    /// distribution order.
+    /// Number of staged runs not yet fully collected.
+    pub fn staged_runs(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of staged sections not yet collected.
+    pub fn staged(&self) -> usize {
+        self.pending.iter().map(|r| r.plans.len() - r.cursor).sum()
+    }
+
+    /// Paper-model charges of every job evaluated in collected sections
+    /// since the last call (the worker-side half of a command's meter).
+    pub fn take_job_counters(&mut self) -> Counters {
+        std::mem::take(&mut self.job_counters)
+    }
+
+    /// Bytes of buffer capacity currently retained by seat-held (idle)
+    /// dispatch buffers — the quantity bounded by the shrink policy.
+    pub fn retained_buffer_bytes(&self) -> usize {
+        self.seats
+            .iter()
+            .flat_map(|s| s.bufs.iter())
+            .map(|m| m.byte_capacity())
+            .sum()
+    }
+
+    /// Encodes and ships one section without waiting for replies: a run
+    /// of one.
+    pub fn stage(&mut self, interp: &mut Interp, jobs: &[NodeId], parent_env: EnvId) {
+        self.stage_run(interp, &[jobs], parent_env);
+    }
+
+    /// Encodes and ships a run of consecutive sections (sharing
+    /// `parent_env`) as **one message per participating seat** — one
+    /// postbox rendezvous per seat per run instead of one per seat per
+    /// section. At most [`WorkerPool::PIPELINE_DEPTH`] runs may be in
+    /// flight; every staged run must see the same master sync epoch
+    /// (stage panics otherwise — the caller drains the pipeline before
+    /// mutating commands).
+    pub fn stage_run(&mut self, interp: &mut Interp, sections: &[&[NodeId]], parent_env: EnvId) {
+        let epoch_now = interp.envs.sync_epoch();
+        assert!(
+            self.pending.iter().all(|p| p.epoch == epoch_now),
+            "pipelined sections must be staged against one frozen master epoch"
+        );
+        assert!(
+            self.pending.len() < POSTBOX_DEPTH,
+            "postbox pipeline staged deeper than its double buffers"
+        );
+        assert!(
+            sections.len() <= Self::MAX_RUN_SECTIONS,
+            "staged run exceeds MAX_RUN_SECTIONS"
+        );
+        let mut plans = Vec::with_capacity(sections.len());
+        let mut active_seats = 0;
+        for jobs in sections {
+            let active = if jobs.is_empty() {
+                0
+            } else {
+                // Seats actually receiving a chunk: ceil-division rounding
+                // can leave fewer chunks than seats (e.g. 5 jobs over 4
+                // seats chunk in threes: 2+2+1), so recompute from the
+                // chunk size instead of assuming one chunk per seat.
+                let t = self.seats.len().min(jobs.len()).max(1);
+                let chunk_size = jobs.len().div_ceil(t);
+                jobs.len().div_ceil(chunk_size)
+            };
+            plans.push(SectionPlan { active });
+            active_seats = active_seats.max(active);
+        }
+        let faithful = interp.envs.sync_replay_faithful_since();
+        let nseats = self.seats.len();
+        // The whole-environment snapshot is identical for every seat that
+        // needs one: encode it once per dispatch and memcpy it into each
+        // message instead of re-walking the environment per seat.
+        let mut shared_snapshot: Option<EnvSnapshot> = None;
+        for c in 0..active_seats {
+            let seat = &mut self.seats[c];
+            if seat.hard_poisoned && seat.outstanding == 0 {
+                seat.respawn(interp);
+            }
+            let mut msg = seat.bufs.pop().expect("seat staged past its buffers");
+            // Snapshot-vs-replay decision (module docs): a snapshot is
+            // forced for diverged or compaction-stranded seats, and
+            // otherwise chosen whenever the replay window holds more
+            // records than the live environment dump would.
+            let window = interp.envs.sync_records_since(seat.synced_epoch).len();
+            let use_snapshot = seat.soft_poisoned
+                || seat.synced_epoch < faithful
+                || window > interp.envs.logged_binding_count() + SNAPSHOT_SLACK_RECORDS;
+            if use_snapshot {
+                msg.use_snapshot = true;
+                let shared = shared_snapshot.get_or_insert_with(|| {
+                    let mut snap = EnvSnapshot::default();
+                    snap.encode(interp);
+                    snap
+                });
+                msg.snapshot.copy_from(shared);
+                msg.sync.clear();
+                // Optimistic: the worker clears its own poison only when
+                // the snapshot applies; a failure comes back dirty and
+                // re-poisons this flag.
+                seat.soft_poisoned = false;
+            } else {
+                msg.use_snapshot = false;
+                msg.sync.encode_since(interp, seat.synced_epoch);
+            }
+            msg.resume = false;
+            msg.chain.encode(interp, parent_env);
+            msg.jobs.clear();
+            msg.section_jobs.clear();
+            msg.section_first.clear();
+            for (s, jobs) in sections.iter().enumerate() {
+                let active = plans[s].active;
+                if c >= active {
+                    // Not participating in this section: keep indices
+                    // aligned with a zero-job entry.
+                    msg.section_jobs.push(0);
+                    msg.section_first.push(0);
+                    continue;
+                }
+                let t = nseats.min(jobs.len()).max(1);
+                let chunk_size = jobs.len().div_ceil(t);
+                let lo = c * chunk_size;
+                let hi = (lo + chunk_size).min(jobs.len());
+                for &job in &jobs[lo..hi] {
+                    msg.jobs.push_tree(interp, job);
+                }
+                msg.section_jobs.push((hi - lo) as u32);
+                msg.section_first.push(lo as u32);
+            }
+            seat.synced_epoch = epoch_now;
+            seat.send(msg);
+        }
+        self.pending.push_back(StagedRun {
+            plans,
+            epoch: epoch_now,
+            active_seats,
+            replies: Vec::new(),
+            cursor: 0,
+            result_at: vec![0; active_seats],
+        });
+    }
+
+    /// Takes seat `c`'s fully-executed reply for the front run,
+    /// repairing refusals and mid-run dirty stops along the way. The
+    /// returned flag is `true` when the seat panicked (its recorded
+    /// outcomes are unreliable).
+    fn take_run_reply(
+        seats: &mut [Seat],
+        interp: &mut Interp,
+        epoch: u64,
+        c: usize,
+    ) -> (bool, Box<SectionMsg>) {
+        let seat = &mut seats[c];
+        let mut reply = seat.take_reply();
+        loop {
+            if reply.refused {
+                // A poisoned worker bounced this (oldest outstanding)
+                // message. Everything queued behind it has been (or is
+                // about to be) bounced too, so drain the whole run of
+                // refusals and re-send in FIFO order — re-arming only the
+                // refused head would let a later message execute first.
+                // Sound because the pipeline is pinned to one master
+                // epoch: the current master *is* the state these
+                // messages were staged against.
+                let mut parked = vec![reply.msg];
+                let mut saw_hard = reply.panicked;
+                while seat.outstanding > 0 {
+                    let r = seat.take_reply();
+                    debug_assert!(r.refused, "poisoned seat executed out of order");
+                    saw_hard |= r.panicked;
+                    parked.push(r.msg);
+                }
+                if saw_hard {
+                    // Hard poison: respawn the thread from the current
+                    // master; the fresh fork needs no sync at all.
+                    seat.respawn(interp);
+                } else {
+                    // Soft poison: the first re-sent message carries a
+                    // snapshot that fully repairs the replica; the rest
+                    // ride behind it with nothing left to sync.
+                    seat.synced_epoch = epoch;
+                }
+                seat.resend_parked(interp, parked, !saw_hard, false);
+                reply = seat.take_reply();
+                continue;
+            }
+            if reply.panicked {
+                seat.hard_poisoned = true;
+                return (true, reply.msg);
+            }
+            if (reply.msg.completed as usize) < reply.msg.section_count() {
+                // Mid-run dirty stop: a section's jobs diverged the fork
+                // and the remaining sections must not run on it. Drain
+                // any refusals queued behind this message, then re-send
+                // the *same* message in resume mode with a snapshot —
+                // recorded outcomes are kept and execution continues from
+                // `completed` — followed by the drained messages, in
+                // order.
+                let mut parked = Vec::new();
+                while seat.outstanding > 0 {
+                    let r = seat.take_reply();
+                    debug_assert!(r.refused, "dirty seat executed a stale message");
+                    parked.push(r.msg);
+                }
+                let mut run = vec![reply.msg];
+                run.extend(parked);
+                seat.synced_epoch = epoch;
+                seat.resend_parked(interp, run, true, true);
+                reply = seat.take_reply();
+                continue;
+            }
+            // Fully executed. A dirty *last* section leaves the worker
+            // poisoned. Repair eagerly: if later messages are already
+            // queued on this seat the worker is bouncing them right now —
+            // drain the refusals and re-send the run (snapshot first)
+            // before anything newer is staged behind them, preserving
+            // FIFO order. With nothing queued, just flag the seat so the
+            // next stage ships a snapshot.
+            if reply.dirty {
+                if seat.outstanding > 0 {
+                    let mut parked = Vec::new();
+                    while seat.outstanding > 0 {
+                        let r = seat.take_reply();
+                        debug_assert!(r.refused, "dirty seat executed a stale message");
+                        parked.push(r.msg);
+                    }
+                    seat.synced_epoch = epoch;
+                    seat.resend_parked(interp, parked, true, false);
+                } else {
+                    seat.soft_poisoned = true;
+                }
+            }
+            return (false, reply.msg);
+        }
+    }
+
+    /// Blocks for the oldest staged run's next section and appends its
+    /// decoded results to `results` in distribution order. Always drains
+    /// every participating seat (once per run) so the pool stays
+    /// consistent on failure.
+    pub fn collect_next(
+        &mut self,
+        interp: &mut Interp,
+        results: &mut Vec<NodeId>,
+    ) -> culi_core::Result<()> {
+        let run = self
+            .pending
+            .front_mut()
+            .expect("collect_next without a staged section");
+        if run.replies.is_empty() && run.active_seats > 0 {
+            for c in 0..run.active_seats {
+                run.replies
+                    .push(Self::take_run_reply(&mut self.seats, interp, run.epoch, c));
+            }
+        }
+        let s = run.cursor;
+        let mut first_error: Option<CuliError> = None;
+        for c in 0..run.plans[s].active {
+            match &run.replies[c] {
+                (true, _) => {
+                    if first_error.is_none() {
+                        first_error =
+                            Some(CuliError::Backend("||| worker thread panicked".to_string()));
+                    }
+                }
+                (false, msg) => {
+                    let pushed = msg.section_results[s] as usize;
+                    let start = run.result_at[c];
+                    run.result_at[c] += pushed;
+                    self.job_counters.add(&msg.section_counters[s]);
+                    if let Some((worker, message)) = &msg.section_error[s] {
+                        if first_error.is_none() {
+                            first_error = Some(CuliError::WorkerFailed {
+                                worker: *worker,
+                                message: message.clone(),
+                            });
+                        }
+                    } else if first_error.is_none() {
+                        // Decoding results is postbox traffic, not
+                        // paper-model interpreter work: keep it off the
+                        // master's meter so the real-threads backend
+                        // charges exactly like the sequential reference.
+                        let decoded = interp.unmetered(|i| -> culi_core::Result<()> {
+                            for r in start..start + pushed {
+                                results.push(msg.results.decode(r, i)?);
+                            }
+                            Ok(())
+                        });
+                        if let Err(e) = decoded {
+                            first_error = Some(e);
+                        }
+                    }
+                }
+            }
+        }
+        run.cursor += 1;
+        if run.cursor == run.plans.len() {
+            let done = self.pending.pop_front().expect("front run exists");
+            for (c, (_panicked, msg)) in done.replies.into_iter().enumerate() {
+                self.seats[c].give_back(msg);
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Distributes `jobs` over the seats, blocks for every reply, and
+    /// appends the decoded results to `results` in distribution order —
+    /// PR 2's synchronous rendezvous, now expressed as
+    /// [`WorkerPool::stage`] + [`WorkerPool::collect_next`].
     pub fn execute(
         &mut self,
         interp: &mut Interp,
@@ -287,72 +951,8 @@ impl WorkerPool {
         parent_env: EnvId,
         results: &mut Vec<NodeId>,
     ) -> culi_core::Result<()> {
-        // Replace forks that diverged (dirty/panicked) in earlier sections.
-        for seat in &mut self.seats {
-            if seat.needs_refork {
-                seat.shutdown();
-                *seat = Seat::launch(interp);
-            }
-        }
-
-        let t = self.seats.len().min(jobs.len()).max(1);
-        let chunk_size = jobs.len().div_ceil(t);
-        let epoch_now = interp.envs.sync_epoch();
-
-        let mut active = 0;
-        for (c, chunk) in jobs.chunks(chunk_size).enumerate() {
-            let seat = &mut self.seats[c];
-            let mut msg = seat.bufs.take().expect("seat buffers still in flight");
-            msg.sync.encode_since(interp, seat.synced_epoch);
-            msg.chain.encode(interp, parent_env);
-            msg.jobs.clear();
-            for &job in chunk {
-                msg.jobs.push_tree(interp, job);
-            }
-            msg.first_job = c * chunk_size;
-            seat.synced_epoch = epoch_now;
-            seat.to.put(ToWorker::Section(msg));
-            active += 1;
-        }
-
-        // Collect in seat (= distribution) order; always drain every
-        // active seat so the pool stays consistent even on failure.
-        let mut first_error: Option<CuliError> = None;
-        for c in 0..active {
-            let reply = self.seats[c].from.take();
-            if reply.panicked {
-                self.seats[c].needs_refork = true;
-                if first_error.is_none() {
-                    first_error =
-                        Some(CuliError::Backend("||| worker thread panicked".to_string()));
-                }
-                self.seats[c].bufs = Some(reply.msg);
-                continue;
-            }
-            if reply.dirty {
-                self.seats[c].needs_refork = true;
-            }
-            if let Some((worker, message)) = reply.error {
-                if first_error.is_none() {
-                    first_error = Some(CuliError::WorkerFailed { worker, message });
-                }
-            } else if first_error.is_none() {
-                for i in 0..reply.msg.results.len() {
-                    match reply.msg.results.decode(i, interp) {
-                        Ok(v) => results.push(v),
-                        Err(e) => {
-                            first_error = Some(e);
-                            break;
-                        }
-                    }
-                }
-            }
-            self.seats[c].bufs = Some(reply.msg);
-        }
-        match first_error {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
+        self.stage(interp, jobs, parent_env);
+        self.collect_next(interp, results)
     }
 }
 
@@ -392,6 +992,23 @@ impl ThreadedHook {
     pub fn is_warm(&self) -> bool {
         self.pool.is_some()
     }
+
+    /// The pool, forking it from `interp` on first use.
+    pub fn pool_mut(&mut self, interp: &Interp) -> &mut WorkerPool {
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::launch(interp, self.threads));
+        }
+        self.pool.as_mut().expect("pool just ensured")
+    }
+
+    /// Worker-side job charges collected since the last call (zero when
+    /// the pool was never forked).
+    pub fn take_job_counters(&mut self) -> Counters {
+        self.pool
+            .as_mut()
+            .map(WorkerPool::take_job_counters)
+            .unwrap_or_default()
+    }
 }
 
 impl ParallelHook for ThreadedHook {
@@ -415,11 +1032,30 @@ impl ParallelHook for ThreadedHook {
 /// PR 1's fork-per-section backend, retained as the performance baseline
 /// and as a semantic reference: it clones the whole interpreter per worker
 /// chunk per section. `bench_pr2` and the equivalence property tests run
-/// it side by side with the pooled backend.
-#[derive(Debug, Clone, Copy)]
+/// it side by side with the pooled backend. Like the pooled backend it
+/// reports the paper-model charges of its job evaluations
+/// ([`ForkPerSectionHook::take_job_counters`]), measured inside the forks
+/// and therefore bit-identical to the sequential reference's.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ForkPerSectionHook {
     /// Worker thread count.
     pub threads: usize,
+    job_counters: Counters,
+}
+
+impl ForkPerSectionHook {
+    /// A fork-per-section backend over `threads` scoped threads.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            job_counters: Counters::default(),
+        }
+    }
+
+    /// Job charges accumulated since the last call.
+    pub fn take_job_counters(&mut self) -> Counters {
+        std::mem::take(&mut self.job_counters)
+    }
 }
 
 impl ParallelHook for ForkPerSectionHook {
@@ -435,13 +1071,14 @@ impl ParallelHook for ForkPerSectionHook {
         let chunk_size = jobs.len().div_ceil(t);
         let template = interp.clone();
 
-        type WorkerOut = culi_core::Result<(Interp, Vec<NodeId>)>;
+        type WorkerOut = culi_core::Result<(Interp, Vec<NodeId>, Counters)>;
         let outcomes: Vec<WorkerOut> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (c, chunk) in jobs.chunks(chunk_size).enumerate() {
                 let mut fork = template.clone();
                 handles.push(scope.spawn(move || -> WorkerOut {
                     let mut out = Vec::with_capacity(chunk.len());
+                    let before = fork.meter.snapshot();
                     for (i, &job) in chunk.iter().enumerate() {
                         let env = fork.envs.push(Some(parent_env));
                         let v = eval(&mut fork, &mut SequentialHook, job, env, 0).map_err(|e| {
@@ -452,7 +1089,8 @@ impl ParallelHook for ForkPerSectionHook {
                         })?;
                         out.push(v);
                     }
-                    Ok((fork, out))
+                    let jobs_delta = fork.meter.snapshot().delta_since(&before);
+                    Ok((fork, out, jobs_delta))
                 }));
             }
             handles
@@ -462,10 +1100,17 @@ impl ParallelHook for ForkPerSectionHook {
         });
 
         for outcome in outcomes {
-            let (fork, values) = outcome?;
-            for v in values {
-                results.push(interp.import_tree(&fork, v)?);
-            }
+            let (fork, values, jobs_delta) = outcome?;
+            self.job_counters.add(&jobs_delta);
+            // Importing result trees is backend plumbing, not paper-model
+            // work — keep it off the master's meter (the sequential
+            // reference has no import step).
+            interp.unmetered(|i| -> culi_core::Result<()> {
+                for v in values {
+                    results.push(i.import_tree(&fork, v)?);
+                }
+                Ok(())
+            })?;
         }
         Ok(())
     }
@@ -556,10 +1201,35 @@ mod tests {
         )
         .unwrap();
         assert_eq!(run(&mut i, &mut hook, "(||| 2 bump (1 2))"), "(101 102)");
-        // Dirty forks were replaced: the next section starts from the
-        // master's state again (total is still 100 there).
+        // Dirty forks were snapshot-resynced: the next section starts from
+        // the master's state again (total is still 100 there).
         assert_eq!(run(&mut i, &mut hook, "(||| 2 bump (5 6))"), "(105 106)");
         assert_eq!(i.eval_str_with("total", &mut hook).unwrap(), "100");
+    }
+
+    #[test]
+    fn dirty_seats_resync_without_cloning() {
+        // PR 2 re-forked (cloned) dirty seats; the snapshot resync repairs
+        // them in place, keeping the zero-clone property even for
+        // global-mutating workloads.
+        let mut i = interp();
+        let mut hook = ThreadedHook::new(2);
+        i.eval_str_with("(setq total 100)", &mut hook).unwrap();
+        i.eval_str_with(
+            "(defun bump (x) (progn (setq total (+ total x)) total))",
+            &mut hook,
+        )
+        .unwrap();
+        run(&mut i, &mut hook, "(||| 2 + (1 2) (1 1))"); // warm up
+        let clones_after_warmup = i.clone_count();
+        for _ in 0..8 {
+            assert_eq!(run(&mut i, &mut hook, "(||| 2 bump (1 2))"), "(101 102)");
+        }
+        assert_eq!(
+            i.clone_count(),
+            clones_after_warmup,
+            "dirty-seat recovery must not clone the interpreter"
+        );
     }
 
     #[test]
@@ -595,6 +1265,33 @@ mod tests {
     }
 
     #[test]
+    fn ceil_chunking_leaves_trailing_seats_idle() {
+        // 5 jobs over 4 seats chunk as 2+2+1: only three seats receive
+        // work and the fourth must stay idle (regression: the run planner
+        // once assumed one chunk per seat and indexed past the job list).
+        let mut i = interp();
+        let mut hook = ThreadedHook::new(4);
+        assert_eq!(
+            run(&mut i, &mut hook, "(||| 5 + (1 2 3 4 5) (1 1 1 1 1))"),
+            "(2 3 4 5 6)"
+        );
+        // The same shape across every job-count/seat-count mismatch.
+        for n in 1..=9 {
+            let args: Vec<String> = (1..=n).map(|k| k.to_string()).collect();
+            let ones = vec!["1"; n].join(" ");
+            let want: Vec<String> = (1..=n).map(|k| (k + 1).to_string()).collect();
+            assert_eq!(
+                run(
+                    &mut i,
+                    &mut hook,
+                    &format!("(||| {n} + ({}) ({ones}))", args.join(" "))
+                ),
+                format!("({})", want.join(" "))
+            );
+        }
+    }
+
+    #[test]
     fn nested_sections_run_inside_workers() {
         let mut i = interp();
         let mut hook = ThreadedHook::new(2);
@@ -607,9 +1304,133 @@ mod tests {
     }
 
     #[test]
+    fn staged_sections_pipeline_and_collect_in_order() {
+        let mut i = interp();
+        i.eval_str("(defun sq (x) (* x x))").unwrap();
+        let mut pool = WorkerPool::launch(&i, 3);
+        let forms =
+            culi_core::parser::parse(&mut i, b"(sq 2) (sq 3) (sq 4) (sq 5) (sq 6) (sq 7)").unwrap();
+        // Stage two three-job sections back to back, then collect both.
+        let g = i.global;
+        pool.stage(&mut i, &forms[0..3], g);
+        pool.stage(&mut i, &forms[3..6], g);
+        assert_eq!(pool.staged(), 2);
+        let mut first = Vec::new();
+        pool.collect_next(&mut i, &mut first).unwrap();
+        let mut second = Vec::new();
+        pool.collect_next(&mut i, &mut second).unwrap();
+        assert_eq!(pool.staged(), 0);
+        let print = |i: &mut Interp, ids: &[culi_core::NodeId]| -> Vec<String> {
+            ids.iter()
+                .map(|&id| culi_core::printer::print_to_string(i, id).unwrap())
+                .collect()
+        };
+        assert_eq!(print(&mut i, &first), ["4", "9", "16"]);
+        assert_eq!(print(&mut i, &second), ["25", "36", "49"]);
+    }
+
+    #[test]
+    fn dirty_section_with_next_section_already_staged_recovers() {
+        // Section k's jobs mutate global state while section k+1 is
+        // already sitting in the double buffer: the worker refuses the
+        // stale dispatch and the master re-arms it with a snapshot.
+        let mut i = interp();
+        i.eval_str("(setq total 100)").unwrap();
+        i.eval_str("(defun bump (x) (progn (setq total (+ total x)) total))")
+            .unwrap();
+        i.eval_str("(defun read-total (x) (+ total x))").unwrap();
+        let mut pool = WorkerPool::launch(&i, 1);
+        let forms = culi_core::parser::parse(&mut i, b"(bump 5) (read-total 1)").unwrap();
+        let g = i.global;
+        pool.stage(&mut i, &forms[0..1], g);
+        pool.stage(&mut i, &forms[1..2], g); // staged before k's dirt is known
+        let mut first = Vec::new();
+        pool.collect_next(&mut i, &mut first).unwrap();
+        let mut second = Vec::new();
+        pool.collect_next(&mut i, &mut second).unwrap();
+        let shown = culi_core::printer::print_to_string(&mut i, second[0]).unwrap();
+        assert_eq!(
+            shown, "101",
+            "the re-armed section must see the master's total, not the dirty fork's"
+        );
+        let clones = i.clone_count();
+        // Recovery is snapshot-based: no interpreter clone beyond warm-up.
+        assert_eq!(clones, 1, "one clone for the single-seat warm-up only");
+    }
+
+    #[test]
+    fn oversized_sections_do_not_pin_buffer_memory() {
+        let mut i = interp();
+        let mut hook = ThreadedHook::new(2);
+        run(&mut i, &mut hook, "(||| 2 + (1 2) (1 1))"); // warm up
+        let big: String = (0..4000).map(|k| format!("{k} ")).collect();
+        let section = format!("(||| 2 + ({big}) ({big}))");
+        run(&mut i, &mut hook, &section);
+        run(&mut i, &mut hook, "(||| 2 + (1 2) (1 1))");
+        let retained = hook
+            .pool
+            .as_ref()
+            .expect("pool is warm")
+            .retained_buffer_bytes();
+        let seats = 2;
+        assert!(
+            retained <= seats * POSTBOX_DEPTH * RETAINED_MSG_BYTES,
+            "retained {retained} bytes"
+        );
+    }
+
+    /// Sequential reference hook that meters job evaluations exactly the
+    /// way a pool worker does (same job expressions, same nested-section
+    /// backend).
+    #[derive(Default)]
+    struct SeparatingSequentialHook {
+        jobs: Counters,
+    }
+
+    impl ParallelHook for SeparatingSequentialHook {
+        fn execute(
+            &mut self,
+            interp: &mut Interp,
+            jobs: &[NodeId],
+            parent_env: EnvId,
+            results: &mut Vec<NodeId>,
+        ) -> culi_core::Result<()> {
+            for (w, &job) in jobs.iter().enumerate() {
+                let env = interp.envs.push(Some(parent_env));
+                let before = interp.meter.snapshot();
+                let outcome = eval(interp, &mut SequentialHook, job, env, 0);
+                self.jobs.add(&interp.meter.snapshot().delta_since(&before));
+                let value = outcome.map_err(|e| CuliError::WorkerFailed {
+                    worker: w,
+                    message: e.to_string(),
+                })?;
+                results.push(value);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn job_counters_match_sequential_reference() {
+        const FIB: &str = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+        const SECTION: &str = "(||| 2 fib (6 7))";
+        let mut seq = interp();
+        seq.eval_str(FIB).unwrap();
+        let mut sep = SeparatingSequentialHook::default();
+        seq.eval_str_with(SECTION, &mut sep).unwrap();
+
+        let mut pooled = interp();
+        pooled.eval_str(FIB).unwrap();
+        let mut hook = ThreadedHook::new(2);
+        pooled.eval_str_with(SECTION, &mut hook).unwrap();
+        let pooled_jobs = hook.take_job_counters();
+        assert_eq!(pooled_jobs, sep.jobs);
+    }
+
+    #[test]
     fn fork_per_section_baseline_still_works() {
         let mut i = interp();
-        let mut hook = ForkPerSectionHook { threads: 3 };
+        let mut hook = ForkPerSectionHook::new(3);
         assert_eq!(
             run(&mut i, &mut hook, "(||| 3 + (1 2 3) (4 5 6))"),
             "(5 7 9)"

@@ -1,6 +1,6 @@
 //! The unified REPL reply type shared by all backends.
 
-use crate::phases::PhaseBreakdown;
+use crate::phases::{CommandCounters, PhaseBreakdown};
 use culi_gpu_sim::SectionReport;
 
 /// Result of submitting one line to any CuLi backend.
@@ -13,6 +13,12 @@ pub struct Reply {
     /// Per-phase simulated timing (zeroed sections the backend does not
     /// model; the real-threads backend reports only master-side phases).
     pub phases: PhaseBreakdown,
+    /// Raw paper-model operation counters behind `phases`, split by
+    /// phase and by master-vs-worker. Backend-independent for successful
+    /// commands (the differential harness asserts it); error commands
+    /// stop at backend-dependent points, so only `parse` is comparable
+    /// there.
+    pub counters: CommandCounters,
     /// One report per `|||` section the command executed (modeled
     /// backends only).
     pub sections: Vec<SectionReport>,

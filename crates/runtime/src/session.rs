@@ -52,6 +52,17 @@ impl Session {
         ))
     }
 
+    /// Boots the retained fork-per-section baseline CPU session.
+    pub fn cpu_fork_per_section(spec: DeviceSpec, threads: usize) -> Self {
+        Self::Cpu(CpuRepl::launch(
+            spec,
+            CpuReplConfig {
+                mode: CpuMode::ForkPerSection { threads },
+                ..Default::default()
+            },
+        ))
+    }
+
     /// The device behind this session.
     pub fn spec(&self) -> DeviceSpec {
         match self {
@@ -65,6 +76,18 @@ impl Session {
         match self {
             Self::Gpu(r) => r.submit(input),
             Self::Cpu(r) => r.submit(input),
+        }
+    }
+
+    /// Submits a stream of commands. Real-threads CPU sessions pipeline
+    /// consecutive `|||`-bearing commands through the worker pool's
+    /// double-buffered postboxes ([`CpuRepl::submit_batch`]); other
+    /// backends run the commands one by one. Replies always come back in
+    /// input order and match a `submit` loop.
+    pub fn submit_batch(&mut self, inputs: &[&str]) -> Result<Vec<Reply>> {
+        match self {
+            Self::Gpu(r) => inputs.iter().map(|s| r.submit(s)).collect(),
+            Self::Cpu(r) => r.submit_batch(inputs),
         }
     }
 

@@ -109,7 +109,7 @@ proptest! {
     fn pooled_threaded_matches_sequential(stmts in prop::collection::vec(stmt(), 1..10)) {
         let mut reference = small_interp();
         let mut fork_ref = small_interp();
-        let mut fork_hook = ForkPerSectionHook { threads: 3 };
+        let mut fork_hook = ForkPerSectionHook::new(3);
         let mut pooled = threaded_repl(3);
 
         for line in PRELUDE {

@@ -1,0 +1,242 @@
+//! Cross-backend differential harness: seedable randomly generated
+//! programs — global defines and overwrites, shadowing redefinitions,
+//! `|||` sections (nested ones included), worker errors, short-list
+//! errors and GC-pressure loops — run through four `|||` backends:
+//!
+//! 1. **sequential** — the modeled CPU pipeline (jobs evaluate inline on
+//!    the master, separated by the model hook);
+//! 2. **fork-per-section** — PR 1's whole-interpreter-clone baseline;
+//! 3. **pooled** — the persistent worker pool, one rendezvous per
+//!    command (`submit` loop);
+//! 4. **pipelined** — the same pool driven through the double-buffered
+//!    batch dispatcher (`submit_batch`).
+//!
+//! Every command's printed reply (error text included) must be
+//! byte-identical across all four, and every *successful* command's
+//! paper-model meter charges ([`culi::runtime::CommandCounters`]) must
+//! be bit-identical too — parse, master-eval, per-job and print counters
+//! alike. (Failed commands stop at backend-dependent points — a chunked
+//! worker keeps evaluating its own jobs past the globally-first error —
+//! so only their replies and parse counters are comparable.)
+
+use culi::core::InterpConfig;
+use culi::runtime::{CpuMode, CpuRepl, CpuReplConfig, Reply};
+use culi::sim::device::intel_e5_2620;
+
+/// splitmix64: deterministic seedable program generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.below((hi - lo) as u64)) as i64
+    }
+}
+
+const PRELUDE: &[&str] = &[
+    "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+    "(defun plus (a b) (+ a b))",
+    "(defun addg (x) (+ x g))",
+    "(defun fibj (x) (fib (mod x 8)))",
+    "(defun boom (x) (/ 100 x))",
+    "(defun nest (x) (||| 2 plus (list x g) (3 4)))",
+    "(setq g 1)",
+    "(setq xs (list 3 4 5 6 7 8))",
+];
+
+/// One generated command. Jobs never mutate persistent state: the
+/// sequential reference runs them on the master interpreter, where a
+/// mutation would (by design) behave differently from the isolated
+/// worker backends.
+fn command(rng: &mut Rng) -> String {
+    match rng.below(12) {
+        // Global overwrite between sections.
+        0 => format!("(setq g {})", rng.int(-50, 50)),
+        // Fresh definition (sync-log growth).
+        1 => format!("(setq v{} {})", rng.below(24), rng.int(0, 1000)),
+        // Shadowing redefinition (structure-faithfulness stress).
+        2 => {
+            let op = if rng.below(2) == 0 { "+" } else { "-" };
+            format!("(defun addg (x) ({op} x g))")
+        }
+        // GC-pressure loop: transient garbage inside one command.
+        3 => format!("(dotimes (k {}) (fib (mod k 7)))", rng.int(4, 12)),
+        // A burst of definitions in one multi-form command: pushes the
+        // sync log over the compaction threshold, stranding cold seats
+        // behind the faithfulness frontier.
+        4 => (0..70)
+            .map(|i| format!("(setq b{i} {})", rng.int(0, 9)))
+            .collect::<Vec<_>>()
+            .join(" "),
+        // Section over the global list (symbol operand).
+        5 => format!("(||| {} addg xs)", rng.int(1, 6)),
+        // Worker errors: boom divides by its argument.
+        6 => {
+            let n = rng.int(1, 5);
+            let args: Vec<String> = (0..n).map(|_| rng.int(0, 3).to_string()).collect();
+            format!("(||| {n} boom ({}))", args.join(" "))
+        }
+        // Short argument list (master-side section error).
+        7 => "(||| 5 plus (1 2 3) (1 2 3 4 5))".to_string(),
+        // Nested ||| inside each worker.
+        8 => {
+            let n = rng.int(1, 4);
+            let args: Vec<String> = (0..n).map(|_| rng.int(-8, 8).to_string()).collect();
+            format!("(||| {n} nest ({}))", args.join(" "))
+        }
+        // Plain sections over the pure prelude functions.
+        _ => {
+            let n = rng.int(1, 6);
+            let args: Vec<String> = (0..n).map(|_| rng.int(-8, 8).to_string()).collect();
+            let list = args.join(" ");
+            match rng.below(3) {
+                0 => {
+                    let second: Vec<String> = (0..n).map(|i| i.to_string()).collect();
+                    format!("(||| {n} plus ({list}) ({}))", second.join(" "))
+                }
+                1 => format!("(||| {n} fibj ({list}))"),
+                _ => format!("(||| {n} addg ({list}))"),
+            }
+        }
+    }
+}
+
+fn repl(mode: CpuMode) -> CpuRepl {
+    CpuRepl::launch(
+        intel_e5_2620(),
+        CpuReplConfig {
+            interp: InterpConfig {
+                arena_capacity: 1 << 17,
+                ..Default::default()
+            },
+            mode,
+            ..Default::default()
+        },
+    )
+}
+
+fn check_program(seed: u64) {
+    let mut rng = Rng(seed);
+    let len = 4 + rng.below(8) as usize;
+    let commands: Vec<String> = (0..len).map(|_| command(&mut rng)).collect();
+
+    let mut sequential = repl(CpuMode::Modeled);
+    let mut forked = repl(CpuMode::ForkPerSection { threads: 4 });
+    let mut pooled = repl(CpuMode::Threaded { threads: 4 });
+    let mut pipelined = repl(CpuMode::Threaded { threads: 4 });
+    for line in PRELUDE {
+        sequential.submit(line).unwrap();
+        forked.submit(line).unwrap();
+        pooled.submit(line).unwrap();
+        pipelined.submit(line).unwrap();
+    }
+
+    let inputs: Vec<&str> = commands.iter().map(String::as_str).collect();
+    let batched = pipelined.submit_batch(&inputs).unwrap();
+    assert_eq!(batched.len(), inputs.len());
+
+    for (k, src) in inputs.iter().enumerate() {
+        let a = sequential.submit(src).unwrap();
+        let b = forked.submit(src).unwrap();
+        let c = pooled.submit(src).unwrap();
+        let d = &batched[k];
+        let tag = |name: &str| format!("seed {seed} cmd {k} [{name}]: {src}");
+        compare_replies(&a, &b, &tag("fork-per-section"));
+        compare_replies(&a, &c, &tag("pooled"));
+        compare_replies(&a, d, &tag("pipelined"));
+    }
+}
+
+fn compare_replies(reference: &Reply, got: &Reply, context: &str) {
+    assert_eq!(reference.output, got.output, "{context}");
+    assert_eq!(reference.ok, got.ok, "{context}");
+    // Parse work is backend-independent even on failures.
+    assert_eq!(
+        reference.counters.parse, got.counters.parse,
+        "parse charges — {context}"
+    );
+    if reference.ok {
+        assert_eq!(
+            reference.counters, got.counters,
+            "paper-model charges — {context}"
+        );
+    }
+}
+
+/// ≥100 seeded random programs, split into chunks so the default test
+/// runner parallelizes them.
+#[test]
+fn differential_seeds_0_to_24() {
+    for seed in 0..25 {
+        check_program(seed);
+    }
+}
+
+#[test]
+fn differential_seeds_25_to_49() {
+    for seed in 25..50 {
+        check_program(seed);
+    }
+}
+
+#[test]
+fn differential_seeds_50_to_74() {
+    for seed in 50..75 {
+        check_program(seed);
+    }
+}
+
+#[test]
+fn differential_seeds_75_to_99() {
+    for seed in 75..100 {
+        check_program(seed);
+    }
+}
+
+/// A directed worst case the generator only sometimes hits: definition
+/// bursts past the compaction threshold with shadowing redefinitions,
+/// then sections on every backend — cold seats must resynchronize via
+/// snapshot and still charge identically.
+#[test]
+fn differential_survives_compaction_and_snapshot_resync() {
+    let burst: String = (0..80).map(|i| format!("(setq c{i} {i}) ")).collect();
+    let program = [
+        "(||| 2 fibj (1 2))",
+        burst.as_str(),
+        "(defun addg (x) (* x g))",
+        "(defun addg (x) (+ x g))",
+        "(||| 5 addg (1 2 3 4 5))",
+        "(||| 1 addg (9))",
+        "(||| 5 fibj (1 2 3 4 5))",
+    ];
+    let mut sequential = repl(CpuMode::Modeled);
+    let mut forked = repl(CpuMode::ForkPerSection { threads: 4 });
+    let mut pooled = repl(CpuMode::Threaded { threads: 4 });
+    let mut pipelined = repl(CpuMode::Threaded { threads: 4 });
+    for line in PRELUDE {
+        sequential.submit(line).unwrap();
+        forked.submit(line).unwrap();
+        pooled.submit(line).unwrap();
+        pipelined.submit(line).unwrap();
+    }
+    let batched = pipelined.submit_batch(&program).unwrap();
+    for (k, src) in program.iter().enumerate() {
+        let a = sequential.submit(src).unwrap();
+        let b = forked.submit(src).unwrap();
+        let c = pooled.submit(src).unwrap();
+        compare_replies(&a, &b, &format!("cmd {k} [fork]"));
+        compare_replies(&a, &c, &format!("cmd {k} [pooled]"));
+        compare_replies(&a, &batched[k], &format!("cmd {k} [pipelined]"));
+    }
+}
