@@ -1,10 +1,13 @@
-//! Minimal JSON emission for the figure/benchmark binaries.
+//! Minimal JSON emission **and parsing** for the figure/benchmark
+//! binaries.
 //!
 //! The offline build environment cannot resolve `serde`/`serde_json`, and
 //! the only serialization this crate needs is pretty-printing flat rows of
-//! figures data, so a ~hundred-line value type covers it. Field order in
-//! objects is preserved (it mirrors struct declaration order, like serde's
-//! derive would).
+//! figures data plus reading committed baseline files back for the CI
+//! bench-regression gate, so two ~hundred-line value types cover it.
+//! Field order in objects is preserved (it mirrors struct declaration
+//! order, like serde's derive would). [`Json`] emits with `&'static`
+//! keys; [`JsonValue`] is the owned-key result of [`JsonValue::parse`].
 
 use std::fmt::Write as _;
 
@@ -117,6 +120,211 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// A parsed JSON value (owned keys — the dual of the emission-only
+/// [`Json`]). Covers the full JSON grammar the emitter produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also what non-finite floats were emitted as).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any number (integers parse into the same representation).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, field order preserved.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses a JSON document. Errors carry the byte offset and a short
+    /// description.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (`None` on non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", b as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(JsonValue::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(JsonValue::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(JsonValue::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(JsonValue::Num)
+                .map_err(|_| format!("bad number {text:?} at byte {start}"))
+        }
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                let start = *pos;
+                while matches!(bytes.get(*pos), Some(b) if *b != b'"' && *b != b'\\') {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?);
+            }
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
 /// Types that can render themselves as a [`Json`] value.
 pub trait ToJson {
     /// The JSON representation.
@@ -157,5 +365,41 @@ mod tests {
     fn empty_containers() {
         assert_eq!(Json::Arr(vec![]).pretty(), "[]");
         assert_eq!(Json::Obj(vec![]).pretty(), "{}");
+    }
+
+    #[test]
+    fn parse_roundtrips_emitted_documents() {
+        let doc = Json::Obj(vec![
+            ("name", Json::Str("pipeline/tiny \"jobs\"\n".into())),
+            ("speedup", Json::Num(4.25)),
+            ("count", Json::UInt(32)),
+            ("neg", Json::Int(-7)),
+            ("ok", Json::Bool(true)),
+            ("bad", Json::Num(f64::NAN)),
+            (
+                "rows",
+                Json::Arr(vec![Json::Num(1e-3), Json::Obj(vec![]), Json::Arr(vec![])]),
+            ),
+        ]);
+        let parsed = JsonValue::parse(&doc.pretty()).unwrap();
+        assert_eq!(
+            parsed.get("name").unwrap().as_str().unwrap(),
+            "pipeline/tiny \"jobs\"\n"
+        );
+        assert_eq!(parsed.get("speedup").unwrap().as_f64(), Some(4.25));
+        assert_eq!(parsed.get("count").unwrap().as_f64(), Some(32.0));
+        assert_eq!(parsed.get("neg").unwrap().as_f64(), Some(-7.0));
+        assert_eq!(parsed.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(parsed.get("bad"), Some(&JsonValue::Null));
+        let rows = parsed.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].as_f64(), Some(0.001));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad}");
+        }
     }
 }

@@ -50,7 +50,7 @@ pub fn par(
 /// The master-side front half of a `|||` section: evaluates the worker
 /// count, the function and the argument lists, then builds one job
 /// expression per worker into a pooled buffer (return it with
-/// [`Interp::put_node_buf`]). Split out of [`par`] so the pipelined REPL
+/// [`Interp::put_node_buf`]). Split out of the `|||` builtin so the pipelined REPL
 /// dispatcher (`culi-runtime`) can stage a section's jobs without
 /// blocking for its results while charging the meter *exactly* like the
 /// synchronous path.

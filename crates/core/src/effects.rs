@@ -1,0 +1,497 @@
+//! Conservative side-effect analysis over parsed expressions.
+//!
+//! The pipelined REPL dispatchers (`culi-runtime`) may evaluate a
+//! command's `|||` operands *ahead of time* — while earlier sections are
+//! still in flight — and ship whole runs of sections as one rendezvous.
+//! That reordering is only invisible when evaluating the operands can
+//! neither change persistent interpreter state nor observe state that an
+//! in-flight command could still change. This module answers exactly that
+//! question: [`expr_is_pure`] classifies an expression as **pure** when
+//! its evaluation provably has no effect beyond allocating nodes and
+//! producing a value, and [`stageable_parallel_section`] applies the rule
+//! to a whole top-level `(||| …)` command.
+//!
+//! # Classification rules
+//!
+//! * **Atoms** (numbers, strings, `nil`, `T`, already-built values)
+//!   self-evaluate — pure.
+//! * **Symbols** evaluate to an environment lookup (or to themselves when
+//!   unbound) — a read-only probe, pure.
+//! * **Lists** dispatch on their head:
+//!   * head symbol resolving to a **known-pure builtin** (arithmetic,
+//!     comparisons, list constructors and accessors, predicates, logic,
+//!     control flow, string operations — see [`builtin_effect`]): pure iff
+//!     every operand is pure. `quote` and `lambda` never evaluate their
+//!     operands, so they are pure regardless of operand content.
+//!     `cond`, `dotimes` and `dolist` carry structured operands (clause
+//!     lists, `(var source)` headers) and are analyzed structurally.
+//!   * head symbol resolving to anything that **defines or mutates**
+//!     (`setq`, `defun`, `let`, …), performs **host I/O** (`read-file`,
+//!     …), evaluates arbitrary structure (`eval`, `quasiquote`), invokes
+//!     user code (`mapcar`, `apply`, `funcall`, any user form or macro)
+//!     or opens a nested parallel section (`|||`): **impure**.
+//!   * head symbol resolving to a plain value, or unbound, or a non-symbol
+//!     atom head: the list evaluates element-wise — pure iff every element
+//!     is pure.
+//!   * a computed head (the head is itself a list): impure. Its value
+//!     cannot be known without evaluating it, and it might be callable.
+//!
+//! # Why conservative
+//!
+//! The classifier must never call an expression pure that is not; the
+//! reverse (calling a pure expression impure) merely costs a pipeline
+//! drain. Two deliberate sources of imprecision:
+//!
+//! * **Rebindable heads.** A head symbol is resolved against the
+//!   environment *at classification time*. That resolution is stable for
+//!   everything the dispatchers stage — staged commands are themselves
+//!   pure, and defining commands act as barriers that drain the pipeline
+//!   first — with one exception: the pure looping builtins bind their loop
+//!   variable at runtime, possibly to a callable value the static lookup
+//!   cannot see (`(dolist (f (list some-form)) (f 1))`). The analysis
+//!   therefore tracks loop-shadowed symbols and refuses any application
+//!   whose head is one of them.
+//! * **Value-dependent behaviour.** Anything whose effect depends on a
+//!   computed value (computed heads, `eval`, higher-order builtins
+//!   applying a function argument) is rejected wholesale instead of
+//!   approximated.
+//!
+//! Errors are *not* effects: a pure expression may still fail (division by
+//! zero, type errors, recursion limits). Staging such an expression early
+//! produces the identical error at the identical meter charge, which is
+//! all the dispatchers need.
+//!
+//! # Charge-exactness contract
+//!
+//! Classification is bookkeeping, not interpreter work: it charges
+//! **nothing** to the session meter (environment probes go through a
+//! scratch [`Meter`]), allocates no nodes, and leaves the interpreter
+//! untouched. The dispatchers that act on a verdict reproduce the
+//! evaluator's charges separately (see
+//! [`crate::eval::charge_symbol_head_dispatch`] and
+//! [`crate::builtins::prepare_section`]); the cross-backend differential
+//! harness asserts the resulting per-command counters stay bit-identical
+//! to the recursive evaluator's.
+
+use crate::cost::Meter;
+use crate::interp::Interp;
+use crate::node::{NodeType, Payload};
+use crate::types::{EnvId, NodeId, StrId};
+
+/// How evaluating one builtin behaves for the purposes of staging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinEffect {
+    /// A function of its evaluated operands: the application is pure iff
+    /// every operand is pure.
+    Pure,
+    /// Never evaluates its operands (`quote`, `lambda`): always pure.
+    PureUnevaluated,
+    /// Defines, mutates, performs host I/O, runs arbitrary code or opens
+    /// a parallel section: never stageable.
+    Impure,
+}
+
+/// The known-pure builtins table. Unknown names default to
+/// [`BuiltinEffect::Impure`] so future builtins are conservative until
+/// someone classifies them deliberately.
+pub fn builtin_effect(name: &str) -> BuiltinEffect {
+    match name {
+        // Arithmetic & extended math.
+        "+" | "-" | "*" | "/" | "mod" | "abs" | "min" | "max" | "1+" | "1-" | "sqrt" | "expt"
+        | "floor" | "ceiling" | "truncate" | "float" => BuiltinEffect::Pure,
+        // Comparisons & predicates.
+        "=" | "/=" | "<" | ">" | "<=" | ">=" | "eq" | "equal" | "atom" | "null" | "listp"
+        | "consp" | "numberp" | "symbolp" | "stringp" | "zerop" | "integerp" | "floatp"
+        | "evenp" | "oddp" => BuiltinEffect::Pure,
+        // List construction and traversal (no user code runs).
+        "car" | "cdr" | "cons" | "list" | "append" | "length" | "reverse" | "nth" | "assoc"
+        | "member" | "last" | "butlast" => BuiltinEffect::Pure,
+        // Control flow and logic over already-classified operands.
+        // `cond`/`dotimes`/`dolist` are structurally re-checked in
+        // `application_is_pure` (clause lists, loop-variable shadowing).
+        "if" | "cond" | "progn" | "when" | "unless" | "while" | "and" | "or" | "not"
+        | "dotimes" | "dolist" => BuiltinEffect::Pure,
+        // String operations (interning is not an observable effect).
+        "concat" | "string-length" | "substring" | "string=" | "number-to-string"
+        | "string-to-number" => BuiltinEffect::Pure,
+        // Operands are never evaluated; the produced value is inert until
+        // somebody *applies* it, which classification rejects separately.
+        "quote" | "lambda" => BuiltinEffect::PureUnevaluated,
+        // Everything that defines/mutates (`setq`, `defun`, `defmacro`,
+        // `let`, `let*`), performs host I/O, evaluates arbitrary structure
+        // (`eval`, quasiquotation), applies function values (`mapcar`,
+        // `apply`, `funcall`) or opens a section (`|||`) — plus any name
+        // this table has never heard of.
+        _ => BuiltinEffect::Impure,
+    }
+}
+
+/// `true` when evaluating `expr` in `env` provably has no effect on
+/// persistent interpreter state (no defines, no mutation, no host I/O, no
+/// user code, no nested `|||`). Charges nothing to the session meter.
+pub fn expr_is_pure(interp: &Interp, env: EnvId, expr: NodeId) -> bool {
+    let mut shadowed = Vec::new();
+    pure_rec(interp, env, expr, &mut shadowed)
+}
+
+/// `true` when `form` is a top-level `(sym …)` command whose head symbol
+/// resolves to the `|||` builtin in `env` and whose operands — worker
+/// count, function and every argument list — are all [`expr_is_pure`].
+/// Such a command's master-side preparation can run ahead of in-flight
+/// sections and its section can be staged into a pipelined run.
+pub fn stageable_parallel_section(interp: &Interp, env: EnvId, form: NodeId) -> bool {
+    let n = *interp.arena.get(form);
+    let first = match (n.ty, n.payload) {
+        (
+            NodeType::List | NodeType::Expression,
+            Payload::List {
+                first: Some(first), ..
+            },
+        ) => first,
+        _ => return false,
+    };
+    let head = *interp.arena.get(first);
+    let sid = match (head.ty, head.payload) {
+        (NodeType::Symbol, Payload::Text(s)) => s,
+        _ => return false,
+    };
+    let Some(resolved) = lookup_quiet(interp, env, sid) else {
+        return false;
+    };
+    let r = interp.arena.get(resolved);
+    match (r.ty, r.payload) {
+        (NodeType::Function, Payload::Builtin(b)) if interp.builtins.name(b) == "|||" => {}
+        _ => return false,
+    }
+    let mut shadowed = Vec::new();
+    siblings_pure(interp, env, interp.arena.get(first).next, &mut shadowed)
+}
+
+/// Environment lookup against a scratch meter: classification must not
+/// charge interpreter work.
+fn lookup_quiet(interp: &Interp, env: EnvId, sid: StrId) -> Option<NodeId> {
+    let mut scratch = Meter::new();
+    interp.envs.lookup(env, sid, &interp.strings, &mut scratch)
+}
+
+/// Walks a sibling chain, requiring every element pure.
+fn siblings_pure(
+    interp: &Interp,
+    env: EnvId,
+    mut cur: Option<NodeId>,
+    shadowed: &mut Vec<StrId>,
+) -> bool {
+    while let Some(id) = cur {
+        if !pure_rec(interp, env, id, shadowed) {
+            return false;
+        }
+        cur = interp.arena.get(id).next;
+    }
+    true
+}
+
+fn pure_rec(interp: &Interp, env: EnvId, expr: NodeId, shadowed: &mut Vec<StrId>) -> bool {
+    let n = *interp.arena.get(expr);
+    let first = match n.ty {
+        // A bare symbol is a read-only lookup (or self-evaluation).
+        NodeType::Symbol => return true,
+        NodeType::List | NodeType::Expression => match n.payload {
+            Payload::List { first, .. } => first,
+            _ => return false,
+        },
+        // Every other node type self-evaluates.
+        _ => return true,
+    };
+    let Some(first) = first else {
+        return true; // () evaluates to itself
+    };
+    let rest = interp.arena.get(first).next;
+    let head = *interp.arena.get(first);
+    match (head.ty, head.payload) {
+        (NodeType::Symbol, Payload::Text(sid)) => {
+            if shadowed.contains(&sid) {
+                // An enclosing pure loop rebinds this symbol at runtime;
+                // the static lookup below cannot see what it will hold, so
+                // an application through it is not classifiable.
+                return false;
+            }
+            match lookup_quiet(interp, env, sid) {
+                Some(v) => {
+                    let vn = *interp.arena.get(v);
+                    match (vn.ty, vn.payload) {
+                        (NodeType::Function, Payload::Builtin(b)) => {
+                            let name = interp.builtins.name(b);
+                            application_is_pure(interp, env, name, rest, shadowed)
+                        }
+                        // A Function without a builtin id is corrupt;
+                        // forms and macros run arbitrary user code.
+                        (NodeType::Function | NodeType::Form | NodeType::Macro, _) => false,
+                        // Head bound to a plain value: element-wise list
+                        // evaluation (the head's own lookup is pure).
+                        _ => siblings_pure(interp, env, rest, shadowed),
+                    }
+                }
+                // Unbound head evaluates to itself: element-wise list.
+                None => siblings_pure(interp, env, rest, shadowed),
+            }
+        }
+        // A computed head could evaluate to anything callable.
+        (NodeType::List | NodeType::Expression, _) => false,
+        // Non-symbol atom head: element-wise list evaluation.
+        _ => siblings_pure(interp, env, rest, shadowed),
+    }
+}
+
+/// Purity of one builtin application, given the operand chain starting at
+/// `args`. Structured builtins (`cond`, `dotimes`, `dolist`) are analyzed
+/// against their actual evaluation shape; everything else defers to the
+/// [`builtin_effect`] table plus operand recursion.
+fn application_is_pure(
+    interp: &Interp,
+    env: EnvId,
+    name: &str,
+    args: Option<NodeId>,
+    shadowed: &mut Vec<StrId>,
+) -> bool {
+    match name {
+        // (cond (test body…) …): each clause is a list whose elements
+        // evaluate individually — the clause list itself never does.
+        "cond" => {
+            let mut cur = args;
+            while let Some(clause) = cur {
+                let c = *interp.arena.get(clause);
+                let kids = match (c.ty, c.payload) {
+                    (NodeType::List, Payload::List { first, .. }) => first,
+                    _ => return false, // malformed clause: barrier
+                };
+                if !siblings_pure(interp, env, kids, shadowed) {
+                    return false;
+                }
+                cur = c.next;
+            }
+            true
+        }
+        // (dotimes (var count) body…) / (dolist (var list) body…): the
+        // source expression and every body form must be pure, and the
+        // loop variable is runtime-bound — poison it for the body so an
+        // application through it is refused (it may hold a callable).
+        "dotimes" | "dolist" => {
+            let Some(header) = args else {
+                return false; // malformed loop: barrier
+            };
+            let h = *interp.arena.get(header);
+            let kids = match (h.ty, h.payload) {
+                (NodeType::List, Payload::List { first, .. }) => first,
+                _ => return false,
+            };
+            let Some(var_node) = kids else {
+                return false;
+            };
+            let v = *interp.arena.get(var_node);
+            let (var, source) = match (v.ty, v.payload, v.next) {
+                (NodeType::Symbol, Payload::Text(s), Some(src)) => (s, src),
+                _ => return false,
+            };
+            if interp.arena.get(source).next.is_some() {
+                return false; // more than (var source): barrier
+            }
+            if !pure_rec(interp, env, source, shadowed) {
+                return false;
+            }
+            shadowed.push(var);
+            let ok = siblings_pure(interp, env, h.next, shadowed);
+            shadowed.pop();
+            ok
+        }
+        _ => match builtin_effect(name) {
+            BuiltinEffect::Pure => siblings_pure(interp, env, args, shadowed),
+            BuiltinEffect::PureUnevaluated => true,
+            BuiltinEffect::Impure => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtins::all_builtins;
+    use crate::parser::parse;
+
+    fn interp_with_prelude() -> Interp {
+        let mut i = Interp::default();
+        for line in [
+            "(setq g 7)",
+            "(setq xs (list 1 2 3))",
+            "(defun f (x) (setq g (+ g x)))",
+            "(defmacro m (x) x)",
+        ] {
+            i.eval_str(line).unwrap();
+        }
+        i
+    }
+
+    fn classify(i: &mut Interp, src: &str) -> bool {
+        let forms = parse(i, src.as_bytes()).unwrap();
+        assert_eq!(forms.len(), 1, "{src}");
+        expr_is_pure(i, i.global, forms[0])
+    }
+
+    fn stageable(i: &mut Interp, src: &str) -> bool {
+        let forms = parse(i, src.as_bytes()).unwrap();
+        assert_eq!(forms.len(), 1, "{src}");
+        stageable_parallel_section(i, i.global, forms[0])
+    }
+
+    #[test]
+    fn every_builtin_has_a_deliberate_classification() {
+        // The table covers the whole registry; the definers, I/O, code
+        // runners and ||| itself must be impure.
+        for def in all_builtins() {
+            let effect = builtin_effect(def.name);
+            let must_be_impure = matches!(
+                def.name,
+                "setq"
+                    | "defun"
+                    | "defmacro"
+                    | "let"
+                    | "let*"
+                    | "eval"
+                    | "quasiquote"
+                    | "unquote"
+                    | "unquote-splicing"
+                    | "mapcar"
+                    | "apply"
+                    | "funcall"
+                    | "read-file"
+                    | "write-file"
+                    | "file-exists"
+                    | "|||"
+            );
+            if must_be_impure {
+                assert_eq!(effect, BuiltinEffect::Impure, "{}", def.name);
+            } else {
+                assert_ne!(effect, BuiltinEffect::Impure, "{}", def.name);
+            }
+        }
+        assert_eq!(builtin_effect("no-such-builtin"), BuiltinEffect::Impure);
+    }
+
+    #[test]
+    fn atoms_and_symbols_are_pure() {
+        let mut i = interp_with_prelude();
+        for src in ["5", "1.25", "\"s\"", "nil", "T", "g", "unbound", "()"] {
+            assert!(classify(&mut i, src), "{src}");
+        }
+    }
+
+    #[test]
+    fn pure_builtin_trees_are_pure() {
+        let mut i = interp_with_prelude();
+        for src in [
+            "(+ 1 (* 2 3))",
+            "(list g g (car xs))",
+            "(cons (length xs) (reverse xs))",
+            "(if (< g 0) (list 1 2) (list 3 4))",
+            "(cond ((< g 0) 1) (T (append xs xs)))",
+            "(concat \"a\" (number-to-string g))",
+            "(dotimes (k (length xs)) (+ k 1))",
+            "(dolist (x xs) (* x x))",
+            "(quote (setq g 1))",
+            "(lambda (x) (setq g x))",
+            "(progn (and T (not nil)) (nth 1 xs))",
+        ] {
+            assert!(classify(&mut i, src), "{src}");
+        }
+    }
+
+    #[test]
+    fn effects_are_rejected() {
+        let mut i = interp_with_prelude();
+        for src in [
+            "(setq g 1)",
+            "(defun h (x) x)",
+            "(let y 5)",
+            "(let* ((y 5)) y)",
+            "(f 1)",                     // user form mutates g
+            "(m (setq g 1))",            // macro expansion
+            "(+ 1 (f 2))",               // impurity below a pure head
+            "(list (f 1))",              // … and inside a constructor
+            "(eval (quote (setq g 1)))", // arbitrary evaluation
+            "(mapcar f xs)",             // applies a function value
+            "(funcall f 1)",
+            "(read-file \"x\")",     // host I/O
+            "(||| 2 + (1 2) (3 4))", // nested section
+            "((lambda (x) x) 5)",    // computed head
+            "((f 1) 2)",             // computed head
+            "(quasiquote (unquote (f 1)))",
+        ] {
+            assert!(!classify(&mut i, src), "{src}");
+        }
+    }
+
+    #[test]
+    fn loop_variables_poison_head_positions() {
+        let mut i = interp_with_prelude();
+        // x may be rebound to a callable at runtime: reject applications
+        // through it, keep plain value uses.
+        assert!(!classify(&mut i, "(dolist (x (list f)) (x 1))"));
+        assert!(classify(&mut i, "(dolist (x xs) (+ x 1))"));
+        // Nested loops restore the outer shadow set.
+        assert!(!classify(
+            &mut i,
+            "(progn (dotimes (k 2) k) (dolist (x (list f)) (x 1)))"
+        ));
+        assert!(!classify(&mut i, "(progn (dotimes (k 2) (k)) 1)"));
+    }
+
+    #[test]
+    fn redefined_pure_names_are_respected() {
+        // Once `+` resolves to a user form, applications of it stop being
+        // pure — resolution goes through the live environment, not the
+        // name.
+        let mut i = interp_with_prelude();
+        assert!(classify(&mut i, "(+ 1 2)"));
+        i.eval_str("(defun + (a b) (f a))").unwrap();
+        assert!(!classify(&mut i, "(+ 1 2)"));
+    }
+
+    #[test]
+    fn stageable_sections() {
+        let mut i = interp_with_prelude();
+        // Previously-barriered shapes: computed worker counts, list
+        // constructors, conditionals, global reads.
+        for src in [
+            "(||| 2 + (1 2) (3 4))",
+            "(||| (+ 1 1) + (1 2) (3 4))",
+            "(||| 2 + (1 2) (list g g))",
+            "(||| 2 f (1 2))", // impure *jobs* run isolated on workers
+            "(||| 2 + (if (< g 0) (list 1 2) (list 3 4)) (5 6))",
+            "(||| 2 (lambda (x) (* x x)) (1 2))",
+        ] {
+            assert!(stageable(&mut i, src), "{src}");
+        }
+        // Operand impurity, non-section commands, shadowed heads: barrier.
+        for src in [
+            "(setq g 1)",
+            "(+ 1 2)",
+            "(||| 2 + ((f 1) 2) (3 4))",
+            "(||| (f 1) + (1 2) (3 4))",
+            "(||| 2 + (mapcar f xs) (3 4))",
+        ] {
+            assert!(!stageable(&mut i, src), "{src}");
+        }
+    }
+
+    #[test]
+    fn classification_charges_nothing() {
+        let mut i = interp_with_prelude();
+        let forms = parse(&mut i, b"(||| (+ 1 1) + (list g g) (3 4))").unwrap();
+        let before = i.meter.snapshot();
+        assert!(stageable_parallel_section(&i, i.global, forms[0]));
+        // As a nested *expression* the section itself is impure; both
+        // verdicts must come back charge-free.
+        assert!(!expr_is_pure(&i, i.global, forms[0]));
+        let delta = i.meter.snapshot().delta_since(&before);
+        assert_eq!(delta, Default::default(), "classifier charged the meter");
+    }
+}

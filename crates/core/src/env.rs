@@ -22,11 +22,11 @@
 //! to *perform* it. This module therefore splits the two concerns:
 //!
 //! * **Real structure.** Environments below a small binding count are
-//!   scanned inline — the list is at most [`INLINE_SCAN_MAX`] long, symbols
+//!   scanned inline — the list is at most `INLINE_SCAN_MAX` (8) long, symbols
 //!   compare as interned-id equality, and each binding caches its name
 //!   length, so the walk is a handful of integer compares. Environments
 //!   that grow past the threshold (in practice: the global environment) are
-//!   *promoted* to an [`EnvIndex`]: a `HashMap<StrId, BindingId>` resolving
+//!   *promoted* to an `EnvIndex`: a `HashMap<StrId, BindingId>` resolving
 //!   a symbol to its newest binding in O(1).
 //! * **Simulated cost.** For promoted environments the paper-model charges
 //!   are *computed* instead of accumulated: a per-environment histogram of

@@ -27,6 +27,7 @@
 pub mod arena;
 pub mod builtins;
 pub mod cost;
+pub mod effects;
 pub mod env;
 pub mod error;
 pub mod eval;

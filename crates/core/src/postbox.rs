@@ -48,7 +48,7 @@
 //!
 //! A tree is a preorder word stream: one tag word per node, then
 //! payload words (`i64`/`f64` as two words, text as an index into a
-//! shared span-table-over-byte-heap ([`TextHeap`]), lists as a child
+//! shared span-table-over-byte-heap (`TextHeap`), lists as a child
 //! count followed by the encoded children, forms/macros as two nested
 //! trees). Builtin functions travel
 //! as registry ids — every replica clones the master's registry, so ids

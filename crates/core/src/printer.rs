@@ -37,7 +37,7 @@ pub fn print_into(interp: &mut Interp, node: NodeId, buf: &mut StrBuf) -> Result
 }
 
 /// Convenience: print to a `String` (UTF-8-lossy; CuLi text is ASCII).
-/// Like [`print`], the working buffer is pooled on the interpreter; only
+/// Like [`print()`], the working buffer is pooled on the interpreter; only
 /// the returned `String` itself is allocated.
 pub fn print_to_string(interp: &mut Interp, node: NodeId) -> Result<String> {
     let mut buf = interp.take_print_buf();

@@ -1,0 +1,250 @@
+//! Soundness of the effect classifier (`culi_core::effects`): any
+//! expression it marks **pure** must evaluate
+//!
+//! 1. with **zero sync-log growth** — no persistent-environment define or
+//!    mutation ever reaches the worker synchronization log — and
+//! 2. with **bit-identical meter counters and results** whether it runs
+//!    on the master interpreter or on a forked worker seat (the staging
+//!    dispatchers rely on both: a pure operand may be evaluated ahead of
+//!    in-flight sections without changing any backend's observable state
+//!    or charges).
+//!
+//! The generator mixes pure constructs (arithmetic, list builders,
+//! conditionals, loops, quoting) with impure ones (`setq`, user-form
+//! calls, `eval`) at every nesting level; classified-impure cases are
+//! skipped (conservatism is allowed, unsoundness is not), and directed
+//! tests pin the constructs that must never classify pure.
+
+use culi_core::cost::Counters;
+use culi_core::eval::{eval, SequentialHook};
+use culi_core::{effects, Interp, InterpConfig};
+use proptest::prelude::*;
+
+/// A generated expression tree, rendered to CuLi source.
+#[derive(Debug, Clone)]
+enum Expr {
+    Int(i64),
+    Str(u8),
+    G,
+    Xs,
+    Unbound,
+    Add(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    List(Vec<Expr>),
+    Car(Box<Expr>),
+    Cons(Box<Expr>, Box<Expr>),
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    Progn(Vec<Expr>),
+    Length(Box<Expr>),
+    NumToStr(Box<Expr>),
+    Dotimes(u8, Box<Expr>),
+    Quote(Box<Expr>),
+    // Impure constructs — must classify impure wherever they appear.
+    SetG(Box<Expr>),
+    CallF(Box<Expr>),
+    Eval(Box<Expr>),
+}
+
+fn render(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Int(v) => out.push_str(&v.to_string()),
+        Expr::Str(n) => out.push_str(&format!("\"s{n}\"")),
+        Expr::G => out.push('g'),
+        Expr::Xs => out.push_str("xs"),
+        Expr::Unbound => out.push_str("loose"),
+        Expr::Add(a, b) => render2(out, "+", a, b),
+        Expr::Mul(a, b) => render2(out, "*", a, b),
+        Expr::List(items) => {
+            out.push_str("(list");
+            for item in items {
+                out.push(' ');
+                render(item, out);
+            }
+            out.push(')');
+        }
+        Expr::Car(a) => render1(out, "car", a),
+        Expr::Cons(a, b) => render2(out, "cons", a, b),
+        Expr::If(c, t, f) => {
+            out.push_str("(if ");
+            render(c, out);
+            out.push(' ');
+            render(t, out);
+            out.push(' ');
+            render(f, out);
+            out.push(')');
+        }
+        Expr::Progn(items) => {
+            out.push_str("(progn");
+            for item in items {
+                out.push(' ');
+                render(item, out);
+            }
+            out.push(')');
+        }
+        Expr::Length(a) => render1(out, "length", a),
+        Expr::NumToStr(a) => render1(out, "number-to-string", a),
+        Expr::Dotimes(n, body) => {
+            out.push_str(&format!("(dotimes (k {}) ", n % 4));
+            render(body, out);
+            out.push(')');
+        }
+        Expr::Quote(a) => render1(out, "quote", a),
+        Expr::SetG(a) => render1(out, "setq g", a),
+        Expr::CallF(a) => render1(out, "f", a),
+        Expr::Eval(a) => render1(out, "eval", a),
+    }
+}
+
+fn render1(out: &mut String, op: &str, a: &Expr) {
+    out.push('(');
+    out.push_str(op);
+    out.push(' ');
+    render(a, out);
+    out.push(')');
+}
+
+fn render2(out: &mut String, op: &str, a: &Expr, b: &Expr) {
+    out.push('(');
+    out.push_str(op);
+    out.push(' ');
+    render(a, out);
+    out.push(' ');
+    render(b, out);
+    out.push(')');
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(Expr::Int),
+        any::<u8>().prop_map(Expr::Str),
+        Just(Expr::G),
+        Just(Expr::Xs),
+        Just(Expr::Unbound),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Expr::List),
+            inner.clone().prop_map(|a| Expr::Car(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Cons(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| Expr::If(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::Progn),
+            inner.clone().prop_map(|a| Expr::Length(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::NumToStr(Box::new(a))),
+            (any::<u8>(), inner.clone()).prop_map(|(n, b)| Expr::Dotimes(n, Box::new(b))),
+            inner.clone().prop_map(|a| Expr::Quote(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::SetG(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::CallF(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Eval(Box::new(a))),
+        ]
+    })
+}
+
+fn booted() -> Interp {
+    let mut i = Interp::new(InterpConfig {
+        arena_capacity: 1 << 18,
+        ..Default::default()
+    });
+    for line in [
+        "(setq g 7)",
+        "(setq xs (list 1 2 3))",
+        "(defun f (x) (progn (setq g (+ g x)) g))",
+    ] {
+        i.eval_str(line).unwrap();
+    }
+    i
+}
+
+/// Evaluates `form` in a fresh child environment of the global (the shape
+/// of a worker seat's job environment), returning the printed result or
+/// error text, the meter delta and the sync-log growth.
+fn run_once(interp: &mut Interp, form: culi_core::NodeId) -> (String, Counters, usize) {
+    let env = interp.envs.push(Some(interp.global));
+    let log_before = interp.envs.sync_log_len();
+    let m0 = interp.meter.snapshot();
+    let outcome = eval(interp, &mut SequentialHook, form, env, 0);
+    let delta = interp.meter.snapshot().delta_since(&m0);
+    let log_growth = interp.envs.sync_log_len() - log_before;
+    let printed = match outcome {
+        Ok(node) => match culi_core::printer::print_to_string(interp, node) {
+            Ok(s) => s,
+            Err(e) => format!("print error: {e}"),
+        },
+        Err(e) => format!("error: {e}"),
+    };
+    (printed, delta, log_growth)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Classified-pure expressions evaluate without touching the sync log
+    /// and with bit-identical charges and results on the master and on a
+    /// forked worker seat.
+    #[test]
+    fn pure_verdicts_are_effect_free_and_seat_independent(e in expr()) {
+        let mut src = String::new();
+        render(&e, &mut src);
+        let mut master = booted();
+        let forms = culi_core::parser::parse(&mut master, src.as_bytes()).unwrap();
+        prop_assert_eq!(forms.len(), 1);
+        let form = forms[0];
+        if !effects::expr_is_pure(&master, master.global, form) {
+            return Ok(()); // conservative rejection is always allowed
+        }
+        // Fork the seat *before* the master evaluates, like a pool worker.
+        let mut seat = master.clone();
+        let (out_m, d_m, log_m) = run_once(&mut master, form);
+        let (out_s, d_s, log_s) = run_once(&mut seat, form);
+        prop_assert_eq!(log_m, 0, "pure expr grew the master sync log: {}", src);
+        prop_assert_eq!(log_s, 0, "pure expr grew the seat sync log: {}", src);
+        prop_assert_eq!(&out_m, &out_s, "result diverged: {}", src);
+        prop_assert_eq!(d_m, d_s, "meter charges diverged: {}", src);
+    }
+}
+
+#[test]
+fn impure_constructs_never_classify_pure() {
+    let mut i = booted();
+    for src in [
+        "(setq g 1)",
+        "(f 3)",
+        "(eval (quote (setq g 1)))",
+        "(progn 1 (setq g 2))",
+        "(list (f 1))",
+        "(if g (setq g 0) 1)",
+        "(dotimes (k 3) (f k))",
+    ] {
+        let forms = culi_core::parser::parse(&mut i, src.as_bytes()).unwrap();
+        assert!(
+            !effects::expr_is_pure(&i, i.global, forms[0]),
+            "classified pure: {src}"
+        );
+    }
+}
+
+/// The flip side of conservatism, pinned so the classifier keeps real
+/// breadth: representative computed operands must classify pure.
+#[test]
+fn representative_computed_operands_classify_pure() {
+    let mut i = booted();
+    for src in [
+        "(list g g)",
+        "(+ 1 (* 2 g))",
+        "(if (< g 0) (list 1 2) (list 3 4))",
+        "(dotimes (k 3) (+ k g))",
+        "(number-to-string (length xs))",
+        "(quote (setq g 1))",
+    ] {
+        let forms = culi_core::parser::parse(&mut i, src.as_bytes()).unwrap();
+        assert!(
+            effects::expr_is_pure(&i, i.global, forms[0]),
+            "classified impure: {src}"
+        );
+    }
+}

@@ -23,19 +23,26 @@
 //! A synchronous `submit` pays one full postbox rendezvous per `|||`
 //! section: encode, wake every worker, sleep until every reply. When the
 //! caller hands over a whole command *stream*, most of that latency can
-//! be overlapped: [`CpuRepl::submit_batch`] classifies each command
-//! syntactically and, for a top-level `(||| …)` whose operands are
-//! **inert** (atoms, symbols, or literal lists — nothing whose evaluation
-//! could touch persistent state), stages the section into the pool's
-//! double buffers and moves straight on to parsing and staging the next
-//! command; replies are collected in order as the pipeline fills. Any
-//! other command — defines, `setq`s, nested expressions, parse errors —
-//! acts as a barrier: the pipeline drains, then the command runs through
-//! the ordinary synchronous path. Observable behaviour (replies, error
-//! text, per-command [`CommandCounters`]) is identical to a `submit`
-//! loop; the equivalence is property-tested and the staging path reuses
+//! be overlapped: [`CpuRepl::submit_batch`] classifies each command with
+//! the conservative effect analysis in [`culi_core::effects`] and, for a
+//! top-level `(||| …)` whose operands are all provably **pure** —
+//! literals, symbol reads, and known-pure-builtin trees such as
+//! `(list g g)`, computed worker counts, or conditionals over globals —
+//! stages the section into the pool's double buffers and moves straight
+//! on to parsing and staging the next command; replies are collected in
+//! order as the pipeline fills. Any other command — defines, `setq`s,
+//! operands invoking user forms or I/O, parse errors — acts as a
+//! barrier: the pipeline drains, then the command runs through the
+//! ordinary synchronous path. Staging a pure-operand section early is
+//! invisible because nothing in flight can mutate the state its operands
+//! read. Observable behaviour (replies, error text, per-command
+//! [`CommandCounters`]) is identical to a `submit` loop; the equivalence
+//! is property-tested and the staging path reuses
 //! [`culi_core::builtins::prepare_section`] plus a charge-exact mirror of
-//! the evaluator's dispatch so the meter cannot drift.
+//! the evaluator's dispatch so the meter cannot drift (the classifier
+//! itself is charge-free). PR 3's purely syntactic inert-operand rule is
+//! retained as [`BatchClassifier::SyntacticInert`] for benchmarks
+//! (`bench_pr4` measures the breadth win against it).
 
 use crate::error::{Result, RuntimeError};
 use crate::phases::{breakdown, counters_to_cycles, CommandCounters};
@@ -65,6 +72,22 @@ pub enum CpuMode {
     },
 }
 
+/// How [`CpuRepl::submit_batch`] decides whether a command's `|||`
+/// section may be staged into the pipeline or must barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchClassifier {
+    /// Conservative side-effect analysis over the parse tree
+    /// ([`culi_core::effects`]): operands may be arbitrary trees of
+    /// known-pure builtins, so `(||| n f (list …))` and computed worker
+    /// counts pipeline too.
+    #[default]
+    EffectAnalysis,
+    /// PR 3's syntactic rule — only atoms, symbols and literal lists are
+    /// stageable operands; any nested expression barriers. Retained as
+    /// the benchmark baseline (`bench_pr4`).
+    SyntacticInert,
+}
+
 /// Configuration for a CPU session.
 #[derive(Debug, Clone)]
 pub struct CpuReplConfig {
@@ -76,6 +99,8 @@ pub struct CpuReplConfig {
     pub gc_between_commands: bool,
     /// Host-side file services exposed to device code.
     pub host_io: Option<culi_core::hostio::HostIoHandle>,
+    /// Batch staging rule (see [`BatchClassifier`]).
+    pub batch_classifier: BatchClassifier,
 }
 
 impl Default for CpuReplConfig {
@@ -85,6 +110,7 @@ impl Default for CpuReplConfig {
             mode: CpuMode::Modeled,
             gc_between_commands: true,
             host_io: None,
+            batch_classifier: BatchClassifier::default(),
         }
     }
 }
@@ -346,7 +372,19 @@ impl CpuRepl {
                     continue;
                 }
             };
-            let stageable = forms.len() == 1 && stageable_section(&self.interp, forms[0]);
+            let stageable = forms.len() == 1
+                && match self.config.batch_classifier {
+                    BatchClassifier::EffectAnalysis => {
+                        culi_core::effects::stageable_parallel_section(
+                            &self.interp,
+                            self.interp.global,
+                            forms[0],
+                        )
+                    }
+                    BatchClassifier::SyntacticInert => {
+                        stageable_inert_section(&self.interp, forms[0])
+                    }
+                };
             if !stageable {
                 // Barrier command: ship whatever is assembled, drain the
                 // pipeline, then run the ordinary synchronous path on the
@@ -638,13 +676,14 @@ impl CpuRepl {
     }
 }
 
-/// Charge-free syntactic classification for the pipelined dispatcher:
-/// `form` is a `(||| …)` expression whose head symbol resolves to the
-/// parallel builtin in the global environment and whose operands are all
-/// [`inert_operand`]s. Such a command's evaluation cannot read or write
-/// anything another in-flight section could race with, and its result is
-/// only printed — so its section may be staged ahead.
-fn stageable_section(interp: &Interp, form: NodeId) -> bool {
+/// PR 3's charge-free *syntactic* classification, retained as the
+/// [`BatchClassifier::SyntacticInert`] benchmark baseline: `form` is a
+/// `(||| …)` expression whose head symbol resolves to the parallel
+/// builtin in the global environment and whose operands are all
+/// [`inert_operand`]s. The default [`BatchClassifier::EffectAnalysis`]
+/// rule ([`culi_core::effects::stageable_parallel_section`]) subsumes
+/// this one — everything inert is also pure.
+fn stageable_inert_section(interp: &Interp, form: NodeId) -> bool {
     let n = *interp.arena.get(form);
     let first = match (n.ty, n.payload) {
         (
@@ -984,10 +1023,63 @@ mod tests {
     }
 
     #[test]
-    fn classification_rejects_non_inert_operands() {
+    fn computed_operands_pipeline_under_effect_analysis() {
+        // `(list g g)` and a computed worker count were barriers under
+        // PR 3's syntactic rule; the effect classifier stages them — with
+        // zero warm clones — and results stay correct.
         let mut r = threaded(2);
-        // `(list g g)` is a nested expression: evaluated under a barrier,
-        // still correct.
+        r.submit("(setq g 3)").unwrap();
+        r.submit("(||| 2 + (1 2) (3 4))").unwrap(); // warm the pool
+        let clones = r.interp_mut().clone_count();
+        let batch: Vec<&str> = vec![
+            "(||| 2 + (1 2) (list g g))",
+            "(||| (+ 1 1) + (list g g) (10 20))",
+            "(||| 2 + (if (< g 0) (1 2) (5 6)) (1 1))",
+        ];
+        let replies = r.submit_batch(&batch).unwrap();
+        let outputs: Vec<&str> = replies.iter().map(|r| r.output.as_str()).collect();
+        assert_eq!(outputs, ["(4 5)", "(13 23)", "(6 7)"]);
+        assert_eq!(
+            r.interp_mut().clone_count(),
+            clones,
+            "computed-operand sections must pipeline without cloning"
+        );
+    }
+
+    #[test]
+    fn classification_rejects_effectful_operands() {
+        let mut r = threaded(2);
+        // An operand that calls a user form (which could mutate globals)
+        // must barrier — and still evaluate correctly on the sync path.
+        r.submit("(defun bumpg (x) (progn (setq g (+ g x)) g))")
+            .unwrap();
+        let replies = r
+            .submit_batch(&[
+                "(setq g 3)",
+                "(||| 2 + (1 2) (list (bumpg 1) (bumpg 1)))",
+                "g",
+            ])
+            .unwrap();
+        assert_eq!(replies[1].output, "(5 7)");
+        assert_eq!(replies[2].output, "5", "barrier preserved effect order");
+    }
+
+    #[test]
+    fn syntactic_classifier_still_barriers_computed_operands() {
+        // The retained PR 3 baseline must keep its old (narrower)
+        // behaviour: correct results via the synchronous path.
+        let mut r = CpuRepl::launch(
+            intel_e5_2620(),
+            CpuReplConfig {
+                interp: InterpConfig {
+                    arena_capacity: 1 << 16,
+                    ..Default::default()
+                },
+                mode: CpuMode::Threaded { threads: 2 },
+                batch_classifier: BatchClassifier::SyntacticInert,
+                ..Default::default()
+            },
+        );
         let replies = r
             .submit_batch(&["(setq g 3)", "(||| 2 + (1 2) (list g g))"])
             .unwrap();

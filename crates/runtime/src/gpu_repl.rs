@@ -105,24 +105,165 @@ impl GpuRepl {
         self.cmdbuf.host_write(input.as_bytes())?;
         let taken = self.cmdbuf.device_take()?;
         debug_assert_eq!(taken, input.as_bytes());
+        let overhead = self.spec().command_overhead_cycles;
+        let mut reply = self.process_command(input, overhead)?;
+        self.cmdbuf.device_reply(reply.output.as_bytes())?;
+        let echoed = self.cmdbuf.host_read()?;
+        debug_assert_eq!(echoed, reply.output.as_bytes());
+        reply.phases.transfer_ns = self.cmdbuf.transfer_ns() - transfer_before;
+        Ok(reply)
+    }
 
-        // --- Parse (master thread) -------------------------------------
+    /// Submits a stream of commands, coalescing maximal runs of
+    /// consecutive commands the effect analysis
+    /// ([`culi_core::effects::stageable_parallel_section`]) marks
+    /// stageable into *batched command buffers*: one host→device upload
+    /// and one device→host reply handshake per run — the exact rule the
+    /// real-threads CPU pipeline stages under — instead of one rendezvous
+    /// per command, with the per-command spin-wake dispatch overhead
+    /// charged once per run. Any other command (defines, host I/O,
+    /// impure operands, parse errors) is a barrier shipped through the
+    /// ordinary [`GpuRepl::submit`] handshake.
+    ///
+    /// Outputs and per-command [`CommandCounters`] are identical to a
+    /// `submit` loop (evaluation is untouched — batching only amortizes
+    /// transfer latency and dispatch overhead); per-command
+    /// [`crate::PhaseBreakdown::transfer_ns`] differs by construction,
+    /// with a run's upload attributed to its first command and its reply
+    /// handshake to its last.
+    pub fn submit_batch(&mut self, inputs: &[&str]) -> Result<Vec<Reply>> {
+        if !self.kernel.is_running() {
+            return Err(RuntimeError::SessionClosed);
+        }
+        let mut replies: Vec<Reply> = Vec::with_capacity(inputs.len());
+        // Keep runs small enough that the joined reply string has ample
+        // room too (outputs are not known until evaluated; a section's
+        // print is on the order of its operand lists).
+        let blob_budget = self.config.cmdbuf_capacity / 4;
+        // The verdict for the command that *ends* a run (a barrier, or a
+        // stageable command past the caps) would otherwise be recomputed
+        // when the next run starts there.
+        let mut cached_verdict: Option<(usize, bool)> = None;
+        let mut i = 0;
+        while i < inputs.len() {
+            let mut j = i;
+            let mut blob_len = 0usize;
+            while j < inputs.len() && j - i < Self::MAX_RUN_COMMANDS {
+                let extra = inputs[j].len() + usize::from(j > i);
+                if blob_len + extra > blob_budget {
+                    break;
+                }
+                let stageable = match cached_verdict {
+                    Some((idx, verdict)) if idx == j => verdict,
+                    _ => {
+                        let verdict = self.classify_stageable(inputs[j]);
+                        cached_verdict = Some((j, verdict));
+                        verdict
+                    }
+                };
+                if !stageable {
+                    break;
+                }
+                blob_len += extra;
+                j += 1;
+            }
+            if j <= i + 1 {
+                // Barrier, oversized, or a lone stageable command (no
+                // rendezvous to amortize): the ordinary handshake.
+                replies.push(self.submit(inputs[i])?);
+                i += 1;
+                continue;
+            }
+            // Classification parsed look-ahead trees unmetered; collect
+            // that garbage — even when between-command GC is off — so a
+            // batch's extra arena pressure stays bounded by one run's
+            // parse trees instead of the whole stream's.
+            culi_core::gc::collect(&mut self.interp, &[]);
+            let run = &inputs[i..j];
+            let blob = run.join("\n");
+            let t0 = self.cmdbuf.transfer_ns();
+            self.cmdbuf.host_write(blob.as_bytes())?;
+            let taken = self.cmdbuf.device_take()?;
+            debug_assert_eq!(taken, blob.as_bytes());
+            let upload_ns = self.cmdbuf.transfer_ns() - t0;
+            let overhead = self.spec().command_overhead_cycles;
+            let first_slot = replies.len();
+            for (k, &input) in run.iter().enumerate() {
+                // One spin wake per run: charge the dispatch overhead on
+                // the run's first command only.
+                let o = if k == 0 { overhead } else { 0 };
+                replies.push(self.process_command(input, o)?);
+            }
+            let mut joined = replies[first_slot..]
+                .iter()
+                .map(|r| r.output.as_str())
+                .collect::<Vec<_>>()
+                .join("\n");
+            // Individual outputs are bounded by the interpreter's output
+            // capacity, but a whole run's joined reply may still overrun
+            // the command buffer — and a failed `device_reply` would
+            // leave the device owning the buffer forever. Ship a short
+            // overflow notice instead: the per-command replies are
+            // already complete device-side (a real host would re-fetch
+            // them one by one), and the session stays live.
+            if joined.len() > self.config.cmdbuf_capacity {
+                joined = format!("!culi:batch-reply-overflow:{}", joined.len());
+            }
+            let t1 = self.cmdbuf.transfer_ns();
+            self.cmdbuf.device_reply(joined.as_bytes())?;
+            let echoed = self.cmdbuf.host_read()?;
+            debug_assert_eq!(echoed, joined.as_bytes());
+            let reply_ns = self.cmdbuf.transfer_ns() - t1;
+            replies[first_slot].phases.transfer_ns += upload_ns;
+            let last = replies.len() - 1;
+            replies[last].phases.transfer_ns += reply_ns;
+            i = j;
+        }
+        Ok(replies)
+    }
+
+    /// Commands coalesced into one uploaded command buffer at most
+    /// (mirrors the CPU pool's `MAX_RUN_SECTIONS`).
+    pub const MAX_RUN_COMMANDS: usize = 16;
+
+    /// Charge-free host-side classification: parse (unmetered, the
+    /// garbage is collected before the run is processed) and apply the
+    /// same [`culi_core::effects`] rule the CPU pipeline stages under.
+    fn classify_stageable(&mut self, input: &str) -> bool {
+        let global = self.interp.global;
+        self.interp.unmetered(
+            |interp| match culi_core::parser::parse(interp, input.as_bytes()) {
+                Ok(forms) => {
+                    forms.len() == 1
+                        && culi_core::effects::stageable_parallel_section(interp, global, forms[0])
+                }
+                Err(_) => false,
+            },
+        )
+    }
+
+    /// Parse/evaluate/print one already-uploaded command on the master
+    /// thread, charging `dispatch_overhead` extra cycles for the REPL
+    /// spin-wake. Produces a [`Reply`] with `transfer_ns == 0` — the
+    /// caller owns the handshake and attributes transfer time. Lisp-level
+    /// errors become `ok == false` replies; device-level failures are
+    /// [`RuntimeError`]s.
+    fn process_command(&mut self, input: &str, dispatch_overhead: u64) -> Result<Reply> {
         let m0 = self.interp.meter.snapshot();
-        let parse_result = culi_core::parser::parse(&mut self.interp, &taken);
+        let parse_result = culi_core::parser::parse(&mut self.interp, input.as_bytes());
         let parse_counters = self.interp.meter.snapshot().delta_since(&m0);
         self.kernel
             .master_compute(counters_to_cycles(&self.spec().costs, &parse_counters))?;
         let forms = match parse_result {
             Ok(forms) => forms,
             Err(e) => {
-                return self.error_reply(
+                return Ok(self.error_reply(
                     e,
                     CommandCounters {
                         parse: parse_counters,
                         ..Default::default()
                     },
-                    transfer_before,
-                );
+                ));
             }
         };
 
@@ -157,19 +298,18 @@ impl GpuRepl {
         }
         let eval_total = self.interp.meter.snapshot().delta_since(&m1);
         // Master-side evaluation work excludes what the workers executed
-        // (that time lives inside the sections' execute phase). The
-        // per-command REPL dispatch overhead (spin wake, loop re-entry,
-        // signalling) is charged here too — the paper folds all device
-        // time into the three phases.
+        // (that time lives inside the sections' execute phase). The REPL
+        // dispatch overhead (spin wake, loop re-entry, signalling) is
+        // charged here too — the paper folds all device time into the
+        // three phases; batched runs pay it once, on their first command.
         let eval_master = eval_total.delta_since(&job_counters);
-        let dispatch_overhead = self.spec().command_overhead_cycles;
         let section_cycles: u64 =
             sections.iter().map(|s| s.total_cycles()).sum::<u64>() + dispatch_overhead;
         self.kernel.master_compute(
             counters_to_cycles(&self.spec().costs, &eval_master) + dispatch_overhead,
         )?;
         if let Some(e) = eval_error {
-            return self.error_reply(
+            return Ok(self.error_reply(
                 e,
                 CommandCounters {
                     parse: parse_counters,
@@ -177,8 +317,7 @@ impl GpuRepl {
                     jobs: job_counters,
                     ..Default::default()
                 },
-                transfer_before,
-            );
+            ));
         }
 
         // --- Print (master thread) ---------------------------------------
@@ -188,7 +327,7 @@ impl GpuRepl {
                 Ok(s) => s,
                 Err(e) => {
                     let print_counters = self.interp.meter.snapshot().delta_since(&m2);
-                    return self.error_reply(
+                    return Ok(self.error_reply(
                         e,
                         CommandCounters {
                             parse: parse_counters,
@@ -196,8 +335,7 @@ impl GpuRepl {
                             jobs: job_counters,
                             print: print_counters,
                         },
-                        transfer_before,
-                    );
+                    ));
                 }
             },
             None => String::new(),
@@ -205,11 +343,6 @@ impl GpuRepl {
         let print_counters = self.interp.meter.snapshot().delta_since(&m2);
         self.kernel
             .master_compute(counters_to_cycles(&self.spec().costs, &print_counters))?;
-
-        // --- Reply handshake ---------------------------------------------
-        self.cmdbuf.device_reply(output.as_bytes())?;
-        let echoed = self.cmdbuf.host_read()?;
-        debug_assert_eq!(echoed, output.as_bytes());
 
         if self.config.gc_between_commands {
             culi_core::gc::collect(&mut self.interp, &[]);
@@ -221,7 +354,7 @@ impl GpuRepl {
             &eval_master,
             &print_counters,
             section_cycles,
-            self.cmdbuf.transfer_ns() - transfer_before,
+            0,
         );
         Ok(Reply {
             output,
@@ -242,16 +375,10 @@ impl GpuRepl {
         self.kernel.spec().costs
     }
 
-    /// Renders a Lisp error as a printed reply (the REPL survives).
-    fn error_reply(
-        &mut self,
-        e: CuliError,
-        counters: CommandCounters,
-        transfer_before: u64,
-    ) -> Result<Reply> {
+    /// Renders a Lisp error as a printed reply (the REPL survives). The
+    /// caller owns the command-buffer handshake and transfer attribution.
+    fn error_reply(&mut self, e: CuliError, counters: CommandCounters) -> Reply {
         let output = format!("error: {e}");
-        self.cmdbuf.device_reply(output.as_bytes())?;
-        self.cmdbuf.host_read()?;
         if self.config.gc_between_commands {
             culi_core::gc::collect(&mut self.interp, &[]);
         }
@@ -261,16 +388,16 @@ impl GpuRepl {
             &counters.eval_master,
             &counters.print,
             0,
-            self.cmdbuf.transfer_ns() - transfer_before,
+            0,
         );
-        Ok(Reply {
+        Reply {
             output,
             ok: false,
             phases,
             counters,
             sections: Vec::new(),
             wall_ns: 0,
-        })
+        }
     }
 
     /// Device-side elapsed nanoseconds so far.
@@ -476,6 +603,102 @@ mod tests {
             single.phases.eval_cycles
         );
         assert_eq!(par.output.matches('5').count(), 32);
+    }
+
+    #[test]
+    fn batched_commands_match_submit_loop_and_amortize_transfer() {
+        let prelude = "(defun sq (x) (* x x))";
+        let inputs = [
+            "(||| 4 sq (1 2 3 4))",
+            "(||| (+ 2 2) sq (list 5 6 7 8))",
+            "(setq g 3)", // barrier
+            "(||| 2 + (1 2) (list g g))",
+            "(||| 2 + (1 2) (3 4))",
+        ];
+        let mut loop_repl = repl();
+        let mut batch_repl = repl();
+        loop_repl.submit(prelude).unwrap();
+        batch_repl.submit(prelude).unwrap();
+        let batched = batch_repl.submit_batch(&inputs).unwrap();
+        assert_eq!(batched.len(), inputs.len());
+        let mut loop_transfer = 0u64;
+        let mut batch_transfer = 0u64;
+        for (src, got) in inputs.iter().zip(&batched) {
+            let want = loop_repl.submit(src).unwrap();
+            assert_eq!(want.output, got.output, "{src}");
+            assert_eq!(want.ok, got.ok, "{src}");
+            assert_eq!(want.counters, got.counters, "{src}");
+            loop_transfer += want.phases.transfer_ns;
+            batch_transfer += got.phases.transfer_ns;
+        }
+        assert!(
+            batch_transfer < loop_transfer,
+            "coalesced command buffers must cut transfer time: {batch_transfer} vs {loop_transfer}"
+        );
+    }
+
+    #[test]
+    fn batched_runs_amortize_dispatch_overhead() {
+        // Same workload, batched vs looped: the run charges the spin-wake
+        // dispatch overhead once, so the device clock advances less.
+        let inputs: Vec<&str> = vec!["(||| 2 + (1 2) (list 3 4))"; 8];
+        let mut loop_repl = repl();
+        for i in &inputs {
+            loop_repl.submit(i).unwrap();
+        }
+        let mut batch_repl = repl();
+        batch_repl.submit_batch(&inputs).unwrap();
+        assert!(
+            batch_repl.elapsed_device_ns() < loop_repl.elapsed_device_ns(),
+            "batched {} ns vs loop {} ns",
+            batch_repl.elapsed_device_ns(),
+            loop_repl.elapsed_device_ns()
+        );
+    }
+
+    #[test]
+    fn batched_errors_and_barriers_stay_in_order() {
+        let mut r = repl();
+        let replies = r
+            .submit_batch(&[
+                "(||| 2 / (4 6) (2 2))",
+                "(||| 2 / (4 6) (0 2))", // worker error inside a run
+                "(+ 1",                  // parse-error barrier
+                "(||| 2 + (1 2) (1 1))",
+            ])
+            .unwrap();
+        assert_eq!(replies[0].output, "(2 3)");
+        assert!(!replies[1].ok);
+        assert!(!replies[2].ok);
+        assert_eq!(replies[3].output, "(2 3)");
+        // Session survives the whole batch.
+        assert_eq!(r.submit("(+ 1 1)").unwrap().output, "2");
+    }
+
+    #[test]
+    fn oversized_batched_reply_does_not_wedge_the_session() {
+        // Inputs fit the upload budget but the run's joined outputs
+        // overrun the command buffer: the reply handshake degrades to an
+        // overflow notice and the session (and replies) stay intact.
+        let mut r = GpuRepl::launch(
+            gtx1080(),
+            GpuReplConfig {
+                cmdbuf_capacity: 512,
+                ..Default::default()
+            },
+        );
+        r.submit("(setq xs (list 11 12 13 14 15 16 17 18 19 20))")
+            .unwrap();
+        let inputs: Vec<&str> = vec!["(||| 2 append (xs xs) (xs xs))"; 6];
+        let replies = r.submit_batch(&inputs).unwrap();
+        assert_eq!(replies.len(), 6);
+        let want = r.submit(inputs[0]).unwrap();
+        assert!(want.output.len() * 6 > 512, "workload must overflow");
+        for reply in &replies {
+            assert_eq!(reply.output, want.output);
+            assert!(reply.ok);
+        }
+        assert_eq!(r.submit("(+ 1 1)").unwrap().output, "2");
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod reply;
 pub mod session;
 pub mod vfs;
 
-pub use cpu_repl::{CpuMode, CpuRepl, CpuReplConfig};
+pub use cpu_repl::{BatchClassifier, CpuMode, CpuRepl, CpuReplConfig};
 pub use error::{Result, RuntimeError};
 pub use gpu_repl::{GpuRepl, GpuReplConfig};
 pub use phases::{counters_to_cycles, CommandCounters, PhaseBreakdown};

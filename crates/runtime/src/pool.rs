@@ -13,7 +13,7 @@
 //! * Each [`WorkerPool`] seat owns an OS thread holding a **warm
 //!   interpreter fork**, cloned exactly once at pool warm-up.
 //! * Master ⇄ worker traffic goes through **double-buffered**
-//!   [`Postbox`]es: a mutex + condvar around a two-slot FIFO, not
+//!   `Postbox`es: a mutex + condvar around a two-slot FIFO, not
 //!   channels — no per-message queue-node allocation, mirroring the GPU
 //!   postbox's fixed mailbox cells. Two slots (instead of PR 2's one) let
 //!   the master ship section *k+1*'s packets while the worker still
@@ -34,7 +34,7 @@
 //!   performs **zero steady-state heap allocations** and **zero
 //!   whole-interpreter clones** ([`culi_core::Interp::clone_count`]
 //!   proves the latter in tests). Returned buffers are capped at
-//!   [`RETAINED_MSG_BYTES`] so one oversized section cannot pin its
+//!   `RETAINED_MSG_BYTES` so one oversized section cannot pin its
 //!   high-water allocation for the pool's lifetime.
 //! * Results come back in distribution order; worker errors surface as
 //!   [`CuliError::WorkerFailed`] with the job's global index, exactly

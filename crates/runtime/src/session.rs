@@ -79,14 +79,18 @@ impl Session {
         }
     }
 
-    /// Submits a stream of commands. Real-threads CPU sessions pipeline
-    /// consecutive `|||`-bearing commands through the worker pool's
-    /// double-buffered postboxes ([`CpuRepl::submit_batch`]); other
-    /// backends run the commands one by one. Replies always come back in
+    /// Submits a stream of commands. Both backends classify each command
+    /// with the conservative effect analysis in [`culi_core::effects`]
+    /// and coalesce maximal runs of stageable `|||` commands: real-threads
+    /// CPU sessions pipeline them through the worker pool's
+    /// double-buffered postboxes ([`CpuRepl::submit_batch`]), GPU sessions
+    /// batch them into shared command buffers with one host↔device
+    /// handshake per run ([`GpuRepl::submit_batch`]); modeled CPU
+    /// sessions run the commands one by one. Replies always come back in
     /// input order and match a `submit` loop.
     pub fn submit_batch(&mut self, inputs: &[&str]) -> Result<Vec<Reply>> {
         match self {
-            Self::Gpu(r) => inputs.iter().map(|s| r.submit(s)).collect(),
+            Self::Gpu(r) => r.submit_batch(inputs),
             Self::Cpu(r) => r.submit_batch(inputs),
         }
     }
@@ -126,6 +130,34 @@ mod tests {
         let gpu = Session::measure_base_latency_ms(gtx680());
         let cpu = Session::measure_base_latency_ms(intel_e5_2620());
         assert!(gpu / cpu > 10.0, "gpu {gpu} ms vs cpu {cpu} ms");
+    }
+
+    #[test]
+    fn every_backend_agrees_on_batched_computed_operand_streams() {
+        // The effect-classified batch path (pipelined pool on CPU,
+        // coalesced command buffers on GPU) must agree with the modeled
+        // reference on streams mixing stageable sections and barriers.
+        let inputs = [
+            "(setq c 2)",
+            "(||| 3 + (1 2 3) (list c c c))",
+            "(||| (+ 1 2) * (1 2 3) (4 5 6))",
+            "(setq c 10)",
+            "(||| 2 + (1 2) (list c c))",
+        ];
+        let mut outputs: Vec<Vec<String>> = Vec::new();
+        for mut s in [
+            Session::for_device(gtx680()),
+            Session::for_device(intel_e5_2620()),
+            Session::cpu_threaded(intel_e5_2620(), 3),
+        ] {
+            let replies = s.submit_batch(&inputs).unwrap();
+            assert!(replies.iter().all(|r| r.ok));
+            outputs.push(replies.into_iter().map(|r| r.output).collect());
+            s.shutdown();
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+        assert_eq!(outputs[0][4], "(11 12)");
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! per-command paper-model counters to a `submit` loop on an identically
 //! configured session — including worker errors mid-batch, global-
 //! mutating jobs that dirty a seat while the next section is already
-//! staged in the double buffer, defines acting as barriers, and operands
-//! that defeat the inert classification.
+//! staged in the double buffer, defines acting as barriers, computed
+//! operands and worker counts that the effect analysis stages, and
+//! operands invoking user forms that it must refuse.
 
 use culi_core::InterpConfig;
 use culi_runtime::{CpuMode, CpuRepl, CpuReplConfig};
@@ -36,9 +37,17 @@ enum Stmt {
     Section { func: u8, n: u8, args: Vec<i64> },
     /// A section over the global list `xs` (stageable symbol operand).
     SymbolArgSection(u8),
-    /// A section with a `(list …)` operand — defeats the inert
-    /// classification, so the pipelined path must barrier.
-    NonInertSection(u8),
+    /// A section with a `(list …)` operand reading the global `g` —
+    /// barriered under the syntactic rule, staged by the effect analysis.
+    ListOperandSection(u8),
+    /// A section whose worker count is computed (stageable).
+    ComputedCountSection(u8),
+    /// A section whose argument list is a conditional over `g`
+    /// (stageable).
+    ConditionalOperandSection,
+    /// A section whose operand calls a user form — impure, so the
+    /// effect classifier must barrier it.
+    FormOperandSection,
 }
 
 fn stmt() -> impl Strategy<Value = Stmt> {
@@ -48,7 +57,10 @@ fn stmt() -> impl Strategy<Value = Stmt> {
         (0u8..6, 1u8..6, prop::collection::vec(-8i64..8, 0..8))
             .prop_map(|(func, n, args)| Stmt::Section { func, n, args }),
         (1u8..6).prop_map(Stmt::SymbolArgSection),
-        (1u8..4).prop_map(Stmt::NonInertSection),
+        (1u8..4).prop_map(Stmt::ListOperandSection),
+        (1u8..5).prop_map(Stmt::ComputedCountSection),
+        Just(Stmt::ConditionalOperandSection),
+        Just(Stmt::FormOperandSection),
     ]
 }
 
@@ -79,7 +91,14 @@ fn render(s: &Stmt) -> String {
             }
         }
         Stmt::SymbolArgSection(n) => format!("(||| {n} addg xs)"),
-        Stmt::NonInertSection(n) => format!("(||| {n} plus (list g g g) (7 8 9))"),
+        Stmt::ListOperandSection(n) => format!("(||| {n} plus (list g g g) (7 8 9))"),
+        Stmt::ComputedCountSection(n) => {
+            format!("(||| (+ 1 {n}) fibj (1 2 3 4 5 6))")
+        }
+        Stmt::ConditionalOperandSection => {
+            "(||| 2 plus (if (< g 0) (1 2) (3 4)) (10 20))".to_string()
+        }
+        Stmt::FormOperandSection => "(||| 2 plus (list (plus g 1) 2) (5 6))".to_string(),
     }
 }
 

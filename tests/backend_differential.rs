@@ -1,7 +1,9 @@
 //! Cross-backend differential harness: seedable randomly generated
 //! programs — global defines and overwrites, shadowing redefinitions,
-//! `|||` sections (nested ones included), worker errors, short-list
-//! errors and GC-pressure loops — run through four `|||` backends:
+//! `|||` sections (nested ones included, plus computed worker counts,
+//! `(list …)` operands and conditional operands that exercise the
+//! effect-analysis staging rule), worker errors, short-list errors and
+//! GC-pressure loops — run through four `|||` backends:
 //!
 //! 1. **sequential** — the modeled CPU pipeline (jobs evaluate inline on
 //!    the master, separated by the model hook);
@@ -60,7 +62,7 @@ const PRELUDE: &[&str] = &[
 /// mutation would (by design) behave differently from the isolated
 /// worker backends.
 fn command(rng: &mut Rng) -> String {
-    match rng.below(12) {
+    match rng.below(16) {
         // Global overwrite between sections.
         0 => format!("(setq g {})", rng.int(-50, 50)),
         // Fresh definition (sync-log growth).
@@ -94,6 +96,44 @@ fn command(rng: &mut Rng) -> String {
             let n = rng.int(1, 4);
             let args: Vec<String> = (0..n).map(|_| rng.int(-8, 8).to_string()).collect();
             format!("(||| {n} nest ({}))", args.join(" "))
+        }
+        // Computed worker count: a pure arithmetic expression the effect
+        // classifier stages (a barrier under PR 3's syntactic rule).
+        12 => {
+            let k = rng.int(1, 4);
+            let args: Vec<String> = (0..=k).map(|_| rng.int(-8, 8).to_string()).collect();
+            format!("(||| (+ 1 {k}) fibj ({}))", args.join(" "))
+        }
+        // Computed argument lists: `(list …)` constructors reading the
+        // global `g` (stageable under effect analysis).
+        13 => {
+            let n = rng.int(1, 5);
+            let args: Vec<String> = (0..n)
+                .map(|_| {
+                    if rng.below(3) == 0 {
+                        "g".to_string()
+                    } else {
+                        rng.int(-8, 8).to_string()
+                    }
+                })
+                .collect();
+            let second: Vec<String> = (0..n).map(|i| i.to_string()).collect();
+            format!(
+                "(||| {n} plus (list {}) ({}))",
+                args.join(" "),
+                second.join(" ")
+            )
+        }
+        // Conditional operand over the global state (stageable).
+        14 => {
+            let t = rng.int(-20, 20);
+            format!("(||| 2 fibj (if (< g {t}) (1 2) (3 4)))")
+        }
+        // An operand that *calls a user form*: impure, so the pipelined
+        // dispatcher must barrier — and the reply must still match.
+        15 => {
+            let a = rng.int(-5, 5);
+            format!("(||| 2 plus (list (plus {a} 1) 2) (3 4))")
         }
         // Plain sections over the pure prelude functions.
         _ => {
@@ -174,34 +214,42 @@ fn compare_replies(reference: &Reply, got: &Reply, context: &str) {
     }
 }
 
-/// ≥100 seeded random programs, split into chunks so the default test
-/// runner parallelizes them.
-#[test]
-fn differential_seeds_0_to_24() {
-    for seed in 0..25 {
+/// Seeds to run, configurable for CI depth: `CULI_DIFF_SEEDS` (default
+/// 100, minimum 4). The work is split into four chunks so the default
+/// test runner parallelizes them; CI's deep job sets `CULI_DIFF_SEEDS=500`.
+fn seed_count() -> u64 {
+    std::env::var("CULI_DIFF_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100)
+        .max(4)
+}
+
+fn check_chunk(chunk: u64) {
+    let n = seed_count();
+    for seed in (chunk * n / 4)..((chunk + 1) * n / 4) {
         check_program(seed);
     }
 }
 
 #[test]
-fn differential_seeds_25_to_49() {
-    for seed in 25..50 {
-        check_program(seed);
-    }
+fn differential_seeds_chunk_0_of_4() {
+    check_chunk(0);
 }
 
 #[test]
-fn differential_seeds_50_to_74() {
-    for seed in 50..75 {
-        check_program(seed);
-    }
+fn differential_seeds_chunk_1_of_4() {
+    check_chunk(1);
 }
 
 #[test]
-fn differential_seeds_75_to_99() {
-    for seed in 75..100 {
-        check_program(seed);
-    }
+fn differential_seeds_chunk_2_of_4() {
+    check_chunk(2);
+}
+
+#[test]
+fn differential_seeds_chunk_3_of_4() {
+    check_chunk(3);
 }
 
 /// A directed worst case the generator only sometimes hits: definition
@@ -218,6 +266,7 @@ fn differential_survives_compaction_and_snapshot_resync() {
         "(defun addg (x) (+ x g))",
         "(||| 5 addg (1 2 3 4 5))",
         "(||| 1 addg (9))",
+        "(||| (+ 2 3) addg (list g 2 g 4 5))", // computed count + operand
         "(||| 5 fibj (1 2 3 4 5))",
     ];
     let mut sequential = repl(CpuMode::Modeled);

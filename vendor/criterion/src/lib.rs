@@ -5,7 +5,7 @@
 //! criterion cannot be resolved; this crate keeps every `benches/*.rs`
 //! target compiling and *running* with real wall-clock measurements. It is
 //! intentionally simple: per benchmark it warms up, picks an iteration
-//! count that makes one sample take roughly [`SAMPLE_TARGET`], collects a
+//! count that makes one sample take roughly `SAMPLE_TARGET` (~2 ms), collects a
 //! fixed number of samples and reports the median time per iteration (plus
 //! throughput when configured).
 //!
