@@ -1,0 +1,420 @@
+//! `bench_pr5` — emits the PR-5 performance baseline as JSON, and acts as
+//! the CI bench-regression gate.
+//!
+//! Measures the unified batch scheduler and the multi-device GPU sharding
+//! this PR added:
+//!
+//! * **`multi_device_speedup`** — modeled makespan of a device-bound
+//!   64-command stageable batch on one simulated device vs **four**
+//!   (each run's upload, master compute and reply handshake land on its
+//!   round-robined device's clock; the makespan is the max over the
+//!   per-device clock deltas). Must be ≥ 2× (asserted), and the
+//!   per-command [`Reply::counters`] must stay **bit-identical** across
+//!   device counts (asserted — sharding may only move modeled time
+//!   between clocks). Deterministic: the quantity is modeled, not
+//!   wall-clock.
+//! * **`sched_overhead_ns`** — the `BatchScheduler` state machine's own
+//!   cost per command, measured over a no-op [`ExecQueue`] (classify,
+//!   run assembly, pipeline accounting, reply re-sequencing — everything
+//!   except real backend work). Gated *upward*: regressions make it
+//!   bigger.
+//! * **`env/define_10k_per_define_ns`** (informational) — amortized cost
+//!   of one top-level define in a 10k-define burst, exercising PR 5's
+//!   epoch-stamped lazy hit-charge recompute (the old eager reshift made
+//!   this O(N) per define).
+//!
+//! ```text
+//! cargo run --release -p culi-bench --bin bench_pr5 [out.json]
+//! cargo run --release -p culi-bench --bin bench_pr5 [out.json] --gate BENCH_pr5.json [band]
+//! ```
+//!
+//! With `--gate`, fresh metrics are compared against the committed
+//! baseline under a tolerance `band` (default 1.6, env
+//! `CULI_BENCH_GATE_BAND`): `multi_device_speedup` must stay ≥
+//! `baseline / band` (on top of the hard 2× floor), `sched_overhead_ns`
+//! must stay ≤ `baseline × band`. Any regression exits non-zero so CI
+//! fails.
+
+use culi_bench::jsonout::{Json, JsonValue, ToJson};
+use culi_core::{Interp, InterpConfig};
+use culi_runtime::scheduler::{BatchScheduler, ExecQueue, Verdict};
+use culi_runtime::{GpuRepl, GpuReplConfig, Reply};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct BenchRow {
+    name: String,
+    median_ns: f64,
+    samples: usize,
+}
+
+impl ToJson for BenchRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("median_ns", Json::Num(self.median_ns)),
+            ("samples", Json::UInt(self.samples as u64)),
+        ])
+    }
+}
+
+/// Runs `f` repeatedly, returning the median ns per call over `samples`
+/// batches sized to take roughly a millisecond each.
+fn measure<O>(samples: usize, mut f: impl FnMut() -> O) -> f64 {
+    let mut batch = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        if t.elapsed().as_micros() >= 1000 || batch >= 1 << 22 {
+            break;
+        }
+        batch *= 2;
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+const FIB: &str = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+/// Device-bound stageable section: 16 warps' worth of fib jobs dominate
+/// the run's modeled time.
+const SECTION: &str = "(||| 16 fib (7 7 7 7 7 7 7 7 7 7 7 7 7 7 7 7))";
+/// Four full runs of MAX_RUN_COMMANDS: one per device at four shards.
+const BATCH_LEN: usize = 4 * GpuRepl::MAX_RUN_COMMANDS;
+
+/// Modeled makespan (ns) of the device-bound batch at `devices` shards,
+/// plus the replies for the bit-identical-counters assertion.
+fn sharded_makespan(devices: usize) -> (f64, Vec<Reply>) {
+    let mut repl = GpuRepl::launch(
+        culi_gpu_sim::device::gtx1080(),
+        GpuReplConfig {
+            device_count: devices,
+            ..Default::default()
+        },
+    );
+    repl.submit(FIB).unwrap();
+    let inputs: Vec<&str> = vec![SECTION; BATCH_LEN];
+    let before = repl.device_elapsed_ns();
+    let replies = repl.submit_batch(&inputs).unwrap();
+    let after = repl.device_elapsed_ns();
+    let makespan = after
+        .iter()
+        .zip(&before)
+        .map(|(a, b)| a - b)
+        .fold(0.0, f64::max);
+    assert!(replies.iter().all(|r| r.ok));
+    (makespan, replies)
+}
+
+/// A queue whose operations are pure bookkeeping: measures the scheduler
+/// state machine itself.
+struct NullQueue;
+
+impl<'i> ExecQueue<'i> for NullQueue {
+    type Staged = (usize, &'i str);
+    type Barrier = &'i str;
+    type Run = Vec<(usize, &'i str)>;
+
+    fn max_run_len(&self) -> usize {
+        16
+    }
+
+    fn pipeline_depth(&self) -> usize {
+        2
+    }
+
+    fn classify_and_stage(
+        &mut self,
+        input: &'i str,
+        slot: usize,
+    ) -> culi_runtime::Result<Verdict<Self::Staged, Self::Barrier>> {
+        Ok(if input.as_bytes()[0] == b'b' {
+            Verdict::Barrier(input)
+        } else {
+            Verdict::Stage((slot, input))
+        })
+    }
+
+    fn dispatch(&mut self, run: Vec<Self::Staged>) -> culi_runtime::Result<Self::Run> {
+        Ok(run)
+    }
+
+    fn collect(
+        &mut self,
+        run: Self::Run,
+        replies: &mut [Option<Reply>],
+    ) -> culi_runtime::Result<()> {
+        for (slot, _) in run {
+            replies[slot] = Some(empty_reply());
+        }
+        Ok(())
+    }
+
+    fn run_barrier(
+        &mut self,
+        _barrier: &'i str,
+        slot: usize,
+        replies: &mut [Option<Reply>],
+    ) -> culi_runtime::Result<()> {
+        replies[slot] = Some(empty_reply());
+        Ok(())
+    }
+}
+
+fn empty_reply() -> Reply {
+    Reply {
+        ok: true,
+        ..Default::default()
+    }
+}
+
+/// Fresh metrics the gate compares; returned alongside the JSON rows.
+struct Metrics {
+    multi_device_speedup: f64,
+    sched_overhead_ns: f64,
+}
+
+fn run_benchmarks(rows: &mut Vec<BenchRow>, samples: usize) -> Metrics {
+    // --- Multi-device sharding (modeled, deterministic) ----------------
+    let (t1, replies1) = sharded_makespan(1);
+    let (t4, replies4) = sharded_makespan(4);
+    for (k, (a, b)) in replies1.iter().zip(&replies4).enumerate() {
+        assert_eq!(a.output, b.output, "cmd {k}: output diverged across shards");
+        assert_eq!(
+            a.counters, b.counters,
+            "cmd {k}: per-command counters must be bit-identical across device counts"
+        );
+    }
+    rows.push(BenchRow {
+        name: format!("gpu/modeled_makespan_1dev_{BATCH_LEN}cmds"),
+        median_ns: t1 / BATCH_LEN as f64,
+        samples: 1,
+    });
+    rows.push(BenchRow {
+        name: format!("gpu/modeled_makespan_4dev_{BATCH_LEN}cmds"),
+        median_ns: t4 / BATCH_LEN as f64,
+        samples: 1,
+    });
+    let multi_device_speedup = t1 / t4;
+
+    // --- Scheduler state-machine overhead per command ------------------
+    // 7 stageable commands per barrier: run assembly, pipeline
+    // accounting and the drain path all on the hot loop.
+    let sources: Vec<String> = (0..256)
+        .map(|k| {
+            if k % 8 == 7 {
+                format!("b{k}")
+            } else {
+                format!("s{k}")
+            }
+        })
+        .collect();
+    let inputs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let sched_overhead_ns = measure(samples, || {
+        BatchScheduler::submit_batch(&mut NullQueue, &inputs).unwrap()
+    }) / inputs.len() as f64;
+    rows.push(BenchRow {
+        name: "scheduler/overhead_per_command".into(),
+        median_ns: sched_overhead_ns,
+        samples,
+    });
+
+    // --- Bulk defines under the lazy hit-charge cache (informational) --
+    let define_ns = {
+        let t = Instant::now();
+        let mut i = Interp::new(InterpConfig {
+            arena_capacity: 1 << 19,
+            ..Default::default()
+        });
+        const N: usize = 10_000;
+        for k in 0..N {
+            i.eval_str(&format!("(setq bulk-sym-{k} {k})")).unwrap();
+            if k % 1024 == 0 {
+                culi_core::gc::collect(&mut i, &[]);
+            }
+        }
+        assert_eq!(i.eval_str("bulk-sym-9999").unwrap(), "9999");
+        t.elapsed().as_nanos() as f64 / N as f64
+    };
+    rows.push(BenchRow {
+        name: "env/define_10k_per_define_ns".into(),
+        median_ns: define_ns,
+        samples: 1,
+    });
+
+    Metrics {
+        multi_device_speedup,
+        sched_overhead_ns,
+    }
+}
+
+/// One gated metric. `higher_is_better` picks the comparison direction:
+/// speedups must not fall below `baseline / band` (or `floor`), costs
+/// must not rise above `baseline × band`.
+fn gate_metric(
+    baseline: &JsonValue,
+    key: &str,
+    fresh: f64,
+    floor: f64,
+    band: f64,
+    higher_is_better: bool,
+) -> Result<String, String> {
+    let base = baseline
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("baseline is missing {key}"))?;
+    if higher_is_better {
+        let required = (base / band).max(floor);
+        if fresh >= required {
+            Ok(format!(
+                "  ok   {key}: fresh {fresh:.2} vs baseline {base:.2} (required >= {required:.2})"
+            ))
+        } else {
+            Err(format!(
+                "  FAIL {key}: fresh {fresh:.2} regressed below {required:.2} \
+                 (baseline {base:.2}, band {band:.2}, floor {floor:.2})"
+            ))
+        }
+    } else {
+        let allowed = base * band;
+        if fresh <= allowed {
+            Ok(format!(
+                "  ok   {key}: fresh {fresh:.1} vs baseline {base:.1} (allowed <= {allowed:.1})"
+            ))
+        } else {
+            Err(format!(
+                "  FAIL {key}: fresh {fresh:.1} grew past {allowed:.1} \
+                 (baseline {base:.1}, band {band:.2})"
+            ))
+        }
+    }
+}
+
+fn run_gate(baseline_path: &str, baseline: &JsonValue, band: f64, metrics: &Metrics) {
+    println!("bench gate vs {baseline_path} (band {band:.2}):");
+    let checks = [
+        gate_metric(
+            baseline,
+            "multi_device_speedup",
+            metrics.multi_device_speedup,
+            2.0,
+            band,
+            true,
+        ),
+        gate_metric(
+            baseline,
+            "sched_overhead_ns",
+            metrics.sched_overhead_ns,
+            0.0,
+            band,
+            false,
+        ),
+    ];
+    let mut failed = false;
+    for check in checks {
+        match check {
+            Ok(line) => println!("{line}"),
+            Err(line) => {
+                println!("{line}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("bench-regression gate FAILED");
+        std::process::exit(1);
+    }
+    println!("bench-regression gate passed");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr5.json".to_string());
+    let gate_baseline = args.iter().position(|a| a == "--gate").map(|i| {
+        args.get(i + 1)
+            .expect("--gate needs a baseline path")
+            .clone()
+    });
+    let band = std::env::var("CULI_BENCH_GATE_BAND")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .or_else(|| {
+            gate_baseline.as_ref().and_then(|_| {
+                args.iter()
+                    .position(|a| a == "--gate")
+                    .and_then(|i| args.get(i + 2))
+                    .and_then(|s| s.parse().ok())
+            })
+        })
+        .unwrap_or(1.6);
+
+    // Load the baseline up front: `[out.json]` defaults to the committed
+    // baseline's own name, so reading after the write below could
+    // silently compare fresh-vs-fresh.
+    let baseline = gate_baseline.as_ref().map(|path| {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        JsonValue::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+    });
+
+    let samples = 9;
+    let mut rows = Vec::new();
+    let metrics = run_benchmarks(&mut rows, samples);
+
+    let doc = Json::Obj(vec![
+        ("baseline", Json::Str("pr5".to_string())),
+        ("unit", Json::Str("nanoseconds (median)".to_string())),
+        (
+            "batch_workload",
+            Json::Str(format!(
+                "{BATCH_LEN} device-bound stageable ||| commands (16 fib-7 jobs each), gtx1080"
+            )),
+        ),
+        (
+            "multi_device_speedup",
+            Json::Num(metrics.multi_device_speedup),
+        ),
+        ("sched_overhead_ns", Json::Num(metrics.sched_overhead_ns)),
+        (
+            "rows",
+            Json::Arr(rows.iter().map(ToJson::to_json).collect()),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.pretty() + "\n").expect("write baseline json");
+    println!("wrote {out_path}");
+    for r in &rows {
+        println!("{:<56} {:>12.1} ns", r.name, r.median_ns);
+    }
+    println!(
+        "multi-device modeled speedup (4 devices vs 1): {:.2}x",
+        metrics.multi_device_speedup
+    );
+    println!(
+        "scheduler overhead per command: {:.1} ns",
+        metrics.sched_overhead_ns
+    );
+    assert!(
+        metrics.multi_device_speedup >= 2.0,
+        "4 sharded devices must give >=2x modeled throughput on device-bound batches \
+         (got {:.2}x)",
+        metrics.multi_device_speedup
+    );
+
+    if let (Some(baseline_path), Some(baseline)) = (gate_baseline, baseline) {
+        run_gate(&baseline_path, &baseline, band, &metrics);
+    }
+}

@@ -25,11 +25,17 @@
 //!     operands, so they are pure regardless of operand content.
 //!     `cond`, `dotimes` and `dolist` carry structured operands (clause
 //!     lists, `(var source)` headers) and are analyzed structurally.
+//!   * head symbol resolving to the **`quasiquote`** builtin: a template
+//!     containing no `unquote`/`unquote-splicing` marker anywhere expands
+//!     by pure node copying, so it classifies like `quote`; any marker —
+//!     even under a nested backquote, where it would stay literal — is
+//!     rejected wholesale rather than level-tracked.
 //!   * head symbol resolving to anything that **defines or mutates**
 //!     (`setq`, `defun`, `let`, …), performs **host I/O** (`read-file`,
-//!     …), evaluates arbitrary structure (`eval`, `quasiquote`), invokes
-//!     user code (`mapcar`, `apply`, `funcall`, any user form or macro)
-//!     or opens a nested parallel section (`|||`): **impure**.
+//!     …), evaluates arbitrary structure (`eval`, a quasiquote template
+//!     with unquote holes), invokes user code (`mapcar`, `apply`,
+//!     `funcall`, any user form or macro) or opens a nested parallel
+//!     section (`|||`): **impure**.
 //!   * head symbol resolving to a plain value, or unbound, or a non-symbol
 //!     atom head: the list evaluates element-wise — pure iff every element
 //!     is pure.
@@ -119,9 +125,10 @@ pub fn builtin_effect(name: &str) -> BuiltinEffect {
         "quote" | "lambda" => BuiltinEffect::PureUnevaluated,
         // Everything that defines/mutates (`setq`, `defun`, `defmacro`,
         // `let`, `let*`), performs host I/O, evaluates arbitrary structure
-        // (`eval`, quasiquotation), applies function values (`mapcar`,
-        // `apply`, `funcall`) or opens a section (`|||`) — plus any name
-        // this table has never heard of.
+        // (`eval`; `quasiquote` stays impure *here* but unquote-free
+        // templates are re-admitted structurally in `application_is_pure`),
+        // applies function values (`mapcar`, `apply`, `funcall`) or opens
+        // a section (`|||`) — plus any name this table has never heard of.
         _ => BuiltinEffect::Impure,
     }
 }
@@ -303,11 +310,57 @@ fn application_is_pure(
             shadowed.pop();
             ok
         }
+        // (quasiquote template): an unquote-free template expands by pure
+        // node copying (exactly like `quote` plus allocation), so it is
+        // stageable. Templates carrying any unquote hole are rejected
+        // wholesale — the holes evaluate arbitrary expressions and
+        // level-tracking nested backquotes buys little breadth.
+        "quasiquote" => {
+            let Some(template) = args else {
+                return false; // malformed (quasiquote): barrier
+            };
+            if interp.arena.get(template).next.is_some() {
+                return false; // more than one template: barrier
+            }
+            template_is_unquote_free(interp, template)
+        }
         _ => match builtin_effect(name) {
             BuiltinEffect::Pure => siblings_pure(interp, env, args, shadowed),
             BuiltinEffect::PureUnevaluated => true,
             BuiltinEffect::Impure => false,
         },
+    }
+}
+
+/// `true` when the subtree under `id` contains no symbol named `unquote`
+/// or `unquote-splicing` anywhere. Checking every position (not just list
+/// heads, where expansion actually fires) is deliberately conservative —
+/// a template that merely *mentions* the markers is rare enough that the
+/// lost breadth is irrelevant.
+fn template_is_unquote_free(interp: &Interp, id: NodeId) -> bool {
+    let n = *interp.arena.get(id);
+    match n.ty {
+        NodeType::Symbol => match n.payload {
+            Payload::Text(s) => {
+                let name = interp.strings.get(s);
+                name != b"unquote" && name != b"unquote-splicing"
+            }
+            _ => false, // corrupt symbol: barrier
+        },
+        NodeType::List | NodeType::Expression => {
+            let mut cur = match n.payload {
+                Payload::List { first, .. } => first,
+                _ => return false,
+            };
+            while let Some(kid) = cur {
+                if !template_is_unquote_free(interp, kid) {
+                    return false;
+                }
+                cur = interp.arena.get(kid).next;
+            }
+            true
+        }
+        _ => true,
     }
 }
 
@@ -399,9 +452,33 @@ mod tests {
             "(quote (setq g 1))",
             "(lambda (x) (setq g x))",
             "(progn (and T (not nil)) (nth 1 xs))",
+            // Unquote-free quasiquote templates expand by pure copying.
+            "`(a b (c d))",
+            "`(1 (2 (3)) \"s\")",
+            "(quasiquote (setq g 1))", // a *template*, never evaluated
+            "`(a `(b c))",             // nested backquote, still no holes
         ] {
             assert!(classify(&mut i, src), "{src}");
         }
+    }
+
+    #[test]
+    fn quasiquote_templates_with_holes_are_rejected() {
+        let mut i = interp_with_prelude();
+        for src in [
+            "`(a ,g)",                   // hole evaluates a lookup: rejected
+            "`(a ,(f 1))",               // hole runs user code
+            "`(1 ,@xs 5)",               // splice hole
+            "`(a `(b ,(f 1)))",          // hole under a nested backquote
+            "`(a (b unquote-splicing))", // marker mentioned anywhere
+            "(quasiquote)",              // malformed: no template
+            "(quasiquote 1 2)",          // malformed: two templates
+        ] {
+            assert!(!classify(&mut i, src), "{src}");
+        }
+        // And as section operands: unquote-free stages, holes barrier.
+        assert!(stageable(&mut i, "(||| 2 + (1 2) `(3 4))"));
+        assert!(!stageable(&mut i, "(||| 2 + (1 2) `(,g 4))"));
     }
 
     #[test]

@@ -31,9 +31,21 @@
 //! * **Simulated cost.** For promoted environments the paper-model charges
 //!   are *computed* instead of accumulated: a per-environment histogram of
 //!   binding-name lengths prices a full miss scan in O(distinct lengths),
-//!   and a per-symbol charge cache (invalidated incrementally on `define`)
-//!   prices a hit in O(1) after the first resolution. The numbers are
-//!   bit-identical to what the faithful scan would have charged.
+//!   and a per-symbol charge cache prices a hit in O(1) between defines.
+//!   The cache is **epoch-stamped and lazily recomputed**: each entry
+//!   remembers the environment's define count (`stamp_len`) and the
+//!   histogram aggregate for its own name length (`stamp_base`) as of its
+//!   last refresh, and a stale entry is brought current on its next hit
+//!   from the difference of those aggregates — every define prepended
+//!   since the stamp adds exactly one probe and `min(L, new_len) + 1`
+//!   strcmp bytes, and the histogram (which only ever grows) recovers the
+//!   byte sum without replaying the individual defines. `define` on a
+//!   promoted environment is therefore O(distinct name lengths) instead of
+//!   O(indexed symbols): 10k top-level defines no longer pay the old
+//!   O(N²) eager reshift of every entry. The numbers stay bit-identical
+//!   to what the faithful scan would have charged (debug builds
+//!   cross-check every lookup; `env_equivalence` asserts it at 10k-define
+//!   scale in release too).
 //!
 //! In debug builds every indexed lookup is cross-checked against
 //! [`EnvArena::lookup_legacy`], the retained reference implementation of
@@ -79,6 +91,7 @@
 use crate::cost::Meter;
 use crate::strings::StrTable;
 use crate::types::{BindingId, EnvId, NodeId, StrId};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -133,14 +146,56 @@ struct Binding {
 /// of a symbol (the one the faithful scan finds first) together with the
 /// precomputed paper-model charge of that scan — the probes and strcmp
 /// bytes the faithful walk pays before (and including) the first match.
-#[derive(Debug, Clone, Copy)]
+///
+/// The charge halves live in [`Cell`]s because they are **lazily
+/// refreshed on access** (lookup is `&self`): `probes`/`bytes` are
+/// current as of `stamp_len` defines in the owning environment, and
+/// [`IndexEntry::refresh`] brings a stale entry current from the
+/// histogram aggregate delta instead of every define eagerly touching
+/// every entry (the old O(N²) bulk-define cost).
+#[derive(Debug, Clone)]
 struct IndexEntry {
     binding: BindingId,
-    /// Name length of the indexed symbol (needed to update `bytes` when a
-    /// newer binding is prepended in front of the match).
+    /// Name length of the indexed symbol (the charge refresh compares it
+    /// against the lengths of bindings prepended since the stamp).
     sym_len: u32,
-    probes: u64,
-    bytes: u64,
+    /// Probes the faithful scan pays to reach this binding, as of
+    /// `stamp_len`. Invariant: equals the binding's 1-based position from
+    /// the list head at the stamp (refreshes preserve it).
+    probes: Cell<u64>,
+    /// Strcmp bytes of that same scan, as of `stamp_len`.
+    bytes: Cell<u64>,
+    /// Owning environment's define count (`Env::len`) at the last
+    /// refresh — the staleness epoch.
+    stamp_len: Cell<u32>,
+    /// `min_len_sum(sym_len) + len` at the last refresh; the next
+    /// refresh's byte delta is the growth of this aggregate.
+    stamp_base: Cell<u64>,
+}
+
+impl IndexEntry {
+    /// Brings the cached hit charge current: every define since the stamp
+    /// prepended one binding the faithful scan now walks past first,
+    /// costing one probe and `min(sym_len, new_len) + 1` strcmp bytes —
+    /// recovered in aggregate from the (append-only) length histogram.
+    fn refresh(&self, index: &EnvIndex, len_now: u32) {
+        if self.stamp_len.get() == len_now {
+            return;
+        }
+        let base_now = index.min_len_sum(self.sym_len as u64) + len_now as u64;
+        self.probes
+            .set(self.probes.get() + (len_now - self.stamp_len.get()) as u64);
+        self.bytes
+            .set(self.bytes.get() + (base_now - self.stamp_base.get()));
+        self.stamp_len.set(len_now);
+        self.stamp_base.set(base_now);
+    }
+
+    /// The binding's current 1-based position from the list head (equals
+    /// a refreshed `probes`, without forcing a byte recompute).
+    fn position(&self, len_now: u32) -> u64 {
+        self.probes.get() + (len_now - self.stamp_len.get()) as u64
+    }
 }
 
 /// The acceleration structure of a promoted (binding-heavy) environment.
@@ -304,24 +359,21 @@ impl EnvArena {
         e.len += 1;
         match &mut e.index {
             Some(index) => {
+                // Lazy reshift: existing entries are *not* touched here —
+                // each one catches up on its next hit from the histogram
+                // delta (IndexEntry::refresh). Only the defined symbol
+                // itself is (re)indexed, now matching at the head.
                 index.add_len(sym_len);
-                // The new head binding is examined first by every future
-                // scan: shift every entry's charge by one probe and one
-                // comparison against the new name, then (re)index the
-                // defined symbol itself, which now matches at the head.
-                for (entry_sym, entry) in index.map.iter_mut() {
-                    if *entry_sym != sym {
-                        entry.probes += 1;
-                        entry.bytes += (entry.sym_len as u64).min(sym_len as u64) + 1;
-                    }
-                }
+                let stamp_base = index.min_len_sum(sym_len as u64) + e.len as u64;
                 index.map.insert(
                     sym,
                     IndexEntry {
                         binding: b,
                         sym_len,
-                        probes: 1,
-                        bytes: sym_len as u64 + 1,
+                        probes: Cell::new(1),
+                        bytes: Cell::new(sym_len as u64 + 1),
+                        stamp_len: Cell::new(e.len),
+                        stamp_base: Cell::new(stamp_base),
                     },
                 );
             }
@@ -471,6 +523,7 @@ impl EnvArena {
         // prefix a faithful scan examines before reaching each binding.
         let mut prefix_lens: Vec<u32> = Vec::new();
         let mut cur = self.envs[env.index()].first;
+        let len_now = self.envs[env.index()].len;
         while let Some(b) = cur {
             let binding = &self.bindings[b.index()];
             // Walking head-first, the first occurrence of a symbol is its
@@ -482,13 +535,22 @@ impl EnvArena {
                 slot.insert(IndexEntry {
                     binding: b,
                     sym_len: binding.sym_len,
-                    probes: prefix_lens.len() as u64 + 1,
-                    bytes: prefix_bytes + sym_len + 1,
+                    probes: Cell::new(prefix_lens.len() as u64 + 1),
+                    bytes: Cell::new(prefix_bytes + sym_len + 1),
+                    stamp_len: Cell::new(len_now),
+                    stamp_base: Cell::new(0), // stamped below, once the histogram is complete
                 });
             }
             index.add_len(binding.sym_len);
             prefix_lens.push(binding.sym_len);
             cur = binding.next;
+        }
+        // Stamp every entry's histogram aggregate now that the histogram
+        // covers the whole binding list.
+        for entry in index.map.values() {
+            entry
+                .stamp_base
+                .set(index.min_len_sum(entry.sym_len as u64) + len_now as u64);
         }
         self.envs[env.index()].index = Some(Box::new(index));
     }
@@ -506,10 +568,11 @@ impl EnvArena {
             match &env_ref.index {
                 Some(index) => {
                     if let Some(entry) = index.map.get(&sym) {
+                        entry.refresh(index, env_ref.len);
                         return (
                             Some((entry.binding, e)),
-                            probes + entry.probes,
-                            bytes + entry.bytes,
+                            probes + entry.probes.get(),
+                            bytes + entry.bytes.get(),
                         );
                     }
                     // Miss: the faithful scan examines every local binding.
@@ -704,13 +767,16 @@ impl EnvArena {
                 prev = Some(idx);
             }
             self.envs[e].first = new_first;
-            // Remap the symbol index positionally: an entry's `probes` is
-            // exactly its binding's 1-based position from the head, so the
-            // relocated id is `base + probes - 1` (charges are positional
-            // and unaffected by the move).
+            // Remap the symbol index positionally: a (refreshed) entry's
+            // `probes` is exactly its binding's 1-based position from the
+            // head, so the relocated id is `base + position - 1` — where
+            // `position` accounts for defines the lazy entry has not yet
+            // caught up with (charges are positional and unaffected by
+            // the move).
+            let len_now = self.envs[e].len;
             if let Some(index) = &mut self.envs[e].index {
                 for entry in index.map.values_mut() {
-                    entry.binding = BindingId::new(base + entry.probes as usize - 1);
+                    entry.binding = BindingId::new(base + entry.position(len_now) as usize - 1);
                 }
             }
         }

@@ -39,6 +39,11 @@ enum Expr {
     NumToStr(Box<Expr>),
     Dotimes(u8, Box<Expr>),
     Quote(Box<Expr>),
+    /// `(quasiquote <rendered>)`: the payload is a *template* — even a
+    /// rendered impure construct inside is never evaluated, so the whole
+    /// form must classify pure (no rendered expression ever contains an
+    /// `unquote` marker) and expand effect-free on master and seat alike.
+    Quasi(Box<Expr>),
     // Impure constructs — must classify impure wherever they appear.
     SetG(Box<Expr>),
     CallF(Box<Expr>),
@@ -89,6 +94,7 @@ fn render(e: &Expr, out: &mut String) {
             out.push(')');
         }
         Expr::Quote(a) => render1(out, "quote", a),
+        Expr::Quasi(a) => render1(out, "quasiquote", a),
         Expr::SetG(a) => render1(out, "setq g", a),
         Expr::CallF(a) => render1(out, "f", a),
         Expr::Eval(a) => render1(out, "eval", a),
@@ -138,6 +144,7 @@ fn expr() -> impl Strategy<Value = Expr> {
             inner.clone().prop_map(|a| Expr::NumToStr(Box::new(a))),
             (any::<u8>(), inner.clone()).prop_map(|(n, b)| Expr::Dotimes(n, Box::new(b))),
             inner.clone().prop_map(|a| Expr::Quote(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Quasi(Box::new(a))),
             inner.clone().prop_map(|a| Expr::SetG(Box::new(a))),
             inner.clone().prop_map(|a| Expr::CallF(Box::new(a))),
             inner.clone().prop_map(|a| Expr::Eval(Box::new(a))),
@@ -240,11 +247,38 @@ fn representative_computed_operands_classify_pure() {
         "(dotimes (k 3) (+ k g))",
         "(number-to-string (length xs))",
         "(quote (setq g 1))",
+        // PR 5 (ROADMAP "classifier breadth, next ring"): quasiquote
+        // templates with no unquote/splice holes expand by pure copying.
+        "`(a b (c d))",
+        "(quasiquote (1 (2 (3))))",
+        "(quasiquote (setq g 1))",
+        "(list `(a b) g)",
     ] {
         let forms = culi_core::parser::parse(&mut i, src.as_bytes()).unwrap();
         assert!(
             effects::expr_is_pure(&i, i.global, forms[0]),
             "classified impure: {src}"
+        );
+    }
+}
+
+/// Quasiquote templates carrying unquote/splice holes must stay out: the
+/// holes evaluate arbitrary expressions, and the classifier rejects them
+/// wholesale instead of level-tracking nested backquotes.
+#[test]
+fn quasiquote_holes_never_classify_pure() {
+    let mut i = booted();
+    for src in [
+        "`(a ,(f 1))",
+        "`(1 ,@xs)",
+        "`(a ,g)",
+        "`(a `(b ,(setq g 1)))",
+        "(progn `(a) `(b ,(f 1)))",
+    ] {
+        let forms = culi_core::parser::parse(&mut i, src.as_bytes()).unwrap();
+        assert!(
+            !effects::expr_is_pure(&i, i.global, forms[0]),
+            "classified pure: {src}"
         );
     }
 }

@@ -95,6 +95,12 @@ impl CommandBuffer {
         }
     }
 
+    /// The buffer's capacity in bytes (either direction). Batch
+    /// dispatchers budget coalesced uploads against this.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Who may touch the buffer right now.
     pub fn owner(&self) -> Owner {
         if self.dev_sync {

@@ -23,37 +23,46 @@
 //! A synchronous `submit` pays one full postbox rendezvous per `|||`
 //! section: encode, wake every worker, sleep until every reply. When the
 //! caller hands over a whole command *stream*, most of that latency can
-//! be overlapped: [`CpuRepl::submit_batch`] classifies each command with
-//! the conservative effect analysis in [`culi_core::effects`] and, for a
-//! top-level `(||| …)` whose operands are all provably **pure** —
-//! literals, symbol reads, and known-pure-builtin trees such as
-//! `(list g g)`, computed worker counts, or conditionals over globals —
-//! stages the section into the pool's double buffers and moves straight
-//! on to parsing and staging the next command; replies are collected in
-//! order as the pipeline fills. Any other command — defines, `setq`s,
-//! operands invoking user forms or I/O, parse errors — acts as a
-//! barrier: the pipeline drains, then the command runs through the
-//! ordinary synchronous path. Staging a pure-operand section early is
-//! invisible because nothing in flight can mutate the state its operands
-//! read. Observable behaviour (replies, error text, per-command
-//! [`CommandCounters`]) is identical to a `submit` loop; the equivalence
-//! is property-tested and the staging path reuses
-//! [`culi_core::builtins::prepare_section`] plus a charge-exact mirror of
-//! the evaluator's dispatch so the meter cannot drift (the classifier
-//! itself is charge-free). PR 3's purely syntactic inert-operand rule is
-//! retained as [`BatchClassifier::SyntacticInert`] for benchmarks
-//! (`bench_pr4` measures the breadth win against it).
+//! be overlapped: [`CpuRepl::submit_batch`] routes the stream through the
+//! shared [`crate::scheduler::BatchScheduler`], with this type
+//! implementing the [`ExecQueue`] staging hooks. A command is stageable
+//! when it is a top-level `(||| …)` whose operands are all provably
+//! **pure** under the conservative effect analysis in
+//! [`culi_core::effects`] — literals, symbol reads, and known-pure-builtin
+//! trees such as `(list g g)`, computed worker counts, or conditionals
+//! over globals; the section is prepared into the pool's double buffers
+//! and the scheduler moves straight on to parsing and staging the next
+//! command, collecting replies in order as the pipeline fills. Any other
+//! command — defines, `setq`s, operands invoking user forms or I/O,
+//! parse errors — acts as a barrier: the scheduler drains the pipeline,
+//! then the command runs through the ordinary synchronous path. Staging a
+//! pure-operand section early is invisible because nothing in flight can
+//! mutate the state its operands read. Observable behaviour (replies,
+//! error text, per-command [`CommandCounters`]) is identical to a
+//! `submit` loop; the equivalence is property-tested and the staging path
+//! reuses [`culi_core::builtins::prepare_section`] plus a charge-exact
+//! mirror of the evaluator's dispatch so the meter cannot drift (the
+//! classifier itself is charge-free). PR 3's purely syntactic
+//! inert-operand rule is retained as [`BatchClassifier::SyntacticInert`]
+//! for benchmarks (`bench_pr4` measures the breadth win against it).
+//!
+//! The fork-per-section baseline implements the same queue: its
+//! `dispatch` simply executes each staged section through
+//! [`ForkPerSectionHook`] on the spot (pipeline depth 1 — there is no
+//! worker state to overlap with), which keeps the baseline's batched
+//! replies charge-identical to its `submit` loop while sharing every line
+//! of classify/stage/drain logic with the pooled backend.
 
 use crate::error::{Result, RuntimeError};
 use crate::phases::{breakdown, counters_to_cycles, CommandCounters};
 use crate::pool::{ForkPerSectionHook, ThreadedHook, WorkerPool};
 use crate::reply::Reply;
+use crate::scheduler::{BatchScheduler, ExecQueue, Verdict};
 use culi_core::cost::Counters;
 use culi_core::eval::{eval, ParallelHook};
 use culi_core::node::{NodeType, Payload};
 use culi_core::{CuliError, Interp, InterpConfig, NodeId};
 use culi_gpu_sim::{CpuMachine, DeviceSpec, SectionReport, SimError};
-use std::collections::VecDeque;
 
 /// How `|||` sections execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,11 +137,16 @@ pub struct CpuRepl {
     forked: Option<ForkPerSectionHook>,
     /// Reused per-job cycle scratch for the modeled backend.
     scratch_cycles: Vec<u64>,
-    /// Parsed-but-not-yet-staged forms of the batch command currently
-    /// being processed: kept as GC roots while in-flight sections of
-    /// *earlier* commands are collected (their between-command GC must
-    /// not sweep the next command's parse tree).
+    /// Staged-but-undispatched job trees (and, fork mode, executed-but-
+    /// uncollected section results): kept as GC roots while in-flight
+    /// sections of *earlier* commands are collected (their
+    /// between-command GC must not sweep them).
     batch_roots: Vec<NodeId>,
+    /// A drained barrier command's parsed forms, rooted from
+    /// classification until its synchronous execution.
+    barrier_roots: Vec<NodeId>,
+    /// Reused concatenation buffer for the two root sets.
+    gc_scratch: Vec<NodeId>,
 }
 
 /// A pipelined command whose section is staged but not yet collected.
@@ -162,6 +176,8 @@ impl CpuRepl {
             forked: None,
             scratch_cycles: Vec::new(),
             batch_roots: Vec::new(),
+            barrier_roots: Vec::new(),
+            gc_scratch: Vec::new(),
         }
     }
 
@@ -326,180 +342,26 @@ impl CpuRepl {
         })
     }
 
-    /// Submits a stream of commands, pipelining consecutive `|||`-bearing
-    /// commands through the worker pool (Threaded mode; other modes fall
-    /// back to a `submit` loop): maximal runs of stageable section
-    /// commands coalesce into a *single multi-section dispatch* — one
-    /// postbox rendezvous per seat per run instead of one per seat per
-    /// section — and up to [`WorkerPool::PIPELINE_DEPTH`] runs ride the
-    /// double-buffered postboxes at once. Replies come back in input
-    /// order and match a `submit` loop exactly.
+    /// Submits a stream of commands through the shared
+    /// [`BatchScheduler`], pipelining consecutive stageable `|||`
+    /// commands (Threaded mode: coalesced multi-section postbox
+    /// dispatches with up to [`WorkerPool::PIPELINE_DEPTH`] runs in
+    /// flight; ForkPerSection mode: the same staging/drain machine over
+    /// eagerly-executed sections; Modeled mode falls back to a `submit`
+    /// loop). Replies come back in input order and match a `submit` loop
+    /// exactly.
     pub fn submit_batch(&mut self, inputs: &[&str]) -> Result<Vec<Reply>> {
-        if !matches!(self.config.mode, CpuMode::Threaded { .. }) {
+        if matches!(self.config.mode, CpuMode::Modeled) {
             return inputs.iter().map(|s| self.submit(s)).collect();
         }
         if !self.machine.is_running() {
             return Err(RuntimeError::SessionClosed);
         }
-        let costs = self.spec().costs;
-        let mut replies: Vec<Option<Reply>> = (0..inputs.len()).map(|_| None).collect();
-        // Runs already shipped to the pool, oldest first.
-        let mut pending: VecDeque<Vec<PendingCommand>> = VecDeque::new();
-        // The run currently being assembled: per-command metadata plus
-        // its prepared (pooled) job buffers, staged together on flush.
-        let mut assembling: Vec<(PendingCommand, Vec<NodeId>)> = Vec::new();
-        for (slot, &input) in inputs.iter().enumerate() {
-            let wall_start = std::time::Instant::now();
-            // --- Parse (overlaps in-flight runs) -------------------------
-            let m0 = self.interp.meter.snapshot();
-            let parse_result = culi_core::parser::parse(&mut self.interp, input.as_bytes());
-            let parse_counters = self.interp.meter.snapshot().delta_since(&m0);
-            self.machine
-                .serial_compute(counters_to_cycles(&costs, &parse_counters))?;
-            let forms = match parse_result {
-                Ok(forms) => forms,
-                Err(e) => {
-                    // Barrier: preserve reply order, then fail like submit.
-                    self.flush_run(&mut assembling, &mut pending, &mut replies, &[])?;
-                    self.drain_pending(&mut pending, &mut replies)?;
-                    replies[slot] = Some(self.error_reply(
-                        e,
-                        CommandCounters {
-                            parse: parse_counters,
-                            ..Default::default()
-                        },
-                    )?);
-                    continue;
-                }
-            };
-            let stageable = forms.len() == 1
-                && match self.config.batch_classifier {
-                    BatchClassifier::EffectAnalysis => {
-                        culi_core::effects::stageable_parallel_section(
-                            &self.interp,
-                            self.interp.global,
-                            forms[0],
-                        )
-                    }
-                    BatchClassifier::SyntacticInert => {
-                        stageable_inert_section(&self.interp, forms[0])
-                    }
-                };
-            if !stageable {
-                // Barrier command: ship whatever is assembled, drain the
-                // pipeline, then run the ordinary synchronous path on the
-                // already-parsed forms (rooted across the drain's GCs).
-                self.flush_run(&mut assembling, &mut pending, &mut replies, &forms)?;
-                self.drain_pending(&mut pending, &mut replies)?;
-                self.batch_roots.clear();
-                replies[slot] = Some(self.finish_submit(&forms, parse_counters, wall_start)?);
-                continue;
-            }
-            // --- Prepare (meter-identical to the synchronous path) -------
-            let m1 = self.interp.meter.snapshot();
-            let prepared = self.prepare_classified_section(forms[0]);
-            let eval_stage = self.interp.meter.snapshot().delta_since(&m1);
-            match prepared {
-                Ok(jobs) => {
-                    self.batch_roots.extend_from_slice(&jobs);
-                    assembling.push((
-                        PendingCommand {
-                            slot,
-                            wall_start,
-                            parse: parse_counters,
-                            eval_stage,
-                        },
-                        jobs,
-                    ));
-                    if assembling.len() == WorkerPool::MAX_RUN_SECTIONS {
-                        self.flush_run(&mut assembling, &mut pending, &mut replies, &[])?;
-                    }
-                }
-                Err(e) => {
-                    // Header/argument evaluation failed before staging —
-                    // the same error the synchronous path would produce.
-                    self.flush_run(&mut assembling, &mut pending, &mut replies, &[])?;
-                    self.drain_pending(&mut pending, &mut replies)?;
-                    self.machine
-                        .serial_compute(counters_to_cycles(&costs, &eval_stage))?;
-                    replies[slot] = Some(self.error_reply(
-                        e,
-                        CommandCounters {
-                            parse: parse_counters,
-                            eval_master: eval_stage,
-                            ..Default::default()
-                        },
-                    )?);
-                }
-            }
-        }
-        self.flush_run(&mut assembling, &mut pending, &mut replies, &[])?;
-        self.drain_pending(&mut pending, &mut replies)?;
-        Ok(replies
-            .into_iter()
-            .map(|r| r.expect("every batch slot replied"))
-            .collect())
-    }
-
-    /// Ships the assembled run (if any) as one multi-section dispatch,
-    /// first collecting the oldest in-flight run when the double buffer
-    /// is full. `live_forms` are extra GC roots to keep across any
-    /// collections triggered here (a barrier command's parse tree).
-    fn flush_run(
-        &mut self,
-        assembling: &mut Vec<(PendingCommand, Vec<NodeId>)>,
-        pending: &mut VecDeque<Vec<PendingCommand>>,
-        replies: &mut [Option<Reply>],
-        live_forms: &[NodeId],
-    ) -> Result<()> {
+        // Stale roots can only be left behind by a batch aborted on a
+        // hard (machine/device) error.
         self.batch_roots.clear();
-        for (_, jobs) in assembling.iter() {
-            self.batch_roots.extend_from_slice(jobs);
-        }
-        self.batch_roots.extend_from_slice(live_forms);
-        if !assembling.is_empty() {
-            // Keep at most the postbox depth in flight. Collections here
-            // GC between commands; the assembled jobs are rooted above.
-            while pending.len() >= WorkerPool::PIPELINE_DEPTH {
-                let run = pending.pop_front().expect("pipeline non-empty");
-                for (slot, reply) in self.collect_run(run)? {
-                    replies[slot] = Some(reply);
-                }
-            }
-            let threads = match self.config.mode {
-                CpuMode::Threaded { threads } => threads,
-                _ => unreachable!("pipelined staging outside Threaded mode"),
-            };
-            let hook = self
-                .threaded
-                .get_or_insert_with(|| ThreadedHook::new(threads));
-            let sections: Vec<&[NodeId]> =
-                assembling.iter().map(|(_, jobs)| jobs.as_slice()).collect();
-            let global = self.interp.global;
-            hook.pool_mut(&self.interp)
-                .stage_run(&mut self.interp, &sections, global);
-            let mut run = Vec::with_capacity(assembling.len());
-            for (cmd, jobs) in assembling.drain(..) {
-                self.interp.put_node_buf(jobs);
-                run.push(cmd);
-            }
-            pending.push_back(run);
-            // Jobs are encoded into the postbox now; only a barrier's
-            // parse tree still needs rooting.
-            self.batch_roots.clear();
-            self.batch_roots.extend_from_slice(live_forms);
-        }
-        Ok(())
-    }
-
-    /// Collects every command of one staged run, in order, into the
-    /// reply slots.
-    fn collect_run(&mut self, run: Vec<PendingCommand>) -> Result<Vec<(usize, Reply)>> {
-        let mut out = Vec::with_capacity(run.len());
-        for cmd in run {
-            out.push(self.collect_staged(cmd)?);
-        }
-        Ok(out)
+        self.barrier_roots.clear();
+        BatchScheduler::submit_batch(self, inputs)
     }
 
     /// Evaluates a classified top-level section command through the same
@@ -509,10 +371,6 @@ impl CpuRepl {
     /// job buffer, ready to stage. Meter-identical to `eval` reaching the
     /// `|||` builtin (the differential harness asserts this).
     fn prepare_classified_section(&mut self, form: NodeId) -> culi_core::Result<Vec<NodeId>> {
-        let threads = match self.config.mode {
-            CpuMode::Threaded { threads } => threads,
-            _ => unreachable!("pipelined staging outside Threaded mode"),
-        };
         let interp = &mut self.interp;
         let global = interp.global;
         let mut args = interp.take_node_buf();
@@ -522,19 +380,28 @@ impl CpuRepl {
             interp.put_node_buf(args);
             return Err(e);
         }
-        let hook = self
-            .threaded
-            .get_or_insert_with(|| ThreadedHook::new(threads));
-        let prepared = culi_core::builtins::prepare_section(interp, hook, &args, global, 0);
+        let prepared = match self.config.mode {
+            CpuMode::Threaded { threads } => {
+                let hook = self
+                    .threaded
+                    .get_or_insert_with(|| ThreadedHook::new(threads));
+                culi_core::builtins::prepare_section(interp, hook, &args, global, 0)
+            }
+            CpuMode::ForkPerSection { threads } => {
+                let hook = self
+                    .forked
+                    .get_or_insert_with(|| ForkPerSectionHook::new(threads));
+                culi_core::builtins::prepare_section(interp, hook, &args, global, 0)
+            }
+            CpuMode::Modeled => unreachable!("pipelined staging outside a parallel CPU mode"),
+        };
         interp.put_node_buf(args);
         prepared
     }
 
-    /// Collects the oldest staged command: gather its section's replies,
-    /// build and print the result list, account the machine, GC.
+    /// Collects the oldest pool-staged command: gather its section's
+    /// replies, then the shared finish path.
     fn collect_staged(&mut self, cmd: PendingCommand) -> Result<(usize, Reply)> {
-        let costs = self.spec().costs;
-        let dispatch_overhead = self.spec().command_overhead_cycles;
         let hook = self
             .threaded
             .as_mut()
@@ -549,9 +416,45 @@ impl CpuRepl {
         };
         self.interp.put_node_buf(results);
         let eval_collect = self.interp.meter.snapshot().delta_since(&m);
+        let job_counters = hook.take_job_counters();
+        self.finish_collected(cmd, finished, eval_collect, job_counters)
+    }
+
+    /// Collects one eagerly-executed fork-per-section command from its
+    /// recorded section results.
+    fn collect_forked(
+        &mut self,
+        cmd: PendingCommand,
+        outcome: culi_core::Result<Vec<NodeId>>,
+        job_counters: Counters,
+    ) -> Result<(usize, Reply)> {
+        let m = self.interp.meter.snapshot();
+        let finished = match outcome {
+            Ok(results) => {
+                let f = culi_core::builtins::finish_section(&mut self.interp, &results);
+                self.interp.put_node_buf(results);
+                f
+            }
+            Err(e) => Err(e),
+        };
+        let eval_collect = self.interp.meter.snapshot().delta_since(&m);
+        self.finish_collected(cmd, finished, eval_collect, job_counters)
+    }
+
+    /// Shared back half of collecting one staged command: account the
+    /// machine, print, GC, build the reply — charge-identical to the
+    /// synchronous path's post-section work.
+    fn finish_collected(
+        &mut self,
+        cmd: PendingCommand,
+        finished: culi_core::Result<NodeId>,
+        eval_collect: Counters,
+        job_counters: Counters,
+    ) -> Result<(usize, Reply)> {
+        let costs = self.spec().costs;
+        let dispatch_overhead = self.spec().command_overhead_cycles;
         let mut eval_master = cmd.eval_stage;
         eval_master.add(&eval_collect);
-        let job_counters = hook.take_job_counters();
         self.machine
             .serial_compute(counters_to_cycles(&costs, &eval_master) + dispatch_overhead)?;
         let node = match finished {
@@ -619,25 +522,23 @@ impl CpuRepl {
         ))
     }
 
-    /// Collects every staged run in order into the reply slots.
-    fn drain_pending(
-        &mut self,
-        pending: &mut VecDeque<Vec<PendingCommand>>,
-        replies: &mut [Option<Reply>],
-    ) -> Result<()> {
-        while let Some(run) = pending.pop_front() {
-            for (slot, reply) in self.collect_run(run)? {
-                replies[slot] = Some(reply);
-            }
-        }
-        Ok(())
-    }
-
-    /// Between-command collection, keeping any parsed-but-unstaged batch
-    /// command's forms alive.
+    /// Between-command collection, keeping staged-but-uncollected batch
+    /// state (job trees, fork results, a barrier's parse forms) alive.
     fn gc_between_commands(&mut self) {
-        if self.config.gc_between_commands {
+        if !self.config.gc_between_commands {
+            return;
+        }
+        if self.barrier_roots.is_empty() {
             culi_core::gc::collect(&mut self.interp, &self.batch_roots);
+        } else if self.batch_roots.is_empty() {
+            culi_core::gc::collect(&mut self.interp, &self.barrier_roots);
+        } else {
+            let mut roots = std::mem::take(&mut self.gc_scratch);
+            roots.clear();
+            roots.extend_from_slice(&self.batch_roots);
+            roots.extend_from_slice(&self.barrier_roots);
+            culi_core::gc::collect(&mut self.interp, &roots);
+            self.gc_scratch = roots;
         }
     }
 
@@ -673,6 +574,286 @@ impl CpuRepl {
     /// `true` until shutdown.
     pub fn is_running(&self) -> bool {
         self.machine.is_running()
+    }
+}
+
+/// One classified-stageable CPU batch command: its metadata plus the
+/// prepared (pooled) job buffer, awaiting dispatch. Opaque scheduler
+/// token — see [`ExecQueue::Staged`].
+#[derive(Debug)]
+pub struct CpuStaged {
+    cmd: PendingCommand,
+    jobs: Vec<NodeId>,
+}
+
+/// Carried state of a CPU batch command that must run synchronously.
+/// Opaque scheduler token — see [`ExecQueue::Barrier`].
+#[derive(Debug)]
+pub enum CpuBarrier {
+    /// A parsed non-stageable command (its forms stay GC-rooted through
+    /// the drain).
+    Forms {
+        /// Parsed top-level forms.
+        forms: Vec<NodeId>,
+        /// Parse-phase counters (already machine-accounted).
+        parse: Counters,
+        /// Wall clock at parse start.
+        wall_start: std::time::Instant,
+    },
+    /// The command failed to parse.
+    ParseError {
+        /// The parse error, rendered after the drain.
+        error: CuliError,
+        /// Parse-phase counters (already machine-accounted).
+        parse: Counters,
+    },
+    /// Header/argument evaluation failed while staging — the same error
+    /// the synchronous path would produce.
+    StageError {
+        /// The stage-time error, rendered after the drain.
+        error: CuliError,
+        /// Parse-phase counters (already machine-accounted).
+        parse: Counters,
+        /// Master-side counters spent before the failure (machine-
+        /// accounted at reply time, like the synchronous path).
+        eval_stage: Counters,
+    },
+}
+
+/// One dispatched CPU run. Opaque scheduler token — see
+/// [`ExecQueue::Run`].
+#[derive(Debug)]
+pub struct CpuRun(CpuRunInner);
+
+#[derive(Debug)]
+enum CpuRunInner {
+    /// Threaded mode: the worker pool holds the run's sections; each
+    /// command is collected through [`WorkerPool::collect_next`].
+    Pooled(Vec<PendingCommand>),
+    /// ForkPerSection mode: sections were executed eagerly at dispatch;
+    /// each command carries its recorded results (or section error) and
+    /// its workers' job charges.
+    Forked {
+        /// The run's commands with their recorded outcomes.
+        cmds: Vec<(PendingCommand, culi_core::Result<Vec<NodeId>>, Counters)>,
+        /// Result node ids this run parked at the *front* of
+        /// `batch_roots` at dispatch — collect un-roots exactly that
+        /// prefix, leaving any jobs a later assembling run has already
+        /// rooted behind it untouched.
+        rooted_results: usize,
+    },
+}
+
+impl<'i> ExecQueue<'i> for CpuRepl {
+    type Staged = CpuStaged;
+    type Barrier = CpuBarrier;
+    type Run = CpuRun;
+
+    fn max_run_len(&self) -> usize {
+        WorkerPool::MAX_RUN_SECTIONS
+    }
+
+    fn pipeline_depth(&self) -> usize {
+        match self.config.mode {
+            CpuMode::Threaded { .. } => WorkerPool::PIPELINE_DEPTH,
+            // The baseline executes runs eagerly at dispatch (no worker
+            // state to overlap with); depth 1 bounds the rooting window
+            // of its uncollected section results to one run.
+            _ => 1,
+        }
+    }
+
+    fn classify_and_stage(
+        &mut self,
+        input: &'i str,
+        slot: usize,
+    ) -> Result<Verdict<CpuStaged, CpuBarrier>> {
+        let wall_start = std::time::Instant::now();
+        let costs = self.spec().costs;
+        // --- Parse (overlaps in-flight runs) -----------------------------
+        let m0 = self.interp.meter.snapshot();
+        let parse_result = culi_core::parser::parse(&mut self.interp, input.as_bytes());
+        let parse_counters = self.interp.meter.snapshot().delta_since(&m0);
+        self.machine
+            .serial_compute(counters_to_cycles(&costs, &parse_counters))?;
+        let forms = match parse_result {
+            Ok(forms) => forms,
+            Err(e) => {
+                return Ok(Verdict::Barrier(CpuBarrier::ParseError {
+                    error: e,
+                    parse: parse_counters,
+                }))
+            }
+        };
+        let stageable = forms.len() == 1
+            && match self.config.batch_classifier {
+                BatchClassifier::EffectAnalysis => culi_core::effects::stageable_parallel_section(
+                    &self.interp,
+                    self.interp.global,
+                    forms[0],
+                ),
+                BatchClassifier::SyntacticInert => stageable_inert_section(&self.interp, forms[0]),
+            };
+        if !stageable {
+            // Root the parse tree across the coming drain's GCs.
+            self.barrier_roots.extend_from_slice(&forms);
+            return Ok(Verdict::Barrier(CpuBarrier::Forms {
+                forms,
+                parse: parse_counters,
+                wall_start,
+            }));
+        }
+        // --- Prepare (meter-identical to the synchronous path) -----------
+        let m1 = self.interp.meter.snapshot();
+        let prepared = self.prepare_classified_section(forms[0]);
+        let eval_stage = self.interp.meter.snapshot().delta_since(&m1);
+        Ok(match prepared {
+            Ok(jobs) => {
+                self.batch_roots.extend_from_slice(&jobs);
+                Verdict::Stage(CpuStaged {
+                    cmd: PendingCommand {
+                        slot,
+                        wall_start,
+                        parse: parse_counters,
+                        eval_stage,
+                    },
+                    jobs,
+                })
+            }
+            Err(e) => Verdict::Barrier(CpuBarrier::StageError {
+                error: e,
+                parse: parse_counters,
+                eval_stage,
+            }),
+        })
+    }
+
+    fn dispatch(&mut self, run: Vec<CpuStaged>) -> Result<CpuRun> {
+        match self.config.mode {
+            CpuMode::Threaded { threads } => {
+                let hook = self
+                    .threaded
+                    .get_or_insert_with(|| ThreadedHook::new(threads));
+                let sections: Vec<&[NodeId]> = run.iter().map(|s| s.jobs.as_slice()).collect();
+                let global = self.interp.global;
+                hook.pool_mut(&self.interp)
+                    .stage_run(&mut self.interp, &sections, global);
+                let mut cmds = Vec::with_capacity(run.len());
+                for CpuStaged { cmd, jobs } in run {
+                    self.interp.put_node_buf(jobs);
+                    cmds.push(cmd);
+                }
+                // The jobs are encoded into the postbox now.
+                self.batch_roots.clear();
+                Ok(CpuRun(CpuRunInner::Pooled(cmds)))
+            }
+            CpuMode::ForkPerSection { threads } => {
+                // Execute eagerly: a fork dies with its section, so there
+                // is no pipelining to gain — only the shared staging
+                // semantics. Entering dispatch, batch_roots holds exactly
+                // this run's staged job trees; they are consumed below
+                // and the recorded results take their place as the rooted
+                // prefix until collected.
+                self.batch_roots.clear();
+                let mut cmds = Vec::with_capacity(run.len());
+                for CpuStaged { cmd, jobs } in run {
+                    let hook = self
+                        .forked
+                        .get_or_insert_with(|| ForkPerSectionHook::new(threads));
+                    let mut results = self.interp.take_node_buf();
+                    let global = self.interp.global;
+                    let executed = hook.execute(&mut self.interp, &jobs, global, &mut results);
+                    self.interp.put_node_buf(jobs);
+                    let job_counters = hook.take_job_counters();
+                    let outcome = match executed {
+                        Ok(()) => {
+                            self.batch_roots.extend_from_slice(&results);
+                            Ok(results)
+                        }
+                        Err(e) => {
+                            self.interp.put_node_buf(results);
+                            Err(e)
+                        }
+                    };
+                    cmds.push((cmd, outcome, job_counters));
+                }
+                let rooted_results = self.batch_roots.len();
+                Ok(CpuRun(CpuRunInner::Forked {
+                    cmds,
+                    rooted_results,
+                }))
+            }
+            CpuMode::Modeled => unreachable!("batch dispatch outside a parallel CPU mode"),
+        }
+    }
+
+    fn collect(&mut self, run: CpuRun, replies: &mut [Option<Reply>]) -> Result<()> {
+        match run.0 {
+            CpuRunInner::Pooled(cmds) => {
+                for cmd in cmds {
+                    let (slot, reply) = self.collect_staged(cmd)?;
+                    replies[slot] = Some(reply);
+                }
+            }
+            CpuRunInner::Forked {
+                cmds,
+                rooted_results,
+            } => {
+                for (cmd, outcome, job_counters) in cmds {
+                    let (slot, reply) = self.collect_forked(cmd, outcome, job_counters)?;
+                    replies[slot] = Some(reply);
+                }
+                // Un-root only this run's (now consumed) results:
+                // commands staged for the next run may already have
+                // rooted their job trees behind them.
+                self.batch_roots.drain(..rooted_results);
+            }
+        }
+        Ok(())
+    }
+
+    fn run_barrier(
+        &mut self,
+        barrier: CpuBarrier,
+        slot: usize,
+        replies: &mut [Option<Reply>],
+    ) -> Result<()> {
+        let reply = match barrier {
+            CpuBarrier::Forms {
+                forms,
+                parse,
+                wall_start,
+            } => {
+                self.barrier_roots.clear();
+                self.finish_submit(&forms, parse, wall_start)?
+            }
+            CpuBarrier::ParseError { error, parse } => self.error_reply(
+                error,
+                CommandCounters {
+                    parse,
+                    ..Default::default()
+                },
+            )?,
+            CpuBarrier::StageError {
+                error,
+                parse,
+                eval_stage,
+            } => {
+                let costs = self.spec().costs;
+                self.machine
+                    .serial_compute(counters_to_cycles(&costs, &eval_stage))?;
+                self.error_reply(
+                    error,
+                    CommandCounters {
+                        parse,
+                        eval_master: eval_stage,
+                        ..Default::default()
+                    },
+                )?
+            }
+        };
+        replies[slot] = Some(reply);
+        Ok(())
     }
 }
 
@@ -942,6 +1123,48 @@ mod tests {
         let reply = r.submit("(||| 4 sq (1 2 3 4))").unwrap();
         assert_eq!(reply.output, "(1 4 9 16)");
         assert!(r.interp_mut().clone_count() > 0, "the baseline clones");
+    }
+
+    #[test]
+    fn fork_per_section_batches_match_submit_loop() {
+        // The baseline rides the same BatchScheduler: staged sections
+        // execute eagerly through ForkPerSectionHook, barriers drain, and
+        // replies (counters included) match its own submit loop.
+        let make = || {
+            CpuRepl::launch(
+                intel_e5_2620(),
+                CpuReplConfig {
+                    interp: InterpConfig {
+                        arena_capacity: 1 << 16,
+                        ..Default::default()
+                    },
+                    mode: CpuMode::ForkPerSection { threads: 3 },
+                    ..Default::default()
+                },
+            )
+        };
+        let mut a = make();
+        let mut b = make();
+        let prelude = "(defun sq (x) (* x x))";
+        a.submit(prelude).unwrap();
+        b.submit(prelude).unwrap();
+        let inputs = [
+            "(||| 3 sq (1 2 3))",
+            "(||| 2 sq (list 4 5))",
+            "(setq g 7)", // barrier
+            "(||| 2 + (1 2) (list g g))",
+            "(||| 2 / (1 1) (0 1))", // worker error
+            "(||| 3 sq (4 5 6))",
+        ];
+        let batched = b.submit_batch(&inputs).unwrap();
+        for (src, got) in inputs.iter().zip(&batched) {
+            let want = a.submit(src).unwrap();
+            assert_eq!(want.output, got.output, "{src}");
+            assert_eq!(want.ok, got.ok, "{src}");
+            if want.ok {
+                assert_eq!(want.counters, got.counters, "{src}");
+            }
+        }
     }
 
     #[test]

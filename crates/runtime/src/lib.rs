@@ -12,6 +12,10 @@
 //! * [`pool::WorkerPool`] — the persistent real-threads `|||` backend:
 //!   warm interpreter forks synchronized incrementally through the flat
 //!   postbox codec.
+//! * [`scheduler::BatchScheduler`] — the backend-agnostic batch
+//!   dispatcher: classification, run coalescing, barrier/drain semantics
+//!   and reply re-sequencing over the [`scheduler::ExecQueue`] trait that
+//!   every backend implements.
 //! * [`session::Session`] — one facade over every backend.
 //! * [`phases`] — operation counts → cycles → per-phase milliseconds.
 
@@ -24,6 +28,7 @@ pub mod gpu_repl;
 pub mod phases;
 pub mod pool;
 pub mod reply;
+pub mod scheduler;
 pub mod session;
 pub mod vfs;
 
@@ -33,5 +38,6 @@ pub use gpu_repl::{GpuRepl, GpuReplConfig};
 pub use phases::{counters_to_cycles, CommandCounters, PhaseBreakdown};
 pub use pool::{ForkPerSectionHook, ThreadedHook, WorkerPool};
 pub use reply::Reply;
+pub use scheduler::{BatchScheduler, ExecQueue, Verdict};
 pub use session::Session;
 pub use vfs::{DirFs, VirtualFs};

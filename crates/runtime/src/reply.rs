@@ -4,7 +4,11 @@ use crate::phases::{CommandCounters, PhaseBreakdown};
 use culi_gpu_sim::SectionReport;
 
 /// Result of submitting one line to any CuLi backend.
-#[derive(Debug, Clone)]
+///
+/// `Default` (empty output, `ok == false`, all counters zero) exists for
+/// tests and mock queues that need a base to build replies from; real
+/// backends always construct every field.
+#[derive(Debug, Clone, Default)]
 pub struct Reply {
     /// The printed output (or a rendered error message).
     pub output: String,

@@ -1,0 +1,383 @@
+//! The unified batch scheduler: one classify → stage → barrier → drain →
+//! resume state machine for every backend.
+//!
+//! PR 3/4 grew two near-identical copies of the run-staging logic inside
+//! [`crate::CpuRepl::submit_batch`] and [`crate::GpuRepl::submit_batch`]:
+//! classify each command with the conservative effect analysis
+//! ([`culi_core::effects`]), coalesce maximal runs of stageable `|||`
+//! commands, keep a bounded number of runs in flight, drain everything at
+//! a barrier, and re-sequence replies into submission order. This module
+//! owns that state machine once, parameterized over a small [`ExecQueue`]
+//! trait; the REPLs shrink to thin adapters that implement the trait (the
+//! CPU worker pool and the fork-per-section baseline in
+//! [`crate::cpu_repl`], the — possibly multi-device — simulated-GPU
+//! command buffer in [`crate::gpu_repl`]).
+//!
+//! # Queue trait contract
+//!
+//! An [`ExecQueue`] presents the scheduler with three token types and six
+//! operations. The tokens are opaque to the scheduler:
+//!
+//! * [`ExecQueue::Staged`] — one classified-stageable command, prepared
+//!   up to (but not including) dispatch. For the CPU pool this is the
+//!   command's built job expressions plus its parse/stage meter counters;
+//!   for the GPU it is just the raw input text awaiting upload.
+//! * [`ExecQueue::Barrier`] — the carried state of a command that must
+//!   run synchronously: its parsed forms (so metered work is never
+//!   repeated), or the error a parse/stage attempt already produced.
+//! * [`ExecQueue::Run`] — one dispatched, in-flight run awaiting
+//!   collection.
+//!
+//! The operations, and the ordering guarantees the scheduler provides:
+//!
+//! 1. [`ExecQueue::classify_and_stage`] is called **exactly once per
+//!    command, in submission order**. It performs any metered per-command
+//!    front work (parsing, classification, charge-exact stage mirroring)
+//!    and rules the command stageable or barrier. Because classification
+//!    is conservative — a staged command's operands are provably pure —
+//!    the queue may evaluate staging work *ahead of* in-flight runs
+//!    without observable difference.
+//! 2. [`ExecQueue::dispatch`] ships a non-empty run of consecutive staged
+//!    commands. Runs are dispatched in submission order and are bounded
+//!    by [`ExecQueue::max_run_len`] commands and by
+//!    [`ExecQueue::admits`] (byte budgets); at most
+//!    [`ExecQueue::pipeline_depth`] dispatched runs exist before the
+//!    oldest is collected.
+//! 3. [`ExecQueue::collect`] retires the **oldest** dispatched run,
+//!    writing each command's reply into its submission-order slot. Runs
+//!    are collected strictly FIFO. Queue-internal recovery — worker
+//!    refusals, poison re-arming, snapshot resync — happens entirely
+//!    inside `collect` (see [`crate::pool`]) and never reorders replies.
+//! 4. [`ExecQueue::run_barrier`] executes one barrier command through the
+//!    queue's synchronous path. The scheduler guarantees the pipeline is
+//!    **empty** at that point: every earlier command's reply has been
+//!    collected, so the barrier may freely mutate persistent state, and
+//!    commands after it are classified against the post-barrier state.
+//!
+//! # Barrier / drain / resume
+//!
+//! A barrier verdict flushes the run being assembled, collects every
+//! in-flight run (drain), then runs the barrier command synchronously;
+//! staging resumes with the next command. The same drain-then-reply
+//! sequence serves parse errors and stage-time errors — the queue carries
+//! the error in its `Barrier` token and renders it in `run_barrier`, so
+//! failed commands surface their reply at exactly the position a
+//! sequential `submit` loop would.
+//!
+//! # Re-sequencing rule
+//!
+//! Replies are delivered in **submission order** regardless of which run
+//! (or, for a sharded GPU queue, which device) produced them: every
+//! command owns a reply slot indexed by its position in the input stream,
+//! `collect`/`run_barrier` fill slots, and the scheduler returns the
+//! slots in order once the stream is exhausted. A hard (device/session)
+//! error aborts the whole batch as a [`crate::RuntimeError`], exactly as
+//! the pre-unification dispatchers did.
+
+use crate::error::Result;
+use crate::reply::Reply;
+use std::collections::VecDeque;
+
+/// Verdict of [`ExecQueue::classify_and_stage`] for one command.
+#[derive(Debug)]
+pub enum Verdict<S, B> {
+    /// The command is stageable: it may join the run being assembled.
+    Stage(S),
+    /// The command must run synchronously after the pipeline drains
+    /// (non-stageable command, parse error, or stage-time error).
+    Barrier(B),
+}
+
+/// One backend execution queue the [`BatchScheduler`] can feed. See the
+/// module docs for the full contract. The `'i` lifetime is the borrow of
+/// the batch's input strings, so a queue token may hold `&'i str` without
+/// copying.
+pub trait ExecQueue<'i> {
+    /// A classified-stageable command, prepared but not yet dispatched.
+    type Staged;
+    /// Carried state of a command that must run synchronously.
+    type Barrier;
+    /// One dispatched, in-flight run awaiting collection.
+    type Run;
+
+    /// Maximum commands one run may coalesce (≥ 1).
+    fn max_run_len(&self) -> usize;
+
+    /// Maximum dispatched-but-uncollected runs (≥ 1): the pool's postbox
+    /// double-buffer depth, or the GPU session's device count.
+    fn pipeline_depth(&self) -> usize;
+
+    /// Whether `input` may still join a run currently holding `run_len`
+    /// commands totalling `run_bytes` input bytes. Never called for an
+    /// empty run — the first command always joins. Defaults to no byte
+    /// budget.
+    fn admits(&self, run_len: usize, run_bytes: usize, input: &str) -> bool {
+        let _ = (run_len, run_bytes, input);
+        true
+    }
+
+    /// Classifies one command and performs its front work. Called once
+    /// per command, in submission order.
+    fn classify_and_stage(
+        &mut self,
+        input: &'i str,
+        slot: usize,
+    ) -> Result<Verdict<Self::Staged, Self::Barrier>>;
+
+    /// Ships a non-empty run of staged commands.
+    fn dispatch(&mut self, run: Vec<Self::Staged>) -> Result<Self::Run>;
+
+    /// Retires the oldest dispatched run, writing each command's reply
+    /// into its slot.
+    fn collect(&mut self, run: Self::Run, replies: &mut [Option<Reply>]) -> Result<()>;
+
+    /// Runs one barrier command synchronously (the pipeline is empty).
+    fn run_barrier(
+        &mut self,
+        barrier: Self::Barrier,
+        slot: usize,
+        replies: &mut [Option<Reply>],
+    ) -> Result<()>;
+}
+
+/// The backend-agnostic batch dispatcher: drives an [`ExecQueue`] over a
+/// command stream, owning run coalescing, in-flight accounting,
+/// barrier/drain semantics and reply re-sequencing.
+#[derive(Debug)]
+pub struct BatchScheduler<'i, Q: ExecQueue<'i>> {
+    /// Dispatched runs, oldest first.
+    pending: VecDeque<Q::Run>,
+    /// The run currently being assembled.
+    assembling: Vec<Q::Staged>,
+    /// Input bytes of the assembling run (for [`ExecQueue::admits`]).
+    run_bytes: usize,
+    /// Submission-order reply slots.
+    replies: Vec<Option<Reply>>,
+}
+
+impl<'i, Q: ExecQueue<'i>> BatchScheduler<'i, Q> {
+    /// Submits a command stream through `queue`, returning one reply per
+    /// input in submission order.
+    pub fn submit_batch(queue: &mut Q, inputs: &[&'i str]) -> Result<Vec<Reply>> {
+        debug_assert!(queue.max_run_len() >= 1);
+        debug_assert!(queue.pipeline_depth() >= 1);
+        let mut s = Self {
+            pending: VecDeque::new(),
+            assembling: Vec::new(),
+            run_bytes: 0,
+            replies: (0..inputs.len()).map(|_| None).collect(),
+        };
+        for (slot, &input) in inputs.iter().enumerate() {
+            // Budget check first: a run-ending command starts the next
+            // run instead of truncating it.
+            if !s.assembling.is_empty() && !queue.admits(s.assembling.len(), s.run_bytes, input) {
+                s.flush(queue)?;
+            }
+            match queue.classify_and_stage(input, slot)? {
+                Verdict::Stage(staged) => {
+                    s.assembling.push(staged);
+                    s.run_bytes += input.len();
+                    if s.assembling.len() >= queue.max_run_len() {
+                        s.flush(queue)?;
+                    }
+                }
+                Verdict::Barrier(b) => {
+                    s.flush(queue)?;
+                    s.drain(queue)?;
+                    queue.run_barrier(b, slot, &mut s.replies)?;
+                }
+            }
+        }
+        s.flush(queue)?;
+        s.drain(queue)?;
+        Ok(s.replies
+            .into_iter()
+            .map(|r| r.expect("every batch slot replied"))
+            .collect())
+    }
+
+    /// Dispatches the assembling run (if any), first collecting the
+    /// oldest in-flight run(s) while the pipeline is at depth.
+    fn flush(&mut self, queue: &mut Q) -> Result<()> {
+        if self.assembling.is_empty() {
+            return Ok(());
+        }
+        while self.pending.len() >= queue.pipeline_depth() {
+            let run = self.pending.pop_front().expect("pipeline non-empty");
+            queue.collect(run, &mut self.replies)?;
+        }
+        let run = std::mem::take(&mut self.assembling);
+        self.run_bytes = 0;
+        let dispatched = queue.dispatch(run)?;
+        self.pending.push_back(dispatched);
+        Ok(())
+    }
+
+    /// Collects every in-flight run, oldest first.
+    fn drain(&mut self, queue: &mut Q) -> Result<()> {
+        while let Some(run) = self.pending.pop_front() {
+            queue.collect(run, &mut self.replies)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reply(text: String) -> Reply {
+        Reply {
+            output: text,
+            ok: true,
+            ..Default::default()
+        }
+    }
+
+    /// Scripted queue: inputs starting with `b` barrier, all else stage.
+    /// Records the dispatch/collect/barrier order for the assertions.
+    struct ScriptQueue {
+        max_run: usize,
+        depth: usize,
+        /// Run byte budget for `admits`; `None` admits everything.
+        byte_budget: Option<usize>,
+        events: Vec<String>,
+        outstanding: usize,
+        max_outstanding: usize,
+    }
+
+    impl ScriptQueue {
+        fn new(max_run: usize, depth: usize) -> Self {
+            Self {
+                max_run,
+                depth,
+                byte_budget: None,
+                events: Vec::new(),
+                outstanding: 0,
+                max_outstanding: 0,
+            }
+        }
+    }
+
+    impl<'i> ExecQueue<'i> for ScriptQueue {
+        type Staged = (usize, &'i str);
+        type Barrier = &'i str;
+        type Run = Vec<(usize, &'i str)>;
+
+        fn max_run_len(&self) -> usize {
+            self.max_run
+        }
+
+        fn pipeline_depth(&self) -> usize {
+            self.depth
+        }
+
+        fn admits(&self, _run_len: usize, run_bytes: usize, input: &str) -> bool {
+            match self.byte_budget {
+                Some(budget) => run_bytes + input.len() <= budget,
+                None => true,
+            }
+        }
+
+        fn classify_and_stage(
+            &mut self,
+            input: &'i str,
+            slot: usize,
+        ) -> Result<Verdict<Self::Staged, Self::Barrier>> {
+            Ok(if input.starts_with('b') {
+                Verdict::Barrier(input)
+            } else {
+                Verdict::Stage((slot, input))
+            })
+        }
+
+        fn dispatch(&mut self, run: Vec<Self::Staged>) -> Result<Self::Run> {
+            assert!(!run.is_empty() && run.len() <= self.max_run);
+            self.events.push(format!("dispatch:{}", run.len()));
+            self.outstanding += 1;
+            self.max_outstanding = self.max_outstanding.max(self.outstanding);
+            Ok(run)
+        }
+
+        fn collect(&mut self, run: Self::Run, replies: &mut [Option<Reply>]) -> Result<()> {
+            self.events.push(format!("collect:{}", run.len()));
+            self.outstanding -= 1;
+            for (slot, input) in run {
+                replies[slot] = Some(reply(format!("S{slot}:{input}")));
+            }
+            Ok(())
+        }
+
+        fn run_barrier(
+            &mut self,
+            barrier: Self::Barrier,
+            slot: usize,
+            replies: &mut [Option<Reply>],
+        ) -> Result<()> {
+            self.events.push(format!("barrier:{slot}"));
+            // Drain guarantee: every earlier command already replied.
+            assert!(
+                replies[..slot].iter().all(Option::is_some),
+                "barrier at slot {slot} ran with earlier replies missing"
+            );
+            assert_eq!(self.outstanding, 0, "barrier with runs in flight");
+            replies[slot] = Some(reply(format!("B{slot}:{barrier}")));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn replies_resequence_and_runs_cap() {
+        let mut q = ScriptQueue::new(3, 2);
+        let inputs = ["s", "s", "s", "s", "b1", "s", "b2", "b3", "s"];
+        let replies = BatchScheduler::submit_batch(&mut q, &inputs).unwrap();
+        for (slot, (got, src)) in replies.iter().zip(&inputs).enumerate() {
+            let kind = if src.starts_with('b') { "B" } else { "S" };
+            assert_eq!(got.output, format!("{kind}{slot}:{src}"));
+        }
+        assert!(q.max_outstanding <= 2);
+        // 4 stageables: one full run of 3, then the singleton flushed by
+        // the barrier.
+        assert_eq!(
+            q.events[..4],
+            ["dispatch:3", "dispatch:1", "collect:3", "collect:1"]
+        );
+    }
+
+    #[test]
+    fn depth_one_serializes_runs() {
+        let mut q = ScriptQueue::new(2, 1);
+        let inputs = ["s"; 7];
+        BatchScheduler::submit_batch(&mut q, &inputs).unwrap();
+        assert_eq!(q.max_outstanding, 1);
+        // Every dispatch beyond the first is preceded by the previous
+        // run's collection.
+        assert_eq!(
+            q.events,
+            [
+                "dispatch:2",
+                "collect:2",
+                "dispatch:2",
+                "collect:2",
+                "dispatch:2",
+                "collect:2",
+                "dispatch:1",
+                "collect:1"
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_budget_starts_a_new_run() {
+        let mut q = ScriptQueue::new(16, 2);
+        q.byte_budget = Some(8);
+        // 4+4 bytes fill a run; the third command starts the next one.
+        let replies =
+            BatchScheduler::submit_batch(&mut q, &["ssss", "ssss", "ssss", "ss"]).unwrap();
+        assert_eq!(replies.len(), 4);
+        assert_eq!(
+            q.events,
+            ["dispatch:2", "dispatch:2", "collect:2", "collect:2"]
+        );
+    }
+}

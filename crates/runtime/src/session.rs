@@ -11,6 +11,10 @@ use crate::reply::Reply;
 use culi_gpu_sim::{DeviceKind, DeviceSpec, KernelConfig};
 
 /// A running CuLi session on any backend.
+// Sessions are created a handful of times per process and live on the
+// stack of whoever boots them; the variant size gap (the CPU repl embeds
+// its machine model inline) is not worth an indirection on every access.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Session {
     /// Simulated-GPU persistent kernel.
@@ -36,6 +40,20 @@ impl Session {
             spec,
             GpuReplConfig {
                 kernel,
+                ..Default::default()
+            },
+        ))
+    }
+
+    /// Boots a GPU session sharded across `devices` simulated devices:
+    /// batched stageable runs round-robin across per-device kernels and
+    /// command buffers (replies stay bit-identical to a single device;
+    /// only the modeled time shards).
+    pub fn gpu_sharded(spec: DeviceSpec, devices: usize) -> Self {
+        Self::Gpu(GpuRepl::launch(
+            spec,
+            GpuReplConfig {
+                device_count: devices,
                 ..Default::default()
             },
         ))
@@ -79,15 +97,20 @@ impl Session {
         }
     }
 
-    /// Submits a stream of commands. Both backends classify each command
+    /// Submits a stream of commands through the shared
+    /// [`culi_runtime_scheduler`]: every backend classifies each command
     /// with the conservative effect analysis in [`culi_core::effects`]
-    /// and coalesce maximal runs of stageable `|||` commands: real-threads
-    /// CPU sessions pipeline them through the worker pool's
-    /// double-buffered postboxes ([`CpuRepl::submit_batch`]), GPU sessions
-    /// batch them into shared command buffers with one host↔device
-    /// handshake per run ([`GpuRepl::submit_batch`]); modeled CPU
-    /// sessions run the commands one by one. Replies always come back in
-    /// input order and match a `submit` loop.
+    /// and coalesces maximal runs of stageable `|||` commands.
+    /// Real-threads CPU sessions pipeline them through the worker pool's
+    /// double-buffered postboxes ([`CpuRepl::submit_batch`]); GPU
+    /// sessions batch them into shared command buffers with one
+    /// host↔device handshake per run, round-robined across the session's
+    /// simulated devices ([`GpuRepl::submit_batch`]); fork-per-section
+    /// sessions run the same staging machine over eagerly-executed
+    /// sections; modeled CPU sessions run the commands one by one.
+    /// Replies always come back in input order and match a `submit` loop.
+    ///
+    /// [`culi_runtime_scheduler`]: crate::scheduler::BatchScheduler
     pub fn submit_batch(&mut self, inputs: &[&str]) -> Result<Vec<Reply>> {
         match self {
             Self::Gpu(r) => r.submit_batch(inputs),
@@ -147,16 +170,19 @@ mod tests {
         let mut outputs: Vec<Vec<String>> = Vec::new();
         for mut s in [
             Session::for_device(gtx680()),
+            Session::gpu_sharded(gtx680(), 4),
             Session::for_device(intel_e5_2620()),
             Session::cpu_threaded(intel_e5_2620(), 3),
+            Session::cpu_fork_per_section(intel_e5_2620(), 3),
         ] {
             let replies = s.submit_batch(&inputs).unwrap();
             assert!(replies.iter().all(|r| r.ok));
             outputs.push(replies.into_iter().map(|r| r.output).collect());
             s.shutdown();
         }
-        assert_eq!(outputs[0], outputs[1]);
-        assert_eq!(outputs[0], outputs[2]);
+        for other in &outputs[1..] {
+            assert_eq!(&outputs[0], other);
+        }
         assert_eq!(outputs[0][4], "(11 12)");
     }
 

@@ -1,0 +1,249 @@
+//! Scheduler-level ordering properties: over randomized command streams
+//! (stageable commands, barriers, stage-time failures), run caps, byte
+//! budgets and pipeline depths — with a queue whose collection path
+//! *refuses and re-arms* whole runs like a poisoned worker seat — the
+//! [`BatchScheduler`] must
+//!
+//! 1. deliver exactly one reply per input, re-sequenced into submission
+//!    order (each reply provably derived from its own input);
+//! 2. run every barrier only after **all earlier commands have replied**
+//!    and with zero runs in flight (the drain guarantee the REPLs'
+//!    mutation safety rests on);
+//! 3. never exceed the queue's run cap, byte budget, or pipeline depth;
+//! 4. dispatch and collect runs strictly FIFO.
+//!
+//! The real-backend equivalents (replies and meter charges against a
+//! `submit` loop, refusals from genuinely dirty worker seats) live in
+//! `pipelined_equivalence.rs` and `tests/backend_differential.rs`; this
+//! suite pins the state machine itself, where the failure modes are
+//! easiest to reach exhaustively.
+
+use culi_runtime::scheduler::{BatchScheduler, ExecQueue, Verdict};
+use culi_runtime::Reply;
+use proptest::prelude::*;
+
+fn reply(text: String) -> Reply {
+    Reply {
+        output: text,
+        ok: true,
+        ..Default::default()
+    }
+}
+
+/// One generated command. Rendered as `s<k>`/`b<k>`/`f<k>` strings so
+/// every reply can be checked against the exact input that produced it.
+#[derive(Debug, Clone, Copy)]
+enum Cmd {
+    /// Stageable; the payload pads the input to exercise byte budgets.
+    Stage(u8),
+    /// Barrier (a define/setq analogue).
+    Barrier,
+    /// Stage-time failure: classified stageable, then fails preparation —
+    /// the queue reports it as an error-carrying barrier.
+    StageFail,
+}
+
+fn cmd() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        (0u8..12).prop_map(Cmd::Stage),
+        Just(Cmd::Barrier),
+        Just(Cmd::StageFail),
+    ]
+}
+
+fn render(k: usize, c: Cmd) -> String {
+    match c {
+        Cmd::Stage(pad) => format!("s{k}:{}", "x".repeat(pad as usize)),
+        Cmd::Barrier => format!("b{k}"),
+        Cmd::StageFail => format!("f{k}"),
+    }
+}
+
+/// A mock queue with the CPU/GPU queues' structural behaviours: bounded
+/// runs, a byte budget, FIFO in-flight runs, and — on collection — a
+/// configurable chance that a run comes back *refused* and must be
+/// re-armed (re-executed) before its replies land, like a soft-poisoned
+/// pool seat bouncing stale dispatches.
+struct MockQueue {
+    max_run: usize,
+    depth: usize,
+    byte_budget: usize,
+    /// Every `refuse_every`-th collected run is refused once first.
+    refuse_every: usize,
+    collected_runs: usize,
+    outstanding: usize,
+    next_run_id: usize,
+    /// FIFO discipline check: runs must collect in dispatch order.
+    expect_collect: usize,
+    refusals_seen: usize,
+}
+
+struct MockRun {
+    id: usize,
+    cmds: Vec<(usize, String)>,
+    /// Times this run was bounced before executing.
+    refused: usize,
+}
+
+impl<'i> ExecQueue<'i> for MockQueue {
+    type Staged = (usize, &'i str);
+    type Barrier = (bool, &'i str);
+    type Run = MockRun;
+
+    fn max_run_len(&self) -> usize {
+        self.max_run
+    }
+
+    fn pipeline_depth(&self) -> usize {
+        self.depth
+    }
+
+    fn admits(&self, _run_len: usize, run_bytes: usize, input: &str) -> bool {
+        run_bytes + input.len() <= self.byte_budget
+    }
+
+    fn classify_and_stage(
+        &mut self,
+        input: &'i str,
+        slot: usize,
+    ) -> culi_runtime::Result<Verdict<Self::Staged, Self::Barrier>> {
+        Ok(match input.as_bytes()[0] {
+            b's' => Verdict::Stage((slot, input)),
+            b'f' => Verdict::Barrier((true, input)),
+            _ => Verdict::Barrier((false, input)),
+        })
+    }
+
+    fn dispatch(&mut self, run: Vec<Self::Staged>) -> culi_runtime::Result<Self::Run> {
+        assert!(!run.is_empty(), "dispatched an empty run");
+        assert!(run.len() <= self.max_run, "run over the cap");
+        let bytes: usize = run.iter().map(|(_, s)| s.len()).sum();
+        // The first command always joins (admits is never consulted for
+        // an empty run), so only multi-command runs are budget-bounded.
+        assert!(
+            run.len() == 1 || bytes <= self.byte_budget,
+            "run over the byte budget"
+        );
+        self.outstanding += 1;
+        assert!(self.outstanding <= self.depth, "pipeline over depth");
+        let id = self.next_run_id;
+        self.next_run_id += 1;
+        Ok(MockRun {
+            id,
+            cmds: run.iter().map(|&(slot, s)| (slot, s.to_string())).collect(),
+            refused: 0,
+        })
+    }
+
+    fn collect(
+        &mut self,
+        mut run: MockRun,
+        replies: &mut [Option<Reply>],
+    ) -> culi_runtime::Result<()> {
+        assert_eq!(run.id, self.expect_collect, "runs collected out of FIFO");
+        self.expect_collect += 1;
+        self.collected_runs += 1;
+        // Model a poisoned seat bouncing the whole run: the queue re-arms
+        // and re-executes internally — the scheduler never observes it,
+        // and replies still land in their slots.
+        if self.refuse_every > 0 && self.collected_runs.is_multiple_of(self.refuse_every) {
+            run.refused += 1;
+            self.refusals_seen += 1;
+        }
+        self.outstanding -= 1;
+        for (slot, input) in run.cmds {
+            assert!(replies[slot].is_none(), "slot {slot} replied twice");
+            replies[slot] = Some(reply(format!("ok({input})+r{}", run.refused)));
+        }
+        Ok(())
+    }
+
+    fn run_barrier(
+        &mut self,
+        (fail, input): Self::Barrier,
+        slot: usize,
+        replies: &mut [Option<Reply>],
+    ) -> culi_runtime::Result<()> {
+        // The drain guarantee: nothing in flight, all earlier slots done.
+        assert_eq!(self.outstanding, 0, "barrier with runs in flight");
+        assert!(
+            replies[..slot].iter().all(Option::is_some),
+            "barrier at slot {slot} before earlier replies"
+        );
+        let tag = if fail { "err" } else { "bar" };
+        replies[slot] = Some(reply(format!("{tag}({input})")));
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random streams × random queue shapes: every reply lands in its
+    /// submission slot carrying its own input, under refusals and
+    /// barriers alike.
+    #[test]
+    fn resequencing_preserves_submission_order(
+        cmds in prop::collection::vec(cmd(), 0..24),
+        max_run in 1usize..6,
+        depth in 1usize..4,
+        byte_budget in 12usize..40,
+        refuse_every in 0usize..4,
+    ) {
+        let sources: Vec<String> = cmds.iter().enumerate().map(|(k, &c)| render(k, c)).collect();
+        let inputs: Vec<&str> = sources.iter().map(String::as_str).collect();
+        let mut q = MockQueue {
+            max_run,
+            depth,
+            byte_budget,
+            refuse_every,
+            collected_runs: 0,
+            outstanding: 0,
+            next_run_id: 0,
+            expect_collect: 0,
+            refusals_seen: 0,
+        };
+        let replies = BatchScheduler::submit_batch(&mut q, &inputs).unwrap();
+        prop_assert_eq!(replies.len(), inputs.len());
+        prop_assert_eq!(q.outstanding, 0, "batch ended with runs in flight");
+        for (k, (got, src)) in replies.iter().zip(&sources).enumerate() {
+            let want = match cmds[k] {
+                Cmd::Stage(_) => format!("ok({src})+r"),
+                Cmd::Barrier => format!("bar({src})"),
+                Cmd::StageFail => format!("err({src})"),
+            };
+            prop_assert!(
+                got.output.starts_with(&want) || got.output == want,
+                "slot {} got {} want {}*", k, got.output, want
+            );
+        }
+    }
+}
+
+/// Directed: a stream engineered so every run is refused once still
+/// resequences perfectly — refusal re-arming is invisible above the
+/// queue.
+#[test]
+fn every_run_refused_once_still_resequences() {
+    let sources: Vec<String> = (0..20).map(|k| format!("s{k}:")).collect();
+    let inputs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let mut q = MockQueue {
+        max_run: 3,
+        depth: 2,
+        byte_budget: 1 << 20,
+        refuse_every: 1, // refuse every run once
+        collected_runs: 0,
+        outstanding: 0,
+        next_run_id: 0,
+        expect_collect: 0,
+        refusals_seen: 0,
+    };
+    let replies = BatchScheduler::submit_batch(&mut q, &inputs).unwrap();
+    assert!(
+        q.refusals_seen >= 7,
+        "workload must actually exercise refusal"
+    );
+    for (k, (got, src)) in replies.iter().zip(&sources).enumerate() {
+        assert_eq!(got.output, format!("ok({src})+r1"), "slot {k}");
+    }
+}

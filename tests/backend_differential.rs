@@ -10,11 +10,19 @@
 //! 2. **fork-per-section** — PR 1's whole-interpreter-clone baseline;
 //! 3. **pooled** — the persistent worker pool, one rendezvous per
 //!    command (`submit` loop);
-//! 4. **pipelined** — the same pool driven through the double-buffered
-//!    batch dispatcher (`submit_batch`).
+//! 4. **pipelined** — the same pool driven through the shared
+//!    `BatchScheduler` (`submit_batch`);
+//! 5. **fork-batched** — the fork-per-section baseline driven through
+//!    the same scheduler (PR 5: every parallel backend implements the
+//!    `ExecQueue` staging hooks);
+//! 6. **gpu×{1,2,4}** — the simulated-GPU session's batched command
+//!    buffers at one, two and four sharded devices (PR 5: round-robined
+//!    runs must be bit-identical to the single-device path and to the
+//!    modeled-sequential reference — sharding may only move modeled
+//!    time between device clocks).
 //!
 //! Every command's printed reply (error text included) must be
-//! byte-identical across all four, and every *successful* command's
+//! byte-identical across all arms, and every *successful* command's
 //! paper-model meter charges ([`culi::runtime::CommandCounters`]) must
 //! be bit-identical too — parse, master-eval, per-job and print counters
 //! alike. (Failed commands stop at backend-dependent points — a chunked
@@ -22,8 +30,8 @@
 //! so only their replies and parse counters are comparable.)
 
 use culi::core::InterpConfig;
-use culi::runtime::{CpuMode, CpuRepl, CpuReplConfig, Reply};
-use culi::sim::device::intel_e5_2620;
+use culi::runtime::{CpuMode, CpuRepl, CpuReplConfig, GpuRepl, GpuReplConfig, Reply};
+use culi::sim::device::{gtx1080, intel_e5_2620};
 
 /// splitmix64: deterministic seedable program generation.
 struct Rng(u64);
@@ -166,6 +174,20 @@ fn repl(mode: CpuMode) -> CpuRepl {
     )
 }
 
+fn gpu_repl(devices: usize) -> GpuRepl {
+    GpuRepl::launch(
+        gtx1080(),
+        GpuReplConfig {
+            interp: InterpConfig {
+                arena_capacity: 1 << 17,
+                ..Default::default()
+            },
+            device_count: devices,
+            ..Default::default()
+        },
+    )
+}
+
 fn check_program(seed: u64) {
     let mut rng = Rng(seed);
     let len = 4 + rng.below(8) as usize;
@@ -175,16 +197,27 @@ fn check_program(seed: u64) {
     let mut forked = repl(CpuMode::ForkPerSection { threads: 4 });
     let mut pooled = repl(CpuMode::Threaded { threads: 4 });
     let mut pipelined = repl(CpuMode::Threaded { threads: 4 });
+    let mut fork_batched = repl(CpuMode::ForkPerSection { threads: 4 });
+    let mut gpus: Vec<GpuRepl> = [1, 2, 4].map(gpu_repl).into_iter().collect();
     for line in PRELUDE {
         sequential.submit(line).unwrap();
         forked.submit(line).unwrap();
         pooled.submit(line).unwrap();
         pipelined.submit(line).unwrap();
+        fork_batched.submit(line).unwrap();
+        for gpu in &mut gpus {
+            gpu.submit(line).unwrap();
+        }
     }
 
     let inputs: Vec<&str> = commands.iter().map(String::as_str).collect();
     let batched = pipelined.submit_batch(&inputs).unwrap();
     assert_eq!(batched.len(), inputs.len());
+    let fork_batch = fork_batched.submit_batch(&inputs).unwrap();
+    let gpu_batches: Vec<Vec<Reply>> = gpus
+        .iter_mut()
+        .map(|gpu| gpu.submit_batch(&inputs).unwrap())
+        .collect();
 
     for (k, src) in inputs.iter().enumerate() {
         let a = sequential.submit(src).unwrap();
@@ -195,6 +228,10 @@ fn check_program(seed: u64) {
         compare_replies(&a, &b, &tag("fork-per-section"));
         compare_replies(&a, &c, &tag("pooled"));
         compare_replies(&a, d, &tag("pipelined"));
+        compare_replies(&a, &fork_batch[k], &tag("fork-batched"));
+        for (devices, replies) in [1usize, 2, 4].iter().zip(&gpu_batches) {
+            compare_replies(&a, &replies[k], &tag(&format!("gpu x{devices}")));
+        }
     }
 }
 
