@@ -160,6 +160,17 @@ impl<'i> ExecQueue<'i> for NullQueue {
         Ok(())
     }
 
+    fn run_sequential(
+        &mut self,
+        _input: &'i str,
+        _slot: usize,
+        _replies: &mut [Option<Reply>],
+    ) -> culi_runtime::Result<()> {
+        // Only reached for slots surfaced by `take_failed`; the default
+        // impl reports none, so the null queue never degrades.
+        unreachable!("NullQueue never degrades")
+    }
+
     fn run_barrier(
         &mut self,
         _barrier: &'i str,

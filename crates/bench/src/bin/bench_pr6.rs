@@ -1,0 +1,339 @@
+//! `bench_pr6` — emits the PR-6 containment baseline as JSON, and acts as
+//! the CI bench-regression gate for runaway-work containment.
+//!
+//! Measures what PR 6 added around every evaluation path:
+//!
+//! * **`fuel_overhead_pct`** — the cost of metering fuel at all: median
+//!   wall-clock of `(fib 15)` on an interpreter with a *finite* fuel
+//!   budget vs one left unlimited. The exhaustion check is a single
+//!   integer compare against a counter the evaluator charges anyway, so
+//!   the two configurations execute identical work; the PR's acceptance
+//!   bar (and the hard gate here) is **≤ 2%**.
+//! * **`hung_recovery_ms`** — wall-clock for a real-threads command whose
+//!   worker seat is deliberately hung (scripted [`FaultPlan`], watchdog
+//!   deadline 50 ms) to come back *successfully*: watchdog write-off,
+//!   seat respawn, and the hook's sequential re-run of the section on the
+//!   master. Hard-capped at 5 s (containment must be prompt, not just
+//!   eventual) and gated upward against the committed baseline.
+//! * **`containment/fuel_abort_ns`** (informational) — latency of a
+//!   deliberate runaway aborting under a 10k-step budget: how fast a
+//!   poisoned command hands the session back.
+//!
+//! ```text
+//! cargo run --release -p culi-bench --bin bench_pr6 [out.json]
+//! cargo run --release -p culi-bench --bin bench_pr6 [out.json] --gate BENCH_pr6.json [band]
+//! ```
+//!
+//! With `--gate`, fresh metrics are compared against the committed
+//! baseline: `fuel_overhead_pct` must stay ≤ 2 (absolute — the metric is
+//! already a relative quantity), `hung_recovery_ms` must stay ≤
+//! `max(baseline × band, 500 ms)` (the absolute allowance floor absorbs
+//! scheduler jitter on noisy CI runners; band default 1.6, env
+//! `CULI_BENCH_GATE_BAND`). Any regression exits non-zero so CI fails.
+
+use culi_bench::jsonout::{Json, JsonValue, ToJson};
+use culi_core::cost::FUEL_UNLIMITED;
+use culi_core::fault::{FaultKind, FaultPlan, FaultSite};
+use culi_core::{Interp, InterpConfig};
+use culi_runtime::{CpuMode, CpuRepl, CpuReplConfig};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+struct BenchRow {
+    name: String,
+    median_ns: f64,
+    samples: usize,
+}
+
+impl ToJson for BenchRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("median_ns", Json::Num(self.median_ns)),
+            ("samples", Json::UInt(self.samples as u64)),
+        ])
+    }
+}
+
+/// Runs `f` repeatedly, returning the median ns per call over `samples`
+/// batches sized to take roughly a millisecond each.
+fn measure<O>(samples: usize, mut f: impl FnMut() -> O) -> f64 {
+    let mut batch = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        if t.elapsed().as_micros() >= 1000 || batch >= 1 << 22 {
+            break;
+        }
+        batch *= 2;
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+const FIB: &str = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+
+/// Median ns for one `(fib 15)` evaluation under the given fuel budget.
+/// GC runs between evaluations on both configurations alike, so the
+/// ratio isolates the fuel machinery.
+fn fib15_median_ns(fuel_budget: u64, samples: usize) -> f64 {
+    let mut i = Interp::new(InterpConfig {
+        arena_capacity: 1 << 17,
+        fuel_budget,
+        ..Default::default()
+    });
+    i.eval_str(FIB).unwrap();
+    assert_eq!(i.eval_str("(fib 15)").unwrap(), "610");
+    measure(samples, || {
+        let out = i.eval_str("(fib 15)").unwrap();
+        culi_core::gc::collect(&mut i, &[]);
+        out
+    })
+}
+
+/// Wall-clock ms for the submit during which the scripted hang fires and
+/// the session recovers (watchdog write-off at the 50 ms deadline, seat
+/// respawn, hook-level sequential re-run). The reply must still be the
+/// correct successful one — recovery, not an error path.
+fn hung_recovery_ms() -> f64 {
+    let deadline = Duration::from_millis(50);
+    let plan = FaultPlan::single(FaultSite::WorkerSection, FaultKind::Hang, 2);
+    let mut repl = CpuRepl::launch(
+        culi_gpu_sim::device::intel_e5_2620(),
+        CpuReplConfig {
+            interp: InterpConfig {
+                arena_capacity: 1 << 17,
+                ..Default::default()
+            },
+            mode: CpuMode::Threaded { threads: 2 },
+            reply_deadline: deadline,
+            fault_plan: plan.clone(),
+            ..Default::default()
+        },
+    );
+    assert!(repl.submit(FIB).unwrap().ok);
+    let mut recovery = None;
+    // The hang is scripted at a fixed accept-event index; loop a few
+    // sections so the measurement is robust to where sync messages land.
+    for _ in 0..8 {
+        let fired_before = plan.injected_count() >= 1;
+        let t = Instant::now();
+        let reply = repl.submit("(||| 2 fib (10 11))").unwrap();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert!(reply.ok, "degraded submit must succeed: {}", reply.output);
+        assert_eq!(reply.output, "(55 89)");
+        if !fired_before && plan.injected_count() >= 1 {
+            recovery = Some(ms);
+        }
+    }
+    let ms = recovery.expect("the scripted hang never fired");
+    assert_eq!(plan.injected_count(), 1, "exactly one scripted injection");
+    assert!(
+        ms < 5000.0,
+        "hung-worker recovery must be prompt, took {ms:.0} ms"
+    );
+    ms
+}
+
+/// Fresh metrics the gate compares; returned alongside the JSON rows.
+struct Metrics {
+    fuel_overhead_pct: f64,
+    hung_recovery_ms: f64,
+}
+
+fn run_benchmarks(rows: &mut Vec<BenchRow>, samples: usize) -> Metrics {
+    // --- Fuel-check overhead on fib 15 ---------------------------------
+    // Interleave the two configurations so frequency drift hits both.
+    let mut unlimited = f64::INFINITY;
+    let mut fueled = f64::INFINITY;
+    for _ in 0..3 {
+        unlimited = unlimited.min(fib15_median_ns(FUEL_UNLIMITED, samples));
+        fueled = fueled.min(fib15_median_ns(1_000_000, samples));
+    }
+    let fuel_overhead_pct = (fueled / unlimited - 1.0) * 100.0;
+    rows.push(BenchRow {
+        name: "fuel/fib15_unlimited".into(),
+        median_ns: unlimited,
+        samples,
+    });
+    rows.push(BenchRow {
+        name: "fuel/fib15_budget_1m".into(),
+        median_ns: fueled,
+        samples,
+    });
+
+    // --- Runaway abort latency (informational) -------------------------
+    let abort_ns = {
+        let mut i = Interp::new(InterpConfig {
+            arena_capacity: 1 << 17,
+            fuel_budget: 10_000,
+            ..Default::default()
+        });
+        measure(samples, || {
+            let out = i.eval_str("(dotimes (k 1000000000) (+ k k))");
+            assert!(out.is_err(), "the runaway must abort");
+            culi_core::gc::collect(&mut i, &[]);
+        })
+    };
+    rows.push(BenchRow {
+        name: "containment/fuel_abort_ns".into(),
+        median_ns: abort_ns,
+        samples,
+    });
+
+    // --- Hung-worker recovery latency ----------------------------------
+    let hung_recovery_ms = hung_recovery_ms();
+    rows.push(BenchRow {
+        name: "containment/hung_recovery".into(),
+        median_ns: hung_recovery_ms * 1e6,
+        samples: 1,
+    });
+
+    Metrics {
+        fuel_overhead_pct,
+        hung_recovery_ms,
+    }
+}
+
+fn run_gate(baseline_path: &str, baseline: &JsonValue, band: f64, metrics: &Metrics) {
+    println!("bench gate vs {baseline_path} (band {band:.2}):");
+    let mut failed = false;
+
+    // Fuel overhead: absolute bar, not baseline-relative — the metric is
+    // already a ratio, and the acceptance criterion is the 2% ceiling.
+    if metrics.fuel_overhead_pct <= 2.0 {
+        println!(
+            "  ok   fuel_overhead_pct: fresh {:.2}% (required <= 2.00%)",
+            metrics.fuel_overhead_pct
+        );
+    } else {
+        println!(
+            "  FAIL fuel_overhead_pct: fresh {:.2}% exceeds the 2% ceiling",
+            metrics.fuel_overhead_pct
+        );
+        failed = true;
+    }
+
+    // Recovery latency: upward band with an absolute allowance floor so
+    // a noisy runner's scheduler jitter cannot fail a ~100 ms quantity.
+    match baseline.get("hung_recovery_ms").and_then(JsonValue::as_f64) {
+        Some(base) => {
+            let allowed = (base * band).max(500.0);
+            if metrics.hung_recovery_ms <= allowed {
+                println!(
+                    "  ok   hung_recovery_ms: fresh {:.0} vs baseline {base:.0} \
+                     (allowed <= {allowed:.0})",
+                    metrics.hung_recovery_ms
+                );
+            } else {
+                println!(
+                    "  FAIL hung_recovery_ms: fresh {:.0} grew past {allowed:.0} \
+                     (baseline {base:.0}, band {band:.2})",
+                    metrics.hung_recovery_ms
+                );
+                failed = true;
+            }
+        }
+        None => {
+            println!("  FAIL baseline is missing hung_recovery_ms");
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!("bench-regression gate FAILED");
+        std::process::exit(1);
+    }
+    println!("bench-regression gate passed");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr6.json".to_string());
+    let gate_baseline = args.iter().position(|a| a == "--gate").map(|i| {
+        args.get(i + 1)
+            .expect("--gate needs a baseline path")
+            .clone()
+    });
+    let band = std::env::var("CULI_BENCH_GATE_BAND")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .or_else(|| {
+            gate_baseline.as_ref().and_then(|_| {
+                args.iter()
+                    .position(|a| a == "--gate")
+                    .and_then(|i| args.get(i + 2))
+                    .and_then(|s| s.parse().ok())
+            })
+        })
+        .unwrap_or(1.6);
+
+    // Load the baseline up front: `[out.json]` defaults to the committed
+    // baseline's own name, so reading after the write below could
+    // silently compare fresh-vs-fresh.
+    let baseline = gate_baseline.as_ref().map(|path| {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        JsonValue::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+    });
+
+    let samples = 9;
+    let mut rows = Vec::new();
+    let metrics = run_benchmarks(&mut rows, samples);
+
+    let doc = Json::Obj(vec![
+        ("baseline", Json::Str("pr6".to_string())),
+        ("unit", Json::Str("nanoseconds (median)".to_string())),
+        (
+            "containment_workload",
+            Json::Str(
+                "(fib 15) under finite vs unlimited fuel; scripted 50ms-deadline worker hang \
+                 on a 2-thread pool, intel_e5_2620"
+                    .to_string(),
+            ),
+        ),
+        ("fuel_overhead_pct", Json::Num(metrics.fuel_overhead_pct)),
+        ("hung_recovery_ms", Json::Num(metrics.hung_recovery_ms)),
+        (
+            "rows",
+            Json::Arr(rows.iter().map(ToJson::to_json).collect()),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.pretty() + "\n").expect("write baseline json");
+    println!("wrote {out_path}");
+    for r in &rows {
+        println!("{:<56} {:>14.1} ns", r.name, r.median_ns);
+    }
+    println!(
+        "fuel-check overhead on fib 15: {:.2}%",
+        metrics.fuel_overhead_pct
+    );
+    println!(
+        "hung-worker recovery latency: {:.0} ms",
+        metrics.hung_recovery_ms
+    );
+    assert!(
+        metrics.fuel_overhead_pct <= 2.0,
+        "fuel metering must be invisible (<=2% on fib 15), measured {:.2}%",
+        metrics.fuel_overhead_pct
+    );
+
+    if let (Some(baseline_path), Some(baseline)) = (gate_baseline, baseline) {
+        run_gate(&baseline_path, &baseline, band, &metrics);
+    }
+}

@@ -45,6 +45,10 @@ pub struct NodeArena {
     /// cost O(high slot), not O(capacity) (a 1 Mi-slot arena no longer
     /// pays ~ms sweeps for a few-thousand-node session).
     high_slot: usize,
+    /// Policy cap on live nodes (distinct from the physical capacity):
+    /// allocation fails with [`CuliError::HeapLimitExceeded`] at this
+    /// occupancy. `usize::MAX` (the default) disables the cap.
+    node_limit: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -80,7 +84,15 @@ impl NodeArena {
             live: 0,
             high_water: 0,
             high_slot: 0,
+            node_limit: usize::MAX,
         }
+    }
+
+    /// Sets the live-node policy cap (see [`NodeArena::alloc`]). The
+    /// interpreter applies [`crate::interp::InterpConfig::heap_limit`]
+    /// here after boot, so builtin registration is never subject to it.
+    pub fn set_node_limit(&mut self, limit: usize) {
+        self.node_limit = limit;
     }
 
     /// Total slot count (the compile-time array length in the C original).
@@ -109,6 +121,11 @@ impl NodeArena {
     /// even on a heavily fragmented arena (the seed implementation's
     /// wrapping linear scan degraded to O(capacity) there).
     pub fn alloc(&mut self, node: Node, meter: &mut Meter) -> Result<NodeId> {
+        if self.live >= self.node_limit {
+            return Err(CuliError::HeapLimitExceeded {
+                limit: self.node_limit,
+            });
+        }
         let idx = self.free_head;
         if idx == FREE_NONE {
             return Err(CuliError::ArenaFull {
@@ -526,6 +543,24 @@ mod tests {
         a.free(n0, &mut m);
         let live: Vec<NodeId> = a.iter_live().collect();
         assert_eq!(live, vec![n1]);
+    }
+
+    #[test]
+    fn node_limit_caps_live_occupancy_and_lifts_after_free() {
+        let (mut a, mut m) = arena(8);
+        a.set_node_limit(2);
+        let n0 = a.alloc(Node::int(0), &mut m).unwrap();
+        a.alloc(Node::int(1), &mut m).unwrap();
+        assert_eq!(
+            a.alloc(Node::int(2), &mut m),
+            Err(CuliError::HeapLimitExceeded { limit: 2 }),
+            "cap is on live nodes, not total allocations"
+        );
+        a.free(n0, &mut m);
+        assert!(
+            a.alloc(Node::int(3), &mut m).is_ok(),
+            "freeing lifts the cap"
+        );
     }
 
     #[test]

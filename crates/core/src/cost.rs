@@ -97,12 +97,36 @@ impl Counters {
     }
 }
 
+/// Fuel budget value meaning "no limit".
+pub const FUEL_UNLIMITED: u64 = u64::MAX;
+
 /// The meter carried by the interpreter. A thin wrapper so call sites read
 /// as intent (`meter.count_alloc()`) and so future backends can hook counts
 /// without touching the interpreter.
-#[derive(Debug, Clone, Default)]
+///
+/// The meter also carries the **fuel budget**: an absolute `eval_steps`
+/// deadline armed once per command. The exhaustion check is a single
+/// integer compare against the counter evaluation charges anyway, so the
+/// unlimited case (deadline `u64::MAX`) costs ~0.
+#[derive(Debug, Clone)]
 pub struct Meter {
     counters: Counters,
+    /// The per-command budget last armed (in evaluator steps); kept for
+    /// error reporting. [`FUEL_UNLIMITED`] means no limit.
+    fuel_budget: u64,
+    /// Absolute `eval_steps` value at which the current command aborts.
+    fuel_deadline: u64,
+}
+
+impl Default for Meter {
+    fn default() -> Self {
+        // NOT derivable: a zero deadline would mean "always exhausted".
+        Self {
+            counters: Counters::default(),
+            fuel_budget: FUEL_UNLIMITED,
+            fuel_deadline: FUEL_UNLIMITED,
+        }
+    }
 }
 
 impl Meter {
@@ -116,9 +140,37 @@ impl Meter {
         self.counters
     }
 
-    /// Resets every counter to zero.
+    /// Resets every counter to zero and re-arms the current budget from
+    /// the (now zero) step count.
     pub fn reset(&mut self) {
         self.counters = Counters::default();
+        let budget = self.fuel_budget;
+        self.arm_fuel(budget);
+    }
+
+    /// Arms a fresh per-command fuel budget: evaluation aborts with
+    /// [`crate::CuliError::FuelExhausted`] once `budget` more evaluator
+    /// steps have been charged. Called at command boundaries (never
+    /// mid-command, so a `|||` job cannot re-arm its section's budget).
+    pub fn arm_fuel(&mut self, budget: u64) {
+        self.fuel_budget = budget;
+        self.fuel_deadline = if budget == FUEL_UNLIMITED {
+            FUEL_UNLIMITED
+        } else {
+            self.counters.eval_steps.saturating_add(budget)
+        };
+    }
+
+    /// The budget last armed (for error reporting).
+    pub fn fuel_budget(&self) -> u64 {
+        self.fuel_budget
+    }
+
+    /// `true` once the armed budget is spent. One compare; in the
+    /// unlimited case the deadline is `u64::MAX` and this is never true.
+    #[inline]
+    pub fn fuel_exhausted(&self) -> bool {
+        self.counters.eval_steps >= self.fuel_deadline
     }
 
     #[inline]
@@ -230,5 +282,41 @@ mod tests {
         m.arith_op();
         m.reset();
         assert_eq!(m.snapshot(), Counters::default());
+    }
+
+    #[test]
+    fn fuel_defaults_to_unlimited() {
+        let m = Meter::new();
+        assert!(!m.fuel_exhausted());
+        assert_eq!(m.fuel_budget(), FUEL_UNLIMITED);
+    }
+
+    #[test]
+    fn fuel_deadline_counts_eval_steps_from_arming() {
+        let mut m = Meter::new();
+        m.eval_step();
+        m.arm_fuel(2);
+        assert!(!m.fuel_exhausted());
+        m.eval_step();
+        assert!(!m.fuel_exhausted());
+        m.eval_step();
+        assert!(m.fuel_exhausted(), "deadline is relative to arming point");
+        // Non-step charges never consume fuel.
+        m.arm_fuel(1);
+        m.arith_op();
+        m.node_read();
+        assert!(!m.fuel_exhausted());
+    }
+
+    #[test]
+    fn reset_rearms_the_current_budget() {
+        let mut m = Meter::new();
+        m.arm_fuel(1);
+        m.eval_step();
+        assert!(m.fuel_exhausted());
+        m.reset();
+        assert!(!m.fuel_exhausted(), "reset re-arms from step zero");
+        m.eval_step();
+        assert!(m.fuel_exhausted());
     }
 }

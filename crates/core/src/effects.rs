@@ -310,6 +310,23 @@ fn application_is_pure(
             shadowed.pop();
             ok
         }
+        // (mapcar fn list…) / (funcall fn arg…): the higher-order builtins
+        // stay impure in the table (they apply an arbitrary function
+        // value), but an application whose function operand is *visibly*
+        // pure — a symbol resolving to a known-pure builtin, or a literal
+        // `(lambda …)` with a pure body — runs no unclassified code, so it
+        // is re-admitted structurally when every other operand is pure.
+        // `apply` stays impure: its trailing spread list makes the
+        // callable's arity/shape value-dependent.
+        "mapcar" | "funcall" => {
+            let Some(fn_operand) = args else {
+                return false; // malformed: no function operand
+            };
+            if !callable_operand_is_pure(interp, env, fn_operand, shadowed) {
+                return false;
+            }
+            siblings_pure(interp, env, interp.arena.get(fn_operand).next, shadowed)
+        }
         // (quasiquote template): an unquote-free template expands by pure
         // node copying (exactly like `quote` plus allocation), so it is
         // stageable. Templates carrying any unquote hole are rejected
@@ -330,6 +347,89 @@ fn application_is_pure(
             BuiltinEffect::Impure => false,
         },
     }
+}
+
+/// `true` when the function operand of a higher-order builtin
+/// (`mapcar`/`funcall`) is provably a pure callable: a non-shadowed
+/// symbol resolving to a [`BuiltinEffect::Pure`] builtin, or a literal
+/// `(lambda (params…) body…)` whose body is pure with the parameters
+/// shadowed (they are runtime-bound, so applications *through* them are
+/// refused exactly like loop variables). Anything else — user forms,
+/// macros, unbound symbols, computed callables — is rejected.
+fn callable_operand_is_pure(
+    interp: &Interp,
+    env: EnvId,
+    f: NodeId,
+    shadowed: &mut Vec<StrId>,
+) -> bool {
+    let n = *interp.arena.get(f);
+    let first = match (n.ty, n.payload) {
+        (NodeType::Symbol, Payload::Text(sid)) => {
+            if shadowed.contains(&sid) {
+                return false; // runtime-rebound: could hold anything
+            }
+            let Some(v) = lookup_quiet(interp, env, sid) else {
+                return false; // unbound: nothing known about the callable
+            };
+            let vn = *interp.arena.get(v);
+            return matches!(
+                (vn.ty, vn.payload),
+                (NodeType::Function, Payload::Builtin(b))
+                    if builtin_effect(interp.builtins.name(b)) == BuiltinEffect::Pure
+            );
+        }
+        (
+            NodeType::List | NodeType::Expression,
+            Payload::List {
+                first: Some(first), ..
+            },
+        ) => first,
+        _ => return false,
+    };
+    // Literal (lambda (params…) body…): the head must resolve to the
+    // `lambda` builtin itself.
+    let h = *interp.arena.get(first);
+    match (h.ty, h.payload) {
+        (NodeType::Symbol, Payload::Text(sid)) if !shadowed.contains(&sid) => {
+            let Some(v) = lookup_quiet(interp, env, sid) else {
+                return false;
+            };
+            let vn = *interp.arena.get(v);
+            match (vn.ty, vn.payload) {
+                (NodeType::Function, Payload::Builtin(b))
+                    if interp.builtins.name(b) == "lambda" => {}
+                _ => return false,
+            }
+        }
+        _ => return false,
+    }
+    let Some(params) = h.next else {
+        return false; // malformed lambda: no parameter list
+    };
+    let p = *interp.arena.get(params);
+    let mut cur = match (p.ty, p.payload) {
+        (NodeType::List, Payload::List { first, .. }) => first,
+        _ => return false,
+    };
+    let mut pushed = 0usize;
+    let mut params_ok = true;
+    while let Some(k) = cur {
+        let kn = *interp.arena.get(k);
+        match (kn.ty, kn.payload) {
+            (NodeType::Symbol, Payload::Text(s)) => {
+                shadowed.push(s);
+                pushed += 1;
+            }
+            _ => {
+                params_ok = false;
+                break;
+            }
+        }
+        cur = kn.next;
+    }
+    let ok = params_ok && siblings_pure(interp, env, p.next, shadowed);
+    shadowed.truncate(shadowed.len() - pushed);
+    ok
 }
 
 /// `true` when the subtree under `id` contains no symbol named `unquote`
@@ -504,6 +604,46 @@ mod tests {
         ] {
             assert!(!classify(&mut i, src), "{src}");
         }
+    }
+
+    #[test]
+    fn mapcar_funcall_over_pure_callables_are_pure() {
+        let mut i = interp_with_prelude();
+        // The table keeps mapcar/funcall impure; these are the structural
+        // re-admissions: visibly-pure callable + pure operands.
+        for src in [
+            "(mapcar 1+ xs)",
+            "(mapcar abs (list -1 g))",
+            "(mapcar (lambda (x) (* x x)) xs)",
+            "(funcall + 1 2)",
+            "(funcall (lambda (a b) (+ a b)) 1 g)",
+            "(mapcar (lambda (x) (mapcar 1+ x)) (list xs xs))",
+        ] {
+            assert!(classify(&mut i, src), "{src}");
+        }
+        for src in [
+            "(mapcar f xs)", // user form mutates g
+            "(funcall f 1)",
+            "(mapcar (lambda (x) (f x)) xs)", // impure lambda body
+            "(mapcar (lambda (x) (x 1)) xs)", // application through a param
+            "(mapcar nosuchfn xs)",           // unbound callable
+            "(funcall (f 1) 2)",              // computed callable
+            "(mapcar 1+ (f 1))",              // impure list operand
+            "(funcall quote 1)",              // PureUnevaluated is not Pure
+            "(apply + xs)",                   // apply stays unclassified
+            "(mapcar)",                       // malformed: no operands
+            "(mapcar (lambda) xs)",           // malformed lambda
+            "(dolist (h (list f)) (funcall h 1))", // shadowed callable
+        ] {
+            assert!(!classify(&mut i, src), "{src}");
+        }
+        // As section operands: the pure shapes stage, the rest barrier.
+        assert!(stageable(&mut i, "(||| 2 + (mapcar 1+ xs) (3 4))"));
+        assert!(stageable(
+            &mut i,
+            "(||| 2 + (funcall (lambda (a) (list a a)) g) (3 4))"
+        ));
+        assert!(!stageable(&mut i, "(||| 2 + (mapcar f xs) (3 4))"));
     }
 
     #[test]

@@ -86,8 +86,83 @@ pub enum CuliError {
     /// Carries the backend's rendered diagnosis; runtimes re-map this to
     /// their own error types.
     Backend(String),
+    /// The command's fuel budget ([`crate::interp::InterpConfig::fuel_budget`])
+    /// ran out mid-evaluation. The interpreter is left GC-consistent and the
+    /// meter counters are valid up to the abort point.
+    FuelExhausted {
+        /// The per-command budget (in evaluator steps) that was exceeded.
+        budget: u64,
+    },
+    /// The arena's live-node cap
+    /// ([`crate::interp::InterpConfig::heap_limit`]) was hit. Unlike
+    /// [`CuliError::ArenaFull`] (physical capacity), this is a configured
+    /// policy limit containing runaway allocation.
+    HeapLimitExceeded {
+        /// The configured live-node limit that was exceeded.
+        limit: usize,
+    },
     /// Internal invariant violation — always a bug, never user error.
     Internal(&'static str),
+}
+
+/// Stable, string-free classification of every error a CuLi session can
+/// report, carried on [`crate::Result`]-adjacent reply types so clients
+/// (and the coming session server) can branch on failure class without
+/// matching rendered messages. Shared by all three layers: `culi_core`
+/// errors, `culi_runtime` errors and `culi-gpu-sim` device errors all
+/// map into these codes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// Not an error (successful reply). `Default` so zero-initialized
+    /// replies classify as failed-unclassified only via `ok == false`.
+    #[default]
+    Ok,
+    /// The input did not parse (unbalanced parens, unterminated string).
+    Parse,
+    /// A user-program error: wrong types/arity, division by zero,
+    /// overflow, `|||` misuse, a failed worker job, host I/O.
+    User,
+    /// The per-command fuel budget ran out ([`CuliError::FuelExhausted`]).
+    Fuel,
+    /// A configured resource cap was hit (heap limit, arena capacity,
+    /// recursion depth, output buffer).
+    Limit,
+    /// A parallel backend failed but the scheduler degraded gracefully:
+    /// the reply was produced by the sequential reference instead.
+    Degraded,
+    /// A device-level failure (livelock, protocol violation) that could
+    /// not be recovered.
+    Device,
+    /// The session was already shut down.
+    Closed,
+    /// Internal invariant violation — always a bug.
+    Internal,
+}
+
+impl CuliError {
+    /// The stable [`ErrorCode`] this error classifies under.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            Self::UnterminatedString { .. }
+            | Self::UnbalancedClose { .. }
+            | Self::UnbalancedOpen { .. } => ErrorCode::Parse,
+            Self::ArenaFull { .. }
+            | Self::RecursionLimit { .. }
+            | Self::OutputFull { .. }
+            | Self::HeapLimitExceeded { .. } => ErrorCode::Limit,
+            Self::FuelExhausted { .. } => ErrorCode::Fuel,
+            Self::Type { .. }
+            | Self::Arity { .. }
+            | Self::DivByZero
+            | Self::IntOverflow
+            | Self::TooManyWorkers { .. }
+            | Self::ParallelArgShort { .. }
+            | Self::WorkerFailed { .. }
+            | Self::Io(_) => ErrorCode::User,
+            Self::Backend(_) => ErrorCode::Device,
+            Self::Internal(_) => ErrorCode::Internal,
+        }
+    }
 }
 
 impl fmt::Display for CuliError {
@@ -147,6 +222,12 @@ impl fmt::Display for CuliError {
             }
             Self::Io(msg) => write!(f, "file i/o error: {msg}"),
             Self::Backend(msg) => write!(f, "parallel backend error: {msg}"),
+            Self::FuelExhausted { budget } => {
+                write!(f, "fuel budget exhausted ({budget} steps)")
+            }
+            Self::HeapLimitExceeded { limit } => {
+                write!(f, "heap limit exceeded ({limit} live nodes)")
+            }
             Self::Internal(what) => write!(f, "internal interpreter error: {what}"),
         }
     }
@@ -193,10 +274,44 @@ mod tests {
                 },
                 "99",
             ),
+            (CuliError::FuelExhausted { budget: 1000 }, "1000"),
+            (CuliError::HeapLimitExceeded { limit: 512 }, "512"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
             assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
         }
+    }
+
+    #[test]
+    fn error_codes_classify_by_failure_class() {
+        assert_eq!(
+            CuliError::UnbalancedOpen { depth: 1 }.code(),
+            ErrorCode::Parse
+        );
+        assert_eq!(CuliError::DivByZero.code(), ErrorCode::User);
+        assert_eq!(
+            CuliError::WorkerFailed {
+                worker: 0,
+                message: String::new()
+            }
+            .code(),
+            ErrorCode::User
+        );
+        assert_eq!(
+            CuliError::FuelExhausted { budget: 1 }.code(),
+            ErrorCode::Fuel
+        );
+        assert_eq!(
+            CuliError::HeapLimitExceeded { limit: 1 }.code(),
+            ErrorCode::Limit
+        );
+        assert_eq!(
+            CuliError::ArenaFull { capacity: 1 }.code(),
+            ErrorCode::Limit
+        );
+        assert_eq!(CuliError::Backend(String::new()).code(), ErrorCode::Device);
+        assert_eq!(CuliError::Internal("x").code(), ErrorCode::Internal);
+        assert_eq!(ErrorCode::default(), ErrorCode::Ok);
     }
 }

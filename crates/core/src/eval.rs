@@ -107,6 +107,14 @@ pub fn eval(
         });
     }
     interp.meter.eval_step();
+    // Fuel is checked *after* charging, at the one point every unbounded
+    // loop must pass through (any runaway program re-enters `eval`), so
+    // counters stay identical to an un-limited run up to the abort.
+    if interp.meter.fuel_exhausted() {
+        return Err(CuliError::FuelExhausted {
+            budget: interp.meter.fuel_budget(),
+        });
+    }
     let n = *interp.arena.read(node, &mut interp.meter);
     match n.ty {
         NodeType::Symbol => {

@@ -29,6 +29,16 @@ pub struct InterpConfig {
     pub output_capacity: usize,
     /// Maximum parse nesting and evaluation recursion depth.
     pub max_depth: usize,
+    /// Per-command fuel budget in evaluator steps: evaluation aborts with
+    /// [`crate::CuliError::FuelExhausted`] once a command has charged this
+    /// many. [`crate::cost::FUEL_UNLIMITED`] (the default) disables the
+    /// budget; the check is then a single never-true compare.
+    pub fuel_budget: u64,
+    /// Live-node cap (policy limit, distinct from `arena_capacity`'s
+    /// physical bound): allocation fails with
+    /// [`crate::CuliError::HeapLimitExceeded`] once this many nodes are
+    /// live. `usize::MAX` (the default) disables the cap.
+    pub heap_limit: usize,
 }
 
 impl Default for InterpConfig {
@@ -37,6 +47,8 @@ impl Default for InterpConfig {
             arena_capacity: 1 << 20,
             output_capacity: 1 << 16,
             max_depth: 512,
+            fuel_budget: crate::cost::FUEL_UNLIMITED,
+            heap_limit: usize::MAX,
         }
     }
 }
@@ -153,6 +165,9 @@ impl Interp {
         // forked from a fully-booted instance. Start the sync log here so
         // only post-boot mutations travel to warm worker forks.
         interp.envs.start_sync_log();
+        // The heap cap is a *policy* limit on user programs; applying it
+        // only after boot means builtin registration can never trip it.
+        interp.arena.set_node_limit(interp.config.heap_limit);
         interp
     }
 
@@ -331,6 +346,7 @@ impl Interp {
     /// Like [`Interp::eval_str`] but with an explicit parallel backend for
     /// `|||` expressions.
     pub fn eval_str_with(&mut self, src: &str, hook: &mut dyn ParallelHook) -> Result<String> {
+        self.meter.arm_fuel(self.config.fuel_budget);
         let forms = parse(self, src.as_bytes())?;
         let mut last = None;
         for form in forms {
@@ -397,6 +413,40 @@ mod tests {
         let copy = i.copy_for_list(kids[0]).unwrap();
         assert!(i.arena.get(copy).next.is_none());
         assert_eq!(i.arena.get(copy).payload, i.arena.get(kids[0]).payload);
+    }
+
+    #[test]
+    fn fuel_budget_aborts_runaway_loops_and_interp_survives() {
+        let mut i = Interp::new(InterpConfig {
+            fuel_budget: 50_000,
+            ..Default::default()
+        });
+        // A deliberate runaway: a billion iterations would spin forever
+        // without the budget.
+        match i.eval_str("(dotimes (i 1000000000) (+ i i))") {
+            Err(crate::CuliError::FuelExhausted { budget: 50_000 }) => {}
+            other => panic!("expected FuelExhausted, got {other:?}"),
+        }
+        // The abort leaves the interpreter reusable: the next command gets
+        // a fresh budget and evaluates normally.
+        assert_eq!(i.eval_str("(+ 1 2)").unwrap(), "3");
+        crate::gc::collect(&mut i, &[]);
+        assert_eq!(i.eval_str("(* 6 7)").unwrap(), "42");
+    }
+
+    #[test]
+    fn heap_limit_contains_runaway_allocation() {
+        let mut i = Interp::new(InterpConfig {
+            heap_limit: 4096,
+            ..Default::default()
+        });
+        match i.eval_str("(dotimes (i 1000000) (list i i i i))") {
+            Err(crate::CuliError::HeapLimitExceeded { limit: 4096 }) => {}
+            other => panic!("expected HeapLimitExceeded, got {other:?}"),
+        }
+        // GC reclaims the aborted command's garbage and the session lives.
+        crate::gc::collect(&mut i, &[]);
+        assert_eq!(i.eval_str("(+ 1 2)").unwrap(), "3");
     }
 
     #[test]

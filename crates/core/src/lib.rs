@@ -31,6 +31,7 @@ pub mod effects;
 pub mod env;
 pub mod error;
 pub mod eval;
+pub mod fault;
 pub mod gc;
 pub mod hostio;
 pub mod interp;
@@ -41,7 +42,8 @@ pub mod printer;
 pub mod strings;
 pub mod types;
 
-pub use error::{CuliError, Result};
+pub use error::{CuliError, ErrorCode, Result};
 pub use eval::{eval, ParallelHook, SequentialHook};
+pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use interp::{Interp, InterpConfig};
 pub use types::{BindingId, BuiltinId, EnvId, NodeId, StrId};

@@ -1,0 +1,119 @@
+//! Abort safety under runaway containment (PR 6).
+//!
+//! A fuel or heap abort must be a *clean* event: the interpreter stays
+//! reusable, GC reclaims the aborted command's garbage, the meter stays
+//! monotone, and — crucially for the differential fault harness — a
+//! fueled run that *completes* is byte-identical (output and every
+//! counter) to an unlimited run, so containment is invisible unless it
+//! actually fires. These properties are what lets every backend arm
+//! budgets unconditionally.
+
+use culi_core::{gc, CuliError, Interp, InterpConfig};
+use proptest::prelude::*;
+
+/// A deterministic little program drawn from a seed: bounded loops,
+/// accumulator mutation, list building, and shallow recursion — enough
+/// variety to hit the evaluator's alloc/lookup/apply paths with widely
+/// varying step counts.
+fn program(seed: u64) -> String {
+    let n = 1 + seed % 60;
+    match seed % 5 {
+        0 => format!("(setq acc 0) (dotimes (i {n}) (setq acc (+ acc i))) acc"),
+        1 => format!(
+            "(defun f{s} (k) (if (< k 2) k (+ (f{s} (- k 1)) (f{s} (- k 2))))) (f{s} {m})",
+            s = seed % 7,
+            m = 3 + seed % 10
+        ),
+        2 => format!("(setq xs nil) (dotimes (i {n}) (setq xs (cons i xs))) (car xs)"),
+        3 => format!("(* {} (+ {} {}))", seed % 9, seed % 13, seed % 17),
+        _ => format!("(dotimes (i {n}) (list i i i)) (+ {n} 1)"),
+    }
+}
+
+fn interp(fuel_budget: u64) -> Interp {
+    Interp::new(InterpConfig {
+        arena_capacity: 1 << 14,
+        fuel_budget,
+        ..Default::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever a random (program, budget) pair does — complete, exhaust
+    /// its fuel, or fail some other way — the abort is clean: the meter
+    /// never runs backwards, the very next command evaluates normally on
+    /// a fresh budget, and a GC leaves a working session.
+    #[test]
+    fn any_abort_leaves_the_interpreter_reusable(
+        seed in 0u64..4096,
+        budget in 8u64..4000,
+    ) {
+        let mut i = interp(budget);
+        let before = i.meter.snapshot();
+        let outcome = i.eval_str(&program(seed));
+        let after = i.meter.snapshot();
+        // delta_since underflows (and panics in debug) if any counter ran
+        // backwards, so computing it doubles as the monotonicity check.
+        let spent = after.delta_since(&before);
+        prop_assert!(after.total() >= before.total(), "meter ran backwards");
+        // Fuel exhaustion reports the armed budget verbatim; the abort
+        // fires promptly, not after unbounded overshoot.
+        if let Err(CuliError::FuelExhausted { budget: b }) = &outcome {
+            prop_assert_eq!(*b, budget);
+            prop_assert!(
+                spent.eval_steps <= budget + 4,
+                "abort overshot the budget: {} steps vs {budget}",
+                spent.eval_steps
+            );
+        }
+        // The session survives regardless of how the command ended.
+        prop_assert_eq!(i.eval_str("(+ 1 2)").unwrap(), "3");
+        gc::collect(&mut i, &[]);
+        prop_assert_eq!(i.eval_str("(* 6 7)").unwrap(), "42");
+    }
+
+    /// Containment is invisible when it does not fire: a fueled run that
+    /// completes produces the same output and the exact same counter
+    /// deltas as an unlimited interpreter running the same program.
+    #[test]
+    fn completed_fueled_runs_match_unlimited_runs_exactly(seed in 0u64..4096) {
+        let src = program(seed);
+        let mut free = interp(culi_core::cost::FUEL_UNLIMITED);
+        let f0 = free.meter.snapshot();
+        let reference = free.eval_str(&src);
+        let free_delta = free.meter.snapshot().delta_since(&f0);
+
+        let mut fueled = interp(1_000_000);
+        let c0 = fueled.meter.snapshot();
+        let contained = fueled.eval_str(&src);
+        let fueled_delta = fueled.meter.snapshot().delta_since(&c0);
+
+        match (reference, contained) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "outputs diverged for {}", src),
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "outcomes diverged: {:?} vs {:?}", a, b),
+        }
+        prop_assert_eq!(free_delta, fueled_delta, "fuel checking leaked into counters");
+    }
+
+    /// Heap aborts compose with fuel aborts: under a tight heap limit an
+    /// allocation-heavy program dies with `HeapLimitExceeded`, GC reclaims
+    /// the wreckage, and the arena is back to a usable session.
+    #[test]
+    fn heap_aborts_are_reclaimed_by_gc(limit in 512usize..2048) {
+        let mut i = Interp::new(InterpConfig {
+            arena_capacity: 1 << 14,
+            heap_limit: limit,
+            ..Default::default()
+        });
+        match i.eval_str("(dotimes (i 1000000) (list i i i i))") {
+            Err(CuliError::HeapLimitExceeded { limit: l }) => prop_assert_eq!(l, limit),
+            other => prop_assert!(false, "expected HeapLimitExceeded, got {other:?}"),
+        }
+        gc::collect(&mut i, &[]);
+        prop_assert_eq!(i.eval_str("(+ 1 2)").unwrap(), "3");
+        prop_assert_eq!(i.eval_str("(list 1 2 3)").unwrap(), "(1 2 3)");
+    }
+}

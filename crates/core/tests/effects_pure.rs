@@ -44,10 +44,19 @@ enum Expr {
     /// form must classify pure (no rendered expression ever contains an
     /// `unquote` marker) and expand effect-free on master and seat alike.
     Quasi(Box<Expr>),
+    /// `(mapcar 1+ <e>)`: pure-builtin callable — pure iff `<e>` is.
+    MapcarBuiltin(Box<Expr>),
+    /// `(mapcar (lambda (w) (+ w <a>)) <b>)`: literal lambda with a
+    /// generated body — pure iff both payloads are.
+    MapcarLambda(Box<Expr>, Box<Expr>),
+    /// `(funcall + <a> <b>)`: pure-builtin callable via funcall.
+    FuncallAdd(Box<Expr>, Box<Expr>),
     // Impure constructs — must classify impure wherever they appear.
     SetG(Box<Expr>),
     CallF(Box<Expr>),
     Eval(Box<Expr>),
+    /// `(mapcar f <e>)`: user-form callable — impure wherever it appears.
+    MapcarF(Box<Expr>),
 }
 
 fn render(e: &Expr, out: &mut String) {
@@ -95,9 +104,19 @@ fn render(e: &Expr, out: &mut String) {
         }
         Expr::Quote(a) => render1(out, "quote", a),
         Expr::Quasi(a) => render1(out, "quasiquote", a),
+        Expr::MapcarBuiltin(a) => render1(out, "mapcar 1+", a),
+        Expr::MapcarLambda(a, b) => {
+            out.push_str("(mapcar (lambda (w) (+ w ");
+            render(a, out);
+            out.push_str(")) ");
+            render(b, out);
+            out.push(')');
+        }
+        Expr::FuncallAdd(a, b) => render2(out, "funcall +", a, b),
         Expr::SetG(a) => render1(out, "setq g", a),
         Expr::CallF(a) => render1(out, "f", a),
         Expr::Eval(a) => render1(out, "eval", a),
+        Expr::MapcarF(a) => render1(out, "mapcar f", a),
     }
 }
 
@@ -145,9 +164,15 @@ fn expr() -> impl Strategy<Value = Expr> {
             (any::<u8>(), inner.clone()).prop_map(|(n, b)| Expr::Dotimes(n, Box::new(b))),
             inner.clone().prop_map(|a| Expr::Quote(Box::new(a))),
             inner.clone().prop_map(|a| Expr::Quasi(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::MapcarBuiltin(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::MapcarLambda(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::FuncallAdd(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| Expr::SetG(Box::new(a))),
             inner.clone().prop_map(|a| Expr::CallF(Box::new(a))),
             inner.clone().prop_map(|a| Expr::Eval(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::MapcarF(Box::new(a))),
         ]
     })
 }
@@ -226,6 +251,10 @@ fn impure_constructs_never_classify_pure() {
         "(list (f 1))",
         "(if g (setq g 0) 1)",
         "(dotimes (k 3) (f k))",
+        "(mapcar f xs)",
+        "(funcall f 1)",
+        "(mapcar (lambda (w) (f w)) xs)",
+        "(mapcar (lambda (w) (w 1)) xs)",
     ] {
         let forms = culi_core::parser::parse(&mut i, src.as_bytes()).unwrap();
         assert!(
@@ -253,6 +282,12 @@ fn representative_computed_operands_classify_pure() {
         "(quasiquote (1 (2 (3))))",
         "(quasiquote (setq g 1))",
         "(list `(a b) g)",
+        // PR 6 (ROADMAP "classifier next ring"): mapcar/funcall over
+        // visibly-pure callables run no unclassified code.
+        "(mapcar 1+ xs)",
+        "(mapcar (lambda (w) (* w w)) xs)",
+        "(funcall + g 1)",
+        "(list (mapcar abs xs) g)",
     ] {
         let forms = culi_core::parser::parse(&mut i, src.as_bytes()).unwrap();
         assert!(

@@ -62,6 +62,9 @@ pub enum Event {
     },
     /// Host cleared `dev_active`.
     HostTerminated,
+    /// The device dropped its reply (injected fault); the host's
+    /// handshake watchdog reclaimed the buffer.
+    ReplyDropped,
 }
 
 /// The shared command buffer.
@@ -79,6 +82,9 @@ pub struct CommandBuffer {
     trace: Vec<Event>,
     /// Pending device-side input (set between host write and device take).
     pending_input: Option<Vec<u8>>,
+    /// Fault injection: when armed, the next [`CommandBuffer::device_reply`]
+    /// is dropped instead of published (one-shot).
+    drop_next_reply: bool,
 }
 
 impl CommandBuffer {
@@ -92,7 +98,18 @@ impl CommandBuffer {
             transfer_ns: 0,
             trace: Vec::new(),
             pending_input: None,
+            drop_next_reply: false,
         }
+    }
+
+    /// Arms a one-shot injected fault: the next [`CommandBuffer::device_reply`]
+    /// is *dropped* — the device's output never becomes visible, the
+    /// host's handshake watchdog times out and forcibly reclaims the
+    /// buffer (modeled as one flag-visibility round trip), and the call
+    /// returns [`SimError::ReplyDropped`]. The buffer ends host-owned, so
+    /// the caller can retry the whole upload.
+    pub fn arm_reply_drop(&mut self) {
+        self.drop_next_reply = true;
     }
 
     /// The buffer's capacity in bytes (either direction). Batch
@@ -171,6 +188,17 @@ impl CommandBuffer {
         }
         if output.len() > self.capacity {
             return Err(SimError::Protocol("output exceeds command buffer capacity"));
+        }
+        if self.drop_next_reply {
+            // Injected fault: the reply is lost in flight. The host's
+            // watchdog reclaims the buffer (one extra flag round trip), so
+            // the session can re-drive the handshake from the top.
+            self.drop_next_reply = false;
+            self.dev_sync = false;
+            self.data = Vec::new();
+            self.transfer_ns += FLAG_VISIBILITY_NS;
+            self.trace.push(Event::ReplyDropped);
+            return Err(SimError::ReplyDropped);
         }
         self.data = output.to_vec();
         self.dev_sync = false;
@@ -264,6 +292,34 @@ mod tests {
         cb.host_terminate();
         assert!(!cb.device_active());
         assert!(matches!(cb.host_write(b"x"), Err(SimError::Protocol(_))));
+    }
+
+    #[test]
+    fn dropped_reply_leaves_the_buffer_retryable() {
+        let mut cb = CommandBuffer::new(64);
+        cb.host_write(b"(+ 1 2)").unwrap();
+        cb.device_take().unwrap();
+        cb.arm_reply_drop();
+        assert!(matches!(cb.device_reply(b"3"), Err(SimError::ReplyDropped)));
+        // Host owns the buffer again: the whole handshake can be retried,
+        // and the drop was one-shot.
+        assert_eq!(cb.owner(), Owner::Host);
+        cb.host_write(b"(+ 1 2)").unwrap();
+        cb.device_take().unwrap();
+        cb.device_reply(b"3").unwrap();
+        assert_eq!(cb.host_read().unwrap(), b"3");
+    }
+
+    #[test]
+    fn reply_drop_is_one_shot() {
+        let mut cb = CommandBuffer::new(64);
+        cb.arm_reply_drop();
+        cb.host_write(b"x").unwrap();
+        cb.device_take().unwrap();
+        assert!(matches!(cb.device_reply(b"y"), Err(SimError::ReplyDropped)));
+        cb.host_write(b"x").unwrap();
+        cb.device_take().unwrap();
+        cb.device_reply(b"y").unwrap();
     }
 
     #[test]

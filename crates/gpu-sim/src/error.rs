@@ -54,6 +54,11 @@ pub enum SimError {
     },
     /// The command buffer protocol was violated.
     Protocol(&'static str),
+    /// The device failed to publish a reply (injected fault): the host's
+    /// handshake watchdog reclaimed the buffer. Unlike
+    /// [`SimError::Protocol`], the buffer is left host-owned, so the run
+    /// can be retried.
+    ReplyDropped,
     /// A section was requested after shutdown.
     KernelStopped,
 }
@@ -65,6 +70,9 @@ impl fmt::Display for SimError {
                 write!(f, "livelock detected at cycle {at_cycles}: {cause}")
             }
             Self::Protocol(what) => write!(f, "command-buffer protocol violation: {what}"),
+            Self::ReplyDropped => {
+                write!(f, "device reply dropped; host reclaimed the command buffer")
+            }
             Self::KernelStopped => write!(f, "persistent kernel already stopped"),
         }
     }

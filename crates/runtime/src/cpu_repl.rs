@@ -60,9 +60,11 @@ use crate::reply::Reply;
 use crate::scheduler::{BatchScheduler, ExecQueue, Verdict};
 use culi_core::cost::Counters;
 use culi_core::eval::{eval, ParallelHook};
+use culi_core::fault::FaultPlan;
 use culi_core::node::{NodeType, Payload};
-use culi_core::{CuliError, Interp, InterpConfig, NodeId};
+use culi_core::{CuliError, ErrorCode, Interp, InterpConfig, NodeId};
 use culi_gpu_sim::{CpuMachine, DeviceSpec, SectionReport, SimError};
+use std::time::Duration;
 
 /// How `|||` sections execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +112,12 @@ pub struct CpuReplConfig {
     pub host_io: Option<culi_core::hostio::HostIoHandle>,
     /// Batch staging rule (see [`BatchClassifier`]).
     pub batch_classifier: BatchClassifier,
+    /// Worker-pool watchdog: how long one reply take may block before
+    /// the seat is declared hung and detached (Threaded mode).
+    pub reply_deadline: Duration,
+    /// Deterministic fault script handed to the worker pool (empty in
+    /// production; the differential fault harness scripts it).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for CpuReplConfig {
@@ -120,6 +128,8 @@ impl Default for CpuReplConfig {
             gc_between_commands: true,
             host_io: None,
             batch_classifier: BatchClassifier::default(),
+            reply_deadline: WorkerPool::DEFAULT_REPLY_DEADLINE,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -147,6 +157,9 @@ pub struct CpuRepl {
     barrier_roots: Vec<NodeId>,
     /// Reused concatenation buffer for the two root sets.
     gc_scratch: Vec<NodeId>,
+    /// Reply slots written off by an infrastructure failure, awaiting
+    /// the scheduler's sequential fallback ([`ExecQueue::take_failed`]).
+    degraded_slots: Vec<usize>,
 }
 
 /// A pipelined command whose section is staged but not yet collected.
@@ -178,6 +191,7 @@ impl CpuRepl {
             batch_roots: Vec::new(),
             barrier_roots: Vec::new(),
             gc_scratch: Vec::new(),
+            degraded_slots: Vec::new(),
         }
     }
 
@@ -193,6 +207,15 @@ impl CpuRepl {
 
     /// Submits one command line.
     pub fn submit(&mut self, input: &str) -> Result<Reply> {
+        self.submit_inner(input, false)
+    }
+
+    /// [`CpuRepl::submit`] body. With `reference` set, evaluation is
+    /// forced through the master-side [`SequentialReferenceHook`]
+    /// regardless of mode — the scheduler's degradation fallback, which
+    /// must not depend on the (possibly lost) worker pool yet must
+    /// produce replies byte-identical to it.
+    fn submit_inner(&mut self, input: &str, reference: bool) -> Result<Reply> {
         if !self.machine.is_running() {
             return Err(RuntimeError::SessionClosed);
         }
@@ -217,7 +240,7 @@ impl CpuRepl {
                 )
             }
         };
-        self.finish_submit(&forms, parse_counters, wall_start)
+        self.finish_submit(&forms, parse_counters, wall_start, reference)
     }
 
     /// Evaluate-and-print half of [`CpuRepl::submit`], shared with the
@@ -228,55 +251,73 @@ impl CpuRepl {
         forms: &[NodeId],
         parse_counters: Counters,
         wall_start: std::time::Instant,
+        reference: bool,
     ) -> Result<Reply> {
         let costs = self.spec().costs;
 
         // --- Evaluate -----------------------------------------------------
+        // Containment: every command evaluates under the session's fuel
+        // budget, armed fresh here (workers re-arm per job themselves).
+        self.interp.meter.arm_fuel(self.config.interp.fuel_budget);
         let m1 = self.interp.meter.snapshot();
-        let (last, sections, job_counters, eval_error, sim_error) = match self.config.mode {
-            CpuMode::Modeled => {
-                let mut hook = CpuModelHook {
-                    machine: &mut self.machine,
-                    costs,
-                    job_counters: Counters::default(),
-                    sections: Vec::new(),
-                    sim_error: None,
-                    job_cycles: std::mem::take(&mut self.scratch_cycles),
-                };
-                let (last, err) = eval_forms(&mut self.interp, &mut hook, forms);
-                self.scratch_cycles = hook.job_cycles;
-                (last, hook.sections, hook.job_counters, err, hook.sim_error)
-            }
-            CpuMode::Threaded { threads } => {
-                // The hook (and its worker pool) persists across commands:
-                // workers stay warm and are synchronized incrementally.
-                let hook = self
-                    .threaded
-                    .get_or_insert_with(|| ThreadedHook::new(threads));
-                let (last, err) = eval_forms(&mut self.interp, hook, forms);
-                (last, Vec::new(), hook.take_job_counters(), err, None)
-            }
-            CpuMode::ForkPerSection { threads } => {
-                let hook = self
-                    .forked
-                    .get_or_insert_with(|| ForkPerSectionHook::new(threads));
-                let (last, err) = eval_forms(&mut self.interp, hook, forms);
-                (last, Vec::new(), hook.take_job_counters(), err, None)
+        // `master_jobs` is the slice of `job_counters` that was metered on
+        // the master interpreter (and must therefore be subtracted back out
+        // of its total): everything for the modeled backend and the
+        // sequential reference, only degraded-section fallbacks for the
+        // real-threads pool, nothing for fork-per-section.
+        let (last, sections, job_counters, master_jobs, eval_error, sim_error) = if reference {
+            let mut hook = SequentialReferenceHook::default();
+            let (last, err) = eval_forms(&mut self.interp, &mut hook, forms);
+            (last, Vec::new(), hook.jobs, hook.jobs, err, None)
+        } else {
+            match self.config.mode {
+                CpuMode::Modeled => {
+                    let mut hook = CpuModelHook {
+                        machine: &mut self.machine,
+                        costs,
+                        job_counters: Counters::default(),
+                        sections: Vec::new(),
+                        sim_error: None,
+                        job_cycles: std::mem::take(&mut self.scratch_cycles),
+                    };
+                    let (last, err) = eval_forms(&mut self.interp, &mut hook, forms);
+                    self.scratch_cycles = hook.job_cycles;
+                    let jobs = hook.job_counters;
+                    (last, hook.sections, jobs, jobs, err, hook.sim_error)
+                }
+                CpuMode::Threaded { threads } => {
+                    // The hook (and its worker pool) persists across
+                    // commands: workers stay warm and are synchronized
+                    // incrementally.
+                    let deadline = self.config.reply_deadline;
+                    let plan = self.config.fault_plan.clone();
+                    let hook = self.threaded.get_or_insert_with(|| {
+                        ThreadedHook::with_watchdog(threads, deadline, plan)
+                    });
+                    let (last, err) = eval_forms(&mut self.interp, hook, forms);
+                    // Sections the hook degraded to the master (seat loss
+                    // mid-barrier) were metered on the master interpreter;
+                    // fold them into the job charges like any other section.
+                    let degraded = hook.take_degraded_jobs();
+                    let mut jobs = hook.take_job_counters();
+                    jobs.add(&degraded);
+                    (last, Vec::new(), jobs, degraded, err, None)
+                }
+                CpuMode::ForkPerSection { threads } => {
+                    let hook = self
+                        .forked
+                        .get_or_insert_with(|| ForkPerSectionHook::new(threads));
+                    let (last, err) = eval_forms(&mut self.interp, hook, forms);
+                    let jobs = hook.take_job_counters();
+                    (last, Vec::new(), jobs, Counters::default(), err, None)
+                }
             }
         };
         if let Some(sim) = sim_error {
             return Err(RuntimeError::Device(sim));
         }
         let eval_total = self.interp.meter.snapshot().delta_since(&m1);
-        // The modeled backend evaluates jobs on the master interpreter, so
-        // its job charges must be subtracted back out of the master meter;
-        // the real-threads backends meter jobs inside the workers and the
-        // master total is already job-free.
-        let eval_master = if matches!(self.config.mode, CpuMode::Modeled) {
-            eval_total.delta_since(&job_counters)
-        } else {
-            eval_total
-        };
+        let eval_master = eval_total.delta_since(&master_jobs);
         let dispatch_overhead = self.spec().command_overhead_cycles;
         let section_cycles: u64 =
             sections.iter().map(|s| s.total_cycles()).sum::<u64>() + dispatch_overhead;
@@ -330,6 +371,7 @@ impl CpuRepl {
         Ok(Reply {
             output,
             ok: true,
+            code: ErrorCode::Ok,
             phases,
             counters: CommandCounters {
                 parse: parse_counters,
@@ -382,9 +424,11 @@ impl CpuRepl {
         }
         let prepared = match self.config.mode {
             CpuMode::Threaded { threads } => {
+                let deadline = self.config.reply_deadline;
+                let plan = self.config.fault_plan.clone();
                 let hook = self
                     .threaded
-                    .get_or_insert_with(|| ThreadedHook::new(threads));
+                    .get_or_insert_with(|| ThreadedHook::with_watchdog(threads, deadline, plan));
                 culi_core::builtins::prepare_section(interp, hook, &args, global, 0)
             }
             CpuMode::ForkPerSection { threads } => {
@@ -460,6 +504,13 @@ impl CpuRepl {
         let node = match finished {
             Ok(node) => node,
             Err(e) => {
+                if e.code() == ErrorCode::Device {
+                    // Infrastructure failure (seat lost to a panic, hang,
+                    // or garbled reply) — not a program error. Surface it
+                    // to the scheduler so it can degrade the batch to the
+                    // sequential fallback instead of replying.
+                    return Err(RuntimeError::Lisp(e));
+                }
                 let reply = self.error_reply(
                     e,
                     CommandCounters {
@@ -509,6 +560,7 @@ impl CpuRepl {
             Reply {
                 output,
                 ok: true,
+                code: ErrorCode::Ok,
                 phases,
                 counters: CommandCounters {
                     parse: cmd.parse,
@@ -556,6 +608,7 @@ impl CpuRepl {
         Ok(Reply {
             output: format!("error: {e}"),
             ok: false,
+            code: e.code(),
             phases,
             counters,
             sections: Vec::new(),
@@ -704,6 +757,9 @@ impl<'i> ExecQueue<'i> for CpuRepl {
             }));
         }
         // --- Prepare (meter-identical to the synchronous path) -----------
+        // Same arming point as finish_submit: the command's master-side
+        // work runs under the session's fuel budget.
+        self.interp.meter.arm_fuel(self.config.interp.fuel_budget);
         let m1 = self.interp.meter.snapshot();
         let prepared = self.prepare_classified_section(forms[0]);
         let eval_stage = self.interp.meter.snapshot().delta_since(&m1);
@@ -731,9 +787,11 @@ impl<'i> ExecQueue<'i> for CpuRepl {
     fn dispatch(&mut self, run: Vec<CpuStaged>) -> Result<CpuRun> {
         match self.config.mode {
             CpuMode::Threaded { threads } => {
+                let deadline = self.config.reply_deadline;
+                let plan = self.config.fault_plan.clone();
                 let hook = self
                     .threaded
-                    .get_or_insert_with(|| ThreadedHook::new(threads));
+                    .get_or_insert_with(|| ThreadedHook::with_watchdog(threads, deadline, plan));
                 let sections: Vec<&[NodeId]> = run.iter().map(|s| s.jobs.as_slice()).collect();
                 let global = self.interp.global;
                 hook.pool_mut(&self.interp)
@@ -790,9 +848,35 @@ impl<'i> ExecQueue<'i> for CpuRepl {
     fn collect(&mut self, run: CpuRun, replies: &mut [Option<Reply>]) -> Result<()> {
         match run.0 {
             CpuRunInner::Pooled(cmds) => {
-                for cmd in cmds {
-                    let (slot, reply) = self.collect_staged(cmd)?;
-                    replies[slot] = Some(reply);
+                let mut cmds = cmds.into_iter();
+                while let Some(cmd) = cmds.next() {
+                    let slot = cmd.slot;
+                    match self.collect_staged(cmd) {
+                        Ok((slot, reply)) => replies[slot] = Some(reply),
+                        Err(e) if e.is_degradable() => {
+                            // A seat was lost mid-run. Write this command
+                            // and every later one in the run off to the
+                            // scheduler's sequential fallback, draining
+                            // the pool's remaining (possibly synthetic)
+                            // replies so its accounting stays balanced.
+                            self.degraded_slots.push(slot);
+                            let hook = self
+                                .threaded
+                                .as_mut()
+                                .expect("a staged command implies a live threaded hook");
+                            let pool = hook.pool_mut(&self.interp);
+                            let mut scratch = self.interp.take_node_buf();
+                            for cmd in cmds {
+                                self.degraded_slots.push(cmd.slot);
+                                scratch.clear();
+                                let _ = pool.collect_next(&mut self.interp, &mut scratch);
+                            }
+                            self.interp.put_node_buf(scratch);
+                            let _ = hook.take_job_counters();
+                            return Err(e);
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
             }
             CpuRunInner::Forked {
@@ -825,7 +909,7 @@ impl<'i> ExecQueue<'i> for CpuRepl {
                 wall_start,
             } => {
                 self.barrier_roots.clear();
-                self.finish_submit(&forms, parse, wall_start)?
+                self.finish_submit(&forms, parse, wall_start, false)?
             }
             CpuBarrier::ParseError { error, parse } => self.error_reply(
                 error,
@@ -852,6 +936,26 @@ impl<'i> ExecQueue<'i> for CpuRepl {
                 )?
             }
         };
+        replies[slot] = Some(reply);
+        Ok(())
+    }
+
+    fn take_failed(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.degraded_slots)
+    }
+
+    fn run_sequential(
+        &mut self,
+        input: &'i str,
+        slot: usize,
+        replies: &mut [Option<Reply>],
+    ) -> Result<()> {
+        let mut reply = self.submit_inner(input, true)?;
+        if reply.ok {
+            // The answer is correct but was not produced by the parallel
+            // backend; sessions inspecting codes can tell.
+            reply.code = ErrorCode::Degraded;
+        }
         replies[slot] = Some(reply);
         Ok(())
     }
@@ -966,6 +1070,36 @@ fn eval_forms(
     (last, None)
 }
 
+/// The scheduler-fallback backend: evaluates `|||` jobs sequentially on
+/// the master interpreter with the *worker pool's* exact metering
+/// discipline — child env outside the job window, per-job fuel re-arm,
+/// then the `eval` window itself (see `run_msg` in the pool; the pool
+/// test `job_counters_match_sequential_reference` pins the equivalence).
+/// Replies produced through this hook are byte-identical to the
+/// threaded backend's in output, ok and counters.
+#[derive(Debug, Default)]
+struct SequentialReferenceHook {
+    jobs: Counters,
+}
+
+impl ParallelHook for SequentialReferenceHook {
+    fn execute(
+        &mut self,
+        interp: &mut Interp,
+        jobs: &[NodeId],
+        parent_env: culi_core::EnvId,
+        results: &mut Vec<NodeId>,
+    ) -> culi_core::Result<()> {
+        crate::pool::run_jobs_sequential_reference(
+            interp,
+            jobs,
+            parent_env,
+            results,
+            &mut self.jobs,
+        )
+    }
+}
+
 /// Modeled pthread pool: job costs are list-scheduled by the machine.
 /// `job_cycles` is lent by the repl and reused across sections and
 /// commands, so modeled sections allocate nothing per section beyond
@@ -1057,6 +1191,75 @@ mod tests {
     fn modeled_end_to_end() {
         let mut r = modeled();
         assert_eq!(r.submit("(* 2 (+ 4 3) 6)").unwrap().expect_ok(), "84");
+    }
+
+    #[test]
+    fn fuel_limited_command_reports_a_fuel_reply_and_the_session_survives() {
+        let mut r = CpuRepl::launch(
+            intel_e5_2620(),
+            CpuReplConfig {
+                interp: InterpConfig {
+                    arena_capacity: 1 << 16,
+                    fuel_budget: 10_000,
+                    ..Default::default()
+                },
+                mode: CpuMode::Threaded { threads: 2 },
+                ..Default::default()
+            },
+        );
+        let reply = r.submit("(dotimes (i 1000000000) (+ i i))").unwrap();
+        assert!(!reply.ok);
+        assert_eq!(reply.code, ErrorCode::Fuel);
+        assert!(reply.output.contains("fuel"), "{}", reply.output);
+        assert_eq!(r.submit("(+ 1 2)").unwrap().expect_ok(), "3");
+    }
+
+    #[test]
+    fn batch_degrades_to_sequential_on_seat_loss_and_matches_reference() {
+        use culi_core::fault::{FaultKind, FaultSite};
+        let prelude = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+        let section = "(||| 4 fib (4 5 6 7))";
+        let mut clean = threaded(4);
+        clean.submit(prelude).unwrap();
+        let plan = FaultPlan::single(FaultSite::WorkerSection, FaultKind::Hang, 2);
+        let mut faulted = CpuRepl::launch(
+            intel_e5_2620(),
+            CpuReplConfig {
+                interp: InterpConfig {
+                    arena_capacity: 1 << 16,
+                    ..Default::default()
+                },
+                mode: CpuMode::Threaded { threads: 4 },
+                reply_deadline: Duration::from_millis(200),
+                fault_plan: plan.clone(),
+                ..Default::default()
+            },
+        );
+        faulted.submit(prelude).unwrap();
+        let batch = vec![section; 6];
+        let got = faulted.submit_batch(&batch).unwrap();
+        assert_eq!(got.len(), 6);
+        assert_eq!(plan.injected_count(), 1, "the scripted hang must fire");
+        let mut degraded = 0;
+        for reply in &got {
+            let want = clean.submit(section).unwrap();
+            assert_eq!(reply.output, want.output);
+            assert_eq!(reply.ok, want.ok);
+            assert_eq!(reply.counters, want.counters);
+            if reply.code == ErrorCode::Degraded {
+                degraded += 1;
+            }
+        }
+        assert!(
+            degraded >= 1,
+            "the lost seat must degrade at least one slot"
+        );
+        // The pool recovered: later batches run parallel again.
+        let after = faulted.submit_batch(&[section; 3]).unwrap();
+        for reply in after {
+            assert_eq!(reply.code, ErrorCode::Ok);
+            assert_eq!(reply.expect_ok(), "(3 5 8 13)");
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Runtime errors: interpreter failures plus device-simulation failures.
 
 use core::fmt;
-use culi_core::CuliError;
+use culi_core::{CuliError, ErrorCode};
 use culi_gpu_sim::SimError;
 
 /// Anything that can stop a REPL session.
@@ -13,6 +13,29 @@ pub enum RuntimeError {
     Device(SimError),
     /// The session was already shut down.
     SessionClosed,
+}
+
+impl RuntimeError {
+    /// The stable [`ErrorCode`] this error classifies under — the shared
+    /// code space unifying interpreter, runtime and device errors (see
+    /// [`culi_core::ErrorCode`]).
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            Self::Lisp(e) => e.code(),
+            Self::Device(_) => ErrorCode::Device,
+            Self::SessionClosed => ErrorCode::Closed,
+        }
+    }
+
+    /// `true` for failures of the *infrastructure* rather than the user's
+    /// program: backend/device errors the scheduler may retry or degrade
+    /// around without changing user-visible results. User-program errors
+    /// (wrong types, division by zero, fuel/heap limits) are never
+    /// retried — they are deterministic properties of the command and the
+    /// sequential reference reproduces them identically.
+    pub fn is_degradable(&self) -> bool {
+        matches!(self.code(), ErrorCode::Device)
+    }
 }
 
 impl fmt::Display for RuntimeError {
@@ -53,5 +76,23 @@ mod tests {
         let d: RuntimeError = SimError::KernelStopped.into();
         assert!(d.to_string().contains("kernel"));
         assert!(RuntimeError::SessionClosed.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn codes_unify_the_three_error_layers() {
+        let l: RuntimeError = CuliError::DivByZero.into();
+        assert_eq!(l.code(), ErrorCode::User);
+        assert!(!l.is_degradable());
+        let f: RuntimeError = CuliError::FuelExhausted { budget: 9 }.into();
+        assert_eq!(f.code(), ErrorCode::Fuel);
+        assert!(!f.is_degradable());
+        let b: RuntimeError = CuliError::Backend("worker panicked".into()).into();
+        assert_eq!(b.code(), ErrorCode::Device);
+        assert!(b.is_degradable());
+        let d: RuntimeError = SimError::ReplyDropped.into();
+        assert_eq!(d.code(), ErrorCode::Device);
+        assert!(d.is_degradable());
+        assert_eq!(RuntimeError::SessionClosed.code(), ErrorCode::Closed);
+        assert!(!RuntimeError::SessionClosed.is_degradable());
     }
 }

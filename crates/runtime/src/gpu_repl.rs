@@ -40,7 +40,8 @@ use crate::reply::Reply;
 use crate::scheduler::{BatchScheduler, ExecQueue, Verdict};
 use culi_core::cost::Counters;
 use culi_core::eval::{eval, ParallelHook};
-use culi_core::{CuliError, Interp, InterpConfig, NodeId};
+use culi_core::fault::{FaultPlan, FaultSite};
+use culi_core::{CuliError, ErrorCode, Interp, InterpConfig, NodeId};
 use culi_gpu_sim::cmdbuf::CommandBuffer;
 use culi_gpu_sim::{
     CostTable, DeviceSpec, KernelConfig, PersistentKernel, SectionReport, SimError, SimStats,
@@ -65,6 +66,12 @@ pub struct GpuReplConfig {
     /// Each device runs its own persistent kernel and command buffer;
     /// device 0 additionally serves `submit` and batch barriers.
     pub device_count: usize,
+    /// Deterministic fault-injection plan (tests and the differential
+    /// fault harness). Polled at [`FaultSite::DeviceReply`] once per
+    /// batched run's reply handshake; any armed fault kind manifests as a
+    /// dropped reply — the only failure the command-buffer protocol
+    /// models — exercising the retry-then-degrade path. Empty by default.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for GpuReplConfig {
@@ -76,6 +83,7 @@ impl Default for GpuReplConfig {
             cmdbuf_capacity: 1 << 16,
             host_io: None,
             device_count: 1,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -100,6 +108,9 @@ pub struct GpuRepl {
     scratch_cycles: Vec<u64>,
     /// Round-robin cursor for sharding batched runs across devices.
     next_device: usize,
+    /// Reply slots written off by a degradable dispatch failure, awaiting
+    /// the scheduler's sequential fallback ([`ExecQueue::take_failed`]).
+    degraded_slots: Vec<usize>,
 }
 
 impl GpuRepl {
@@ -120,6 +131,7 @@ impl GpuRepl {
             config,
             scratch_cycles: Vec::new(),
             next_device: 0,
+            degraded_slots: Vec::new(),
         }
     }
 
@@ -198,6 +210,11 @@ impl GpuRepl {
     /// (mirrors the CPU pool's `MAX_RUN_SECTIONS`).
     pub const MAX_RUN_COMMANDS: usize = 16;
 
+    /// How many times a batched run is re-driven after a dropped reply
+    /// handshake before its commands are written off for the scheduler's
+    /// sequential fallback.
+    pub const HANDSHAKE_RETRIES: usize = 2;
+
     /// Charge-free host-side classification: parse (unmetered, the
     /// garbage is collected before the run is processed) and apply the
     /// same [`culi_core::effects`] rule the CPU pipeline stages under.
@@ -227,6 +244,10 @@ impl GpuRepl {
         dispatch_overhead: u64,
     ) -> Result<Reply> {
         let costs = self.spec_costs();
+        // Containment is per command: each command gets the session's full
+        // fuel budget, so the paper-model counters stay valid up to an
+        // abort and one runaway command cannot starve the next.
+        self.interp.meter.arm_fuel(self.config.interp.fuel_budget);
         let m0 = self.interp.meter.snapshot();
         let parse_result = culi_core::parser::parse(&mut self.interp, input.as_bytes());
         let parse_counters = self.interp.meter.snapshot().delta_since(&m0);
@@ -338,6 +359,7 @@ impl GpuRepl {
         Ok(Reply {
             output,
             ok: true,
+            code: ErrorCode::Ok,
             phases,
             counters: CommandCounters {
                 parse: parse_counters,
@@ -357,6 +379,7 @@ impl GpuRepl {
     /// Renders a Lisp error as a printed reply (the REPL survives). The
     /// caller owns the command-buffer handshake and transfer attribution.
     fn error_reply(&mut self, e: CuliError, counters: CommandCounters) -> Reply {
+        let code = e.code();
         let output = format!("error: {e}");
         if self.config.gc_between_commands {
             culi_core::gc::collect(&mut self.interp, &[]);
@@ -372,6 +395,7 @@ impl GpuRepl {
         Reply {
             output,
             ok: false,
+            code,
             phases,
             counters,
             sections: Vec::new(),
@@ -502,44 +526,73 @@ impl<'i> ExecQueue<'i> for GpuRepl {
         // instead of the whole stream's.
         culi_core::gc::collect(&mut self.interp, &[]);
         let blob = run.iter().map(|s| s.input).collect::<Vec<_>>().join("\n");
-        let t0 = self.devices[dev].cmdbuf.transfer_ns();
-        self.devices[dev].cmdbuf.host_write(blob.as_bytes())?;
-        let taken = self.devices[dev].cmdbuf.device_take()?;
-        debug_assert_eq!(taken, blob.as_bytes());
-        let upload_ns = self.devices[dev].cmdbuf.transfer_ns() - t0;
         let overhead = self.spec().command_overhead_cycles;
-        let mut replies: Vec<(usize, Reply)> = Vec::with_capacity(run.len());
-        for (k, staged) in run.iter().enumerate() {
-            // One spin wake per run: charge the dispatch overhead on the
-            // run's first command only.
-            let o = if k == 0 { overhead } else { 0 };
-            let reply = self.process_command(dev, staged.input, o)?;
-            replies.push((staged.slot, reply));
+        // Bounded retry: a dropped reply handshake leaves the buffer
+        // host-owned, so the host re-drives the whole run. Staged
+        // commands are provably pure, so re-evaluating them is invisible
+        // and their replies (output and counters) are bit-identical —
+        // only the modeled transfer time records the extra round trips.
+        // Past the retry budget the run's slots are written off for the
+        // scheduler's sequential fallback.
+        let mut attempts = 0usize;
+        loop {
+            let t0 = self.devices[dev].cmdbuf.transfer_ns();
+            self.devices[dev].cmdbuf.host_write(blob.as_bytes())?;
+            let taken = self.devices[dev].cmdbuf.device_take()?;
+            debug_assert_eq!(taken, blob.as_bytes());
+            let upload_ns = self.devices[dev].cmdbuf.transfer_ns() - t0;
+            let mut replies: Vec<(usize, Reply)> = Vec::with_capacity(run.len());
+            for (k, staged) in run.iter().enumerate() {
+                // One spin wake per run: charge the dispatch overhead on
+                // the run's first command only.
+                let o = if k == 0 { overhead } else { 0 };
+                let reply = self.process_command(dev, staged.input, o)?;
+                replies.push((staged.slot, reply));
+            }
+            let mut joined = replies
+                .iter()
+                .map(|(_, r)| r.output.as_str())
+                .collect::<Vec<_>>()
+                .join("\n");
+            // Individual outputs are bounded by the interpreter's output
+            // capacity, but a whole run's joined reply may still overrun
+            // the command buffer — and a failed `device_reply` would
+            // leave the device owning the buffer forever. Ship a short
+            // overflow notice instead: the per-command replies are
+            // already complete device-side (a real host would re-fetch
+            // them one by one), and the session stays live.
+            if joined.len() > self.devices[dev].cmdbuf.capacity() {
+                joined = format!("!culi:batch-reply-overflow:{}", joined.len());
+            }
+            if self
+                .config
+                .fault_plan
+                .poll(FaultSite::DeviceReply)
+                .is_some()
+            {
+                self.devices[dev].cmdbuf.arm_reply_drop();
+            }
+            let t1 = self.devices[dev].cmdbuf.transfer_ns();
+            match self.devices[dev].cmdbuf.device_reply(joined.as_bytes()) {
+                Ok(()) => {
+                    let echoed = self.devices[dev].cmdbuf.host_read()?;
+                    debug_assert_eq!(echoed, joined.as_bytes());
+                    let reply_ns = self.devices[dev].cmdbuf.transfer_ns() - t1;
+                    replies[0].1.phases.transfer_ns += upload_ns;
+                    let last = replies.len() - 1;
+                    replies[last].1.phases.transfer_ns += reply_ns;
+                    return Ok(GpuRun(replies));
+                }
+                Err(SimError::ReplyDropped) if attempts < Self::HANDSHAKE_RETRIES => {
+                    attempts += 1;
+                }
+                Err(SimError::ReplyDropped) => {
+                    self.degraded_slots.extend(run.iter().map(|s| s.slot));
+                    return Err(SimError::ReplyDropped.into());
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
-        let mut joined = replies
-            .iter()
-            .map(|(_, r)| r.output.as_str())
-            .collect::<Vec<_>>()
-            .join("\n");
-        // Individual outputs are bounded by the interpreter's output
-        // capacity, but a whole run's joined reply may still overrun the
-        // command buffer — and a failed `device_reply` would leave the
-        // device owning the buffer forever. Ship a short overflow notice
-        // instead: the per-command replies are already complete
-        // device-side (a real host would re-fetch them one by one), and
-        // the session stays live.
-        if joined.len() > self.devices[dev].cmdbuf.capacity() {
-            joined = format!("!culi:batch-reply-overflow:{}", joined.len());
-        }
-        let t1 = self.devices[dev].cmdbuf.transfer_ns();
-        self.devices[dev].cmdbuf.device_reply(joined.as_bytes())?;
-        let echoed = self.devices[dev].cmdbuf.host_read()?;
-        debug_assert_eq!(echoed, joined.as_bytes());
-        let reply_ns = self.devices[dev].cmdbuf.transfer_ns() - t1;
-        replies[0].1.phases.transfer_ns += upload_ns;
-        let last = replies.len() - 1;
-        replies[last].1.phases.transfer_ns += reply_ns;
-        Ok(GpuRun(replies))
     }
 
     fn collect(&mut self, run: GpuRun, replies: &mut [Option<Reply>]) -> Result<()> {
@@ -556,6 +609,27 @@ impl<'i> ExecQueue<'i> for GpuRepl {
         replies: &mut [Option<Reply>],
     ) -> Result<()> {
         replies[slot] = Some(self.submit(barrier)?);
+        Ok(())
+    }
+
+    fn take_failed(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.degraded_slots)
+    }
+
+    fn run_sequential(
+        &mut self,
+        input: &'i str,
+        slot: usize,
+        replies: &mut [Option<Reply>],
+    ) -> Result<()> {
+        // The sequential reference is the plain interactive handshake on
+        // device 0 — exactly what an unbatched submit loop would do, so
+        // output and counters are byte-identical to the healthy path.
+        let mut reply = self.submit(input)?;
+        if reply.ok {
+            reply.code = ErrorCode::Degraded;
+        }
+        replies[slot] = Some(reply);
         Ok(())
     }
 }
@@ -908,6 +982,72 @@ mod tests {
         for (d, (a, b)) in after.iter().zip(&before).enumerate() {
             assert!(a > b, "device {d} never advanced");
         }
+    }
+
+    fn faulted(plan: FaultPlan) -> GpuRepl {
+        GpuRepl::launch(
+            gtx1080(),
+            GpuReplConfig {
+                fault_plan: plan,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn dropped_batched_reply_is_retried_transparently() {
+        use culi_core::fault::FaultKind;
+        let inputs = ["(||| 2 + (1 2) (3 4))", "(||| 2 * (1 2) (3 4))"];
+        let plan = FaultPlan::single(FaultSite::DeviceReply, FaultKind::DropReply, 0);
+        let mut r = faulted(plan.clone());
+        let got = r.submit_batch(&inputs).unwrap();
+        assert_eq!(plan.injected_count(), 1, "the drop must actually fire");
+        let mut clean = repl();
+        for (src, g) in inputs.iter().zip(&got) {
+            let want = clean.submit(src).unwrap();
+            assert_eq!(want.output, g.output, "{src}");
+            assert_eq!(want.counters, g.counters, "{src}");
+            assert_eq!(g.code, ErrorCode::Ok, "a retried run is not degraded");
+        }
+    }
+
+    #[test]
+    fn persistent_reply_drops_degrade_to_sequential_fallback() {
+        use culi_core::fault::FaultKind;
+        let inputs = [
+            "(||| 2 + (1 2) (3 4))",
+            "(||| 2 * (1 2) (3 4))",
+            "(||| 2 - (9 9) (3 4))",
+        ];
+        // Every attempt of the first run drops its reply: initial + all
+        // retries, forcing the write-off.
+        let plan = FaultPlan::burst(
+            FaultSite::DeviceReply,
+            FaultKind::DropReply,
+            0,
+            1 + GpuRepl::HANDSHAKE_RETRIES as u64,
+        );
+        let mut r = faulted(plan.clone());
+        let got = r.submit_batch(&inputs).unwrap();
+        assert_eq!(
+            plan.injected_count(),
+            1 + GpuRepl::HANDSHAKE_RETRIES as u64,
+            "every retry must re-fault"
+        );
+        let mut clean = repl();
+        for (src, g) in inputs.iter().zip(&got) {
+            let want = clean.submit(src).unwrap();
+            assert_eq!(want.output, g.output, "{src}");
+            assert_eq!(want.counters, g.counters, "{src}");
+            assert!(g.ok, "{src}");
+            assert_eq!(
+                g.code,
+                ErrorCode::Degraded,
+                "fallback replies carry the degradation marker: {src}"
+            );
+        }
+        // The session survives degradation.
+        assert_eq!(r.submit("(+ 1 1)").unwrap().output, "2");
     }
 
     #[test]

@@ -85,15 +85,48 @@
 //! After replying, a worker collects its own garbage (decoded sync
 //! values stay rooted by its global bindings; job temporaries die), so a
 //! warm worker's arena stays at its steady-state high-water mark.
+//!
+//! # Fault model and watchdog (PR 6)
+//!
+//! A worker that never replies would wedge the whole pipeline behind its
+//! postbox, so every reply take carries a **deadline**
+//! ([`WorkerPool::DEFAULT_REPLY_DEADLINE`]; tests shorten it). A seat
+//! that blows the deadline is **detached**: its thread is abandoned
+//! rather than joined (a shutdown marker is queued best-effort, so the
+//! hung thread exits on its own if it ever wakes), the seat relaunches
+//! with a fresh fork of the current master, and every message that was
+//! in flight on it is written off with a synthetic failure reply — the
+//! in-flight buffers are unrecoverable, so transparent re-execution is
+//! impossible at this layer. Written-off commands surface as degradable
+//! [`CuliError::Backend`] errors that the batch scheduler
+//! (`culi_runtime::scheduler`) re-executes on the master's sequential
+//! reference after draining the pipeline.
+//!
+//! The master also validates every executed reply's **shape** before
+//! indexing into it (`reply_shape_valid`): a corrupted reply is treated
+//! exactly like a panic — seat hard-poisoned, run written off — instead
+//! of crashing the master. Deterministic fault injection
+//! ([`culi_core::fault::FaultPlan`], polled once per accepted section
+//! message) can script panics, hangs, garbled replies and dropped
+//! replies; the differential fault harness drives every kind against the
+//! clean reference.
+//!
+//! Fuel composes with the watchdog: each job re-arms the session's
+//! per-command fuel budget before evaluating (`run_msg`), so a budgeted
+//! runaway job aborts promptly with `FuelExhausted` inside the worker,
+//! and the deadline only backstops *unbudgeted* runaways and genuine
+//! infrastructure hangs.
 
 use culi_core::cost::Counters;
 use culi_core::eval::{eval, ParallelHook, SequentialHook};
+use culi_core::fault::{FaultKind, FaultPlan, FaultSite};
 use culi_core::postbox::{ChainPacket, EnvSnapshot, FlatTree, SyncPacket};
-use culi_core::{CuliError, EnvId, Interp, NodeId};
+use culi_core::{CuliError, EnvId, ErrorCode, Interp, NodeId};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Mailbox slots per direction: the master may run this many sections
 /// ahead of a worker (double buffering).
@@ -150,6 +183,45 @@ impl<T> Postbox<T> {
             slots = self.ready.wait(slots).unwrap();
         }
     }
+
+    /// `take` with a watchdog deadline: `None` if nothing arrived within
+    /// `timeout` (the sender is presumed hung).
+    fn take_deadline(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut slots = self.slots.lock().unwrap();
+        loop {
+            if let Some(v) = slots.pop_front() {
+                self.ready.notify_all();
+                return Some(v);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self.ready.wait_timeout(slots, deadline - now).unwrap();
+            slots = guard;
+        }
+    }
+
+    /// Non-blocking `put`: `false` when every slot is occupied. Used on
+    /// the seat-abandonment path, where a blocking put to a hung peer
+    /// would hang the master too.
+    fn try_put(&self, value: T) -> bool {
+        let mut slots = self.slots.lock().unwrap();
+        if slots.len() >= POSTBOX_DEPTH {
+            return false;
+        }
+        slots.push_back(value);
+        self.ready.notify_all();
+        true
+    }
+}
+
+/// How long an injected `Hang` fault stalls a worker: comfortably past
+/// the watchdog deadline (the fault must actually blow it) yet bounded,
+/// so abandoned test threads drain their mailbox and exit on their own.
+fn hang_duration(deadline: Duration) -> Duration {
+    deadline * 4
 }
 
 /// One dispatch message: a **run** of one or more consecutive sections
@@ -268,6 +340,10 @@ struct Seat {
     bufs: Vec<Box<SectionMsg>>,
     /// Messages sent minus replies taken.
     outstanding: usize,
+    /// Replies written off by a watchdog detach: the in-flight buffers
+    /// went down with the abandoned thread, so each owed reply is
+    /// synthesized as a panic-shaped failure instead.
+    lost_replies: usize,
     /// A dirty end-of-run was observed: the next dispatch must carry a
     /// snapshot (the worker refuses anything else).
     soft_poisoned: bool,
@@ -277,12 +353,14 @@ struct Seat {
 }
 
 impl Seat {
-    fn launch(template: &Interp) -> Self {
+    fn launch(template: &Interp, plan: &FaultPlan, hang_for: Duration) -> Self {
         let to = Arc::new(Postbox::new());
         let from = Arc::new(Postbox::new());
         let interp = template.clone();
+        let worker_plan = plan.clone();
         let (to2, from2) = (Arc::clone(&to), Arc::clone(&from));
-        let handle = std::thread::spawn(move || worker_loop(interp, &to2, &from2));
+        let handle =
+            std::thread::spawn(move || worker_loop(interp, &to2, &from2, worker_plan, hang_for));
         Self {
             to,
             from,
@@ -290,6 +368,7 @@ impl Seat {
             synced_epoch: template.envs.sync_epoch(),
             bufs: (0..POSTBOX_DEPTH).map(|_| Box::default()).collect(),
             outstanding: 0,
+            lost_replies: 0,
             soft_poisoned: false,
             hard_poisoned: false,
         }
@@ -300,15 +379,53 @@ impl Seat {
         self.outstanding += 1;
     }
 
-    fn take_reply(&mut self) -> SectionReply {
-        let reply = self.from.take();
-        self.outstanding -= 1;
-        reply
+    /// Takes the next owed reply. Previously written-off messages are
+    /// consumed first as synthetic panic-shaped replies; a live take that
+    /// blows `deadline` detaches the seat (see
+    /// [`Seat::detach_respawn`]) and is written off the same way.
+    fn take_reply_within(
+        &mut self,
+        template: &Interp,
+        plan: &FaultPlan,
+        deadline: Duration,
+    ) -> SectionReply {
+        fn synthetic() -> SectionReply {
+            SectionReply {
+                msg: Box::default(),
+                dirty: true,
+                panicked: true,
+                refused: false,
+            }
+        }
+        if self.lost_replies > 0 {
+            self.lost_replies -= 1;
+            return synthetic();
+        }
+        match self.from.take_deadline(deadline) {
+            Some(reply) => {
+                self.outstanding -= 1;
+                reply
+            }
+            None => {
+                self.detach_respawn(template, plan, hang_duration(deadline));
+                debug_assert!(
+                    self.lost_replies > 0,
+                    "deadline blown with nothing in flight"
+                );
+                self.lost_replies = self.lost_replies.saturating_sub(1);
+                synthetic()
+            }
+        }
     }
 
     /// Returns a message's buffers to the pool, applying the retention
-    /// cap.
+    /// cap. Synthetic write-off replies can outnumber the lost originals
+    /// they replace, so the recycled set never grows past the pipeline
+    /// depth.
     fn give_back(&mut self, mut msg: Box<SectionMsg>) {
+        if self.bufs.len() >= POSTBOX_DEPTH {
+            return;
+        }
         msg.shrink_to_retention_cap();
         self.bufs.push(msg);
     }
@@ -316,13 +433,35 @@ impl Seat {
     /// Replaces this seat's worker thread with a fresh fork of `template`
     /// (the panic-recovery path — the only post-warm-up interpreter
     /// clone). Requires all outstanding replies to have been drained.
-    fn respawn(&mut self, template: &Interp) {
+    fn respawn(&mut self, template: &Interp, plan: &FaultPlan, hang_for: Duration) {
         debug_assert_eq!(self.outstanding, 0, "respawn with replies in flight");
         self.shutdown();
         let bufs = std::mem::take(&mut self.bufs);
-        *self = Seat::launch(template);
-        // Keep the old buffer sets (they are already shrunk to cap).
+        let lost = self.lost_replies;
+        *self = Seat::launch(template, plan, hang_for);
+        // Keep the old buffer sets (they are already shrunk to cap) and
+        // the write-off credits still owed to uncollected runs.
         self.bufs = bufs;
+        self.lost_replies = lost;
+    }
+
+    /// Watchdog path: the worker blew the reply deadline. The thread is
+    /// abandoned, never joined — a shutdown marker is queued best-effort
+    /// so it exits on its own if it ever wakes (the worker blocks only
+    /// after taking a message, so at most one message is queued in `to`
+    /// and the marker always fits). The seat relaunches from the current
+    /// master (sound: the pipeline pins one master epoch, so the master
+    /// *is* the state every in-flight message was staged against), and
+    /// every in-flight message is written off — its buffers are
+    /// unrecoverable.
+    fn detach_respawn(&mut self, template: &Interp, plan: &FaultPlan, hang_for: Duration) {
+        let _ = self.to.try_put(ToWorker::Shutdown);
+        drop(self.handle.take());
+        let lost = self.outstanding + self.lost_replies;
+        let bufs = std::mem::take(&mut self.bufs);
+        *self = Seat::launch(template, plan, hang_for);
+        self.bufs = bufs;
+        self.lost_replies = lost;
     }
 
     fn shutdown(&mut self) {
@@ -379,7 +518,13 @@ enum Poison {
     Hard,
 }
 
-fn worker_loop(mut interp: Interp, to: &Postbox<ToWorker>, from: &Postbox<SectionReply>) {
+fn worker_loop(
+    mut interp: Interp,
+    to: &Postbox<ToWorker>,
+    from: &Postbox<SectionReply>,
+    plan: FaultPlan,
+    hang_for: Duration,
+) {
     let mut poison = Poison::None;
     loop {
         match to.take() {
@@ -400,8 +545,24 @@ fn worker_loop(mut interp: Interp, to: &Postbox<ToWorker>, from: &Postbox<Sectio
                     });
                     continue;
                 }
-                let outcome =
-                    std::panic::catch_unwind(AssertUnwindSafe(|| run_msg(&mut interp, &mut msg)));
+                // One fault-injection event per *accepted* section
+                // message (refusals are protocol traffic, not work).
+                let fault = plan.poll(FaultSite::WorkerSection);
+                if fault == Some(FaultKind::Hang) {
+                    // Injected stall: blow the master's watchdog deadline,
+                    // then carry on — the master has detached this seat by
+                    // the time we wake, so the late reply lands in an
+                    // orphaned postbox.
+                    std::thread::sleep(hang_for);
+                }
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    if fault == Some(FaultKind::Panic) {
+                        // resume_unwind skips the global panic hook: no
+                        // backtrace noise for a scripted fault.
+                        std::panic::resume_unwind(Box::new("injected worker fault"));
+                    }
+                    run_msg(&mut interp, &mut msg)
+                }));
                 match outcome {
                     Ok(run) => {
                         poison = if run.dirty {
@@ -413,6 +574,23 @@ fn worker_loop(mut interp: Interp, to: &Postbox<ToWorker>, from: &Postbox<Sectio
                         } else {
                             Poison::None
                         };
+                        if fault == Some(FaultKind::DropReply) {
+                            // Injected loss: the reply never lands; the
+                            // master's watchdog writes the message off and
+                            // detaches this seat.
+                            culi_core::gc::collect(&mut interp, &[]);
+                            continue;
+                        }
+                        if fault == Some(FaultKind::Garbage) {
+                            // Injected corruption: the reply claims every
+                            // section ran but its payload vectors are
+                            // empty. The master's shape validation must
+                            // write it off instead of indexing into it.
+                            msg.results.clear();
+                            msg.section_results.clear();
+                            msg.section_error.clear();
+                            msg.section_counters.clear();
+                        }
                         from.put(SectionReply {
                             msg,
                             dirty: run.dirty,
@@ -537,6 +715,13 @@ fn run_msg(interp: &mut Interp, msg: &mut SectionMsg) -> MsgRun {
             // traffic stays outside it, so these counters line up with
             // the sequential backend's.
             let env = interp.envs.push(Some(base_env));
+            // Each parallel job gets the session's full per-command fuel
+            // budget independently: this fork's absolute deadline is
+            // stale (cloned from the master at warm-up), and a shared
+            // window would make a job's abort depend on how much its
+            // seat has already executed.
+            let budget = interp.meter.fuel_budget();
+            interp.meter.arm_fuel(budget);
             let before = interp.meter.snapshot();
             let outcome = eval(interp, &mut SequentialHook, job, env, 0);
             counters.add(&interp.meter.snapshot().delta_since(&before));
@@ -563,6 +748,25 @@ fn run_msg(interp: &mut Interp, msg: &mut SectionMsg) -> MsgRun {
         }
     }
     run
+}
+
+/// Master-side defensive validation of an executed reply: every
+/// worker-filled vector must line up with the reply's own claimed
+/// progress before the master indexes into them. A reply that fails this
+/// cannot be trusted any further than a panic — the caller writes it off
+/// instead of crashing the master.
+fn reply_shape_valid(msg: &SectionMsg) -> bool {
+    let completed = msg.completed as usize;
+    completed <= msg.section_count()
+        && msg.section_results.len() == completed
+        && msg.section_error.len() == completed
+        && msg.section_counters.len() == completed
+        && msg
+            .section_results
+            .iter()
+            .map(|&n| n as usize)
+            .sum::<usize>()
+            <= msg.results.len()
 }
 
 /// Dispatch plan of one section within a staged run.
@@ -600,6 +804,12 @@ pub struct WorkerPool {
     /// Job charges accumulated across collected sections since the last
     /// [`WorkerPool::take_job_counters`].
     job_counters: Counters,
+    /// Watchdog: how long one reply take may block before its seat is
+    /// declared hung and detached.
+    reply_deadline: Duration,
+    /// Deterministic fault script the workers poll (empty in
+    /// production: one branch per section message).
+    fault_plan: FaultPlan,
 }
 
 impl WorkerPool {
@@ -610,18 +820,44 @@ impl WorkerPool {
     /// Maximum sections a single staged run may coalesce.
     pub const MAX_RUN_SECTIONS: usize = 16;
 
+    /// Default watchdog deadline for one reply take. Deliberately
+    /// generous: legitimate sections can run long, and *budgeted*
+    /// runaways are caught much earlier by fuel — the deadline exists
+    /// for genuinely hung workers.
+    pub const DEFAULT_REPLY_DEADLINE: Duration = Duration::from_secs(30);
+
     /// Forks `threads` workers (at least one) from `template`. This is the
     /// only point that clones whole interpreters; every later section is
     /// incremental (snapshot resync repairs diverged seats in place, and
     /// only the panic-recovery path ever clones again).
     pub fn launch(template: &Interp, threads: usize) -> Self {
+        Self::launch_with(
+            template,
+            threads,
+            Self::DEFAULT_REPLY_DEADLINE,
+            FaultPlan::none(),
+        )
+    }
+
+    /// [`WorkerPool::launch`] with an explicit watchdog deadline and
+    /// fault-injection script (tests and the differential fault
+    /// harness).
+    pub fn launch_with(
+        template: &Interp,
+        threads: usize,
+        reply_deadline: Duration,
+        fault_plan: FaultPlan,
+    ) -> Self {
+        let hang_for = hang_duration(reply_deadline);
         let seats = (0..threads.max(1))
-            .map(|_| Seat::launch(template))
+            .map(|_| Seat::launch(template, &fault_plan, hang_for))
             .collect();
         Self {
             seats,
             pending: VecDeque::new(),
             job_counters: Counters::default(),
+            reply_deadline,
+            fault_plan,
         }
     }
 
@@ -702,6 +938,8 @@ impl WorkerPool {
         }
         let faithful = interp.envs.sync_replay_faithful_since();
         let nseats = self.seats.len();
+        let plan = self.fault_plan.clone();
+        let hang_for = hang_duration(self.reply_deadline);
         // The whole-environment snapshot is identical for every seat that
         // needs one: encode it once per dispatch and memcpy it into each
         // message instead of re-walking the environment per seat.
@@ -709,7 +947,7 @@ impl WorkerPool {
         for c in 0..active_seats {
             let seat = &mut self.seats[c];
             if seat.hard_poisoned && seat.outstanding == 0 {
-                seat.respawn(interp);
+                seat.respawn(interp, &plan, hang_for);
             }
             let mut msg = seat.bufs.pop().expect("seat staged past its buffers");
             // Snapshot-vs-replay decision (module docs): a snapshot is
@@ -776,17 +1014,61 @@ impl WorkerPool {
 
     /// Takes seat `c`'s fully-executed reply for the front run,
     /// repairing refusals and mid-run dirty stops along the way. The
-    /// returned flag is `true` when the seat panicked (its recorded
+    /// returned flag is `true` when the seat's reply was written off —
+    /// panic, watchdog timeout, or corrupted payload (its recorded
     /// outcomes are unreliable).
     fn take_run_reply(
         seats: &mut [Seat],
         interp: &mut Interp,
         epoch: u64,
         c: usize,
+        deadline: Duration,
+        plan: &FaultPlan,
     ) -> (bool, Box<SectionMsg>) {
+        /// Drains the (expected-refused) replies still owed on `seat`
+        /// behind an out-of-band head reply: FIFO messages, whether a
+        /// hard-poison refusal was seen, and whether the drain itself
+        /// hit the watchdog. On the watchdog path the seat was already
+        /// detached and relaunched from the current master, and the
+        /// interrupted message — owed to a *later* run — had its
+        /// write-off credit restored so that run collects a synthetic
+        /// failure.
+        // Messages stay boxed end to end (the postbox hands out
+        // `Box<SectionMsg>`), so the parked list keeps the boxes rather
+        // than moving the large payloads out and back in.
+        #[allow(clippy::vec_box)]
+        fn drain_owed(
+            seat: &mut Seat,
+            interp: &Interp,
+            plan: &FaultPlan,
+            deadline: Duration,
+        ) -> (Vec<Box<SectionMsg>>, bool, bool) {
+            let mut parked = Vec::new();
+            let mut saw_hard = false;
+            let mut detached = false;
+            while seat.outstanding > 0 {
+                let r = seat.take_reply_within(interp, plan, deadline);
+                if r.panicked && !r.refused {
+                    seat.lost_replies += 1;
+                    detached = true;
+                    break;
+                }
+                debug_assert!(r.refused, "poisoned seat executed out of order");
+                saw_hard |= r.panicked;
+                parked.push(r.msg);
+            }
+            (parked, saw_hard, detached)
+        }
+
         let seat = &mut seats[c];
-        let mut reply = seat.take_reply();
+        let mut reply = seat.take_reply_within(interp, plan, deadline);
         loop {
+            if reply.panicked && !reply.refused {
+                // A real panic reply or a synthetic watchdog write-off:
+                // the recorded outcomes are unreliable either way.
+                seat.hard_poisoned = true;
+                return (true, reply.msg);
+            }
             if reply.refused {
                 // A poisoned worker bounced this (oldest outstanding)
                 // message. Everything queued behind it has been (or is
@@ -797,28 +1079,33 @@ impl WorkerPool {
                 // epoch: the current master *is* the state these
                 // messages were staged against.
                 let mut parked = vec![reply.msg];
-                let mut saw_hard = reply.panicked;
-                while seat.outstanding > 0 {
-                    let r = seat.take_reply();
-                    debug_assert!(r.refused, "poisoned seat executed out of order");
-                    saw_hard |= r.panicked;
-                    parked.push(r.msg);
-                }
-                if saw_hard {
+                let saw_hard_head = reply.panicked;
+                let (rest, saw_hard_rest, detached) = drain_owed(seat, interp, plan, deadline);
+                parked.extend(rest);
+                let saw_hard = saw_hard_head || saw_hard_rest;
+                if detached {
+                    // The watchdog already relaunched this seat from the
+                    // current master mid-drain: nothing left to repair,
+                    // just re-send what was recovered.
+                    seat.resend_parked(interp, parked, false, false);
+                } else if saw_hard {
                     // Hard poison: respawn the thread from the current
                     // master; the fresh fork needs no sync at all.
-                    seat.respawn(interp);
+                    seat.respawn(interp, plan, hang_duration(deadline));
+                    seat.resend_parked(interp, parked, false, false);
                 } else {
                     // Soft poison: the first re-sent message carries a
                     // snapshot that fully repairs the replica; the rest
                     // ride behind it with nothing left to sync.
                     seat.synced_epoch = epoch;
+                    seat.resend_parked(interp, parked, true, false);
                 }
-                seat.resend_parked(interp, parked, !saw_hard, false);
-                reply = seat.take_reply();
+                reply = seat.take_reply_within(interp, plan, deadline);
                 continue;
             }
-            if reply.panicked {
+            if !reply_shape_valid(&reply.msg) {
+                // Corrupted payload: write the reply off like a panic
+                // instead of indexing into it.
                 seat.hard_poisoned = true;
                 return (true, reply.msg);
             }
@@ -829,18 +1116,17 @@ impl WorkerPool {
                 // the *same* message in resume mode with a snapshot —
                 // recorded outcomes are kept and execution continues from
                 // `completed` — followed by the drained messages, in
-                // order.
-                let mut parked = Vec::new();
-                while seat.outstanding > 0 {
-                    let r = seat.take_reply();
-                    debug_assert!(r.refused, "dirty seat executed a stale message");
-                    parked.push(r.msg);
-                }
+                // order. (After a mid-drain detach the relaunched fork
+                // already *is* the master state, so the resume rides on
+                // an empty sync instead of a snapshot.)
+                let (parked, _saw_hard, detached) = drain_owed(seat, interp, plan, deadline);
                 let mut run = vec![reply.msg];
                 run.extend(parked);
-                seat.synced_epoch = epoch;
-                seat.resend_parked(interp, run, true, true);
-                reply = seat.take_reply();
+                if !detached {
+                    seat.synced_epoch = epoch;
+                }
+                seat.resend_parked(interp, run, !detached, true);
+                reply = seat.take_reply_within(interp, plan, deadline);
                 continue;
             }
             // Fully executed. A dirty *last* section leaves the worker
@@ -852,14 +1138,11 @@ impl WorkerPool {
             // next stage ships a snapshot.
             if reply.dirty {
                 if seat.outstanding > 0 {
-                    let mut parked = Vec::new();
-                    while seat.outstanding > 0 {
-                        let r = seat.take_reply();
-                        debug_assert!(r.refused, "dirty seat executed a stale message");
-                        parked.push(r.msg);
+                    let (parked, _saw_hard, detached) = drain_owed(seat, interp, plan, deadline);
+                    if !detached {
+                        seat.synced_epoch = epoch;
                     }
-                    seat.synced_epoch = epoch;
-                    seat.resend_parked(interp, parked, true, false);
+                    seat.resend_parked(interp, parked, !detached, false);
                 } else {
                     seat.soft_poisoned = true;
                 }
@@ -877,31 +1160,50 @@ impl WorkerPool {
         interp: &mut Interp,
         results: &mut Vec<NodeId>,
     ) -> culi_core::Result<()> {
+        let deadline = self.reply_deadline;
+        let plan = self.fault_plan.clone();
         let run = self
             .pending
             .front_mut()
             .expect("collect_next without a staged section");
         if run.replies.is_empty() && run.active_seats > 0 {
             for c in 0..run.active_seats {
-                run.replies
-                    .push(Self::take_run_reply(&mut self.seats, interp, run.epoch, c));
+                run.replies.push(Self::take_run_reply(
+                    &mut self.seats,
+                    interp,
+                    run.epoch,
+                    c,
+                    deadline,
+                    &plan,
+                ));
             }
         }
         let s = run.cursor;
         let mut first_error: Option<CuliError> = None;
+        // When any participating seat was written off, the whole section
+        // is re-executed by a fallback (the hook's or the scheduler's):
+        // keep the surviving seats' partial charges out of the job meter
+        // so the fallback's full re-run is the only accounting.
+        let seat_lost = run.replies[..run.plans[s].active]
+            .iter()
+            .any(|(lost, _)| *lost);
         for c in 0..run.plans[s].active {
             match &run.replies[c] {
                 (true, _) => {
                     if first_error.is_none() {
-                        first_error =
-                            Some(CuliError::Backend("||| worker thread panicked".to_string()));
+                        first_error = Some(CuliError::Backend(
+                            "||| worker seat lost (panic, corrupted reply, or watchdog timeout)"
+                                .to_string(),
+                        ));
                     }
                 }
                 (false, msg) => {
                     let pushed = msg.section_results[s] as usize;
                     let start = run.result_at[c];
                     run.result_at[c] += pushed;
-                    self.job_counters.add(&msg.section_counters[s]);
+                    if !seat_lost {
+                        self.job_counters.add(&msg.section_counters[s]);
+                    }
                     if let Some((worker, message)) = &msg.section_error[s] {
                         if first_error.is_none() {
                             first_error = Some(CuliError::WorkerFailed {
@@ -964,6 +1266,39 @@ impl Drop for WorkerPool {
     }
 }
 
+/// Evaluates one section's jobs sequentially on the master interpreter
+/// with the *worker's* exact metering discipline (`run_msg`): child env
+/// outside the job window, per-job fuel re-arm, then the `eval` window
+/// itself, accumulated into `job_counters`. Both graceful-degradation
+/// fallbacks — [`ThreadedHook::execute`]'s on seat loss and the batch
+/// scheduler's sequential re-run — go through this, which is what keeps
+/// degraded replies byte-identical to the pool's (the pool test
+/// `job_counters_match_sequential_reference` pins the equivalence).
+pub(crate) fn run_jobs_sequential_reference(
+    interp: &mut Interp,
+    jobs: &[NodeId],
+    parent_env: EnvId,
+    results: &mut Vec<NodeId>,
+    job_counters: &mut Counters,
+) -> culi_core::Result<()> {
+    for (w, &job) in jobs.iter().enumerate() {
+        let env = interp.envs.push(Some(parent_env));
+        // Like a pool worker: each job independently gets the full
+        // per-command fuel budget.
+        let budget = interp.meter.fuel_budget();
+        interp.meter.arm_fuel(budget);
+        let before = interp.meter.snapshot();
+        let outcome = eval(interp, &mut SequentialHook, job, env, 0);
+        job_counters.add(&interp.meter.snapshot().delta_since(&before));
+        let value = outcome.map_err(|e| CuliError::WorkerFailed {
+            worker: w,
+            message: e.to_string(),
+        })?;
+        results.push(value);
+    }
+    Ok(())
+}
+
 /// Real-threads `|||` backend over a lazily-launched persistent
 /// [`WorkerPool`]. The pool forks its workers on the first section and
 /// keeps them warm across sections *and* REPL commands; see the module
@@ -971,15 +1306,36 @@ impl Drop for WorkerPool {
 #[derive(Debug)]
 pub struct ThreadedHook {
     threads: usize,
+    reply_deadline: Duration,
+    fault_plan: FaultPlan,
     pool: Option<WorkerPool>,
+    /// Job charges of sections re-executed on the *master* after a seat
+    /// loss ([`ThreadedHook::execute`]'s degradation fallback). Reported
+    /// separately from the pool's worker-side charges so the repl can
+    /// subtract them back out of the master meter.
+    degraded_jobs: Counters,
 }
 
 impl ThreadedHook {
     /// A backend that will fork `threads` persistent workers on first use.
     pub fn new(threads: usize) -> Self {
+        Self::with_watchdog(
+            threads,
+            WorkerPool::DEFAULT_REPLY_DEADLINE,
+            FaultPlan::none(),
+        )
+    }
+
+    /// [`ThreadedHook::new`] with an explicit watchdog deadline and
+    /// fault-injection script (tests and the differential fault
+    /// harness).
+    pub fn with_watchdog(threads: usize, reply_deadline: Duration, fault_plan: FaultPlan) -> Self {
         Self {
             threads,
+            reply_deadline,
+            fault_plan,
             pool: None,
+            degraded_jobs: Counters::default(),
         }
     }
 
@@ -996,7 +1352,12 @@ impl ThreadedHook {
     /// The pool, forking it from `interp` on first use.
     pub fn pool_mut(&mut self, interp: &Interp) -> &mut WorkerPool {
         if self.pool.is_none() {
-            self.pool = Some(WorkerPool::launch(interp, self.threads));
+            self.pool = Some(WorkerPool::launch_with(
+                interp,
+                self.threads,
+                self.reply_deadline,
+                self.fault_plan.clone(),
+            ));
         }
         self.pool.as_mut().expect("pool just ensured")
     }
@@ -1009,6 +1370,13 @@ impl ThreadedHook {
             .map(WorkerPool::take_job_counters)
             .unwrap_or_default()
     }
+
+    /// Job charges of degradation-fallback sections evaluated on the
+    /// master meter since the last call (see `degraded_jobs`). Zero in
+    /// every fault-free session.
+    pub fn take_degraded_jobs(&mut self) -> Counters {
+        std::mem::take(&mut self.degraded_jobs)
+    }
 }
 
 impl ParallelHook for ThreadedHook {
@@ -1020,12 +1388,34 @@ impl ParallelHook for ThreadedHook {
         results: &mut Vec<NodeId>,
     ) -> culi_core::Result<()> {
         if self.pool.is_none() {
-            self.pool = Some(WorkerPool::launch(interp, self.threads));
+            self.pool = Some(WorkerPool::launch_with(
+                interp,
+                self.threads,
+                self.reply_deadline,
+                self.fault_plan.clone(),
+            ));
         }
-        self.pool
-            .as_mut()
-            .expect("pool just ensured")
-            .execute(interp, jobs, parent_env, results)
+        let base = results.len();
+        let pool = self.pool.as_mut().expect("pool just ensured");
+        match pool.execute(interp, jobs, parent_env, results) {
+            Err(e) if e.code() == ErrorCode::Device => {
+                // A seat was written off mid-section (the pool has
+                // already relaunched it). The workers' partial results
+                // and charges are discarded — `collect_next` withheld the
+                // section's counters — and the whole section re-executes
+                // on the master with the worker metering discipline, so
+                // the reply stays byte-identical to an un-faulted run.
+                results.truncate(base);
+                run_jobs_sequential_reference(
+                    interp,
+                    jobs,
+                    parent_env,
+                    results,
+                    &mut self.degraded_jobs,
+                )
+            }
+            outcome => outcome,
+        }
     }
 }
 
@@ -1425,6 +1815,129 @@ mod tests {
         pooled.eval_str_with(SECTION, &mut hook).unwrap();
         let pooled_jobs = hook.take_job_counters();
         assert_eq!(pooled_jobs, sep.jobs);
+    }
+
+    #[test]
+    fn hung_worker_is_detached_and_the_section_degrades_to_the_master() {
+        let mut i = interp();
+        let plan = FaultPlan::single(FaultSite::WorkerSection, FaultKind::Hang, 0);
+        let mut hook = ThreadedHook::with_watchdog(2, Duration::from_millis(100), plan.clone());
+        let started = Instant::now();
+        // The watchdog detaches the hung seat and the section re-runs on
+        // the master: the caller still gets the right answer.
+        assert_eq!(run(&mut i, &mut hook, "(||| 2 + (1 2) (1 1))"), "(2 3)");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "recovery latency {:?}",
+            started.elapsed()
+        );
+        assert_eq!(plan.injected_count(), 1);
+        let degraded = hook.take_degraded_jobs();
+        assert!(degraded.eval_steps > 0, "fallback charges must be reported");
+        // The seat was relaunched: the next section runs parallel again.
+        assert_eq!(run(&mut i, &mut hook, "(||| 2 + (1 2) (1 1))"), "(2 3)");
+        assert_eq!(hook.take_degraded_jobs().eval_steps, 0);
+    }
+
+    #[test]
+    fn garbled_reply_is_written_off_not_a_master_crash() {
+        let mut i = interp();
+        let plan = FaultPlan::single(FaultSite::WorkerSection, FaultKind::Garbage, 0);
+        let mut hook = ThreadedHook::with_watchdog(2, Duration::from_secs(5), plan.clone());
+        assert_eq!(run(&mut i, &mut hook, "(||| 2 + (1 2) (1 1))"), "(2 3)");
+        assert_eq!(plan.injected_count(), 1);
+        assert_eq!(run(&mut i, &mut hook, "(||| 2 + (1 2) (1 1))"), "(2 3)");
+    }
+
+    #[test]
+    fn injected_panic_respawns_the_seat() {
+        let mut i = interp();
+        let plan = FaultPlan::single(FaultSite::WorkerSection, FaultKind::Panic, 0);
+        let mut hook = ThreadedHook::with_watchdog(2, Duration::from_secs(5), plan.clone());
+        assert_eq!(run(&mut i, &mut hook, "(||| 2 + (1 2) (1 1))"), "(2 3)");
+        assert_eq!(plan.injected_count(), 1);
+        assert_eq!(run(&mut i, &mut hook, "(||| 2 + (1 2) (1 1))"), "(2 3)");
+    }
+
+    #[test]
+    fn dropped_worker_reply_is_written_off_by_the_watchdog() {
+        let mut i = interp();
+        let plan = FaultPlan::single(FaultSite::WorkerSection, FaultKind::DropReply, 0);
+        let mut hook = ThreadedHook::with_watchdog(2, Duration::from_millis(100), plan.clone());
+        assert_eq!(run(&mut i, &mut hook, "(||| 2 + (1 2) (1 1))"), "(2 3)");
+        assert_eq!(plan.injected_count(), 1);
+        assert_eq!(run(&mut i, &mut hook, "(||| 2 + (1 2) (1 1))"), "(2 3)");
+    }
+
+    #[test]
+    fn raw_pool_seat_loss_still_surfaces_as_a_degradable_backend_error() {
+        // The hook degrades; the *pool* itself must keep reporting the
+        // loss so the batch scheduler's own fallback sees it.
+        let mut i = interp();
+        let plan = FaultPlan::single(FaultSite::WorkerSection, FaultKind::Panic, 0);
+        let mut pool = WorkerPool::launch_with(&i, 2, Duration::from_secs(5), plan.clone());
+        let jobs = culi_core::parser::parse(&mut i, b"(+ 1 1) (+ 2 1)").unwrap();
+        let mut results = Vec::new();
+        let global = i.global;
+        let err = pool
+            .execute(&mut i, &jobs, global, &mut results)
+            .unwrap_err();
+        assert!(matches!(err, CuliError::Backend(_)), "{err:?}");
+        assert_eq!(err.code(), ErrorCode::Device);
+        assert_eq!(plan.injected_count(), 1);
+        // And the written-off section's partial worker charges stayed out
+        // of the job meter: the fallback's re-run is the only accounting.
+        assert_eq!(pool.take_job_counters().eval_steps, 0);
+    }
+
+    #[test]
+    fn worker_jobs_rearm_the_fuel_budget_per_job() {
+        // A budget that comfortably covers any single job but not a whole
+        // session of them: without the per-job re-arm in `run_msg`, the
+        // worker fork's absolute fuel deadline (cloned from the master at
+        // warm-up) would exhaust after a few sections.
+        let mut i = Interp::new(InterpConfig {
+            arena_capacity: 1 << 16,
+            fuel_budget: 50_000,
+            ..Default::default()
+        });
+        let mut hook = ThreadedHook::new(2);
+        i.eval_str_with(
+            "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+            &mut hook,
+        )
+        .unwrap();
+        for _ in 0..30 {
+            assert_eq!(run(&mut i, &mut hook, "(||| 2 fib (10 11))"), "(55 89)");
+        }
+    }
+
+    #[test]
+    fn runaway_worker_job_aborts_on_fuel_not_the_watchdog() {
+        let mut i = Interp::new(InterpConfig {
+            arena_capacity: 1 << 16,
+            fuel_budget: 10_000,
+            ..Default::default()
+        });
+        let mut hook = ThreadedHook::new(2);
+        i.eval_str_with(
+            "(defun spin (x) (dotimes (k 1000000000) (+ k x)))",
+            &mut hook,
+        )
+        .unwrap();
+        let started = Instant::now();
+        let err = i
+            .eval_str_with("(||| 2 spin (1 2))", &mut hook)
+            .unwrap_err();
+        match err {
+            CuliError::WorkerFailed { message, .. } => {
+                assert!(message.contains("fuel"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Fuel, not the 30 s watchdog, contained the runaway.
+        assert!(started.elapsed() < WorkerPool::DEFAULT_REPLY_DEADLINE);
+        assert_eq!(run(&mut i, &mut hook, "(||| 2 + (1 2) (1 1))"), "(2 3)");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The unified REPL reply type shared by all backends.
 
 use crate::phases::{CommandCounters, PhaseBreakdown};
+use culi_core::ErrorCode;
 use culi_gpu_sim::SectionReport;
 
 /// Result of submitting one line to any CuLi backend.
@@ -14,6 +15,14 @@ pub struct Reply {
     pub output: String,
     /// `false` when `output` is an error message rather than a value.
     pub ok: bool,
+    /// Stable classification of how this command ended: [`ErrorCode::Ok`]
+    /// for plain successes, the error's code for `ok == false` replies,
+    /// and [`ErrorCode::Degraded`] for successes produced by the
+    /// scheduler's sequential fallback after a backend failure (output
+    /// and counters are still byte-identical to the reference; only this
+    /// marker differs). Lets clients distinguish user error / fuel
+    /// exhaustion / backend degradation without string matching.
+    pub code: ErrorCode,
     /// Per-phase simulated timing (zeroed sections the backend does not
     /// model; the real-threads backend reports only master-side phases).
     pub phases: PhaseBreakdown,

@@ -70,9 +70,36 @@
 //! (or, for a sharded GPU queue, which device) produced them: every
 //! command owns a reply slot indexed by its position in the input stream,
 //! `collect`/`run_barrier` fill slots, and the scheduler returns the
-//! slots in order once the stream is exhausted. A hard (device/session)
-//! error aborts the whole batch as a [`crate::RuntimeError`], exactly as
-//! the pre-unification dispatchers did.
+//! slots in order once the stream is exhausted.
+//!
+//! # Graceful degradation (fault model)
+//!
+//! Errors split into two classes by [`crate::RuntimeError::is_degradable`]:
+//!
+//! * **Program errors** (wrong types, division by zero, fuel/heap limits,
+//!   parse errors) are deterministic properties of the command. They are
+//!   rendered as `ok == false` replies by the queue and never retried —
+//!   the sequential reference produces the identical reply.
+//! * **Infrastructure errors** ([`culi_core::ErrorCode::Device`]: a
+//!   worker seat lost to a panic, hang or corrupted reply; a device
+//!   reply dropped past its retry budget) say nothing about the
+//!   commands. The queue writes the affected commands off (exposing
+//!   their slots via [`ExecQueue::take_failed`]) and the scheduler
+//!   **degrades**: it drains every other in-flight run — later runs may
+//!   write off more commands — then re-executes each written-off command
+//!   on the queue's *sequential reference* path
+//!   ([`ExecQueue::run_sequential`]), in submission order. This is sound
+//!   because only provably-pure commands are ever staged: the master
+//!   re-evaluating them observes exactly the state they were staged
+//!   against, so the fallback replies (output, `ok`, counters) are
+//!   byte-identical to what the healthy backend would have produced —
+//!   only [`crate::Reply::code`] is marked
+//!   [`culi_core::ErrorCode::Degraded`]. The differential fault harness
+//!   asserts this equivalence.
+//!
+//! Non-degradable session/protocol failures still abort the whole batch
+//! as a [`crate::RuntimeError`], exactly as the pre-unification
+//! dispatchers did.
 
 use crate::error::Result;
 use crate::reply::Reply;
@@ -138,6 +165,27 @@ pub trait ExecQueue<'i> {
         slot: usize,
         replies: &mut [Option<Reply>],
     ) -> Result<()>;
+
+    /// Reply slots written off by the most recent **degradable**
+    /// `dispatch`/`collect` failure. The queue has already retired its
+    /// internal pipeline state for them; the scheduler re-executes each
+    /// on [`ExecQueue::run_sequential`] after draining the pipeline.
+    /// Defaults to none (queues that never degrade).
+    fn take_failed(&mut self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Executes `input` on the queue's *sequential reference* path — the
+    /// master interpreter alone, no pool or device batching — writing
+    /// into `slot` the byte-identical reply the healthy path would have
+    /// produced, with successes marked [`culi_core::ErrorCode::Degraded`].
+    /// Only called after a degradable failure, with the pipeline drained.
+    fn run_sequential(
+        &mut self,
+        input: &'i str,
+        slot: usize,
+        replies: &mut [Option<Reply>],
+    ) -> Result<()>;
 }
 
 /// The backend-agnostic batch dispatcher: drives an [`ExecQueue`] over a
@@ -171,25 +219,25 @@ impl<'i, Q: ExecQueue<'i>> BatchScheduler<'i, Q> {
             // Budget check first: a run-ending command starts the next
             // run instead of truncating it.
             if !s.assembling.is_empty() && !queue.admits(s.assembling.len(), s.run_bytes, input) {
-                s.flush(queue)?;
+                s.flush(queue, inputs)?;
             }
             match queue.classify_and_stage(input, slot)? {
                 Verdict::Stage(staged) => {
                     s.assembling.push(staged);
                     s.run_bytes += input.len();
                     if s.assembling.len() >= queue.max_run_len() {
-                        s.flush(queue)?;
+                        s.flush(queue, inputs)?;
                     }
                 }
                 Verdict::Barrier(b) => {
-                    s.flush(queue)?;
-                    s.drain(queue)?;
+                    s.flush(queue, inputs)?;
+                    s.drain(queue, inputs)?;
                     queue.run_barrier(b, slot, &mut s.replies)?;
                 }
             }
         }
-        s.flush(queue)?;
-        s.drain(queue)?;
+        s.flush(queue, inputs)?;
+        s.drain(queue, inputs)?;
         Ok(s.replies
             .into_iter()
             .map(|r| r.expect("every batch slot replied"))
@@ -198,25 +246,60 @@ impl<'i, Q: ExecQueue<'i>> BatchScheduler<'i, Q> {
 
     /// Dispatches the assembling run (if any), first collecting the
     /// oldest in-flight run(s) while the pipeline is at depth.
-    fn flush(&mut self, queue: &mut Q) -> Result<()> {
+    fn flush(&mut self, queue: &mut Q, inputs: &[&'i str]) -> Result<()> {
         if self.assembling.is_empty() {
             return Ok(());
         }
         while self.pending.len() >= queue.pipeline_depth() {
-            let run = self.pending.pop_front().expect("pipeline non-empty");
-            queue.collect(run, &mut self.replies)?;
+            self.collect_oldest(queue, inputs)?;
         }
         let run = std::mem::take(&mut self.assembling);
         self.run_bytes = 0;
-        let dispatched = queue.dispatch(run)?;
-        self.pending.push_back(dispatched);
+        match queue.dispatch(run) {
+            Ok(dispatched) => self.pending.push_back(dispatched),
+            Err(e) if e.is_degradable() => self.degrade(queue, inputs)?,
+            Err(e) => return Err(e),
+        }
         Ok(())
     }
 
     /// Collects every in-flight run, oldest first.
-    fn drain(&mut self, queue: &mut Q) -> Result<()> {
+    fn drain(&mut self, queue: &mut Q, inputs: &[&'i str]) -> Result<()> {
+        while !self.pending.is_empty() {
+            self.collect_oldest(queue, inputs)?;
+        }
+        Ok(())
+    }
+
+    /// Retires the oldest in-flight run; a degradable backend failure
+    /// routes through [`BatchScheduler::degrade`] instead of aborting.
+    fn collect_oldest(&mut self, queue: &mut Q, inputs: &[&'i str]) -> Result<()> {
+        let run = self.pending.pop_front().expect("pipeline non-empty");
+        match queue.collect(run, &mut self.replies) {
+            Ok(()) => Ok(()),
+            Err(e) if e.is_degradable() => self.degrade(queue, inputs),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Graceful degradation: the queue wrote commands off after an
+    /// infrastructure failure survived its internal retries. Drain every
+    /// other in-flight run first — later runs may write off more
+    /// commands — then re-execute every written-off command on the
+    /// queue's sequential reference, in submission order (see the module
+    /// docs for why the fallback replies are byte-identical).
+    fn degrade(&mut self, queue: &mut Q, inputs: &[&'i str]) -> Result<()> {
+        let mut failed = queue.take_failed();
         while let Some(run) = self.pending.pop_front() {
-            queue.collect(run, &mut self.replies)?;
+            match queue.collect(run, &mut self.replies) {
+                Ok(()) => {}
+                Err(e) if e.is_degradable() => failed.extend(queue.take_failed()),
+                Err(e) => return Err(e),
+            }
+        }
+        failed.sort_unstable();
+        for slot in failed {
+            queue.run_sequential(inputs[slot], slot, &mut self.replies)?;
         }
         Ok(())
     }
@@ -241,6 +324,10 @@ mod tests {
         depth: usize,
         /// Run byte budget for `admits`; `None` admits everything.
         byte_budget: Option<usize>,
+        /// When set, collecting the run containing this slot fails
+        /// degradably (one-shot): its slots land in `failed`.
+        fail_collect_containing: Option<usize>,
+        failed: Vec<usize>,
         events: Vec<String>,
         outstanding: usize,
         max_outstanding: usize,
@@ -252,6 +339,8 @@ mod tests {
                 max_run,
                 depth,
                 byte_budget: None,
+                fail_collect_containing: None,
+                failed: Vec::new(),
                 events: Vec::new(),
                 outstanding: 0,
                 max_outstanding: 0,
@@ -300,8 +389,18 @@ mod tests {
         }
 
         fn collect(&mut self, run: Self::Run, replies: &mut [Option<Reply>]) -> Result<()> {
-            self.events.push(format!("collect:{}", run.len()));
             self.outstanding -= 1;
+            if let Some(bad) = self.fail_collect_containing {
+                if run.iter().any(|&(slot, _)| slot == bad) {
+                    self.fail_collect_containing = None;
+                    self.events.push(format!("collect-fail:{}", run.len()));
+                    self.failed.extend(run.iter().map(|&(slot, _)| slot));
+                    return Err(crate::error::RuntimeError::Device(
+                        culi_gpu_sim::SimError::ReplyDropped,
+                    ));
+                }
+            }
+            self.events.push(format!("collect:{}", run.len()));
             for (slot, input) in run {
                 replies[slot] = Some(reply(format!("S{slot}:{input}")));
             }
@@ -322,6 +421,24 @@ mod tests {
             );
             assert_eq!(self.outstanding, 0, "barrier with runs in flight");
             replies[slot] = Some(reply(format!("B{slot}:{barrier}")));
+            Ok(())
+        }
+
+        fn take_failed(&mut self) -> Vec<usize> {
+            std::mem::take(&mut self.failed)
+        }
+
+        fn run_sequential(
+            &mut self,
+            input: &'i str,
+            slot: usize,
+            replies: &mut [Option<Reply>],
+        ) -> Result<()> {
+            self.events.push(format!("seq:{slot}"));
+            assert_eq!(self.outstanding, 0, "fallback with runs in flight");
+            let mut r = reply(format!("D{slot}:{input}"));
+            r.code = culi_core::ErrorCode::Degraded;
+            replies[slot] = Some(r);
             Ok(())
         }
     }
@@ -363,6 +480,40 @@ mod tests {
                 "collect:2",
                 "dispatch:1",
                 "collect:1"
+            ]
+        );
+    }
+
+    #[test]
+    fn degradable_failure_drains_then_falls_back_sequentially() {
+        let mut q = ScriptQueue::new(2, 2);
+        q.fail_collect_containing = Some(0);
+        // Runs: {0,1} (fails at collect), {2,3}, {4,5}.
+        let inputs = ["s"; 6];
+        let replies = BatchScheduler::submit_batch(&mut q, &inputs).unwrap();
+        for (slot, r) in replies.iter().enumerate() {
+            if slot < 2 {
+                assert_eq!(r.output, format!("D{slot}:s"));
+                assert_eq!(r.code, culi_core::ErrorCode::Degraded);
+            } else {
+                assert_eq!(r.output, format!("S{slot}:s"));
+                assert_eq!(r.code, culi_core::ErrorCode::Ok);
+            }
+        }
+        // The failed run's slots re-execute sequentially, in submission
+        // order, only after the surviving in-flight run was drained;
+        // later staging then proceeds normally.
+        assert_eq!(
+            q.events,
+            [
+                "dispatch:2",
+                "dispatch:2",
+                "collect-fail:2",
+                "collect:2",
+                "seq:0",
+                "seq:1",
+                "dispatch:2",
+                "collect:2"
             ]
         );
     }

@@ -8,7 +8,10 @@ use crate::cpu_repl::{CpuMode, CpuRepl, CpuReplConfig};
 use crate::error::Result;
 use crate::gpu_repl::{GpuRepl, GpuReplConfig};
 use crate::reply::Reply;
+use culi_core::fault::FaultPlan;
+use culi_core::InterpConfig;
 use culi_gpu_sim::{DeviceKind, DeviceSpec, KernelConfig};
+use std::time::Duration;
 
 /// A running CuLi session on any backend.
 // Sessions are created a handful of times per process and live on the
@@ -65,6 +68,48 @@ impl Session {
             spec,
             CpuReplConfig {
                 mode: CpuMode::Threaded { threads },
+                ..Default::default()
+            },
+        ))
+    }
+
+    /// Boots a real-threads CPU session under runaway containment: a
+    /// per-command fuel budget, a worker-pool watchdog `reply_deadline`,
+    /// and a scripted [`FaultPlan`] (the differential fault harness's
+    /// entry point; pass [`FaultPlan::none`] for just the containment).
+    pub fn cpu_threaded_contained(
+        spec: DeviceSpec,
+        threads: usize,
+        fuel_budget: u64,
+        reply_deadline: Duration,
+        fault_plan: FaultPlan,
+    ) -> Self {
+        Self::Cpu(CpuRepl::launch(
+            spec,
+            CpuReplConfig {
+                interp: InterpConfig {
+                    fuel_budget,
+                    ..Default::default()
+                },
+                mode: CpuMode::Threaded { threads },
+                reply_deadline,
+                fault_plan,
+                ..Default::default()
+            },
+        ))
+    }
+
+    /// Boots a GPU session with a scripted [`FaultPlan`] driving its
+    /// reply-handshake fault injection (and a per-command fuel budget).
+    pub fn gpu_faulted(spec: DeviceSpec, fuel_budget: u64, fault_plan: FaultPlan) -> Self {
+        Self::Gpu(GpuRepl::launch(
+            spec,
+            GpuReplConfig {
+                interp: InterpConfig {
+                    fuel_budget,
+                    ..Default::default()
+                },
+                fault_plan,
                 ..Default::default()
             },
         ))

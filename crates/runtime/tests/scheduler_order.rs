@@ -158,6 +158,17 @@ impl<'i> ExecQueue<'i> for MockQueue {
         Ok(())
     }
 
+    fn run_sequential(
+        &mut self,
+        _input: &'i str,
+        _slot: usize,
+        _replies: &mut [Option<Reply>],
+    ) -> culi_runtime::Result<()> {
+        // Only called for slots surfaced by `take_failed`; this mock
+        // never reports any (the default impl returns an empty list).
+        unreachable!("MockQueue never degrades")
+    }
+
     fn run_barrier(
         &mut self,
         (fail, input): Self::Barrier,

@@ -29,9 +29,11 @@
 //! worker keeps evaluating its own jobs past the globally-first error —
 //! so only their replies and parse counters are comparable.)
 
-use culi::core::InterpConfig;
+use culi::core::fault::{FaultKind, FaultPlan, FaultSite};
+use culi::core::{ErrorCode, InterpConfig};
 use culi::runtime::{CpuMode, CpuRepl, CpuReplConfig, GpuRepl, GpuReplConfig, Reply};
 use culi::sim::device::{gtx1080, intel_e5_2620};
+use std::time::Duration;
 
 /// splitmix64: deterministic seedable program generation.
 struct Rng(u64);
@@ -287,6 +289,168 @@ fn differential_seeds_chunk_2_of_4() {
 #[test]
 fn differential_seeds_chunk_3_of_4() {
     check_chunk(3);
+}
+
+// --------------------------------------------------------------------
+// Fault sweep (PR 6): the same generated command streams run through
+// fault-injected sessions. Injected infrastructure failures — worker
+// panics, hangs past the watchdog deadline, garbled and dropped replies,
+// dropped GPU reply handshakes — must be *invisible* in the reply
+// stream: byte-identical output/ok/counters in submission order against
+// the un-faulted sequential reference. Only `Reply::code` may differ
+// (deliberately: `Degraded` marks answers produced by the fallback).
+
+/// A real-threads CPU session with a scripted fault plan and a watchdog
+/// deadline short enough to keep injected hangs cheap.
+fn faulted_cpu(plan: FaultPlan) -> CpuRepl {
+    CpuRepl::launch(
+        intel_e5_2620(),
+        CpuReplConfig {
+            interp: InterpConfig {
+                arena_capacity: 1 << 17,
+                ..Default::default()
+            },
+            mode: CpuMode::Threaded { threads: 4 },
+            reply_deadline: Duration::from_millis(100),
+            fault_plan: plan,
+            ..Default::default()
+        },
+    )
+}
+
+fn faulted_gpu(plan: FaultPlan) -> GpuRepl {
+    GpuRepl::launch(
+        gtx1080(),
+        GpuReplConfig {
+            interp: InterpConfig {
+                arena_capacity: 1 << 17,
+                ..Default::default()
+            },
+            fault_plan: plan,
+            ..Default::default()
+        },
+    )
+}
+
+/// Replies must match in everything *except* `code`: a degraded slot
+/// carries the same bytes with `ErrorCode::Degraded`.
+fn compare_faulted(reference: &Reply, got: &Reply, context: &str) {
+    compare_replies(reference, got, context);
+    assert!(
+        got.code == reference.code || got.code == ErrorCode::Degraded,
+        "unexpected code {:?} — {context}",
+        got.code
+    );
+}
+
+/// One seeded program through a fault-injected CPU batch (and, when the
+/// plan has device triggers, a fault-injected GPU batch) against the
+/// un-faulted sequential reference.
+fn check_faulted_program(seed: u64, cpu_plan: FaultPlan, gpu_plan: FaultPlan) {
+    let mut rng = Rng(seed);
+    let len = 4 + rng.below(8) as usize;
+    let commands: Vec<String> = (0..len).map(|_| command(&mut rng)).collect();
+    let inputs: Vec<&str> = commands.iter().map(String::as_str).collect();
+
+    let mut reference = repl(CpuMode::Modeled);
+    let mut cpu = faulted_cpu(cpu_plan);
+    let mut gpu = faulted_gpu(gpu_plan);
+    for line in PRELUDE {
+        reference.submit(line).unwrap();
+        cpu.submit(line).unwrap();
+        gpu.submit(line).unwrap();
+    }
+    let cpu_batch = cpu.submit_batch(&inputs).unwrap();
+    let gpu_batch = gpu.submit_batch(&inputs).unwrap();
+    assert_eq!(cpu_batch.len(), inputs.len());
+    assert_eq!(gpu_batch.len(), inputs.len());
+    for (k, src) in inputs.iter().enumerate() {
+        let want = reference.submit(src).unwrap();
+        let tag = |name: &str| format!("fault seed {seed} cmd {k} [{name}]: {src}");
+        compare_faulted(&want, &cpu_batch[k], &tag("cpu faulted"));
+        compare_faulted(&want, &gpu_batch[k], &tag("gpu faulted"));
+    }
+}
+
+/// Seeded sweep: scripted fault plans (kind, site and event index all
+/// seed-derived) over the generated program space. `CULI_FAULT_SEEDS`
+/// deepens it in CI (default 12, minimum 4).
+#[test]
+fn fault_sweep_seeded_plans_are_invisible_in_replies() {
+    let n: u64 = std::env::var("CULI_FAULT_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12)
+        .max(4);
+    for seed in 0..n {
+        check_faulted_program(
+            seed,
+            FaultPlan::from_seed(seed),
+            FaultPlan::from_seed(seed ^ 0x5eed),
+        );
+    }
+}
+
+/// Directed sweep: every worker fault kind at several early section
+/// events, so each recovery path (panic respawn, watchdog detach,
+/// garbled-reply write-off, dropped-reply write-off) provably runs.
+#[test]
+fn fault_sweep_every_worker_fault_kind_and_site() {
+    let mut injected = 0;
+    for kind in [
+        FaultKind::Panic,
+        FaultKind::Hang,
+        FaultKind::Garbage,
+        FaultKind::DropReply,
+    ] {
+        for at in [0, 1, 3] {
+            let plan = FaultPlan::single(FaultSite::WorkerSection, kind, at);
+            check_faulted_program(7, plan.clone(), FaultPlan::none());
+            injected += plan.injected_count();
+        }
+    }
+    assert!(
+        injected >= 8,
+        "directed plans barely fired ({injected}); sweep lost its teeth"
+    );
+}
+
+/// Directed GPU arm: a drop burst longer than the handshake retry budget
+/// forces the scheduler's sequential fallback on the device path.
+#[test]
+fn fault_sweep_gpu_drop_burst_degrades_and_matches() {
+    let plan = FaultPlan::burst(FaultSite::DeviceReply, FaultKind::DropReply, 0, 4);
+    check_faulted_program(11, FaultPlan::none(), plan.clone());
+    assert!(plan.injected_count() >= 3, "{}", plan.injected_count());
+}
+
+/// A deliberate runaway under a fuel budget comes back as a prompt,
+/// well-formed fuel error — the session survives and the abort happens
+/// in interpreter time, far inside the watchdog deadline.
+#[test]
+fn runaway_under_fuel_budget_is_contained_promptly() {
+    let mut cpu = CpuRepl::launch(
+        intel_e5_2620(),
+        CpuReplConfig {
+            interp: InterpConfig {
+                arena_capacity: 1 << 17,
+                fuel_budget: 100_000,
+                ..Default::default()
+            },
+            mode: CpuMode::Threaded { threads: 4 },
+            ..Default::default()
+        },
+    );
+    let started = std::time::Instant::now();
+    let reply = cpu.submit("(dotimes (i 1000000000) (+ i i))").unwrap();
+    assert!(!reply.ok);
+    assert_eq!(reply.code, ErrorCode::Fuel);
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "containment latency {:?}",
+        started.elapsed()
+    );
+    assert_eq!(cpu.submit("(+ 1 2)").unwrap().output, "3");
 }
 
 /// A directed worst case the generator only sometimes hits: definition
