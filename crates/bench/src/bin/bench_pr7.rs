@@ -1,0 +1,456 @@
+//! `bench_pr7` — emits the PR-7 multi-tenant serving baseline as JSON,
+//! and acts as the CI bench-regression gate for the session server.
+//!
+//! Measures the [`culi_runtime::SessionServer`] against the **naive
+//! one-pool-per-session baseline** it replaces: N independent
+//! [`culi_runtime::Session::tenant`] sessions, each booting its own
+//! worker pool on first `|||` section, served round-robin by direct
+//! `submit` calls. Every tenant runs the same short mixed stream (a
+//! definition, env mutation, a parallel section, scalar reads), so the
+//! arms do identical interpreter work — the difference is pure serving
+//! harness: per-session pool forks and rendezvous vs the server's
+//! cold-route reference execution with fair-share admission.
+//!
+//! * **`multi_tenant_speedup`** — sustained commands/sec, server ÷ naive,
+//!   at 256 concurrent sessions. Hard floor **≥ 2×** (the PR's
+//!   acceptance bar), plus a baseline-relative regression band.
+//! * **`noisy_p99_ratio`** — healthy tenants' p99 completion latency
+//!   with a fuel-exhausting noisy neighbor admitted ÷ the same 64-tenant
+//!   population without it. Per-tenant fuel budgets abort the runaways
+//!   in interpreter time, so the shift must stay inside the tolerance
+//!   band (gated against `max(baseline × band, 3.0)` — the absolute
+//!   floor absorbs scheduler jitter on sub-millisecond p99s).
+//! * **`mt/<n>/…`** rows — per-scale ns/command and p50/p99 completion
+//!   latencies for both arms at 64, 256 and (full mode only) 1024
+//!   sessions; `CULI_BENCH_FAST=1` skips the 1024 arm.
+//!
+//! ```text
+//! cargo run --release -p culi-bench --bin bench_pr7 [out.json]
+//! cargo run --release -p culi-bench --bin bench_pr7 [out.json] --gate BENCH_pr7.json [band]
+//! ```
+
+use culi_bench::jsonout::{Json, JsonValue, ToJson};
+use culi_runtime::{ServerConfig, Session, SessionServer, TenantSessionConfig};
+use std::time::Instant;
+
+struct BenchRow {
+    name: String,
+    median_ns: f64,
+    samples: usize,
+}
+
+impl ToJson for BenchRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("median_ns", Json::Num(self.median_ns)),
+            ("samples", Json::UInt(self.samples as u64)),
+        ])
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var("CULI_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// The per-tenant command stream: definition, env mutation, one `|||`
+/// section (this is what forks a pool in the naive arm), scalar reads.
+fn tenant_stream(t: usize) -> Vec<String> {
+    vec![
+        "(defun sq (x) (* x x))".to_string(),
+        format!("(setq v {})", t % 50),
+        "(||| 2 sq (2 3))".to_string(),
+        "(+ v 9)".to_string(),
+        "(list v v)".to_string(),
+        "(* v 3)".to_string(),
+    ]
+}
+
+fn tenant_cfg() -> TenantSessionConfig {
+    TenantSessionConfig {
+        arena_capacity: 1 << 13,
+        ..Default::default()
+    }
+}
+
+/// Latency distribution of one arm's run: total wall ns plus sorted
+/// per-command completion times (ns since the arm started serving).
+struct ArmTimes {
+    total_ns: f64,
+    completions_ns: Vec<f64>,
+}
+
+impl ArmTimes {
+    fn percentile(&self, p: f64) -> f64 {
+        let k = ((self.completions_ns.len() - 1) as f64 * p).round() as usize;
+        self.completions_ns[k]
+    }
+}
+
+/// Naive arm: one full session (own interpreter, own worker pool) per
+/// tenant, served round-robin with direct submits. Session boot is
+/// outside the timed region; the per-session pool fork triggered by the
+/// first `|||` command is inside it — that fork IS the naive serving
+/// cost the server amortizes away.
+fn run_naive(sessions: usize) -> ArmTimes {
+    let spec = culi_gpu_sim::device::intel_e5_2620();
+    let cfg = tenant_cfg();
+    let streams: Vec<Vec<String>> = (0..sessions).map(tenant_stream).collect();
+    let mut pool: Vec<Session> = (0..sessions).map(|_| Session::tenant(spec, &cfg)).collect();
+    let len = streams[0].len();
+    let mut completions_ns = Vec::with_capacity(sessions * len);
+    let t0 = Instant::now();
+    for k in 0..len {
+        for (stream, session) in streams.iter().zip(pool.iter_mut()) {
+            let reply = session.submit(&stream[k]).expect("naive submit");
+            assert!(reply.ok, "{}", reply.output);
+            completions_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+    let total_ns = t0.elapsed().as_nanos() as f64;
+    for mut s in pool {
+        s.shutdown();
+    }
+    let mut times = ArmTimes {
+        total_ns,
+        completions_ns,
+    };
+    times.completions_ns.sort_by(|a, b| a.total_cmp(b));
+    times
+}
+
+/// Server arm: the same tenant population admitted onto one
+/// [`SessionServer`], streams enqueued round-robin, drained through
+/// fair-share rounds. `extra_noisy` additionally admits one
+/// tightly-fueled tenant whose whole stream is runaway loops; only the
+/// healthy tenants' completions are reported. Three sampled healthy
+/// tenants (first, middle, last admitted) are verified byte-identical —
+/// output, ok flag, code and full counters — against isolated
+/// [`Session::tenant`] reference sessions, so the gate run itself
+/// asserts the byte-identity guarantee at every scale it measures.
+fn run_server(sessions: usize, extra_noisy: bool) -> ArmTimes {
+    let spec = culi_gpu_sim::device::intel_e5_2620();
+    let cfg = tenant_cfg();
+    let streams: Vec<Vec<String>> = (0..sessions).map(tenant_stream).collect();
+    let len = streams[0].len();
+    let mut srv = SessionServer::new(
+        spec,
+        ServerConfig {
+            queue_capacity: len,
+            global_queue_capacity: (sessions + 1) * len,
+            // A small quantum spreads each tenant's stream over several
+            // rounds, so completion timestamps (stamped per round) show
+            // real p50/p99 structure instead of one global barrier.
+            quantum: 2,
+            ..Default::default()
+        },
+    );
+    let ids: Vec<_> = (0..sessions).map(|_| srv.admit(cfg.clone())).collect();
+    let noisy = extra_noisy.then(|| {
+        srv.admit(TenantSessionConfig {
+            // Tight budget: each runaway aborts in interpreter time,
+            // keeping the healthy-p99 shift small and stable.
+            fuel_budget: 2_000,
+            ..tenant_cfg()
+        })
+    });
+    let sampled = [0, sessions / 2, sessions - 1];
+    let mut sampled_replies: Vec<Vec<culi_runtime::Reply>> =
+        sampled.iter().map(|_| Vec::new()).collect();
+    let mut completions_ns = Vec::with_capacity(sessions * len);
+    let t0 = Instant::now();
+    for k in 0..len {
+        for (stream, id) in streams.iter().zip(&ids) {
+            assert!(srv.enqueue(*id, &stream[k]).is_none(), "refused");
+        }
+        if let Some(noisy) = noisy {
+            assert!(srv
+                .enqueue(noisy, "(dotimes (j 1000000000) (* j j))")
+                .is_none());
+        }
+    }
+    loop {
+        let round = srv.pump_round();
+        if round.is_empty() {
+            break;
+        }
+        let now_ns = t0.elapsed().as_nanos() as f64;
+        for (id, reply) in round {
+            if Some(id) == noisy {
+                assert!(!reply.ok, "runaways must abort");
+                continue;
+            }
+            assert!(reply.ok, "{}", reply.output);
+            completions_ns.push(now_ns);
+            if let Some(s) = sampled.iter().position(|&t| ids[t] == id) {
+                sampled_replies[s].push(reply);
+            }
+        }
+    }
+    let total_ns = t0.elapsed().as_nanos() as f64;
+    assert_eq!(completions_ns.len(), sessions * len);
+    srv.shutdown();
+    // Byte-identity spot check (outside the timed region): the sampled
+    // tenants' reply streams must match isolated sessions exactly.
+    for (s, &t) in sampled.iter().enumerate() {
+        let mut isolated = Session::tenant(spec, &cfg);
+        assert_eq!(sampled_replies[s].len(), len);
+        for (got, src) in sampled_replies[s].iter().zip(&streams[t]) {
+            let want = isolated.submit(src).expect("reference submit");
+            assert_eq!(got.output, want.output, "{src}");
+            assert_eq!(got.ok, want.ok, "{src}");
+            assert_eq!(got.code, want.code, "{src}");
+            assert_eq!(got.counters, want.counters, "{src}");
+        }
+        isolated.shutdown();
+    }
+    let mut times = ArmTimes {
+        total_ns,
+        completions_ns,
+    };
+    times.completions_ns.sort_by(|a, b| a.total_cmp(b));
+    times
+}
+
+/// Fresh metrics the gate compares; returned alongside the JSON rows.
+struct Metrics {
+    multi_tenant_speedup: f64,
+    noisy_p99_ratio: f64,
+}
+
+fn run_benchmarks(rows: &mut Vec<BenchRow>, samples: usize) -> Metrics {
+    let scales: &[usize] = if fast_mode() {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024]
+    };
+    let mut speedup_at_256 = 0.0;
+    for &n in scales {
+        // The 256 arm feeds the gate: take the best of `samples` runs of
+        // each side so one scheduler hiccup cannot fail CI; larger scales
+        // run once (they are informational and slow).
+        let reps = if n == 256 { samples } else { 1 };
+        let mut naive_best: Option<ArmTimes> = None;
+        let mut server_best: Option<ArmTimes> = None;
+        for _ in 0..reps {
+            let naive = run_naive(n);
+            if naive_best
+                .as_ref()
+                .is_none_or(|b| naive.total_ns < b.total_ns)
+            {
+                naive_best = Some(naive);
+            }
+            let server = run_server(n, false);
+            if server_best
+                .as_ref()
+                .is_none_or(|b| server.total_ns < b.total_ns)
+            {
+                server_best = Some(server);
+            }
+        }
+        let naive = naive_best.unwrap();
+        let server = server_best.unwrap();
+        let commands = server.completions_ns.len() as f64;
+        if n == 256 {
+            speedup_at_256 = naive.total_ns / server.total_ns;
+        }
+        for (arm, times) in [("naive", &naive), ("server", &server)] {
+            rows.push(BenchRow {
+                name: format!("mt/{n}/{arm}_ns_per_cmd"),
+                median_ns: times.total_ns / commands,
+                samples: reps,
+            });
+            rows.push(BenchRow {
+                name: format!("mt/{n}/{arm}_p50"),
+                median_ns: times.percentile(0.50),
+                samples: reps,
+            });
+            rows.push(BenchRow {
+                name: format!("mt/{n}/{arm}_p99"),
+                median_ns: times.percentile(0.99),
+                samples: reps,
+            });
+        }
+    }
+
+    // --- Noisy-neighbor isolation at 64 tenants ------------------------
+    // Best-of-N on both sides for the same jitter reason; the noisy
+    // tenant's own (failing) replies are excluded from the distribution.
+    let mut base_p99 = f64::INFINITY;
+    let mut noisy_p99 = f64::INFINITY;
+    for _ in 0..samples {
+        base_p99 = base_p99.min(run_server(64, false).percentile(0.99));
+        noisy_p99 = noisy_p99.min(run_server(64, true).percentile(0.99));
+    }
+    let noisy_p99_ratio = noisy_p99 / base_p99;
+    rows.push(BenchRow {
+        name: "noisy/64/healthy_p99_alone".into(),
+        median_ns: base_p99,
+        samples,
+    });
+    rows.push(BenchRow {
+        name: "noisy/64/healthy_p99_beside_noisy".into(),
+        median_ns: noisy_p99,
+        samples,
+    });
+
+    Metrics {
+        multi_tenant_speedup: speedup_at_256,
+        noisy_p99_ratio,
+    }
+}
+
+fn run_gate(baseline_path: &str, baseline: &JsonValue, band: f64, metrics: &Metrics) {
+    println!("bench gate vs {baseline_path} (band {band:.2}):");
+    let mut failed = false;
+
+    // Speedup: the 2x acceptance floor is absolute; on top, a downward
+    // baseline-relative band catches serving-path regressions well above
+    // the floor.
+    match baseline
+        .get("multi_tenant_speedup")
+        .and_then(JsonValue::as_f64)
+    {
+        Some(base) => {
+            let required = (base / band).max(2.0);
+            if metrics.multi_tenant_speedup >= required {
+                println!(
+                    "  ok   multi_tenant_speedup: fresh {:.2}x vs baseline {base:.2}x \
+                     (required >= {required:.2}x)",
+                    metrics.multi_tenant_speedup
+                );
+            } else {
+                println!(
+                    "  FAIL multi_tenant_speedup: fresh {:.2}x fell below {required:.2}x \
+                     (baseline {base:.2}x, band {band:.2}, floor 2.00x)",
+                    metrics.multi_tenant_speedup
+                );
+                failed = true;
+            }
+        }
+        None => {
+            println!("  FAIL baseline is missing multi_tenant_speedup");
+            failed = true;
+        }
+    }
+
+    // Noisy-neighbor p99 shift: upward band with an absolute allowance
+    // floor — the p99s are sub-millisecond, so pure scheduler jitter can
+    // move the ratio; what the gate must catch is isolation *breaking*
+    // (runaways stalling healthy tenants → ratio explodes).
+    match baseline.get("noisy_p99_ratio").and_then(JsonValue::as_f64) {
+        Some(base) => {
+            let allowed = (base * band).max(3.0);
+            if metrics.noisy_p99_ratio <= allowed {
+                println!(
+                    "  ok   noisy_p99_ratio: fresh {:.2} vs baseline {base:.2} \
+                     (allowed <= {allowed:.2})",
+                    metrics.noisy_p99_ratio
+                );
+            } else {
+                println!(
+                    "  FAIL noisy_p99_ratio: fresh {:.2} grew past {allowed:.2} \
+                     (baseline {base:.2}, band {band:.2})",
+                    metrics.noisy_p99_ratio
+                );
+                failed = true;
+            }
+        }
+        None => {
+            println!("  FAIL baseline is missing noisy_p99_ratio");
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!("bench-regression gate FAILED");
+        std::process::exit(1);
+    }
+    println!("bench-regression gate passed");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr7.json".to_string());
+    let gate_baseline = args.iter().position(|a| a == "--gate").map(|i| {
+        args.get(i + 1)
+            .expect("--gate needs a baseline path")
+            .clone()
+    });
+    let band = std::env::var("CULI_BENCH_GATE_BAND")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .or_else(|| {
+            gate_baseline.as_ref().and_then(|_| {
+                args.iter()
+                    .position(|a| a == "--gate")
+                    .and_then(|i| args.get(i + 2))
+                    .and_then(|s| s.parse().ok())
+            })
+        })
+        .unwrap_or(1.6);
+
+    // Load the baseline up front: `[out.json]` defaults to the committed
+    // baseline's own name, so reading after the write below could
+    // silently compare fresh-vs-fresh.
+    let baseline = gate_baseline.as_ref().map(|path| {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        JsonValue::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+    });
+
+    let samples = 3;
+    let mut rows = Vec::new();
+    let metrics = run_benchmarks(&mut rows, samples);
+
+    let doc = Json::Obj(vec![
+        ("baseline", Json::Str("pr7".to_string())),
+        ("unit", Json::Str("nanoseconds (median)".to_string())),
+        (
+            "serving_workload",
+            Json::Str(
+                "6-command mixed stream (defun, setq, one 2-way ||| section, scalar reads) \
+                 per tenant; naive = one pooled session per tenant, round-robin submits; \
+                 server = SessionServer fair-share rounds, intel_e5_2620"
+                    .to_string(),
+            ),
+        ),
+        (
+            "multi_tenant_speedup",
+            Json::Num(metrics.multi_tenant_speedup),
+        ),
+        ("noisy_p99_ratio", Json::Num(metrics.noisy_p99_ratio)),
+        (
+            "rows",
+            Json::Arr(rows.iter().map(ToJson::to_json).collect()),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.pretty() + "\n").expect("write baseline json");
+    println!("wrote {out_path}");
+    for r in &rows {
+        println!("{:<56} {:>14.1} ns", r.name, r.median_ns);
+    }
+    println!(
+        "multi-tenant speedup at 256 sessions: {:.2}x",
+        metrics.multi_tenant_speedup
+    );
+    println!(
+        "noisy-neighbor p99 shift at 64 tenants: {:.2}x",
+        metrics.noisy_p99_ratio
+    );
+    assert!(
+        metrics.multi_tenant_speedup >= 2.0,
+        "the server must beat one-pool-per-session by >= 2x at 256 sessions, measured {:.2}x",
+        metrics.multi_tenant_speedup
+    );
+
+    if let (Some(baseline_path), Some(baseline)) = (gate_baseline, baseline) {
+        run_gate(&baseline_path, &baseline, band, &metrics);
+    }
+}

@@ -25,11 +25,16 @@
 //!     operands, so they are pure regardless of operand content.
 //!     `cond`, `dotimes` and `dolist` carry structured operands (clause
 //!     lists, `(var source)` headers) and are analyzed structurally.
-//!   * head symbol resolving to the **`quasiquote`** builtin: a template
-//!     containing no `unquote`/`unquote-splicing` marker anywhere expands
-//!     by pure node copying, so it classifies like `quote`; any marker —
-//!     even under a nested backquote, where it would stay literal — is
-//!     rejected wholesale rather than level-tracked.
+//!   * head symbol resolving to the **`quasiquote`** builtin: the
+//!     template is walked with the same quotation-level tracking the
+//!     expander uses (`builtins::quasi::expand`). Template structure
+//!     copies purely; an `unquote`/`unquote-splicing` hole that *fires*
+//!     (reaches level 1) evaluates its expression for real, so the
+//!     expression must itself be pure; a hole protected by a nested
+//!     backquote stays literal at this expansion and only its own
+//!     re-expansion depth is checked. Marker symbols in data positions
+//!     (non-head) are inert. Malformed holes (wrong marker arity) and a
+//!     top-level `,@` are barriers.
 //!   * head symbol resolving to anything that **defines or mutates**
 //!     (`setq`, `defun`, `let`, …), performs **host I/O** (`read-file`,
 //!     …), evaluates arbitrary structure (`eval`, a quasiquote template
@@ -125,10 +130,11 @@ pub fn builtin_effect(name: &str) -> BuiltinEffect {
         "quote" | "lambda" => BuiltinEffect::PureUnevaluated,
         // Everything that defines/mutates (`setq`, `defun`, `defmacro`,
         // `let`, `let*`), performs host I/O, evaluates arbitrary structure
-        // (`eval`; `quasiquote` stays impure *here* but unquote-free
-        // templates are re-admitted structurally in `application_is_pure`),
-        // applies function values (`mapcar`, `apply`, `funcall`) or opens
-        // a section (`|||`) — plus any name this table has never heard of.
+        // (`eval`; `quasiquote` stays impure *here* but templates whose
+        // firing holes are all pure are re-admitted level-tracked in
+        // `application_is_pure`), applies function values (`mapcar`,
+        // `apply`, `funcall`) or opens a section (`|||`) — plus any name
+        // this table has never heard of.
         _ => BuiltinEffect::Impure,
     }
 }
@@ -327,11 +333,14 @@ fn application_is_pure(
             }
             siblings_pure(interp, env, interp.arena.get(fn_operand).next, shadowed)
         }
-        // (quasiquote template): an unquote-free template expands by pure
-        // node copying (exactly like `quote` plus allocation), so it is
-        // stageable. Templates carrying any unquote hole are rejected
-        // wholesale — the holes evaluate arbitrary expressions and
-        // level-tracking nested backquotes buys little breadth.
+        // (quasiquote template): template structure expands by pure node
+        // copying (exactly like `quote` plus allocation); only the holes
+        // that *fire* — reach quotation level 1 — evaluate anything. The
+        // walk below tracks levels exactly as `builtins::quasi::expand`
+        // does, so `` `(a ,g) `` stages when `g`'s lookup is pure while
+        // `` `(a ,(f 1)) `` barriers on the user call, and a hole under a
+        // nested backquote is checked at the level its own re-expansion
+        // would fire at.
         "quasiquote" => {
             let Some(template) = args else {
                 return false; // malformed (quasiquote): barrier
@@ -339,7 +348,12 @@ fn application_is_pure(
             if interp.arena.get(template).next.is_some() {
                 return false; // more than one template: barrier
             }
-            template_is_unquote_free(interp, template)
+            // A top-level `,@` errors after evaluating its expression
+            // ("no top-level ,@"); barrier it like the malformed shapes.
+            if template_head_name(interp, template) == Some(b"unquote-splicing".as_slice()) {
+                return false;
+            }
+            template_is_pure(interp, env, template, 1, shadowed)
         }
         _ => match builtin_effect(name) {
             BuiltinEffect::Pure => siblings_pure(interp, env, args, shadowed),
@@ -432,36 +446,95 @@ fn callable_operand_is_pure(
     ok
 }
 
-/// `true` when the subtree under `id` contains no symbol named `unquote`
-/// or `unquote-splicing` anywhere. Checking every position (not just list
-/// heads, where expansion actually fires) is deliberately conservative —
-/// a template that merely *mentions* the markers is rare enough that the
-/// lost breadth is irrelevant.
-fn template_is_unquote_free(interp: &Interp, id: NodeId) -> bool {
+/// The head-position symbol name of a list node, if it has one — the
+/// shape `builtins::quasi::head_symbol_is` keys expansion on. Non-lists
+/// and lists with a non-symbol head return `None`.
+fn template_head_name(interp: &Interp, id: NodeId) -> Option<&[u8]> {
     let n = *interp.arena.get(id);
-    match n.ty {
-        NodeType::Symbol => match n.payload {
-            Payload::Text(s) => {
-                let name = interp.strings.get(s);
-                name != b"unquote" && name != b"unquote-splicing"
-            }
-            _ => false, // corrupt symbol: barrier
-        },
-        NodeType::List | NodeType::Expression => {
-            let mut cur = match n.payload {
-                Payload::List { first, .. } => first,
-                _ => return false,
-            };
-            while let Some(kid) = cur {
-                if !template_is_unquote_free(interp, kid) {
-                    return false;
-                }
-                cur = interp.arena.get(kid).next;
-            }
-            true
-        }
-        _ => true,
+    let first = match (n.ty, n.payload) {
+        (NodeType::List | NodeType::Expression, Payload::List { first, .. }) => first?,
+        _ => return None,
+    };
+    let h = *interp.arena.get(first);
+    match (h.ty, h.payload) {
+        (NodeType::Symbol, Payload::Text(s)) => Some(interp.strings.get(s)),
+        _ => None,
     }
+}
+
+/// `true` when expanding the subtree under `id` at quotation `level`
+/// provably has no effect. Mirrors `builtins::quasi::expand` exactly:
+///
+/// * non-lists (marker symbols in data positions included) copy inertly;
+/// * an `(unquote e)` / `(unquote-splicing e)` head at level 1 **fires**
+///   — `e` is evaluated for real, so it must pass [`pure_rec`] under the
+///   current shadow set; at a deeper level the form is kept as data and
+///   its hole re-checked one level shallower;
+/// * a nested `(quasiquote …)` head deepens the level for its children;
+/// * any other list recurses element-wise at the same level.
+///
+/// A marker form with the wrong arity errors at expansion time before
+/// any copying; it is rejected here (a barrier) rather than reasoned
+/// about.
+fn template_is_pure(
+    interp: &Interp,
+    env: EnvId,
+    id: NodeId,
+    level: u32,
+    shadowed: &mut Vec<StrId>,
+) -> bool {
+    let n = *interp.arena.get(id);
+    let first = match (n.ty, n.payload) {
+        (NodeType::List | NodeType::Expression, Payload::List { first, .. }) => first,
+        (NodeType::List | NodeType::Expression, _) => return false, // corrupt list: barrier
+        _ => return true,                                           // atoms copy as data
+    };
+    let Some(first) = first else {
+        return true; // () copies as data
+    };
+    let h = *interp.arena.get(first);
+    match template_head_name(interp, id) {
+        Some(b"unquote") | Some(b"unquote-splicing") => {
+            // Exactly (marker expr); any other arity errors at expansion.
+            let Some(expr) = h.next else {
+                return false;
+            };
+            if interp.arena.get(expr).next.is_some() {
+                return false;
+            }
+            if level == 1 {
+                // The hole fires: its expression evaluates for real.
+                pure_rec(interp, env, expr, shadowed)
+            } else {
+                // Protected: kept as data, the hole re-expands one level
+                // shallower (the marker symbol itself is inert).
+                template_is_pure(interp, env, expr, level - 1, shadowed)
+            }
+        }
+        // Nested backquote: children rebuild one level deeper (the
+        // `quasiquote` marker symbol is inert; expansion applies no
+        // arity check at nested positions, so none is applied here).
+        Some(b"quasiquote") => template_kids_pure(interp, env, h.next, level + 1, shadowed),
+        _ => template_kids_pure(interp, env, Some(first), level, shadowed),
+    }
+}
+
+/// Walks a template sibling chain, requiring every element
+/// [`template_is_pure`] at `level`.
+fn template_kids_pure(
+    interp: &Interp,
+    env: EnvId,
+    mut cur: Option<NodeId>,
+    level: u32,
+    shadowed: &mut Vec<StrId>,
+) -> bool {
+    while let Some(id) = cur {
+        if !template_is_pure(interp, env, id, level, shadowed) {
+            return false;
+        }
+        cur = interp.arena.get(id).next;
+    }
+    true
 }
 
 #[cfg(test)]
@@ -563,22 +636,64 @@ mod tests {
     }
 
     #[test]
-    fn quasiquote_templates_with_holes_are_rejected() {
+    fn quasiquote_holes_are_level_tracked() {
         let mut i = interp_with_prelude();
+        // Firing holes with pure expressions: the whole template is pure.
         for src in [
-            "`(a ,g)",                   // hole evaluates a lookup: rejected
-            "`(a ,(f 1))",               // hole runs user code
-            "`(1 ,@xs 5)",               // splice hole
-            "`(a `(b ,(f 1)))",          // hole under a nested backquote
-            "`(a (b unquote-splicing))", // marker mentioned anywhere
-            "(quasiquote)",              // malformed: no template
-            "(quasiquote 1 2)",          // malformed: two templates
+            "`(a ,g)",                   // hole is a read-only lookup
+            "`(1 ,(+ g 1) 3)",           // hole is a pure application
+            "`(1 ,@xs 5)",               // splice of a pure list value
+            "`(,@(append xs xs))",       // splice of a pure application
+            "`(a ,(car `(b ,g)))",       // pure hole inside a pure hole
+            "`(a `(b ,(+ 1 2)))",        // protected hole, pure when it fires
+            "`(a `(b ,,g))",             // double comma: inner fires now
+            "`(a (b unquote-splicing))", // marker in data position: inert
+            "(quasiquote (unquote g))",  // `,g` spelled out
+            "`(a ,(if (< g 0) xs nil))", // conditional hole
+        ] {
+            assert!(classify(&mut i, src), "{src}");
+        }
+        // Impure firing holes, malformed markers, top-level splices:
+        // barrier.
+        for src in [
+            "`(a ,(f 1))",                  // hole runs user code
+            "`(a ,(setq g 2))",             // hole mutates
+            "`(a `(b ,,(f 1)))",            // inner comma fires user code now
+            "`(a ,(eval (quote g)))",       // arbitrary evaluation in a hole
+            "`(1 ,@(f 1) 5)",               // impure splice
+            "(quasiquote (unquote (f 1)))", // `,(f 1)` spelled out
+            "`(a (unquote))",               // malformed hole: wrong arity
+            "`(a (unquote g extra))",       // malformed hole: wrong arity
+            "`,@xs",                        // top-level splice errors
+            "(quasiquote)",                 // malformed: no template
+            "(quasiquote 1 2)",             // malformed: two templates
         ] {
             assert!(!classify(&mut i, src), "{src}");
         }
-        // And as section operands: unquote-free stages, holes barrier.
+        // And as section operands: templates whose firing holes are pure
+        // stage; user-code holes barrier.
         assert!(stageable(&mut i, "(||| 2 + (1 2) `(3 4))"));
-        assert!(!stageable(&mut i, "(||| 2 + (1 2) `(,g 4))"));
+        assert!(stageable(&mut i, "(||| 2 + (1 2) `(,g 4))"));
+        assert!(stageable(&mut i, "(||| 2 + (1 2) `(,(+ g 1) ,@xs))"));
+        assert!(!stageable(&mut i, "(||| 2 + (1 2) `(,(f 1) 4))"));
+    }
+
+    #[test]
+    fn quasiquote_classification_agrees_with_expansion() {
+        // Every template the classifier calls pure must actually expand
+        // without touching persistent state: snapshot `g`, evaluate,
+        // re-check.
+        let mut i = interp_with_prelude();
+        for src in ["`(a ,g)", "`(1 ,@xs 5)", "`(a `(b ,,g))", "`(a ,(car xs))"] {
+            assert!(classify(&mut i, src), "{src}");
+            let out = i.eval_str(src).unwrap();
+            assert!(!out.is_empty());
+            assert_eq!(i.eval_str("g").unwrap(), "7", "{src} mutated g");
+        }
+        // Shadowed loop variables poison holes exactly like other
+        // expression positions: `x` may hold a callable at runtime.
+        assert!(!classify(&mut i, "(dolist (x xs) `(a ,(x 1)))"));
+        assert!(classify(&mut i, "(dolist (x xs) `(a ,x))"));
     }
 
     #[test]

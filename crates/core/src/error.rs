@@ -135,6 +135,17 @@ pub enum ErrorCode {
     Device,
     /// The session was already shut down.
     Closed,
+    /// The session server shed the command before execution: the global
+    /// admission queue was full, or the tenant is quarantined for
+    /// repeated resource-limit offenses. Structured backpressure — the
+    /// client sees this reply instead of a silent drop and should retry
+    /// later (or repair its program, if quarantined).
+    Overloaded,
+    /// The tenant's own bounded command queue was full. Unlike
+    /// [`ErrorCode::Overloaded`] this is per-tenant backpressure: the
+    /// server as a whole has capacity, but this tenant is submitting
+    /// faster than its fair share drains.
+    QueueFull,
     /// Internal invariant violation — always a bug.
     Internal,
 }
@@ -313,5 +324,9 @@ mod tests {
         assert_eq!(CuliError::Backend(String::new()).code(), ErrorCode::Device);
         assert_eq!(CuliError::Internal("x").code(), ErrorCode::Internal);
         assert_eq!(ErrorCode::default(), ErrorCode::Ok);
+        // The backpressure codes are server-constructed (no CuliError maps
+        // to them) but must stay distinct so clients can branch on them.
+        assert_ne!(ErrorCode::Overloaded, ErrorCode::QueueFull);
+        assert_ne!(ErrorCode::Overloaded, ErrorCode::User);
     }
 }

@@ -31,6 +31,13 @@ pub enum FaultKind {
     /// The simulated device drops a batched reply handshake (exercises
     /// the scheduler's retry-then-fallback).
     DropReply,
+    /// A tenant submits a compute-bound runaway that must be cut down by
+    /// its per-command fuel budget ([`FaultSite::TenantCommand`] only).
+    RunawayFuel,
+    /// A tenant submits an allocation-bound runaway (oversized payload)
+    /// that must be cut down by its heap limit or fuel budget
+    /// ([`FaultSite::TenantCommand`] only).
+    OversizedPayload,
 }
 
 /// Where a fault is injected. Every site keeps its own monotone event
@@ -41,6 +48,14 @@ pub enum FaultSite {
     WorkerSection,
     /// One event per batched reply handshake on a simulated GPU device.
     DeviceReply,
+    /// One event per command the session server dequeues for a tenant
+    /// that carries this plan. A firing substitutes a misbehaving command
+    /// (runaway fuel burn, oversized allocation, or a hang that the fuel
+    /// ring bounds) for the tenant's real one — modeling a hostile or
+    /// buggy tenant rather than a broken backend. Tenant-scoped by
+    /// construction: only the offending tenant's session ever holds the
+    /// plan, so healthy tenants cannot observe the trigger.
+    TenantCommand,
 }
 
 #[derive(Debug)]
@@ -58,6 +73,7 @@ struct PlanState {
     triggers: Vec<Trigger>,
     worker_events: u64,
     device_events: u64,
+    tenant_events: u64,
     injected: u64,
 }
 
@@ -144,6 +160,40 @@ impl FaultPlan {
         }
     }
 
+    /// Derives a misbehaving-tenant burst from `seed` (splitmix64,
+    /// independent stream from [`FaultPlan::from_seed`]): one to three
+    /// one-shot [`FaultSite::TenantCommand`] triggers of seed-chosen
+    /// kinds — runaway fuel burns, oversized payloads, or hangs the fuel
+    /// ring bounds — at seed-chosen early command indices. The server arm
+    /// of the CI fault sweep feeds consecutive seeds through this.
+    pub fn from_seed_tenant(seed: u64) -> Self {
+        // Offset the stream so seed N's tenant plan does not mirror seed
+        // N's worker/device plan when a test combines both.
+        let mut s = seed ^ 0xA5A5_5A5A_F00D_BEEF;
+        let count = 1 + (splitmix64(&mut s) % 3);
+        let triggers = (0..count)
+            .map(|_| {
+                let kind = match splitmix64(&mut s) % 3 {
+                    0 => FaultKind::RunawayFuel,
+                    1 => FaultKind::OversizedPayload,
+                    _ => FaultKind::Hang,
+                };
+                Trigger {
+                    site: FaultSite::TenantCommand,
+                    kind,
+                    at: splitmix64(&mut s) % 8,
+                    armed: true,
+                }
+            })
+            .collect();
+        Self {
+            inner: Some(Arc::new(Mutex::new(PlanState {
+                triggers,
+                ..Default::default()
+            }))),
+        }
+    }
+
     /// `true` when the plan can never fire (the production fast path).
     pub fn is_empty(&self) -> bool {
         self.inner.is_none()
@@ -163,6 +213,11 @@ impl FaultPlan {
             FaultSite::DeviceReply => {
                 let e = st.device_events;
                 st.device_events += 1;
+                e
+            }
+            FaultSite::TenantCommand => {
+                let e = st.tenant_events;
+                st.tenant_events += 1;
                 e
             }
         };
@@ -249,6 +304,50 @@ mod tests {
             }
             assert_eq!(fired_a, fired_b, "seed {seed}");
             assert!(a.injected_count() <= 2);
+        }
+    }
+
+    #[test]
+    fn tenant_site_keeps_its_own_event_counter() {
+        let p = FaultPlan::single(FaultSite::TenantCommand, FaultKind::RunawayFuel, 1);
+        // Worker/device events must not advance the tenant counter.
+        assert_eq!(p.poll(FaultSite::WorkerSection), None);
+        assert_eq!(p.poll(FaultSite::DeviceReply), None);
+        assert_eq!(p.poll(FaultSite::TenantCommand), None); // tenant event 0
+        assert_eq!(
+            p.poll(FaultSite::TenantCommand),
+            Some(FaultKind::RunawayFuel)
+        );
+        assert_eq!(p.poll(FaultSite::TenantCommand), None); // one-shot
+        assert_eq!(p.injected_count(), 1);
+    }
+
+    #[test]
+    fn seeded_tenant_plans_are_deterministic_tenant_scoped_bursts() {
+        for seed in 0..64 {
+            let a = FaultPlan::from_seed_tenant(seed);
+            let b = FaultPlan::from_seed_tenant(seed);
+            assert!(!a.is_empty());
+            let mut fired_a = Vec::new();
+            let mut fired_b = Vec::new();
+            for e in 0..16 {
+                // Only the tenant site may ever fire.
+                assert_eq!(a.poll(FaultSite::WorkerSection), None);
+                assert_eq!(a.poll(FaultSite::DeviceReply), None);
+                if let Some(k) = a.poll(FaultSite::TenantCommand) {
+                    assert!(matches!(
+                        k,
+                        FaultKind::RunawayFuel | FaultKind::OversizedPayload | FaultKind::Hang
+                    ));
+                    fired_a.push((e, k));
+                }
+                if let Some(k) = b.poll(FaultSite::TenantCommand) {
+                    fired_b.push((e, k));
+                }
+            }
+            assert_eq!(fired_a, fired_b, "seed {seed}");
+            assert!(!fired_a.is_empty(), "seed {seed} must fire at least once");
+            assert!(a.injected_count() <= 3);
         }
     }
 }

@@ -41,9 +41,20 @@ enum Expr {
     Quote(Box<Expr>),
     /// `(quasiquote <rendered>)`: the payload is a *template* — even a
     /// rendered impure construct inside is never evaluated, so the whole
-    /// form must classify pure (no rendered expression ever contains an
-    /// `unquote` marker) and expand effect-free on master and seat alike.
+    /// form must classify pure and expand effect-free on master and seat
+    /// alike. (A rendered hole-carrying variant nested inside lands under
+    /// an extra backquote level, where its holes stay literal — the
+    /// level-tracked classifier and the expander must agree on that.)
     Quasi(Box<Expr>),
+    /// `` `(a ,<e>) ``: a level-1 hole that *fires* — the template is
+    /// pure iff `<e>` is.
+    QuasiHole(Box<Expr>),
+    /// `` `(h ,@(list <e>)) ``: a firing splice hole — pure iff `<e>` is.
+    QuasiSplice(Box<Expr>),
+    /// `` `(a `(b ,,<e>)) ``: a double-comma hole under a nested
+    /// backquote; the inner comma fires at this expansion, so purity
+    /// again follows `<e>`.
+    QuasiNested(Box<Expr>),
     /// `(mapcar 1+ <e>)`: pure-builtin callable — pure iff `<e>` is.
     MapcarBuiltin(Box<Expr>),
     /// `(mapcar (lambda (w) (+ w <a>)) <b>)`: literal lambda with a
@@ -104,6 +115,21 @@ fn render(e: &Expr, out: &mut String) {
         }
         Expr::Quote(a) => render1(out, "quote", a),
         Expr::Quasi(a) => render1(out, "quasiquote", a),
+        Expr::QuasiHole(a) => {
+            out.push_str("(quasiquote (a (unquote ");
+            render(a, out);
+            out.push_str(")))");
+        }
+        Expr::QuasiSplice(a) => {
+            out.push_str("(quasiquote (h (unquote-splicing (list ");
+            render(a, out);
+            out.push_str("))))");
+        }
+        Expr::QuasiNested(a) => {
+            out.push_str("(quasiquote (a (quasiquote (b (unquote (unquote ");
+            render(a, out);
+            out.push_str("))))))");
+        }
         Expr::MapcarBuiltin(a) => render1(out, "mapcar 1+", a),
         Expr::MapcarLambda(a, b) => {
             out.push_str("(mapcar (lambda (w) (+ w ");
@@ -164,6 +190,9 @@ fn expr() -> impl Strategy<Value = Expr> {
             (any::<u8>(), inner.clone()).prop_map(|(n, b)| Expr::Dotimes(n, Box::new(b))),
             inner.clone().prop_map(|a| Expr::Quote(Box::new(a))),
             inner.clone().prop_map(|a| Expr::Quasi(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::QuasiHole(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::QuasiSplice(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::QuasiNested(Box::new(a))),
             inner.clone().prop_map(|a| Expr::MapcarBuiltin(Box::new(a))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Expr::MapcarLambda(Box::new(a), Box::new(b))),
@@ -297,18 +326,37 @@ fn representative_computed_operands_classify_pure() {
     }
 }
 
-/// Quasiquote templates carrying unquote/splice holes must stay out: the
-/// holes evaluate arbitrary expressions, and the classifier rejects them
-/// wholesale instead of level-tracking nested backquotes.
+/// Quasiquote hole classification is level-tracked (PR 7, ROADMAP
+/// "classifier next ring"): a hole that fires at level 1 follows its
+/// expression's purity; a hole protected by a nested backquote stays
+/// literal at this expansion and must not poison the template.
 #[test]
-fn quasiquote_holes_never_classify_pure() {
+fn quasiquote_hole_level_tracking_pins() {
     let mut i = booted();
+    // Pure firing holes — and protected impure holes — classify pure.
+    for src in [
+        "`(a ,g)",
+        "`(1 ,@xs)",
+        "`(a ,(+ g (length xs)))",
+        "`(a `(b ,(setq g 1)))", // protected: stays literal here
+        "(progn `(a) `(b ,(car xs)))",
+        "`(a `(b ,,g))", // double comma: the inner one fires, purely
+    ] {
+        let forms = culi_core::parser::parse(&mut i, src.as_bytes()).unwrap();
+        assert!(
+            effects::expr_is_pure(&i, i.global, forms[0]),
+            "classified impure: {src}"
+        );
+    }
+    // Impure or malformed firing holes barrier the whole template.
     for src in [
         "`(a ,(f 1))",
-        "`(1 ,@xs)",
-        "`(a ,g)",
-        "`(a `(b ,(setq g 1)))",
+        "`(a ,(setq g 1))",
+        "`(1 ,@(f 1))",
+        "`(a `(b ,,(f 1)))", // double comma firing user code
         "(progn `(a) `(b ,(f 1)))",
+        "`(a (unquote))",
+        "`,@xs",
     ] {
         let forms = culi_core::parser::parse(&mut i, src.as_bytes()).unwrap();
         assert!(

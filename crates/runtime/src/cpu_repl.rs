@@ -210,6 +210,44 @@ impl CpuRepl {
         self.submit_inner(input, false)
     }
 
+    /// Submits one command forced through the master-side sequential
+    /// reference, regardless of mode: no worker pool is consulted (or
+    /// lazily forked), yet the reply — output, ok flag, counters — is
+    /// byte-identical to what the pooled path would produce (the
+    /// invariant `run_jobs_sequential_reference` pins). The session
+    /// server routes *cold* tenants through this so hundreds of mostly
+    /// idle sessions never each pay a pool fork; a tenant's replies are
+    /// indistinguishable across the cold and warm routes.
+    pub fn submit_reference(&mut self, input: &str) -> Result<Reply> {
+        self.submit_inner(input, true)
+    }
+
+    /// Drops the session's warm parallel backends (worker pool and
+    /// retained fork arena), returning the dispatch-buffer bytes that
+    /// were retained. The next pooled submit transparently re-forks via
+    /// [`ThreadedHook::pool_mut`] — eviction is invisible to the tenant
+    /// beyond re-warm latency. No-op (returns 0) while cold.
+    pub fn release_warm_forks(&mut self) -> usize {
+        let freed = self.retained_warm_bytes();
+        self.threaded = None;
+        self.forked = None;
+        freed
+    }
+
+    /// Bytes of dispatch-buffer capacity retained by this session's warm
+    /// backends (0 while cold) — the unit the session server's eviction
+    /// budget counts in.
+    pub fn retained_warm_bytes(&self) -> usize {
+        self.threaded
+            .as_ref()
+            .map_or(0, ThreadedHook::retained_buffer_bytes)
+    }
+
+    /// `true` while the session holds a warm (forked) parallel backend.
+    pub fn has_warm_forks(&self) -> bool {
+        self.threaded.as_ref().is_some_and(ThreadedHook::is_warm) || self.forked.is_some()
+    }
+
     /// [`CpuRepl::submit`] body. With `reference` set, evaluation is
     /// forced through the master-side [`SequentialReferenceHook`]
     /// regardless of mode — the scheduler's degradation fallback, which

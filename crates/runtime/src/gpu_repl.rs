@@ -180,6 +180,23 @@ impl GpuRepl {
         Ok(reply)
     }
 
+    /// Session-server routing hook, mirroring `CpuRepl::submit_reference`:
+    /// GPU sessions have no master-side shortcut — every command already
+    /// rides the session's *own* simulated devices (per-tenant state, no
+    /// shared pool to contend on or to avoid forking), so the reference
+    /// route and the ordinary route coincide and this delegates to
+    /// [`GpuRepl::submit`].
+    pub fn submit_reference(&mut self, input: &str) -> Result<Reply> {
+        self.submit(input)
+    }
+
+    /// Session-server routing hook, mirroring `CpuRepl::release_warm_forks`:
+    /// a GPU session's persistent kernels are its tenant state, not a
+    /// shared-resource cache, so there is nothing to evict; always 0.
+    pub fn release_warm_forks(&mut self) -> usize {
+        0
+    }
+
     /// Submits a stream of commands through the shared
     /// [`BatchScheduler`]: maximal runs of commands the effect analysis
     /// ([`culi_core::effects::stageable_parallel_section`]) marks

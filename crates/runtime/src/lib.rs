@@ -17,6 +17,10 @@
 //!   and reply re-sequencing over the [`scheduler::ExecQueue`] trait that
 //!   every backend implements.
 //! * [`session::Session`] — one facade over every backend.
+//! * [`server::SessionServer`] — the multi-tenant layer: fair-share
+//!   admission (deficit round-robin), structured backpressure, per-tenant
+//!   containment/quarantine and LRU warm-fork eviction over many
+//!   concurrent sessions.
 //! * [`phases`] — operation counts → cycles → per-phase milliseconds.
 
 #![forbid(unsafe_code)]
@@ -29,6 +33,7 @@ pub mod phases;
 pub mod pool;
 pub mod reply;
 pub mod scheduler;
+pub mod server;
 pub mod session;
 pub mod vfs;
 
@@ -39,5 +44,6 @@ pub use phases::{counters_to_cycles, CommandCounters, PhaseBreakdown};
 pub use pool::{ForkPerSectionHook, ThreadedHook, WorkerPool};
 pub use reply::Reply;
 pub use scheduler::{BatchScheduler, ExecQueue, Verdict};
-pub use session::Session;
+pub use server::{ServerConfig, ServerStats, SessionServer, TenantId, TenantSnapshot, TenantStats};
+pub use session::{Session, TenantSessionConfig};
 pub use vfs::{DirFs, VirtualFs};

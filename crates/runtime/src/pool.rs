@@ -820,6 +820,13 @@ impl WorkerPool {
     /// Maximum sections a single staged run may coalesce.
     pub const MAX_RUN_SECTIONS: usize = 16;
 
+    /// Retained-capacity cap per recycled dispatch buffer (see
+    /// [`WorkerPool::retained_buffer_bytes`]). Public so layers that
+    /// manage many pools — the session server's warm-fork eviction —
+    /// can budget their total retained memory in the same units the
+    /// per-buffer shrink policy enforces.
+    pub const RETAINED_MSG_BYTES: usize = RETAINED_MSG_BYTES;
+
     /// Default watchdog deadline for one reply take. Deliberately
     /// generous: legitimate sections can run long, and *budgeted*
     /// runaways are caught much earlier by fuel — the deadline exists
@@ -1360,6 +1367,15 @@ impl ThreadedHook {
             ));
         }
         self.pool.as_mut().expect("pool just ensured")
+    }
+
+    /// Bytes of dispatch-buffer capacity the warm pool currently retains
+    /// (zero while cold) — the quantity the session server's LRU
+    /// eviction budgets against [`WorkerPool::RETAINED_MSG_BYTES`].
+    pub fn retained_buffer_bytes(&self) -> usize {
+        self.pool
+            .as_ref()
+            .map_or(0, WorkerPool::retained_buffer_bytes)
     }
 
     /// Worker-side job charges collected since the last call (zero when

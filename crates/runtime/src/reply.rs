@@ -46,4 +46,17 @@ impl Reply {
         assert!(self.ok, "REPL error: {}", self.output);
         self.output
     }
+
+    /// A server-constructed refusal: the command was never executed (all
+    /// counters zero), `ok == false`, and `code` says why — the session
+    /// server's structured backpressure ([`ErrorCode::Overloaded`],
+    /// [`ErrorCode::QueueFull`]) in place of a silent drop.
+    pub fn refusal(code: ErrorCode, why: &str) -> Self {
+        Self {
+            output: format!("error: {why}"),
+            ok: false,
+            code,
+            ..Default::default()
+        }
+    }
 }

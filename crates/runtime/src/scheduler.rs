@@ -13,6 +13,14 @@
 //! [`crate::cpu_repl`], the — possibly multi-device — simulated-GPU
 //! command buffer in [`crate::gpu_repl`]).
 //!
+//! One layer above sits the multi-tenant [`crate::server::SessionServer`]
+//! (PR 7): it owns *admission* — which tenant's commands enter the
+//! runtime, in what share, and which are refused — while this scheduler
+//! owns *execution order within one session's batch*. The split keeps
+//! fairness policy (deficit round-robin, backpressure, quarantine) out of
+//! the per-session pipeline: the server simply hands each warm tenant's
+//! share to [`crate::Session::submit_batch`], which lands here unchanged.
+//!
 //! # Queue trait contract
 //!
 //! An [`ExecQueue`] presents the scheduler with three token types and six

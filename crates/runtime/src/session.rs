@@ -26,6 +26,44 @@ pub enum Session {
     Cpu(CpuRepl),
 }
 
+/// Containment knobs for a server-managed tenant session, fixed once at
+/// admission ([`Session::tenant`]) instead of threaded through every
+/// call: per-command fuel and live-heap budgets, the worker-pool
+/// watchdog deadline, the worker-thread count a promoted (warm) tenant
+/// gets, and an optional tenant-scoped [`FaultPlan`] (the fault
+/// harness's hostile-tenant hook; [`FaultPlan::none`] in production).
+#[derive(Debug, Clone)]
+pub struct TenantSessionConfig {
+    /// Worker threads when the tenant's pool is warm.
+    pub threads: usize,
+    /// Per-command fuel budget (evaluator steps).
+    pub fuel_budget: u64,
+    /// Live-node heap cap for the tenant's interpreter.
+    pub heap_limit: usize,
+    /// Node-arena capacity — tenants default far smaller than the
+    /// single-session default so hundreds fit in memory.
+    pub arena_capacity: usize,
+    /// Worker-pool watchdog deadline for one reply take.
+    pub reply_deadline: Duration,
+    /// Tenant-scoped fault script; shared with the server so it can poll
+    /// [`culi_core::fault::FaultSite::TenantCommand`] for this tenant.
+    pub fault_plan: FaultPlan,
+}
+
+impl Default for TenantSessionConfig {
+    fn default() -> Self {
+        let defaults = InterpConfig::default();
+        Self {
+            threads: 2,
+            fuel_budget: 2_000_000,
+            heap_limit: defaults.heap_limit,
+            arena_capacity: 1 << 15,
+            reply_deadline: Duration::from_secs(5),
+            fault_plan: FaultPlan::none(),
+        }
+    }
+}
+
 impl Session {
     /// Boots the appropriate backend for `spec` with default
     /// configuration: GPUs get the persistent kernel, CPUs the modeled
@@ -115,6 +153,43 @@ impl Session {
         ))
     }
 
+    /// Boots a server-managed tenant session on `spec` with every
+    /// containment knob from `cfg` set at admission: CPU tenants get a
+    /// real-threads session whose pool stays *cold* until the server
+    /// promotes them (commands route through
+    /// [`Session::submit_reference`] until then), GPU tenants get their
+    /// own simulated device. Used by `crate::server::SessionServer`.
+    pub fn tenant(spec: DeviceSpec, cfg: &TenantSessionConfig) -> Self {
+        let interp = InterpConfig {
+            fuel_budget: cfg.fuel_budget,
+            heap_limit: cfg.heap_limit,
+            arena_capacity: cfg.arena_capacity,
+            ..Default::default()
+        };
+        match spec.kind {
+            DeviceKind::Gpu => Self::Gpu(GpuRepl::launch(
+                spec,
+                GpuReplConfig {
+                    interp,
+                    fault_plan: cfg.fault_plan.clone(),
+                    ..Default::default()
+                },
+            )),
+            DeviceKind::Cpu => Self::Cpu(CpuRepl::launch(
+                spec,
+                CpuReplConfig {
+                    interp,
+                    mode: CpuMode::Threaded {
+                        threads: cfg.threads,
+                    },
+                    reply_deadline: cfg.reply_deadline,
+                    fault_plan: cfg.fault_plan.clone(),
+                    ..Default::default()
+                },
+            )),
+        }
+    }
+
     /// Boots the retained fork-per-section baseline CPU session.
     pub fn cpu_fork_per_section(spec: DeviceSpec, threads: usize) -> Self {
         Self::Cpu(CpuRepl::launch(
@@ -160,6 +235,44 @@ impl Session {
         match self {
             Self::Gpu(r) => r.submit_batch(inputs),
             Self::Cpu(r) => r.submit_batch(inputs),
+        }
+    }
+
+    /// Submits one command through the cold route: CPU sessions evaluate
+    /// on the master-side sequential reference — byte-identical replies
+    /// (output, ok, counters) to the pooled path, but no pool is forked
+    /// or consulted ([`CpuRepl::submit_reference`]); GPU sessions have no
+    /// shared pool to avoid, so this coincides with [`Session::submit`].
+    pub fn submit_reference(&mut self, input: &str) -> Result<Reply> {
+        match self {
+            Self::Gpu(r) => r.submit_reference(input),
+            Self::Cpu(r) => r.submit_reference(input),
+        }
+    }
+
+    /// Drops warm worker forks (CPU pools), returning the retained
+    /// dispatch-buffer bytes freed; the next pooled submit re-warms
+    /// transparently. GPU sessions hold no evictable forks (0).
+    pub fn release_warm_forks(&mut self) -> usize {
+        match self {
+            Self::Gpu(r) => r.release_warm_forks(),
+            Self::Cpu(r) => r.release_warm_forks(),
+        }
+    }
+
+    /// Dispatch-buffer bytes retained by warm forks (0 when cold/GPU).
+    pub fn retained_warm_bytes(&self) -> usize {
+        match self {
+            Self::Gpu(_) => 0,
+            Self::Cpu(r) => r.retained_warm_bytes(),
+        }
+    }
+
+    /// `true` while the session holds a warm forked backend.
+    pub fn has_warm_forks(&self) -> bool {
+        match self {
+            Self::Gpu(_) => false,
+            Self::Cpu(r) => r.has_warm_forks(),
         }
     }
 

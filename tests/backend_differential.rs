@@ -453,6 +453,100 @@ fn runaway_under_fuel_budget_is_contained_promptly() {
     assert_eq!(cpu.submit("(+ 1 2)").unwrap().output, "3");
 }
 
+/// Server arm of the fault sweep (PR 7): three tenants share one
+/// [`culi::runtime::SessionServer`] under warm-set churn (immediate
+/// promotion, one warm slot), with tenant 0 carrying a seeded
+/// tenant-scoped fault plan that substitutes hostile commands (runaway
+/// fuel, oversized payloads, unbounded loops) for its own stream. The
+/// healthy tenants' replies must stay **byte-identical** — output, ok,
+/// code and full counters — and in submission order against isolated
+/// [`culi::runtime::Session::tenant`] reference sessions: tenant-scoped
+/// faults may never leak across the admission boundary.
+#[test]
+fn fault_sweep_server_healthy_tenants_stay_byte_identical() {
+    use culi::runtime::{ServerConfig, Session, SessionServer, TenantSessionConfig};
+
+    let n: u64 = std::env::var("CULI_FAULT_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12)
+        .max(4);
+    for seed in 0..n {
+        let mut rng = Rng(seed ^ 0x07e4_a4e7);
+        let healthy_cfg = TenantSessionConfig {
+            fuel_budget: 10_000_000,
+            arena_capacity: 1 << 17,
+            ..Default::default()
+        };
+        let noisy_plan = FaultPlan::from_seed_tenant(seed);
+        let noisy_cfg = TenantSessionConfig {
+            // Tight budgets keep substituted runaways cheap to contain
+            // (the arena bound caps oversized-payload churn, the fuel
+            // bound caps compute runaways) while still letting the
+            // prelude and most generated commands through.
+            fuel_budget: 60_000,
+            arena_capacity: 1 << 15,
+            fault_plan: noisy_plan.clone(),
+            ..Default::default()
+        };
+        let mut srv = SessionServer::new(
+            intel_e5_2620(),
+            ServerConfig {
+                // Immediate promotion + a single warm slot: every tenant
+                // rides the pooled route and they continually evict each
+                // other, so re-warm transparency is under test too.
+                promote_after: 0,
+                warm_limit: 1,
+                ..Default::default()
+            },
+        );
+        let noisy = srv.admit(noisy_cfg);
+        let healthy: Vec<_> = (0..2).map(|_| srv.admit(healthy_cfg.clone())).collect();
+
+        let streams: Vec<Vec<String>> = (0..3)
+            .map(|_| {
+                let len = 4 + rng.below(8) as usize;
+                let mut stream: Vec<String> = PRELUDE.iter().map(|s| s.to_string()).collect();
+                stream.extend((0..len).map(|_| command(&mut rng)));
+                stream
+            })
+            .collect();
+        let ids = [noisy, healthy[0], healthy[1]];
+        // Interleave submissions so every round mixes tenants.
+        let longest = streams.iter().map(Vec::len).max().unwrap();
+        for k in 0..longest {
+            for (t, stream) in streams.iter().enumerate() {
+                if let Some(cmd) = stream.get(k) {
+                    assert!(srv.enqueue(ids[t], cmd).is_none(), "seed {seed}");
+                }
+            }
+        }
+        let mut replies: Vec<Vec<Reply>> = vec![Vec::new(); 3];
+        for (id, r) in srv.drain() {
+            let t = ids.iter().position(|i| *i == id).unwrap();
+            replies[t].push(r);
+        }
+        assert!(
+            noisy_plan.injected_count() >= 1,
+            "seed {seed}: tenant plan never fired"
+        );
+
+        for (t, id) in ids.iter().enumerate().skip(1) {
+            assert_eq!(replies[t].len(), streams[t].len(), "seed {seed}");
+            let mut isolated = Session::tenant(intel_e5_2620(), &healthy_cfg);
+            for (k, src) in streams[t].iter().enumerate() {
+                let want = isolated.submit(src).unwrap();
+                let got = &replies[t][k];
+                let tag = format!("fault seed {seed} tenant {id} cmd {k} [server]: {src}");
+                compare_replies(&want, got, &tag);
+                assert_eq!(want.code, got.code, "{tag}");
+            }
+            isolated.shutdown();
+        }
+        srv.shutdown();
+    }
+}
+
 /// A directed worst case the generator only sometimes hits: definition
 /// bursts past the compaction threshold with shadowing redefinitions,
 /// then sections on every backend — cold seats must resynchronize via
