@@ -40,6 +40,7 @@ pub mod parser;
 pub mod postbox;
 pub mod printer;
 pub mod strings;
+pub mod structhash;
 pub mod types;
 
 pub use error::{CuliError, ErrorCode, Result};

@@ -53,6 +53,7 @@
 //! replies charge-identical to its `submit` loop while sharing every line
 //! of classify/stage/drain logic with the pooled backend.
 
+use crate::cache::{CommandCache, FingerprintTracker, ReplyTicket};
 use crate::error::{Result, RuntimeError};
 use crate::phases::{breakdown, counters_to_cycles, CommandCounters};
 use crate::pool::{ForkPerSectionHook, ThreadedHook, WorkerPool};
@@ -62,8 +63,10 @@ use culi_core::cost::Counters;
 use culi_core::eval::{eval, ParallelHook};
 use culi_core::fault::FaultPlan;
 use culi_core::node::{NodeType, Payload};
+use culi_core::structhash::StructKey;
 use culi_core::{CuliError, ErrorCode, Interp, InterpConfig, NodeId};
 use culi_gpu_sim::{CpuMachine, DeviceSpec, SectionReport, SimError};
+use std::collections::HashMap;
 use std::time::Duration;
 
 /// How `|||` sections execute.
@@ -118,6 +121,12 @@ pub struct CpuReplConfig {
     /// Deterministic fault script handed to the worker pool (empty in
     /// production; the differential fault harness scripts it).
     pub fault_plan: FaultPlan,
+    /// Structural-hash command cache ([`crate::cache`]): `None` (the
+    /// default) leaves every path uncached; `Some` enables the verdict,
+    /// template and reply tiers for [`CpuRepl::submit_batch`] streams.
+    /// Replies served from cache are bit-identical to the uncached run
+    /// (the differential harness runs a cache-on arm).
+    pub cache: Option<CommandCache>,
 }
 
 impl Default for CpuReplConfig {
@@ -130,6 +139,7 @@ impl Default for CpuReplConfig {
             batch_classifier: BatchClassifier::default(),
             reply_deadline: WorkerPool::DEFAULT_REPLY_DEADLINE,
             fault_plan: FaultPlan::none(),
+            cache: None,
         }
     }
 }
@@ -160,6 +170,27 @@ pub struct CpuRepl {
     /// Reply slots written off by an infrastructure failure, awaiting
     /// the scheduler's sequential fallback ([`ExecQueue::take_failed`]).
     degraded_slots: Vec<usize>,
+    /// Incremental classifier-environment fingerprint (verdict-tier key
+    /// dimension; see [`crate::cache`] module docs).
+    fingerprint: FingerprintTracker,
+    /// Reply-tier store tickets recorded at classify time for cache
+    /// misses of classified-pure commands, keyed by batch slot and
+    /// consumed when the slot's `Ok` reply is produced.
+    pending_store: HashMap<usize, ReplyTicket>,
+}
+
+impl BatchClassifier {
+    /// Fingerprint discriminant: the two classifiers disagree on some
+    /// shapes, so their cached verdicts must not share entries. (The GPU
+    /// repl classifies with the same effect analysis and shares the
+    /// `EffectAnalysis` tag — a verdict is a property of the rule and
+    /// the environment, not of the backend.)
+    pub(crate) fn fingerprint_tag(self) -> u8 {
+        match self {
+            BatchClassifier::EffectAnalysis => 0xEA,
+            BatchClassifier::SyntacticInert => 0x51,
+        }
+    }
 }
 
 /// A pipelined command whose section is staged but not yet collected.
@@ -192,6 +223,8 @@ impl CpuRepl {
             barrier_roots: Vec::new(),
             gc_scratch: Vec::new(),
             degraded_slots: Vec::new(),
+            fingerprint: FingerprintTracker::new(),
+            pending_store: HashMap::new(),
         }
     }
 
@@ -441,7 +474,73 @@ impl CpuRepl {
         // hard (machine/device) error.
         self.batch_roots.clear();
         self.barrier_roots.clear();
+        // Store tickets never outlive their batch (slot numbers are only
+        // meaningful within one).
+        self.pending_store.clear();
         BatchScheduler::submit_batch(self, inputs)
+    }
+
+    /// The batch classifier's verdict for a single-form command, served
+    /// from the cache's verdict tier when possible. The classifier reads
+    /// the live global environment, so cached verdicts are scoped by the
+    /// [`FingerprintTracker`] fingerprint; a poisoned tracker falls back
+    /// to classifying directly (always sound — the tier only skips a
+    /// charge-free walk).
+    fn classify_stageable(
+        &mut self,
+        cache: Option<&CommandCache>,
+        command_key: Option<&StructKey>,
+        form: NodeId,
+    ) -> bool {
+        fn classify(interp: &Interp, classifier: BatchClassifier, form: NodeId) -> bool {
+            match classifier {
+                BatchClassifier::EffectAnalysis => {
+                    culi_core::effects::stageable_parallel_section(interp, interp.global, form)
+                }
+                BatchClassifier::SyntacticInert => stageable_inert_section(interp, form),
+            }
+        }
+        let classifier = self.config.batch_classifier;
+        let Some(cache) = cache else {
+            return classify(&self.interp, classifier, form);
+        };
+        let Some(fp) = self
+            .fingerprint
+            .fingerprint(&self.interp, classifier.fingerprint_tag())
+        else {
+            return classify(&self.interp, classifier, form);
+        };
+        // The reply-tier probe already encoded the whole command; a
+        // single-form key slices out of it instead of re-walking the tree.
+        let key = command_key
+            .and_then(StructKey::single_form)
+            .unwrap_or_else(|| StructKey::of(&self.interp, form));
+        if let Some(v) = cache.verdict_lookup(&key, fp) {
+            return v;
+        }
+        let v = classify(&self.interp, classifier, form);
+        cache.verdict_insert(key, fp, v);
+        v
+    }
+
+    /// Consumes `slot`'s reply-tier store ticket if its command really
+    /// produced the successful reply the ticket anticipated. Error and
+    /// degraded replies drop through (their tickets die with the batch);
+    /// a stored reply is therefore always an `Ok` produced by the real
+    /// execution path at the ticket's epoch.
+    fn maybe_cache_store(&mut self, slot: usize, reply: &Reply) {
+        if !reply.ok || reply.code != ErrorCode::Ok {
+            return;
+        }
+        let Some(t) = self.pending_store.remove(&slot) else {
+            return;
+        };
+        if let Some(cache) = &self.config.cache {
+            // Pure commands cannot move the epoch, and nothing impure can
+            // have run between classify and reply (barriers drain first).
+            debug_assert_eq!(self.interp.envs.sync_epoch(), t.epoch);
+            cache.reply_insert(t.key, &t.text, t.epoch, reply.clone());
+        }
     }
 
     /// Evaluates a classified top-level section command through the same
@@ -593,23 +692,22 @@ impl CpuRepl {
             dispatch_overhead,
             0,
         );
-        Ok((
-            cmd.slot,
-            Reply {
-                output,
-                ok: true,
-                code: ErrorCode::Ok,
-                phases,
-                counters: CommandCounters {
-                    parse: cmd.parse,
-                    eval_master,
-                    jobs: job_counters,
-                    print: print_counters,
-                },
-                sections: Vec::new(),
-                wall_ns: cmd.wall_start.elapsed().as_nanos() as u64,
+        let reply = Reply {
+            output,
+            ok: true,
+            code: ErrorCode::Ok,
+            phases,
+            counters: CommandCounters {
+                parse: cmd.parse,
+                eval_master,
+                jobs: job_counters,
+                print: print_counters,
             },
-        ))
+            sections: Vec::new(),
+            wall_ns: cmd.wall_start.elapsed().as_nanos() as u64,
+        };
+        self.maybe_cache_store(cmd.slot, &reply);
+        Ok((cmd.slot, reply))
     }
 
     /// Between-command collection, keeping staged-but-uncollected batch
@@ -776,15 +874,49 @@ impl<'i> ExecQueue<'i> for CpuRepl {
                 }))
             }
         };
+        // --- Cache probe (charge-free; see crate::cache) -----------------
+        // The epoch captured here is exactly the environment state this
+        // command executes against: every earlier barrier already ran
+        // (the scheduler drains and executes barriers before classifying
+        // the next command) and every in-flight staged command is pure.
+        let cache = self.config.cache.clone();
+        let mut probe = None;
+        if let Some(cache) = &cache {
+            let key = StructKey::of_forms(&self.interp, &forms);
+            let epoch = self.interp.envs.sync_epoch();
+            if let Some(mut reply) = cache.reply_lookup(&key, input, epoch) {
+                // The stored counters are the ones this run would
+                // recompute (source-text condition); only wall time is
+                // fresh. The probe's parse temporaries are garbage now —
+                // collect them as any finished command would.
+                reply.wall_ns = wall_start.elapsed().as_nanos() as u64;
+                self.gc_between_commands();
+                return Ok(Verdict::Done(Box::new(reply)));
+            }
+            probe = Some((key, epoch));
+        }
         let stageable = forms.len() == 1
-            && match self.config.batch_classifier {
-                BatchClassifier::EffectAnalysis => culi_core::effects::stageable_parallel_section(
-                    &self.interp,
-                    self.interp.global,
-                    forms[0],
-                ),
-                BatchClassifier::SyntacticInert => stageable_inert_section(&self.interp, forms[0]),
-            };
+            && self.classify_stageable(cache.as_ref(), probe.as_ref().map(|(k, _)| k), forms[0]);
+        // A miss on a classified-pure command earns a store ticket,
+        // consumed if and when the slot produces an `Ok` reply. Purity is
+        // what makes replay sound: the reply depends only on the tree and
+        // the (epoch-stamped) environment.
+        if let (Some(_), Some((key, epoch))) = (&cache, probe) {
+            let pure = stageable
+                || forms.iter().all(|&f| {
+                    culi_core::effects::expr_is_pure(&self.interp, self.interp.global, f)
+                });
+            if pure {
+                self.pending_store.insert(
+                    slot,
+                    ReplyTicket {
+                        key,
+                        text: input.to_string(),
+                        epoch,
+                    },
+                );
+            }
+        }
         if !stageable {
             // Root the parse tree across the coming drain's GCs.
             self.barrier_roots.extend_from_slice(&forms);
@@ -832,8 +964,12 @@ impl<'i> ExecQueue<'i> for CpuRepl {
                     .get_or_insert_with(|| ThreadedHook::with_watchdog(threads, deadline, plan));
                 let sections: Vec<&[NodeId]> = run.iter().map(|s| s.jobs.as_slice()).collect();
                 let global = self.interp.global;
-                hook.pool_mut(&self.interp)
-                    .stage_run(&mut self.interp, &sections, global);
+                hook.pool_mut(&self.interp).stage_run_cached(
+                    &mut self.interp,
+                    &sections,
+                    global,
+                    self.config.cache.as_ref(),
+                );
                 let mut cmds = Vec::with_capacity(run.len());
                 for CpuStaged { cmd, jobs } in run {
                     self.interp.put_node_buf(jobs);
@@ -947,7 +1083,9 @@ impl<'i> ExecQueue<'i> for CpuRepl {
                 wall_start,
             } => {
                 self.barrier_roots.clear();
-                self.finish_submit(&forms, parse, wall_start, false)?
+                let reply = self.finish_submit(&forms, parse, wall_start, false)?;
+                self.maybe_cache_store(slot, &reply);
+                reply
             }
             CpuBarrier::ParseError { error, parse } => self.error_reply(
                 error,

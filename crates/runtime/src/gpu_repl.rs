@@ -34,6 +34,8 @@
 //! errors) drain the pipeline and run on device 0, the interactive
 //! `submit` device.
 
+use crate::cache::{CommandCache, FingerprintTracker, ReplyTicket};
+use crate::cpu_repl::BatchClassifier;
 use crate::error::{Result, RuntimeError};
 use crate::phases::{breakdown, counters_to_cycles, CommandCounters};
 use crate::reply::Reply;
@@ -41,11 +43,13 @@ use crate::scheduler::{BatchScheduler, ExecQueue, Verdict};
 use culi_core::cost::Counters;
 use culi_core::eval::{eval, ParallelHook};
 use culi_core::fault::{FaultPlan, FaultSite};
+use culi_core::structhash::StructKey;
 use culi_core::{CuliError, ErrorCode, Interp, InterpConfig, NodeId};
 use culi_gpu_sim::cmdbuf::CommandBuffer;
 use culi_gpu_sim::{
     CostTable, DeviceSpec, KernelConfig, PersistentKernel, SectionReport, SimError, SimStats,
 };
+use std::collections::HashMap;
 
 /// Configuration for a GPU session.
 #[derive(Debug, Clone)]
@@ -72,6 +76,11 @@ pub struct GpuReplConfig {
     /// dropped reply — the only failure the command-buffer protocol
     /// models — exercising the retry-then-degrade path. Empty by default.
     pub fault_plan: FaultPlan,
+    /// Structural-hash command cache ([`crate::cache`]): `None` (the
+    /// default) leaves every path uncached; `Some` enables the verdict
+    /// and reply tiers for [`GpuRepl::submit_batch`] streams. Replies
+    /// served from cache are bit-identical to the uncached run.
+    pub cache: Option<CommandCache>,
 }
 
 impl Default for GpuReplConfig {
@@ -84,6 +93,7 @@ impl Default for GpuReplConfig {
             host_io: None,
             device_count: 1,
             fault_plan: FaultPlan::none(),
+            cache: None,
         }
     }
 }
@@ -111,6 +121,13 @@ pub struct GpuRepl {
     /// Reply slots written off by a degradable dispatch failure, awaiting
     /// the scheduler's sequential fallback ([`ExecQueue::take_failed`]).
     degraded_slots: Vec<usize>,
+    /// Incremental classifier-environment fingerprint (verdict-tier key
+    /// dimension; see [`crate::cache`] module docs).
+    fingerprint: FingerprintTracker,
+    /// Reply-tier store tickets recorded at classify time for cache
+    /// misses of classified-pure commands, keyed by batch slot and
+    /// consumed when the slot's `Ok` reply is produced.
+    pending_store: HashMap<usize, ReplyTicket>,
 }
 
 impl GpuRepl {
@@ -132,6 +149,8 @@ impl GpuRepl {
             scratch_cycles: Vec::new(),
             next_device: 0,
             degraded_slots: Vec::new(),
+            fingerprint: FingerprintTracker::new(),
+            pending_store: HashMap::new(),
         }
     }
 
@@ -220,6 +239,9 @@ impl GpuRepl {
         if !self.is_running() {
             return Err(RuntimeError::SessionClosed);
         }
+        // Store tickets never outlive their batch (slot numbers are only
+        // meaningful within one).
+        self.pending_store.clear();
         BatchScheduler::submit_batch(self, inputs)
     }
 
@@ -246,6 +268,23 @@ impl GpuRepl {
                 Err(_) => false,
             },
         )
+    }
+
+    /// Consumes `slot`'s reply-tier store ticket if its command really
+    /// produced the successful reply the ticket anticipated (mirrors
+    /// `CpuRepl::maybe_cache_store`). Error and degraded replies drop
+    /// through; their tickets die with the batch.
+    fn maybe_cache_store(&mut self, slot: usize, reply: &Reply) {
+        if !reply.ok || reply.code != ErrorCode::Ok {
+            return;
+        }
+        let Some(t) = self.pending_store.remove(&slot) else {
+            return;
+        };
+        if let Some(cache) = &self.config.cache {
+            debug_assert_eq!(self.interp.envs.sync_epoch(), t.epoch);
+            cache.reply_insert(t.key, &t.text, t.epoch, reply.clone());
+        }
     }
 
     /// Parse/evaluate/print one already-uploaded command on device
@@ -518,10 +557,95 @@ impl<'i> ExecQueue<'i> for GpuRepl {
         input: &'i str,
         slot: usize,
     ) -> Result<Verdict<GpuStaged<'i>, &'i str>> {
-        Ok(if self.classify_stageable(input) {
-            Verdict::Stage(GpuStaged { input, slot })
-        } else {
-            Verdict::Barrier(input)
+        let Some(cache) = self.config.cache.clone() else {
+            return Ok(if self.classify_stageable(input) {
+                Verdict::Stage(GpuStaged { input, slot })
+            } else {
+                Verdict::Barrier(input)
+            });
+        };
+        // Cached classification (charge-free, like classify_stageable:
+        // the look-ahead parse is unmetered and its garbage is collected
+        // before the run is processed). The epoch captured here is
+        // exactly the environment state this command executes against —
+        // earlier barriers already ran, in-flight staged commands are
+        // pure.
+        enum Classified {
+            Hit(Box<Reply>),
+            Miss {
+                stageable: bool,
+                ticket: Option<ReplyTicket>,
+            },
+        }
+        let global = self.interp.global;
+        let fingerprint = &mut self.fingerprint;
+        let outcome = self.interp.unmetered(|interp| {
+            let Ok(forms) = culi_core::parser::parse(interp, input.as_bytes()) else {
+                // The parse error itself replays through the barrier path.
+                return Classified::Miss {
+                    stageable: false,
+                    ticket: None,
+                };
+            };
+            let key = StructKey::of_forms(interp, &forms);
+            let epoch = interp.envs.sync_epoch();
+            if let Some(reply) = cache.reply_lookup(&key, input, epoch) {
+                return Classified::Hit(Box::new(reply));
+            }
+            let classify = |interp: &Interp, f| {
+                culi_core::effects::stageable_parallel_section(interp, global, f)
+            };
+            let stageable = forms.len() == 1
+                && match fingerprint
+                    .fingerprint(interp, BatchClassifier::EffectAnalysis.fingerprint_tag())
+                {
+                    Some(fp) => {
+                        // Slice the single-form key out of the command key
+                        // instead of re-walking the tree.
+                        let fkey = key
+                            .single_form()
+                            .unwrap_or_else(|| StructKey::of(interp, forms[0]));
+                        match cache.verdict_lookup(&fkey, fp) {
+                            Some(v) => v,
+                            None => {
+                                let v = classify(interp, forms[0]);
+                                cache.verdict_insert(fkey, fp, v);
+                                v
+                            }
+                        }
+                    }
+                    None => classify(interp, forms[0]),
+                };
+            let pure = stageable
+                || forms
+                    .iter()
+                    .all(|&f| culi_core::effects::expr_is_pure(interp, global, f));
+            Classified::Miss {
+                stageable,
+                ticket: pure.then(|| ReplyTicket {
+                    key,
+                    text: input.to_string(),
+                    epoch,
+                }),
+            }
+        });
+        Ok(match outcome {
+            Classified::Hit(reply) => {
+                // The served reply replaces a whole run: collect the
+                // probe's parse garbage the way dispatch would have.
+                culi_core::gc::collect(&mut self.interp, &[]);
+                Verdict::Done(reply)
+            }
+            Classified::Miss { stageable, ticket } => {
+                if let Some(ticket) = ticket {
+                    self.pending_store.insert(slot, ticket);
+                }
+                if stageable {
+                    Verdict::Stage(GpuStaged { input, slot })
+                } else {
+                    Verdict::Barrier(input)
+                }
+            }
         })
     }
 
@@ -614,6 +738,7 @@ impl<'i> ExecQueue<'i> for GpuRepl {
 
     fn collect(&mut self, run: GpuRun, replies: &mut [Option<Reply>]) -> Result<()> {
         for (slot, reply) in run.0 {
+            self.maybe_cache_store(slot, &reply);
             replies[slot] = Some(reply);
         }
         Ok(())
@@ -625,7 +750,9 @@ impl<'i> ExecQueue<'i> for GpuRepl {
         slot: usize,
         replies: &mut [Option<Reply>],
     ) -> Result<()> {
-        replies[slot] = Some(self.submit(barrier)?);
+        let reply = self.submit(barrier)?;
+        self.maybe_cache_store(slot, &reply);
+        replies[slot] = Some(reply);
         Ok(())
     }
 

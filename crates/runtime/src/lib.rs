@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cpu_repl;
 pub mod error;
 pub mod gpu_repl;
@@ -37,6 +38,7 @@ pub mod server;
 pub mod session;
 pub mod vfs;
 
+pub use cache::{CacheConfig, CacheStats, CommandCache, TierStats};
 pub use cpu_repl::{BatchClassifier, CpuMode, CpuRepl, CpuReplConfig};
 pub use error::{Result, RuntimeError};
 pub use gpu_repl::{GpuRepl, GpuReplConfig};

@@ -121,6 +121,15 @@ pub enum Verdict<S, B> {
     /// The command must run synchronously after the pipeline drains
     /// (non-stageable command, parse error, or stage-time error).
     Barrier(B),
+    /// The command's reply is already known — a reply-cache hit
+    /// ([`crate::cache::CommandCache`]). The scheduler writes it straight
+    /// into the command's slot: no run, no barrier, no pipeline
+    /// interaction. Sound because queues only ever serve `Done` for
+    /// commands whose cached execution was classified pure against the
+    /// *current* env sync epoch, so neither the assembling run nor any
+    /// in-flight run can observe a difference. Boxed so the common
+    /// `Stage`/`Barrier` verdicts stay small.
+    Done(Box<Reply>),
 }
 
 /// One backend execution queue the [`BatchScheduler`] can feed. See the
@@ -242,6 +251,9 @@ impl<'i, Q: ExecQueue<'i>> BatchScheduler<'i, Q> {
                     s.drain(queue, inputs)?;
                     queue.run_barrier(b, slot, &mut s.replies)?;
                 }
+                // A cache hit neither joins nor flushes the assembling
+                // run: stageable commands around it keep coalescing.
+                Verdict::Done(reply) => s.replies[slot] = Some(*reply),
             }
         }
         s.flush(queue, inputs)?;
@@ -383,6 +395,9 @@ mod tests {
         ) -> Result<Verdict<Self::Staged, Self::Barrier>> {
             Ok(if input.starts_with('b') {
                 Verdict::Barrier(input)
+            } else if input.starts_with('c') {
+                // Scripted cache hit: the reply is already known.
+                Verdict::Done(Box::new(reply(format!("C{slot}:{input}"))))
             } else {
                 Verdict::Stage((slot, input))
             })
@@ -524,6 +539,21 @@ mod tests {
                 "collect:2"
             ]
         );
+    }
+
+    #[test]
+    fn done_verdicts_fill_slots_without_touching_the_pipeline() {
+        let mut q = ScriptQueue::new(2, 2);
+        // A cache hit between two stageables must not flush the
+        // assembling run: the two `s` commands still coalesce.
+        let inputs = ["s", "c", "s", "b", "c"];
+        let replies = BatchScheduler::submit_batch(&mut q, &inputs).unwrap();
+        assert_eq!(replies[0].output, "S0:s");
+        assert_eq!(replies[1].output, "C1:c");
+        assert_eq!(replies[2].output, "S2:s");
+        assert_eq!(replies[3].output, "B3:b");
+        assert_eq!(replies[4].output, "C4:c");
+        assert_eq!(q.events, ["dispatch:2", "collect:2", "barrier:3"]);
     }
 
     #[test]

@@ -13,9 +13,12 @@
 //! queues. Each [`SessionServer::pump_round`] visits every tenant once in
 //! rotation; a tenant with queued work earns [`ServerConfig::quantum`]
 //! deficit credits, executes up to `min(deficit, queued, max_inflight)`
-//! commands, and pays one credit per command. A tenant whose queue goes
-//! idle forfeits its accumulated deficit (classic DRR), so credit cannot
-//! be hoarded. Consequences, asserted by the property suite:
+//! commands, and pays one credit per command **that actually reached the
+//! runtime** — refusals (quarantine rejection, session-level failures)
+//! never cost credit, so a backpressured tenant is not doubly penalized
+//! for commands that never executed. A tenant whose queue goes idle
+//! forfeits its accumulated deficit (classic DRR), so credit cannot be
+//! hoarded. Consequences, asserted by the property suite:
 //!
 //! * **No starvation:** every tenant with queued work executes at least
 //!   one command within one round.
@@ -47,7 +50,10 @@
 //! to **degradation-only** service: commands still execute (sequential
 //! reference route, never the shared pool) and otherwise-ok replies are
 //! marked [`culi_core::ErrorCode::Degraded`]; sustained good behaviour
-//! decays the score back below the threshold. At
+//! decays the score back below the threshold, but degraded successes
+//! decay at **half rate** (one point per two ok replies) so a hostile
+//! tenant interleaving cheap successes with runaways cannot oscillate
+//! straight back out of quarantine. At
 //! [`ServerConfig::reject_threshold`] the tenant is **rejected** outright
 //! — commands are refused unexecuted and the score no longer decays, so
 //! rejection is terminal for the session's lifetime.
@@ -78,6 +84,7 @@
 //! enforces per buffer); evicted tenants fall back to the cold route and
 //! transparently re-fork if promoted again.
 
+use crate::cache::{CacheConfig, CacheStats, CommandCache};
 use crate::phases::CommandCounters;
 use crate::reply::Reply;
 use crate::session::{Session, TenantSessionConfig};
@@ -131,6 +138,12 @@ pub struct ServerConfig {
     pub quarantine_threshold: u32,
     /// Failure score at which commands are refused outright (terminal).
     pub reject_threshold: u32,
+    /// Structural-hash command cache shared across the fleet
+    /// ([`crate::cache`]): verdict/template tiers are shared between
+    /// tenants, each tenant gets a private reply tier
+    /// ([`CommandCache::tenant_view`]). `None` disables caching. On by
+    /// default — cache-served replies are bit-identical to uncached ones.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for ServerConfig {
@@ -146,6 +159,7 @@ impl Default for ServerConfig {
             promote_after: 32,
             quarantine_threshold: 8,
             reject_threshold: 16,
+            cache: Some(CacheConfig::default()),
         }
     }
 }
@@ -203,6 +217,10 @@ pub struct ServerStats {
     pub warm_tenants: usize,
     /// Dispatch-buffer bytes retained by the warm set right now.
     pub retained_warm_bytes: usize,
+    /// Command-cache hit/miss/evict counters (all zero when the cache is
+    /// disabled). Verdict/template counters are fleet-wide; reply
+    /// counters aggregate every tenant's private tier.
+    pub cache: CacheStats,
     /// Per-tenant rows, indexed by [`TenantId::index`].
     pub tenants: Vec<TenantSnapshot>,
 }
@@ -213,9 +231,15 @@ struct Tenant {
     cfg: TenantSessionConfig,
     queue: VecDeque<String>,
     deficit: u64,
-    /// Round this tenant last executed in (LRU stamp for eviction).
-    served_round: u64,
+    /// Monotonic serve-clock stamp of this tenant's most recent service
+    /// (LRU stamp for warm-set eviction). A per-serve clock, not the
+    /// round number: round-granular stamps tie within a round and break
+    /// by tenant index, which re-evicted freshly re-warmed tenants.
+    served_stamp: u64,
     failure_score: u32,
+    /// Consecutive [`ErrorCode::Degraded`] ok replies since the last
+    /// score decay (degraded successes decay at half rate).
+    degraded_ok_streak: u32,
     stats: TenantStats,
 }
 
@@ -228,7 +252,12 @@ pub struct SessionServer {
     tenants: Vec<Tenant>,
     rr_cursor: usize,
     round: u64,
+    /// Monotonic per-serve clock backing the warm-set LRU stamps.
+    serve_clock: u64,
     queued_total: usize,
+    /// The fleet's shared command cache (`None` when disabled); tenants
+    /// receive [`CommandCache::tenant_view`]s of it at admission.
+    cache: Option<CommandCache>,
 }
 
 impl SessionServer {
@@ -241,19 +270,28 @@ impl SessionServer {
             global_queue_capacity: config.global_queue_capacity.max(1),
             ..config
         };
+        let cache = config.cache.clone().map(CommandCache::new);
         Self {
             spec,
             config,
             tenants: Vec::new(),
             rr_cursor: 0,
             round: 0,
+            serve_clock: 0,
             queued_total: 0,
+            cache,
         }
     }
 
     /// Admits a tenant: boots its isolated session with every containment
-    /// knob from `cfg` fixed now ([`Session::tenant`]).
-    pub fn admit(&mut self, cfg: TenantSessionConfig) -> TenantId {
+    /// knob from `cfg` fixed now ([`Session::tenant`]). When the server
+    /// runs a command cache, the tenant receives its own
+    /// [`CommandCache::tenant_view`] (shared verdict/template tiers,
+    /// private reply tier) unless `cfg` already pinned one.
+    pub fn admit(&mut self, mut cfg: TenantSessionConfig) -> TenantId {
+        if cfg.cache.is_none() {
+            cfg.cache = self.cache.as_ref().map(CommandCache::tenant_view);
+        }
         let id = TenantId(self.tenants.len());
         let session = Session::tenant(self.spec, &cfg);
         self.tenants.push(Tenant {
@@ -261,8 +299,9 @@ impl SessionServer {
             cfg,
             queue: VecDeque::new(),
             deficit: 0,
-            served_round: 0,
+            served_stamp: 0,
             failure_score: 0,
+            degraded_ok_streak: 0,
             stats: TenantStats::default(),
         });
         id
@@ -320,8 +359,11 @@ impl SessionServer {
             let take = (self.tenants[idx].deficit.min(usize::MAX as u64) as usize)
                 .min(self.tenants[idx].queue.len())
                 .min(self.config.max_inflight);
-            let replies = self.execute_for(idx, take);
-            self.tenants[idx].deficit -= replies.len() as u64;
+            let (replies, executed) = self.execute_for(idx, take);
+            // Deficit pays only for commands that reached the runtime:
+            // refusals (quarantine rejection, session-level failure)
+            // never executed, so they cost no credit.
+            self.tenants[idx].deficit -= executed as u64;
             out.extend(replies.into_iter().map(|r| (TenantId(idx), r)));
         }
         self.rr_cursor = (self.rr_cursor + 1) % n;
@@ -340,14 +382,16 @@ impl SessionServer {
 
     /// Executes `take` queued commands of tenant `idx` through the route
     /// its state selects (rejected / degraded / cold / warm), returning
-    /// one reply per command in submission order.
-    fn execute_for(&mut self, idx: usize, take: usize) -> Vec<Reply> {
+    /// one reply per command in submission order plus the count of
+    /// commands that actually reached the runtime (the deficit charge).
+    fn execute_for(&mut self, idx: usize, take: usize) -> (Vec<Reply>, usize) {
         let quarantine_threshold = self.config.quarantine_threshold;
         let reject_threshold = self.config.reject_threshold;
         let promote_after = self.config.promote_after;
-        let round = self.round;
+        self.serve_clock += 1;
+        let stamp = self.serve_clock;
         let t = &mut self.tenants[idx];
-        t.served_round = round;
+        t.served_stamp = stamp;
         t.stats.max_inflight_seen = t.stats.max_inflight_seen.max(take);
 
         let mut cmds = Vec::with_capacity(take);
@@ -368,29 +412,33 @@ impl SessionServer {
         let quarantined = t.failure_score >= quarantine_threshold;
         let warm_route = !quarantined && t.stats.executed >= promote_after;
 
-        let mut replies = Vec::with_capacity(cmds.len());
+        // Each reply is paired with whether the command actually reached
+        // the runtime; refusals stay out of the deficit charge and the
+        // executed/ok/failed meters.
+        let mut replies: Vec<(Reply, bool)> = Vec::with_capacity(cmds.len());
         if rejected {
             // Terminal shedding: never executed, never silent.
             for _ in &cmds {
                 t.stats.shed_quarantined += 1;
-                replies.push(Reply::refusal(
-                    ErrorCode::Overloaded,
-                    "tenant quarantined: repeated resource-limit offenses",
+                replies.push((
+                    Reply::refusal(
+                        ErrorCode::Overloaded,
+                        "tenant quarantined: repeated resource-limit offenses",
+                    ),
+                    false,
                 ));
             }
-            return replies;
-        }
-        if warm_route {
+        } else if warm_route {
             let refs: Vec<&str> = cmds.iter().map(String::as_str).collect();
             match t.session.submit_batch(&refs) {
-                Ok(batch) => replies.extend(batch),
+                Ok(batch) => replies.extend(batch.into_iter().map(|r| (r, true))),
                 // A session-level failure (device lost, closed): one
                 // structured error reply per command keeps the tenant's
                 // FIFO accounting intact instead of wedging the stream.
                 Err(e) => {
                     let msg = e.to_string();
                     for _ in &cmds {
-                        replies.push(Reply::refusal(e.code(), &msg));
+                        replies.push((Reply::refusal(e.code(), &msg), false));
                     }
                 }
             }
@@ -405,19 +453,47 @@ impl SessionServer {
                             reply.code = ErrorCode::Degraded;
                             t.stats.degraded += 1;
                         }
-                        replies.push(reply);
+                        replies.push((reply, true));
                     }
-                    Err(e) => replies.push(Reply::refusal(e.code(), &e.to_string())),
+                    Err(e) => replies.push((Reply::refusal(e.code(), &e.to_string()), false)),
                 }
             }
         }
 
-        for reply in &replies {
+        let mut executed = 0usize;
+        for (reply, ran) in &replies {
+            if !*ran {
+                // A refusal never reached the runtime: no deficit charge,
+                // no executed/ok/failed accounting. Session-level
+                // failures still feed the failure score — a broken
+                // session is exactly the noisy-neighbor signal.
+                match reply.code {
+                    ErrorCode::Device | ErrorCode::Internal | ErrorCode::Closed => {
+                        t.failure_score += 3
+                    }
+                    _ => {}
+                }
+                continue;
+            }
+            executed += 1;
             t.stats.executed += 1;
             add_counters(&mut t.stats.counters, &reply.counters);
             if reply.ok {
                 t.stats.ok += 1;
-                t.failure_score = t.failure_score.saturating_sub(1);
+                if reply.code == ErrorCode::Degraded {
+                    // Half-rate decay under quarantine: one score point
+                    // per two degraded successes, so cheap interleaved
+                    // successes cannot oscillate a hostile tenant back
+                    // out of degradation-only service.
+                    t.degraded_ok_streak += 1;
+                    if t.degraded_ok_streak >= 2 {
+                        t.degraded_ok_streak = 0;
+                        t.failure_score = t.failure_score.saturating_sub(1);
+                    }
+                } else {
+                    t.degraded_ok_streak = 0;
+                    t.failure_score = t.failure_score.saturating_sub(1);
+                }
             } else {
                 t.stats.failed += 1;
                 // Resource-class failures are the noisy-neighbor signal;
@@ -432,7 +508,7 @@ impl SessionServer {
                 }
             }
         }
-        replies
+        (replies.into_iter().map(|(r, _)| r).collect(), executed)
     }
 
     /// LRU-evicts warm forks until both warm-set bounds hold: at most
@@ -450,7 +526,7 @@ impl SessionServer {
             if warm.len() <= self.config.warm_limit && retained <= self.config.warm_retained_bytes {
                 return;
             }
-            let Some(&lru) = warm.iter().min_by_key(|&&i| self.tenants[i].served_round) else {
+            let Some(&lru) = warm.iter().min_by_key(|&&i| self.tenants[i].served_stamp) else {
                 return;
             };
             self.tenants[lru].session.release_warm_forks();
@@ -479,6 +555,11 @@ impl SessionServer {
                 .iter()
                 .map(|t| t.session.retained_warm_bytes())
                 .sum(),
+            cache: self
+                .cache
+                .as_ref()
+                .map(CommandCache::stats)
+                .unwrap_or_default(),
             tenants,
         }
     }
@@ -676,6 +757,33 @@ mod tests {
         assert!(r.ok);
         assert_eq!(r.output, "42");
         assert_eq!(r.code, ErrorCode::Ok);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn refusal_heavy_round_leaves_deficit_intact() {
+        // Regression: the deficit used to be decremented by
+        // `replies.len()` including refusals, so a quarantine-rejected
+        // tenant paid quantum credit for commands that never executed.
+        let mut srv = small_server(ServerConfig {
+            quantum: 8,
+            reject_threshold: 4,
+            quarantine_threshold: 2,
+            ..Default::default()
+        });
+        let a = srv.admit(tenant_cfg());
+        srv.tenants[a.index()].failure_score = 16; // force terminal rejection
+        for _ in 0..3 {
+            assert!(srv.enqueue(a, "(+ 1 1)").is_none());
+        }
+        let replies = srv.pump_round();
+        assert_eq!(replies.len(), 3);
+        assert!(replies.iter().all(|(_, r)| r.code == ErrorCode::Overloaded));
+        let stats = srv.server_stats();
+        assert_eq!(stats.tenants[a.index()].stats.shed_quarantined, 3);
+        assert_eq!(stats.tenants[a.index()].stats.executed, 0);
+        // Nothing executed, so the full quantum credit is still there.
+        assert_eq!(srv.tenants[a.index()].deficit, 8);
         srv.shutdown();
     }
 

@@ -48,6 +48,11 @@ pub struct TenantSessionConfig {
     /// Tenant-scoped fault script; shared with the server so it can poll
     /// [`culi_core::fault::FaultSite::TenantCommand`] for this tenant.
     pub fault_plan: FaultPlan,
+    /// This tenant's view of the server's structural-hash command cache
+    /// ([`crate::cache::CommandCache::tenant_view`]): verdict/template
+    /// tiers shared across tenants, reply tier private. `None` (the
+    /// default) disables caching for the session.
+    pub cache: Option<crate::cache::CommandCache>,
 }
 
 impl Default for TenantSessionConfig {
@@ -60,6 +65,7 @@ impl Default for TenantSessionConfig {
             arena_capacity: 1 << 15,
             reply_deadline: Duration::from_secs(5),
             fault_plan: FaultPlan::none(),
+            cache: None,
         }
     }
 }
@@ -172,6 +178,7 @@ impl Session {
                 GpuReplConfig {
                     interp,
                     fault_plan: cfg.fault_plan.clone(),
+                    cache: cfg.cache.clone(),
                     ..Default::default()
                 },
             )),
@@ -184,6 +191,7 @@ impl Session {
                     },
                     reply_deadline: cfg.reply_deadline,
                     fault_plan: cfg.fault_plan.clone(),
+                    cache: cfg.cache.clone(),
                     ..Default::default()
                 },
             )),

@@ -180,6 +180,94 @@ proptest! {
     }
 }
 
+/// Regression (quarantine ladder): degraded successes decay the failure
+/// score at half rate. Before the fix an `ErrorCode::Degraded` ok reply
+/// decayed like a plain success, so a single cheap command popped a
+/// hostile tenant straight back out of degradation-only service.
+#[test]
+fn degraded_successes_decay_failure_score_at_half_rate() {
+    let spec = culi_gpu_sim::device::intel_e5_2620();
+    let mut srv = SessionServer::new(
+        spec,
+        ServerConfig {
+            quarantine_threshold: 4,
+            reject_threshold: 100,
+            ..Default::default()
+        },
+    );
+    let noisy = srv.admit(TenantSessionConfig {
+        fuel_budget: 10_000,
+        ..Default::default()
+    });
+    let runaway = "(dotimes (k 100000000) (* k k))";
+    // Two fuel runaways (+2 each) reach the quarantine threshold of 4.
+    for _ in 0..2 {
+        assert!(srv.enqueue(noisy, runaway).is_none());
+    }
+    let replies = srv.drain();
+    assert!(replies.iter().all(|(_, r)| r.code == ErrorCode::Fuel));
+    // First success under quarantine: degraded, and at half-rate decay
+    // the score must still sit at the threshold...
+    assert!(srv.enqueue(noisy, "(+ 1 1)").is_none());
+    let replies = srv.drain();
+    assert_eq!(replies[0].1.code, ErrorCode::Degraded);
+    // ...so the second success is STILL degraded (score only now decays
+    // to 3). Under the old full-rate decay this reply came back Ok.
+    assert!(srv.enqueue(noisy, "(+ 2 2)").is_none());
+    let replies = srv.drain();
+    assert_eq!(replies[0].1.code, ErrorCode::Degraded);
+    // Score dropped below the threshold after two degraded successes:
+    // the third is served normally again.
+    assert!(srv.enqueue(noisy, "(+ 3 3)").is_none());
+    let replies = srv.drain();
+    assert_eq!(replies[0].1.code, ErrorCode::Ok);
+    assert!(replies[0].1.ok);
+    srv.shutdown();
+}
+
+/// Regression (LRU recency on re-warm): a tenant evicted and then
+/// transparently re-warmed must become most-recently-used. Before the
+/// fix the LRU stamp was round-granular and ties broke by tenant index,
+/// so the freshly re-warmed tenant was immediately re-evicted (thrash).
+#[test]
+fn rewarmed_tenant_becomes_most_recently_used() {
+    let spec = culi_gpu_sim::device::intel_e5_2620();
+    let mut srv = SessionServer::new(
+        spec,
+        ServerConfig {
+            warm_limit: 1,
+            promote_after: 0,
+            ..Default::default()
+        },
+    );
+    let a = srv.admit(tenant_cfg());
+    let b = srv.admit(tenant_cfg());
+    let section = "(||| 2 + (1 2) (3 4))";
+    // Round 1: only b runs — b holds the single warm slot.
+    assert!(srv.enqueue(b, section).is_none());
+    srv.drain();
+    let stats = srv.server_stats();
+    assert!(stats.tenants[b.index()].warm);
+    assert!(!stats.tenants[a.index()].warm);
+    // Round 2: b is served first (round-robin cursor), then a re-warms.
+    // Both were served "this round", so a round-granular stamp ties and
+    // index order evicted a — the tenant that was served *last*.
+    assert!(srv.enqueue(a, section).is_none());
+    assert!(srv.enqueue(b, section).is_none());
+    let replies = srv.pump_round();
+    assert_eq!(replies.len(), 2);
+    assert!(replies.iter().all(|(_, r)| r.ok));
+    let stats = srv.server_stats();
+    assert_eq!(stats.warm_tenants, 1);
+    assert!(
+        stats.tenants[a.index()].warm,
+        "most-recently-served tenant must keep its warm slot"
+    );
+    assert!(!stats.tenants[b.index()].warm);
+    assert_eq!(stats.tenants[b.index()].stats.evictions, 1);
+    srv.shutdown();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(cases(12)))]
 

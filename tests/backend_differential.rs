@@ -31,7 +31,9 @@
 
 use culi::core::fault::{FaultKind, FaultPlan, FaultSite};
 use culi::core::{ErrorCode, InterpConfig};
-use culi::runtime::{CpuMode, CpuRepl, CpuReplConfig, GpuRepl, GpuReplConfig, Reply};
+use culi::runtime::{
+    CacheConfig, CommandCache, CpuMode, CpuRepl, CpuReplConfig, GpuRepl, GpuReplConfig, Reply,
+};
 use culi::sim::device::{gtx1080, intel_e5_2620};
 use std::time::Duration;
 
@@ -190,6 +192,40 @@ fn gpu_repl(devices: usize) -> GpuRepl {
     )
 }
 
+/// A pipelined CPU arm with the PR 8 structural-hash command cache
+/// enabled. The cache handle is passed in so arms can share verdict and
+/// template tiers through [`CommandCache::tenant_view`], the way the
+/// session server shares them across tenants.
+fn repl_cached(cache: CommandCache) -> CpuRepl {
+    CpuRepl::launch(
+        intel_e5_2620(),
+        CpuReplConfig {
+            interp: InterpConfig {
+                arena_capacity: 1 << 17,
+                ..Default::default()
+            },
+            mode: CpuMode::Threaded { threads: 4 },
+            cache: Some(cache),
+            ..Default::default()
+        },
+    )
+}
+
+fn gpu_repl_cached(cache: CommandCache) -> GpuRepl {
+    GpuRepl::launch(
+        gtx1080(),
+        GpuReplConfig {
+            interp: InterpConfig {
+                arena_capacity: 1 << 17,
+                ..Default::default()
+            },
+            device_count: 1,
+            cache: Some(cache),
+            ..Default::default()
+        },
+    )
+}
+
 fn check_program(seed: u64) {
     let mut rng = Rng(seed);
     let len = 4 + rng.below(8) as usize;
@@ -201,12 +237,20 @@ fn check_program(seed: u64) {
     let mut pipelined = repl(CpuMode::Threaded { threads: 4 });
     let mut fork_batched = repl(CpuMode::ForkPerSection { threads: 4 });
     let mut gpus: Vec<GpuRepl> = [1, 2, 4].map(gpu_repl).into_iter().collect();
+    // Cache arms (PR 8): one shared cache, tenant views per backend — the
+    // CPU and GPU arms share verdict/template tiers but keep private
+    // reply tiers, exactly like server tenants.
+    let shared_cache = CommandCache::new(CacheConfig::default());
+    let mut cached = repl_cached(shared_cache.tenant_view());
+    let mut cached_gpu = gpu_repl_cached(shared_cache.tenant_view());
     for line in PRELUDE {
         sequential.submit(line).unwrap();
         forked.submit(line).unwrap();
         pooled.submit(line).unwrap();
         pipelined.submit(line).unwrap();
         fork_batched.submit(line).unwrap();
+        cached.submit(line).unwrap();
+        cached_gpu.submit(line).unwrap();
         for gpu in &mut gpus {
             gpu.submit(line).unwrap();
         }
@@ -220,6 +264,16 @@ fn check_program(seed: u64) {
         .iter_mut()
         .map(|gpu| gpu.submit_batch(&inputs).unwrap())
         .collect();
+    // Cache arms run the stream twice: the cold pass is compared against
+    // the sequential reference, the warm pass (served from the cache
+    // wherever commands repeat or recur across passes) is compared
+    // against a second uncached pass over the same state.
+    let cached_cold = cached.submit_batch(&inputs).unwrap();
+    let cached_gpu_cold = cached_gpu.submit_batch(&inputs).unwrap();
+    let batched_warm = pipelined.submit_batch(&inputs).unwrap();
+    let gpu_warm = gpus[0].submit_batch(&inputs).unwrap();
+    let cached_warm = cached.submit_batch(&inputs).unwrap();
+    let cached_gpu_warm = cached_gpu.submit_batch(&inputs).unwrap();
 
     for (k, src) in inputs.iter().enumerate() {
         let a = sequential.submit(src).unwrap();
@@ -231,6 +285,14 @@ fn check_program(seed: u64) {
         compare_replies(&a, &c, &tag("pooled"));
         compare_replies(&a, d, &tag("pipelined"));
         compare_replies(&a, &fork_batch[k], &tag("fork-batched"));
+        compare_replies(&a, &cached_cold[k], &tag("pipelined+cache cold"));
+        compare_replies(&a, &cached_gpu_cold[k], &tag("gpu+cache cold"));
+        compare_replies(
+            &batched_warm[k],
+            &cached_warm[k],
+            &tag("pipelined+cache warm"),
+        );
+        compare_replies(&gpu_warm[k], &cached_gpu_warm[k], &tag("gpu+cache warm"));
         for (devices, replies) in [1usize, 2, 4].iter().zip(&gpu_batches) {
             compare_replies(&a, &replies[k], &tag(&format!("gpu x{devices}")));
         }
@@ -302,7 +364,7 @@ fn differential_seeds_chunk_3_of_4() {
 
 /// A real-threads CPU session with a scripted fault plan and a watchdog
 /// deadline short enough to keep injected hangs cheap.
-fn faulted_cpu(plan: FaultPlan) -> CpuRepl {
+fn faulted_cpu(plan: FaultPlan, cache: Option<CommandCache>) -> CpuRepl {
     CpuRepl::launch(
         intel_e5_2620(),
         CpuReplConfig {
@@ -313,6 +375,7 @@ fn faulted_cpu(plan: FaultPlan) -> CpuRepl {
             mode: CpuMode::Threaded { threads: 4 },
             reply_deadline: Duration::from_millis(100),
             fault_plan: plan,
+            cache,
             ..Default::default()
         },
     )
@@ -353,15 +416,27 @@ fn check_faulted_program(seed: u64, cpu_plan: FaultPlan, gpu_plan: FaultPlan) {
     let inputs: Vec<&str> = commands.iter().map(String::as_str).collect();
 
     let mut reference = repl(CpuMode::Modeled);
-    let mut cpu = faulted_cpu(cpu_plan);
+    let mut cpu = faulted_cpu(cpu_plan, None);
+    // Cache arm: its own seed-derived plan (plans share trigger state
+    // across clones, so the primary arm's plan cannot be reused) and the
+    // PR 8 command cache enabled. Faults may land at different events —
+    // cache hits skip pool work — but must stay just as invisible.
+    let mut cpu_cached = faulted_cpu(
+        FaultPlan::from_seed(seed ^ 0xca54_e0e5),
+        Some(CommandCache::new(CacheConfig::default())),
+    );
     let mut gpu = faulted_gpu(gpu_plan);
     for line in PRELUDE {
         reference.submit(line).unwrap();
         cpu.submit(line).unwrap();
+        cpu_cached.submit(line).unwrap();
         gpu.submit(line).unwrap();
     }
     let cpu_batch = cpu.submit_batch(&inputs).unwrap();
     let gpu_batch = gpu.submit_batch(&inputs).unwrap();
+    // Two passes through the cached arm: cold, then warm from the cache.
+    let cached_cold = cpu_cached.submit_batch(&inputs).unwrap();
+    let cached_warm = cpu_cached.submit_batch(&inputs).unwrap();
     assert_eq!(cpu_batch.len(), inputs.len());
     assert_eq!(gpu_batch.len(), inputs.len());
     for (k, src) in inputs.iter().enumerate() {
@@ -369,6 +444,14 @@ fn check_faulted_program(seed: u64, cpu_plan: FaultPlan, gpu_plan: FaultPlan) {
         let tag = |name: &str| format!("fault seed {seed} cmd {k} [{name}]: {src}");
         compare_faulted(&want, &cpu_batch[k], &tag("cpu faulted"));
         compare_faulted(&want, &gpu_batch[k], &tag("gpu faulted"));
+        compare_faulted(&want, &cached_cold[k], &tag("cpu faulted+cache cold"));
+    }
+    // Warm pass: the reference re-runs the stream from the same state the
+    // cached arm reached after its cold pass.
+    for (k, src) in inputs.iter().enumerate() {
+        let want = reference.submit(src).unwrap();
+        let tag = format!("fault seed {seed} cmd {k} [cpu faulted+cache warm]: {src}");
+        compare_faulted(&want, &cached_warm[k], &tag);
     }
 }
 
